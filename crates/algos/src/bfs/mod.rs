@@ -1,0 +1,47 @@
+//! Breadth-First Search (paper §2.1, §3.3, §4.4).
+//!
+//! * [`mod@reference`] — exact host BFS for validation.
+//! * [`gpu`] — the baseline GPU implementation after Merrill et al.:
+//!   expansion (setup + scan + gather) and contraction (mark with
+//!   warp-culling + scan + scatter), with the scan/gather/scatter
+//!   kernels classified as stream compaction (Figure 1).
+//! * [`scu`] — Algorithm 1 (basic SCU: expansion and contraction
+//!   compaction offloaded) and Algorithm 4 (enhanced SCU: filtering
+//!   passes over both phases using the persistent visited hash).
+
+pub mod gpu;
+pub mod reference;
+pub mod scu;
+
+/// Distance marker for unreached nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Which enhanced-SCU features a BFS run enables. The paper uses
+/// filtering only for BFS — grouping "interferes with the warp culling
+/// filtering efforts done in the GPU processing" (§4.4) — so
+/// [`BfsVariant::enhanced`] enables filtering alone; the grouping knob
+/// exists for the ablation that reproduces that finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsVariant {
+    /// Unique-element filtering (expansion + contraction, §4.4).
+    pub filtering: bool,
+    /// Destination-line grouping of the node frontier (ablation only).
+    pub grouping: bool,
+}
+
+impl BfsVariant {
+    /// Basic SCU (Algorithm 1).
+    pub fn basic() -> Self {
+        BfsVariant { filtering: false, grouping: false }
+    }
+
+    /// The paper's enhanced BFS (Algorithm 4): filtering only.
+    pub fn enhanced() -> Self {
+        BfsVariant { filtering: true, grouping: false }
+    }
+
+    /// Filtering plus grouping — the configuration §4.4 rejects.
+    pub fn with_grouping() -> Self {
+        BfsVariant { filtering: true, grouping: true }
+    }
+}

@@ -1,0 +1,77 @@
+//! Exact host BFS.
+
+use std::collections::VecDeque;
+
+use scu_graph::Csr;
+
+use super::UNREACHED;
+
+/// Hop distances from `src` to every node ([`UNREACHED`] where no path
+/// exists).
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn distances(g: &Csr, src: u32) -> Vec<u32> {
+    assert!((src as usize) < g.num_nodes(), "source {src} out of range");
+    let mut dist = vec![UNREACHED; g.num_nodes()];
+    dist[src as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = d + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_graph::GraphBuilder;
+
+    fn line_graph(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn line_graph_distances() {
+        let g = line_graph(5);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&g, 2), vec![UNREACHED, UNREACHED, 0, 1, 2]);
+    }
+
+    #[test]
+    fn figure2_distances() {
+        // The paper's Figure 2c: BFS from A gives 0 1 1 1 2 2 2.
+        let g = scu_graph::Csr::new(
+            vec![0, 3, 5, 6, 8, 8, 8, 8],
+            vec![1, 2, 3, 4, 5, 5, 2, 6],
+            vec![2, 3, 1, 1, 1, 2, 1, 2],
+        )
+        .unwrap();
+        assert_eq!(distances(&g, 0), vec![0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn disconnected_nodes_unreached() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(distances(&g, 1), vec![UNREACHED, 0, UNREACHED]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let g = line_graph(2);
+        distances(&g, 5);
+    }
+}

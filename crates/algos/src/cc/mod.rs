@@ -1,0 +1,16 @@
+//! Connected components via frontier-based minimum-label propagation —
+//! an *extension* beyond the paper's three primitives, demonstrating
+//! that the SCU's operations cover other frontier algorithms unchanged.
+//!
+//! Every node starts labelled with its own ID; active nodes push their
+//! label along out-edges, nodes whose label improves join the next
+//! frontier, and the frontier is stream-compacted each iteration —
+//! exactly the structure the SCU accelerates for BFS. On the
+//! (undirected) generator graphs the fixed point is the connected
+//! components; on directed graphs it is the directed min-label
+//! fixed point (`label[v] = min id over nodes with a path to v`),
+//! which is what [`mod@reference`] computes.
+
+pub mod gpu;
+pub mod reference;
+pub mod scu;

@@ -1,0 +1,81 @@
+//! Exact host min-label fixed point.
+
+use scu_graph::Csr;
+
+/// The minimum-label fixed point: `labels[v]` is the smallest node ID
+/// with a directed path to `v` (including `v` itself). On undirected
+/// graphs this identifies connected components.
+pub fn labels(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n as u32 {
+            let l = labels[v as usize];
+            for &w in g.neighbors(v) {
+                if l < labels[w as usize] {
+                    labels[w as usize] = l;
+                    changed = true;
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Number of distinct labels (components on undirected graphs).
+pub fn count_components(labels: &[u32]) -> usize {
+    let mut seen: Vec<u32> = labels.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_graph::GraphBuilder;
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::new(5);
+        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(3, 4, 1);
+        let g = b.build();
+        let l = labels(&g);
+        assert_eq!(l, vec![0, 0, 0, 3, 3]);
+        assert_eq!(count_components(&l), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_label() {
+        let g = GraphBuilder::new(3).build();
+        let l = labels(&g);
+        assert_eq!(l, vec![0, 1, 2]);
+        assert_eq!(count_components(&l), 3);
+    }
+
+    #[test]
+    fn directed_propagation_semantics() {
+        // 2 -> 0: node 0 adopts label 0 (own), node 2 keeps 2 since
+        // nothing points at it; 0 gets min(0, 2)=0.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0, 1).add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(labels(&g), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    b.add_edge(i, j, 1);
+                }
+            }
+        }
+        let l = labels(&b.build());
+        assert!(l.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Connected components with compaction offloaded to the SCU.
+//!
+//! The offload maps onto exactly the operations BFS and SSSP use:
+//! *Access Expansion Compaction* for the destination stream,
+//! *Replication Compaction* for the pushed-label stream, and *Data
+//! Compaction* for the next frontier. The enhanced variant reuses the
+//! unique-best-cost filter with the pushed label as the cost — labels
+//! only decrease, so the same monotonicity argument that makes SSSP
+//! filtering safe applies verbatim.
+
+use scu_core::hash::{FilterHash, FilterMode};
+use scu_graph::Csr;
+use scu_gpu::buffer::DeviceArray;
+
+use crate::device_graph::DeviceGraph;
+use crate::report::{Phase, RunReport};
+use crate::system::System;
+
+/// Runs SCU-offloaded label propagation; `enhanced` adds the
+/// unique-best-label filter pass. Returns the label fixed point and
+/// the measured report.
+///
+/// # Panics
+///
+/// Panics if `sys` has no SCU.
+pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
+    assert!(sys.scu.is_some(), "SCU CC requires a System::with_scu platform");
+    let mut report = RunReport::new("cc", sys.kind, true);
+    let dg = DeviceGraph::upload(&mut sys.alloc, g);
+    let n = g.num_nodes();
+    let m = g.num_edges().max(1);
+
+    let cap = 2 * m + n + 64;
+    let mut labels: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+    let mut nf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut indexes: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut base: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut lf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut flags8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut filt8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, cap);
+    let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+
+    let label_hash_cfg = sys.scu.as_ref().expect("checked above").config().filter_sssp_hash;
+    let mut label_hash = FilterHash::new(&mut sys.alloc, label_hash_cfg);
+
+    let s = sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
+        ctx.store(&mut labels, tid, tid as u32);
+        ctx.store(&mut nf, tid, tid as u32);
+    });
+    report.add_kernel(Phase::Processing, &s);
+
+    let mut frontier_len = n;
+    let mut rounds = 0u64;
+
+    while frontier_len > 0 {
+        rounds += 1;
+        assert!(rounds <= n as u64 + 2, "CC failed to converge");
+        report.iterations += 1;
+
+        // ---- Expansion setup (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
+            let v = ctx.load(&nf, tid) as usize;
+            let lo = ctx.load(&dg.row_offsets, v);
+            let hi = ctx.load(&dg.row_offsets, v + 1);
+            let l = ctx.load(&labels, v);
+            ctx.alu(1);
+            ctx.store(&mut indexes, tid, lo);
+            ctx.store(&mut counts, tid, hi - lo);
+            ctx.store(&mut base, tid, l);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Expansion on the SCU. ----
+        let scu = sys.scu.as_mut().expect("checked above");
+        let total = scu
+            .access_expansion_compaction(
+                &mut sys.mem,
+                &dg.edges,
+                &indexes,
+                &counts,
+                frontier_len,
+                None,
+                None,
+                &mut ef,
+            )
+            .elements_out as usize;
+        scu.replication_compaction(&mut sys.mem, &base, &counts, frontier_len, None, None, &mut lf);
+        if total == 0 {
+            break;
+        }
+
+        // ---- Contraction relax + owner dedup (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
+            let v = ctx.load(&ef, tid) as usize;
+            let l = ctx.load(&lf, tid);
+            let cur = ctx.load(&labels, v);
+            ctx.alu(1);
+            let improves = l < cur;
+            if improves {
+                ctx.store(&mut lut, v, tid as u32);
+                ctx.atomic_min_u32(&mut labels, v, l);
+            }
+            ctx.store(&mut flags8, tid, improves as u8);
+        });
+        report.add_kernel(Phase::Processing, &s);
+        let s = sys.gpu.run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
+            if ctx.load(&flags8, tid) != 0 {
+                let v = ctx.load(&ef, tid) as usize;
+                let owner = ctx.load(&lut, v) == tid as u32;
+                ctx.store(&mut flags8, tid, owner as u8);
+            }
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Contraction compaction on the SCU. ----
+        let scu = sys.scu.as_mut().expect("checked above");
+        let final_flags = if enhanced {
+            // Unique-best-label: drops frontier insertions whose label
+            // cannot improve on one already scheduled.
+            scu.filter_pass_data(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(&flags8),
+                FilterMode::UniqueBestCost,
+                Some(&lf),
+                &mut label_hash,
+                &mut filt8,
+            );
+            &filt8
+        } else {
+            &flags8
+        };
+        let kept = scu
+            .data_compaction_n(&mut sys.mem, &ef, total, Some(final_flags), None, &mut nf, 0)
+            .elements_out as usize;
+
+        frontier_len = kept;
+    }
+
+    report.scu = *sys.scu.as_ref().expect("checked above").stats();
+    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    (labels.into_vec(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{gpu, reference};
+    use crate::system::SystemKind;
+    use scu_graph::Dataset;
+
+    #[test]
+    fn basic_matches_reference() {
+        for d in [Dataset::Ca, Dataset::Cond] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (labels, _) = run(&mut sys, &g, false);
+            assert_eq!(labels, reference::labels(&g), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn enhanced_matches_reference() {
+        for d in [Dataset::Ca, Dataset::Cond, Dataset::Kron] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (labels, _) = run(&mut sys, &g, true);
+            assert_eq!(labels, reference::labels(&g), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn enhanced_reduces_gpu_work_vs_baseline() {
+        let g = Dataset::Kron.build(1.0 / 128.0, 5);
+        let mut base_sys = System::baseline(SystemKind::Tx1);
+        let (_, base) = gpu::run(&mut base_sys, &g);
+        let mut scu_sys = System::with_scu(SystemKind::Tx1);
+        let (_, enh) = run(&mut scu_sys, &g, true);
+        assert!(
+            (enh.gpu_thread_insts() as f64) < base.gpu_thread_insts() as f64 * 0.8,
+            "insts {} vs {}",
+            enh.gpu_thread_insts(),
+            base.gpu_thread_insts()
+        );
+    }
+
+    #[test]
+    fn component_counts_agree() {
+        let g = Dataset::Ca.build(1.0 / 256.0, 8);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (labels, _) = run(&mut sys, &g, true);
+        let expect = reference::count_components(&reference::labels(&g));
+        assert_eq!(reference::count_components(&labels), expect);
+    }
+}

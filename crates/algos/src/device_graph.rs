@@ -1,0 +1,69 @@
+//! CSR graph resident in simulated device memory.
+
+use scu_graph::Csr;
+use scu_gpu::buffer::{DeviceAllocator, DeviceArray};
+
+/// The device-side copy of a [`Csr`] graph: the three CSR arrays of
+/// the paper's Figure 2b, each a [`DeviceArray`] with stable simulated
+/// addresses.
+#[derive(Debug)]
+pub struct DeviceGraph {
+    /// `row_offsets[v]..row_offsets[v+1]` spans node v's out-edges.
+    pub row_offsets: DeviceArray<u32>,
+    /// Edge destinations.
+    pub edges: DeviceArray<u32>,
+    /// Edge weights, parallel to `edges`.
+    pub weights: DeviceArray<u32>,
+    num_nodes: usize,
+}
+
+impl DeviceGraph {
+    /// Uploads `g` into simulated device memory.
+    pub fn upload(alloc: &mut DeviceAllocator, g: &Csr) -> Self {
+        DeviceGraph {
+            row_offsets: DeviceArray::from_vec(alloc, g.row_offsets().to_vec()),
+            edges: DeviceArray::from_vec(alloc, g.edges().to_vec()),
+            weights: DeviceArray::from_vec(alloc, g.weights().to_vec()),
+            num_nodes: g.num_nodes(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_graph::GraphBuilder;
+
+    #[test]
+    fn upload_preserves_arrays() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 4).add_edge(0, 2, 5).add_edge(2, 0, 6);
+        let g = b.build();
+        let mut alloc = DeviceAllocator::new();
+        let dg = DeviceGraph::upload(&mut alloc, &g);
+        assert_eq!(dg.num_nodes(), 3);
+        assert_eq!(dg.num_edges(), 3);
+        assert_eq!(dg.row_offsets.as_slice(), g.row_offsets());
+        assert_eq!(dg.edges.as_slice(), g.edges());
+        assert_eq!(dg.weights.as_slice(), g.weights());
+    }
+
+    #[test]
+    fn arrays_have_distinct_addresses() {
+        let g = GraphBuilder::new(2).build();
+        let mut alloc = DeviceAllocator::new();
+        let dg = DeviceGraph::upload(&mut alloc, &g);
+        assert_ne!(dg.row_offsets.base(), dg.edges.base());
+        assert_ne!(dg.edges.base(), dg.weights.base());
+    }
+}

@@ -1,0 +1,21 @@
+//! k-core decomposition by iterative peeling — a second extension
+//! beyond the paper's primitives, and the natural showcase for the
+//! SCU's *Bitmask Constructor*: each peeling round is literally
+//! "compare the support vector against k" followed by a compaction of
+//! the nodes that fall out.
+//!
+//! Support is in-degree based: `support[v]` starts as the number of
+//! edges pointing at `v`; peeling for level `k` repeatedly removes
+//! nodes with `support < k` (their out-edges decrement their targets'
+//! support) until stable, then `k` increases. A node removed while
+//! peeling level `k` has coreness `k - 1`. Removed nodes' support is
+//! parked at `u32::MAX`, so one comparison drives both the alive check
+//! and the threshold — exactly the reference-value compare the
+//! hardware unit implements.
+
+pub mod gpu;
+pub mod reference;
+pub mod scu;
+
+/// Support marker for removed nodes (compares above every real k).
+pub const REMOVED: u32 = u32::MAX;

@@ -1,0 +1,90 @@
+//! Exact host peeling.
+
+use scu_graph::Csr;
+
+use super::REMOVED;
+
+/// In-degree-based coreness of every node: the level `k - 1` at which
+/// the node was peeled (see the module docs for the exact semantics).
+pub fn coreness(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut support = vec![0u32; n];
+    for (_, d, _) in g.iter_edges() {
+        support[d as usize] += 1;
+    }
+    let mut core = vec![0u32; n];
+    let mut alive = n;
+    let mut k = 1u32;
+    while alive > 0 {
+        loop {
+            let peel: Vec<u32> = (0..n as u32)
+                .filter(|&v| support[v as usize] != REMOVED && support[v as usize] < k)
+                .collect();
+            if peel.is_empty() {
+                break;
+            }
+            for &v in &peel {
+                support[v as usize] = REMOVED;
+                core[v as usize] = k - 1;
+                alive -= 1;
+            }
+            for &v in &peel {
+                for &w in g.neighbors(v) {
+                    if support[w as usize] != REMOVED {
+                        support[w as usize] -= 1;
+                    }
+                }
+            }
+        }
+        k += 1;
+        assert!(k as usize <= n + 2, "peeling failed to terminate");
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_graph::GraphBuilder;
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 (undirected) plus a pendant 3 attached to 0.
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(2, 0, 1);
+        b.add_undirected(0, 3, 1);
+        let core = coreness(&b.build());
+        assert_eq!(core[3], 1, "pendant peels at level 2 -> coreness 1");
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+    }
+
+    #[test]
+    fn isolated_nodes_have_coreness_zero() {
+        let core = coreness(&GraphBuilder::new(3).build());
+        assert_eq!(core, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn clique_coreness_is_degree() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    b.add_edge(i, j, 1);
+                }
+            }
+        }
+        let core = coreness(&b.build());
+        assert!(core.iter().all(|&c| c == 4), "5-clique coreness {core:?}");
+    }
+
+    #[test]
+    fn chain_peels_from_both_ends() {
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(2, 3, 1);
+        let core = coreness(&b.build());
+        assert!(core.iter().all(|&c| c == 1), "chain coreness {core:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! k-core peeling with compaction offloaded to the SCU.
+//!
+//! Each round uses three of the five Figure 6 operations: *Bitmask
+//! Constructor* (`support < k` against the reference value k), *Data
+//! Compaction* (removal frontier from the node-ID vector), and *Access
+//! Expansion Compaction* (out-edges of removed nodes). The GPU keeps
+//! the support-decrement and bookkeeping kernels. Peeling has no
+//! duplicate-element structure for the enhanced filter to exploit, so
+//! only the basic offload applies (like PR, §4.6).
+
+use scu_core::CompareOp;
+use scu_graph::Csr;
+use scu_gpu::buffer::DeviceArray;
+
+use crate::device_graph::DeviceGraph;
+use crate::report::{Phase, RunReport};
+use crate::system::System;
+
+use super::REMOVED;
+
+/// Runs SCU-offloaded peeling; returns per-node coreness and the
+/// measured report.
+///
+/// # Panics
+///
+/// Panics if `sys` has no SCU.
+pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
+    assert!(sys.scu.is_some(), "SCU k-core requires a System::with_scu platform");
+    let mut report = RunReport::new("kcore", sys.kind, true);
+    let dg = DeviceGraph::upload(&mut sys.alloc, g);
+    let n = g.num_nodes();
+    let m = g.num_edges().max(1);
+
+    let mut support: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+    let mut core: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+    let node_ids: DeviceArray<u32> =
+        DeviceArray::from_vec(&mut sys.alloc, (0..n as u32).collect());
+    let mut flags8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
+    let mut rf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
+    let mut indexes: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
+    let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
+    let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, m);
+
+    let s = sys.gpu.run(&mut sys.mem, "kcore-support-init", g.num_edges(), |tid, ctx| {
+        let w = ctx.load(&dg.edges, tid) as usize;
+        ctx.atomic_rmw(&mut support, w, |x| x + 1);
+    });
+    report.add_kernel(Phase::Processing, &s);
+
+    let mut alive = n;
+    let mut k = 1u32;
+    while alive > 0 {
+        assert!(k as usize <= n + 2, "peeling failed to terminate");
+        report.iterations += 1;
+
+        // ---- SCU: bitmask + removal-frontier compaction. ----
+        let scu = sys.scu.as_mut().expect("checked above");
+        scu.bitmask_construct(&mut sys.mem, &support, n, CompareOp::Lt, k, &mut flags8);
+        let kept = scu
+            .data_compaction_n(&mut sys.mem, &node_ids, n, Some(&flags8), None, &mut rf, 0)
+            .elements_out as usize;
+
+        if kept == 0 {
+            k += 1;
+            continue;
+        }
+        alive -= kept;
+
+        // ---- Remove + prepare expansion (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "kcore-remove", kept, |tid, ctx| {
+            let v = ctx.load(&rf, tid) as usize;
+            ctx.store(&mut support, v, REMOVED);
+            ctx.store(&mut core, v, k - 1);
+            let lo = ctx.load(&dg.row_offsets, v);
+            let hi = ctx.load(&dg.row_offsets, v + 1);
+            ctx.alu(1);
+            ctx.store(&mut indexes, tid, lo);
+            ctx.store(&mut counts, tid, hi - lo);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- SCU: expand out-edges of the removed nodes. ----
+        let scu = sys.scu.as_mut().expect("checked above");
+        let total = scu
+            .access_expansion_compaction(
+                &mut sys.mem,
+                &dg.edges,
+                &indexes,
+                &counts,
+                kept,
+                None,
+                None,
+                &mut ef,
+            )
+            .elements_out as usize;
+
+        // ---- Decrement targets' support (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
+            let w = ctx.load(&ef, tid) as usize;
+            let sup = ctx.load(&support, w);
+            if sup != REMOVED {
+                ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
+            }
+            let _ = sup;
+        });
+        report.add_kernel(Phase::Processing, &s);
+    }
+
+    report.scu = *sys.scu.as_ref().expect("checked above").stats();
+    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    (core.into_vec(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::{gpu, reference};
+    use crate::system::SystemKind;
+    use scu_graph::Dataset;
+
+    #[test]
+    fn matches_reference_on_datasets() {
+        for d in [Dataset::Ca, Dataset::Cond, Dataset::Kron] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (core, _) = run(&mut sys, &g);
+            assert_eq!(core, reference::coreness(&g), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn uses_the_bitmask_constructor() {
+        let g = Dataset::Cond.build(1.0 / 128.0, 3);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (_, report) = run(&mut sys, &g);
+        // Bitmask + compaction + expansion ops ran every round.
+        assert!(report.scu.ops as u32 >= 2 * report.iterations);
+        assert_eq!(report.gpu_compaction.launches, 0);
+    }
+
+    #[test]
+    fn agrees_with_gpu_baseline() {
+        let g = Dataset::Kron.build(1.0 / 256.0, 7);
+        let mut a = System::baseline(SystemKind::Tx1);
+        let (base, _) = gpu::run(&mut a, &g);
+        let mut b = System::with_scu(SystemKind::Tx1);
+        let (scu, _) = run(&mut b, &g);
+        assert_eq!(base, scu);
+    }
+}

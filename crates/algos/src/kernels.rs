@@ -1,0 +1,167 @@
+//! Shared GPU kernel building blocks: the scan-based compaction
+//! machinery of the baseline implementations and Merrill's warp
+//! culling.
+
+use std::collections::HashSet;
+
+use scu_gpu::buffer::DeviceArray;
+
+use crate::report::{Phase, RunReport};
+use crate::system::System;
+
+/// Runs the baseline GPU exclusive prefix-sum over `counts[0..n]` as
+/// one kernel, charging it to the [`Phase::Compaction`] bucket of
+/// `report`, and returns the offsets array (device-resident) plus the
+/// total.
+///
+/// The data movement matches a CUB-style single-pass chained scan
+/// (decoupled look-back): each element is read once and written once;
+/// each 256-thread block additionally publishes its aggregate and
+/// reads its predecessor's.
+pub fn gpu_exclusive_scan(
+    sys: &mut System,
+    report: &mut RunReport,
+    counts: &DeviceArray<u32>,
+    n: usize,
+) -> (DeviceArray<u32>, u32) {
+    let mut offsets: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
+    let n_blocks = n.div_ceil(256).max(1);
+    let mut block_sums: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n_blocks);
+
+    let mut running_total = 0u32;
+    let mut block_start = vec![0u32; n_blocks];
+    let mut running = vec![0u32; n_blocks];
+    for (b, start) in block_start.iter_mut().enumerate() {
+        *start = running_total;
+        let lo = b * 256;
+        let hi = ((b + 1) * 256).min(n);
+        running_total += (lo..hi).map(|i| counts.get(i)).sum::<u32>();
+    }
+
+    let s = sys.gpu.run(&mut sys.mem, "scan-chained", n, |tid, ctx| {
+        let block = tid / 256;
+        let v = ctx.load(counts, tid);
+        ctx.alu(2); // shared-memory scan, amortised
+        if tid % 256 == 0 {
+            // Decoupled look-back: publish aggregate, read predecessor.
+            ctx.store(&mut block_sums, block, 0);
+            if block > 0 {
+                ctx.load(&block_sums, block - 1);
+            }
+        }
+        let off = block_start[block] + running[block];
+        running[block] += v;
+        ctx.store(&mut offsets, tid, off);
+    });
+    report.add_kernel(Phase::Compaction, &s);
+
+    (offsets, running_total)
+}
+
+/// Host-side companion of Merrill-style load-balanced expansion:
+/// maps every edge-frontier slot to its source row and CSR position.
+///
+/// The real kernels compute this on the fly with a merge-path binary
+/// search over the scanned offsets (charged as a few ALU ops plus one
+/// cached offsets load in the gather kernels); precomputing it host-
+/// side keeps the simulated access pattern identical — consecutive
+/// slots walk consecutive CSR positions within a row and jump between
+/// rows — without re-deriving the search per thread.
+pub fn edge_slot_map(
+    indexes: &DeviceArray<u32>,
+    counts: &DeviceArray<u32>,
+    n: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let total: usize = (0..n).map(|i| counts.get(i) as usize).sum();
+    let mut rows = Vec::with_capacity(total);
+    let mut pos = Vec::with_capacity(total);
+    for i in 0..n {
+        let start = indexes.get(i);
+        for j in 0..counts.get(i) {
+            rows.push(i as u32);
+            pos.push(start + j);
+        }
+    }
+    (rows, pos)
+}
+
+/// Merrill-style warp culling state: a small per-warp history hash
+/// that drops duplicate IDs appearing in the same warp's lanes.
+///
+/// The simulated engine executes threads in tid order, so a fresh set
+/// per 32-thread window reproduces the hardware behaviour
+/// deterministically.
+#[derive(Debug, Default)]
+pub struct WarpCull {
+    current_warp: usize,
+    seen: HashSet<u32>,
+}
+
+impl WarpCull {
+    /// Creates empty culling state (one per kernel launch).
+    pub fn new() -> Self {
+        WarpCull::default()
+    }
+
+    /// Returns `true` if `id` is the first occurrence within `tid`'s
+    /// warp.
+    pub fn first_in_warp(&mut self, tid: usize, id: u32) -> bool {
+        let warp = tid / 32;
+        if warp != self.current_warp {
+            self.current_warp = warp;
+            self.seen.clear();
+        }
+        self.seen.insert(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemKind;
+
+    #[test]
+    fn scan_matches_host_prefix_sum() {
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let mut report = RunReport::new("test", SystemKind::Tx1, false);
+        let counts =
+            DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 5, 2, 7, 1, 0, 4]);
+        let (offsets, total) = gpu_exclusive_scan(&mut sys, &mut report, &counts, 8);
+        assert_eq!(offsets.as_slice(), &[0, 3, 3, 8, 10, 17, 18, 18]);
+        assert_eq!(total, 22);
+    }
+
+    #[test]
+    fn scan_charges_compaction_phase() {
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let mut report = RunReport::new("test", SystemKind::Tx1, false);
+        let counts = DeviceArray::from_vec(&mut sys.alloc, vec![1u32; 1000]);
+        let _ = gpu_exclusive_scan(&mut sys, &mut report, &counts, 1000);
+        assert_eq!(report.gpu_compaction.launches, 1);
+        assert!(report.gpu_compaction.time_ns > 0.0);
+        assert_eq!(report.gpu_processing.launches, 0);
+    }
+
+    #[test]
+    fn scan_spanning_many_blocks() {
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let mut report = RunReport::new("test", SystemKind::Tx1, false);
+        let n = 1000;
+        let counts = DeviceArray::from_vec(&mut sys.alloc, vec![2u32; n]);
+        let (offsets, total) = gpu_exclusive_scan(&mut sys, &mut report, &counts, n);
+        assert_eq!(total, 2000);
+        for i in 0..n {
+            assert_eq!(offsets.get(i), 2 * i as u32);
+        }
+    }
+
+    #[test]
+    fn warp_cull_drops_in_warp_duplicates_only() {
+        let mut cull = WarpCull::new();
+        assert!(cull.first_in_warp(0, 42));
+        assert!(!cull.first_in_warp(1, 42)); // same warp duplicate
+        assert!(cull.first_in_warp(2, 43));
+        // Next warp: history resets.
+        assert!(cull.first_in_warp(32, 42));
+    }
+}

@@ -1,0 +1,25 @@
+//! PageRank (paper §2.3, §3.5, §4.6).
+//!
+//! * [`mod@reference`] — exact host power iteration.
+//! * [`gpu`] — the baseline GPU implementation after Geil et al.: per
+//!   iteration an expansion (edge/contribution frontier generation —
+//!   stream compaction), a rank-update phase issuing one `atomicAdd`
+//!   per edge, a dampening phase and a convergence check.
+//! * [`scu`] — Algorithm 3: expansion offloaded to the SCU (*Access
+//!   Expansion Compaction* for edges, *Replication Compaction* for
+//!   contributions). PR visits every node every iteration, so the
+//!   enhanced filtering/grouping features do not apply (§4.6).
+
+pub mod gpu;
+pub mod reference;
+pub mod scu;
+
+/// Damping factor used throughout (the paper's α).
+pub const DAMPING: f64 = 0.85;
+
+/// Convergence epsilon on the maximum per-node rank change.
+pub const EPSILON: f64 = 1e-4;
+
+/// Safety cap on iterations (the evaluation fixes a small number of
+/// power iterations; convergence usually needs fewer on our graphs).
+pub const MAX_ITERS: u32 = 20;

@@ -1,0 +1,198 @@
+//! Per-run measurement collection — the raw material of every figure
+//! in §6.
+
+use serde::Serialize;
+use scu_core::stats::ScuStats;
+use scu_energy::{EnergyBreakdown, EnergyModel};
+use scu_gpu::stats::KernelStats;
+
+use crate::system::SystemKind;
+
+/// How a GPU kernel launch is classified for the Figure 1 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Phase {
+    /// Graph processing proper (expansion setup, contraction marking,
+    /// rank updates, ...).
+    Processing,
+    /// Stream compaction work (scan, gather, scatter) — the work the
+    /// SCU absorbs.
+    Compaction,
+}
+
+/// Everything measured in one end-to-end algorithm run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Algorithm name ("bfs", "sssp", "pr").
+    pub algorithm: &'static str,
+    /// Platform the run executed on.
+    pub system: SystemKind,
+    /// Whether an SCU was present.
+    pub scu_present: bool,
+    /// Frontier iterations executed.
+    pub iterations: u32,
+    /// Accumulated processing-phase kernels.
+    pub gpu_processing: KernelStats,
+    /// Accumulated compaction-phase kernels (baseline GPU only).
+    pub gpu_compaction: KernelStats,
+    /// Accumulated SCU operations.
+    pub scu: ScuStats,
+    /// Full energy breakdown (set by [`RunReport::finalize`]).
+    pub energy: EnergyBreakdown,
+    /// Peak DRAM bandwidth of the platform, bytes/s (for Figure 13).
+    pub peak_bw_bytes_per_sec: f64,
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    pub fn new(algorithm: &'static str, system: SystemKind, scu_present: bool) -> Self {
+        RunReport {
+            algorithm,
+            system,
+            scu_present,
+            iterations: 0,
+            gpu_processing: KernelStats::default(),
+            gpu_compaction: KernelStats::default(),
+            scu: ScuStats::default(),
+            energy: EnergyBreakdown::default(),
+            peak_bw_bytes_per_sec: 0.0,
+        }
+    }
+
+    /// Folds one kernel launch into the report under `phase`.
+    pub fn add_kernel(&mut self, phase: Phase, stats: &KernelStats) {
+        match phase {
+            Phase::Processing => self.gpu_processing.merge(stats),
+            Phase::Compaction => self.gpu_compaction.merge(stats),
+        }
+    }
+
+    /// Total GPU time (both phases), ns.
+    pub fn gpu_time_ns(&self) -> f64 {
+        self.gpu_processing.time_ns + self.gpu_compaction.time_ns
+    }
+
+    /// End-to-end time: GPU kernels plus SCU operations, serialised as
+    /// in the paper's execution model (§3: the GPU resumes once the
+    /// SCU operation concludes), ns.
+    pub fn total_time_ns(&self) -> f64 {
+        self.gpu_time_ns() + self.scu.time_ns
+    }
+
+    /// Fraction of time in stream compaction (GPU compaction kernels +
+    /// SCU ops), in `[0, 1]` — the Figure 1 metric.
+    pub fn compaction_fraction(&self) -> f64 {
+        let t = self.total_time_ns();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.gpu_compaction.time_ns + self.scu.time_ns) / t
+        }
+    }
+
+    /// Dynamic GPU thread instructions — the §6.3 workload metric.
+    pub fn gpu_thread_insts(&self) -> u64 {
+        self.gpu_processing.thread_insts + self.gpu_compaction.thread_insts
+    }
+
+    /// Transactions per GPU memory instruction (lower = better
+    /// coalescing) over processing kernels — the Figure 12 metric.
+    pub fn gpu_coalescing(&self) -> f64 {
+        self.gpu_processing.transactions_per_mem_slot()
+    }
+
+    /// Total DRAM bytes moved by GPU and SCU.
+    pub fn dram_bytes(&self) -> u64 {
+        self.gpu_processing.mem.dram.bytes
+            + self.gpu_compaction.mem.dram.bytes
+            + self.scu.mem.dram.bytes
+    }
+
+    /// Achieved fraction of peak DRAM bandwidth, in `[0, 1]` — the
+    /// Figure 13 metric.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        let t = self.total_time_ns();
+        if t == 0.0 || self.peak_bw_bytes_per_sec == 0.0 {
+            return 0.0;
+        }
+        let achieved = self.dram_bytes() as f64 / (t * 1e-9);
+        achieved / self.peak_bw_bytes_per_sec
+    }
+
+    /// Computes the energy breakdown from the accumulated statistics.
+    pub fn finalize(&mut self, energy: &EnergyModel, peak_bw_bytes_per_sec: f64) {
+        self.peak_bw_bytes_per_sec = peak_bw_bytes_per_sec;
+        let mut gpu_total = self.gpu_processing;
+        gpu_total.merge(&self.gpu_compaction);
+        self.energy = energy.breakdown(&gpu_total, &self.scu, self.total_time_ns());
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.total_time_ns() / self.total_time_ns()
+    }
+
+    /// Energy-reduction factor relative to `baseline` (>1 means less
+    /// energy).
+    pub fn energy_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.energy.total_pj() / self.energy.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(time_ns: f64, insts: u64) -> KernelStats {
+        KernelStats { time_ns, thread_insts: insts, launches: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn phases_accumulate_separately() {
+        let mut r = RunReport::new("bfs", SystemKind::Tx1, false);
+        r.add_kernel(Phase::Processing, &kernel(10.0, 100));
+        r.add_kernel(Phase::Compaction, &kernel(30.0, 50));
+        assert_eq!(r.gpu_time_ns(), 40.0);
+        assert!((r.compaction_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(r.gpu_thread_insts(), 150);
+    }
+
+    #[test]
+    fn scu_time_counts_into_total_and_compaction() {
+        let mut r = RunReport::new("bfs", SystemKind::Tx1, true);
+        r.add_kernel(Phase::Processing, &kernel(60.0, 100));
+        r.scu.time_ns = 40.0;
+        assert_eq!(r.total_time_ns(), 100.0);
+        assert!((r.compaction_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_energy_reduction() {
+        let mut base = RunReport::new("bfs", SystemKind::Tx1, false);
+        base.add_kernel(Phase::Processing, &kernel(100.0, 0));
+        base.energy.gpu_dynamic_pj = 200.0;
+        let mut fast = RunReport::new("bfs", SystemKind::Tx1, true);
+        fast.add_kernel(Phase::Processing, &kernel(50.0, 0));
+        fast.energy.gpu_dynamic_pj = 50.0;
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.energy_reduction_vs(&base) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_utilization_bounds() {
+        let mut r = RunReport::new("pr", SystemKind::Tx1, false);
+        assert_eq!(r.bandwidth_utilization(), 0.0);
+        r.add_kernel(Phase::Processing, &kernel(1000.0, 0));
+        r.gpu_processing.mem.dram.bytes = 12_800;
+        r.peak_bw_bytes_per_sec = 25.6e9;
+        // 12.8 KB in 1 us = 12.8 GB/s = 50% of 25.6 GB/s.
+        assert!((r.bandwidth_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::new("sssp", SystemKind::Gtx980, false);
+        assert_eq!(r.total_time_ns(), 0.0);
+        assert_eq!(r.compaction_fraction(), 0.0);
+        assert_eq!(r.gpu_coalescing(), 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! One-call entry points used by the benches and examples.
+
+use serde::Serialize;
+use scu_core::{ScuConfig, ScuDevice};
+use scu_graph::Csr;
+
+use crate::report::RunReport;
+use crate::system::{System, SystemKind};
+use crate::{bfs, cc, kcore, pagerank, sssp};
+
+/// Which graph primitive to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Algorithm {
+    /// Breadth-First Search from node 0.
+    Bfs,
+    /// Single-Source Shortest Paths from node 0.
+    Sssp,
+    /// PageRank (up to [`pagerank::MAX_ITERS`] iterations).
+    PageRank,
+    /// Connected components by min-label propagation — an extension
+    /// beyond the paper's three primitives (not part of
+    /// [`Algorithm::ALL`], which mirrors the paper's evaluation).
+    Cc,
+    /// k-core decomposition by iterative peeling — an extension
+    /// exercising the Bitmask Constructor operation (not part of
+    /// [`Algorithm::ALL`]).
+    KCore,
+}
+
+impl Algorithm {
+    /// All three primitives in the paper's order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank];
+
+    /// The paper's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "BFS",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::PageRank => "PR",
+            Algorithm::Cc => "CC",
+            Algorithm::KCore => "KCORE",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which machine variant executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Mode {
+    /// GPU only — the paper's baseline.
+    GpuBaseline,
+    /// GPU + basic SCU (Algorithms 1–3).
+    ScuBasic,
+    /// GPU + SCU with filtering only (Figure 12's baseline; equals
+    /// `ScuBasic` for PR, which uses no enhanced features).
+    ScuFilteringOnly,
+    /// GPU + enhanced SCU (Algorithms 4–5; equals `ScuBasic` for PR).
+    ScuEnhanced,
+}
+
+impl Mode {
+    /// Whether this mode needs an SCU in the system.
+    pub fn uses_scu(self) -> bool {
+        self != Mode::GpuBaseline
+    }
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::GpuBaseline => "gpu",
+            Mode::ScuBasic => "scu-basic",
+            Mode::ScuFilteringOnly => "scu-filtering",
+            Mode::ScuEnhanced => "scu-enhanced",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one run: the algorithm's answer (as `u64` hop/cost
+/// values or scaled ranks, uniformly comparable across modes) plus the
+/// measurement report.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Algorithm results normalised for cross-mode comparison: BFS and
+    /// SSSP distances verbatim; PR ranks quantised to 1e-9.
+    pub values: Vec<u64>,
+    /// The measurement report.
+    pub report: RunReport,
+}
+
+/// Runs `algorithm` over `g` on a fresh system of `kind` in `mode`.
+///
+/// BFS and SSSP start from node 0; PageRank runs up to
+/// [`pagerank::MAX_ITERS`] iterations. The returned
+/// [`RunOutput::values`] are identical across modes for the same
+/// algorithm and graph — the machines differ, the answers must not.
+pub fn run(algorithm: Algorithm, g: &Csr, kind: SystemKind, mode: Mode) -> RunOutput {
+    run_with(algorithm, g, kind, mode, pagerank::MAX_ITERS)
+}
+
+/// [`run`] with an explicit PageRank iteration cap (ignored by BFS
+/// and SSSP). Experiments use a smaller cap to bound simulation time;
+/// normalised metrics are insensitive to it.
+pub fn run_with(
+    algorithm: Algorithm,
+    g: &Csr,
+    kind: SystemKind,
+    mode: Mode,
+    pr_iters: u32,
+) -> RunOutput {
+    run_configured(algorithm, g, kind, mode, pr_iters, None)
+}
+
+/// [`run_with`] with an optional custom [`ScuConfig`] (hash-size or
+/// pipeline-width overrides for ablations and scaled experiments).
+pub fn run_configured(
+    algorithm: Algorithm,
+    g: &Csr,
+    kind: SystemKind,
+    mode: Mode,
+    pr_iters: u32,
+    scu_config: Option<&ScuConfig>,
+) -> RunOutput {
+    let mut sys = if mode.uses_scu() {
+        let mut s = System::with_scu(kind);
+        if let Some(cfg) = scu_config {
+            s.scu = Some(ScuDevice::new(cfg.clone()));
+        }
+        s
+    } else {
+        System::baseline(kind)
+    };
+    let (values, report) = match (algorithm, mode) {
+        (Algorithm::Bfs, Mode::GpuBaseline) => {
+            let (d, r) = bfs::gpu::run(&mut sys, g, 0);
+            (widen(&d), r)
+        }
+        (Algorithm::Bfs, Mode::ScuBasic) => {
+            let (d, r) = bfs::scu::run(&mut sys, g, 0, false);
+            (widen(&d), r)
+        }
+        (Algorithm::Bfs, Mode::ScuFilteringOnly) | (Algorithm::Bfs, Mode::ScuEnhanced) => {
+            let (d, r) = bfs::scu::run(&mut sys, g, 0, true);
+            (widen(&d), r)
+        }
+        (Algorithm::Sssp, Mode::GpuBaseline) => {
+            let (d, r) = sssp::gpu::run(&mut sys, g, 0);
+            (widen(&d), r)
+        }
+        (Algorithm::Sssp, Mode::ScuBasic) => {
+            let (d, r) = sssp::scu::run(&mut sys, g, 0, sssp::ScuVariant::basic());
+            (widen(&d), r)
+        }
+        (Algorithm::Sssp, Mode::ScuFilteringOnly) => {
+            let (d, r) = sssp::scu::run(&mut sys, g, 0, sssp::ScuVariant::filtering_only());
+            (widen(&d), r)
+        }
+        (Algorithm::Sssp, Mode::ScuEnhanced) => {
+            let (d, r) = sssp::scu::run(&mut sys, g, 0, sssp::ScuVariant::enhanced());
+            (widen(&d), r)
+        }
+        (Algorithm::Cc, Mode::GpuBaseline) => {
+            let (d, r) = cc::gpu::run(&mut sys, g);
+            (widen(&d), r)
+        }
+        (Algorithm::Cc, Mode::ScuBasic) => {
+            let (d, r) = cc::scu::run(&mut sys, g, false);
+            (widen(&d), r)
+        }
+        (Algorithm::Cc, Mode::ScuFilteringOnly) | (Algorithm::Cc, Mode::ScuEnhanced) => {
+            let (d, r) = cc::scu::run(&mut sys, g, true);
+            (widen(&d), r)
+        }
+        (Algorithm::KCore, Mode::GpuBaseline) => {
+            let (d, r) = kcore::gpu::run(&mut sys, g);
+            (widen(&d), r)
+        }
+        (Algorithm::KCore, _) => {
+            let (d, r) = kcore::scu::run(&mut sys, g);
+            (widen(&d), r)
+        }
+        (Algorithm::PageRank, Mode::GpuBaseline) => {
+            let (d, r) = pagerank::gpu::run(&mut sys, g, pr_iters);
+            (quantise(&d), r)
+        }
+        (Algorithm::PageRank, _) => {
+            let (d, r) = pagerank::scu::run(&mut sys, g, pr_iters);
+            (quantise(&d), r)
+        }
+    };
+    RunOutput { values, report }
+}
+
+fn widen(d: &[u32]) -> Vec<u64> {
+    d.iter().map(|&x| x as u64).collect()
+}
+
+fn quantise(r: &[f64]) -> Vec<u64> {
+    r.iter().map(|&x| (x * 1e9).round() as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_graph::Dataset;
+
+    #[test]
+    fn all_modes_agree_on_answers() {
+        let g = Dataset::Cond.build(1.0 / 256.0, 11);
+        for algo in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank, Algorithm::Cc, Algorithm::KCore] {
+            let base = run(algo, &g, SystemKind::Tx1, Mode::GpuBaseline);
+            for mode in [Mode::ScuBasic, Mode::ScuEnhanced] {
+                let out = run(algo, &g, SystemKind::Tx1, mode);
+                assert_eq!(out.values, base.values, "{algo} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_metadata() {
+        assert!(!Mode::GpuBaseline.uses_scu());
+        assert!(Mode::ScuEnhanced.uses_scu());
+        assert_eq!(Algorithm::PageRank.name(), "PR");
+        assert_eq!(Mode::ScuBasic.to_string(), "scu-basic");
+        assert_eq!(Algorithm::Sssp.to_string(), "SSSP");
+    }
+
+    #[test]
+    fn gtx980_also_runs() {
+        let g = Dataset::Cond.build(1.0 / 256.0, 11);
+        let base = run(Algorithm::Bfs, &g, SystemKind::Gtx980, Mode::GpuBaseline);
+        let enh = run(Algorithm::Bfs, &g, SystemKind::Gtx980, Mode::ScuEnhanced);
+        assert_eq!(base.values, enh.values);
+        assert!(base.report.total_time_ns() > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Baseline GPU SSSP (Davidson et al.'s near-far method, §2.2).
+//!
+//! Each iteration expands the node frontier into edge and weight
+//! frontiers, then contracts: candidate costs below the threshold
+//! ("near") update `dist` via `atomicMin` and — deduplicated through
+//! the lookup table — form the next node frontier; costs above it are
+//! appended to the far pile. When the frontier empties, the threshold
+//! is raised and the far pile is drained (revalidated, deduplicated,
+//! recompacted). All scan/gather/scatter work is tagged as stream
+//! compaction (Figure 1).
+
+use scu_graph::Csr;
+use scu_gpu::buffer::DeviceArray;
+
+use crate::device_graph::DeviceGraph;
+use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
+use crate::report::{Phase, RunReport};
+use crate::system::System;
+
+use super::{DELTA, UNREACHED};
+
+/// Runs baseline GPU SSSP from `src`; returns exact costs and the
+/// measured report.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range, or internal worklists overflow
+/// (pathological input).
+pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
+    assert!((src as usize) < g.num_nodes(), "source {src} out of range");
+    let mut report = RunReport::new("sssp", sys.kind, false);
+    let dg = DeviceGraph::upload(&mut sys.alloc, g);
+    let n = g.num_nodes();
+    let m = g.num_edges().max(1);
+
+    let ef_cap = 4 * m + 64;
+    let far_cap = 8 * m + 64;
+    let mut dist: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+    let mut nf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut indexes: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut base: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut ew: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut basef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut costf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut near_flags: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap.max(far_cap));
+    let mut far_flags: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap.max(far_cap));
+    let mut far_e: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_w: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_e2: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_w2: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+
+    let s = sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
+        ctx.store(&mut dist, tid, UNREACHED);
+    });
+    report.add_kernel(Phase::Processing, &s);
+    let s = sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
+        ctx.store(&mut dist, src as usize, 0);
+        ctx.store(&mut nf, 0, src);
+    });
+    report.add_kernel(Phase::Processing, &s);
+
+    let mut frontier_len = 1usize;
+    let mut far_len = 0usize;
+    let mut threshold = DELTA;
+    let mut rounds = 0u64;
+
+    loop {
+        rounds += 1;
+        assert!(rounds < 64 * n as u64 + 1024, "SSSP failed to terminate");
+
+        if frontier_len == 0 {
+            if far_len == 0 {
+                break;
+            }
+            // ---- Far-pile drain. ----
+            threshold += DELTA;
+            report.iterations += 1;
+
+            // Revalidate & mark (processing); near candidates write
+            // the lookup table and apply atomicMin.
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
+                let e = ctx.load(&far_e, tid) as usize;
+                let w = ctx.load(&far_w, tid);
+                let d = ctx.load(&dist, e);
+                ctx.alu(3);
+                let valid = w < d;
+                let near = valid && w <= threshold;
+                let keep_far = valid && w > threshold;
+                if near {
+                    ctx.store(&mut lut, e, tid as u32);
+                    ctx.atomic_min_u32(&mut dist, e, w);
+                }
+                ctx.store(&mut near_flags, tid, near as u32);
+                ctx.store(&mut far_flags, tid, keep_far as u32);
+            });
+            report.add_kernel(Phase::Processing, &s);
+
+            // Owner resolution (processing).
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                if ctx.load(&near_flags, tid) != 0 {
+                    let e = ctx.load(&far_e, tid) as usize;
+                    let owner = ctx.load(&lut, e) == tid as u32;
+                    ctx.store(&mut near_flags, tid, owner as u32);
+                }
+            });
+            report.add_kernel(Phase::Processing, &s);
+
+            // Compact near -> node frontier (compaction).
+            let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, far_len);
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-scatter-near", far_len, |tid, ctx| {
+                if ctx.load(&near_flags, tid) != 0 {
+                    let e = ctx.load(&far_e, tid);
+                    let off = ctx.load(&noff, tid) as usize;
+                    ctx.store(&mut nf, off, e);
+                }
+            });
+            report.add_kernel(Phase::Compaction, &s);
+
+            // Recompact surviving far entries (compaction).
+            let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, far_len);
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-scatter-far", far_len, |tid, ctx| {
+                if ctx.load(&far_flags, tid) != 0 {
+                    let e = ctx.load(&far_e, tid);
+                    let w = ctx.load(&far_w, tid);
+                    let off = ctx.load(&foff, tid) as usize;
+                    ctx.store(&mut far_e2, off, e);
+                    ctx.store(&mut far_w2, off, w);
+                }
+            });
+            report.add_kernel(Phase::Compaction, &s);
+
+            std::mem::swap(&mut far_e, &mut far_e2);
+            std::mem::swap(&mut far_w, &mut far_w2);
+            frontier_len = nkept as usize;
+            far_len = fkept as usize;
+            continue;
+        }
+
+        report.iterations += 1;
+
+        // ---- Expansion setup (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-setup", frontier_len, |tid, ctx| {
+            let v = ctx.load(&nf, tid) as usize;
+            let lo = ctx.load(&dg.row_offsets, v);
+            let hi = ctx.load(&dg.row_offsets, v + 1);
+            let d = ctx.load(&dist, v);
+            ctx.alu(1);
+            ctx.store(&mut indexes, tid, lo);
+            ctx.store(&mut counts, tid, hi - lo);
+            ctx.store(&mut base, tid, d);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Expansion scan + gather (compaction). ----
+        let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, frontier_len);
+        let total = total as usize;
+        assert!(total <= ef_cap, "edge frontier overflow: {total} > {ef_cap}");
+        // Load-balanced gather: one thread per edge-frontier slot.
+        let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
+        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-gather", total, |e, ctx| {
+            ctx.alu(3); // merge-path binary search (amortised)
+            let row = rows[e] as usize;
+            ctx.load(&offsets, row);
+            let b = ctx.load(&base, row);
+            let p = pos[e] as usize;
+            let v = ctx.load(&dg.edges, p);
+            let w = ctx.load(&dg.weights, p);
+            ctx.store(&mut ef, e, v);
+            ctx.store(&mut ew, e, w);
+            ctx.store(&mut basef, e, b);
+        });
+        report.add_kernel(Phase::Compaction, &s);
+
+        if total == 0 {
+            frontier_len = 0;
+            continue;
+        }
+
+        // ---- Contraction: resolve (processing). Near candidates
+        // write their thread ID to the lookup table and apply
+        // atomicMin; a second pass picks one owner per node for the
+        // frontier (Davidson's dedup scheme, §2.2.2). ----
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
+            let e = ctx.load(&ef, tid) as usize;
+            let w = ctx.load(&ew, tid);
+            let b = ctx.load(&basef, tid);
+            ctx.alu(2);
+            let cost = b.saturating_add(w);
+            let d = ctx.load(&dist, e);
+            let valid = cost < d;
+            let near = valid && cost <= threshold;
+            let far = valid && cost > threshold;
+            if near {
+                ctx.store(&mut lut, e, tid as u32);
+                ctx.atomic_min_u32(&mut dist, e, cost);
+            }
+            ctx.store(&mut near_flags, tid, near as u32);
+            ctx.store(&mut far_flags, tid, far as u32);
+            ctx.store(&mut costf, tid, cost);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Contraction: owner resolution (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+            if ctx.load(&near_flags, tid) != 0 {
+                let e = ctx.load(&ef, tid) as usize;
+                let owner = ctx.load(&lut, e) == tid as u32;
+                ctx.store(&mut near_flags, tid, owner as u32);
+            }
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Contraction: compact near -> node frontier. ----
+        let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, total);
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-scatter-near", total, |tid, ctx| {
+            if ctx.load(&near_flags, tid) != 0 {
+                let e = ctx.load(&ef, tid);
+                let off = ctx.load(&noff, tid) as usize;
+                ctx.store(&mut nf, off, e);
+            }
+        });
+        report.add_kernel(Phase::Compaction, &s);
+
+        // ---- Contraction: append far entries. ----
+        let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, total);
+        assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-scatter-far", total, |tid, ctx| {
+            if ctx.load(&far_flags, tid) != 0 {
+                let e = ctx.load(&ef, tid);
+                let c = ctx.load(&costf, tid);
+                let off = far_len + ctx.load(&foff, tid) as usize;
+                ctx.store(&mut far_e, off, e);
+                ctx.store(&mut far_w, off, c);
+            }
+        });
+        report.add_kernel(Phase::Compaction, &s);
+
+        frontier_len = nkept as usize;
+        far_len += fkept as usize;
+    }
+
+    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    (dist.into_vec(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::reference;
+    use crate::system::SystemKind;
+    use scu_graph::Dataset;
+
+    #[test]
+    fn matches_dijkstra_on_figure2() {
+        let g = scu_graph::Csr::new(
+            vec![0, 3, 5, 6, 8, 8, 8, 8],
+            vec![1, 2, 3, 4, 5, 5, 2, 6],
+            vec![2, 3, 1, 1, 1, 2, 1, 2],
+        )
+        .unwrap();
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let (dist, _) = run(&mut sys, &g, 0);
+        assert_eq!(dist, reference::distances(&g, 0));
+    }
+
+    #[test]
+    fn matches_dijkstra_on_datasets() {
+        for d in [Dataset::Cond, Dataset::Kron, Dataset::Ca] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::baseline(SystemKind::Tx1);
+            let (dist, _) = run(&mut sys, &g, 0);
+            assert_eq!(dist, reference::distances(&g, 0), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn uses_far_pile() {
+        // Weights up to 10 with DELTA=10 guarantee some multi-drain
+        // behaviour on a long weighted path.
+        let g = Dataset::Ca.build(1.0 / 256.0, 4);
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let (_, report) = run(&mut sys, &g, 0);
+        assert!(report.iterations > 3);
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let g = Dataset::Cond.build(1.0 / 256.0, 3);
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let (_, report) = run(&mut sys, &g, 0);
+        assert!(report.total_time_ns() > 0.0);
+        assert!(report.gpu_compaction.time_ns > 0.0);
+        assert!(report.gpu_processing.atomics > 0);
+    }
+}

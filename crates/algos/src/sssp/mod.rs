@@ -1,0 +1,50 @@
+//! Single-Source Shortest Paths (paper §2.2, §3.4, §4.5).
+//!
+//! * [`mod@reference`] — Dijkstra, the exact answer.
+//! * [`gpu`] — the baseline GPU implementation after Davidson et al.:
+//!   near-far worklists with a dynamically raised threshold, a lookup
+//!   table for frontier deduplication, `atomicMin` cost updates, and
+//!   scan/scatter compaction kernels.
+//! * [`scu`] — Algorithm 2 (basic SCU offload) and Algorithm 5
+//!   (enhanced: unique-best-cost filtering and destination-line
+//!   grouping).
+
+pub mod gpu;
+pub mod reference;
+pub mod scu;
+
+/// Distance marker for unreached nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Threshold increment between far-pile drains (the paper adjusts it
+/// dynamically; a fixed step near the maximum edge weight behaves the
+/// same for the 1..=10 weights our generators produce).
+pub const DELTA: u32 = 10;
+
+/// Which enhanced-SCU features an SSSP run enables (§4.5). Figure 12
+/// measures grouping against a filtering-only baseline, so the two
+/// knobs are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScuVariant {
+    /// Unique-best-cost filtering (expansion + far append).
+    pub filtering: bool,
+    /// Destination-line grouping (near contraction + far drain).
+    pub grouping: bool,
+}
+
+impl ScuVariant {
+    /// The basic SCU of Algorithm 2: compaction offload only.
+    pub fn basic() -> Self {
+        ScuVariant { filtering: false, grouping: false }
+    }
+
+    /// Filtering without grouping (Figure 12's baseline).
+    pub fn filtering_only() -> Self {
+        ScuVariant { filtering: true, grouping: false }
+    }
+
+    /// The full enhanced SCU of Algorithm 5.
+    pub fn enhanced() -> Self {
+        ScuVariant { filtering: true, grouping: true }
+    }
+}

@@ -1,0 +1,392 @@
+//! SSSP with compaction offloaded to the SCU (Algorithms 2 and 5).
+//!
+//! Basic SCU (Algorithm 2): the edge, weight and replicated-base
+//! frontiers come from *Access Expansion Compaction* and *Replication
+//! Compaction*; near/far compaction and the far-pile maintenance use
+//! *Data Compaction* with GPU-computed bitmasks.
+//!
+//! Enhanced SCU (Algorithm 5): a unique-best-cost filter pass over the
+//! expansion stream (the filter unit's adder forms `base + weight`)
+//! drops stale and duplicated relaxations before they reach the GPU;
+//! the near contraction adds destination-line *grouping* (the GPU
+//! filtering there is already complete, §4.5.2); the far drain gets
+//! both filtering and grouping.
+
+use scu_core::group::GroupHash;
+use scu_core::hash::{FilterHash, FilterMode};
+use scu_graph::Csr;
+use scu_gpu::buffer::DeviceArray;
+
+use crate::device_graph::DeviceGraph;
+use crate::report::{Phase, RunReport};
+use crate::system::System;
+
+use super::{ScuVariant, DELTA, UNREACHED};
+
+/// Runs SCU-offloaded SSSP from `src` with the given enhanced-feature
+/// [`ScuVariant`]. Returns exact costs and the measured report.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or `sys` has no SCU.
+pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32>, RunReport) {
+    assert!((src as usize) < g.num_nodes(), "source {src} out of range");
+    assert!(sys.scu.is_some(), "SCU SSSP requires a System::with_scu platform");
+    let mut report = RunReport::new("sssp", sys.kind, true);
+    let dg = DeviceGraph::upload(&mut sys.alloc, g);
+    let n = g.num_nodes();
+    let m = g.num_edges().max(1);
+
+    let ef_cap = 4 * m + 64;
+    let far_cap = 8 * m + 64;
+    let mut dist: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+    let mut nf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut indexes: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut base: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut ew: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut basef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut costf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut near8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, ef_cap.max(far_cap));
+    let mut far8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, ef_cap.max(far_cap));
+    let mut elem_flags: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
+    let mut filt8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap.max(far_cap));
+    let mut far_e: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_w: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_e2: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut far_w2: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
+    let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
+
+    let scu_cfg = sys.scu.as_ref().expect("checked above").config().clone();
+    let mut cost_hash = FilterHash::new(&mut sys.alloc, scu_cfg.filter_sssp_hash);
+    let mut far_hash = FilterHash::new(&mut sys.alloc, scu_cfg.filter_sssp_hash);
+    let mut group_hash = GroupHash::new(&mut sys.alloc, scu_cfg.grouping_hash);
+
+    let s = sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
+        ctx.store(&mut dist, tid, UNREACHED);
+    });
+    report.add_kernel(Phase::Processing, &s);
+    let s = sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
+        ctx.store(&mut dist, src as usize, 0);
+        ctx.store(&mut nf, 0, src);
+    });
+    report.add_kernel(Phase::Processing, &s);
+
+    let mut frontier_len = 1usize;
+    let mut far_len = 0usize;
+    let mut threshold = DELTA;
+    let mut rounds = 0u64;
+
+    loop {
+        rounds += 1;
+        assert!(rounds < 64 * n as u64 + 1024, "SSSP failed to terminate");
+
+        if frontier_len == 0 {
+            if far_len == 0 {
+                break;
+            }
+            // ---- Far-pile drain. ----
+            threshold += DELTA;
+            report.iterations += 1;
+
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
+                let e = ctx.load(&far_e, tid) as usize;
+                let w = ctx.load(&far_w, tid);
+                let d = ctx.load(&dist, e);
+                ctx.alu(3);
+                let valid = w < d;
+                let near = valid && w <= threshold;
+                let keep_far = valid && w > threshold;
+                if near {
+                    ctx.store(&mut lut, e, tid as u32);
+                    ctx.atomic_min_u32(&mut dist, e, w);
+                }
+                ctx.store(&mut near8, tid, near as u8);
+                ctx.store(&mut far8, tid, keep_far as u8);
+            });
+            report.add_kernel(Phase::Processing, &s);
+
+            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                if ctx.load(&near8, tid) != 0 {
+                    let e = ctx.load(&far_e, tid) as usize;
+                    let owner = ctx.load(&lut, e) == tid as u32;
+                    ctx.store(&mut near8, tid, owner as u8);
+                }
+            });
+            report.add_kernel(Phase::Processing, &s);
+
+            let scu = sys.scu.as_mut().expect("checked above");
+            let nkept = if variant.grouping {
+                // Far elements were filtered at append time; at drain
+                // only grouping applies (§4.5.2's second contraction;
+                // see DESIGN.md for why the filter runs at append).
+                scu.group_pass_data(
+                    &mut sys.mem,
+                    &far_e,
+                    far_len,
+                    Some(&near8),
+                    &dist,
+                    &mut group_hash,
+                    &mut order,
+                );
+                scu.data_compaction_n(
+                    &mut sys.mem,
+                    &far_e,
+                    far_len,
+                    Some(&near8),
+                    Some(&order),
+                    &mut nf,
+                    0,
+                )
+                .elements_out
+            } else {
+                scu.data_compaction_n(&mut sys.mem, &far_e, far_len, Some(&near8), None, &mut nf, 0)
+                    .elements_out
+            };
+            let fkept = scu
+                .data_compaction_n(&mut sys.mem, &far_e, far_len, Some(&far8), None, &mut far_e2, 0)
+                .elements_out;
+            scu.data_compaction_n(&mut sys.mem, &far_w, far_len, Some(&far8), None, &mut far_w2, 0);
+
+            std::mem::swap(&mut far_e, &mut far_e2);
+            std::mem::swap(&mut far_w, &mut far_w2);
+            frontier_len = nkept as usize;
+            far_len = fkept as usize;
+            continue;
+        }
+
+        report.iterations += 1;
+
+        // ---- Expansion setup (processing). ----
+        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-setup", frontier_len, |tid, ctx| {
+            let v = ctx.load(&nf, tid) as usize;
+            let lo = ctx.load(&dg.row_offsets, v);
+            let hi = ctx.load(&dg.row_offsets, v + 1);
+            let d = ctx.load(&dist, v);
+            ctx.alu(1);
+            ctx.store(&mut indexes, tid, lo);
+            ctx.store(&mut counts, tid, hi - lo);
+            ctx.store(&mut base, tid, d);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Expansion on the SCU. ----
+        let expansion_size: usize =
+            (0..frontier_len).map(|i| counts.get(i) as usize).sum();
+        assert!(expansion_size <= ef_cap, "edge frontier overflow");
+        let scu = sys.scu.as_mut().expect("checked above");
+        let eflags = if variant.filtering {
+            scu.filter_pass_expansion(
+                &mut sys.mem,
+                &dg.edges,
+                Some(&dg.weights),
+                &indexes,
+                &counts,
+                frontier_len,
+                Some(&base),
+                FilterMode::UniqueBestCost,
+                &mut cost_hash,
+                &mut elem_flags,
+            );
+            Some(&elem_flags)
+        } else {
+            None
+        };
+        let total = scu
+            .access_expansion_compaction(
+                &mut sys.mem,
+                &dg.edges,
+                &indexes,
+                &counts,
+                frontier_len,
+                eflags,
+                None,
+                &mut ef,
+            )
+            .elements_out as usize;
+        scu.access_expansion_compaction(
+            &mut sys.mem,
+            &dg.weights,
+            &indexes,
+            &counts,
+            frontier_len,
+            eflags,
+            None,
+            &mut ew,
+        );
+        scu.replication_compaction(
+            &mut sys.mem,
+            &base,
+            &counts,
+            frontier_len,
+            None,
+            eflags,
+            &mut basef,
+        );
+
+        if total == 0 {
+            frontier_len = 0;
+            continue;
+        }
+
+        // ---- Contraction marking on the GPU. Near candidates write
+        // the lookup table and apply atomicMin; a second pass picks
+        // one owner per node (Davidson's dedup scheme, §2.2.2). ----
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
+            let e = ctx.load(&ef, tid) as usize;
+            let w = ctx.load(&ew, tid);
+            let b = ctx.load(&basef, tid);
+            ctx.alu(2);
+            let cost = b.saturating_add(w);
+            let d = ctx.load(&dist, e);
+            let valid = cost < d;
+            let near = valid && cost <= threshold;
+            let far = valid && cost > threshold;
+            if near {
+                ctx.store(&mut lut, e, tid as u32);
+                ctx.atomic_min_u32(&mut dist, e, cost);
+            }
+            ctx.store(&mut near8, tid, near as u8);
+            ctx.store(&mut far8, tid, far as u8);
+            ctx.store(&mut costf, tid, cost);
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+            if ctx.load(&near8, tid) != 0 {
+                let e = ctx.load(&ef, tid) as usize;
+                let owner = ctx.load(&lut, e) == tid as u32;
+                ctx.store(&mut near8, tid, owner as u8);
+            }
+        });
+        report.add_kernel(Phase::Processing, &s);
+
+        // ---- Contraction compaction on the SCU. ----
+        let scu = sys.scu.as_mut().expect("checked above");
+        let nkept = if variant.grouping {
+            // Near: GPU filtering is complete; only grouping applies.
+            scu.group_pass_data(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(&near8),
+                &dist,
+                &mut group_hash,
+                &mut order,
+            );
+            scu.data_compaction_n(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(&near8),
+                Some(&order),
+                &mut nf,
+                0,
+            )
+            .elements_out
+        } else {
+            scu.data_compaction_n(&mut sys.mem, &ef, total, Some(&near8), None, &mut nf, 0)
+                .elements_out
+        };
+        let far_append_flags = if variant.filtering {
+            // Unique-best-cost filtering of the far pile at append
+            // time: duplicates and never-useful relaxations never
+            // enter the pile.
+            scu.filter_pass_data(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(&far8),
+                FilterMode::UniqueBestCost,
+                Some(&costf),
+                &mut far_hash,
+                &mut filt8,
+            );
+            &filt8
+        } else {
+            &far8
+        };
+        let fkept = scu
+            .data_compaction_n(&mut sys.mem, &ef, total, Some(far_append_flags), None, &mut far_e, far_len)
+            .elements_out;
+        scu.data_compaction_n(&mut sys.mem, &costf, total, Some(far_append_flags), None, &mut far_w, far_len);
+        assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
+
+        frontier_len = nkept as usize;
+        far_len += fkept as usize;
+    }
+
+    report.scu = *sys.scu.as_ref().expect("checked above").stats();
+    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    (dist.into_vec(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::{gpu, reference};
+    use crate::system::SystemKind;
+    use scu_graph::Dataset;
+
+    #[test]
+    fn basic_matches_dijkstra() {
+        for d in [Dataset::Cond, Dataset::Kron] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (dist, _) = run(&mut sys, &g, 0, ScuVariant::basic());
+            assert_eq!(dist, reference::distances(&g, 0), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn enhanced_matches_dijkstra() {
+        for d in [Dataset::Cond, Dataset::Kron, Dataset::Ca] {
+            let g = d.build(1.0 / 256.0, 3);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (dist, _) = run(&mut sys, &g, 0, ScuVariant::enhanced());
+            assert_eq!(dist, reference::distances(&g, 0), "dataset {d}");
+        }
+    }
+
+    #[test]
+    fn enhanced_reduces_gpu_workload() {
+        let g = Dataset::Kron.build(1.0 / 64.0, 5);
+        let mut base_sys = System::baseline(SystemKind::Tx1);
+        let (_, base) = gpu::run(&mut base_sys, &g, 0);
+        let mut scu_sys = System::with_scu(SystemKind::Tx1);
+        let (_, enh) = run(&mut scu_sys, &g, 0, ScuVariant::enhanced());
+        let ratio = enh.gpu_thread_insts() as f64 / base.gpu_thread_insts() as f64;
+        assert!(ratio < 0.7, "GPU workload ratio {ratio}");
+        assert!(enh.scu.filter.dropped > 0);
+        assert!(enh.scu.group.elements > 0);
+    }
+
+    #[test]
+    fn grouping_improves_gpu_coalescing() {
+        // Figure 12's comparison: grouping against a filtering-only
+        // SCU (filtering alone removes well-coalesced duplicates, so
+        // the raw divergence of the surviving accesses rises; grouping
+        // must claw coalescing back).
+        let g = Dataset::Kron.build(1.0 / 64.0, 5);
+        let mut fo_sys = System::with_scu(SystemKind::Tx1);
+        let (_, fo) = run(&mut fo_sys, &g, 0, ScuVariant::filtering_only());
+        let mut enh_sys = System::with_scu(SystemKind::Tx1);
+        let (_, enh) = run(&mut enh_sys, &g, 0, ScuVariant::enhanced());
+        assert!(
+            enh.gpu_coalescing() < fo.gpu_coalescing(),
+            "enhanced {} vs filtering-only {}",
+            enh.gpu_coalescing(),
+            fo.gpu_coalescing()
+        );
+    }
+
+    #[test]
+    fn filtering_only_matches_dijkstra() {
+        let g = Dataset::Cond.build(1.0 / 256.0, 9);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (dist, _) = run(&mut sys, &g, 0, ScuVariant::filtering_only());
+        assert_eq!(dist, reference::distances(&g, 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! The simulated platform: GPU engine + optional SCU + shared memory.
+
+use serde::Serialize;
+use scu_core::{ScuConfig, ScuDevice};
+use scu_energy::EnergyModel;
+use scu_gpu::{GpuConfig, GpuEngine};
+use scu_mem::buffer::DeviceAllocator;
+use scu_mem::system::MemorySystem;
+
+/// Which of the paper's two platforms to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SystemKind {
+    /// High-performance NVIDIA GTX 980 (Table 3).
+    Gtx980,
+    /// Low-power NVIDIA Tegra X1 (Table 4).
+    Tx1,
+}
+
+impl SystemKind {
+    /// Both platforms, in the paper's order.
+    pub const ALL: [SystemKind; 2] = [SystemKind::Gtx980, SystemKind::Tx1];
+
+    /// The paper's name for the platform.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Gtx980 => "GTX980",
+            SystemKind::Tx1 => "TX1",
+        }
+    }
+
+    /// GPU configuration for this platform.
+    pub fn gpu_config(self) -> GpuConfig {
+        match self {
+            SystemKind::Gtx980 => GpuConfig::gtx980(),
+            SystemKind::Tx1 => GpuConfig::tx1(),
+        }
+    }
+
+    /// SCU configuration for this platform (Table 2 scaling).
+    pub fn scu_config(self) -> ScuConfig {
+        match self {
+            SystemKind::Gtx980 => ScuConfig::gtx980(),
+            SystemKind::Tx1 => ScuConfig::tx1(),
+        }
+    }
+
+    /// Energy model for this platform.
+    pub fn energy_model(self, scu_present: bool) -> EnergyModel {
+        match self {
+            SystemKind::Gtx980 => EnergyModel::gtx980(scu_present),
+            SystemKind::Tx1 => EnergyModel::tx1(scu_present),
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete simulated platform instance.
+///
+/// Owns the GPU engine, the shared L2+DRAM [`MemorySystem`] the SCU
+/// and SMs both sit on (Figure 5), the device allocator, the energy
+/// model, and — when configured with one — the SCU itself.
+#[derive(Debug)]
+pub struct System {
+    /// Which platform this is.
+    pub kind: SystemKind,
+    /// The SM array model.
+    pub gpu: GpuEngine,
+    /// The SCU, present on `with_scu` systems.
+    pub scu: Option<ScuDevice>,
+    /// Shared L2 + DRAM.
+    pub mem: MemorySystem,
+    /// Bump allocator for device buffers.
+    pub alloc: DeviceAllocator,
+    /// Event-energy model matching `kind` and SCU presence.
+    pub energy: EnergyModel,
+}
+
+impl System {
+    /// A baseline platform: GPU only, no SCU.
+    pub fn baseline(kind: SystemKind) -> Self {
+        let gpu_cfg = kind.gpu_config();
+        System {
+            kind,
+            mem: MemorySystem::new(gpu_cfg.memory.clone()),
+            gpu: GpuEngine::new(gpu_cfg),
+            scu: None,
+            alloc: DeviceAllocator::new(),
+            energy: kind.energy_model(false),
+        }
+    }
+
+    /// A platform extended with the SCU.
+    pub fn with_scu(kind: SystemKind) -> Self {
+        let mut s = System::baseline(kind);
+        s.scu = Some(ScuDevice::new(kind.scu_config()));
+        s.energy = kind.energy_model(true);
+        s
+    }
+
+    /// The SCU, panicking with a clear message when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this system was built with [`System::baseline`].
+    pub fn scu_mut(&mut self) -> &mut ScuDevice {
+        self.scu.as_mut().expect("this System was built without an SCU")
+    }
+
+    /// Peak DRAM bandwidth of this platform, bytes/second.
+    pub fn peak_bw_bytes_per_sec(&self) -> f64 {
+        self.mem.config().dram.peak_bw_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_no_scu() {
+        let s = System::baseline(SystemKind::Tx1);
+        assert!(s.scu.is_none());
+    }
+
+    #[test]
+    fn with_scu_matches_kind() {
+        let s = System::with_scu(SystemKind::Gtx980);
+        assert_eq!(s.scu.as_ref().unwrap().config().pipeline_width, 4);
+        let s = System::with_scu(SystemKind::Tx1);
+        assert_eq!(s.scu.as_ref().unwrap().config().pipeline_width, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an SCU")]
+    fn scu_mut_panics_on_baseline() {
+        let mut s = System::baseline(SystemKind::Tx1);
+        let _ = s.scu_mut();
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(SystemKind::Gtx980.to_string(), "GTX980");
+        assert_eq!(SystemKind::Tx1.name(), "TX1");
+    }
+
+    #[test]
+    fn peak_bandwidth_differs() {
+        let g = System::baseline(SystemKind::Gtx980);
+        let t = System::baseline(SystemKind::Tx1);
+        assert!(g.peak_bw_bytes_per_sec() > t.peak_bw_bytes_per_sec());
+    }
+}

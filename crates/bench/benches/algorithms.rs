@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the three graph primitives in each machine
+//! mode at reduced scale — end-to-end simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scu_algos::runner::{run_with, Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_graph::Dataset;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms");
+    g.sample_size(10);
+    let graph = Dataset::Kron.build(1.0 / 128.0, 42);
+
+    for algo in Algorithm::ALL {
+        for mode in [Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuEnhanced] {
+            g.bench_function(BenchmarkId::new(algo.name(), mode.name()), |b| {
+                b.iter(|| {
+                    let out = run_with(algo, &graph, SystemKind::Tx1, mode, 2);
+                    black_box(out.report.total_time_ns());
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks that regenerate each paper figure at reduced
+//! scale — one group per table/figure of the evaluation, so `cargo
+//! bench --bench figures` exercises the entire reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scu_algos::runner::Mode;
+use scu_bench::experiments::{
+    ablation, area, fig01, fig09, fig10, fig11, fig12, fig13, filtering, matrix::Matrix, tables,
+};
+use scu_bench::ExperimentConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let cfg = ExperimentConfig::tiny();
+
+    // The matrix dominates the cost; collect it once per iteration of
+    // the matrix bench and reuse a prebuilt copy for the per-figure
+    // row computations.
+    g.bench_function("matrix-collect", |b| {
+        b.iter(|| {
+            let m = Matrix::collect(&cfg, &[Mode::GpuBaseline, Mode::ScuEnhanced]);
+            black_box(m.entries().len());
+        });
+    });
+
+    let matrix = Matrix::collect(
+        &cfg,
+        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+    );
+
+    g.bench_function("fig01-breakdown", |b| {
+        b.iter(|| black_box(fig01::rows(&matrix).len()));
+    });
+    g.bench_function("fig09-energy", |b| {
+        b.iter(|| black_box(fig09::rows(&matrix).len()));
+    });
+    g.bench_function("fig10-time", |b| {
+        b.iter(|| black_box(fig10::rows(&matrix).len()));
+    });
+    g.bench_function("fig11-basic-vs-enhanced", |b| {
+        b.iter(|| black_box(fig11::rows(&matrix).len()));
+    });
+    g.bench_function("fig12-coalescing", |b| {
+        b.iter(|| black_box(fig12::rows(&matrix).len()));
+    });
+    g.bench_function("fig13-bandwidth", |b| {
+        b.iter(|| black_box(fig13::rows(&matrix).len()));
+    });
+    g.bench_function("sec6.3-filtering", |b| {
+        b.iter(|| black_box(filtering::rows(&matrix).len()));
+    });
+    g.bench_function("sec6.4-area", |b| {
+        b.iter(|| black_box(area::render().len()));
+    });
+    g.bench_function("tables1-5", |b| {
+        b.iter(|| black_box(tables::render_all(&cfg).len()));
+    });
+    g.bench_function("ablation-bfs-grouping", |b| {
+        let mut small = cfg.clone();
+        small.datasets = vec![scu_graph::Dataset::Cond];
+        b.iter(|| black_box(ablation::bfs_grouping(&small).len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

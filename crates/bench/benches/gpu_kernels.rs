@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the simulated GPU engine: coalesced,
+//! strided and random access kernels plus atomics — the building
+//! blocks of the timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scu_gpu::{GpuConfig, GpuEngine};
+use scu_mem::buffer::{DeviceAllocator, DeviceArray};
+use scu_mem::system::MemorySystem;
+
+const N: usize = 64 * 1024;
+
+fn setup() -> (GpuEngine, MemorySystem, DeviceAllocator) {
+    let cfg = GpuConfig::tx1();
+    let mem = MemorySystem::new(cfg.memory.clone());
+    (GpuEngine::new(cfg), mem, DeviceAllocator::new())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu-kernels");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("coalesced-copy", N), |b| {
+        let (mut eng, mut mem, mut alloc) = setup();
+        let src: DeviceArray<u32> = DeviceArray::from_vec(&mut alloc, (0..N as u32).collect());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            let s = eng.run(&mut mem, "copy", N, |tid, ctx| {
+                let v = ctx.load(&src, tid);
+                ctx.store(&mut dst, tid, v);
+            });
+            black_box(s.time_ns);
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("random-gather", N), |b| {
+        let (mut eng, mut mem, mut alloc) = setup();
+        let src: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N * 4);
+        b.iter(|| {
+            let s = eng.run(&mut mem, "gather", N, |tid, ctx| {
+                let idx = (tid.wrapping_mul(2654435761)) % (N * 4);
+                black_box(ctx.load(&src, idx));
+            });
+            black_box(s.time_ns);
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("atomic-histogram", N), |b| {
+        let (mut eng, mut mem, mut alloc) = setup();
+        let mut hist: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 256);
+        b.iter(|| {
+            let s = eng.run(&mut mem, "hist", N, |tid, ctx| {
+                ctx.atomic_rmw(&mut hist, tid % 256, |v| v.wrapping_add(1));
+            });
+            black_box(s.time_ns);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

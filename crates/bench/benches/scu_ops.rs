@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the five SCU operations (Figure 6)
+//! and the enhanced filter/group passes — measures the *simulator's*
+//! throughput per operation, useful for tracking model regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scu_core::{CompareOp, FilterHash, FilterMode, GroupHash, ScuConfig, ScuDevice};
+use scu_mem::buffer::{DeviceAllocator, DeviceArray};
+use scu_mem::system::{MemorySystem, MemorySystemConfig};
+
+const N: usize = 64 * 1024;
+
+fn fresh() -> (ScuDevice, MemorySystem, DeviceAllocator) {
+    (
+        ScuDevice::new(ScuConfig::tx1()),
+        MemorySystem::new(MemorySystemConfig::tx1()),
+        DeviceAllocator::new(),
+    )
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scu-ops");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("bitmask-constructor", N), |b| {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let src = DeviceArray::from_vec(&mut alloc, (0..N as u32).collect());
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            scu.bitmask_construct(&mut mem, &src, N, CompareOp::Lt, N as u32 / 2, &mut flags);
+            black_box(flags.get(0));
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("data-compaction", N), |b| {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let src = DeviceArray::from_vec(&mut alloc, (0..N as u32).collect());
+        let flags = DeviceArray::from_vec(&mut alloc, (0..N).map(|i| (i % 2) as u8).collect());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            let op = scu.data_compaction(&mut mem, &src, Some(&flags), &mut dst);
+            black_box(op.elements_out);
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("access-expansion", N), |b| {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let src: DeviceArray<u32> = DeviceArray::from_vec(&mut alloc, (0..N as u32).collect());
+        let rows = N / 16;
+        let indexes = DeviceArray::from_vec(&mut alloc, (0..rows as u32).map(|i| i * 16).collect());
+        let counts = DeviceArray::from_vec(&mut alloc, vec![16u32; rows]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            let op = scu.access_expansion_compaction(
+                &mut mem, &src, &indexes, &counts, rows, None, None, &mut dst,
+            );
+            black_box(op.elements_out);
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("filter-pass", N), |b| {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let cfg = ScuConfig::tx1();
+        let mut hash = FilterHash::new(&mut alloc, cfg.filter_bfs_hash);
+        let src = DeviceArray::from_vec(&mut alloc, (0..N as u32).map(|i| i % 1024).collect());
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            hash.clear();
+            let op = scu.filter_pass_data(
+                &mut mem,
+                &src,
+                N,
+                None,
+                FilterMode::Unique,
+                None,
+                &mut hash,
+                &mut flags,
+            );
+            black_box(op.elements_out);
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("group-pass", N), |b| {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let cfg = ScuConfig::tx1();
+        let mut hash = GroupHash::new(&mut alloc, cfg.grouping_hash);
+        let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4096);
+        let src = DeviceArray::from_vec(&mut alloc, (0..N as u32).map(|i| i % 4096).collect());
+        let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N);
+        b.iter(|| {
+            hash.clear();
+            let op =
+                scu.group_pass_data(&mut mem, &src, N, None, &target, &mut hash, &mut order);
+            black_box(op.elements_out);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

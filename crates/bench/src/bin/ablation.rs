@@ -1,0 +1,6 @@
+//! Runs the design-space ablations (hash size, pipeline width, BFS grouping).
+use scu_bench::ExperimentConfig;
+
+fn main() {
+    print!("{}", scu_bench::experiments::ablation::render(&ExperimentConfig::from_env()));
+}

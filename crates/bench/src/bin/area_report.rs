@@ -1,0 +1,4 @@
+//! Regenerates the section 6.4 area report.
+fn main() {
+    print!("{}", scu_bench::experiments::area::render());
+}

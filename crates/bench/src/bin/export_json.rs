@@ -1,0 +1,58 @@
+//! Exports the full measurement matrix as JSON for downstream
+//! analysis/plotting tools.
+//!
+//! ```text
+//! SCU_SCALE=0.0625 cargo run --release -p scu-bench --bin export_json > matrix.json
+//! ```
+
+use scu_algos::runner::Mode;
+use scu_bench::experiments::matrix::Matrix;
+use scu_bench::ExperimentConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow<'a> {
+    algorithm: &'a str,
+    dataset: &'a str,
+    system: &'a str,
+    mode: &'a str,
+    total_time_ns: f64,
+    gpu_time_ns: f64,
+    scu_time_ns: f64,
+    compaction_fraction: f64,
+    energy_total_pj: f64,
+    gpu_thread_insts: u64,
+    gpu_coalescing: f64,
+    bandwidth_utilization: f64,
+    iterations: u32,
+    report: &'a scu_algos::RunReport,
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let m = Matrix::collect(
+        &cfg,
+        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+    );
+    let rows: Vec<JsonRow> = m
+        .entries()
+        .iter()
+        .map(|e| JsonRow {
+            algorithm: e.algo.name(),
+            dataset: e.dataset.name(),
+            system: e.system.name(),
+            mode: e.mode.name(),
+            total_time_ns: e.report.total_time_ns(),
+            gpu_time_ns: e.report.gpu_time_ns(),
+            scu_time_ns: e.report.scu.time_ns,
+            compaction_fraction: e.report.compaction_fraction(),
+            energy_total_pj: e.report.energy.total_pj(),
+            gpu_thread_insts: e.report.gpu_thread_insts(),
+            gpu_coalescing: e.report.gpu_coalescing(),
+            bandwidth_utilization: e.report.bandwidth_utilization(),
+            iterations: e.report.iterations,
+            report: &e.report,
+        })
+        .collect();
+    println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+}

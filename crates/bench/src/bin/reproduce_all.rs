@@ -1,0 +1,39 @@
+//! Runs every experiment in sequence — the one-shot paper reproduction.
+//!
+//! Scale with `SCU_SCALE` (default 1/16 of published dataset sizes).
+use scu_algos::runner::Mode;
+use scu_bench::experiments::{
+    ablation, area, fig01, fig09, fig10, fig11, fig12, fig13, filtering, matrix::Matrix, tables,
+    workload,
+};
+use scu_bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("=== SCU reproduction: all tables and figures (scale {:.4}) ===\n", cfg.scale);
+    print!("{}", tables::render_all(&cfg));
+    println!();
+    print!("{}", area::render());
+    println!();
+    print!("{}", workload::render(&workload::rows(&cfg)));
+    println!();
+    let m = Matrix::collect(
+        &cfg,
+        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+    );
+    print!("{}", fig01::render(&fig01::rows(&m)));
+    println!();
+    print!("{}", fig09::render(&fig09::rows(&m)));
+    println!();
+    print!("{}", fig10::render(&fig10::rows(&m)));
+    println!();
+    print!("{}", fig11::render(&fig11::rows(&m)));
+    println!();
+    print!("{}", fig12::render(&fig12::rows(&m)));
+    println!();
+    print!("{}", fig13::render(&fig13::rows(&m)));
+    println!();
+    print!("{}", filtering::render(&filtering::rows(&m)));
+    println!();
+    print!("{}", ablation::render(&cfg));
+}

@@ -1,0 +1,89 @@
+//! Runs a single (algorithm, dataset, system, mode) combination and
+//! prints the full report — the workhorse for ad-hoc investigation.
+//!
+//! ```text
+//! run_one [BFS|SSSP|PR|CC|KCORE] [ca|cond|delaunay|human|kron|msdoor] \
+//!         [GTX980|TX1] [gpu|scu-basic|scu-filtering|scu-enhanced]
+//! ```
+//!
+//! Scale/seed come from `SCU_SCALE` / `SCU_SEED` as usual.
+
+use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_bench::ExperimentConfig;
+use scu_graph::{Dataset, GraphStats};
+
+fn parse_args() -> Result<(Algorithm, Dataset, SystemKind, Mode), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algo = match args.first().map(String::as_str) {
+        None | Some("BFS") | Some("bfs") => Algorithm::Bfs,
+        Some("SSSP") | Some("sssp") => Algorithm::Sssp,
+        Some("PR") | Some("pr") => Algorithm::PageRank,
+        Some("CC") | Some("cc") => Algorithm::Cc,
+        Some("KCORE") | Some("kcore") => Algorithm::KCore,
+        Some(x) => return Err(format!("unknown algorithm '{x}'")),
+    };
+    let dataset = match args.get(1).map(String::as_str) {
+        None => Dataset::Kron,
+        Some(name) => Dataset::ALL
+            .into_iter()
+            .find(|d| d.name() == name)
+            .ok_or_else(|| format!("unknown dataset '{name}'"))?,
+    };
+    let system = match args.get(2).map(String::as_str) {
+        None | Some("TX1") | Some("tx1") => SystemKind::Tx1,
+        Some("GTX980") | Some("gtx980") => SystemKind::Gtx980,
+        Some(x) => return Err(format!("unknown system '{x}'")),
+    };
+    let mode = match args.get(3).map(String::as_str) {
+        None | Some("scu-enhanced") => Mode::ScuEnhanced,
+        Some("gpu") => Mode::GpuBaseline,
+        Some("scu-basic") => Mode::ScuBasic,
+        Some("scu-filtering") => Mode::ScuFilteringOnly,
+        Some(x) => return Err(format!("unknown mode '{x}'")),
+    };
+    Ok((algo, dataset, system, mode))
+}
+
+fn main() {
+    let (algo, dataset, system, mode) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode]");
+            std::process::exit(2);
+        }
+    };
+    let cfg = ExperimentConfig::from_env();
+    let g = dataset.build(cfg.scale, cfg.seed);
+    let stats = GraphStats::of(&g);
+    println!(
+        "{algo} on {dataset} ({} nodes, {} edges, gini {:.2}) @ {system} [{mode}]",
+        stats.nodes, stats.edges, stats.degree_gini
+    );
+
+    let scu_cfg = cfg.scu_config(system);
+    let out = run_configured(algo, &g, system, mode, cfg.pr_iters, Some(&scu_cfg));
+    let r = &out.report;
+    println!("\niterations           {}", r.iterations);
+    println!("total time           {:>12.1} us", r.total_time_ns() / 1000.0);
+    println!("  GPU processing     {:>12.1} us", r.gpu_processing.time_ns / 1000.0);
+    println!("  GPU compaction     {:>12.1} us", r.gpu_compaction.time_ns / 1000.0);
+    println!("  SCU operations     {:>12.1} us ({} ops)", r.scu.time_ns / 1000.0, r.scu.ops);
+    println!("compaction fraction  {:>12.1} %", r.compaction_fraction() * 100.0);
+    println!("GPU thread insts     {:>12}", r.gpu_thread_insts());
+    println!("GPU tx/mem-inst      {:>12.2}", r.gpu_coalescing());
+    println!("DRAM traffic         {:>12.2} MB", r.dram_bytes() as f64 / 1e6);
+    println!("bandwidth util       {:>12.1} %", r.bandwidth_utilization() * 100.0);
+    println!("\nenergy               {:>12.3} mJ", r.energy.total_mj());
+    println!("  GPU dynamic        {:>12.3} mJ", r.energy.gpu_dynamic_pj / 1e9);
+    println!("  SCU dynamic        {:>12.3} mJ", r.energy.scu_dynamic_pj / 1e9);
+    println!("  DRAM dynamic       {:>12.3} mJ", r.energy.dram_dynamic_pj / 1e9);
+    println!("  static             {:>12.3} mJ", r.energy.static_pj / 1e9);
+    if mode.uses_scu() {
+        println!("\nSCU pipeline elems   {:>12}", r.scu.data_elements);
+        println!("SCU skipped elems    {:>12}", r.scu.skipped_elements);
+        println!("filter probes/drops  {:>12} / {}", r.scu.filter.probes, r.scu.filter.dropped);
+        println!("groups formed        {:>12} (mean size {:.1})", r.scu.group.groups, r.scu.group.mean_group_size());
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints Tables 1-5 (configurations and dataset summaries).
+use scu_bench::experiments::tables;
+use scu_bench::ExperimentConfig;
+
+fn main() {
+    print!("{}", tables::render_all(&ExperimentConfig::from_env()));
+}

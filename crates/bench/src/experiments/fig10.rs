@@ -1,0 +1,119 @@
+//! Figure 10 — normalised execution time of the SCU-enhanced system,
+//! with the GPU/SCU split.
+//!
+//! The paper reports average speedups of 1.37× (GTX 980) and 2.32×
+//! (TX1); per primitive on the TX1: BFS 3.83×, SSSP 3.24×, PR 1.05×,
+//! and on the GTX 980: BFS 1.41×, SSSP 1.65×, with a small PR
+//! slowdown.
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_graph::Dataset;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{bar, ratio, Table};
+
+/// One bar of Figure 10.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Graph primitive.
+    pub algo: Algorithm,
+    /// Platform.
+    pub system: SystemKind,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Normalised time (SCU system / baseline), lower is better.
+    pub normalized_time: f64,
+    /// Fraction of the SCU system's time spent in SCU operations.
+    pub scu_share: f64,
+}
+
+/// Computes the figure (needs `GpuBaseline` and `ScuEnhanced`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    let mut out = Vec::new();
+    for algo in Algorithm::ALL {
+        for system in SystemKind::ALL {
+            for dataset in matrix.datasets() {
+                let base = matrix.report(algo, dataset, system, Mode::GpuBaseline);
+                let enh = matrix.report(algo, dataset, system, Mode::ScuEnhanced);
+                out.push(Row {
+                    algo,
+                    system,
+                    dataset,
+                    normalized_time: enh.total_time_ns() / base.total_time_ns(),
+                    scu_share: enh.scu.time_ns / enh.total_time_ns().max(f64::MIN_POSITIVE),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Average speedup per system (the headline numbers).
+pub fn average_speedup(rows: &[Row], system: SystemKind) -> f64 {
+    let rs: Vec<&Row> = rows.iter().filter(|r| r.system == system).collect();
+    let product: f64 = rs.iter().map(|r| 1.0 / r.normalized_time).product();
+    product.powf(1.0 / rs.len() as f64)
+}
+
+/// Average speedup per (primitive, system) — the per-primitive
+/// numbers quoted in §6.2.
+pub fn primitive_speedup(rows: &[Row], algo: Algorithm, system: SystemKind) -> f64 {
+    let rs: Vec<&Row> =
+        rows.iter().filter(|r| r.system == system && r.algo == algo).collect();
+    let product: f64 = rs.iter().map(|r| 1.0 / r.normalized_time).product();
+    product.powf(1.0 / rs.len() as f64)
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&["primitive", "system", "dataset", "norm. time", "SCU share", "vs baseline=1.0"]);
+    for r in rows {
+        t.row(&[
+            r.algo.to_string(),
+            r.system.to_string(),
+            r.dataset.to_string(),
+            format!("{:.3}", r.normalized_time),
+            format!("{:.1}%", r.scu_share * 100.0),
+            bar(r.normalized_time, 1.2, 20),
+        ]);
+    }
+    let mut tail = String::new();
+    for (algo, paper_g, paper_t) in [
+        (Algorithm::Bfs, "1.41x", "3.83x"),
+        (Algorithm::Sssp, "1.65x", "3.24x"),
+        (Algorithm::PageRank, "<1x", "1.05x"),
+    ] {
+        tail.push_str(&format!(
+            "{algo}: GTX980 {} (paper {paper_g}), TX1 {} (paper {paper_t})\n",
+            ratio(primitive_speedup(rows, algo, SystemKind::Gtx980)),
+            ratio(primitive_speedup(rows, algo, SystemKind::Tx1)),
+        ));
+    }
+    format!(
+        "Figure 10: normalised execution time, SCU-enhanced vs baseline (lower is better)\n{t}\
+         average speedup: GTX980 {} (paper 1.37x), TX1 {} (paper 2.32x)\n{tail}",
+        ratio(average_speedup(rows, SystemKind::Gtx980)),
+        ratio(average_speedup(rows, SystemKind::Tx1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn speedups_present_for_bfs() {
+        let m = Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::GpuBaseline, Mode::ScuEnhanced],
+        );
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 12);
+        assert!(primitive_speedup(&rs, Algorithm::Bfs, SystemKind::Tx1) > 1.0);
+        let s = render(&rs);
+        assert!(s.contains("average speedup"));
+        assert!(s.contains("paper 2.32x"));
+    }
+}

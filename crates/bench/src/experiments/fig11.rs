@@ -1,0 +1,112 @@
+//! Figure 11 — how much of the speedup and energy reduction comes
+//! from the basic SCU (compaction offload alone) versus the enhanced
+//! filtering/grouping operations.
+//!
+//! The paper: the basic SCU provides ≈2× energy reduction and ≈1.5×
+//! speedup for BFS and SSSP on both platforms; the enhanced SCU grows
+//! that to 12.3×/11× energy (GTX 980) and 5.35×/4.54× (TX1), with
+//! speedups of 1.4×/1.6× (GTX 980) and 3.83×/3.24× (TX1).
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{ratio, Table};
+
+/// One group of Figure 11 bars.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Graph primitive (BFS or SSSP; PR does not use enhanced ops).
+    pub algo: Algorithm,
+    /// Platform.
+    pub system: SystemKind,
+    /// Geometric-mean speedup of the basic SCU over the baseline.
+    pub basic_speedup: f64,
+    /// Geometric-mean speedup of the enhanced SCU over the baseline.
+    pub enhanced_speedup: f64,
+    /// Geometric-mean energy reduction of the basic SCU.
+    pub basic_energy_reduction: f64,
+    /// Geometric-mean energy reduction of the enhanced SCU.
+    pub enhanced_energy_reduction: f64,
+}
+
+/// Computes the figure (needs `GpuBaseline`, `ScuBasic`, `ScuEnhanced`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    let mut out = Vec::new();
+    for algo in [Algorithm::Bfs, Algorithm::Sssp] {
+        for system in SystemKind::ALL {
+            let sp = |mode| {
+                matrix.geomean_over_datasets(algo, system, Mode::GpuBaseline, mode, |b, v| {
+                    v.speedup_vs(b)
+                })
+            };
+            let er = |mode| {
+                matrix.geomean_over_datasets(algo, system, Mode::GpuBaseline, mode, |b, v| {
+                    v.energy_reduction_vs(b)
+                })
+            };
+            out.push(Row {
+                algo,
+                system,
+                basic_speedup: sp(Mode::ScuBasic),
+                enhanced_speedup: sp(Mode::ScuEnhanced),
+                basic_energy_reduction: er(Mode::ScuBasic),
+                enhanced_energy_reduction: er(Mode::ScuEnhanced),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "primitive",
+        "system",
+        "basic speedup",
+        "enhanced speedup",
+        "basic energy red.",
+        "enhanced energy red.",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.algo.to_string(),
+            r.system.to_string(),
+            ratio(r.basic_speedup),
+            ratio(r.enhanced_speedup),
+            ratio(r.basic_energy_reduction),
+            ratio(r.enhanced_energy_reduction),
+        ]);
+    }
+    format!(
+        "Figure 11: basic vs enhanced SCU (paper: basic ~1.5x speedup / ~2x energy;\n\
+         enhanced BFS/SSSP energy 12.3x/11x on GTX980, 5.35x/4.54x on TX1)\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn enhanced_beats_basic_on_energy() {
+        let m = Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuEnhanced],
+        );
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 4); // BFS/SSSP x 2 systems
+        for r in &rs {
+            assert!(
+                r.enhanced_energy_reduction >= r.basic_energy_reduction * 0.8,
+                "{} {}: enhanced {} vs basic {}",
+                r.algo,
+                r.system,
+                r.enhanced_energy_reduction,
+                r.basic_energy_reduction
+            );
+        }
+        assert!(render(&rs).contains("Figure 11"));
+    }
+}

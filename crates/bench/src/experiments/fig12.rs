@@ -1,0 +1,113 @@
+//! Figure 12 — improvement in memory coalescing from the grouping
+//! operation, for SSSP on the TX1.
+//!
+//! The paper's baseline is the SCU using only filtering; grouping
+//! improves coalescing on every dataset, 27% on average. The metric
+//! here is the reduction in line transactions per GPU memory
+//! instruction over processing kernels (fewer transactions for the
+//! same instructions = better coalescing).
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_graph::Dataset;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{bar, percent, Table};
+
+/// One bar of Figure 12.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Transactions per memory instruction with filtering only.
+    pub filtering_only: f64,
+    /// Transactions per memory instruction with grouping enabled.
+    pub grouped: f64,
+}
+
+impl Row {
+    /// Fractional improvement in coalescing, `[0, 1)`, positive when
+    /// grouping reduces divergence.
+    pub fn improvement(&self) -> f64 {
+        if self.filtering_only <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.grouped / self.filtering_only
+        }
+    }
+}
+
+/// Computes the figure (needs `ScuFilteringOnly` and `ScuEnhanced`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    matrix
+        .datasets()
+        .into_iter()
+        .map(|dataset| {
+            let fo = matrix.report(
+                Algorithm::Sssp,
+                dataset,
+                SystemKind::Tx1,
+                Mode::ScuFilteringOnly,
+            );
+            let enh =
+                matrix.report(Algorithm::Sssp, dataset, SystemKind::Tx1, Mode::ScuEnhanced);
+            Row {
+                dataset,
+                filtering_only: fo.gpu_coalescing(),
+                grouped: enh.gpu_coalescing(),
+            }
+        })
+        .collect()
+}
+
+/// Mean improvement across datasets (the paper's 27% headline).
+pub fn average_improvement(rows: &[Row]) -> f64 {
+    rows.iter().map(Row::improvement).sum::<f64>() / rows.len() as f64
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "dataset",
+        "tx/inst (filter only)",
+        "tx/inst (grouped)",
+        "improvement",
+        "",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            format!("{:.2}", r.filtering_only),
+            format!("{:.2}", r.grouped),
+            percent(r.improvement()),
+            bar(r.improvement(), 0.5, 20),
+        ]);
+    }
+    format!(
+        "Figure 12: coalescing improvement from grouping, SSSP on TX1\n{t}\
+         average improvement: {} (paper 27%)\n",
+        percent(average_improvement(rows))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn grouping_improves_coalescing_on_average() {
+        let m = Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+        );
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 2);
+        assert!(
+            average_improvement(&rs) > 0.0,
+            "average improvement {} not positive",
+            average_improvement(&rs)
+        );
+        assert!(render(&rs).contains("paper 27%"));
+    }
+}

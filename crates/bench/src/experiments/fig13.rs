@@ -1,0 +1,89 @@
+//! Figure 13 — memory bandwidth utilisation of the baseline GPU
+//! system and the GPU+SCU system.
+//!
+//! The paper's observations: graph applications fall well short of
+//! peak bandwidth; PR utilises more than BFS/SSSP; on the GTX 980 the
+//! SCU system shows *lower* utilisation than the baseline (traffic
+//! shrinks more than time), while on the TX1 it shows *higher*
+//! utilisation for BFS and SSSP (time shrinks more than traffic).
+
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+
+use crate::experiments::matrix::Matrix;
+use crate::table::{bar, percent, Table};
+
+/// One pair of Figure 13 bars.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Graph primitive.
+    pub algo: Algorithm,
+    /// Platform.
+    pub system: SystemKind,
+    /// Peak-bandwidth fraction achieved by the baseline, `[0, 1]`.
+    pub gpu_utilization: f64,
+    /// Peak-bandwidth fraction achieved by the GPU+SCU system.
+    pub scu_utilization: f64,
+}
+
+/// Computes the figure (needs `GpuBaseline` and `ScuEnhanced`).
+pub fn rows(matrix: &Matrix) -> Vec<Row> {
+    let mut out = Vec::new();
+    for algo in Algorithm::ALL {
+        for system in SystemKind::ALL {
+            let ds = matrix.datasets();
+            let mean = |mode| {
+                ds.iter()
+                    .map(|&d| matrix.report(algo, d, system, mode).bandwidth_utilization())
+                    .sum::<f64>()
+                    / ds.len() as f64
+            };
+            out.push(Row {
+                algo,
+                system,
+                gpu_utilization: mean(Mode::GpuBaseline),
+                scu_utilization: mean(Mode::ScuEnhanced),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&["primitive", "system", "GPU system", "GPU+SCU system", "GPU | GPU+SCU"]);
+    for r in rows {
+        t.row(&[
+            r.algo.to_string(),
+            r.system.to_string(),
+            percent(r.gpu_utilization),
+            percent(r.scu_utilization),
+            format!("{} | {}", bar(r.gpu_utilization, 1.0, 12), bar(r.scu_utilization, 1.0, 12)),
+        ]);
+    }
+    format!(
+        "Figure 13: peak-bandwidth utilisation (paper: PR highest; GTX980 SCU lower\n\
+         than GPU, TX1 SCU higher for BFS/SSSP)\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn utilisations_are_fractions() {
+        let m = Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::GpuBaseline, Mode::ScuEnhanced],
+        );
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 6);
+        for r in &rs {
+            assert!((0.0..=1.0).contains(&r.gpu_utilization), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.scu_utilization), "{r:?}");
+        }
+        assert!(render(&rs).contains("Figure 13"));
+    }
+}

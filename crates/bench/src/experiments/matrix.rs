@@ -1,0 +1,180 @@
+//! The shared measurement grid all figures draw from.
+
+use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::{RunReport, SystemKind};
+use scu_graph::{Csr, Dataset};
+
+use crate::config::ExperimentConfig;
+
+/// One cell of the measurement grid.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Graph primitive.
+    pub algo: Algorithm,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Platform.
+    pub system: SystemKind,
+    /// Machine variant.
+    pub mode: Mode,
+    /// The measured report.
+    pub report: RunReport,
+}
+
+/// The filled grid.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    entries: Vec<Measurement>,
+}
+
+impl Matrix {
+    /// Runs every (algorithm × dataset × system × mode) combination.
+    ///
+    /// Progress is narrated on stderr because a full-scale grid takes
+    /// minutes.
+    pub fn collect(cfg: &ExperimentConfig, modes: &[Mode]) -> Matrix {
+        let mut entries = Vec::new();
+        for &dataset in &cfg.datasets {
+            let g: Csr = dataset.build(cfg.scale, cfg.seed);
+            for algo in Algorithm::ALL {
+                for system in SystemKind::ALL {
+                    for &mode in modes {
+                        eprintln!(
+                            "[matrix] {algo} on {dataset} ({} nodes, {} edges) @ {system} [{mode}]",
+                            g.num_nodes(),
+                            g.num_edges()
+                        );
+                        let scu_cfg = cfg.scu_config(system);
+                        let out = run_configured(
+                            algo,
+                            &g,
+                            system,
+                            mode,
+                            cfg.pr_iters,
+                            Some(&scu_cfg),
+                        );
+                        entries.push(Measurement {
+                            algo,
+                            dataset,
+                            system,
+                            mode,
+                            report: out.report,
+                        });
+                    }
+                }
+            }
+        }
+        Matrix { entries }
+    }
+
+    /// All cells.
+    pub fn entries(&self) -> &[Measurement] {
+        &self.entries
+    }
+
+    /// The report for one exact cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not collected.
+    pub fn report(
+        &self,
+        algo: Algorithm,
+        dataset: Dataset,
+        system: SystemKind,
+        mode: Mode,
+    ) -> &RunReport {
+        self.entries
+            .iter()
+            .find(|m| {
+                m.algo == algo && m.dataset == dataset && m.system == system && m.mode == mode
+            })
+            .map(|m| &m.report)
+            .unwrap_or_else(|| panic!("missing cell {algo}/{dataset}/{system}/{mode}"))
+    }
+
+    /// Datasets present in the grid.
+    pub fn datasets(&self) -> Vec<Dataset> {
+        let mut v: Vec<Dataset> = Vec::new();
+        for m in &self.entries {
+            if !v.contains(&m.dataset) {
+                v.push(m.dataset);
+            }
+        }
+        v
+    }
+
+    /// Geometric mean of `f(baseline, variant)` over all datasets for
+    /// one (algo, system) pair — how the paper averages its ratios.
+    pub fn geomean_over_datasets(
+        &self,
+        algo: Algorithm,
+        system: SystemKind,
+        base_mode: Mode,
+        variant_mode: Mode,
+        f: impl Fn(&RunReport, &RunReport) -> f64,
+    ) -> f64 {
+        let ds = self.datasets();
+        let product: f64 = ds
+            .iter()
+            .map(|&d| {
+                f(
+                    self.report(algo, d, system, base_mode),
+                    self.report(algo, d, system, variant_mode),
+                )
+            })
+            .product();
+        product.powf(1.0 / ds.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> Matrix {
+        Matrix::collect(
+            &ExperimentConfig::tiny(),
+            &[Mode::GpuBaseline, Mode::ScuEnhanced],
+        )
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let m = tiny_matrix();
+        // 2 datasets x 3 algos x 2 systems x 2 modes.
+        assert_eq!(m.entries().len(), 24);
+        let r = m.report(
+            Algorithm::Bfs,
+            Dataset::Cond,
+            SystemKind::Tx1,
+            Mode::ScuEnhanced,
+        );
+        assert!(r.total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn geomean_speedup_is_positive() {
+        let m = tiny_matrix();
+        let sp = m.geomean_over_datasets(
+            Algorithm::Bfs,
+            SystemKind::Tx1,
+            Mode::GpuBaseline,
+            Mode::ScuEnhanced,
+            |base, v| v.speedup_vs(base),
+        );
+        assert!(sp > 0.1 && sp < 100.0, "speedup {sp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell")]
+    fn missing_cell_panics() {
+        let m = tiny_matrix();
+        let _ = m.report(
+            Algorithm::Bfs,
+            Dataset::Human,
+            SystemKind::Tx1,
+            Mode::GpuBaseline,
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! One module per figure/table of the paper's evaluation.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`matrix`] | the shared (algorithm × dataset × system × mode) run grid |
+//! | [`fig01`] | Figure 1 — time split between compaction and processing |
+//! | [`fig09`] | Figure 9 — normalised energy with GPU/SCU split |
+//! | [`fig10`] | Figure 10 — normalised execution time with GPU/SCU split |
+//! | [`fig11`] | Figure 11 — basic vs enhanced SCU speedup/energy breakdown |
+//! | [`fig12`] | Figure 12 — coalescing improvement from grouping (SSSP/TX1) |
+//! | [`fig13`] | Figure 13 — memory bandwidth utilisation |
+//! | [`tables`] | Tables 1–5 — configuration and dataset summaries |
+//! | [`filtering`] | §6.3 — workload/instruction reduction from filtering |
+//! | [`area`] | §6.4 — SCU area and overhead |
+//! | [`ablation`] | design-space sweeps: hash size, pipeline width, BFS grouping |
+//! | [`workload`] | per-dataset frontier/duplicate characterisation |
+
+pub mod ablation;
+pub mod area;
+pub mod fig01;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod filtering;
+pub mod matrix;
+pub mod tables;
+pub mod workload;

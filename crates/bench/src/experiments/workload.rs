@@ -1,0 +1,166 @@
+//! Workload characterisation: per-level frontier sizes and duplicate
+//! factors — the structural data behind the paper's motivation (§1–2):
+//! edge frontiers are several times larger than the distinct nodes
+//! they reach, and that surplus is what the SCU's filtering removes.
+
+use scu_algos::bfs;
+use scu_graph::{Csr, Dataset, GraphStats};
+
+use crate::config::ExperimentConfig;
+use crate::table::Table;
+
+/// One BFS level of one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelRow {
+    /// BFS level (distance from the source).
+    pub level: u32,
+    /// Nodes first reached at this level.
+    pub nodes: usize,
+    /// Edge-frontier entries feeding this level (out-degree sum of the
+    /// previous level).
+    pub edge_frontier: usize,
+}
+
+impl LevelRow {
+    /// Edge-frontier entries per newly reached node — the duplicate +
+    /// already-visited surplus the filter removes (≥ 1 when any node
+    /// is reached).
+    pub fn duplicate_factor(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.edge_frontier as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// Per-level BFS trace of `g` from node 0, via the host reference.
+pub fn bfs_levels(g: &Csr) -> Vec<LevelRow> {
+    let dist = bfs::reference::distances(g, 0);
+    let max_level = dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+    (0..=max_level)
+        .map(|level| {
+            let nodes = dist.iter().filter(|&&d| d == level).count();
+            let edge_frontier = if level == 0 {
+                0
+            } else {
+                dist.iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d != u32::MAX && d + 1 == level)
+                    .map(|(v, _)| g.degree(v as u32) as usize)
+                    .sum()
+            };
+            LevelRow { level, nodes, edge_frontier }
+        })
+        .collect()
+}
+
+/// Whole-traversal summary for one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetWorkload {
+    /// Dataset.
+    pub dataset: Dataset,
+    /// BFS levels to exhaustion.
+    pub levels: u32,
+    /// Largest single node frontier.
+    pub peak_frontier: usize,
+    /// Total edge-frontier volume across the traversal.
+    pub total_edge_frontier: usize,
+    /// Distinct nodes reached.
+    pub reached: usize,
+    /// Degree-distribution Gini coefficient.
+    pub degree_gini: f64,
+}
+
+impl DatasetWorkload {
+    /// Traversal-wide duplicate factor (edge-frontier volume per
+    /// reached node).
+    pub fn duplicate_factor(&self) -> f64 {
+        if self.reached == 0 {
+            0.0
+        } else {
+            self.total_edge_frontier as f64 / self.reached as f64
+        }
+    }
+}
+
+/// Characterises every dataset in `cfg`.
+pub fn rows(cfg: &ExperimentConfig) -> Vec<DatasetWorkload> {
+    cfg.datasets
+        .iter()
+        .map(|&dataset| {
+            let g = dataset.build(cfg.scale, cfg.seed);
+            let levels = bfs_levels(&g);
+            DatasetWorkload {
+                dataset,
+                levels: levels.last().map(|r| r.level).unwrap_or(0),
+                peak_frontier: levels.iter().map(|r| r.nodes).max().unwrap_or(0),
+                total_edge_frontier: levels.iter().map(|r| r.edge_frontier).sum(),
+                reached: levels.iter().map(|r| r.nodes).sum(),
+                degree_gini: GraphStats::of(&g).degree_gini,
+            }
+        })
+        .collect()
+}
+
+/// Renders the characterisation table.
+pub fn render(rows: &[DatasetWorkload]) -> String {
+    let mut t = Table::new(&[
+        "dataset",
+        "BFS levels",
+        "peak frontier",
+        "edge-frontier volume",
+        "duplicate factor",
+        "degree gini",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.levels.to_string(),
+            r.peak_frontier.to_string(),
+            r.total_edge_frontier.to_string(),
+            format!("{:.1}x", r.duplicate_factor()),
+            format!("{:.2}", r.degree_gini),
+        ]);
+    }
+    format!(
+        "Workload characterisation: the duplicate surplus filtering removes (section 1-2)\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_has_large_duplicate_factor() {
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.datasets = vec![Dataset::Kron, Dataset::Ca];
+        let rs = rows(&cfg);
+        let kron = rs.iter().find(|r| r.dataset == Dataset::Kron).unwrap();
+        let ca = rs.iter().find(|r| r.dataset == Dataset::Ca).unwrap();
+        assert!(
+            kron.duplicate_factor() > 3.0,
+            "kron duplicate factor {}",
+            kron.duplicate_factor()
+        );
+        // Road networks have long thin traversals, scale-free graphs
+        // short fat ones.
+        assert!(ca.levels > kron.levels);
+        assert!(render(&rs).contains("duplicate factor"));
+    }
+
+    #[test]
+    fn levels_partition_reached_nodes() {
+        let g = Dataset::Cond.build(1.0 / 128.0, 42);
+        let levels = bfs_levels(&g);
+        let reached: usize = levels.iter().map(|r| r.nodes).sum();
+        let by_dist = bfs::reference::distances(&g, 0)
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .count();
+        assert_eq!(reached, by_dist);
+        assert_eq!(levels[0].nodes, 1);
+        assert_eq!(levels[0].edge_frontier, 0);
+    }
+}

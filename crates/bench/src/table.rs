@@ -1,0 +1,156 @@
+//! Minimal fixed-width text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// ```
+/// use scu_bench::table::Table;
+/// let mut t = Table::new(&["name", "value"]);
+/// t.row(&["x".to_string(), "1".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("name"));
+/// assert!(s.contains("| x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut line = String::new();
+        for (c, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "| {:w$} ", h, w = widths[c]);
+        }
+        line.push('|');
+        writeln!(f, "{line}")?;
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        sep.push('|');
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, cell) in row.iter().enumerate() {
+                let _ = write!(line, "| {:w$} ", cell, w = widths[c]);
+            }
+            line.push('|');
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders `value` as a horizontal ASCII bar of at most `width` cells,
+/// scaled so that `max` fills the bar. Values beyond `max` saturate.
+///
+/// ```
+/// use scu_bench::table::bar;
+/// assert_eq!(bar(0.5, 1.0, 8), "####....");
+/// assert_eq!(bar(2.0, 1.0, 4), "####");
+/// assert_eq!(bar(0.0, 1.0, 4), "....");
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Formats a ratio as e.g. "1.37x".
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage, e.g. "84.7%".
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xx".into(), "1".into()]);
+        t.row(&["y".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        Table::new(&["a"]).row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(ratio(1.369), "1.37x");
+        assert_eq!(percent(0.847), "84.7%");
+    }
+
+    #[test]
+    fn bars_scale_and_saturate() {
+        assert_eq!(bar(0.25, 1.0, 8), "##......");
+        assert_eq!(bar(1.0, 1.0, 5), "#####");
+        assert_eq!(bar(-1.0, 1.0, 4), "....");
+        assert_eq!(bar(1.0, 0.0, 4), "");
+        assert_eq!(bar(1.0, 1.0, 0), "");
+    }
+
+    #[test]
+    fn empty_table_has_header_only() {
+        let t = Table::new(&["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

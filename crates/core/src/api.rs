@@ -1,0 +1,277 @@
+//! The application-facing command API (§3: "Applications can make use
+//! of it through a simple API").
+//!
+//! [`CommandQueue`] wraps an [`ScuDevice`] with a small driver layer:
+//! commands are described declaratively as [`Command`] values, can be
+//! inspected/logged before submission, and execute in order. This is
+//! the layer a runtime like the paper's modified CUDA graph libraries
+//! would call; the algorithm implementations in `scu-algos` call the
+//! device methods directly for brevity.
+//!
+//! ```
+//! use scu_core::api::{Command, CommandQueue};
+//! use scu_core::{ScuConfig, ScuDevice};
+//! use scu_mem::{DeviceAllocator, DeviceArray, MemorySystem, MemorySystemConfig};
+//!
+//! let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
+//! let mut q = CommandQueue::new(ScuDevice::new(ScuConfig::tx1()));
+//! let mut alloc = DeviceAllocator::new();
+//!
+//! let src = DeviceArray::from_vec(&mut alloc, vec![4u32, 8, 15, 16, 23, 42]);
+//! let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 6);
+//! let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 6);
+//!
+//! q.submit(&mut mem, Command::BitmaskConstruct {
+//!     src: &src, count: 6,
+//!     cmp: scu_core::CompareOp::Gt, reference: 10,
+//!     flags_out: &mut flags,
+//! });
+//! q.submit(&mut mem, Command::DataCompaction {
+//!     src: &src, count: 6, flags: Some(&flags), dst: &mut dst,
+//! });
+//! assert_eq!(&dst.as_slice()[..3], &[15, 16, 23]);
+//! assert_eq!(q.history().len(), 2);
+//! ```
+
+use scu_mem::buffer::DeviceArray;
+use scu_mem::system::MemorySystem;
+
+use crate::device::{CompareOp, ScuDevice};
+use crate::stats::{OpKind, ScuOpStats};
+
+/// A declarative SCU command over `u32` element streams (node/edge
+/// IDs, the element type of every operation in the paper's Figure 6).
+#[derive(Debug)]
+pub enum Command<'a> {
+    /// Compare `src[0..count]` against `reference`, write 0/1 flags.
+    BitmaskConstruct {
+        /// Input elements.
+        src: &'a DeviceArray<u32>,
+        /// Elements to process.
+        count: usize,
+        /// Comparison operator.
+        cmp: CompareOp,
+        /// Reference value.
+        reference: u32,
+        /// Output flag vector.
+        flags_out: &'a mut DeviceArray<u8>,
+    },
+    /// Keep flagged elements of a sequential stream.
+    DataCompaction {
+        /// Input elements.
+        src: &'a DeviceArray<u32>,
+        /// Elements to process.
+        count: usize,
+        /// Optional keep flags (all kept when `None`).
+        flags: Option<&'a DeviceArray<u8>>,
+        /// Compacted output.
+        dst: &'a mut DeviceArray<u32>,
+    },
+    /// Gather `src[index]` for each flagged index entry.
+    AccessCompaction {
+        /// Gather source.
+        src: &'a DeviceArray<u32>,
+        /// Index vector.
+        indexes: &'a DeviceArray<u32>,
+        /// Entries to process.
+        count: usize,
+        /// Optional keep flags.
+        flags: Option<&'a DeviceArray<u8>>,
+        /// Compacted output.
+        dst: &'a mut DeviceArray<u32>,
+    },
+    /// Replicate each kept element `counts[i]` times.
+    ReplicationCompaction {
+        /// Input elements.
+        src: &'a DeviceArray<u32>,
+        /// Replication counts.
+        counts: &'a DeviceArray<u32>,
+        /// Entries to process.
+        count: usize,
+        /// Optional keep flags.
+        flags: Option<&'a DeviceArray<u8>>,
+        /// Replicated output.
+        dst: &'a mut DeviceArray<u32>,
+    },
+    /// Gather CSR slices `src[indexes[i] .. indexes[i] + counts[i]]`.
+    AccessExpansionCompaction {
+        /// Gather source (e.g. the CSR edge array).
+        src: &'a DeviceArray<u32>,
+        /// Slice start offsets.
+        indexes: &'a DeviceArray<u32>,
+        /// Slice lengths.
+        counts: &'a DeviceArray<u32>,
+        /// Entries to process.
+        count: usize,
+        /// Optional per-expanded-element keep flags.
+        elem_flags: Option<&'a DeviceArray<u8>>,
+        /// Expanded output.
+        dst: &'a mut DeviceArray<u32>,
+    },
+}
+
+impl Command<'_> {
+    /// The operation kind this command maps to.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Command::BitmaskConstruct { .. } => OpKind::BitmaskConstructor,
+            Command::DataCompaction { .. } => OpKind::DataCompaction,
+            Command::AccessCompaction { .. } => OpKind::AccessCompaction,
+            Command::ReplicationCompaction { .. } => OpKind::ReplicationCompaction,
+            Command::AccessExpansionCompaction { .. } => OpKind::AccessExpansionCompaction,
+        }
+    }
+}
+
+/// An in-order command queue over one SCU, retaining per-command
+/// statistics (the driver's view of Figure 5's single shared unit).
+#[derive(Debug)]
+pub struct CommandQueue {
+    device: ScuDevice,
+    history: Vec<ScuOpStats>,
+}
+
+impl CommandQueue {
+    /// Creates a queue owning `device`.
+    pub fn new(device: ScuDevice) -> Self {
+        CommandQueue { device, history: Vec::new() }
+    }
+
+    /// Executes one command to completion and records its statistics.
+    ///
+    /// Returns the number of elements written to the destination.
+    pub fn submit(&mut self, mem: &mut MemorySystem, cmd: Command<'_>) -> u64 {
+        let stats = match cmd {
+            Command::BitmaskConstruct { src, count, cmp, reference, flags_out } => {
+                self.device.bitmask_construct(mem, src, count, cmp, reference, flags_out)
+            }
+            Command::DataCompaction { src, count, flags, dst } => {
+                self.device.data_compaction_n(mem, src, count, flags, None, dst, 0)
+            }
+            Command::AccessCompaction { src, indexes, count, flags, dst } => {
+                self.device.access_compaction(mem, src, indexes, count, flags, dst)
+            }
+            Command::ReplicationCompaction { src, counts, count, flags, dst } => {
+                self.device.replication_compaction(mem, src, counts, count, flags, None, dst)
+            }
+            Command::AccessExpansionCompaction {
+                src,
+                indexes,
+                counts,
+                count,
+                elem_flags,
+                dst,
+            } => self.device.access_expansion_compaction(
+                mem, src, indexes, counts, count, elem_flags, None, dst,
+            ),
+        };
+        let out = stats.elements_out;
+        self.history.push(stats);
+        out
+    }
+
+    /// Per-command statistics, in submission order.
+    pub fn history(&self) -> &[ScuOpStats] {
+        &self.history
+    }
+
+    /// Total SCU busy time across all submitted commands, ns.
+    pub fn total_time_ns(&self) -> f64 {
+        self.history.iter().map(|s| s.time_ns).sum()
+    }
+
+    /// The underlying device (for aggregate statistics).
+    pub fn device(&self) -> &ScuDevice {
+        &self.device
+    }
+
+    /// Consumes the queue, returning the device.
+    pub fn into_device(self) -> ScuDevice {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScuConfig;
+    use scu_mem::buffer::DeviceAllocator;
+    use scu_mem::system::MemorySystemConfig;
+
+    fn setup() -> (CommandQueue, MemorySystem, DeviceAllocator) {
+        (
+            CommandQueue::new(ScuDevice::new(ScuConfig::tx1())),
+            MemorySystem::new(MemorySystemConfig::tx1()),
+            DeviceAllocator::new(),
+        )
+    }
+
+    #[test]
+    fn pipeline_of_commands_matches_direct_calls() {
+        let (mut q, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 5, 2, 8, 3]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 5);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        q.submit(
+            &mut mem,
+            Command::BitmaskConstruct {
+                src: &src,
+                count: 5,
+                cmp: CompareOp::Ge,
+                reference: 3,
+                flags_out: &mut flags,
+            },
+        );
+        let kept = q.submit(
+            &mut mem,
+            Command::DataCompaction { src: &src, count: 5, flags: Some(&flags), dst: &mut dst },
+        );
+        assert_eq!(kept, 3);
+        assert_eq!(&dst.as_slice()[..3], &[5, 8, 3]);
+        assert_eq!(q.history().len(), 2);
+        assert_eq!(q.history()[0].op, OpKind::BitmaskConstructor);
+        assert!(q.total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn expansion_command_works() {
+        let (mut q, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, (10u32..30).collect());
+        let indexes = DeviceArray::from_vec(&mut alloc, vec![0u32, 10]);
+        let counts = DeviceArray::from_vec(&mut alloc, vec![2u32, 3]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        let n = q.submit(
+            &mut mem,
+            Command::AccessExpansionCompaction {
+                src: &src,
+                indexes: &indexes,
+                counts: &counts,
+                count: 2,
+                elem_flags: None,
+                dst: &mut dst,
+            },
+        );
+        assert_eq!(n, 5);
+        assert_eq!(dst.as_slice(), &[10, 11, 20, 21, 22]);
+    }
+
+    #[test]
+    fn command_kinds_are_reported() {
+        let (_, _, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![0u32]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 1);
+        let cmd = Command::DataCompaction { src: &src, count: 1, flags: None, dst: &mut dst };
+        assert_eq!(cmd.kind(), OpKind::DataCompaction);
+    }
+
+    #[test]
+    fn device_accumulates_across_queue() {
+        let (mut q, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 2]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 2);
+        q.submit(&mut mem, Command::DataCompaction { src: &src, count: 2, flags: None, dst: &mut dst });
+        assert_eq!(q.device().stats().ops, 1);
+        let dev = q.into_device();
+        assert_eq!(dev.stats().elements_out, 2);
+    }
+}

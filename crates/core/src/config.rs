@@ -1,0 +1,243 @@
+//! SCU hardware parameters (paper Tables 1 and 2).
+
+/// Geometry of the reconfigurable in-memory hash table used by the
+/// enhanced SCU's filtering and grouping operations (§4.1).
+///
+/// The table lives in ordinary device memory and is cached by the
+/// shared L2 — "using existing memory does not require any additional
+/// hardware" (§4.1) — so its size relative to the L2 determines how
+/// many probes hit on chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashTableConfig {
+    /// Total table size in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (16 in all paper configurations).
+    pub ways: u32,
+    /// Bytes per entry: 4 for BFS filtering (node ID), 8 for SSSP
+    /// filtering (node ID + best cost), 32 for grouping (block tag +
+    /// up to 8 element slots).
+    pub entry_bytes: u32,
+}
+
+impl HashTableConfig {
+    /// Total number of entries.
+    pub fn num_entries(&self) -> u64 {
+        self.size_bytes / self.entry_bytes as u64
+    }
+
+    /// Number of sets (`entries / ways`).
+    pub fn num_sets(&self) -> u64 {
+        self.num_entries() / self.ways as u64
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any field is zero or the size does not
+    /// divide evenly into sets of `ways` entries.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.entry_bytes == 0 || self.size_bytes == 0 {
+            return Err("hash geometry fields must be positive".into());
+        }
+        if !self.size_bytes.is_multiple_of(self.entry_bytes as u64 * self.ways as u64) {
+            return Err(format!(
+                "hash size {} does not divide into sets of {} x {}B entries",
+                self.size_bytes, self.ways, self.entry_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Full parameter set of one SCU instance.
+///
+/// Fixed parameters come from Table 1 (buffers, coalescing unit);
+/// scalability parameters come from Table 2 (pipeline width and hash
+/// table sizes per target GPU). §5.1 explains the two knobs: pipeline
+/// width is an RTL parameter, hash sizes are set at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScuConfig {
+    /// Target system name ("GTX980" / "TX1").
+    pub name: &'static str,
+    /// Clock frequency, matched to the host GPU (1.27 / 1.0 GHz).
+    pub freq_ghz: f64,
+    /// Elements processed per cycle (4 for GTX980, 1 for TX1).
+    pub pipeline_width: u32,
+    /// Vector-parameter FIFO (Table 1: 5 KB).
+    pub vector_buffer_bytes: u32,
+    /// Data Fetch request FIFO (Table 1: 38 KB).
+    pub fifo_request_buffer_bytes: u32,
+    /// Filtering/grouping request buffer (Table 1: 18 KB).
+    pub hash_request_buffer_bytes: u32,
+    /// Coalescing unit in-flight requests (Table 1: 32).
+    pub coalescer_in_flight: u32,
+    /// Coalescing unit merge window (Table 1: 4).
+    pub coalescer_merge_window: u32,
+    /// Fixed cycles to configure the Address Generator per operation.
+    pub op_setup_cycles: u32,
+    /// Host-side cost of issuing one SCU operation through the API
+    /// (driver write of the configuration registers), ns.
+    pub op_issue_ns: f64,
+    /// Fraction of peak DRAM bandwidth the SCU's dedicated sequential
+    /// streams sustain (§3.2's deep request FIFOs and write coalescing
+    /// are designed for near-peak streaming; Figure 13 shows the SCU
+    /// side approaching peak).
+    pub dram_efficiency: f64,
+    /// Hash geometry for BFS unique filtering (Table 2).
+    pub filter_bfs_hash: HashTableConfig,
+    /// Hash geometry for SSSP unique-best-cost filtering (Table 2).
+    pub filter_sssp_hash: HashTableConfig,
+    /// Hash geometry for SSSP grouping (Table 2).
+    pub grouping_hash: HashTableConfig,
+}
+
+impl ScuConfig {
+    /// SCU sized for the high-performance GTX 980 system (Table 2):
+    /// pipeline width 4; 1 MB / 1.5 MB / 1.2 MB hash tables.
+    pub fn gtx980() -> Self {
+        ScuConfig {
+            name: "GTX980",
+            freq_ghz: 1.27,
+            pipeline_width: 4,
+            vector_buffer_bytes: 5 * 1024,
+            fifo_request_buffer_bytes: 38 * 1024,
+            hash_request_buffer_bytes: 18 * 1024,
+            coalescer_in_flight: 32,
+            coalescer_merge_window: 4,
+            op_setup_cycles: 64,
+            op_issue_ns: 500.0,
+            dram_efficiency: 0.90,
+            filter_bfs_hash: HashTableConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                entry_bytes: 4,
+            },
+            filter_sssp_hash: HashTableConfig {
+                size_bytes: 1536 * 1024,
+                ways: 16,
+                entry_bytes: 8,
+            },
+            grouping_hash: HashTableConfig {
+                size_bytes: 1_228_800, // 1.2 MB (2400 sets x 16 x 32 B)
+                ways: 16,
+                entry_bytes: 32,
+            },
+        }
+    }
+
+    /// SCU sized for the low-power Tegra X1 system (Table 2):
+    /// pipeline width 1; 132 KB / 192 KB / 144 KB hash tables.
+    pub fn tx1() -> Self {
+        ScuConfig {
+            name: "TX1",
+            freq_ghz: 1.0,
+            pipeline_width: 1,
+            vector_buffer_bytes: 5 * 1024,
+            fifo_request_buffer_bytes: 38 * 1024,
+            hash_request_buffer_bytes: 18 * 1024,
+            coalescer_in_flight: 32,
+            coalescer_merge_window: 4,
+            op_setup_cycles: 64,
+            op_issue_ns: 500.0,
+            dram_efficiency: 0.90,
+            filter_bfs_hash: HashTableConfig {
+                size_bytes: 132 * 1024,
+                ways: 16,
+                entry_bytes: 4,
+            },
+            filter_sssp_hash: HashTableConfig {
+                size_bytes: 192 * 1024,
+                ways: 16,
+                entry_bytes: 8,
+            },
+            grouping_hash: HashTableConfig {
+                size_bytes: 144 * 1024,
+                ways: 16,
+                entry_bytes: 32,
+            },
+        }
+    }
+
+    /// Cycle time, ns.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.freq_ghz
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.freq_ghz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.pipeline_width == 0 {
+            return Err("pipeline width must be positive".into());
+        }
+        if self.coalescer_in_flight == 0 || self.coalescer_merge_window == 0 {
+            return Err("coalescer parameters must be positive".into());
+        }
+        if !(0.0 < self.dram_efficiency && self.dram_efficiency <= 1.0) {
+            return Err("dram_efficiency must be in (0, 1]".into());
+        }
+        if self.op_issue_ns < 0.0 {
+            return Err("op_issue_ns must be non-negative".into());
+        }
+        self.filter_bfs_hash.validate()?;
+        self.filter_sssp_hash.validate()?;
+        self.grouping_hash.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ScuConfig::gtx980().validate().unwrap();
+        ScuConfig::tx1().validate().unwrap();
+    }
+
+    #[test]
+    fn table2_pipeline_widths() {
+        assert_eq!(ScuConfig::gtx980().pipeline_width, 4);
+        assert_eq!(ScuConfig::tx1().pipeline_width, 1);
+    }
+
+    #[test]
+    fn table2_hash_sizes() {
+        let g = ScuConfig::gtx980();
+        assert_eq!(g.filter_bfs_hash.size_bytes, 1 << 20);
+        assert_eq!(g.filter_sssp_hash.size_bytes, 1536 * 1024);
+        let t = ScuConfig::tx1();
+        assert_eq!(t.filter_bfs_hash.size_bytes, 132 * 1024);
+        assert_eq!(t.filter_sssp_hash.size_bytes, 192 * 1024);
+        assert_eq!(t.grouping_hash.size_bytes, 144 * 1024);
+    }
+
+    #[test]
+    fn hash_geometry_math() {
+        let h = HashTableConfig { size_bytes: 1 << 20, ways: 16, entry_bytes: 4 };
+        assert_eq!(h.num_entries(), 262_144);
+        assert_eq!(h.num_sets(), 16_384);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let h = HashTableConfig { size_bytes: 100, ways: 16, entry_bytes: 4 };
+        assert!(h.validate().is_err());
+        let h = HashTableConfig { size_bytes: 0, ways: 16, entry_bytes: 4 };
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn grouping_entries_hold_eight_slots() {
+        // 32-byte entries = block tag + 8 x 4-byte element slots (§4.3).
+        let g = ScuConfig::gtx980().grouping_hash;
+        assert_eq!(g.entry_bytes, 32);
+    }
+}

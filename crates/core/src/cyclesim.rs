@@ -1,0 +1,275 @@
+//! Cycle-stepped validation model of the SCU pipeline.
+//!
+//! The paper evaluates the SCU with a cycle-accurate simulator (§5).
+//! The production path in this crate uses the analytic max-of-bounds
+//! model of [`crate::device`]; this module provides an *independent*
+//! cycle-stepped simulation of the Figure 7 pipeline — Address
+//! Generator → Data Fetch (FIFO, bounded in-flight requests) →
+//! memory → Data Store — used by tests to validate that the analytic
+//! bounds agree with a step-by-step execution across operating regimes
+//! (pipeline-bound, bandwidth-bound, latency-bound).
+//!
+//! The model is intentionally restricted to a single streaming
+//! operation (the shape of *Data Compaction*): elements enter at
+//! `pipeline_width` per cycle, each new 128-byte line generates one
+//! memory request, at most `coalescer_in_flight` requests may be
+//! outstanding, responses return after a fixed latency subject to a
+//! bandwidth cap, and elements retire in order once their line has
+//! arrived.
+
+use std::collections::VecDeque;
+
+use crate::config::ScuConfig;
+
+/// Parameters of one simulated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamWorkload {
+    /// Elements to stream.
+    pub elements: u64,
+    /// Bytes per element.
+    pub elem_bytes: u32,
+    /// Memory latency for one line request, in SCU cycles.
+    pub mem_latency_cycles: u32,
+    /// Memory bandwidth: line responses deliverable per cycle
+    /// (fractional values model sub-line-per-cycle DRAM rates).
+    pub lines_per_cycle: f64,
+}
+
+/// Result of a cycle-stepped run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleSimResult {
+    /// Total cycles until the last element retired.
+    pub cycles: u64,
+    /// Cycles the front end stalled on the full in-flight window.
+    pub fetch_stalls: u64,
+    /// Line requests issued.
+    pub requests: u64,
+}
+
+/// The cycle-stepped pipeline.
+#[derive(Debug, Clone)]
+pub struct CycleSim {
+    width: u64,
+    in_flight_cap: usize,
+    line_bytes: u64,
+}
+
+impl CycleSim {
+    /// Builds a simulator from an SCU configuration.
+    pub fn new(cfg: &ScuConfig) -> Self {
+        CycleSim {
+            width: cfg.pipeline_width as u64,
+            in_flight_cap: cfg.coalescer_in_flight as usize,
+            line_bytes: 128,
+        }
+    }
+
+    /// Runs the stream to completion, cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload streams zero-byte elements or has
+    /// non-positive bandwidth.
+    pub fn run(&self, w: StreamWorkload) -> CycleSimResult {
+        assert!(w.elem_bytes > 0, "elements must have positive size");
+        assert!(w.lines_per_cycle > 0.0, "bandwidth must be positive");
+        if w.elements == 0 {
+            return CycleSimResult { cycles: 0, fetch_stalls: 0, requests: 0 };
+        }
+
+        let elems_per_line = (self.line_bytes / w.elem_bytes as u64).max(1);
+        let total_lines = w.elements.div_ceil(elems_per_line);
+
+        // In-flight request completion times (min-queue by arrival).
+        let mut in_flight: VecDeque<u64> = VecDeque::new();
+        // Lines whose data has arrived, in issue order, as cumulative
+        // count (lines arrive in order thanks to the FIFO).
+        let mut lines_arrived: u64 = 0;
+        let mut lines_issued: u64 = 0;
+        let mut elements_retired: u64 = 0;
+        let mut fetch_stalls: u64 = 0;
+        // Bandwidth budget: fractional lines deliverable, accumulated
+        // per cycle.
+        let mut bw_credit: f64 = 0.0;
+
+        let mut cycle: u64 = 0;
+        while elements_retired < w.elements {
+            cycle += 1;
+
+            // 1. Deliver responses whose latency elapsed, subject to
+            //    bandwidth.
+            bw_credit += w.lines_per_cycle;
+            while bw_credit >= 1.0 {
+                match in_flight.front() {
+                    Some(&ready_at) if ready_at <= cycle => {
+                        in_flight.pop_front();
+                        lines_arrived += 1;
+                        bw_credit -= 1.0;
+                    }
+                    _ => break,
+                }
+            }
+            bw_credit = bw_credit.min(8.0); // bounded burst
+
+            // 2. Address generation + fetch: issue requests for new
+            //    lines while the window has room.
+            let mut issued_this_cycle = 0;
+            while lines_issued < total_lines
+                && issued_this_cycle < self.width
+                && in_flight.len() < self.in_flight_cap
+            {
+                in_flight.push_back(cycle + w.mem_latency_cycles as u64);
+                lines_issued += 1;
+                issued_this_cycle += 1;
+            }
+            if lines_issued < total_lines && in_flight.len() >= self.in_flight_cap {
+                fetch_stalls += 1;
+            }
+
+            // 3. Retire up to `width` elements whose line has arrived.
+            let retire_limit = (lines_arrived * elems_per_line).min(w.elements);
+            let can_retire = retire_limit.saturating_sub(elements_retired);
+            elements_retired += can_retire.min(self.width);
+
+            // Safety valve against modelling bugs.
+            assert!(
+                cycle < 64 * w.elements + 1_000_000,
+                "cycle simulation failed to converge"
+            );
+        }
+
+        CycleSimResult { cycles: cycle, fetch_stalls, requests: lines_issued }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(width: u32) -> CycleSim {
+        let mut cfg = ScuConfig::tx1();
+        cfg.pipeline_width = width;
+        CycleSim::new(&cfg)
+    }
+
+    /// Unconstrained memory: throughput must converge to the pipeline
+    /// width, matching the analytic `elements / width` bound within 5%.
+    #[test]
+    fn pipeline_bound_matches_analytic() {
+        for width in [1u32, 2, 4] {
+            let r = sim(width).run(StreamWorkload {
+                elements: 100_000,
+                elem_bytes: 4,
+                mem_latency_cycles: 20,
+                lines_per_cycle: 4.0,
+            });
+            let analytic = 100_000u64.div_ceil(width as u64);
+            let ratio = r.cycles as f64 / analytic as f64;
+            assert!(
+                (0.95..1.10).contains(&ratio),
+                "width {width}: cycle-sim {} vs analytic {} (ratio {ratio})",
+                r.cycles,
+                analytic
+            );
+        }
+    }
+
+    /// Starved memory: cycle count must converge to the bandwidth
+    /// bound `lines / lines_per_cycle` (chosen well above the width-4
+    /// pipeline bound so bandwidth binds).
+    #[test]
+    fn bandwidth_bound_matches_analytic() {
+        let r = sim(4).run(StreamWorkload {
+            elements: 64_000,
+            elem_bytes: 4,
+            mem_latency_cycles: 20,
+            lines_per_cycle: 0.05,
+        });
+        let lines = 64_000 / 32;
+        let analytic = (lines as f64 / 0.05) as u64; // 40_000 cycles
+        let ratio = r.cycles as f64 / analytic as f64;
+        assert!(
+            (0.95..1.10).contains(&ratio),
+            "cycle-sim {} vs analytic {} (ratio {ratio})",
+            r.cycles,
+            analytic
+        );
+    }
+
+    /// Long-latency memory with a small window: the 32-entry in-flight
+    /// cap limits throughput to `window / latency` lines per cycle.
+    #[test]
+    fn latency_bound_matches_littles_law() {
+        let latency = 400u32;
+        let r = sim(4).run(StreamWorkload {
+            elements: 64_000,
+            elem_bytes: 4,
+            mem_latency_cycles: latency,
+            lines_per_cycle: 4.0,
+        });
+        let lines = 64_000 / 32;
+        // Little's law: 32 outstanding / 400-cycle latency.
+        let analytic = lines as f64 * latency as f64 / 32.0;
+        let ratio = r.cycles as f64 / analytic;
+        assert!(
+            (0.95..1.15).contains(&ratio),
+            "cycle-sim {} vs Little's law {} (ratio {ratio})",
+            r.cycles,
+            analytic
+        );
+        assert!(r.fetch_stalls > 0, "window must have filled");
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let r = sim(1).run(StreamWorkload {
+            elements: 0,
+            elem_bytes: 4,
+            mem_latency_cycles: 10,
+            lines_per_cycle: 1.0,
+        });
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.requests, 0);
+    }
+
+    #[test]
+    fn requests_match_line_count() {
+        let r = sim(1).run(StreamWorkload {
+            elements: 1000,
+            elem_bytes: 4,
+            mem_latency_cycles: 10,
+            lines_per_cycle: 1.0,
+        });
+        assert_eq!(r.requests, 1000u64.div_ceil(32));
+    }
+
+    #[test]
+    fn wide_elements_generate_more_lines() {
+        let narrow = sim(1).run(StreamWorkload {
+            elements: 1000,
+            elem_bytes: 4,
+            mem_latency_cycles: 10,
+            lines_per_cycle: 1.0,
+        });
+        let wide = sim(1).run(StreamWorkload {
+            elements: 1000,
+            elem_bytes: 8,
+            mem_latency_cycles: 10,
+            lines_per_cycle: 1.0,
+        });
+        assert_eq!(narrow.requests, (1000u64 * 4).div_ceil(128));
+        assert_eq!(wide.requests, (1000u64 * 8).div_ceil(128));
+        assert!(wide.requests > narrow.requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_byte_elements_rejected() {
+        sim(1).run(StreamWorkload {
+            elements: 1,
+            elem_bytes: 0,
+            mem_latency_cycles: 1,
+            lines_per_cycle: 1.0,
+        });
+    }
+}

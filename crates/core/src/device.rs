@@ -1,0 +1,1173 @@
+//! The SCU device: five compaction operations plus the enhanced
+//! filtering/grouping passes.
+//!
+//! Every operation executes functionally against
+//! [`DeviceArray`] contents and charges time as the maximum of three
+//! bounds, mirroring the hardware pipeline of Figure 7:
+//!
+//! * **pipeline** — `setup + elements / pipeline_width` cycles
+//!   (Address Generator throughput);
+//! * **memory** — the L2/DRAM service time of the operation's traffic
+//!   (sequential streams touch each line once; sparse gathers go
+//!   through the Coalescing Unit's 4-element merge window);
+//! * **latency** — total *sparse-access* latency (coalescing-unit
+//!   gathers and hash probes) divided by the 32-request in-flight
+//!   budget. Sequential streams are fully covered by the 38 KB
+//!   request FIFO's prefetch depth and contribute bandwidth only.
+//!
+//! The enhanced passes (§4) implement the two-step scheme: step 1
+//! streams the would-be output and produces a filtering bitmask
+//! ([`ScuDevice::filter_pass_data`], [`ScuDevice::filter_pass_expansion`])
+//! or a grouping reorder vector ([`ScuDevice::group_pass_data`],
+//! [`ScuDevice::group_pass_expansion`]); step 2 is the ordinary
+//! compaction operation given those vectors.
+
+use scu_mem::buffer::DeviceArray;
+use scu_mem::cache::AccessKind;
+use scu_mem::coalescer::StreamCoalescer;
+use scu_mem::line::LineSize;
+use scu_mem::stats::MemoryStats;
+use scu_mem::system::MemorySystem;
+
+use crate::config::ScuConfig;
+use crate::group::GroupHash;
+use crate::hash::{FilterHash, FilterMode};
+use crate::stats::{OpKind, ScuBounds, ScuOpStats, ScuStats};
+use crate::streams::SeqStream;
+
+/// Comparison operator of the Bitmask Constructor operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// Keep elements equal to the reference.
+    Eq,
+    /// Keep elements different from the reference.
+    Ne,
+    /// Keep elements strictly below the reference.
+    Lt,
+    /// Keep elements at or below the reference.
+    Le,
+    /// Keep elements strictly above the reference.
+    Gt,
+    /// Keep elements at or above the reference.
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates `value <op> reference`.
+    #[inline]
+    pub fn eval<T: PartialOrd>(self, value: T, reference: T) -> bool {
+        match self {
+            CompareOp::Eq => value == reference,
+            CompareOp::Ne => value != reference,
+            CompareOp::Lt => value < reference,
+            CompareOp::Le => value <= reference,
+            CompareOp::Gt => value > reference,
+            CompareOp::Ge => value >= reference,
+        }
+    }
+}
+
+/// Flagged-out elements per lane-cycle the bitmask scanner can skip
+/// without occupying a full pipeline slot: step 2 of the enhanced
+/// scheme (§4.1) reads the filtering vector first, so dropped elements
+/// are never fetched and only stream through the scanner.
+const FLAG_SKIP_RATE: u64 = 4;
+
+/// Per-operation accounting state.
+struct OpRun {
+    kind: OpKind,
+    mem_before: MemoryStats,
+    service_before: f64,
+    control: u64,
+    data: u64,
+    skipped: u64,
+    out: u64,
+    latency_ns: f64,
+    issued: u64,
+    merged: u64,
+}
+
+/// The Stream Compaction Unit device model.
+///
+/// One instance corresponds to the single SCU attached to the GPU
+/// interconnect (Figure 5). Operations run to completion one at a time
+/// — the unit processes compaction sequentially, "avoiding
+/// synchronization and work distribution overheads" (§3).
+#[derive(Debug, Clone)]
+pub struct ScuDevice {
+    cfg: ScuConfig,
+    stats: ScuStats,
+}
+
+impl ScuDevice {
+    /// Creates an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ScuConfig::validate`].
+    pub fn new(cfg: ScuConfig) -> Self {
+        cfg.validate().expect("invalid SCU config");
+        ScuDevice { cfg, stats: ScuStats::default() }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &ScuConfig {
+        &self.cfg
+    }
+
+    /// Accumulated device statistics.
+    pub fn stats(&self) -> &ScuStats {
+        &self.stats
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = ScuStats::default();
+    }
+
+    fn begin(&self, mem: &MemorySystem, kind: OpKind) -> OpRun {
+        OpRun {
+            kind,
+            mem_before: mem.stats(),
+            service_before: mem.service_time_ns(),
+            control: 0,
+            data: 0,
+            skipped: 0,
+            out: 0,
+            latency_ns: 0.0,
+            issued: 0,
+            merged: 0,
+        }
+    }
+
+    fn finish(&mut self, mem: &MemorySystem, run: OpRun) -> ScuOpStats {
+        // The Address Generator walks control streams while Data
+        // Fetch/Store move data elements: distinct pipeline stages that
+        // overlap, so occupancy is the slower stage, not their sum.
+        // Flagged-out elements only pass the bitmask scanner, which
+        // consumes FLAG_SKIP_RATE of them per lane-cycle.
+        let slots = run.control.max(run.data + run.skipped / FLAG_SKIP_RATE);
+        let cycles = self.cfg.op_setup_cycles as u64
+            + slots.div_ceil(self.cfg.pipeline_width as u64);
+        let pipeline_ns =
+            cycles as f64 * self.cfg.cycle_ns() + self.cfg.op_issue_ns;
+        let memory_ns = (mem.service_time_ns() - run.service_before).max(0.0)
+            / self.cfg.dram_efficiency;
+        let latency_ns = run.latency_ns / self.cfg.coalescer_in_flight as f64;
+        let bounds = ScuBounds { pipeline_ns, memory_ns, latency_ns };
+        let op = ScuOpStats {
+            op: run.kind,
+            control_elements: run.control,
+            data_elements: run.data,
+            skipped_elements: run.skipped,
+            elements_out: run.out,
+            scu_cycles: cycles,
+            requests_issued: run.issued,
+            requests_merged: run.merged,
+            mem: mem.stats().since(&run.mem_before),
+            bounds,
+            time_ns: bounds.max_ns(),
+        };
+        self.stats.absorb(&op);
+        op
+    }
+
+    fn gather_coalescer(&self) -> StreamCoalescer {
+        StreamCoalescer::new(LineSize::L128, self.cfg.coalescer_merge_window as usize)
+    }
+
+    /// Drives one sparse request through a coalescing unit, charging
+    /// issued lines to memory.
+    fn gather(
+        run: &mut OpRun,
+        co: &mut StreamCoalescer,
+        mem: &mut MemorySystem,
+        addr: u64,
+        kind: AccessKind,
+    ) {
+        match co.push(addr) {
+            Some(line) => {
+                run.issued += 1;
+                let out = mem.access(line, kind);
+                run.latency_ns += out.latency_ns;
+            }
+            None => run.merged += 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The five operations of Figure 6.
+    // ------------------------------------------------------------------
+
+    /// *Bitmask Constructor*: compares the first `count` elements of
+    /// `src` against `reference` and writes a 0/1 flag per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags_out` is shorter than `count` or `src` is
+    /// shorter than `count`.
+    pub fn bitmask_construct<T: Copy + PartialOrd>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        count: usize,
+        cmp: CompareOp,
+        reference: T,
+        flags_out: &mut DeviceArray<u8>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::BitmaskConstructor);
+        let mut src_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_wr = SeqStream::new(AccessKind::Write);
+        let esz = src.elem_bytes() as u64;
+        for i in 0..count {
+            src_rd.touch(mem, src.addr(i), esz);
+            let keep = cmp.eval(src.get(i), reference);
+            flag_wr.touch(mem, flags_out.addr(i), 1);
+            flags_out.set(i, keep as u8);
+            run.data += 1;
+            run.out += 1;
+        }
+        run.issued += src_rd.accesses() + flag_wr.accesses();
+        self.finish(mem, run)
+    }
+
+    /// *Data Compaction*: streams `count` elements of `src`, keeps
+    /// those whose flag is nonzero (all, when `flags` is `None`), and
+    /// writes them contiguously into `dst` — or, when a grouping
+    /// `order` vector is given, writes the k-th kept element at
+    /// `dst[order[k]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is shorter than `count`, or `dst` cannot
+    /// hold the kept elements.
+    pub fn data_compaction<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        flags: Option<&DeviceArray<u8>>,
+        dst: &mut DeviceArray<T>,
+    ) -> ScuOpStats {
+        let count = src.len();
+        self.data_compaction_n(mem, src, count, flags, None, dst, 0)
+    }
+
+    /// [`ScuDevice::data_compaction`] with an explicit element count,
+    /// optional grouping order vector, and a destination offset (kept
+    /// elements land at `dst[dst_offset + position]` — used to append
+    /// to the SSSP far pile).
+    #[allow(clippy::too_many_arguments)]
+    pub fn data_compaction_n<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        count: usize,
+        flags: Option<&DeviceArray<u8>>,
+        order: Option<&DeviceArray<u32>>,
+        dst: &mut DeviceArray<T>,
+        dst_offset: usize,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::DataCompaction);
+        let mut src_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut order_rd = SeqStream::new(AccessKind::Read);
+        let mut dst_wr = SeqStream::new(AccessKind::Write);
+        let mut scatter = self.gather_coalescer();
+        let esz = src.elem_bytes() as u64;
+
+        for i in 0..count {
+            src_rd.touch(mem, src.addr(i), esz);
+            let keep = match flags {
+                Some(f) => {
+                    flag_rd.touch(mem, f.addr(i), 1);
+                    f.get(i) != 0
+                }
+                None => true,
+            };
+            if keep {
+                run.data += 1;
+                let k = run.out as usize;
+                let pos = dst_offset
+                    + match order {
+                        Some(o) => {
+                            order_rd.touch(mem, o.addr(k), 4);
+                            o.get(k) as usize
+                        }
+                        None => k,
+                    };
+                if order.is_some() {
+                    Self::gather(&mut run, &mut scatter, mem, dst.addr(pos), AccessKind::Write);
+                } else {
+                    dst_wr.touch(mem, dst.addr(pos), esz);
+                }
+                dst.set(pos, src.get(i));
+                run.out += 1;
+            } else {
+                run.skipped += 1;
+            }
+        }
+        run.issued += src_rd.accesses()
+            + flag_rd.accesses()
+            + order_rd.accesses()
+            + dst_wr.accesses();
+        self.finish(mem, run)
+    }
+
+    /// *Access Compaction*: streams `count` entries of `indexes`,
+    /// keeps flagged ones, gathers `src[index]` through the coalescing
+    /// unit, and writes the gathered elements contiguously into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indexes or a too-small `dst`.
+    pub fn access_compaction<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        indexes: &DeviceArray<u32>,
+        count: usize,
+        flags: Option<&DeviceArray<u8>>,
+        dst: &mut DeviceArray<T>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::AccessCompaction);
+        let mut idx_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut dst_wr = SeqStream::new(AccessKind::Write);
+        let mut co = self.gather_coalescer();
+        let esz = src.elem_bytes() as u64;
+
+        for i in 0..count {
+            idx_rd.touch(mem, indexes.addr(i), 4);
+            let keep = match flags {
+                Some(f) => {
+                    flag_rd.touch(mem, f.addr(i), 1);
+                    f.get(i) != 0
+                }
+                None => true,
+            };
+            if keep {
+                let idx = indexes.get(i) as usize;
+                Self::gather(&mut run, &mut co, mem, src.addr(idx), AccessKind::Read);
+                run.data += 1;
+                let k = run.out as usize;
+                dst_wr.touch(mem, dst.addr(k), esz);
+                dst.set(k, src.get(idx));
+                run.out += 1;
+            } else {
+                run.skipped += 1;
+            }
+        }
+        run.issued += idx_rd.accesses() + flag_rd.accesses() + dst_wr.accesses();
+        self.finish(mem, run)
+    }
+
+    /// *Replication Compaction*: streams `count` elements of `src`
+    /// with their `counts` entries; each kept element is written
+    /// `counts[i]` times into `dst`.
+    ///
+    /// `elem_flags`, when given, additionally filters individual
+    /// *replicated* copies (indexed by the running expanded-element
+    /// counter) — used when a filtering bitmask produced over the
+    /// matching expansion stream must be applied to the replicated
+    /// stream as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are shorter than `count` or `dst` cannot hold
+    /// the replicated output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replication_compaction<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        counts: &DeviceArray<u32>,
+        count: usize,
+        flags: Option<&DeviceArray<u8>>,
+        elem_flags: Option<&DeviceArray<u8>>,
+        dst: &mut DeviceArray<T>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::ReplicationCompaction);
+        let mut src_rd = SeqStream::new(AccessKind::Read);
+        let mut cnt_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut eflag_rd = SeqStream::new(AccessKind::Read);
+        let mut dst_wr = SeqStream::new(AccessKind::Write);
+        let esz = src.elem_bytes() as u64;
+
+        let mut e = 0usize;
+        for i in 0..count {
+            run.control += 1;
+            src_rd.touch(mem, src.addr(i), esz);
+            cnt_rd.touch(mem, counts.addr(i), 4);
+            let keep = match flags {
+                Some(f) => {
+                    flag_rd.touch(mem, f.addr(i), 1);
+                    f.get(i) != 0
+                }
+                None => true,
+            };
+            if keep {
+                let v = src.get(i);
+                for _ in 0..counts.get(i) {
+                    let copy_keep = match elem_flags {
+                        Some(f) => {
+                            eflag_rd.touch(mem, f.addr(e), 1);
+                            f.get(e) != 0
+                        }
+                        None => true,
+                    };
+                    e += 1;
+                    if !copy_keep {
+                        run.skipped += 1;
+                        continue;
+                    }
+                    run.data += 1;
+                    let k = run.out as usize;
+                    dst_wr.touch(mem, dst.addr(k), esz);
+                    dst.set(k, v);
+                    run.out += 1;
+                }
+            } else {
+                run.skipped += counts.get(i) as u64;
+                e += counts.get(i) as usize;
+            }
+        }
+        run.issued += eflag_rd.accesses();
+        run.issued += src_rd.accesses()
+            + cnt_rd.accesses()
+            + flag_rd.accesses()
+            + dst_wr.accesses();
+        self.finish(mem, run)
+    }
+
+    /// *Access Expansion Compaction*: for each kept control entry `i`,
+    /// gathers the `counts[i]` consecutive elements of `src` starting
+    /// at `indexes[i]` (a CSR adjacency slice) and appends them to
+    /// `dst`.
+    ///
+    /// `elem_flags`, when given, filters individual *expanded*
+    /// elements (indexed by the running expanded-element counter) —
+    /// this is how the enhanced SCU applies a filtering bitmask
+    /// produced by [`ScuDevice::filter_pass_expansion`]. `order`, when
+    /// given, maps the k-th kept output to `dst[order[k]]` (grouping).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds accesses or a too-small `dst`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_expansion_compaction<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<T>,
+        indexes: &DeviceArray<u32>,
+        counts: &DeviceArray<u32>,
+        count: usize,
+        elem_flags: Option<&DeviceArray<u8>>,
+        order: Option<&DeviceArray<u32>>,
+        dst: &mut DeviceArray<T>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::AccessExpansionCompaction);
+        let mut idx_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut order_rd = SeqStream::new(AccessKind::Read);
+        let mut dst_wr = SeqStream::new(AccessKind::Write);
+        let mut co = self.gather_coalescer();
+        let mut scatter = self.gather_coalescer();
+        let esz = src.elem_bytes() as u64;
+
+        let mut e = 0usize; // running expanded-element counter
+        for i in 0..count {
+            run.control += 1;
+            idx_rd.touch(mem, indexes.addr(i), 4);
+            idx_rd.touch(mem, counts.addr(i), 4);
+            let start = indexes.get(i) as usize;
+            let n = counts.get(i) as usize;
+            for j in 0..n {
+                let keep = match elem_flags {
+                    Some(f) => {
+                        flag_rd.touch(mem, f.addr(e), 1);
+                        f.get(e) != 0
+                    }
+                    None => true,
+                };
+                if keep {
+                    Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                    run.data += 1;
+                    let k = run.out as usize;
+                    let pos = match order {
+                        Some(o) => {
+                            order_rd.touch(mem, o.addr(k), 4);
+                            o.get(k) as usize
+                        }
+                        None => k,
+                    };
+                    if order.is_some() {
+                        Self::gather(
+                            &mut run,
+                            &mut scatter,
+                            mem,
+                            dst.addr(pos),
+                            AccessKind::Write,
+                        );
+                    } else {
+                        dst_wr.touch(mem, dst.addr(pos), esz);
+                    }
+                    dst.set(pos, src.get(start + j));
+                    run.out += 1;
+                } else {
+                    run.skipped += 1;
+                }
+                e += 1;
+            }
+        }
+        run.issued += idx_rd.accesses()
+            + flag_rd.accesses()
+            + order_rd.accesses()
+            + dst_wr.accesses();
+        self.finish(mem, run)
+    }
+
+    // ------------------------------------------------------------------
+    // Enhanced SCU: step-1 passes (§4).
+    // ------------------------------------------------------------------
+
+    /// Filtering step 1 over a dense element stream: probes each
+    /// flagged-valid element of `src` (IDs) in the hash and writes the
+    /// keep/drop decision to `flags_out`. `costs`, when given, selects
+    /// unique-best-cost mode using the aligned cost stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths are shorter than `count`, or if `mode`
+    /// is [`FilterMode::UniqueBestCost`] but `costs` is `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn filter_pass_data(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<u32>,
+        count: usize,
+        flags_in: Option<&DeviceArray<u8>>,
+        mode: FilterMode,
+        costs: Option<&DeviceArray<u32>>,
+        hash: &mut FilterHash,
+        flags_out: &mut DeviceArray<u8>,
+    ) -> ScuOpStats {
+        assert!(
+            mode == FilterMode::Unique || costs.is_some(),
+            "unique-best-cost filtering requires a cost stream"
+        );
+        let mut run = self.begin(mem, OpKind::FilterPass);
+        let filter_before = hash.stats();
+        let hash_lat_before = hash.latency_ns();
+        let mut src_rd = SeqStream::new(AccessKind::Read);
+        let mut cost_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_wr = SeqStream::new(AccessKind::Write);
+
+        for i in 0..count {
+            src_rd.touch(mem, src.addr(i), 4);
+            let valid = match flags_in {
+                Some(f) => {
+                    flag_rd.touch(mem, f.addr(i), 1);
+                    f.get(i) != 0
+                }
+                None => true,
+            };
+            let keep = if valid {
+                run.data += 1;
+                let id = src.get(i);
+                match mode {
+                    FilterMode::Unique => hash.probe_unique(mem, id),
+                    FilterMode::UniqueBestCost => {
+                        let c = costs.expect("checked above");
+                        cost_rd.touch(mem, c.addr(i), 4);
+                        hash.probe_best_cost(mem, id, c.get(i))
+                    }
+                }
+            } else {
+                run.skipped += 1;
+                false
+            };
+            flag_wr.touch(mem, flags_out.addr(i), 1);
+            flags_out.set(i, keep as u8);
+            if keep {
+                run.out += 1;
+            }
+        }
+        run.latency_ns += hash.latency_ns() - hash_lat_before;
+        run.issued += src_rd.accesses()
+            + cost_rd.accesses()
+            + flag_rd.accesses()
+            + flag_wr.accesses();
+        let mut window = hash.stats();
+        window = {
+            let mut w = window;
+            w.probes -= filter_before.probes;
+            w.kept -= filter_before.kept;
+            w.dropped -= filter_before.dropped;
+            w.evictions -= filter_before.evictions;
+            w
+        };
+        self.stats.filter.merge(&window);
+        self.finish(mem, run)
+    }
+
+    /// Filtering step 1 over an expanded (CSR-sliced) stream: probes
+    /// each expanded element of `src`, writing a keep/drop flag per
+    /// expanded element into `flags_out` (length = sum of `counts`).
+    ///
+    /// In [`FilterMode::Unique`] the probe key is the element value
+    /// (BFS: destination node ID). In
+    /// [`FilterMode::UniqueBestCost`] the probe cost is
+    /// `base[i] + weights[indexes[i] + j]` — the candidate path cost of
+    /// the expanded edge; the filter unit includes the one adder this
+    /// requires (SSSP, §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds accesses, or if `mode` is
+    /// [`FilterMode::UniqueBestCost`] and `weights`/`base` is `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn filter_pass_expansion(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<u32>,
+        weights: Option<&DeviceArray<u32>>,
+        indexes: &DeviceArray<u32>,
+        counts: &DeviceArray<u32>,
+        count: usize,
+        base: Option<&DeviceArray<u32>>,
+        mode: FilterMode,
+        hash: &mut FilterHash,
+        flags_out: &mut DeviceArray<u8>,
+    ) -> ScuOpStats {
+        assert!(
+            mode == FilterMode::Unique || (weights.is_some() && base.is_some()),
+            "unique-best-cost expansion filtering requires weights and base costs"
+        );
+        let mut run = self.begin(mem, OpKind::FilterPass);
+        let filter_before = hash.stats();
+        let hash_lat_before = hash.latency_ns();
+        let mut idx_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_wr = SeqStream::new(AccessKind::Write);
+        let mut co = self.gather_coalescer();
+        let mut wco = self.gather_coalescer();
+
+        let mut e = 0usize;
+        for i in 0..count {
+            run.control += 1;
+            idx_rd.touch(mem, indexes.addr(i), 4);
+            idx_rd.touch(mem, counts.addr(i), 4);
+            if let Some(b) = base {
+                idx_rd.touch(mem, b.addr(i), 4);
+            }
+            let start = indexes.get(i) as usize;
+            for j in 0..counts.get(i) as usize {
+                Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                run.data += 1;
+                let id = src.get(start + j);
+                let keep = match mode {
+                    FilterMode::Unique => hash.probe_unique(mem, id),
+                    FilterMode::UniqueBestCost => {
+                        let w = weights.expect("checked above");
+                        Self::gather(
+                            &mut run,
+                            &mut wco,
+                            mem,
+                            w.addr(start + j),
+                            AccessKind::Read,
+                        );
+                        let cost = base
+                            .expect("checked above")
+                            .get(i)
+                            .saturating_add(w.get(start + j));
+                        hash.probe_best_cost(mem, id, cost)
+                    }
+                };
+                flag_wr.touch(mem, flags_out.addr(e), 1);
+                flags_out.set(e, keep as u8);
+                if keep {
+                    run.out += 1;
+                }
+                e += 1;
+            }
+        }
+        run.latency_ns += hash.latency_ns() - hash_lat_before;
+        run.issued += idx_rd.accesses() + flag_wr.accesses();
+        let after = hash.stats();
+        let window = crate::stats::FilterStats {
+            probes: after.probes - filter_before.probes,
+            kept: after.kept - filter_before.kept,
+            dropped: after.dropped - filter_before.dropped,
+            evictions: after.evictions - filter_before.evictions,
+        };
+        self.stats.filter.merge(&window);
+        self.finish(mem, run)
+    }
+
+    /// Grouping step 1 over a dense element stream: for each kept
+    /// element (per `flags_in`), computes the memory block of its
+    /// destination entry in `target` and assigns output positions so
+    /// same-block elements are consecutive. Writes `order_out[k] =
+    /// output position of the k-th kept element`.
+    ///
+    /// Returns the op stats; the number of kept elements is
+    /// `elements_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds accesses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn group_pass_data<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<u32>,
+        count: usize,
+        flags_in: Option<&DeviceArray<u8>>,
+        target: &DeviceArray<T>,
+        hash: &mut GroupHash,
+        order_out: &mut DeviceArray<u32>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::GroupPass);
+        let group_before = hash.stats();
+        let hash_lat_before = hash.latency_ns();
+        let mut src_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut order_wr = self.gather_coalescer();
+
+        let mut next_pos = 0u32;
+        let emit = |run: &mut OpRun,
+                        mem: &mut MemorySystem,
+                        order_wr: &mut StreamCoalescer,
+                        order_out: &mut DeviceArray<u32>,
+                        members: Vec<u32>,
+                        next_pos: &mut u32| {
+            for m in members {
+                Self::gather(run, order_wr, mem, order_out.addr(m as usize), AccessKind::Write);
+                order_out.set(m as usize, *next_pos);
+                *next_pos += 1;
+            }
+        };
+
+        for i in 0..count {
+            src_rd.touch(mem, src.addr(i), 4);
+            let valid = match flags_in {
+                Some(f) => {
+                    flag_rd.touch(mem, f.addr(i), 1);
+                    f.get(i) != 0
+                }
+                None => true,
+            };
+            if !valid {
+                run.skipped += 1;
+                continue;
+            }
+            run.data += 1;
+            let k = run.out as u32;
+            let dest = src.get(i) as usize;
+            let block = LineSize::L128.index_of(target.addr(dest));
+            if let Some(members) = hash.push(mem, k, block) {
+                emit(&mut run, mem, &mut order_wr, order_out, members, &mut next_pos);
+            }
+            run.out += 1;
+        }
+        for members in hash.flush() {
+            emit(&mut run, mem, &mut order_wr, order_out, members, &mut next_pos);
+        }
+
+        run.latency_ns += hash.latency_ns() - hash_lat_before;
+        run.issued += src_rd.accesses() + flag_rd.accesses();
+        let after = hash.stats();
+        let window = crate::stats::GroupStats {
+            elements: after.elements - group_before.elements,
+            groups: after.groups - group_before.groups,
+            joined: after.joined - group_before.joined,
+        };
+        self.stats.group.merge(&window);
+        self.finish(mem, run)
+    }
+
+    /// Grouping step 1 over an expanded (CSR-sliced) stream; see
+    /// [`ScuDevice::group_pass_data`]. `elem_flags` filters individual
+    /// expanded elements (the filtering vector from step 1 of the
+    /// enhanced expansion), so grouping only orders elements that
+    /// survive filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds accesses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn group_pass_expansion<T: Copy>(
+        &mut self,
+        mem: &mut MemorySystem,
+        src: &DeviceArray<u32>,
+        indexes: &DeviceArray<u32>,
+        counts: &DeviceArray<u32>,
+        count: usize,
+        elem_flags: Option<&DeviceArray<u8>>,
+        target: &DeviceArray<T>,
+        hash: &mut GroupHash,
+        order_out: &mut DeviceArray<u32>,
+    ) -> ScuOpStats {
+        let mut run = self.begin(mem, OpKind::GroupPass);
+        let group_before = hash.stats();
+        let hash_lat_before = hash.latency_ns();
+        let mut idx_rd = SeqStream::new(AccessKind::Read);
+        let mut flag_rd = SeqStream::new(AccessKind::Read);
+        let mut co = self.gather_coalescer();
+        let mut order_wr = self.gather_coalescer();
+
+        let mut next_pos = 0u32;
+        let mut pending: Vec<Vec<u32>> = Vec::new();
+
+        let mut e = 0usize;
+        for i in 0..count {
+            run.control += 1;
+            idx_rd.touch(mem, indexes.addr(i), 4);
+            idx_rd.touch(mem, counts.addr(i), 4);
+            let start = indexes.get(i) as usize;
+            for j in 0..counts.get(i) as usize {
+                let keep = match elem_flags {
+                    Some(f) => {
+                        flag_rd.touch(mem, f.addr(e), 1);
+                        f.get(e) != 0
+                    }
+                    None => true,
+                };
+                e += 1;
+                if !keep {
+                    run.skipped += 1;
+                    continue;
+                }
+                Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                run.data += 1;
+                let k = run.out as u32;
+                let dest = src.get(start + j) as usize;
+                let block = LineSize::L128.index_of(target.addr(dest));
+                if let Some(members) = hash.push(mem, k, block) {
+                    pending.push(members);
+                }
+                run.out += 1;
+            }
+        }
+        pending.extend(hash.flush());
+        for members in pending {
+            for m in members {
+                Self::gather(
+                    &mut run,
+                    &mut order_wr,
+                    mem,
+                    order_out.addr(m as usize),
+                    AccessKind::Write,
+                );
+                order_out.set(m as usize, next_pos);
+                next_pos += 1;
+            }
+        }
+
+        run.latency_ns += hash.latency_ns() - hash_lat_before;
+        run.issued += idx_rd.accesses() + flag_rd.accesses();
+        let after = hash.stats();
+        let window = crate::stats::GroupStats {
+            elements: after.elements - group_before.elements,
+            groups: after.groups - group_before.groups,
+            joined: after.joined - group_before.joined,
+        };
+        self.stats.group.merge(&window);
+        self.finish(mem, run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HashTableConfig;
+    use scu_mem::buffer::DeviceAllocator;
+    use scu_mem::system::MemorySystemConfig;
+
+    fn setup() -> (ScuDevice, MemorySystem, DeviceAllocator) {
+        (
+            ScuDevice::new(ScuConfig::tx1()),
+            MemorySystem::new(MemorySystemConfig::tx1()),
+            DeviceAllocator::new(),
+        )
+    }
+
+    #[test]
+    fn bitmask_constructor_compares() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 5, 3, 9, 2]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 5);
+        let op = scu.bitmask_construct(&mut mem, &src, 5, CompareOp::Lt, 4, &mut flags);
+        assert_eq!(flags.as_slice(), &[1, 0, 1, 0, 1]);
+        assert_eq!(op.data_elements, 5);
+        assert!(op.time_ns > 0.0);
+    }
+
+    #[test]
+    fn compare_ops_all_work() {
+        assert!(CompareOp::Eq.eval(3, 3));
+        assert!(CompareOp::Ne.eval(3, 4));
+        assert!(CompareOp::Lt.eval(3, 4));
+        assert!(CompareOp::Le.eval(4, 4));
+        assert!(CompareOp::Gt.eval(5, 4));
+        assert!(CompareOp::Ge.eval(4, 4));
+        assert!(!CompareOp::Eq.eval(3, 4));
+    }
+
+    #[test]
+    fn data_compaction_preserves_order() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![10u32, 20, 30, 40]);
+        let flags = DeviceArray::from_vec(&mut alloc, vec![0u8, 1, 1, 0]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4);
+        let op = scu.data_compaction(&mut mem, &src, Some(&flags), &mut dst);
+        assert_eq!(op.elements_out, 2);
+        assert_eq!(&dst.as_slice()[..2], &[20, 30]);
+    }
+
+    #[test]
+    fn data_compaction_no_flags_copies_all() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 2, 3]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 3);
+        let op = scu.data_compaction(&mut mem, &src, None, &mut dst);
+        assert_eq!(op.elements_out, 3);
+        assert_eq!(dst.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn access_compaction_gathers() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, (0u32..100).map(|i| i * 10).collect());
+        let indexes = DeviceArray::from_vec(&mut alloc, vec![5u32, 50, 99]);
+        let flags = DeviceArray::from_vec(&mut alloc, vec![1u8, 0, 1]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 3);
+        let op = scu.access_compaction(&mut mem, &src, &indexes, 3, Some(&flags), &mut dst);
+        assert_eq!(op.elements_out, 2);
+        assert_eq!(&dst.as_slice()[..2], &[50, 990]);
+    }
+
+    #[test]
+    fn replication_compaction_repeats() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![7u32, 8, 9]);
+        let counts = DeviceArray::from_vec(&mut alloc, vec![2u32, 0, 3]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        let op = scu.replication_compaction(&mut mem, &src, &counts, 3, None, None, &mut dst);
+        assert_eq!(op.elements_out, 5);
+        assert_eq!(dst.as_slice(), &[7, 7, 9, 9, 9]);
+    }
+
+    #[test]
+    fn access_expansion_expands_csr_slices() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        // "edges" array; expand slices [2..5) and [7..9).
+        let src = DeviceArray::from_vec(&mut alloc, (100u32..120).collect());
+        let indexes = DeviceArray::from_vec(&mut alloc, vec![2u32, 7]);
+        let counts = DeviceArray::from_vec(&mut alloc, vec![3u32, 2]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        let op = scu.access_expansion_compaction(
+            &mut mem, &src, &indexes, &counts, 2, None, None, &mut dst,
+        );
+        assert_eq!(op.elements_out, 5);
+        assert_eq!(dst.as_slice(), &[102, 103, 104, 107, 108]);
+    }
+
+    #[test]
+    fn access_expansion_applies_element_flags() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, (0u32..10).collect());
+        let indexes = DeviceArray::from_vec(&mut alloc, vec![0u32, 5]);
+        let counts = DeviceArray::from_vec(&mut alloc, vec![3u32, 3]);
+        // 6 expanded elements 0,1,2,5,6,7; keep elements 1, 5, 7.
+        let flags = DeviceArray::from_vec(&mut alloc, vec![0u8, 1, 0, 1, 0, 1]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 6);
+        let op = scu.access_expansion_compaction(
+            &mut mem, &src, &indexes, &counts, 2, Some(&flags), None, &mut dst,
+        );
+        assert_eq!(op.elements_out, 3);
+        assert_eq!(&dst.as_slice()[..3], &[1, 5, 7]);
+    }
+
+    #[test]
+    fn filter_pass_drops_duplicates() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = FilterHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 4 },
+        );
+        let src = DeviceArray::from_vec(&mut alloc, vec![3u32, 5, 3, 7, 5, 3]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 6);
+        let op = scu.filter_pass_data(
+            &mut mem, &src, 6, None, FilterMode::Unique, None, &mut hash, &mut flags,
+        );
+        assert_eq!(flags.as_slice(), &[1, 1, 0, 1, 0, 0]);
+        assert_eq!(op.elements_out, 3);
+        assert_eq!(scu.stats().filter.dropped, 3);
+    }
+
+    #[test]
+    fn filter_then_compact_round_trip() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = FilterHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 4 },
+        );
+        let src = DeviceArray::from_vec(&mut alloc, vec![9u32, 9, 4, 4, 1]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 5);
+        scu.filter_pass_data(
+            &mut mem, &src, 5, None, FilterMode::Unique, None, &mut hash, &mut flags,
+        );
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        let op = scu.data_compaction(&mut mem, &src, Some(&flags), &mut dst);
+        assert_eq!(op.elements_out, 3);
+        assert_eq!(&dst.as_slice()[..3], &[9, 4, 1]);
+    }
+
+    #[test]
+    fn filter_pass_best_cost_mode() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = FilterHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 8 },
+        );
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 1, 1]);
+        let costs = DeviceArray::from_vec(&mut alloc, vec![10u32, 5, 8]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 3);
+        scu.filter_pass_data(
+            &mut mem,
+            &src,
+            3,
+            None,
+            FilterMode::UniqueBestCost,
+            Some(&costs),
+            &mut hash,
+            &mut flags,
+        );
+        // cost 10 (new), 5 (better), 8 (worse).
+        assert_eq!(flags.as_slice(), &[1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost stream")]
+    fn best_cost_without_costs_panics() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = FilterHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 8 },
+        );
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 1);
+        scu.filter_pass_data(
+            &mut mem,
+            &src,
+            1,
+            None,
+            FilterMode::UniqueBestCost,
+            None,
+            &mut hash,
+            &mut flags,
+        );
+    }
+
+    #[test]
+    fn group_pass_orders_same_line_destinations_together() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = GroupHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 144 * 1024, ways: 16, entry_bytes: 32 },
+        );
+        // Target array of u32: 32 entries per 128-byte line. Elements
+        // 0 and 64 are in different lines; 0 and 1 share a line.
+        let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 256);
+        let src = DeviceArray::from_vec(&mut alloc, vec![0u32, 64, 1, 65, 2]);
+        let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+        let op =
+            scu.group_pass_data(&mut mem, &src, 5, None, &target, &mut hash, &mut order);
+        assert_eq!(op.elements_out, 5);
+        let o = order.as_slice();
+        // Positions must be a permutation of 0..5.
+        let mut sorted = o.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        // Same-line elements (inputs 0, 2, 4 -> dests 0, 1, 2) must be
+        // consecutive in the output, as must (1, 3) -> dests 64, 65.
+        let group_a: Vec<u32> = vec![o[0], o[2], o[4]];
+        let group_b: Vec<u32> = vec![o[1], o[3]];
+        let contiguous = |g: &[u32]| {
+            let mut s = g.to_vec();
+            s.sort_unstable();
+            s.windows(2).all(|w| w[1] == w[0] + 1)
+        };
+        assert!(contiguous(&group_a), "group A {group_a:?} not contiguous");
+        assert!(contiguous(&group_b), "group B {group_b:?} not contiguous");
+    }
+
+    #[test]
+    fn grouped_compaction_is_a_permutation() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let mut hash = GroupHash::new(
+            &mut alloc,
+            HashTableConfig { size_bytes: 144 * 1024, ways: 16, entry_bytes: 32 },
+        );
+        let n = 1000;
+        let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4096);
+        let ids: Vec<u32> = (0..n).map(|i| ((i * 2654435761u64 as usize) % 4096) as u32).collect();
+        let src = DeviceArray::from_vec(&mut alloc, ids.clone());
+        let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+        scu.group_pass_data(&mut mem, &src, n, None, &target, &mut hash, &mut order);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+        let op = scu.data_compaction_n(&mut mem, &src, n, None, Some(&order), &mut dst, 0);
+        assert_eq!(op.elements_out, n as u64);
+        let mut got = dst.as_slice().to_vec();
+        let mut expect = ids;
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pipeline_width_speeds_up_compaction() {
+        let mut alloc = DeviceAllocator::new();
+        let src: DeviceArray<u32> = DeviceArray::from_vec(&mut alloc, (0..100_000u32).collect());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 100_000);
+
+        let mut scu1 = ScuDevice::new(ScuConfig::tx1());
+        let mut mem1 = MemorySystem::new(MemorySystemConfig::tx1());
+        let t1 = scu1.data_compaction(&mut mem1, &src, None, &mut dst).bounds.pipeline_ns;
+
+        let mut cfg4 = ScuConfig::tx1();
+        cfg4.pipeline_width = 4;
+        let mut scu4 = ScuDevice::new(cfg4);
+        let mut mem4 = MemorySystem::new(MemorySystemConfig::tx1());
+        let t4 = scu4.data_compaction(&mut mem4, &src, None, &mut dst).bounds.pipeline_ns;
+
+        assert!(t4 < t1 / 2.0, "width-4 pipeline {t4} not faster than width-1 {t1}");
+    }
+
+    #[test]
+    fn sequential_compaction_traffic_is_line_efficient() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let n = 32 * 1024;
+        let src: DeviceArray<u32> = DeviceArray::from_vec(&mut alloc, (0..n as u32).collect());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+        let op = scu.data_compaction(&mut mem, &src, None, &mut dst);
+        // n u32 = n*4 bytes = n/32 lines each for src and dst.
+        let lines = (n / 32) as u64;
+        assert_eq!(op.mem.l2.accesses, 2 * lines);
+    }
+
+    #[test]
+    fn device_stats_accumulate() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 2]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 2);
+        scu.data_compaction(&mut mem, &src, None, &mut dst);
+        scu.data_compaction(&mut mem, &src, None, &mut dst);
+        assert_eq!(scu.stats().ops, 2);
+        assert!(scu.stats().time_ns > 0.0);
+        scu.reset_stats();
+        assert_eq!(scu.stats().ops, 0);
+    }
+}

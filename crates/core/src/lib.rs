@@ -1,0 +1,66 @@
+//! # scu-core — the Stream Compaction Unit device model
+//!
+//! This crate is the reproduction of the paper's contribution: a small
+//! programmable unit attached to the GPU interconnect that performs
+//! stream compaction for graph workloads (ISCA 2019, §3–§4).
+//!
+//! * [`config`] — hardware parameters (paper Table 1) and the
+//!   per-GPU scalability parameters (Table 2): pipeline width and the
+//!   filtering/grouping hash-table geometries.
+//! * [`device`] — the [`device::ScuDevice`]: the five compaction
+//!   operations of Figure 6 (*Bitmask Constructor*, *Data Compaction*,
+//!   *Access Compaction*, *Replication Compaction*, *Access Expansion
+//!   Compaction*), executed functionally against
+//!   [`scu_mem::DeviceArray`] data while charging pipeline, memory
+//!   and latency time through the shared [`scu_mem::MemorySystem`].
+//! * [`hash`] — the reconfigurable in-memory hash table used by the
+//!   enhanced SCU's *filtering* (unique / unique-best-cost, §4.2).
+//! * [`group`] — the *grouping* configuration of the same table
+//!   (§4.3): edges whose destination nodes share an L2 line get
+//!   consecutive output positions.
+//! * [`api`] — the application-facing command queue (the paper's
+//!   "simple API").
+//! * [`pipeline`] — per-unit occupancy decomposition of executed
+//!   operations (which of Figure 7's units was the bottleneck).
+//! * [`cyclesim`] — an independent cycle-stepped pipeline simulation
+//!   used to validate the analytic timing bounds.
+//! * [`streams`] — sequential-stream readers/writers used by the
+//!   pipeline model to translate element streams into line traffic.
+//! * [`stats`] — per-operation and accumulated device statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use scu_core::{ScuConfig, ScuDevice};
+//! use scu_mem::{DeviceAllocator, DeviceArray, MemorySystem, MemorySystemConfig};
+//!
+//! let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
+//! let mut scu = ScuDevice::new(ScuConfig::tx1());
+//! let mut alloc = DeviceAllocator::new();
+//!
+//! let src = DeviceArray::from_vec(&mut alloc, vec![5u32, 9, 3, 7, 1]);
+//! let flags = DeviceArray::from_vec(&mut alloc, vec![1u8, 0, 1, 0, 1]);
+//! let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
+//!
+//! let op = scu.data_compaction(&mut mem, &src, Some(&flags), &mut dst);
+//! assert_eq!(op.elements_out, 3);
+//! assert_eq!(&dst.as_slice()[..3], &[5, 3, 1]);
+//! ```
+
+pub mod api;
+pub mod config;
+pub mod cyclesim;
+pub mod device;
+pub mod group;
+pub mod hash;
+pub mod pipeline;
+pub mod stats;
+pub mod streams;
+
+pub use api::{Command, CommandQueue};
+pub use config::{HashTableConfig, ScuConfig};
+pub use device::{CompareOp, ScuDevice};
+pub use group::GroupHash;
+pub use hash::{FilterHash, FilterMode, VictimPolicy};
+pub use pipeline::{Stage, StageOccupancy};
+pub use stats::{OpKind, ScuOpStats, ScuStats};

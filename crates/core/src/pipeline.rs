@@ -1,0 +1,218 @@
+//! Per-unit occupancy of the SCU pipeline (Figure 7).
+//!
+//! The device model in [`crate::device`] charges time as a
+//! max-of-bounds; this module decomposes an executed operation's work
+//! back onto the five functional units of Figure 7 (plus the
+//! Filtering/Grouping unit of Figure 8), answering *which unit was the
+//! bottleneck* — the question the paper's §5.1 scalability knobs turn
+//! on. The decomposition is derived entirely from an operation's
+//! recorded statistics, so it can be applied after the fact to any
+//! [`ScuOpStats`].
+
+use crate::config::ScuConfig;
+use crate::stats::{OpKind, ScuOpStats};
+
+/// One functional unit of the SCU (Figures 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Walks the control vectors and generates element addresses.
+    AddressGenerator,
+    /// Issues data memory requests in FIFO order.
+    DataFetch,
+    /// Merges requests to recently seen lines (32 in-flight, 4-merge).
+    CoalescingUnit,
+    /// Compares elements against the reference value / probes the
+    /// filter hash.
+    BitmaskConstructor,
+    /// Coalesces and issues the sequential output writes.
+    DataStore,
+    /// The enhanced filtering/grouping unit (Figure 8).
+    FilterGroup,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::AddressGenerator,
+        Stage::DataFetch,
+        Stage::CoalescingUnit,
+        Stage::BitmaskConstructor,
+        Stage::DataStore,
+        Stage::FilterGroup,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::AddressGenerator => "address-generator",
+            Stage::DataFetch => "data-fetch",
+            Stage::CoalescingUnit => "coalescing-unit",
+            Stage::BitmaskConstructor => "bitmask-constructor",
+            Stage::DataStore => "data-store",
+            Stage::FilterGroup => "filter/group",
+        }
+    }
+}
+
+/// Busy cycles attributed to each stage for one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageOccupancy {
+    /// Busy cycles per stage, indexed as [`Stage::ALL`].
+    pub cycles: [u64; 6],
+}
+
+impl StageOccupancy {
+    /// Derives the per-stage busy cycles of `op` on an SCU configured
+    /// as `cfg`.
+    ///
+    /// Attribution rules (per element unless stated):
+    /// * the Address Generator walks every control entry and produces
+    ///   one address per data or skipped element (skips scan at 4×);
+    /// * Data Fetch is busy for each *issued* request; merged requests
+    ///   ride along free;
+    /// * the Coalescing Unit examines every request (issued + merged);
+    /// * the Bitmask Constructor runs for comparison and filter ops;
+    /// * the Data Store writes each output element;
+    /// * the Filter/Group unit is busy for each probe of a
+    ///   [`OpKind::FilterPass`] / [`OpKind::GroupPass`].
+    ///
+    /// All throughputs scale with `cfg.pipeline_width`.
+    pub fn from_op(op: &ScuOpStats, cfg: &ScuConfig) -> Self {
+        let w = cfg.pipeline_width as u64;
+        let div = |x: u64| x.div_ceil(w.max(1));
+        let mut cycles = [0u64; 6];
+        let elements = op.data_elements + op.skipped_elements / 4;
+        cycles[0] = div(op.control_elements.max(elements));
+        cycles[1] = div(op.requests_issued);
+        cycles[2] = div(op.requests_issued + op.requests_merged);
+        cycles[3] = match op.op {
+            OpKind::BitmaskConstructor | OpKind::FilterPass => div(op.data_elements),
+            _ => 0,
+        };
+        cycles[4] = div(op.elements_out);
+        cycles[5] = match op.op {
+            OpKind::FilterPass | OpKind::GroupPass => div(op.data_elements),
+            _ => 0,
+        };
+        StageOccupancy { cycles }
+    }
+
+    /// The busiest stage and its cycle count.
+    pub fn bottleneck(&self) -> (Stage, u64) {
+        let (i, &c) = self
+            .cycles
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .expect("six stages");
+        (Stage::ALL[i], c)
+    }
+
+    /// Per-stage utilisation relative to the operation's charged
+    /// cycles, in `[0, 1]` per entry (a stage can be fully busy while
+    /// the op is memory-bound and longer than any stage).
+    pub fn utilization(&self, op_cycles: u64) -> [f64; 6] {
+        let mut u = [0.0; 6];
+        if op_cycles == 0 {
+            return u;
+        }
+        for (i, &c) in self.cycles.iter().enumerate() {
+            u[i] = (c as f64 / op_cycles as f64).min(1.0);
+        }
+        u
+    }
+
+    /// Accumulates another operation's occupancy.
+    pub fn merge(&mut self, other: &StageOccupancy) {
+        for (a, b) in self.cycles.iter_mut().zip(&other.cycles) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScuConfig;
+    use crate::device::{CompareOp, ScuDevice};
+    use scu_mem::buffer::{DeviceAllocator, DeviceArray};
+    use scu_mem::system::{MemorySystem, MemorySystemConfig};
+
+    fn setup() -> (ScuDevice, MemorySystem, DeviceAllocator) {
+        (
+            ScuDevice::new(ScuConfig::tx1()),
+            MemorySystem::new(MemorySystemConfig::tx1()),
+            DeviceAllocator::new(),
+        )
+    }
+
+    #[test]
+    fn bitmask_op_busies_the_bitmask_stage() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src = DeviceArray::from_vec(&mut alloc, (0..1000u32).collect());
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 1000);
+        let op = scu.bitmask_construct(&mut mem, &src, 1000, CompareOp::Lt, 500, &mut flags);
+        let occ = StageOccupancy::from_op(&op, scu.config());
+        assert_eq!(occ.cycles[3], 1000); // bitmask constructor
+        assert_eq!(occ.cycles[5], 0); // no filter/group work
+    }
+
+    #[test]
+    fn expansion_bottleneck_is_address_or_fetch() {
+        let (mut scu, mut mem, mut alloc) = setup();
+        let src: DeviceArray<u32> = DeviceArray::from_vec(&mut alloc, (0..4096u32).collect());
+        let rows = 128;
+        let indexes = DeviceArray::from_vec(&mut alloc, (0..rows as u32).map(|i| i * 32).collect());
+        let counts = DeviceArray::from_vec(&mut alloc, vec![32u32; rows]);
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4096);
+        let op = scu.access_expansion_compaction(
+            &mut mem, &src, &indexes, &counts, rows, None, None, &mut dst,
+        );
+        let occ = StageOccupancy::from_op(&op, scu.config());
+        let (stage, _) = occ.bottleneck();
+        assert!(
+            matches!(
+                stage,
+                Stage::AddressGenerator | Stage::CoalescingUnit | Stage::DataStore
+            ),
+            "unexpected bottleneck {stage:?}"
+        );
+        // Store writes every output element.
+        assert_eq!(occ.cycles[4], 4096);
+    }
+
+    #[test]
+    fn width_divides_occupancy() {
+        let op = {
+            let (mut scu, mut mem, mut alloc) = setup();
+            let src = DeviceArray::from_vec(&mut alloc, (0..4096u32).collect());
+            let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4096);
+            scu.data_compaction(&mut mem, &src, None, &mut dst)
+        };
+        let narrow = StageOccupancy::from_op(&op, &ScuConfig::tx1());
+        let wide = StageOccupancy::from_op(&op, &ScuConfig::gtx980());
+        assert!(wide.cycles[4] * 3 <= narrow.cycles[4], "width-4 store {} vs width-1 {}", wide.cycles[4], narrow.cycles[4]);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let occ = StageOccupancy { cycles: [10, 5, 0, 0, 10, 0] };
+        let u = occ.utilization(8);
+        assert_eq!(u[0], 1.0); // clamped
+        assert!((u[1] - 0.625).abs() < 1e-12);
+        assert_eq!(occ.utilization(0), [0.0; 6]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StageOccupancy { cycles: [1, 2, 3, 4, 5, 6] };
+        a.merge(&StageOccupancy { cycles: [6, 5, 4, 3, 2, 1] });
+        assert_eq!(a.cycles, [7; 6]);
+    }
+
+    #[test]
+    fn stage_names_stable() {
+        assert_eq!(Stage::CoalescingUnit.name(), "coalescing-unit");
+        assert_eq!(Stage::ALL.len(), 6);
+    }
+}

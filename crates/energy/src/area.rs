@@ -1,0 +1,99 @@
+//! SCU area model (§6.4).
+//!
+//! The paper synthesizes the SCU at 32 nm / 0.78 V and reports
+//! 13.27 mm² next to the GTX 980 (3.3% of total area) and 3.65 mm²
+//! next to the TX1 (4.1%). The model here decomposes those totals into
+//! a fixed part (control, buffers: the 5 KB vector FIFO, 38 KB request
+//! FIFO and 18 KB hash request buffer — the hash *table* itself lives
+//! in existing DRAM/L2 and costs no area, §6.4) plus a per-pipeline-
+//! lane part (fetch/store datapath, coalescing CAMs, bitmask logic).
+//! The two published design points pin both coefficients.
+
+/// Area model for an SCU instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScuAreaModel {
+    /// Fixed area: control + SRAM buffers, mm².
+    pub fixed_mm2: f64,
+    /// Area per pipeline lane, mm².
+    pub lane_mm2: f64,
+}
+
+impl Default for ScuAreaModel {
+    fn default() -> Self {
+        // Solved from the paper's two design points:
+        //   width 1 -> 3.65 mm²,  width 4 -> 13.27 mm².
+        ScuAreaModel { fixed_mm2: 0.4433, lane_mm2: 3.2067 }
+    }
+}
+
+/// Reference die areas of the host GPUs, mm² (28 nm Maxwell dies,
+/// consistent with the paper's 3.3% / 4.1% overhead figures).
+pub mod gpu_area {
+    /// GTX 980 (GM204) die area, mm².
+    pub const GTX980_MM2: f64 = 398.0;
+    /// Tegra X1 GPU partition area, mm².
+    pub const TX1_MM2: f64 = 87.0;
+}
+
+impl ScuAreaModel {
+    /// Area of an SCU with the given pipeline width, mm².
+    pub fn area_mm2(&self, pipeline_width: u32) -> f64 {
+        self.fixed_mm2 + self.lane_mm2 * pipeline_width as f64
+    }
+
+    /// Area overhead relative to a host GPU of `gpu_mm2`, in `[0, 1]`.
+    pub fn overhead(&self, pipeline_width: u32, gpu_mm2: f64) -> f64 {
+        self.area_mm2(pipeline_width) / gpu_mm2
+    }
+
+    /// Per-component split of one lane, mm² — proportions estimated
+    /// from the unit mix of Figure 7 (the coalescing unit's CAMs
+    /// dominate).
+    pub fn lane_components_mm2(&self) -> [(&'static str, f64); 5] {
+        let l = self.lane_mm2;
+        [
+            ("address-generator", 0.10 * l),
+            ("data-fetch", 0.22 * l),
+            ("coalescing-unit", 0.38 * l),
+            ("bitmask-constructor", 0.08 * l),
+            ("data-store", 0.22 * l),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_design_points() {
+        let m = ScuAreaModel::default();
+        assert!((m.area_mm2(1) - 3.65).abs() < 0.01, "width-1 {}", m.area_mm2(1));
+        assert!((m.area_mm2(4) - 13.27).abs() < 0.01, "width-4 {}", m.area_mm2(4));
+    }
+
+    #[test]
+    fn matches_paper_overheads() {
+        let m = ScuAreaModel::default();
+        let g = m.overhead(4, gpu_area::GTX980_MM2);
+        let t = m.overhead(1, gpu_area::TX1_MM2);
+        assert!((g - 0.033).abs() < 0.002, "GTX980 overhead {g}");
+        assert!((t - 0.041).abs() < 0.003, "TX1 overhead {t}");
+    }
+
+    #[test]
+    fn lane_components_sum_to_lane() {
+        let m = ScuAreaModel::default();
+        let sum: f64 = m.lane_components_mm2().iter().map(|(_, a)| a).sum();
+        assert!((sum - m.lane_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_grows_linearly_with_width() {
+        let m = ScuAreaModel::default();
+        let d1 = m.area_mm2(2) - m.area_mm2(1);
+        let d2 = m.area_mm2(3) - m.area_mm2(2);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((d1 - m.lane_mm2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-event energy constants.
+//!
+//! Values are GPUWattch/McPAT-class figures for a Maxwell-era process:
+//! the GTX 980 is tuned for throughput at high voltage (higher
+//! per-event energy and a large static floor), the Tegra X1 for energy
+//! efficiency. The SCU pipeline constants reflect a narrow,
+//! special-purpose datapath synthesized at 0.78 V / 32 nm (§5): moving
+//! an element through the SCU costs roughly an order of magnitude less
+//! than executing the equivalent instructions on an SM — this gap is
+//! the "specialised pipeline" energy source the paper names first in
+//! §6.1.
+
+use scu_mem::dram::DramEnergyParams;
+
+/// Per-event energies for the GPU core side (SMs, L1, NoC, L2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuEnergyParams {
+    /// Energy per dynamic thread instruction (fetch/decode/execute
+    /// amortised), picojoules.
+    pub inst_pj: f64,
+    /// Energy per L1 line access, picojoules.
+    pub l1_access_pj: f64,
+    /// Energy per shared-L2 line access, picojoules.
+    pub l2_access_pj: f64,
+    /// Energy per interconnect traversal (one line transaction),
+    /// picojoules.
+    pub noc_pj: f64,
+    /// GPU static (leakage + clock) power, watts.
+    pub static_w: f64,
+}
+
+impl GpuEnergyParams {
+    /// GTX 980 (high-performance) constants.
+    ///
+    /// `inst_pj` is the GPUWattch-style *attributed* energy per
+    /// executed instruction on memory-bound workloads: the whole SM's
+    /// activity power (fetch/decode/schedulers/register file, limited
+    /// clock gating while stalled) divided by the achieved IPC. Graph
+    /// kernels on a GTX 980 run at a few percent of peak IPC while the
+    /// chip draws ~100 W, which is what makes the GPU energy-
+    /// inefficient at compaction (§1) and the offload so profitable in
+    /// Figure 9.
+    pub fn gtx980() -> Self {
+        GpuEnergyParams {
+            inst_pj: 3_500.0,
+            l1_access_pj: 100.0,
+            l2_access_pj: 400.0,
+            noc_pj: 100.0,
+            static_w: 12.0,
+        }
+    }
+
+    /// Tegra X1 (low-power) constants: roughly an order of magnitude
+    /// less energy per attributed instruction than the GTX 980 (the
+    /// whole module draws ~2 W on these workloads).
+    pub fn tx1() -> Self {
+        GpuEnergyParams {
+            inst_pj: 350.0,
+            l1_access_pj: 40.0,
+            l2_access_pj: 150.0,
+            noc_pj: 30.0,
+            static_w: 0.6,
+        }
+    }
+}
+
+/// Per-event energies for the SCU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScuEnergyParams {
+    /// Energy to move one element through the pipeline, picojoules.
+    pub element_pj: f64,
+    /// Hash-probe logic energy (compare + victim select), picojoules
+    /// — the table's *memory* traffic is charged through the L2/DRAM
+    /// events it generates.
+    pub probe_pj: f64,
+    /// SCU static power, watts (scales with the synthesized area).
+    pub static_w: f64,
+}
+
+impl ScuEnergyParams {
+    /// SCU sized for the GTX 980 (pipeline width 4).
+    pub fn gtx980() -> Self {
+        ScuEnergyParams { element_pj: 25.0, probe_pj: 30.0, static_w: 0.40 }
+    }
+
+    /// SCU sized for the TX1 (pipeline width 1).
+    pub fn tx1() -> Self {
+        ScuEnergyParams { element_pj: 8.0, probe_pj: 10.0, static_w: 0.025 }
+    }
+}
+
+/// The full parameter set for one system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// GPU-side constants.
+    pub gpu: GpuEnergyParams,
+    /// SCU-side constants.
+    pub scu: ScuEnergyParams,
+    /// DRAM per-event constants (shared with the timing model).
+    pub dram: DramEnergyParams,
+}
+
+impl EnergyParams {
+    /// GTX 980 + GDDR5 preset.
+    pub fn gtx980() -> Self {
+        EnergyParams {
+            gpu: GpuEnergyParams::gtx980(),
+            scu: ScuEnergyParams::gtx980(),
+            dram: DramEnergyParams::gddr5(),
+        }
+    }
+
+    /// Tegra X1 + LPDDR4 preset.
+    pub fn tx1() -> Self {
+        EnergyParams {
+            gpu: GpuEnergyParams::tx1(),
+            scu: ScuEnergyParams::tx1(),
+            dram: DramEnergyParams::lpddr4(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx1_cheaper_per_event_than_gtx980() {
+        let g = GpuEnergyParams::gtx980();
+        let t = GpuEnergyParams::tx1();
+        assert!(t.inst_pj < g.inst_pj);
+        assert!(t.l2_access_pj < g.l2_access_pj);
+        assert!(t.static_w < g.static_w);
+    }
+
+    #[test]
+    fn scu_element_cheaper_than_gpu_instruction() {
+        // The specialisation argument of §6.1: an SCU element-op must
+        // cost far less than a GPU instruction.
+        for (g, s) in [
+            (GpuEnergyParams::gtx980(), ScuEnergyParams::gtx980()),
+            (GpuEnergyParams::tx1(), ScuEnergyParams::tx1()),
+        ] {
+            assert!(s.element_pj * 4.0 < g.inst_pj);
+        }
+    }
+
+    #[test]
+    fn scu_static_is_small_fraction_of_gpu() {
+        let p = EnergyParams::gtx980();
+        assert!(p.scu.static_w / p.gpu.static_w < 0.05);
+        let p = EnergyParams::tx1();
+        assert!(p.scu.static_w / p.gpu.static_w < 0.06);
+    }
+
+    #[test]
+    fn presets_pair_correct_dram() {
+        assert_eq!(EnergyParams::gtx980().dram, DramEnergyParams::gddr5());
+        assert_eq!(EnergyParams::tx1().dram, DramEnergyParams::lpddr4());
+    }
+}

@@ -1,0 +1,33 @@
+//! # scu-energy — event-based energy and area models
+//!
+//! Replaces the paper's GPUWattch/McPAT + Synopsys-synthesis power and
+//! area methodology (§5) with an event-energy formulation:
+//!
+//! ```text
+//! E = Σ (events × per-event energy) + Σ (static power × busy time)
+//! ```
+//!
+//! * [`constants`] — per-event energy parameters for the GPU core
+//!   side, the SCU pipeline, and static powers, with GTX 980 and
+//!   Tegra X1 presets. DRAM per-event energies live with the DRAM
+//!   model in [`scu_mem::dram::DramEnergyParams`].
+//! * [`model`] — [`model::EnergyModel`] turns accumulated
+//!   [`scu_gpu::KernelStats`] / [`scu_core::ScuStats`] windows into an
+//!   [`model::EnergyBreakdown`] (GPU dynamic, SCU dynamic, DRAM
+//!   dynamic, static).
+//! * [`area`] — the SCU area model (§6.4): per-component mm² at 32 nm
+//!   calibrated to the paper's synthesis totals (13.27 mm² at pipeline
+//!   width 4, 3.65 mm² at width 1; 3.3% / 4.1% of total GPU area).
+//!
+//! The absolute constants are datasheet/GPUWattch-class figures; what
+//! the reproduction relies on (and what `EXPERIMENTS.md` checks) are
+//! the *relative* energies between the baseline GPU runs and the
+//! SCU-offloaded runs.
+
+pub mod area;
+pub mod constants;
+pub mod model;
+
+pub use area::ScuAreaModel;
+pub use constants::{EnergyParams, GpuEnergyParams, ScuEnergyParams};
+pub use model::{EnergyBreakdown, EnergyModel};

@@ -1,0 +1,221 @@
+//! Turning event windows into energy numbers.
+
+use serde::Serialize;
+use scu_core::stats::ScuStats;
+use scu_gpu::stats::KernelStats;
+use scu_mem::stats::MemoryStats;
+
+use crate::constants::EnergyParams;
+
+/// Energy of one measured window, split by consumer.
+///
+/// All fields are picojoules. `total_pj` = GPU dynamic + SCU dynamic +
+/// DRAM dynamic + static.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct EnergyBreakdown {
+    /// SM instructions + L1 + NoC + L2 traffic from GPU kernels.
+    pub gpu_dynamic_pj: f64,
+    /// SCU pipeline element-ops + hash probes + its NoC/L2 traffic.
+    pub scu_dynamic_pj: f64,
+    /// DRAM reads/writes/activations (both requesters).
+    pub dram_dynamic_pj: f64,
+    /// Static energy (GPU + DRAM background + SCU when present) over
+    /// the window's wall-clock time.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.gpu_dynamic_pj + self.scu_dynamic_pj + self.dram_dynamic_pj + self.static_pj
+    }
+
+    /// Total energy in millijoules (for readable reports).
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.gpu_dynamic_pj += other.gpu_dynamic_pj;
+        self.scu_dynamic_pj += other.scu_dynamic_pj;
+        self.dram_dynamic_pj += other.dram_dynamic_pj;
+        self.static_pj += other.static_pj;
+    }
+}
+
+/// The energy model for one system (GTX 980 or TX1, with or without
+/// an SCU).
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    params: EnergyParams,
+    /// Whether an SCU is present (adds its static power to every
+    /// window).
+    scu_present: bool,
+}
+
+impl EnergyModel {
+    /// Creates a model from a parameter preset.
+    pub fn new(params: EnergyParams, scu_present: bool) -> Self {
+        EnergyModel { params, scu_present }
+    }
+
+    /// GTX 980 model.
+    pub fn gtx980(scu_present: bool) -> Self {
+        Self::new(EnergyParams::gtx980(), scu_present)
+    }
+
+    /// Tegra X1 model.
+    pub fn tx1(scu_present: bool) -> Self {
+        Self::new(EnergyParams::tx1(), scu_present)
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Dynamic energy of the DRAM events in `mem`, picojoules.
+    pub fn dram_dynamic_pj(&self, mem: &MemoryStats) -> f64 {
+        self.params.dram.dynamic_pj(
+            mem.dram.reads,
+            mem.dram.writes,
+            mem.dram.activations,
+        )
+    }
+
+    /// GPU-side dynamic energy (instructions, L1, NoC, L2) of
+    /// accumulated kernel statistics, picojoules. DRAM is reported
+    /// separately by [`EnergyModel::dram_dynamic_pj`].
+    pub fn gpu_dynamic_pj(&self, k: &KernelStats) -> f64 {
+        let g = &self.params.gpu;
+        k.thread_insts as f64 * g.inst_pj
+            + k.l1.accesses as f64 * g.l1_access_pj
+            + k.mem.l2.accesses as f64 * (g.l2_access_pj + g.noc_pj)
+    }
+
+    /// SCU-side dynamic energy (pipeline elements, probes, its L2/NoC
+    /// traffic), picojoules.
+    pub fn scu_dynamic_pj(&self, s: &ScuStats) -> f64 {
+        let p = &self.params.scu;
+        let g = &self.params.gpu;
+        (s.control_elements + s.data_elements) as f64 * p.element_pj
+            + s.skipped_elements as f64 * p.element_pj * 0.25
+            + (s.filter.probes + s.group.elements) as f64 * p.probe_pj
+            + s.mem.l2.accesses as f64 * (g.l2_access_pj + g.noc_pj)
+    }
+
+    /// Static energy over `elapsed_ns` of wall-clock time: GPU static
+    /// + DRAM background (+ SCU static when present), picojoules.
+    pub fn static_pj(&self, elapsed_ns: f64) -> f64 {
+        let mut watts = self.params.gpu.static_w;
+        if self.scu_present {
+            watts += self.params.scu.static_w;
+        }
+        // 1 W × 1 ns = 1 nJ = 1000 pJ.
+        watts * elapsed_ns * 1000.0 + self.params.dram.background_pj(elapsed_ns)
+    }
+
+    /// Full breakdown for an application window: accumulated GPU
+    /// kernels `k`, accumulated SCU ops `s`, and elapsed wall-clock
+    /// time.
+    pub fn breakdown(
+        &self,
+        k: &KernelStats,
+        s: &ScuStats,
+        elapsed_ns: f64,
+    ) -> EnergyBreakdown {
+        let mut mem = k.mem;
+        mem.merge(&s.mem);
+        EnergyBreakdown {
+            gpu_dynamic_pj: self.gpu_dynamic_pj(k),
+            scu_dynamic_pj: self.scu_dynamic_pj(s),
+            dram_dynamic_pj: self.dram_dynamic_pj(&mem),
+            static_pj: self.static_pj(elapsed_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_mem::stats::{CacheStats, DramStats};
+
+    fn kernel_with(insts: u64, l1: u64, l2: u64, dram_reads: u64) -> KernelStats {
+        KernelStats {
+            thread_insts: insts,
+            l1: CacheStats { accesses: l1, ..Default::default() },
+            mem: MemoryStats {
+                l2: CacheStats { accesses: l2, ..Default::default() },
+                dram: DramStats { reads: dram_reads, ..Default::default() },
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gpu_dynamic_scales_with_instructions() {
+        let m = EnergyModel::gtx980(false);
+        let small = m.gpu_dynamic_pj(&kernel_with(1000, 0, 0, 0));
+        let big = m.gpu_dynamic_pj(&kernel_with(2000, 0, 0, 0));
+        assert!((big - 2.0 * small).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dynamic_counts_both_requesters() {
+        let m = EnergyModel::tx1(true);
+        let k = kernel_with(0, 0, 0, 10);
+        let mut s = ScuStats::default();
+        s.mem.dram.reads = 5; // nested field: no initializer shorthand
+        let b = m.breakdown(&k, &s, 0.0);
+        let expect = m.params().dram.read_pj_per_access * 15.0;
+        assert!((b.dram_dynamic_pj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_includes_scu_only_when_present() {
+        let with = EnergyModel::gtx980(true);
+        let without = EnergyModel::gtx980(false);
+        let t = 1_000_000.0; // 1 ms
+        assert!(with.static_pj(t) > without.static_pj(t));
+        let delta = with.static_pj(t) - without.static_pj(t);
+        let expect = with.params().scu.static_w * t * 1000.0;
+        assert!((delta - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let m = EnergyModel::tx1(true);
+        let k = kernel_with(100, 50, 20, 5);
+        let s = ScuStats { data_elements: 40, ..Default::default() };
+        let b = m.breakdown(&k, &s, 1000.0);
+        let sum = b.gpu_dynamic_pj + b.scu_dynamic_pj + b.dram_dynamic_pj + b.static_pj;
+        assert!((b.total_pj() - sum).abs() < 1e-9);
+        assert!(b.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn scu_moves_data_cheaper_than_gpu() {
+        // Moving N elements through the SCU must cost less (core-side)
+        // than N loads+stores worth of GPU instructions — the §6.1
+        // specialisation claim at the model level.
+        let m = EnergyModel::tx1(true);
+        let n = 1_000_000u64;
+        let k = kernel_with(2 * n, n / 16, 0, 0); // ld+st per element
+        let s = ScuStats { control_elements: n, data_elements: n, ..Default::default() };
+        assert!(m.scu_dynamic_pj(&s) < m.gpu_dynamic_pj(&k) / 2.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyBreakdown {
+            gpu_dynamic_pj: 1.0,
+            scu_dynamic_pj: 2.0,
+            dram_dynamic_pj: 3.0,
+            static_pj: 4.0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total_pj(), 20.0);
+        assert!((a.total_mj() - 20.0 / 1e9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,180 @@
+//! GPU system parameters (paper Tables 3 and 4).
+
+use scu_mem::cache::CacheConfig;
+use scu_mem::line::LineSize;
+use scu_mem::system::MemorySystemConfig;
+
+/// Parameters of a simulated GPU.
+///
+/// Two presets mirror the paper's platforms:
+///
+/// * [`GpuConfig::gtx980`] — high-performance: 16 Maxwell SMs at
+///   1.27 GHz, 2048 threads/SM, 32 KB L1, 2 MB L2, GDDR5 (Table 3);
+/// * [`GpuConfig::tx1`] — low-power: 2 Maxwell SMs at 1 GHz,
+///   256 threads/SM, 32 KB L1, 256 KB L2, LPDDR4 (Table 4).
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Human-readable system name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Threads per warp (32 on all modelled hardware).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Instructions each SM can issue per cycle (warp schedulers).
+    pub issue_width: u32,
+    /// Per-SM L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L1 hit latency, ns.
+    pub l1_hit_latency_ns: f64,
+    /// Additional latency of one atomic RMW at the L2, ns.
+    pub atomic_latency_ns: f64,
+    /// Average outstanding memory requests per resident warp
+    /// (memory-level parallelism used for latency hiding).
+    pub mlp_per_warp: f64,
+    /// Fraction of peak DRAM bandwidth SM-generated traffic sustains.
+    /// Graph kernels interleave many read/write streams from
+    /// thousands of threads, thrashing row buffers and forcing bus
+    /// turnarounds; measured utilisation on graph workloads (paper
+    /// Figure 13, GPGPU-Sim literature) is far below peak.
+    pub dram_efficiency: f64,
+    /// Host-side launch latency charged per kernel, ns.
+    pub kernel_launch_ns: f64,
+    /// Shared L2 + DRAM parameters.
+    pub memory: MemorySystemConfig,
+}
+
+impl GpuConfig {
+    /// High-performance NVIDIA GTX 980 system (paper Table 3).
+    pub fn gtx980() -> Self {
+        GpuConfig {
+            name: "GTX980",
+            num_sms: 16,
+            freq_ghz: 1.27,
+            warp_size: 32,
+            threads_per_sm: 2048,
+            issue_width: 4,
+            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4)
+                .expect("static geometry is valid"),
+            l1_hit_latency_ns: 9.0,
+            atomic_latency_ns: 24.0,
+            mlp_per_warp: 2.0,
+            dram_efficiency: 0.50,
+            kernel_launch_ns: 3_000.0,
+            memory: MemorySystemConfig::gtx980(),
+        }
+    }
+
+    /// Low-power NVIDIA Tegra X1 system (paper Table 4).
+    pub fn tx1() -> Self {
+        GpuConfig {
+            name: "TX1",
+            num_sms: 2,
+            freq_ghz: 1.0,
+            warp_size: 32,
+            threads_per_sm: 256,
+            issue_width: 2,
+            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4)
+                .expect("static geometry is valid"),
+            l1_hit_latency_ns: 12.0,
+            atomic_latency_ns: 30.0,
+            mlp_per_warp: 2.0,
+            dram_efficiency: 0.55,
+            kernel_launch_ns: 4_000.0,
+            memory: MemorySystemConfig::tx1(),
+        }
+    }
+
+    /// Warps resident per SM at full occupancy.
+    pub fn warps_per_sm(&self) -> u32 {
+        self.threads_per_sm / self.warp_size
+    }
+
+    /// Maximum concurrently resident warps across the whole GPU.
+    pub fn max_resident_warps(&self) -> u32 {
+        self.warps_per_sm() * self.num_sms
+    }
+
+    /// Core cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.freq_ghz
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 {
+            return Err("num_sms must be positive".into());
+        }
+        if self.warp_size == 0 || !self.threads_per_sm.is_multiple_of(self.warp_size) {
+            return Err("threads_per_sm must be a positive multiple of warp_size".into());
+        }
+        if self.issue_width == 0 {
+            return Err("issue_width must be positive".into());
+        }
+        if self.freq_ghz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.mlp_per_warp <= 0.0 {
+            return Err("mlp_per_warp must be positive".into());
+        }
+        if !(0.0 < self.dram_efficiency && self.dram_efficiency <= 1.0) {
+            return Err("dram_efficiency must be in (0, 1]".into());
+        }
+        if self.kernel_launch_ns < 0.0 {
+            return Err("kernel_launch_ns must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        GpuConfig::gtx980().validate().unwrap();
+        GpuConfig::tx1().validate().unwrap();
+    }
+
+    #[test]
+    fn gtx980_matches_table3() {
+        let c = GpuConfig::gtx980();
+        assert_eq!(c.num_sms, 16);
+        assert_eq!(c.threads_per_sm, 2048);
+        assert_eq!(c.warps_per_sm(), 64);
+        assert_eq!(c.max_resident_warps(), 1024);
+        assert!((c.freq_ghz - 1.27).abs() < 1e-12);
+        assert_eq!(c.memory.l2.size_bytes, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tx1_matches_table4() {
+        let c = GpuConfig::tx1();
+        assert_eq!(c.num_sms, 2);
+        assert_eq!(c.threads_per_sm, 256);
+        assert_eq!(c.warps_per_sm(), 8);
+        assert_eq!(c.memory.l2.size_bytes, 256 * 1024);
+        assert!((c.cycle_ns() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GpuConfig::tx1();
+        c.num_sms = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tx1();
+        c.threads_per_sm = 100; // not multiple of 32
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tx1();
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+    }
+}

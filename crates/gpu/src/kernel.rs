@@ -1,0 +1,181 @@
+//! Per-thread kernel execution context.
+//!
+//! A kernel body is a Rust closure `FnMut(tid, &mut ThreadCtx)`. The
+//! closure performs its real computation on
+//! [`DeviceArray`] contents; every device
+//! memory operation goes through the [`ThreadCtx`] so the engine
+//! observes the exact addresses the computation touched. This mirrors
+//! how a CUDA thread both computes and generates a memory trace.
+
+use scu_mem::buffer::DeviceArray;
+use scu_mem::line::Addr;
+
+/// One recorded per-thread operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadOp {
+    /// `n` arithmetic/control instructions with no memory traffic.
+    Alu(u32),
+    /// A global load of `bytes` bytes at `addr`.
+    Load { addr: Addr, bytes: u8 },
+    /// A global store of `bytes` bytes at `addr`.
+    Store { addr: Addr, bytes: u8 },
+    /// An atomic read-modify-write at `addr`.
+    Atomic { addr: Addr, bytes: u8 },
+}
+
+/// Execution context handed to each simulated thread.
+///
+/// All `load`/`store`/`atomic_*` methods both perform the data movement
+/// host-side and record the address for the timing model. Use
+/// [`ThreadCtx::alu`] to account for arithmetic between memory
+/// operations; graph kernels are memory-bound, so a coarse count is
+/// sufficient.
+#[derive(Debug, Default)]
+pub struct ThreadCtx {
+    ops: Vec<ThreadOp>,
+}
+
+impl ThreadCtx {
+    /// Creates an empty context (the engine does this per thread).
+    pub fn new() -> Self {
+        ThreadCtx { ops: Vec::new() }
+    }
+
+    /// Records `n` ALU instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u32) {
+        if n > 0 {
+            self.ops.push(ThreadOp::Alu(n));
+        }
+    }
+
+    /// Loads element `i` of `arr`, recording the access.
+    #[inline]
+    pub fn load<T: Copy>(&mut self, arr: &DeviceArray<T>, i: usize) -> T {
+        self.ops.push(ThreadOp::Load {
+            addr: arr.addr(i),
+            bytes: std::mem::size_of::<T>() as u8,
+        });
+        arr.get(i)
+    }
+
+    /// Stores `v` into element `i` of `arr`, recording the access.
+    #[inline]
+    pub fn store<T: Copy>(&mut self, arr: &mut DeviceArray<T>, i: usize, v: T) {
+        self.ops.push(ThreadOp::Store {
+            addr: arr.addr(i),
+            bytes: std::mem::size_of::<T>() as u8,
+        });
+        arr.set(i, v);
+    }
+
+    /// Atomically applies `f` to element `i` of `arr`, returning the
+    /// previous value.
+    ///
+    /// The simulation executes threads sequentially, so the composite
+    /// read-modify-write is exact; the timing model charges atomic
+    /// serialisation separately.
+    #[inline]
+    pub fn atomic_rmw<T: Copy>(
+        &mut self,
+        arr: &mut DeviceArray<T>,
+        i: usize,
+        f: impl FnOnce(T) -> T,
+    ) -> T {
+        self.ops.push(ThreadOp::Atomic {
+            addr: arr.addr(i),
+            bytes: std::mem::size_of::<T>() as u8,
+        });
+        let old = arr.get(i);
+        arr.set(i, f(old));
+        old
+    }
+
+    /// `atomicAdd` convenience over [`ThreadCtx::atomic_rmw`].
+    #[inline]
+    pub fn atomic_add(&mut self, arr: &mut DeviceArray<f64>, i: usize, v: f64) -> f64 {
+        self.atomic_rmw(arr, i, |old| old + v)
+    }
+
+    /// `atomicMin` convenience over [`ThreadCtx::atomic_rmw`].
+    #[inline]
+    pub fn atomic_min_u32(&mut self, arr: &mut DeviceArray<u32>, i: usize, v: u32) -> u32 {
+        self.atomic_rmw(arr, i, |old| old.min(v))
+    }
+
+    /// Number of operations recorded so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Drains the recorded trace (the engine calls this after the
+    /// thread body returns).
+    pub fn take_ops(&mut self) -> Vec<ThreadOp> {
+        std::mem::take(&mut self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_mem::buffer::DeviceAllocator;
+
+    #[test]
+    fn load_records_and_returns() {
+        let mut alloc = DeviceAllocator::new();
+        let arr = DeviceArray::from_vec(&mut alloc, vec![7u32, 8]);
+        let mut ctx = ThreadCtx::new();
+        assert_eq!(ctx.load(&arr, 1), 8);
+        let ops = ctx.take_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0], ThreadOp::Load { addr: arr.addr(1), bytes: 4 });
+    }
+
+    #[test]
+    fn store_records_and_mutates() {
+        let mut alloc = DeviceAllocator::new();
+        let mut arr = DeviceArray::from_vec(&mut alloc, vec![0u64; 4]);
+        let mut ctx = ThreadCtx::new();
+        ctx.store(&mut arr, 2, 99);
+        assert_eq!(arr.get(2), 99);
+        assert_eq!(ctx.take_ops()[0], ThreadOp::Store { addr: arr.addr(2), bytes: 8 });
+    }
+
+    #[test]
+    fn atomic_rmw_returns_old_value() {
+        let mut alloc = DeviceAllocator::new();
+        let mut arr = DeviceArray::from_vec(&mut alloc, vec![10u32]);
+        let mut ctx = ThreadCtx::new();
+        let old = ctx.atomic_min_u32(&mut arr, 0, 3);
+        assert_eq!(old, 10);
+        assert_eq!(arr.get(0), 3);
+        let old = ctx.atomic_min_u32(&mut arr, 0, 5);
+        assert_eq!(old, 3);
+        assert_eq!(arr.get(0), 3);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let mut alloc = DeviceAllocator::new();
+        let mut arr = DeviceArray::from_vec(&mut alloc, vec![1.5f64]);
+        let mut ctx = ThreadCtx::new();
+        ctx.atomic_add(&mut arr, 0, 2.5);
+        assert!((arr.get(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_alu_not_recorded() {
+        let mut ctx = ThreadCtx::new();
+        ctx.alu(0);
+        ctx.alu(3);
+        assert_eq!(ctx.op_count(), 1);
+    }
+
+    #[test]
+    fn take_ops_drains() {
+        let mut ctx = ThreadCtx::new();
+        ctx.alu(1);
+        assert_eq!(ctx.take_ops().len(), 1);
+        assert_eq!(ctx.op_count(), 0);
+    }
+}

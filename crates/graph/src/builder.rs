@@ -1,0 +1,184 @@
+//! Incremental edge-list builder producing [`Csr`] graphs.
+
+use crate::csr::Csr;
+
+/// Accumulates `(src, dst, weight)` triples and builds a [`Csr`].
+///
+/// ```
+/// use scu_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 5);
+/// b.add_edge(0, 2, 2);
+/// b.add_edge(2, 1, 1);
+/// let g = b.build();
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.neighbor_weights(2), &[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(u32, u32, u32)>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::new(), dedup: false }
+    }
+
+    /// Removes duplicate `(src, dst)` pairs at build time, keeping the
+    /// smallest weight.
+    pub fn dedup(&mut self) -> &mut Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn add_edge(&mut self, src: u32, dst: u32, weight: u32) -> &mut Self {
+        assert!(
+            (src as usize) < self.num_nodes && (dst as usize) < self.num_nodes,
+            "edge ({src}, {dst}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((src, dst, weight));
+        self
+    }
+
+    /// Adds `src -> dst` and `dst -> src` with the same weight.
+    pub fn add_undirected(&mut self, a: u32, b: u32, weight: u32) -> &mut Self {
+        self.add_edge(a, b, weight);
+        if a != b {
+            self.add_edge(b, a, weight);
+        }
+        self
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorts, optionally deduplicates, and produces the CSR graph.
+    pub fn build(mut self) -> Csr {
+        // Sort by (src, dst, weight) so dedup keeps the cheapest copy.
+        self.edges.sort_unstable();
+        if self.dedup {
+            self.edges.dedup_by_key(|&mut (s, d, _)| (s, d));
+        }
+        let mut row_offsets = vec![0u32; self.num_nodes + 1];
+        for &(s, _, _) in &self.edges {
+            row_offsets[s as usize + 1] += 1;
+        }
+        for i in 1..row_offsets.len() {
+            row_offsets[i] += row_offsets[i - 1];
+        }
+        let edges: Vec<u32> = self.edges.iter().map(|&(_, d, _)| d).collect();
+        let weights: Vec<u32> = self.edges.iter().map(|&(_, _, w)| w).collect();
+        Csr::new(row_offsets, edges, weights).expect("builder output is valid by construction")
+    }
+}
+
+impl Extend<(u32, u32, u32)> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = (u32, u32, u32)>>(&mut self, iter: T) {
+        for (s, d, w) in iter {
+            self.add_edge(s, d, w);
+        }
+    }
+}
+
+/// Builds a graph directly from `(src, dst, weight)` triples; the node
+/// count is `max id + 1`.
+///
+/// ```
+/// use scu_graph::builder::from_edges;
+/// let g = from_edges([(0, 2, 5), (2, 1, 1)]);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.neighbors(0), &[2]);
+/// ```
+pub fn from_edges(iter: impl IntoIterator<Item = (u32, u32, u32)>) -> Csr {
+    let triples: Vec<(u32, u32, u32)> = iter.into_iter().collect();
+    let n = triples
+        .iter()
+        .map(|&(s, d, _)| s.max(d) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = GraphBuilder::new(n);
+    b.extend(triples);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 0, 1).add_edge(0, 3, 2).add_edge(0, 1, 3);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn dedup_keeps_cheapest() {
+        let mut b = GraphBuilder::new(2);
+        b.dedup();
+        b.add_edge(0, 1, 9).add_edge(0, 1, 3).add_edge(0, 1, 7);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbor_weights(0), &[3]);
+    }
+
+    #[test]
+    fn without_dedup_parallel_edges_remain() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1).add_edge(0, 1, 2);
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 2, 4);
+        b.add_undirected(1, 1, 5); // self-loop only once
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.neighbors(1), &[1]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::new(2).add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn extend_and_from_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([(0u32, 1u32, 1u32), (1, 2, 2)]);
+        assert_eq!(b.build().num_edges(), 2);
+
+        let g = from_edges([(4, 0, 9)]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.neighbor_weights(4), &[9]);
+        assert_eq!(from_edges(std::iter::empty()).num_nodes(), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Compressed Sparse Row graph storage (paper §2, Figure 2b).
+
+use std::fmt;
+
+/// A directed graph in CSR form: `row_offsets[v] .. row_offsets[v+1]`
+/// indexes the out-edges of node `v` in `edges` (destinations) and
+/// `weights` (edge costs).
+///
+/// Node IDs and offsets are `u32` — the largest paper dataset
+/// (`human`, 24.6 M edges) fits comfortably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_offsets: Vec<u32>,
+    edges: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+/// Error returned by [`Csr::new`] / [`Csr::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCsr(pub String);
+
+impl fmt::Display for InvalidCsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CSR: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidCsr {}
+
+impl Csr {
+    /// Builds a CSR graph from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCsr`] if the offsets are not monotonically
+    /// non-decreasing starting at 0 and ending at `edges.len()`, if
+    /// `weights.len() != edges.len()`, or if any destination is out of
+    /// range.
+    pub fn new(
+        row_offsets: Vec<u32>,
+        edges: Vec<u32>,
+        weights: Vec<u32>,
+    ) -> Result<Self, InvalidCsr> {
+        let g = Csr { row_offsets, edges, weights };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Checks the CSR invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), InvalidCsr> {
+        if self.row_offsets.is_empty() {
+            return Err(InvalidCsr("row_offsets must have at least one entry".into()));
+        }
+        if self.row_offsets[0] != 0 {
+            return Err(InvalidCsr("row_offsets[0] must be 0".into()));
+        }
+        if *self.row_offsets.last().expect("nonempty") as usize != self.edges.len() {
+            return Err(InvalidCsr(format!(
+                "last offset {} != edge count {}",
+                self.row_offsets.last().expect("nonempty"),
+                self.edges.len()
+            )));
+        }
+        if self.weights.len() != self.edges.len() {
+            return Err(InvalidCsr(format!(
+                "weights length {} != edges length {}",
+                self.weights.len(),
+                self.edges.len()
+            )));
+        }
+        for w in self.row_offsets.windows(2) {
+            if w[1] < w[0] {
+                return Err(InvalidCsr("row_offsets must be non-decreasing".into()));
+            }
+        }
+        let n = self.num_nodes() as u32;
+        if let Some(&bad) = self.edges.iter().find(|&&d| d >= n) {
+            return Err(InvalidCsr(format!("edge destination {bad} out of range (n={n})")));
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]
+    }
+
+    /// Maximum out-degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_nodes() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The out-neighbour slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// The weights parallel to [`Csr::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbor_weights(&self, v: u32) -> &[u32] {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// The row-offset array (length `num_nodes + 1`).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// The edge-destination array.
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// The edge-weight array (parallel to [`Csr::edges`]).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Iterator over `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .zip(self.neighbor_weights(v))
+                .map(move |(&d, &w)| (v, d, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference graph of the paper's Figure 2.
+    pub fn figure2() -> Csr {
+        // Nodes A..G = 0..6.
+        // A->B(2) A->C(3) A->D(1); B->E(1) B->F(1); C->F(2);
+        // D->C(1) D->G(2); E,F,G: none.
+        Csr::new(
+            vec![0, 3, 5, 6, 8, 8, 8, 8],
+            vec![1, 2, 3, 4, 5, 5, 2, 6],
+            vec![2, 3, 1, 1, 1, 2, 1, 2],
+        )
+        .expect("figure 2 graph is valid")
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(3), &[2, 6]);
+        assert_eq!(g.neighbor_weights(3), &[1, 2]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 8.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_edges_yields_all_triples() {
+        let g = figure2();
+        let triples: Vec<_> = g.iter_edges().collect();
+        assert_eq!(triples.len(), 8);
+        assert_eq!(triples[0], (0, 1, 2));
+        assert_eq!(triples[7], (3, 6, 2));
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(Csr::new(vec![], vec![], vec![]).is_err());
+        assert!(Csr::new(vec![1, 2], vec![0, 0], vec![1, 1]).is_err());
+        assert!(Csr::new(vec![0, 2, 1], vec![0, 0], vec![1, 1]).is_err());
+        assert!(Csr::new(vec![0, 1], vec![0, 0], vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_destination() {
+        assert!(Csr::new(vec![0, 1], vec![5], vec![1]).is_err());
+    }
+
+    #[test]
+    fn rejects_weight_mismatch() {
+        assert!(Csr::new(vec![0, 1], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::new(vec![0], vec![], vec![]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn display_of_error() {
+        let e = Csr::new(vec![0, 1], vec![5], vec![1]).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Delaunay-triangulation-like generator (the `delaunay` / DIMACS
+//! class).
+//!
+//! A Delaunay triangulation of random points is a planar graph where
+//! almost every node has degree ~6 (the expected Delaunay degree) with
+//! small variance. A jittered triangular lattice reproduces that
+//! degree structure and the spatial locality of the real datasets
+//! without a full computational-geometry kernel.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::random_weight;
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Generates a triangulated planar mesh of roughly `num_nodes` nodes:
+/// a 2-D lattice with east, south and south-east (diagonal) links,
+/// giving undirected degree ≈ 6 like a Delaunay triangulation, with a
+/// small fraction of flipped diagonals for irregularity.
+pub fn generate(num_nodes: usize, seed: u64) -> Csr {
+    let side = (num_nodes as f64).sqrt().ceil() as usize;
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                b.add_undirected(id(x, y), id(x + 1, y), random_weight(&mut rng));
+            }
+            if y + 1 < side {
+                b.add_undirected(id(x, y), id(x, y + 1), random_weight(&mut rng));
+            }
+            if x + 1 < side && y + 1 < side {
+                // Triangulating diagonal; flip orientation ~50% like a
+                // real triangulation of jittered points.
+                if rng.random_range(0..2) == 0 {
+                    b.add_undirected(id(x, y), id(x + 1, y + 1), random_weight(&mut rng));
+                } else {
+                    b.add_undirected(id(x + 1, y), id(x, y + 1), random_weight(&mut rng));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate(400, 2), generate(400, 2));
+    }
+
+    #[test]
+    fn degree_close_to_six() {
+        let g = generate(10_000, 1);
+        let d = g.avg_degree();
+        assert!((5.0..6.5).contains(&d), "avg degree {d}");
+        // Delaunay graphs have tightly bounded degree.
+        assert!(g.max_degree() <= 10, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn validates() {
+        generate(2500, 7).validate().unwrap();
+    }
+
+    #[test]
+    fn planar_locality_neighbors_are_near() {
+        let g = generate(10_000, 3);
+        let side = 100u32;
+        // Every neighbour of a node is within lattice distance 1 in
+        // both coordinates — the spatial locality that makes grouping
+        // less critical on meshes.
+        for v in [0u32, 5_000, 9_999] {
+            for &w in g.neighbors(v) {
+                let (vx, vy) = (v % side, v / side);
+                let (wx, wy) = (w % side, w / side);
+                assert!(vx.abs_diff(wx) <= 1 && vy.abs_diff(wy) <= 1);
+            }
+        }
+    }
+}

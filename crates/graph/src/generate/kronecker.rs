@@ -1,0 +1,107 @@
+//! Kronecker / R-MAT generator (the `kron` / Graph500 class).
+//!
+//! Graph500's synthetic graphs are stochastic Kronecker graphs: each
+//! edge picks its endpoints by descending a 2×2 probability matrix
+//! `[[a, b], [c, d]]` for `scale` levels. The result is scale-free
+//! with massive hubs and essentially no locality — the hardest case
+//! for memory coalescing and the most duplicate-rich for filtering.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::random_weight;
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Graph500 reference R-MAT parameters.
+pub const A: f64 = 0.57;
+/// See [`A`].
+pub const B: f64 = 0.19;
+/// See [`A`].
+pub const C: f64 = 0.19;
+
+/// Generates a Kronecker graph with `2^scale` nodes and
+/// `edge_factor * 2^scale` directed edges (multi-edges kept, as in
+/// Graph500's edge lists).
+pub fn generate(scale: u32, edge_factor: usize, seed: u64) -> Csr {
+    assert!((1..=26).contains(&scale), "scale {scale} out of supported range");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < A {
+                // top-left: no bits set
+            } else if r < A + B {
+                v |= 1;
+            } else if r < A + B + C {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            b.add_edge(u as u32, v as u32, random_weight(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate(8, 8, 1), generate(8, 8, 1));
+        assert_ne!(generate(8, 8, 1), generate(8, 8, 2));
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = generate(10, 16, 3);
+        assert_eq!(g.num_nodes(), 1024);
+        // Self-loops removed, so slightly under edge_factor * n.
+        let m = g.num_edges();
+        assert!(m > 15 * 1024 && m <= 16 * 1024, "edges {m}");
+    }
+
+    #[test]
+    fn hubs_dominate() {
+        let g = generate(12, 16, 5);
+        assert!(
+            g.max_degree() as f64 > 20.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn low_ids_are_heavier() {
+        // The R-MAT skew concentrates edges on low node IDs.
+        let g = generate(10, 16, 7);
+        let n = g.num_nodes() as u32;
+        let low: u32 = (0..n / 4).map(|v| g.degree(v)).sum();
+        let high: u32 = (3 * n / 4..n).map(|v| g.degree(v)).sum();
+        assert!(low > 3 * high, "low quarter {low} vs high quarter {high}");
+    }
+
+    #[test]
+    fn validates() {
+        generate(9, 8, 11).validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn huge_scale_panics() {
+        generate(30, 8, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic graph generators, one per Table 5 dataset class.
+//!
+//! The paper evaluates on six real graphs "representative of different
+//! categories of graphs as well as dimensions and connectivity
+//! properties" (§5). What the SCU's benefit depends on is exactly those
+//! category properties — frontier growth rate, duplicate density, and
+//! destination locality — so each generator here reproduces one
+//! category's structure at a configurable size:
+//!
+//! | module | class | paper dataset |
+//! |---|---|---|
+//! | [`road`] | planar lattice with shortcuts, low degree, huge diameter | `ca` |
+//! | [`power_law`] | preferential attachment, heavy-tailed degrees | `cond` |
+//! | [`delaunay`] | triangulated planar mesh, uniform low degree | `delaunay` |
+//! | [`dense`] | small, extremely dense with community blocks | `human` |
+//! | [`kronecker`] | R-MAT/Graph500, scale-free with massive hubs | `kron` |
+//! | [`mesh3d`] | banded 3-D FEM stencil, high uniform degree | `msdoor` |
+//!
+//! All generators are deterministic given their seed.
+
+pub mod delaunay;
+pub mod dense;
+pub mod kronecker;
+pub mod mesh3d;
+pub mod power_law;
+pub mod road;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws an edge weight in `1..=10` (the paper's SSSP uses small
+/// positive integer costs; see Figure 2).
+pub(crate) fn random_weight(rng: &mut StdRng) -> u32 {
+    rng.random_range(1..=10)
+}

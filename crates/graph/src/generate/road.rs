@@ -1,0 +1,101 @@
+//! Road-network generator (the `ca` / California class).
+//!
+//! Road networks are near-planar lattices: almost every junction
+//! connects to 2–4 geographic neighbours, diameters are enormous, and
+//! BFS/SSSP frontiers stay small for many iterations — the regime
+//! where compaction overhead dominates GPU execution.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::random_weight;
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Generates a road-like network of roughly `num_nodes` nodes: a 2-D
+/// grid with 4-neighbour streets, a fraction of missing segments
+/// (rivers, mountains) and sparse long-range shortcuts (highways).
+///
+/// Directed average degree lands near the `ca` dataset's ~4.9.
+pub fn generate(num_nodes: usize, seed: u64) -> Csr {
+    let side = (num_nodes as f64).sqrt().ceil() as usize;
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+    for y in 0..side {
+        for x in 0..side {
+            // Street to the east / south, each present with p = 0.93
+            // (road networks are grids with occasional gaps).
+            if x + 1 < side && rng.random_range(0..100) < 93 {
+                b.add_undirected(id(x, y), id(x + 1, y), random_weight(&mut rng));
+            }
+            if y + 1 < side && rng.random_range(0..100) < 93 {
+                b.add_undirected(id(x, y), id(x, y + 1), random_weight(&mut rng));
+            }
+        }
+    }
+    // Highways: ~2% of nodes get one long-range link.
+    let highways = n / 50;
+    for _ in 0..highways {
+        let a = rng.random_range(0..n as u32);
+        let c = rng.random_range(0..n as u32);
+        if a != c {
+            b.add_undirected(a, c, random_weight(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(1000, 9);
+        let b = generate(1000, 9);
+        assert_eq!(a, b);
+        let c = generate(1000, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_matches_road_class() {
+        let g = generate(10_000, 1);
+        let d = g.avg_degree();
+        assert!((3.0..6.0).contains(&d), "avg degree {d} not road-like");
+        // Low max degree: no hubs in a road network.
+        assert!(g.max_degree() < 12, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn validates() {
+        generate(5000, 3).validate().unwrap();
+    }
+
+    #[test]
+    fn large_diameter_frontier_growth_is_slow() {
+        // BFS from node 0: the frontier of a lattice grows ~linearly,
+        // not exponentially. After 5 rounds it must still be tiny
+        // compared to the graph.
+        let g = generate(10_000, 4);
+        let mut dist = vec![u32::MAX; g.num_nodes()];
+        dist[0] = 0;
+        let mut frontier = vec![0u32];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in g.neighbors(v) {
+                    if dist[w as usize] == u32::MAX {
+                        dist[w as usize] = 1;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        assert!(frontier.len() < g.num_nodes() / 20);
+    }
+}

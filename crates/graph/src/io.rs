@@ -1,0 +1,314 @@
+//! Plain-text graph parsing and serialisation.
+//!
+//! Two formats are supported:
+//!
+//! * **edge list** — one `src dst [weight]` triple per line, `#`
+//!   comments, 0-indexed (the format of the SNAP collection the `ca`
+//!   and `cond` datasets come from);
+//! * **DIMACS shortest-path** — `c` comments, one `p sp <n> <m>`
+//!   header, `a <src> <dst> <weight>` arcs, 1-indexed (the 9th/10th
+//!   DIMACS challenge format of the `delaunay` datasets).
+
+use std::fmt::Write as _;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Error from a parser in this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGraphError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseGraphError {
+    ParseGraphError { line, message: message.into() }
+}
+
+/// Parses a 0-indexed `src dst [weight]` edge list. Missing weights
+/// default to 1. The node count is `max id + 1`.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines.
+pub fn parse_edge_list(text: &str) -> Result<Csr, ParseGraphError> {
+    let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let src: u32 = it
+            .next()
+            .ok_or_else(|| err(ln + 1, "missing src"))?
+            .parse()
+            .map_err(|e| err(ln + 1, format!("bad src: {e}")))?;
+        let dst: u32 = it
+            .next()
+            .ok_or_else(|| err(ln + 1, "missing dst"))?
+            .parse()
+            .map_err(|e| err(ln + 1, format!("bad dst: {e}")))?;
+        let weight: u32 = match it.next() {
+            Some(w) => w.parse().map_err(|e| err(ln + 1, format!("bad weight: {e}")))?,
+            None => 1,
+        };
+        if it.next().is_some() {
+            return Err(err(ln + 1, "trailing tokens"));
+        }
+        max_id = max_id.max(src).max(dst);
+        triples.push((src, dst, weight));
+    }
+    let n = if triples.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::new(n);
+    for (s, d, w) in triples {
+        b.add_edge(s, d, w);
+    }
+    Ok(b.build())
+}
+
+/// Serialises a graph as a 0-indexed edge list with weights.
+pub fn to_edge_list(g: &Csr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# nodes {} edges {}", g.num_nodes(), g.num_edges());
+    for (s, d, w) in g.iter_edges() {
+        let _ = writeln!(out, "{s} {d} {w}");
+    }
+    out
+}
+
+/// Parses the DIMACS shortest-path format (1-indexed `a` arcs).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, a missing header,
+/// or node IDs outside the declared range.
+pub fn parse_dimacs(text: &str) -> Result<Csr, ParseGraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                if it.next() != Some("sp") {
+                    return Err(err(ln + 1, "expected 'p sp <n> <m>'"));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| err(ln + 1, "missing node count"))?
+                    .parse()
+                    .map_err(|e| err(ln + 1, format!("bad node count: {e}")))?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(ln + 1, "arc before 'p sp' header"))?;
+                let src: u32 = it
+                    .next()
+                    .ok_or_else(|| err(ln + 1, "missing src"))?
+                    .parse()
+                    .map_err(|e| err(ln + 1, format!("bad src: {e}")))?;
+                let dst: u32 = it
+                    .next()
+                    .ok_or_else(|| err(ln + 1, "missing dst"))?
+                    .parse()
+                    .map_err(|e| err(ln + 1, format!("bad dst: {e}")))?;
+                let w: u32 = it
+                    .next()
+                    .ok_or_else(|| err(ln + 1, "missing weight"))?
+                    .parse()
+                    .map_err(|e| err(ln + 1, format!("bad weight: {e}")))?;
+                if src == 0 || dst == 0 {
+                    return Err(err(ln + 1, "DIMACS node ids are 1-indexed"));
+                }
+                b.add_edge(src - 1, dst - 1, w);
+            }
+            Some(other) => {
+                return Err(err(ln + 1, format!("unknown record '{other}'")));
+            }
+            None => unreachable!("line is nonempty"),
+        }
+    }
+    let b = builder.ok_or_else(|| err(1, "missing 'p sp' header"))?;
+    Ok(b.build())
+}
+
+/// Parses the MatrixMarket coordinate format (the UFL collection's
+/// native format, used by the paper's `human`/`msdoor` datasets):
+/// a `%%MatrixMarket matrix coordinate <field> <symmetry>` banner,
+/// `%` comments, a `rows cols nnz` size line, then 1-indexed
+/// `i j [value]` entries. `symmetric` matrices add both directions.
+/// Numeric values are mapped to weights by `ceil(|v|)` clamped to
+/// at least 1; `pattern` matrices get weight 1.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input.
+pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
+    let mut lines = text.lines().enumerate();
+    let (_, banner) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let banner_fields: Vec<&str> = banner.split_whitespace().collect();
+    if banner_fields.len() < 5
+        || !banner_fields[0].eq_ignore_ascii_case("%%MatrixMarket")
+        || !banner_fields[1].eq_ignore_ascii_case("matrix")
+        || !banner_fields[2].eq_ignore_ascii_case("coordinate")
+    {
+        return Err(err(1, "expected '%%MatrixMarket matrix coordinate ...' banner"));
+    }
+    let pattern = banner_fields[3].eq_ignore_ascii_case("pattern");
+    let symmetric = banner_fields[4].eq_ignore_ascii_case("symmetric");
+
+    let mut builder: Option<GraphBuilder> = None;
+    for (ln, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if builder.is_none() {
+            let rows: usize = it
+                .next()
+                .ok_or_else(|| err(ln + 1, "missing row count"))?
+                .parse()
+                .map_err(|e| err(ln + 1, format!("bad row count: {e}")))?;
+            let cols: usize = it
+                .next()
+                .ok_or_else(|| err(ln + 1, "missing column count"))?
+                .parse()
+                .map_err(|e| err(ln + 1, format!("bad column count: {e}")))?;
+            builder = Some(GraphBuilder::new(rows.max(cols)));
+            continue;
+        }
+        let b = builder.as_mut().expect("set above");
+        let i: u32 = it
+            .next()
+            .ok_or_else(|| err(ln + 1, "missing row index"))?
+            .parse()
+            .map_err(|e| err(ln + 1, format!("bad row index: {e}")))?;
+        let j: u32 = it
+            .next()
+            .ok_or_else(|| err(ln + 1, "missing column index"))?
+            .parse()
+            .map_err(|e| err(ln + 1, format!("bad column index: {e}")))?;
+        if i == 0 || j == 0 {
+            return Err(err(ln + 1, "MatrixMarket indices are 1-indexed"));
+        }
+        let weight = if pattern {
+            1
+        } else {
+            let v: f64 = it
+                .next()
+                .ok_or_else(|| err(ln + 1, "missing value"))?
+                .parse()
+                .map_err(|e| err(ln + 1, format!("bad value: {e}")))?;
+            (v.abs().ceil() as u32).max(1)
+        };
+        b.add_edge(i - 1, j - 1, weight);
+        if symmetric && i != j {
+            b.add_edge(j - 1, i - 1, weight);
+        }
+    }
+    let b = builder.ok_or_else(|| err(1, "missing size line"))?;
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let text = "# comment\n0 1 5\n1 2 3\n2 0\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbor_weights(0), &[5]);
+        assert_eq!(g.neighbor_weights(2), &[1]); // default weight
+
+        let text2 = to_edge_list(&g);
+        let g2 = parse_edge_list(&text2).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+        assert!(parse_edge_list("0 1 2 3\n").is_err());
+        let e = parse_edge_list("0 1\nx 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn empty_edge_list_is_empty_graph() {
+        let g = parse_edge_list("# nothing\n").unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn dimacs_parses_1_indexed() {
+        let text = "c comment\np sp 3 2\na 1 2 7\na 2 3 4\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbor_weights(1), &[4]);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_ids_and_missing_header() {
+        assert!(parse_dimacs("a 1 2 3\n").is_err());
+        assert!(parse_dimacs("p sp 2 1\na 0 1 3\n").is_err());
+        assert!(parse_dimacs("p xx 2 1\n").is_err());
+        assert!(parse_dimacs("q sp 2 1\n").is_err());
+    }
+
+    #[test]
+    fn matrix_market_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n3 3 3\n1 2 2.5\n2 3 1.0\n3 1 0.2\n";
+        let g = parse_matrix_market(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbor_weights(0), &[3]); // ceil(2.5)
+        assert_eq!(g.neighbor_weights(2), &[1]); // max(1, ceil(0.2))
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    2 2 1\n1 2\n";
+        let g = parse_matrix_market(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(parse_matrix_market("").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket vector coordinate real general\n").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3\n").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n").is_err());
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = parse_edge_list("0 1\nbroken\n").unwrap_err();
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+}

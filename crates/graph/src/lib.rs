@@ -1,0 +1,45 @@
+//! # scu-graph — graph substrate: CSR storage, generators, datasets
+//!
+//! Provides everything the graph algorithms and benchmarks need:
+//!
+//! * [`csr`] — the Compressed Sparse Row representation the paper's
+//!   GPU implementations use (§2, Figure 2): a row-offset array, an
+//!   edge (destination) array, and a parallel weight array.
+//! * [`builder`] — incremental edge-list construction with optional
+//!   deduplication and sorting.
+//! * [`generate`] — synthetic generators for each *class* of graph in
+//!   the paper's Table 5: road networks, collaboration (power-law)
+//!   networks, Delaunay-like planar meshes, dense biological networks,
+//!   Kronecker/Graph500 graphs and 3D FEM meshes.
+//! * [`datasets`] — the Table 5 registry: `ca`, `cond`, `delaunay`,
+//!   `human`, `kron`, `msdoor`, with published node/edge counts and a
+//!   scale knob for affordable simulation (the substitution is
+//!   documented in `DESIGN.md`).
+//! * [`io`] — edge-list, DIMACS and MatrixMarket parsing/serialisation.
+//! * [`stats`] — degree-distribution and locality statistics.
+//! * [`transform`] — locality-improving renumberings (for the
+//!   preprocessing-vs-SCU comparison the related work motivates).
+//!
+//! ## Example
+//!
+//! ```
+//! use scu_graph::datasets::Dataset;
+//!
+//! // A 1/64-scale `cond` collaboration network.
+//! let g = Dataset::Cond.build(1.0 / 64.0, 7);
+//! assert!(g.num_nodes() > 0);
+//! g.validate().unwrap();
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generate;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use datasets::Dataset;
+pub use stats::GraphStats;

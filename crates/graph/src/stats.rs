@@ -1,0 +1,145 @@
+//! Graph statistics: degree distributions and locality measures.
+//!
+//! Used by the dataset registry tests (to verify each generator
+//! reproduces its class's structure) and by the benchmark reports.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph's degree distribution and edge
+/// locality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Fraction of nodes with zero out-degree.
+    pub sink_fraction: f64,
+    /// Gini coefficient of the out-degree distribution (0 = perfectly
+    /// uniform, →1 = hub-dominated scale-free).
+    pub degree_gini: f64,
+    /// Mean |dst − src| over all edges, normalised by node count —
+    /// a proxy for the destination locality grouping exploits.
+    pub mean_edge_span: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut degrees: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+        let sinks = degrees.iter().filter(|&&d| d == 0).count();
+
+        // Gini via the sorted-degrees formula.
+        degrees.sort_unstable();
+        let total: u64 = degrees.iter().map(|&d| d as u64).sum();
+        let gini = if n == 0 || total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+
+        let span: f64 = if m == 0 {
+            0.0
+        } else {
+            g.iter_edges()
+                .map(|(s, d, _)| s.abs_diff(d) as f64)
+                .sum::<f64>()
+                / m as f64
+                / n.max(1) as f64
+        };
+
+        GraphStats {
+            nodes: n,
+            edges: m,
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            sink_fraction: if n == 0 { 0.0 } else { sinks as f64 / n as f64 },
+            degree_gini: gini,
+            mean_edge_span: span,
+        }
+    }
+}
+
+/// Histogram of out-degrees in power-of-two buckets; bucket `i` counts
+/// nodes with degree in `[2^i, 2^(i+1))`, bucket 0 also counts degree
+/// 0..2.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut buckets = vec![0usize; 1];
+    for v in 0..g.num_nodes() as u32 {
+        let d = g.degree(v);
+        let b = if d < 2 { 0 } else { (32 - d.leading_zeros()) as usize - 1 };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        let g = Dataset::Delaunay.build(1.0 / 64.0, 1);
+        let s = GraphStats::of(&g);
+        assert!(s.degree_gini < 0.2, "delaunay gini {}", s.degree_gini);
+    }
+
+    #[test]
+    fn scale_free_graph_has_high_gini() {
+        let g = Dataset::Kron.build(1.0 / 64.0, 1);
+        let s = GraphStats::of(&g);
+        assert!(s.degree_gini > 0.5, "kron gini {}", s.degree_gini);
+    }
+
+    #[test]
+    fn mesh_has_lower_span_than_random() {
+        let mesh = GraphStats::of(&Dataset::Msdoor.build(1.0 / 64.0, 1));
+        let kron = GraphStats::of(&Dataset::Kron.build(1.0 / 64.0, 1));
+        assert!(
+            mesh.mean_edge_span < kron.mean_edge_span,
+            "mesh span {} vs kron {}",
+            mesh.mean_edge_span,
+            kron.mean_edge_span
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_node_count() {
+        let g = Dataset::Cond.build(1.0 / 64.0, 1);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_nodes());
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zeroed() {
+        let g = GraphBuilder::new(0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.degree_gini, 0.0);
+        assert_eq!(s.mean_edge_span, 0.0);
+    }
+
+    #[test]
+    fn sink_fraction_counts_terminal_nodes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 1);
+        let s = GraphStats::of(&b.build());
+        assert!((s.sink_fraction - 0.5).abs() < 1e-12); // nodes 2 and 3
+    }
+}

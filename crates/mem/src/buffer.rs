@@ -1,0 +1,207 @@
+//! Simulated device memory: a bump allocator and typed arrays.
+//!
+//! A [`DeviceArray<T>`] owns its data host-side (plain `Vec<T>`) and a
+//! base address in the simulated 64-bit device address space, so each
+//! element has a stable byte address that the timing model can coalesce
+//! and cache. Allocation is a bump [`DeviceAllocator`]; arrays are
+//! line-aligned so the access-pattern geometry matches what a CUDA
+//! `cudaMalloc` would produce.
+
+use crate::line::Addr;
+
+/// Alignment applied to every allocation (one 128-byte cache line).
+pub const ALLOC_ALIGN: u64 = 128;
+
+/// Bump allocator handing out disjoint, line-aligned address ranges.
+///
+/// ```
+/// use scu_mem::buffer::{DeviceAllocator, DeviceArray};
+/// let mut alloc = DeviceAllocator::new();
+/// let a: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 100);
+/// let b: DeviceArray<u64> = DeviceArray::zeroed(&mut alloc, 100);
+/// assert!(b.base() >= a.base() + 400);
+/// assert_eq!(a.base() % 128, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    next: Addr,
+}
+
+impl DeviceAllocator {
+    /// Creates an allocator starting at a nonzero base (so address 0 is
+    /// never valid data, catching stray zero addresses in tests).
+    pub fn new() -> Self {
+        DeviceAllocator { next: 0x1_0000 }
+    }
+
+    /// Reserves `bytes` bytes and returns the base address.
+    pub fn alloc(&mut self, bytes: u64) -> Addr {
+        let base = self.next;
+        let aligned = bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        self.next += aligned.max(ALLOC_ALIGN);
+        base
+    }
+
+    /// Total bytes reserved so far (high-water mark).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - 0x1_0000
+    }
+}
+
+impl Default for DeviceAllocator {
+    fn default() -> Self {
+        DeviceAllocator::new()
+    }
+}
+
+/// A typed array resident in simulated device memory.
+///
+/// Element `i` of a `DeviceArray<T>` lives at byte address
+/// `base + i * size_of::<T>()`. The *contents* are ordinary host
+/// memory; kernels access them through
+/// `ThreadCtx::load` / `ThreadCtx::store` (in `scu-gpu`) so that the
+/// timing model
+/// observes the addresses, or directly via [`DeviceArray::as_slice`]
+/// for host-side (untimed) setup and verification.
+#[derive(Debug, Clone)]
+pub struct DeviceArray<T> {
+    base: Addr,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> DeviceArray<T> {
+    /// Allocates `len` default-initialised elements.
+    pub fn zeroed(alloc: &mut DeviceAllocator, len: usize) -> Self {
+        Self::from_vec(alloc, vec![T::default(); len])
+    }
+}
+
+impl<T: Copy> DeviceArray<T> {
+    /// Moves a host vector into device memory.
+    pub fn from_vec(alloc: &mut DeviceAllocator, data: Vec<T>) -> Self {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let base = alloc.alloc(bytes.max(1));
+        DeviceArray { base, data }
+    }
+
+    /// Base byte address of element 0.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn addr(&self, i: usize) -> Addr {
+        assert!(i < self.data.len(), "index {i} out of bounds ({})", self.data.len());
+        self.base + (i * std::mem::size_of::<T>()) as Addr
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Host-side view of the contents (no simulated traffic).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Host-side mutable view of the contents (no simulated traffic).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Host-side read of element `i` (no simulated traffic).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Host-side write of element `i` (no simulated traffic).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Consumes the array, returning the host vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut a = DeviceAllocator::new();
+        let x: DeviceArray<u32> = DeviceArray::zeroed(&mut a, 33);
+        let y: DeviceArray<u32> = DeviceArray::zeroed(&mut a, 1);
+        assert_eq!(x.base() % ALLOC_ALIGN, 0);
+        assert_eq!(y.base() % ALLOC_ALIGN, 0);
+        assert!(y.base() >= x.base() + 33 * 4);
+    }
+
+    #[test]
+    fn zero_length_array_still_gets_space() {
+        let mut a = DeviceAllocator::new();
+        let x: DeviceArray<u32> = DeviceArray::zeroed(&mut a, 0);
+        let y: DeviceArray<u32> = DeviceArray::zeroed(&mut a, 4);
+        assert!(x.is_empty());
+        assert_ne!(x.base(), y.base());
+    }
+
+    #[test]
+    fn element_addresses_are_strided() {
+        let mut a = DeviceAllocator::new();
+        let x: DeviceArray<u64> = DeviceArray::zeroed(&mut a, 8);
+        assert_eq!(x.addr(3) - x.addr(0), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn addr_bounds_checked() {
+        let mut a = DeviceAllocator::new();
+        let x: DeviceArray<u32> = DeviceArray::zeroed(&mut a, 4);
+        let _ = x.addr(4);
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let mut a = DeviceAllocator::new();
+        let x = DeviceArray::from_vec(&mut a, vec![5u32, 6, 7]);
+        assert_eq!(x.as_slice(), &[5, 6, 7]);
+        assert_eq!(x.into_vec(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn host_get_set_roundtrip() {
+        let mut a = DeviceAllocator::new();
+        let mut x: DeviceArray<i32> = DeviceArray::zeroed(&mut a, 4);
+        x.set(2, -9);
+        assert_eq!(x.get(2), -9);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_high_water() {
+        let mut a = DeviceAllocator::new();
+        assert_eq!(a.allocated_bytes(), 0);
+        let _: DeviceArray<u8> = DeviceArray::zeroed(&mut a, 130);
+        assert_eq!(a.allocated_bytes(), 256);
+    }
+}

@@ -1,0 +1,329 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! The model tracks tags only (no data): an access classifies as hit or
+//! miss, allocates on miss, and reports whether a dirty victim was
+//! evicted (the write-back traffic feeds the DRAM model). Timing is not
+//! modelled here — the owning [`crate::system::MemorySystem`] and the
+//! GPU/SCU engines charge latency and bandwidth from the outcome.
+
+use crate::line::{Addr, LineSize};
+use crate::stats::CacheStats;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; allocates the line clean on miss.
+    Read,
+    /// A store; write-allocate, marks the line dirty.
+    Write,
+}
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of
+    /// `line_size * associativity`.
+    pub size_bytes: u64,
+    /// Line size.
+    pub line_size: LineSize,
+    /// Number of ways per set.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating that the geometry divides evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the capacity is not a positive multiple of
+    /// `line_size * associativity` or the resulting set count is not a
+    /// power of two.
+    pub fn new(
+        size_bytes: u64,
+        line_size: LineSize,
+        associativity: u32,
+    ) -> Result<Self, String> {
+        if associativity == 0 {
+            return Err("associativity must be positive".to_string());
+        }
+        let way_bytes = line_size.bytes() as u64 * associativity as u64;
+        if size_bytes == 0 || !size_bytes.is_multiple_of(way_bytes) {
+            return Err(format!(
+                "cache size {size_bytes} is not a positive multiple of line*ways = {way_bytes}"
+            ));
+        }
+        let sets = size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} is not a power of two"));
+        }
+        Ok(CacheConfig { size_bytes, line_size, associativity })
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_size.bytes() as u64 * self.associativity as u64)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_size.bytes() as u64
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// The access hit in the cache.
+    pub hit: bool,
+    /// A dirty line was evicted to make room (write-back traffic).
+    pub dirty_eviction: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of last touch; smallest is LRU.
+    last_use: u64,
+}
+
+impl Way {
+    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, last_use: 0 };
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU
+/// replacement, tracking tags only.
+///
+/// ```
+/// use scu_mem::cache::{AccessKind, Cache, CacheConfig};
+/// use scu_mem::line::LineSize;
+///
+/// let cfg = CacheConfig::new(32 * 1024, LineSize::L128, 4).unwrap();
+/// let mut l1 = Cache::new(cfg);
+/// assert!(!l1.access(0, AccessKind::Read).hit);
+/// assert!(l1.access(64, AccessKind::Read).hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Way::EMPTY; cfg.associativity as usize]; num_sets as usize],
+            set_mask: num_sets - 1,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated hit/miss/write-back counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets counters but keeps cache contents (useful to exclude
+    /// warm-up from a measurement window).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.fill(Way::EMPTY);
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn locate(&self, addr: Addr) -> (usize, u64) {
+        let line = self.cfg.line_size.index_of(addr);
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        (set, tag)
+    }
+
+    /// Performs one access at `addr` (any byte within the line).
+    ///
+    /// Misses allocate; the LRU way is evicted, and the outcome reports
+    /// whether the victim was dirty.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> CacheOutcome {
+        self.clock += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let set = &mut self.sets[set_idx];
+
+        self.stats.accesses += 1;
+        if kind == AccessKind::Write {
+            self.stats.writes += 1;
+        }
+
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = self.clock;
+            if kind == AccessKind::Write {
+                way.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome { hit: true, dirty_eviction: false };
+        }
+
+        self.stats.misses += 1;
+
+        // Victim: first invalid way, else LRU.
+        let victim = match set.iter().position(|w| !w.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .expect("associativity is positive");
+                i
+            }
+        };
+        let dirty_eviction = set[victim].valid && set[victim].dirty;
+        if dirty_eviction {
+            self.stats.writebacks += 1;
+        }
+        set[victim] = Way {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            last_use: self.clock,
+        };
+        CacheOutcome { hit: false, dirty_eviction }
+    }
+
+    /// Returns `true` if the line containing `addr` is currently
+    /// resident (without touching LRU state or counters).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: u32) -> Cache {
+        // 4 sets x `ways` ways x 128B lines.
+        let cfg = CacheConfig::new(4 * ways as u64 * 128, LineSize::L128, ways).unwrap();
+        Cache::new(cfg)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::new(0, LineSize::L128, 4).is_err());
+        assert!(CacheConfig::new(100, LineSize::L128, 4).is_err());
+        assert!(CacheConfig::new(1024, LineSize::L128, 0).is_err());
+        // 3 sets -> not a power of two
+        assert!(CacheConfig::new(3 * 4 * 128, LineSize::L128, 4).is_err());
+        let cfg = CacheConfig::new(2 * 1024 * 1024, LineSize::L128, 16).unwrap();
+        assert_eq!(cfg.num_sets(), 1024);
+        assert_eq!(cfg.num_lines(), 16384);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache(2);
+        assert!(!c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x17f, AccessKind::Read).hit); // same 128B line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(2);
+        // Three lines mapping to set 0 (stride = 4 sets * 128B).
+        let stride = 4 * 128;
+        c.access(0, AccessKind::Read);
+        c.access(stride, AccessKind::Read);
+        // Touch line 0 so `stride` becomes LRU.
+        c.access(0, AccessKind::Read);
+        c.access(2 * stride, AccessKind::Read); // evicts `stride`
+        assert!(c.probe(0));
+        assert!(!c.probe(stride));
+        assert!(c.probe(2 * stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small_cache(1);
+        let stride = 4 * 128;
+        let out = c.access(0, AccessKind::Write);
+        assert!(!out.hit && !out.dirty_eviction);
+        let out = c.access(stride, AccessKind::Read);
+        assert!(!out.hit && out.dirty_eviction);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_not_reported_as_writeback() {
+        let mut c = small_cache(1);
+        let stride = 4 * 128;
+        c.access(0, AccessKind::Read);
+        let out = c.access(stride, AccessKind::Read);
+        assert!(!out.dirty_eviction);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache(1);
+        let stride = 4 * 128;
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write); // hit, now dirty
+        let out = c.access(stride, AccessKind::Read);
+        assert!(out.dirty_eviction);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_stats() {
+        let mut c = small_cache(2);
+        c.access(0, AccessKind::Write);
+        c.clear();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small_cache(2);
+        c.access(0, AccessKind::Read);
+        c.reset_stats();
+        assert!(c.probe(0));
+        assert!(c.access(0, AccessKind::Read).hit);
+        assert_eq!(c.stats().accesses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small_cache(1);
+        // 4 sets: lines 0..4 map to distinct sets.
+        for i in 0..4u64 {
+            c.access(i * 128, AccessKind::Read);
+        }
+        for i in 0..4u64 {
+            assert!(c.probe(i * 128), "line {i} should still be resident");
+        }
+    }
+}

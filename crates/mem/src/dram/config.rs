@@ -1,0 +1,168 @@
+//! DRAM device parameter sets.
+
+use super::energy::DramEnergyParams;
+use crate::line::LineSize;
+
+/// Parameters of a DRAM subsystem.
+///
+/// Two presets mirror the paper's evaluation platforms:
+/// [`DramConfig::gddr5_4gb`] for the GTX 980 and
+/// [`DramConfig::lpddr4_4gb`] for the Tegra X1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Human-readable name ("GDDR5", "LPDDR4").
+    pub name: &'static str,
+    /// Total capacity in bytes (4 GiB for both modelled systems).
+    pub capacity_bytes: u64,
+    /// Independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row (page) size per bank, in bytes.
+    pub row_bytes: u32,
+    /// Access granularity — one L2 line fill/writeback.
+    pub access_bytes: LineSize,
+    /// Aggregate peak bandwidth in bytes/second.
+    pub peak_bw_bytes_per_sec: f64,
+    /// Column access latency (CAS) in nanoseconds.
+    pub t_cas_ns: f64,
+    /// Row-to-column delay (RCD) in nanoseconds.
+    pub t_rcd_ns: f64,
+    /// Row precharge in nanoseconds.
+    pub t_rp_ns: f64,
+    /// Per-event energy constants.
+    pub energy: DramEnergyParams,
+}
+
+impl DramConfig {
+    /// 4 GB GDDR5 at 224 GB/s — the GTX 980 memory system (Table 3).
+    ///
+    /// Timing follows typical 7 Gbps GDDR5 datasheet values; energy
+    /// constants follow GPUWattch-style GDDR5 per-access costs.
+    pub fn gddr5_4gb() -> Self {
+        DramConfig {
+            name: "GDDR5",
+            capacity_bytes: 4 << 30,
+            channels: 8,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            access_bytes: LineSize::L128,
+            peak_bw_bytes_per_sec: 224.0e9,
+            t_cas_ns: 12.0,
+            t_rcd_ns: 12.0,
+            t_rp_ns: 12.0,
+            energy: DramEnergyParams::gddr5(),
+        }
+    }
+
+    /// 4 GB LPDDR4 at 25.6 GB/s — the Tegra X1 memory system (Table 4).
+    ///
+    /// Timing follows LPDDR4-3200 datasheet class values; energy
+    /// constants follow the Micron LPDDR4 power calculator (TN-53-01)
+    /// style used by the paper.
+    pub fn lpddr4_4gb() -> Self {
+        DramConfig {
+            name: "LPDDR4",
+            capacity_bytes: 4 << 30,
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 4096,
+            access_bytes: LineSize::L128,
+            peak_bw_bytes_per_sec: 25.6e9,
+            t_cas_ns: 18.0,
+            t_rcd_ns: 18.0,
+            t_rp_ns: 18.0,
+            energy: DramEnergyParams::lpddr4(),
+        }
+    }
+
+    /// Total number of banks across all channels.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel
+    }
+
+    /// Lines (access granules) per row.
+    pub fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.access_bytes.bytes()
+    }
+
+    /// Time to move `bytes` at peak bandwidth, in nanoseconds.
+    pub fn transfer_time_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.peak_bw_bytes_per_sec * 1e9
+    }
+
+    /// Per-channel data-bus time for one access granule, in ns.
+    pub fn access_bus_time_ns(&self) -> f64 {
+        let per_channel_bw = self.peak_bw_bytes_per_sec / self.channels as f64;
+        self.access_bytes.bytes() as f64 / per_channel_bw * 1e9
+    }
+
+    /// Validates internal consistency (row size divisible by access
+    /// granule, nonzero geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.banks_per_channel == 0 {
+            return Err("channel/bank counts must be positive".into());
+        }
+        if !self.row_bytes.is_multiple_of(self.access_bytes.bytes()) {
+            return Err(format!(
+                "row size {} not a multiple of access granule {}",
+                self.row_bytes,
+                self.access_bytes.bytes()
+            ));
+        }
+        if self.peak_bw_bytes_per_sec <= 0.0 {
+            return Err("peak bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DramConfig::gddr5_4gb().validate().unwrap();
+        DramConfig::lpddr4_4gb().validate().unwrap();
+    }
+
+    #[test]
+    fn gddr5_geometry() {
+        let c = DramConfig::gddr5_4gb();
+        assert_eq!(c.total_banks(), 128);
+        assert_eq!(c.lines_per_row(), 16);
+    }
+
+    #[test]
+    fn transfer_time_matches_peak_bw() {
+        let c = DramConfig::gddr5_4gb();
+        // 224 GB in one second.
+        let t = c.transfer_time_ns(224_000_000_000);
+        assert!((t - 1e9).abs() / 1e9 < 1e-9);
+    }
+
+    #[test]
+    fn lpddr4_slower_than_gddr5() {
+        let g = DramConfig::gddr5_4gb();
+        let l = DramConfig::lpddr4_4gb();
+        assert!(l.peak_bw_bytes_per_sec < g.peak_bw_bytes_per_sec);
+        assert!(l.access_bus_time_ns() > g.access_bus_time_ns());
+        // But LPDDR4 costs less energy per bit.
+        assert!(l.energy.read_pj_per_access < g.energy.read_pj_per_access);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DramConfig::gddr5_4gb();
+        c.channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = DramConfig::gddr5_4gb();
+        c.row_bytes = 100;
+        assert!(c.validate().is_err());
+    }
+}

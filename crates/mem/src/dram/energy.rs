@@ -1,0 +1,86 @@
+//! Per-event DRAM energy constants.
+//!
+//! The paper obtains DRAM power from GPUWattch (GDDR5) and the Micron
+//! LPDDR4 power calculator (TN-53-01). We adopt the same event-based
+//! formulation: `E = reads*E_rd + writes*E_wr + activations*E_act +
+//! P_background * t`. The constants below are datasheet-class
+//! per-access energies (GDDR5 interface ≈ 14–20 pJ/bit, LPDDR4 ≈
+//! 4–6 pJ/bit) scaled to the 128-byte access granule.
+
+/// Energy constants for one DRAM technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyParams {
+    /// Energy per 128-byte read access, picojoules.
+    pub read_pj_per_access: f64,
+    /// Energy per 128-byte write access, picojoules.
+    pub write_pj_per_access: f64,
+    /// Energy per row activation (ACT + PRE pair), picojoules.
+    pub activation_pj: f64,
+    /// Background (static + refresh) power, milliwatts.
+    pub background_mw: f64,
+}
+
+impl DramEnergyParams {
+    /// GDDR5 constants (GPUWattch-class): ~18 pJ/bit interface energy.
+    pub fn gddr5() -> Self {
+        DramEnergyParams {
+            read_pj_per_access: 18_000.0,
+            write_pj_per_access: 19_000.0,
+            activation_pj: 2_200.0,
+            background_mw: 2_000.0,
+        }
+    }
+
+    /// LPDDR4 constants (Micron TN-53-01 class): ~5 pJ/bit.
+    pub fn lpddr4() -> Self {
+        DramEnergyParams {
+            read_pj_per_access: 5_200.0,
+            write_pj_per_access: 5_600.0,
+            activation_pj: 1_400.0,
+            background_mw: 120.0,
+        }
+    }
+
+    /// Dynamic energy in picojoules for the given event counts.
+    pub fn dynamic_pj(&self, reads: u64, writes: u64, activations: u64) -> f64 {
+        reads as f64 * self.read_pj_per_access
+            + writes as f64 * self.write_pj_per_access
+            + activations as f64 * self.activation_pj
+    }
+
+    /// Background energy in picojoules over `elapsed_ns` nanoseconds.
+    ///
+    /// 1 mW × 1 ns = 1 pJ, so this is simply `background_mw *
+    /// elapsed_ns`.
+    pub fn background_pj(&self, elapsed_ns: f64) -> f64 {
+        self.background_mw * elapsed_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_energy_sums_events() {
+        let e = DramEnergyParams::gddr5();
+        let pj = e.dynamic_pj(2, 1, 1);
+        let expect = 2.0 * 18_000.0 + 19_000.0 + 2_200.0;
+        assert!((pj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_is_power_times_time() {
+        let e = DramEnergyParams::lpddr4();
+        // 120 mW for 1 microsecond = 120 nJ = 120_000 pJ.
+        assert!((e.background_pj(1_000.0) - 120_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpddr4_cheaper_per_access() {
+        let g = DramEnergyParams::gddr5();
+        let l = DramEnergyParams::lpddr4();
+        assert!(l.read_pj_per_access < g.read_pj_per_access);
+        assert!(l.background_mw < g.background_mw);
+    }
+}

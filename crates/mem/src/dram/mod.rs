@@ -1,0 +1,24 @@
+//! Bank/row-buffer DRAM model.
+//!
+//! Replaces the paper's DRAMSim2 integration (§5) with a first-order
+//! model that keeps what the evaluation depends on:
+//!
+//! * **row-buffer locality** — sequential (SCU-style) streams hit open
+//!   rows; divergent (GPU-style sparse) streams pay
+//!   precharge + activate on most accesses;
+//! * **bank- and channel-level parallelism** — service time is the
+//!   maximum of per-bank busy time and per-channel data-bus time;
+//! * **technology split** — [`DramConfig::gddr5_4gb`] (224 GB/s, GTX 980)
+//!   vs [`DramConfig::lpddr4_4gb`] (25.6 GB/s, Tegra X1), with
+//!   per-access energy constants in the Micron power-calculator style.
+//!
+//! The module is split into [`config`] (parameter sets), [`timing`]
+//! (the bank state machine) and [`energy`] (per-event energy constants).
+
+pub mod config;
+pub mod energy;
+pub mod timing;
+
+pub use config::DramConfig;
+pub use energy::DramEnergyParams;
+pub use timing::{Dram, DramAccess};

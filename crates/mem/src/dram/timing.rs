@@ -1,0 +1,256 @@
+//! Bank state machine and service-time accounting.
+
+use super::config::DramConfig;
+use crate::cache::AccessKind;
+use crate::line::Addr;
+use crate::stats::DramStats;
+
+/// Result of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramAccess {
+    /// The access found its row open in the bank's row buffer.
+    pub row_hit: bool,
+    /// Latency this access observes (CAS, or PRE+ACT+CAS), ns.
+    pub latency_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_ns: f64,
+}
+
+/// DRAM device model: per-bank open-row tracking plus busy-time
+/// accounting for banks and channel data buses.
+///
+/// Service time of a traffic window is
+/// [`Dram::busy_time_ns`] = max(max bank busy, max channel-bus busy):
+/// a stream limited by row-miss turnaround is bank-bound, a fully
+/// coalesced stream is bus(bandwidth)-bound. Address mapping interleaves
+/// consecutive 128-byte lines across channels, then packs
+/// `lines_per_row` consecutive per-channel lines into one row, so
+/// sequential streams enjoy row-buffer locality and scattered streams
+/// do not.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    channel_bus_ns: Vec<f64>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM config");
+        let banks = vec![Bank { open_row: None, busy_ns: 0.0 }; cfg.total_banks() as usize];
+        let channel_bus_ns = vec![0.0; cfg.channels as usize];
+        Dram { cfg, banks, channel_bus_ns, stats: DramStats::default() }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Maps a byte address to `(channel, bank_global_index, row)`.
+    fn map(&self, addr: Addr) -> (u32, usize, u64) {
+        let line = self.cfg.access_bytes.index_of(addr);
+        let ch = (line % self.cfg.channels as u64) as u32;
+        let per_ch = line / self.cfg.channels as u64;
+        let lines_per_row = self.cfg.lines_per_row() as u64;
+        let row_chunk = per_ch / lines_per_row;
+        let bank_in_ch = (row_chunk % self.cfg.banks_per_channel as u64) as u32;
+        let row = row_chunk / self.cfg.banks_per_channel as u64;
+        let bank_global = (ch * self.cfg.banks_per_channel + bank_in_ch) as usize;
+        (ch, bank_global, row)
+    }
+
+    /// Services one line-granularity access at `addr`.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> DramAccess {
+        let (ch, bank_idx, row) = self.map(addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let row_hit = bank.open_row == Some(row);
+        let latency_ns = if row_hit {
+            self.stats.row_hits += 1;
+            self.cfg.t_cas_ns
+        } else {
+            self.stats.row_misses += 1;
+            self.stats.activations += 1;
+            bank.open_row = Some(row);
+            // Precharge only needed if another row was open.
+            self.cfg.t_rp_ns + self.cfg.t_rcd_ns + self.cfg.t_cas_ns
+        };
+
+        bank.busy_ns += latency_ns;
+        let bus = self.cfg.access_bus_time_ns();
+        self.channel_bus_ns[ch as usize] += bus;
+
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stats.bytes += self.cfg.access_bytes.bytes() as u64;
+
+        DramAccess { row_hit, latency_ns: latency_ns + bus }
+    }
+
+    /// Minimum time needed to service all traffic issued so far,
+    /// assuming perfect overlap across banks and channels: the maximum
+    /// of any bank's busy time and any channel bus's busy time, ns.
+    pub fn busy_time_ns(&self) -> f64 {
+        let bank = self.banks.iter().map(|b| b.busy_ns).fold(0.0, f64::max);
+        let bus = self.channel_bus_ns.iter().copied().fold(0.0, f64::max);
+        bank.max(bus)
+    }
+
+    /// Total bytes moved so far divided by peak bandwidth, ns — the
+    /// bandwidth lower bound on service time.
+    pub fn bandwidth_time_ns(&self) -> f64 {
+        self.cfg.transfer_time_ns(self.stats.bytes)
+    }
+
+    /// Resets counters and busy time but keeps open-row state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+        for b in &mut self.banks {
+            b.busy_ns = 0.0;
+        }
+        self.channel_bus_ns.fill(0.0);
+    }
+
+    /// Closes all rows, resets counters and busy time.
+    pub fn clear(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank { open_row: None, busy_ns: 0.0 };
+        }
+        self.channel_bus_ns.fill(0.0);
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gddr5() -> Dram {
+        Dram::new(DramConfig::gddr5_4gb())
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = gddr5();
+        let a = d.access(0, AccessKind::Read);
+        assert!(!a.row_hit);
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(d.stats().activations, 1);
+    }
+
+    #[test]
+    fn same_line_rereference_hits_row() {
+        let mut d = gddr5();
+        d.access(0, AccessKind::Read);
+        let a = d.access(64, AccessKind::Read); // same line, same row
+        assert!(a.row_hit);
+    }
+
+    #[test]
+    fn sequential_stream_mostly_row_hits() {
+        let mut d = gddr5();
+        // 1 MiB sequential stream in 128B granules.
+        for i in 0..8192u64 {
+            d.access(i * 128, AccessKind::Read);
+        }
+        let s = d.stats();
+        assert!(
+            s.row_hit_rate() > 0.9,
+            "sequential row hit rate {} too low",
+            s.row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn scattered_stream_mostly_row_misses() {
+        let mut d = gddr5();
+        // Stride of 1 MiB: every access lands in a new row chunk.
+        for i in 0..1000u64 {
+            d.access(i * (1 << 20), AccessKind::Read);
+        }
+        assert!(d.stats().row_hit_rate() < 0.2);
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let mut d = gddr5();
+        for i in 0..10u64 {
+            d.access(i * 128, AccessKind::Write);
+        }
+        assert_eq!(d.stats().bytes, 1280);
+        assert_eq!(d.stats().writes, 10);
+    }
+
+    #[test]
+    fn busy_time_at_least_bandwidth_time() {
+        let mut d = gddr5();
+        for i in 0..10_000u64 {
+            d.access(i * 128, AccessKind::Read);
+        }
+        assert!(d.busy_time_ns() >= 0.0);
+        // Sequential traffic: bus-bound, so busy >= bandwidth bound per
+        // channel which is >= aggregate bound.
+        assert!(d.busy_time_ns() + 1e-6 >= d.bandwidth_time_ns());
+    }
+
+    #[test]
+    fn scattered_traffic_bank_bound() {
+        let mut seq = gddr5();
+        let mut scat = gddr5();
+        for i in 0..4096u64 {
+            seq.access(i * 128, AccessKind::Read);
+            scat.access((i * 7919) % (1 << 20) * 4096, AccessKind::Read);
+        }
+        assert!(
+            scat.busy_time_ns() > seq.busy_time_ns(),
+            "scattered {} should exceed sequential {}",
+            scat.busy_time_ns(),
+            seq.busy_time_ns()
+        );
+    }
+
+    #[test]
+    fn channels_spread_sequential_lines() {
+        let d = gddr5();
+        let (ch0, ..) = d.map(0);
+        let (ch1, ..) = d.map(128);
+        assert_ne!(ch0, ch1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_open_rows() {
+        let mut d = gddr5();
+        d.access(0, AccessKind::Read);
+        d.reset_stats();
+        let a = d.access(64, AccessKind::Read);
+        assert!(a.row_hit, "row should remain open across reset_stats");
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn clear_closes_rows() {
+        let mut d = gddr5();
+        d.access(0, AccessKind::Read);
+        d.clear();
+        let a = d.access(0, AccessKind::Read);
+        assert!(!a.row_hit);
+    }
+}

@@ -1,0 +1,48 @@
+//! # scu-mem — memory-system substrate for the SCU reproduction
+//!
+//! This crate models the parts of a GPU memory hierarchy that matter for
+//! the experiments in *SCU: A GPU Stream Compaction Unit for Graph
+//! Processing* (ISCA 2019):
+//!
+//! * byte addresses and cache-line math ([`mod@line`]),
+//! * set-associative write-back caches with LRU replacement ([`cache`]),
+//! * intra-warp and streaming request coalescers ([`coalescer`]),
+//! * a bank/row-buffer DRAM timing and energy model with GDDR5 and
+//!   LPDDR4 parameter sets ([`dram`]),
+//! * a combined L2 + DRAM [`system::MemorySystem`] shared by the GPU
+//!   model (`scu-gpu`) and the SCU device model (`scu-core`),
+//! * traffic statistics used by the energy model ([`stats`]).
+//!
+//! The models are first-order and event-based rather than cycle-by-cycle:
+//! each access is classified (L2 hit, DRAM row hit, DRAM row miss) and
+//! charged latency, bandwidth and energy accordingly. This captures the
+//! effects the paper's evaluation depends on — memory divergence, cache
+//! pressure and bandwidth saturation — as motivated in `DESIGN.md`.
+//!
+//! ## Example
+//!
+//! ```
+//! use scu_mem::system::{MemorySystem, MemorySystemConfig};
+//! use scu_mem::cache::AccessKind;
+//!
+//! let mut mem = MemorySystem::new(MemorySystemConfig::gtx980());
+//! let outcome = mem.access(0x1000, AccessKind::Read);
+//! assert!(!outcome.l2_hit); // cold miss
+//! let outcome = mem.access(0x1000, AccessKind::Read);
+//! assert!(outcome.l2_hit);
+//! ```
+
+pub mod buffer;
+pub mod cache;
+pub mod coalescer;
+pub mod dram;
+pub mod line;
+pub mod stats;
+pub mod system;
+
+pub use buffer::{DeviceAllocator, DeviceArray};
+pub use cache::{AccessKind, Cache, CacheConfig};
+pub use coalescer::{StreamCoalescer, WarpCoalescer};
+pub use dram::{Dram, DramConfig};
+pub use line::{line_containing, line_index, Addr, LineSize};
+pub use system::{MemOutcome, MemorySystem, MemorySystemConfig};

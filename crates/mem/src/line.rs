@@ -1,0 +1,189 @@
+//! Byte addresses and cache-line arithmetic.
+//!
+//! All simulated memory in this workspace is addressed with flat 64-bit
+//! byte addresses ([`Addr`]). Cache lines are power-of-two sized;
+//! [`LineSize`] validates the invariant once so the hot line-math helpers
+//! can use shifts and masks without re-checking.
+
+use std::fmt;
+
+/// A flat 64-bit byte address in the simulated device memory.
+pub type Addr = u64;
+
+/// A validated power-of-two cache-line size in bytes.
+///
+/// GPU L1/L2 caches in the modelled systems use 128-byte lines; the
+/// in-memory hash table used by the SCU filtering/grouping unit reuses
+/// the same geometry. Construct with [`LineSize::new`]:
+///
+/// ```
+/// use scu_mem::line::LineSize;
+/// let ls = LineSize::new(128).unwrap();
+/// assert_eq!(ls.bytes(), 128);
+/// assert_eq!(ls.line_of(130), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineSize {
+    bytes: u32,
+    shift: u32,
+}
+
+/// Error returned by [`LineSize::new`] for a zero or non-power-of-two size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLineSize(pub u32);
+
+impl fmt::Display for InvalidLineSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line size {} is not a positive power of two", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLineSize {}
+
+impl LineSize {
+    /// The 128-byte line used by both modelled GPUs (Maxwell-class L1/L2).
+    pub const L128: LineSize = LineSize { bytes: 128, shift: 7 };
+
+    /// The 32-byte DRAM burst granule used by the bandwidth model.
+    pub const B32: LineSize = LineSize { bytes: 32, shift: 5 };
+
+    /// Creates a line size of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLineSize`] if `bytes` is zero or not a power of
+    /// two.
+    pub fn new(bytes: u32) -> Result<Self, InvalidLineSize> {
+        if bytes == 0 || !bytes.is_power_of_two() {
+            return Err(InvalidLineSize(bytes));
+        }
+        Ok(LineSize { bytes, shift: bytes.trailing_zeros() })
+    }
+
+    /// The line size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        self.bytes
+    }
+
+    /// log2 of the line size.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// The base address of the line containing `addr`.
+    #[inline]
+    pub fn line_of(self, addr: Addr) -> Addr {
+        addr & !((self.bytes as Addr) - 1)
+    }
+
+    /// The ordinal index of the line containing `addr`
+    /// (i.e. `addr / line_size`).
+    #[inline]
+    pub fn index_of(self, addr: Addr) -> u64 {
+        addr >> self.shift
+    }
+
+    /// Number of lines spanned by the byte range `[addr, addr + len)`.
+    ///
+    /// A zero-length range spans zero lines.
+    #[inline]
+    pub fn lines_spanned(self, addr: Addr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = self.index_of(addr);
+        let last = self.index_of(addr + len - 1);
+        last - first + 1
+    }
+}
+
+impl Default for LineSize {
+    fn default() -> Self {
+        LineSize::L128
+    }
+}
+
+impl fmt::Display for LineSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes)
+    }
+}
+
+/// Base address of the 128-byte line containing `addr`.
+///
+/// Convenience wrapper over [`LineSize::L128`]; the cache and coalescer
+/// models take explicit [`LineSize`] values instead.
+#[inline]
+pub fn line_containing(addr: Addr) -> Addr {
+    LineSize::L128.line_of(addr)
+}
+
+/// Ordinal 128-byte line index of `addr`.
+#[inline]
+pub fn line_index(addr: Addr) -> u64 {
+    LineSize::L128.index_of(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(LineSize::new(0).is_err());
+        assert!(LineSize::new(96).is_err());
+        assert!(LineSize::new(129).is_err());
+    }
+
+    #[test]
+    fn accepts_powers_of_two() {
+        for p in [1u32, 2, 4, 32, 128, 4096] {
+            let ls = LineSize::new(p).unwrap();
+            assert_eq!(ls.bytes(), p);
+            assert_eq!(1u32 << ls.shift(), p);
+        }
+    }
+
+    #[test]
+    fn line_of_masks_low_bits() {
+        let ls = LineSize::new(128).unwrap();
+        assert_eq!(ls.line_of(0), 0);
+        assert_eq!(ls.line_of(127), 0);
+        assert_eq!(ls.line_of(128), 128);
+        assert_eq!(ls.line_of(1000), 896);
+    }
+
+    #[test]
+    fn index_of_divides() {
+        let ls = LineSize::new(32).unwrap();
+        assert_eq!(ls.index_of(0), 0);
+        assert_eq!(ls.index_of(31), 0);
+        assert_eq!(ls.index_of(32), 1);
+        assert_eq!(ls.index_of(64), 2);
+    }
+
+    #[test]
+    fn lines_spanned_counts_inclusive_range() {
+        let ls = LineSize::new(128).unwrap();
+        assert_eq!(ls.lines_spanned(0, 0), 0);
+        assert_eq!(ls.lines_spanned(0, 1), 1);
+        assert_eq!(ls.lines_spanned(0, 128), 1);
+        assert_eq!(ls.lines_spanned(0, 129), 2);
+        assert_eq!(ls.lines_spanned(127, 2), 2);
+        assert_eq!(ls.lines_spanned(4, 4 * 128), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LineSize::L128.to_string(), "128B");
+        assert_eq!(InvalidLineSize(96).to_string(), "line size 96 is not a positive power of two");
+    }
+
+    #[test]
+    fn helper_functions_use_128b_lines() {
+        assert_eq!(line_containing(200), 128);
+        assert_eq!(line_index(256), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Traffic counters shared by the cache, DRAM and system models.
+//!
+//! All counters are plain event counts; the energy model in `scu-energy`
+//! multiplies them by per-event energies, and the timing models divide
+//! byte counts by peak bandwidth. Every stats struct supports
+//! [`merge`](CacheStats::merge)-style accumulation so per-phase
+//! measurements can be rolled up into per-application totals.
+
+use serde::Serialize;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and allocated).
+    pub misses: u64,
+    /// Write accesses (subset of `accesses`).
+    pub writes: u64,
+    /// Dirty evictions (write-back traffic toward the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero if there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Difference `self - other`, for windowed measurements where
+    /// `other` is a snapshot taken at the start of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other` is not an earlier snapshot of
+    /// the same counter stream (any counter would go negative).
+    pub fn since(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - other.accesses,
+            hits: self.hits - other.hits,
+            misses: self.misses - other.misses,
+            writes: self.writes - other.writes,
+            writebacks: self.writebacks - other.writebacks,
+        }
+    }
+}
+
+/// DRAM access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DramStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that required precharge + activate.
+    pub row_misses: u64,
+    /// Total bytes transferred on the data bus.
+    pub bytes: u64,
+    /// Row activations issued.
+    pub activations: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate in `[0, 1]`; zero if there were no accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.bytes += other.bytes;
+        self.activations += other.activations;
+    }
+
+    /// Difference `self - other` (see [`CacheStats::since`]).
+    pub fn since(&self, other: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - other.reads,
+            writes: self.writes - other.writes,
+            row_hits: self.row_hits - other.row_hits,
+            row_misses: self.row_misses - other.row_misses,
+            bytes: self.bytes - other.bytes,
+            activations: self.activations - other.activations,
+        }
+    }
+}
+
+/// Combined snapshot of an entire [`crate::system::MemorySystem`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct MemoryStats {
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+}
+
+impl MemoryStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.l2.merge(&other.l2);
+        self.dram.merge(&other.dram);
+    }
+
+    /// Difference `self - other` (see [`CacheStats::since`]).
+    pub fn since(&self, other: &MemoryStats) -> MemoryStats {
+        MemoryStats { l2: self.l2.since(&other.l2), dram: self.dram.since(&other.dram) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { accesses: 4, hits: 3, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { accesses: 1, hits: 1, ..Default::default() };
+        let b = CacheStats { accesses: 2, misses: 2, writebacks: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+
+    #[test]
+    fn since_subtracts_snapshot() {
+        let start = DramStats { reads: 10, bytes: 320, ..Default::default() };
+        let end = DramStats { reads: 15, bytes: 480, row_hits: 3, ..Default::default() };
+        let w = end.since(&start);
+        assert_eq!(w.reads, 5);
+        assert_eq!(w.bytes, 160);
+        assert_eq!(w.row_hits, 3);
+    }
+
+    #[test]
+    fn row_hit_rate_handles_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+        let s = DramStats { row_hits: 1, row_misses: 3, ..Default::default() };
+        assert!((s.row_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_stats_roll_up() {
+        let mut m = MemoryStats::default();
+        m.merge(&MemoryStats {
+            l2: CacheStats { accesses: 5, ..Default::default() },
+            dram: DramStats { bytes: 64, ..Default::default() },
+        });
+        assert_eq!(m.l2.accesses, 5);
+        assert_eq!(m.dram.bytes, 64);
+    }
+}

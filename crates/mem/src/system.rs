@@ -1,0 +1,266 @@
+//! Combined L2 + DRAM memory system.
+//!
+//! Both the GPU model (`scu-gpu`) and the SCU device model (`scu-core`)
+//! issue line-granularity transactions into one shared
+//! [`MemorySystem`], mirroring Figure 5 of the paper where the SCU sits
+//! on the SM interconnect with access to the shared L2. Private L1
+//! caches live in the GPU model; everything behind them is here.
+
+use crate::cache::{AccessKind, Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::line::{Addr, LineSize};
+use crate::stats::MemoryStats;
+
+/// Parameters of a [`MemorySystem`].
+#[derive(Debug, Clone)]
+pub struct MemorySystemConfig {
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// DRAM device parameters.
+    pub dram: DramConfig,
+    /// L2 hit latency in nanoseconds (interconnect + array).
+    pub l2_hit_latency_ns: f64,
+    /// Peak L2 throughput in bytes per nanosecond, used as a service
+    /// bound for traffic windows.
+    pub l2_bw_bytes_per_ns: f64,
+}
+
+impl MemorySystemConfig {
+    /// GTX 980 memory side: 2 MB 16-way L2, 4 GB GDDR5 @ 224 GB/s
+    /// (paper Table 3).
+    pub fn gtx980() -> Self {
+        MemorySystemConfig {
+            l2: CacheConfig::new(2 * 1024 * 1024, LineSize::L128, 16)
+                .expect("static geometry is valid"),
+            dram: DramConfig::gddr5_4gb(),
+            l2_hit_latency_ns: 24.0,
+            // L2 can source roughly 1 line / 2 core cycles @1.27 GHz.
+            l2_bw_bytes_per_ns: 512.0,
+        }
+    }
+
+    /// Tegra X1 memory side: 256 KB 16-way L2, 4 GB LPDDR4 @ 25.6 GB/s
+    /// (paper Table 4).
+    pub fn tx1() -> Self {
+        MemorySystemConfig {
+            l2: CacheConfig::new(256 * 1024, LineSize::L128, 16)
+                .expect("static geometry is valid"),
+            dram: DramConfig::lpddr4_4gb(),
+            l2_hit_latency_ns: 28.0,
+            l2_bw_bytes_per_ns: 64.0,
+        }
+    }
+}
+
+/// Outcome of one memory-system access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemOutcome {
+    /// The access hit in the shared L2.
+    pub l2_hit: bool,
+    /// End-to-end latency observed by the requester, ns.
+    pub latency_ns: f64,
+}
+
+/// Shared L2 + DRAM.
+///
+/// ```
+/// use scu_mem::{AccessKind, MemorySystem, MemorySystemConfig};
+///
+/// let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
+/// mem.access(0x0, AccessKind::Write);
+/// let snap = mem.stats();
+/// assert_eq!(snap.l2.accesses, 1);
+/// assert_eq!(snap.dram.reads, 1); // write-allocate fill
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemorySystemConfig,
+    l2: Cache,
+    dram: Dram,
+    l2_bytes: u64,
+}
+
+impl MemorySystem {
+    /// Creates a cold memory system.
+    pub fn new(cfg: MemorySystemConfig) -> Self {
+        let l2 = Cache::new(cfg.l2);
+        let dram = Dram::new(cfg.dram.clone());
+        MemorySystem { cfg, l2, dram, l2_bytes: 0 }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.cfg
+    }
+
+    /// Performs one line-granularity access.
+    ///
+    /// Misses fill from DRAM (write-allocate); dirty victims write back
+    /// to DRAM. The returned latency covers L2 plus any DRAM fill; the
+    /// write-back is charged to bandwidth, not the requester's latency.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> MemOutcome {
+        self.l2_bytes += self.cfg.l2.line_size.bytes() as u64;
+        let out = self.l2.access(addr, kind);
+        let mut latency = self.cfg.l2_hit_latency_ns;
+        if !out.hit {
+            let fill = self.dram.access(addr, AccessKind::Read);
+            latency += fill.latency_ns;
+        }
+        if out.dirty_eviction {
+            // Victim address is unknown at line granularity in a
+            // tag-only model; charge the write-back at the accessed
+            // address's bank neighbourhood, which preserves traffic and
+            // approximate locality.
+            self.dram.access(addr, AccessKind::Write);
+        }
+        MemOutcome { l2_hit: out.hit, latency_ns: latency }
+    }
+
+    /// A sector-granularity access (32 bytes of L2 bandwidth instead
+    /// of a full line) — used for the SCU's hash-table probes, whose
+    /// entries are 4-32 bytes ("bytes/line" in the paper's Table 2).
+    /// DRAM behaviour on a miss is unchanged (a full line still
+    /// fills), only the on-chip bandwidth accounting narrows.
+    pub fn access_sector(&mut self, addr: Addr, kind: AccessKind) -> MemOutcome {
+        self.l2_bytes += 32;
+        let out = self.l2.access(addr, kind);
+        let mut latency = self.cfg.l2_hit_latency_ns;
+        if !out.hit {
+            let fill = self.dram.access(addr, AccessKind::Read);
+            latency += fill.latency_ns;
+        }
+        if out.dirty_eviction {
+            self.dram.access(addr, AccessKind::Write);
+        }
+        MemOutcome { l2_hit: out.hit, latency_ns: latency }
+    }
+
+    /// Reads the DRAM line behind the L2 without allocating — used for
+    /// streaming traffic that the modelled hardware marks non-cacheable.
+    pub fn access_uncached(&mut self, addr: Addr, kind: AccessKind) -> MemOutcome {
+        let a = self.dram.access(addr, kind);
+        MemOutcome { l2_hit: false, latency_ns: a.latency_ns }
+    }
+
+    /// Combined counters snapshot.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats { l2: *self.l2.stats(), dram: *self.dram.stats() }
+    }
+
+    /// Minimum service time for all traffic issued so far: the max of
+    /// the DRAM bound and the L2 throughput bound, ns.
+    pub fn service_time_ns(&self) -> f64 {
+        let l2_time = self.l2_bytes as f64 / self.cfg.l2_bw_bytes_per_ns;
+        self.dram.busy_time_ns().max(l2_time)
+    }
+
+    /// DRAM-only service bound, ns (used for Figure 13 bandwidth
+    /// utilisation).
+    pub fn dram_busy_time_ns(&self) -> f64 {
+        self.dram.busy_time_ns()
+    }
+
+    /// Direct access to the L2 model (for probing in tests/ablation).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Direct access to the DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Resets all statistics and busy time, keeping cache/row state.
+    pub fn reset_stats(&mut self) {
+        self.l2.reset_stats();
+        self.dram.reset_stats();
+        self.l2_bytes = 0;
+    }
+
+    /// Fully clears caches, rows and statistics.
+    pub fn clear(&mut self) {
+        self.l2.clear();
+        self.dram.clear();
+        self.l2_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut m = MemorySystem::new(MemorySystemConfig::gtx980());
+        let first = m.access(0x4000, AccessKind::Read);
+        assert!(!first.l2_hit);
+        let second = m.access(0x4000, AccessKind::Read);
+        assert!(second.l2_hit);
+        assert!(second.latency_ns < first.latency_ns);
+    }
+
+    #[test]
+    fn write_allocate_generates_fill() {
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        m.access(0, AccessKind::Write);
+        let s = m.stats();
+        assert_eq!(s.dram.reads, 1);
+        assert_eq!(s.dram.writes, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        let sets = m.config().l2.num_sets();
+        let ways = m.config().l2.associativity as u64;
+        let stride = sets * 128;
+        // Fill one set with dirty lines, then one more to force a
+        // dirty write-back.
+        for i in 0..=ways {
+            m.access(i * stride, AccessKind::Write);
+        }
+        assert!(m.stats().dram.writes >= 1);
+    }
+
+    #[test]
+    fn uncached_bypasses_l2() {
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        m.access_uncached(0, AccessKind::Read);
+        assert_eq!(m.stats().l2.accesses, 0);
+        assert_eq!(m.stats().dram.reads, 1);
+        // Line is not resident afterwards.
+        assert!(!m.l2().probe(0));
+    }
+
+    #[test]
+    fn service_time_grows_with_traffic() {
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        let t0 = m.service_time_ns();
+        for i in 0..1000u64 {
+            m.access(i * 128, AccessKind::Read);
+        }
+        assert!(m.service_time_ns() > t0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut m = MemorySystem::new(MemorySystemConfig::gtx980());
+        m.access(0, AccessKind::Read);
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!(s.l2.accesses, 0);
+        assert_eq!(s.dram.reads, 0);
+        assert_eq!(m.service_time_ns(), 0.0);
+    }
+
+    #[test]
+    fn l2_hits_do_not_touch_dram() {
+        let mut m = MemorySystem::new(MemorySystemConfig::gtx980());
+        m.access(0, AccessKind::Read);
+        let before = m.stats().dram;
+        for _ in 0..10 {
+            m.access(0, AccessKind::Read);
+        }
+        assert_eq!(m.stats().dram, before);
+    }
+}

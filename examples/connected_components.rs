@@ -1,0 +1,58 @@
+//! Connected components — an extension beyond the paper's three
+//! primitives showing that the SCU's five operations cover other
+//! frontier algorithms unchanged: min-label propagation has exactly
+//! the expansion/contraction + compaction structure of BFS.
+//!
+//! ```text
+//! cargo run --release --example connected_components
+//! ```
+
+use scu::algos::cc;
+use scu::algos::runner::{run, Algorithm, Mode};
+use scu::algos::SystemKind;
+use scu::graph::{Dataset, GraphBuilder};
+
+fn main() {
+    // A road network plus a few disconnected islands.
+    let road = Dataset::Ca.build(1.0 / 64.0, 11);
+    let n = road.num_nodes();
+    let mut b = GraphBuilder::new(n + 30);
+    for (s, d, w) in road.iter_edges() {
+        b.add_edge(s, d, w);
+    }
+    for island in 0..10u32 {
+        let base = n as u32 + island * 3;
+        b.add_undirected(base, base + 1, 1);
+        b.add_undirected(base + 1, base + 2, 1);
+    }
+    let g = b.build();
+    println!("graph: {} nodes, {} edges (road network + 10 islands)", g.num_nodes(), g.num_edges());
+
+    let base = run(Algorithm::Cc, &g, SystemKind::Tx1, Mode::GpuBaseline);
+    let enh = run(Algorithm::Cc, &g, SystemKind::Tx1, Mode::ScuEnhanced);
+    assert_eq!(base.values, enh.values);
+
+    let labels: Vec<u32> = base.values.iter().map(|&x| x as u32).collect();
+    let components = cc::reference::count_components(&labels);
+    println!(
+        "found {components} components in {} label-propagation rounds",
+        base.report.iterations
+    );
+
+    println!(
+        "baseline GPU : {:>9.1} us  ({:.0}% stream compaction)",
+        base.report.total_time_ns() / 1000.0,
+        base.report.compaction_fraction() * 100.0
+    );
+    println!(
+        "GPU + SCU    : {:>9.1} us  (speedup {:.2}x, energy {:.2}x, filter dropped {:.0}% of insertions)",
+        enh.report.total_time_ns() / 1000.0,
+        enh.report.speedup_vs(&base.report),
+        enh.report.energy_reduction_vs(&base.report),
+        enh.report.scu.filter.drop_rate() * 100.0
+    );
+    println!(
+        "\nthe same five SCU operations that serve BFS/SSSP/PR handled CC without change —\n\
+         the unit is programmable, not algorithm-specific (paper section 3.1)."
+    );
+}

@@ -1,0 +1,16 @@
+//! # scu — facade crate for the SCU reproduction workspace
+//!
+//! Re-exports every sub-crate of the reproduction of *SCU: A GPU Stream
+//! Compaction Unit for Graph Processing* (ISCA 2019) under one roof, so
+//! examples and downstream users can depend on a single crate.
+//!
+//! See the README for the architecture overview and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+pub use scu_algos as algos;
+pub use scu_bench as bench;
+pub use scu_core as unit;
+pub use scu_energy as energy;
+pub use scu_gpu as gpu;
+pub use scu_graph as graph;
+pub use scu_mem as mem;

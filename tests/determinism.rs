@@ -1,0 +1,39 @@
+//! The whole stack is deterministic: identical inputs produce
+//! identical answers *and* identical measurements, which is what makes
+//! the figure reproductions stable.
+
+use scu::algos::runner::{run, Algorithm, Mode};
+use scu::algos::SystemKind;
+use scu::graph::Dataset;
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let g = Dataset::Kron.build(1.0 / 256.0, 13);
+    for mode in [Mode::GpuBaseline, Mode::ScuEnhanced] {
+        let a = run(Algorithm::Bfs, &g, SystemKind::Tx1, mode);
+        let b = run(Algorithm::Bfs, &g, SystemKind::Tx1, mode);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.report.total_time_ns(), b.report.total_time_ns(), "{mode}");
+        assert_eq!(a.report.gpu_thread_insts(), b.report.gpu_thread_insts());
+        assert_eq!(a.report.dram_bytes(), b.report.dram_bytes());
+        assert_eq!(a.report.energy.total_pj(), b.report.energy.total_pj());
+    }
+}
+
+#[test]
+fn generator_determinism_flows_through_measurement() {
+    let a = Dataset::Cond.build(1.0 / 256.0, 21);
+    let b = Dataset::Cond.build(1.0 / 256.0, 21);
+    assert_eq!(a, b);
+    let ra = run(Algorithm::Sssp, &a, SystemKind::Gtx980, Mode::ScuEnhanced);
+    let rb = run(Algorithm::Sssp, &b, SystemKind::Gtx980, Mode::ScuEnhanced);
+    assert_eq!(ra.report.scu.filter.dropped, rb.report.scu.filter.dropped);
+    assert_eq!(ra.report.iterations, rb.report.iterations);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Dataset::Cond.build(1.0 / 256.0, 1);
+    let b = Dataset::Cond.build(1.0 / 256.0, 2);
+    assert_ne!(a, b, "seeds must matter");
+}

@@ -1,0 +1,110 @@
+//! Cross-crate end-to-end tests: every algorithm, on every machine
+//! variant and platform, must produce the reference answers.
+
+use scu::algos::runner::{run, Algorithm, Mode};
+use scu::algos::{bfs, pagerank, sssp, SystemKind};
+use scu::graph::Dataset;
+
+const MODES: [Mode; 4] =
+    [Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced];
+
+#[test]
+fn bfs_exact_on_every_dataset_and_machine() {
+    for dataset in Dataset::ALL {
+        let g = dataset.build(1.0 / 512.0, 5);
+        let expect = bfs::reference::distances(&g, 0);
+        for kind in SystemKind::ALL {
+            for mode in MODES {
+                let out = run(Algorithm::Bfs, &g, kind, mode);
+                let got: Vec<u32> = out.values.iter().map(|&x| x as u32).collect();
+                assert_eq!(got, expect, "BFS {dataset} {kind} {mode}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_exact_on_every_dataset_and_machine() {
+    for dataset in Dataset::ALL {
+        let g = dataset.build(1.0 / 512.0, 5);
+        let expect = sssp::reference::distances(&g, 0);
+        for kind in SystemKind::ALL {
+            for mode in MODES {
+                let out = run(Algorithm::Sssp, &g, kind, mode);
+                let got: Vec<u32> = out.values.iter().map(|&x| x as u32).collect();
+                assert_eq!(got, expect, "SSSP {dataset} {kind} {mode}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_matches_reference_on_every_machine() {
+    for dataset in [Dataset::Cond, Dataset::Kron, Dataset::Ca] {
+        let g = dataset.build(1.0 / 512.0, 5);
+        let (expect, _) = pagerank::reference::ranks(&g, 20);
+        for kind in SystemKind::ALL {
+            for mode in [Mode::GpuBaseline, Mode::ScuBasic] {
+                let out = run(Algorithm::PageRank, &g, kind, mode);
+                for (i, (&q, &r)) in out.values.iter().zip(&expect).enumerate() {
+                    let got = q as f64 / 1e9;
+                    assert!(
+                        (got - r).abs() < 1e-6,
+                        "PR {dataset} {kind} {mode} node {i}: {got} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn extension_algorithms_exact_across_machines() {
+    for dataset in [Dataset::Ca, Dataset::Kron, Dataset::Human] {
+        let g = dataset.build(1.0 / 512.0, 5);
+        for algo in [Algorithm::Cc, Algorithm::KCore] {
+            let base = run(algo, &g, SystemKind::Tx1, Mode::GpuBaseline);
+            for kind in SystemKind::ALL {
+                for mode in MODES {
+                    let out = run(algo, &g, kind, mode);
+                    assert_eq!(out.values, base.values, "{algo} {dataset} {kind} {mode}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn different_sources_also_agree() {
+    let g = Dataset::Delaunay.build(1.0 / 512.0, 9);
+    for src in [1u32, (g.num_nodes() / 2) as u32, (g.num_nodes() - 1) as u32] {
+        let expect = bfs::reference::distances(&g, src);
+        let mut sys = scu::algos::System::with_scu(SystemKind::Tx1);
+        let (got, _) = bfs::scu::run(&mut sys, &g, src, true);
+        assert_eq!(got, expect, "source {src}");
+
+        let expect = sssp::reference::distances(&g, src);
+        let mut sys = scu::algos::System::with_scu(SystemKind::Tx1);
+        let (got, _) =
+            sssp::scu::run(&mut sys, &g, src, sssp::ScuVariant::enhanced());
+        assert_eq!(got, expect, "source {src}");
+    }
+}
+
+#[test]
+fn empty_and_singleton_graphs_are_handled() {
+    use scu::graph::GraphBuilder;
+    // A single node with no edges.
+    let g = GraphBuilder::new(1).build();
+    let out = run(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::ScuEnhanced);
+    assert_eq!(out.values, vec![0]);
+    let out = run(Algorithm::Sssp, &g, SystemKind::Tx1, Mode::ScuEnhanced);
+    assert_eq!(out.values, vec![0]);
+
+    // Two components: the second stays unreached.
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, 3).add_edge(2, 3, 4);
+    let g = b.build();
+    let out = run(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::ScuEnhanced);
+    assert_eq!(out.values, vec![0, 1, u32::MAX as u64, u32::MAX as u64]);
+}

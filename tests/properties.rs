@@ -1,0 +1,233 @@
+//! Property-based tests over cross-crate invariants: the SCU's
+//! compaction operations against independent functional specifications,
+//! filtering soundness, grouping permutations, and full-algorithm
+//! agreement on random graphs.
+
+use proptest::prelude::*;
+
+use scu::algos::{bfs, cc, kcore, sssp, System, SystemKind};
+use scu::graph::GraphBuilder;
+use scu::mem::buffer::{DeviceAllocator, DeviceArray};
+use scu::mem::system::{MemorySystem, MemorySystemConfig};
+use scu::unit::cyclesim::{CycleSim, StreamWorkload};
+use scu::unit::{CompareOp, FilterHash, FilterMode, GroupHash, ScuConfig, ScuDevice};
+
+fn fresh() -> (ScuDevice, MemorySystem, DeviceAllocator) {
+    (
+        ScuDevice::new(ScuConfig::tx1()),
+        MemorySystem::new(MemorySystemConfig::tx1()),
+        DeviceAllocator::new(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn data_compaction_equals_iterator_filter(
+        data in prop::collection::vec(0u32..1000, 0..300),
+        flags in prop::collection::vec(0u8..2, 300),
+    ) {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let n = data.len();
+        let src = DeviceArray::from_vec(&mut alloc, data.clone());
+        let f = DeviceArray::from_vec(&mut alloc, flags[..n].to_vec());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n.max(1));
+        let op = scu.data_compaction_n(&mut mem, &src, n, Some(&f), None, &mut dst, 0);
+        let expect: Vec<u32> = data.iter().zip(&flags[..n])
+            .filter(|(_, &fl)| fl != 0).map(|(&d, _)| d).collect();
+        prop_assert_eq!(op.elements_out as usize, expect.len());
+        prop_assert_eq!(&dst.as_slice()[..expect.len()], &expect[..]);
+    }
+
+    #[test]
+    fn bitmask_constructor_equals_comparison(
+        data in prop::collection::vec(0u32..100, 1..200),
+        reference in 0u32..100,
+    ) {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let n = data.len();
+        let src = DeviceArray::from_vec(&mut alloc, data.clone());
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, n);
+        scu.bitmask_construct(&mut mem, &src, n, CompareOp::Ge, reference, &mut flags);
+        for (i, &d) in data.iter().enumerate() {
+            prop_assert_eq!(flags.get(i) != 0, d >= reference);
+        }
+    }
+
+    #[test]
+    fn replication_equals_repeat_spec(
+        pairs in prop::collection::vec((0u32..50, 0u32..5), 0..100),
+    ) {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let n = pairs.len();
+        let data: Vec<u32> = pairs.iter().map(|&(d, _)| d).collect();
+        let counts: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();
+        let total: usize = counts.iter().sum::<u32>() as usize;
+        let src = DeviceArray::from_vec(&mut alloc, data.clone());
+        let cnt = DeviceArray::from_vec(&mut alloc, counts.clone());
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, total.max(1));
+        let op = scu.replication_compaction(&mut mem, &src, &cnt, n, None, None, &mut dst);
+        let expect: Vec<u32> = pairs.iter()
+            .flat_map(|&(d, c)| std::iter::repeat_n(d, c as usize)).collect();
+        prop_assert_eq!(op.elements_out as usize, expect.len());
+        prop_assert_eq!(&dst.as_slice()[..expect.len()], &expect[..]);
+    }
+
+    #[test]
+    fn expansion_equals_slice_concatenation(
+        src_data in prop::collection::vec(0u32..1000, 32..256),
+        slices in prop::collection::vec((0usize..16, 0usize..8), 0..40),
+    ) {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let m = src_data.len();
+        let valid: Vec<(u32, u32)> = slices.iter()
+            .map(|&(s, l)| ((s % (m - 8)) as u32, l as u32)).collect();
+        let src = DeviceArray::from_vec(&mut alloc, src_data.clone());
+        let idx = DeviceArray::from_vec(&mut alloc, valid.iter().map(|&(s, _)| s).collect());
+        let cnt = DeviceArray::from_vec(&mut alloc, valid.iter().map(|&(_, l)| l).collect());
+        let total: usize = valid.iter().map(|&(_, l)| l as usize).sum();
+        let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, total.max(1));
+        let op = scu.access_expansion_compaction(
+            &mut mem, &src, &idx, &cnt, valid.len(), None, None, &mut dst);
+        let expect: Vec<u32> = valid.iter()
+            .flat_map(|&(s, l)| src_data[s as usize..s as usize + l as usize].to_vec())
+            .collect();
+        prop_assert_eq!(op.elements_out as usize, expect.len());
+        prop_assert_eq!(&dst.as_slice()[..expect.len()], &expect[..]);
+    }
+
+    #[test]
+    fn filtering_never_drops_first_occurrence_and_never_keeps_true_duplicates_adjacent(
+        ids in prop::collection::vec(0u32..64, 1..300),
+    ) {
+        // Soundness: with a table far larger than the ID universe there
+        // are no collisions, so the filter must keep exactly the first
+        // occurrence of every ID.
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let mut hash = FilterHash::new(&mut alloc, ScuConfig::tx1().filter_bfs_hash);
+        let n = ids.len();
+        let src = DeviceArray::from_vec(&mut alloc, ids.clone());
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, n);
+        scu.filter_pass_data(&mut mem, &src, n, None, FilterMode::Unique, None,
+            &mut hash, &mut flags);
+        let mut seen = std::collections::HashSet::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let first = seen.insert(id);
+            prop_assert_eq!(flags.get(i) != 0, first, "element {} id {}", i, id);
+        }
+    }
+
+    #[test]
+    fn grouping_is_always_a_permutation(
+        ids in prop::collection::vec(0u32..512, 1..300),
+    ) {
+        let (mut scu, mut mem, mut alloc) = fresh();
+        let mut hash = GroupHash::new(&mut alloc, ScuConfig::tx1().grouping_hash);
+        let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 512);
+        let n = ids.len();
+        let src = DeviceArray::from_vec(&mut alloc, ids.clone());
+        let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+        let op = scu.group_pass_data(&mut mem, &src, n, None, &target, &mut hash, &mut order);
+        prop_assert_eq!(op.elements_out as usize, n);
+        let mut positions: Vec<u32> = order.as_slice().to_vec();
+        positions.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(positions, expect);
+    }
+
+    #[test]
+    fn cyclesim_never_beats_the_analytic_bounds(
+        elements in 1_000u64..50_000,
+        width in 1u32..8,
+        latency in 1u32..200,
+        bw_centi in 5u64..400, // lines/cycle x100
+    ) {
+        // The cycle-stepped pipeline can never finish faster than the
+        // analytic lower bounds the device model charges, and should
+        // land within 40% of their max (slack covers ramp-up and the
+        // bandwidth/latency interaction).
+        let mut cfg = ScuConfig::tx1();
+        cfg.pipeline_width = width;
+        let bw = bw_centi as f64 / 100.0;
+        let r = CycleSim::new(&cfg).run(StreamWorkload {
+            elements,
+            elem_bytes: 4,
+            mem_latency_cycles: latency,
+            lines_per_cycle: bw,
+        });
+        let lines = (elements * 4).div_ceil(128);
+        let pipeline = elements.div_ceil(width as u64) as f64;
+        let bandwidth = lines as f64 / bw;
+        let littles_law = lines as f64 * latency as f64
+            / cfg.coalescer_in_flight as f64;
+        let mut bounds = [pipeline, bandwidth, littles_law];
+        bounds.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let bound = bounds[0];
+        let ratio = r.cycles as f64 / bound;
+        // Never faster than the max bound, never slower than their sum
+        // (the regimes can alternate but not overlap-miss entirely).
+        prop_assert!(
+            ratio >= 0.99 && (r.cycles as f64) <= pipeline + bandwidth + littles_law + 64.0,
+            "cycles {} vs bound {} (ratio {})",
+            r.cycles, bound, ratio
+        );
+        // When one regime clearly dominates, the analytic bound must be
+        // tight.
+        if bounds[0] > 2.5 * bounds[1] {
+            prop_assert!(
+                ratio < 1.25,
+                "dominant-regime cycles {} vs bound {} (ratio {})",
+                r.cycles, bound, ratio
+            );
+        }
+    }
+
+    #[test]
+    fn extension_algorithms_agree_on_random_graphs(
+        edges in prop::collection::vec((0u32..30, 0u32..30, 1u32..10), 1..150),
+    ) {
+        let n = 30;
+        let mut b = GraphBuilder::new(n);
+        for &(s, d, w) in &edges {
+            if s != d {
+                b.add_edge(s, d, w);
+            }
+        }
+        let g = b.build();
+
+        let expect = cc::reference::labels(&g);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (got, _) = cc::scu::run(&mut sys, &g, true);
+        prop_assert_eq!(&got, &expect);
+
+        let expect = kcore::reference::coreness(&g);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (got, _) = kcore::scu::run(&mut sys, &g);
+        prop_assert_eq!(&got, &expect);
+    }
+
+    #[test]
+    fn random_graphs_agree_across_machines(
+        edges in prop::collection::vec((0u32..40, 0u32..40, 1u32..10), 1..200),
+    ) {
+        let n = 40;
+        let mut b = GraphBuilder::new(n);
+        for &(s, d, w) in &edges {
+            if s != d {
+                b.add_edge(s, d, w);
+            }
+        }
+        let g = b.build();
+
+        let expect = bfs::reference::distances(&g, 0);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (got, _) = bfs::scu::run(&mut sys, &g, 0, true);
+        prop_assert_eq!(&got, &expect);
+
+        let expect = sssp::reference::distances(&g, 0);
+        let mut sys = System::with_scu(SystemKind::Tx1);
+        let (got, _) = sssp::scu::run(&mut sys, &g, 0, sssp::ScuVariant::enhanced());
+        prop_assert_eq!(&got, &expect);
+    }
+}

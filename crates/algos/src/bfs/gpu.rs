@@ -13,8 +13,8 @@
 //! "best-effort bitmask ... may yield false negatives due to race
 //! conditions") unless warp culling removes them.
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan, WarpCull};
@@ -68,14 +68,19 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Expansion: setup (processing) ----
-        let s = sys.gpu.run(&mut sys.mem, "bfs-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "bfs-expand-setup",
+            frontier_len,
+            |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+            },
+        );
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion: scan + gather (compaction) ----
@@ -99,14 +104,16 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         // Load-balanced gather: one thread per edge-frontier slot,
         // locating its row via merge-path search over the offsets.
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys.gpu.run(&mut sys.mem, "bfs-expand-gather", total, |e, ctx| {
-            ctx.alu(3); // merge-path binary search (amortised)
-            let row = rows[e] as usize;
-            ctx.load(&offsets, row);
-            let p = pos[e] as usize;
-            let v = ctx.load(&dg.edges, p);
-            ctx.store(&mut ef, e, v);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "bfs-expand-gather", total, |e, ctx| {
+                ctx.alu(3); // merge-path binary search (amortised)
+                let row = rows[e] as usize;
+                ctx.load(&offsets, row);
+                let p = pos[e] as usize;
+                let v = ctx.load(&dg.edges, p);
+                ctx.store(&mut ef, e, v);
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         // ---- Contraction mark (processing). Visited checks use
@@ -120,38 +127,42 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         let mut pending: Vec<(usize, u32)> = Vec::new();
         let mut cur_wave = 0usize;
         let mut cull = WarpCull::new();
-        let s = sys.gpu.run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
-            let w = tid / wave;
-            if w != cur_wave {
-                for (i, v) in pending.drain(..) {
-                    visible[i] = v;
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
+                let w = tid / wave;
+                if w != cur_wave {
+                    for (i, v) in pending.drain(..) {
+                        visible[i] = v;
+                    }
+                    cur_wave = w;
                 }
-                cur_wave = w;
-            }
-            let e = ctx.load(&ef, tid) as usize;
-            ctx.alu(3); // warp-cull hashing
-            ctx.load(&dist, e); // visited check (value from `visible`)
-            let unvisited = visible[e] == UNREACHED;
-            let first = cull.first_in_warp(tid, e as u32);
-            let keep = unvisited && first;
-            ctx.store(&mut flags, tid, keep as u32);
-            if keep {
-                ctx.store(&mut dist, e, level + 1);
-                pending.push((e, level + 1));
-            }
-        });
+                let e = ctx.load(&ef, tid) as usize;
+                ctx.alu(3); // warp-cull hashing
+                ctx.load(&dist, e); // visited check (value from `visible`)
+                let unvisited = visible[e] == UNREACHED;
+                let first = cull.first_in_warp(tid, e as u32);
+                let keep = unvisited && first;
+                ctx.store(&mut flags, tid, keep as u32);
+                if keep {
+                    ctx.store(&mut dist, e, level + 1);
+                    pending.push((e, level + 1));
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction: scan + scatter (compaction) ----
         let (offsets2, kept) = gpu_exclusive_scan(sys, &mut report, &flags, total);
-        let s = sys.gpu.run(&mut sys.mem, "bfs-contract-scatter", total, |tid, ctx| {
-            let f = ctx.load(&flags, tid);
-            if f != 0 {
-                let e = ctx.load(&ef, tid);
-                let off = ctx.load(&offsets2, tid) as usize;
-                ctx.store(&mut nf, off, e);
-            }
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "bfs-contract-scatter", total, |tid, ctx| {
+                let f = ctx.load(&flags, tid);
+                if f != 0 {
+                    let e = ctx.load(&ef, tid);
+                    let off = ctx.load(&offsets2, tid) as usize;
+                    ctx.store(&mut nf, off, e);
+                }
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         frontier_len = kept as usize;

@@ -32,16 +32,25 @@ pub struct BfsVariant {
 impl BfsVariant {
     /// Basic SCU (Algorithm 1).
     pub fn basic() -> Self {
-        BfsVariant { filtering: false, grouping: false }
+        BfsVariant {
+            filtering: false,
+            grouping: false,
+        }
     }
 
     /// The paper's enhanced BFS (Algorithm 4): filtering only.
     pub fn enhanced() -> Self {
-        BfsVariant { filtering: true, grouping: false }
+        BfsVariant {
+            filtering: true,
+            grouping: false,
+        }
     }
 
     /// Filtering plus grouping — the configuration §4.4 rejects.
     pub fn with_grouping() -> Self {
-        BfsVariant { filtering: true, grouping: true }
+        BfsVariant {
+            filtering: true,
+            grouping: true,
+        }
     }
 }

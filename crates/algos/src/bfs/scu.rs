@@ -11,8 +11,8 @@
 
 use scu_core::group::GroupHash;
 use scu_core::hash::{FilterHash, FilterMode};
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::WarpCull;
@@ -29,7 +29,11 @@ use super::{BfsVariant, UNREACHED};
 ///
 /// Panics if `src` is out of range or `sys` has no SCU.
 pub fn run(sys: &mut System, g: &Csr, src: u32, enhanced: bool) -> (Vec<u32>, RunReport) {
-    let variant = if enhanced { BfsVariant::enhanced() } else { BfsVariant::basic() };
+    let variant = if enhanced {
+        BfsVariant::enhanced()
+    } else {
+        BfsVariant::basic()
+    };
     run_variant(sys, g, src, variant)
 }
 
@@ -46,7 +50,10 @@ pub fn run_variant(
     variant: BfsVariant,
 ) -> (Vec<u32>, RunReport) {
     assert!((src as usize) < g.num_nodes(), "source {src} out of range");
-    assert!(sys.scu.is_some(), "SCU BFS requires a System::with_scu platform");
+    assert!(
+        sys.scu.is_some(),
+        "SCU BFS requires a System::with_scu platform"
+    );
     let mut report = RunReport::new("bfs", sys.kind, true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
@@ -98,19 +105,23 @@ pub fn run_variant(
         }
 
         // ---- Expansion setup on the GPU (contiguous accesses). ----
-        let s = sys.gpu.run(&mut sys.mem, "bfs-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "bfs-expand-setup",
+            frontier_len,
+            |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+            },
+        );
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion compaction on the SCU. ----
-        let expansion_size: usize =
-            (0..frontier_len).map(|i| counts.get(i) as usize).sum();
+        let expansion_size: usize = (0..frontier_len).map(|i| counts.get(i) as usize).sum();
         if expansion_size > ef.len() {
             let cap = expansion_size * 2;
             ef = DeviceArray::zeroed(&mut sys.alloc, cap);
@@ -173,26 +184,28 @@ pub fn run_variant(
         let mut pending: Vec<(usize, u32)> = Vec::new();
         let mut cur_wave = 0usize;
         let mut cull = WarpCull::new();
-        let s = sys.gpu.run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
-            let w = tid / wave;
-            if w != cur_wave {
-                for (i, v) in pending.drain(..) {
-                    visible[i] = v;
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
+                let w = tid / wave;
+                if w != cur_wave {
+                    for (i, v) in pending.drain(..) {
+                        visible[i] = v;
+                    }
+                    cur_wave = w;
                 }
-                cur_wave = w;
-            }
-            let e = ctx.load(&ef, tid) as usize;
-            ctx.alu(3); // warp-cull hashing
-            ctx.load(&dist, e); // visited check (value from `visible`)
-            let unvisited = visible[e] == UNREACHED;
-            let first = cull.first_in_warp(tid, e as u32);
-            let keep = unvisited && first;
-            ctx.store(&mut flags8, tid, keep as u8);
-            if keep {
-                ctx.store(&mut dist, e, level + 1);
-                pending.push((e, level + 1));
-            }
-        });
+                let e = ctx.load(&ef, tid) as usize;
+                ctx.alu(3); // warp-cull hashing
+                ctx.load(&dist, e); // visited check (value from `visible`)
+                let unvisited = visible[e] == UNREACHED;
+                let first = cull.first_in_warp(tid, e as u32);
+                let keep = unvisited && first;
+                ctx.store(&mut flags8, tid, keep as u8);
+                if keep {
+                    ctx.store(&mut dist, e, level + 1);
+                    pending.push((e, level + 1));
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction compaction on the SCU. ----

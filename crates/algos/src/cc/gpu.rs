@@ -2,8 +2,8 @@
 //! propagation with the same expansion/contraction + scan/scatter
 //! structure as the paper's BFS and SSSP baselines.
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -45,16 +45,18 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         report.iterations += 1;
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            let l = ctx.load(&labels, v);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-            ctx.store(&mut base, tid, l);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                let l = ctx.load(&labels, v);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+                ctx.store(&mut base, tid, l);
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion scan + gather (compaction). ----
@@ -65,50 +67,58 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         }
         assert!(total <= cap, "edge frontier overflow");
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys.gpu.run(&mut sys.mem, "cc-expand-gather", total, |e, ctx| {
-            ctx.alu(3);
-            let row = rows[e] as usize;
-            ctx.load(&offsets, row);
-            let l = ctx.load(&base, row);
-            let p = pos[e] as usize;
-            let v = ctx.load(&dg.edges, p);
-            ctx.store(&mut ef, e, v);
-            ctx.store(&mut lf, e, l);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-expand-gather", total, |e, ctx| {
+                ctx.alu(3);
+                let row = rows[e] as usize;
+                ctx.load(&offsets, row);
+                let l = ctx.load(&base, row);
+                let p = pos[e] as usize;
+                let v = ctx.load(&dg.edges, p);
+                ctx.store(&mut ef, e, v);
+                ctx.store(&mut lf, e, l);
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         // ---- Contraction: relax labels, dedup winners (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
-            let v = ctx.load(&ef, tid) as usize;
-            let l = ctx.load(&lf, tid);
-            let cur = ctx.load(&labels, v);
-            ctx.alu(1);
-            let improves = l < cur;
-            if improves {
-                ctx.store(&mut lut, v, tid as u32);
-                ctx.atomic_min_u32(&mut labels, v, l);
-            }
-            ctx.store(&mut flags, tid, improves as u32);
-        });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys.gpu.run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
-            if ctx.load(&flags, tid) != 0 {
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
                 let v = ctx.load(&ef, tid) as usize;
-                let owner = ctx.load(&lut, v) == tid as u32;
-                ctx.store(&mut flags, tid, owner as u32);
-            }
-        });
+                let l = ctx.load(&lf, tid);
+                let cur = ctx.load(&labels, v);
+                ctx.alu(1);
+                let improves = l < cur;
+                if improves {
+                    ctx.store(&mut lut, v, tid as u32);
+                    ctx.atomic_min_u32(&mut labels, v, l);
+                }
+                ctx.store(&mut flags, tid, improves as u32);
+            });
+        report.add_kernel(Phase::Processing, &s);
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
+                if ctx.load(&flags, tid) != 0 {
+                    let v = ctx.load(&ef, tid) as usize;
+                    let owner = ctx.load(&lut, v) == tid as u32;
+                    ctx.store(&mut flags, tid, owner as u32);
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction scan + scatter (compaction). ----
         let (noff, kept) = gpu_exclusive_scan(sys, &mut report, &flags, total);
-        let s = sys.gpu.run(&mut sys.mem, "cc-contract-scatter", total, |tid, ctx| {
-            if ctx.load(&flags, tid) != 0 {
-                let v = ctx.load(&ef, tid);
-                let off = ctx.load(&noff, tid) as usize;
-                ctx.store(&mut nf, off, v);
-            }
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-contract-scatter", total, |tid, ctx| {
+                if ctx.load(&flags, tid) != 0 {
+                    let v = ctx.load(&ef, tid);
+                    let off = ctx.load(&noff, tid) as usize;
+                    ctx.store(&mut nf, off, v);
+                }
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         frontier_len = kept as usize;

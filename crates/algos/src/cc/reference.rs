@@ -40,7 +40,9 @@ mod tests {
     #[test]
     fn two_components() {
         let mut b = GraphBuilder::new(5);
-        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(3, 4, 1);
+        b.add_undirected(0, 1, 1)
+            .add_undirected(1, 2, 1)
+            .add_undirected(3, 4, 1);
         let g = b.build();
         let l = labels(&g);
         assert_eq!(l, vec![0, 0, 0, 3, 3]);

@@ -9,8 +9,8 @@
 //! filtering safe applies verbatim.
 
 use scu_core::hash::{FilterHash, FilterMode};
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -24,7 +24,10 @@ use crate::system::System;
 ///
 /// Panics if `sys` has no SCU.
 pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
-    assert!(sys.scu.is_some(), "SCU CC requires a System::with_scu platform");
+    assert!(
+        sys.scu.is_some(),
+        "SCU CC requires a System::with_scu platform"
+    );
     let mut report = RunReport::new("cc", sys.kind, true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
@@ -42,7 +45,12 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
     let mut filt8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, cap);
     let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
 
-    let label_hash_cfg = sys.scu.as_ref().expect("checked above").config().filter_sssp_hash;
+    let label_hash_cfg = sys
+        .scu
+        .as_ref()
+        .expect("checked above")
+        .config()
+        .filter_sssp_hash;
     let mut label_hash = FilterHash::new(&mut sys.alloc, label_hash_cfg);
 
     let s = sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
@@ -60,16 +68,18 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
         report.iterations += 1;
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            let l = ctx.load(&labels, v);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-            ctx.store(&mut base, tid, l);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                let l = ctx.load(&labels, v);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+                ctx.store(&mut base, tid, l);
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion on the SCU. ----
@@ -86,32 +96,44 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
                 &mut ef,
             )
             .elements_out as usize;
-        scu.replication_compaction(&mut sys.mem, &base, &counts, frontier_len, None, None, &mut lf);
+        scu.replication_compaction(
+            &mut sys.mem,
+            &base,
+            &counts,
+            frontier_len,
+            None,
+            None,
+            &mut lf,
+        );
         if total == 0 {
             break;
         }
 
         // ---- Contraction relax + owner dedup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
-            let v = ctx.load(&ef, tid) as usize;
-            let l = ctx.load(&lf, tid);
-            let cur = ctx.load(&labels, v);
-            ctx.alu(1);
-            let improves = l < cur;
-            if improves {
-                ctx.store(&mut lut, v, tid as u32);
-                ctx.atomic_min_u32(&mut labels, v, l);
-            }
-            ctx.store(&mut flags8, tid, improves as u8);
-        });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys.gpu.run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
-            if ctx.load(&flags8, tid) != 0 {
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
                 let v = ctx.load(&ef, tid) as usize;
-                let owner = ctx.load(&lut, v) == tid as u32;
-                ctx.store(&mut flags8, tid, owner as u8);
-            }
-        });
+                let l = ctx.load(&lf, tid);
+                let cur = ctx.load(&labels, v);
+                ctx.alu(1);
+                let improves = l < cur;
+                if improves {
+                    ctx.store(&mut lut, v, tid as u32);
+                    ctx.atomic_min_u32(&mut labels, v, l);
+                }
+                ctx.store(&mut flags8, tid, improves as u8);
+            });
+        report.add_kernel(Phase::Processing, &s);
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
+                if ctx.load(&flags8, tid) != 0 {
+                    let v = ctx.load(&ef, tid) as usize;
+                    let owner = ctx.load(&lut, v) == tid as u32;
+                    ctx.store(&mut flags8, tid, owner as u8);
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction compaction on the SCU. ----
@@ -134,7 +156,15 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
             &flags8
         };
         let kept = scu
-            .data_compaction_n(&mut sys.mem, &ef, total, Some(final_flags), None, &mut nf, 0)
+            .data_compaction_n(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(final_flags),
+                None,
+                &mut nf,
+                0,
+            )
             .elements_out as usize;
 
         frontier_len = kept;

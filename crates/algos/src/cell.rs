@@ -1,0 +1,234 @@
+//! The pure experiment-cell entry point used by the parallel harness.
+//!
+//! One [`Cell`] is one point of the reproduction matrix: algorithm ×
+//! dataset × platform × machine mode, plus the scaling knobs. A cell
+//! owns its entire configuration, so running it is a pure function of
+//! the struct — no globals, no environment reads — which is what lets
+//! the harness run cells on worker threads and cache their results
+//! content-addressed.
+//!
+//! The serialised cell configuration (plus [`MODEL_VERSION`]) *is* the
+//! cache key; [`CellResult`] is the cached value. Raw per-node answer
+//! vectors are too large to cache, so results carry their length and a
+//! FNV-1a fingerprint instead — enough to assert cross-mode agreement.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use scu_core::ScuConfig;
+use scu_graph::{Csr, Dataset};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::report::RunReport;
+use crate::runner::{run_configured, Algorithm, Mode, RunOutput};
+use crate::system::SystemKind;
+
+/// Version tag of the simulator model, mixed into every cache key.
+///
+/// Bump this whenever a change alters any simulated metric or answer
+/// (timing model, energy model, generators, algorithms); cached
+/// results from older versions then simply stop matching and are
+/// recomputed. Leave it alone for pure refactors.
+pub const MODEL_VERSION: &str = "scu-sim-1";
+
+/// One fully-specified point of the experiment matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Graph primitive to run.
+    pub algorithm: Algorithm,
+    /// Input graph class.
+    pub dataset: Dataset,
+    /// Simulated platform.
+    pub system: SystemKind,
+    /// Machine variant (baseline GPU or an SCU configuration).
+    pub mode: Mode,
+    /// PageRank iteration cap (ignored by the other algorithms).
+    pub pr_iters: u32,
+    /// Dataset size as a fraction of the published node count.
+    pub scale: f64,
+    /// Seed for the synthetic graph generator.
+    pub seed: u64,
+    /// SCU parameter override for ablations; `None` means the
+    /// platform's Table 2 configuration.
+    pub scu_config: Option<ScuConfig>,
+}
+
+impl Cell {
+    /// Stable human-readable identifier, used for progress lines and
+    /// `--filter` matching: `BFS/cond/GTX980/scu-enhanced`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.algorithm.name(),
+            self.dataset.name(),
+            self.system.name(),
+            self.mode.name()
+        )
+    }
+
+    /// The content-addressed cache key: the full configuration plus
+    /// the model version.
+    pub fn cache_key(&self) -> Value {
+        Value::Object(vec![
+            ("model".to_string(), Value::Str(MODEL_VERSION.to_string())),
+            ("cell".to_string(), serde_json::to_value(self)),
+        ])
+    }
+
+    /// Runs the cell: builds (or reuses) the input graph, simulates,
+    /// and summarises. Pure with respect to the configuration — equal
+    /// cells produce equal results on any thread, in any order.
+    pub fn run(&self) -> CellResult {
+        let g = shared_graph(self.dataset, self.scale, self.seed);
+        let out = run_configured(
+            self.algorithm,
+            &g,
+            self.system,
+            self.mode,
+            self.pr_iters,
+            self.scu_config.as_ref(),
+        );
+        CellResult::new(self.id(), &out)
+    }
+
+    /// [`Cell::run`] as a JSON value — the closure body the harness
+    /// executes and caches.
+    pub fn run_value(&self) -> Value {
+        serde_json::to_value(&self.run())
+    }
+}
+
+/// What one cell produced: the measurement report plus a fingerprint
+/// of the algorithm's answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's [`Cell::id`].
+    pub id: String,
+    /// Length of the per-node answer vector.
+    pub values_len: u64,
+    /// FNV-1a fingerprint of the answer values (little-endian u64s) —
+    /// byte-identical answers across modes hash identically.
+    pub values_fnv: u64,
+    /// The full measurement report.
+    pub report: RunReport,
+}
+
+impl CellResult {
+    /// Summarises a raw [`RunOutput`].
+    pub fn new(id: String, out: &RunOutput) -> Self {
+        CellResult {
+            id,
+            values_len: out.values.len() as u64,
+            values_fnv: fnv1a_u64s(&out.values),
+            report: out.report.clone(),
+        }
+    }
+
+    /// Parses a cached value back into a result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying decode error if `value` does not have
+    /// this shape (e.g. a cache blob from a foreign version).
+    pub fn from_value(value: &Value) -> Result<Self, serde_json::Error> {
+        serde_json::from_value(value)
+    }
+}
+
+/// FNV-1a over the little-endian byte stream of the values.
+fn fnv1a_u64s(values: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Graph key: scale participates via its exact bit pattern.
+type GraphKey = (Dataset, u64, u64);
+
+/// Builds `dataset` at (`scale`, `seed`), memoised process-wide.
+///
+/// Generation is deterministic, so sharing is purely an optimisation:
+/// every cell of a sweep reads the same immutable [`Csr`] instead of
+/// regenerating it per algorithm × platform × mode combination.
+pub fn shared_graph(dataset: Dataset, scale: f64, seed: u64) -> Arc<Csr> {
+    static CACHE: OnceLock<Mutex<HashMap<GraphKey, Arc<Csr>>>> = OnceLock::new();
+    let key = (dataset, scale.to_bits(), seed);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(g) = cache.lock().expect("graph cache poisoned").get(&key) {
+        return Arc::clone(g);
+    }
+    // Build outside the lock: different graphs may build concurrently,
+    // and a duplicate build of the same key is deterministic anyway.
+    let g = Arc::new(dataset.build(scale, seed));
+    let mut cache = cache.lock().expect("graph cache poisoned");
+    Arc::clone(cache.entry(key).or_insert(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cell(mode: Mode) -> Cell {
+        Cell {
+            algorithm: Algorithm::Bfs,
+            dataset: Dataset::Cond,
+            system: SystemKind::Tx1,
+            mode,
+            pr_iters: 3,
+            scale: 1.0 / 256.0,
+            seed: 11,
+            scu_config: None,
+        }
+    }
+
+    #[test]
+    fn id_is_readable_and_filterable() {
+        assert_eq!(
+            tiny_cell(Mode::ScuEnhanced).id(),
+            "BFS/cond/TX1/scu-enhanced"
+        );
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configurations() {
+        let a = tiny_cell(Mode::GpuBaseline).cache_key();
+        let b = tiny_cell(Mode::ScuBasic).cache_key();
+        let mut c = tiny_cell(Mode::GpuBaseline);
+        c.seed = 12;
+        assert_ne!(a, b);
+        assert_ne!(a, c.cache_key());
+        assert_eq!(a, tiny_cell(Mode::GpuBaseline).cache_key());
+    }
+
+    #[test]
+    fn result_roundtrips_through_json() {
+        let res = tiny_cell(Mode::ScuBasic).run();
+        let value = serde_json::to_value(&res);
+        let back = CellResult::from_value(&value).unwrap();
+        assert_eq!(res, back);
+        assert!(res.values_len > 0);
+    }
+
+    #[test]
+    fn answers_agree_across_modes_via_fingerprint() {
+        let base = tiny_cell(Mode::GpuBaseline).run();
+        let scu = tiny_cell(Mode::ScuEnhanced).run();
+        assert_eq!(base.values_len, scu.values_len);
+        assert_eq!(base.values_fnv, scu.values_fnv);
+    }
+
+    #[test]
+    fn shared_graph_is_memoised() {
+        let a = shared_graph(Dataset::Cond, 1.0 / 256.0, 7);
+        let b = shared_graph(Dataset::Cond, 1.0 / 256.0, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_graph(Dataset::Cond, 1.0 / 256.0, 8);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,7 +1,7 @@
 //! CSR graph resident in simulated device memory.
 
-use scu_graph::Csr;
 use scu_gpu::buffer::{DeviceAllocator, DeviceArray};
+use scu_graph::Csr;
 
 /// The device-side copy of a [`Csr`] graph: the three CSR arrays of
 /// the paper's Figure 2b, each a [`DeviceArray`] with stable simulated

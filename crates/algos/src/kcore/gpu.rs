@@ -1,8 +1,8 @@
 //! Baseline GPU k-core peeling: a degree-compare mark kernel plus the
 //! usual scan/scatter compaction per round.
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -29,10 +29,15 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
 
     // Initial support = in-degree, computed with one atomic pass over
     // the edge array (the standard histogram kernel).
-    let s = sys.gpu.run(&mut sys.mem, "kcore-support-init", g.num_edges(), |tid, ctx| {
-        let w = ctx.load(&dg.edges, tid) as usize;
-        ctx.atomic_rmw(&mut support, w, |x| x + 1);
-    });
+    let s = sys.gpu.run(
+        &mut sys.mem,
+        "kcore-support-init",
+        g.num_edges(),
+        |tid, ctx| {
+            let w = ctx.load(&dg.edges, tid) as usize;
+            ctx.atomic_rmw(&mut support, w, |x| x + 1);
+        },
+    );
     report.add_kernel(Phase::Processing, &s);
 
     let mut alive = n;
@@ -94,14 +99,16 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         report.add_kernel(Phase::Compaction, &s);
 
         // ---- Decrement targets' support (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
-            let w = ctx.load(&ef, tid) as usize;
-            let sup = ctx.load(&support, w);
-            if sup != REMOVED {
-                ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
-            }
-            let _ = sup;
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
+                let w = ctx.load(&ef, tid) as usize;
+                let sup = ctx.load(&support, w);
+                if sup != REMOVED {
+                    ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
+                }
+                let _ = sup;
+            });
         report.add_kernel(Phase::Processing, &s);
     }
 

@@ -51,7 +51,9 @@ mod tests {
     fn triangle_with_tail() {
         // Triangle 0-1-2 (undirected) plus a pendant 3 attached to 0.
         let mut b = GraphBuilder::new(4);
-        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(2, 0, 1);
+        b.add_undirected(0, 1, 1)
+            .add_undirected(1, 2, 1)
+            .add_undirected(2, 0, 1);
         b.add_undirected(0, 3, 1);
         let core = coreness(&b.build());
         assert_eq!(core[3], 1, "pendant peels at level 2 -> coreness 1");
@@ -83,7 +85,9 @@ mod tests {
     #[test]
     fn chain_peels_from_both_ends() {
         let mut b = GraphBuilder::new(4);
-        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(2, 3, 1);
+        b.add_undirected(0, 1, 1)
+            .add_undirected(1, 2, 1)
+            .add_undirected(2, 3, 1);
         let core = coreness(&b.build());
         assert!(core.iter().all(|&c| c == 1), "chain coreness {core:?}");
     }

@@ -9,8 +9,8 @@
 //! only the basic offload applies (like PR, §4.6).
 
 use scu_core::CompareOp;
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -25,7 +25,10 @@ use super::REMOVED;
 ///
 /// Panics if `sys` has no SCU.
 pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
-    assert!(sys.scu.is_some(), "SCU k-core requires a System::with_scu platform");
+    assert!(
+        sys.scu.is_some(),
+        "SCU k-core requires a System::with_scu platform"
+    );
     let mut report = RunReport::new("kcore", sys.kind, true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
@@ -33,18 +36,22 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
 
     let mut support: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
     let mut core: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
-    let node_ids: DeviceArray<u32> =
-        DeviceArray::from_vec(&mut sys.alloc, (0..n as u32).collect());
+    let node_ids: DeviceArray<u32> = DeviceArray::from_vec(&mut sys.alloc, (0..n as u32).collect());
     let mut flags8: DeviceArray<u8> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let mut rf: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let mut indexes: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, m);
 
-    let s = sys.gpu.run(&mut sys.mem, "kcore-support-init", g.num_edges(), |tid, ctx| {
-        let w = ctx.load(&dg.edges, tid) as usize;
-        ctx.atomic_rmw(&mut support, w, |x| x + 1);
-    });
+    let s = sys.gpu.run(
+        &mut sys.mem,
+        "kcore-support-init",
+        g.num_edges(),
+        |tid, ctx| {
+            let w = ctx.load(&dg.edges, tid) as usize;
+            ctx.atomic_rmw(&mut support, w, |x| x + 1);
+        },
+    );
     report.add_kernel(Phase::Processing, &s);
 
     let mut alive = n;
@@ -95,14 +102,16 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
             .elements_out as usize;
 
         // ---- Decrement targets' support (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
-            let w = ctx.load(&ef, tid) as usize;
-            let sup = ctx.load(&support, w);
-            if sup != REMOVED {
-                ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
-            }
-            let _ = sup;
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
+                let w = ctx.load(&ef, tid) as usize;
+                let sup = ctx.load(&support, w);
+                if sup != REMOVED {
+                    ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
+                }
+                let _ = sup;
+            });
         report.add_kernel(Phase::Processing, &s);
     }
 

@@ -124,8 +124,7 @@ mod tests {
     fn scan_matches_host_prefix_sum() {
         let mut sys = System::baseline(SystemKind::Tx1);
         let mut report = RunReport::new("test", SystemKind::Tx1, false);
-        let counts =
-            DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 5, 2, 7, 1, 0, 4]);
+        let counts = DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 5, 2, 7, 1, 0, 4]);
         let (offsets, total) = gpu_exclusive_scan(&mut sys, &mut report, &counts, 8);
         assert_eq!(offsets.as_slice(), &[0, 3, 3, 8, 10, 17, 18, 18]);
         assert_eq!(total, 22);

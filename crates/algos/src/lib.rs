@@ -40,6 +40,7 @@
 
 pub mod bfs;
 pub mod cc;
+pub mod cell;
 pub mod device_graph;
 pub mod kcore;
 pub mod kernels;
@@ -49,6 +50,7 @@ pub mod runner;
 pub mod sssp;
 pub mod system;
 
+pub use cell::{shared_graph, Cell, CellResult, MODEL_VERSION};
 pub use report::{Phase, RunReport};
 pub use runner::{run, Algorithm, Mode, RunOutput};
 pub use system::{System, SystemKind};

@@ -6,8 +6,8 @@
 //! per edge; dampening and the convergence check are regular,
 //! GPU-friendly kernels.
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -61,16 +61,18 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
         let total = total as usize;
         // Load-balanced gather: one thread per edge slot.
         let (rows, pos) = edge_slot_map(&indexes, &counts, n);
-        let s = sys.gpu.run(&mut sys.mem, "pr-expand-gather", total, |e, ctx| {
-            ctx.alu(3); // merge-path binary search (amortised)
-            let row = rows[e] as usize;
-            ctx.load(&offsets, row);
-            let c = ctx.load(&contrib, row);
-            let p = pos[e] as usize;
-            let v = ctx.load(&dg.edges, p);
-            ctx.store(&mut ef, e, v);
-            ctx.store(&mut wf, e, c);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "pr-expand-gather", total, |e, ctx| {
+                ctx.alu(3); // merge-path binary search (amortised)
+                let row = rows[e] as usize;
+                ctx.load(&offsets, row);
+                let c = ctx.load(&contrib, row);
+                let p = pos[e] as usize;
+                let v = ctx.load(&dg.edges, p);
+                ctx.store(&mut ef, e, v);
+                ctx.store(&mut wf, e, c);
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         // ---- Rank update: zero + atomicAdd per edge (processing). ----
@@ -78,11 +80,13 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
             ctx.store(&mut incoming, tid, 0.0);
         });
         report.add_kernel(Phase::Processing, &s);
-        let s = sys.gpu.run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
-            let e = ctx.load(&ef, tid) as usize;
-            let c = ctx.load(&wf, tid);
-            ctx.atomic_add(&mut incoming, e, c);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
+                let e = ctx.load(&ef, tid) as usize;
+                let c = ctx.load(&wf, tid);
+                ctx.atomic_add(&mut incoming, e, c);
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Dampening + convergence check (processing). ----

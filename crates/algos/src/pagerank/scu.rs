@@ -6,8 +6,8 @@
 //! update, dampening and the convergence check stay on the GPU. The
 //! enhanced filtering/grouping capabilities are not used (§4.6).
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -22,7 +22,10 @@ use super::{DAMPING, EPSILON};
 ///
 /// Panics if `sys` has no SCU.
 pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
-    assert!(sys.scu.is_some(), "SCU PageRank requires a System::with_scu platform");
+    assert!(
+        sys.scu.is_some(),
+        "SCU PageRank requires a System::with_scu platform"
+    );
     let mut report = RunReport::new("pr", sys.kind, true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
@@ -81,11 +84,13 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
             ctx.store(&mut incoming, tid, 0.0);
         });
         report.add_kernel(Phase::Processing, &s);
-        let s = sys.gpu.run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
-            let e = ctx.load(&ef, tid) as usize;
-            let c = ctx.load(&wf, tid);
-            ctx.atomic_add(&mut incoming, e, c);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
+                let e = ctx.load(&ef, tid) as usize;
+                let c = ctx.load(&wf, tid);
+                ctx.atomic_add(&mut incoming, e, c);
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Dampening + convergence check (processing). ----

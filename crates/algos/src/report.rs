@@ -1,15 +1,15 @@
 //! Per-run measurement collection — the raw material of every figure
 //! in §6.
 
-use serde::Serialize;
 use scu_core::stats::ScuStats;
 use scu_energy::{EnergyBreakdown, EnergyModel};
 use scu_gpu::stats::KernelStats;
+use serde::{Deserialize, Serialize};
 
 use crate::system::SystemKind;
 
 /// How a GPU kernel launch is classified for the Figure 1 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
     /// Graph processing proper (expansion setup, contraction marking,
     /// rank updates, ...).
@@ -20,7 +20,7 @@ pub enum Phase {
 }
 
 /// Everything measured in one end-to-end algorithm run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Algorithm name ("bfs", "sssp", "pr").
     pub algorithm: &'static str,
@@ -143,7 +143,12 @@ mod tests {
     use super::*;
 
     fn kernel(time_ns: f64, insts: u64) -> KernelStats {
-        KernelStats { time_ns, thread_insts: insts, launches: 1, ..Default::default() }
+        KernelStats {
+            time_ns,
+            thread_insts: insts,
+            launches: 1,
+            ..Default::default()
+        }
     }
 
     #[test]

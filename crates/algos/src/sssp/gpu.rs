@@ -9,8 +9,8 @@
 //! recompacted). All scan/gather/scatter work is tagged as stream
 //! compaction (Figure 1).
 
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -81,55 +81,69 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
 
             // Revalidate & mark (processing); near candidates write
             // the lookup table and apply atomicMin.
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
-                let e = ctx.load(&far_e, tid) as usize;
-                let w = ctx.load(&far_w, tid);
-                let d = ctx.load(&dist, e);
-                ctx.alu(3);
-                let valid = w < d;
-                let near = valid && w <= threshold;
-                let keep_far = valid && w > threshold;
-                if near {
-                    ctx.store(&mut lut, e, tid as u32);
-                    ctx.atomic_min_u32(&mut dist, e, w);
-                }
-                ctx.store(&mut near_flags, tid, near as u32);
-                ctx.store(&mut far_flags, tid, keep_far as u32);
-            });
+            let s = sys
+                .gpu
+                .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
+                    let e = ctx.load(&far_e, tid) as usize;
+                    let w = ctx.load(&far_w, tid);
+                    let d = ctx.load(&dist, e);
+                    ctx.alu(3);
+                    let valid = w < d;
+                    let near = valid && w <= threshold;
+                    let keep_far = valid && w > threshold;
+                    if near {
+                        ctx.store(&mut lut, e, tid as u32);
+                        ctx.atomic_min_u32(&mut dist, e, w);
+                    }
+                    ctx.store(&mut near_flags, tid, near as u32);
+                    ctx.store(&mut far_flags, tid, keep_far as u32);
+                });
             report.add_kernel(Phase::Processing, &s);
 
             // Owner resolution (processing).
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
-                if ctx.load(&near_flags, tid) != 0 {
-                    let e = ctx.load(&far_e, tid) as usize;
-                    let owner = ctx.load(&lut, e) == tid as u32;
-                    ctx.store(&mut near_flags, tid, owner as u32);
-                }
-            });
+            let s = sys
+                .gpu
+                .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                    if ctx.load(&near_flags, tid) != 0 {
+                        let e = ctx.load(&far_e, tid) as usize;
+                        let owner = ctx.load(&lut, e) == tid as u32;
+                        ctx.store(&mut near_flags, tid, owner as u32);
+                    }
+                });
             report.add_kernel(Phase::Processing, &s);
 
             // Compact near -> node frontier (compaction).
             let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, far_len);
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-scatter-near", far_len, |tid, ctx| {
-                if ctx.load(&near_flags, tid) != 0 {
-                    let e = ctx.load(&far_e, tid);
-                    let off = ctx.load(&noff, tid) as usize;
-                    ctx.store(&mut nf, off, e);
-                }
-            });
+            let s = sys.gpu.run(
+                &mut sys.mem,
+                "sssp-drain-scatter-near",
+                far_len,
+                |tid, ctx| {
+                    if ctx.load(&near_flags, tid) != 0 {
+                        let e = ctx.load(&far_e, tid);
+                        let off = ctx.load(&noff, tid) as usize;
+                        ctx.store(&mut nf, off, e);
+                    }
+                },
+            );
             report.add_kernel(Phase::Compaction, &s);
 
             // Recompact surviving far entries (compaction).
             let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, far_len);
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-scatter-far", far_len, |tid, ctx| {
-                if ctx.load(&far_flags, tid) != 0 {
-                    let e = ctx.load(&far_e, tid);
-                    let w = ctx.load(&far_w, tid);
-                    let off = ctx.load(&foff, tid) as usize;
-                    ctx.store(&mut far_e2, off, e);
-                    ctx.store(&mut far_w2, off, w);
-                }
-            });
+            let s = sys.gpu.run(
+                &mut sys.mem,
+                "sssp-drain-scatter-far",
+                far_len,
+                |tid, ctx| {
+                    if ctx.load(&far_flags, tid) != 0 {
+                        let e = ctx.load(&far_e, tid);
+                        let w = ctx.load(&far_w, tid);
+                        let off = ctx.load(&foff, tid) as usize;
+                        ctx.store(&mut far_e2, off, e);
+                        ctx.store(&mut far_w2, off, w);
+                    }
+                },
+            );
             report.add_kernel(Phase::Compaction, &s);
 
             std::mem::swap(&mut far_e, &mut far_e2);
@@ -142,36 +156,46 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         report.iterations += 1;
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            let d = ctx.load(&dist, v);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-            ctx.store(&mut base, tid, d);
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "sssp-expand-setup",
+            frontier_len,
+            |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                let d = ctx.load(&dist, v);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+                ctx.store(&mut base, tid, d);
+            },
+        );
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion scan + gather (compaction). ----
         let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, frontier_len);
         let total = total as usize;
-        assert!(total <= ef_cap, "edge frontier overflow: {total} > {ef_cap}");
+        assert!(
+            total <= ef_cap,
+            "edge frontier overflow: {total} > {ef_cap}"
+        );
         // Load-balanced gather: one thread per edge-frontier slot.
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-gather", total, |e, ctx| {
-            ctx.alu(3); // merge-path binary search (amortised)
-            let row = rows[e] as usize;
-            ctx.load(&offsets, row);
-            let b = ctx.load(&base, row);
-            let p = pos[e] as usize;
-            let v = ctx.load(&dg.edges, p);
-            let w = ctx.load(&dg.weights, p);
-            ctx.store(&mut ef, e, v);
-            ctx.store(&mut ew, e, w);
-            ctx.store(&mut basef, e, b);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "sssp-expand-gather", total, |e, ctx| {
+                ctx.alu(3); // merge-path binary search (amortised)
+                let row = rows[e] as usize;
+                ctx.load(&offsets, row);
+                let b = ctx.load(&base, row);
+                let p = pos[e] as usize;
+                let v = ctx.load(&dg.edges, p);
+                let w = ctx.load(&dg.weights, p);
+                ctx.store(&mut ef, e, v);
+                ctx.store(&mut ew, e, w);
+                ctx.store(&mut basef, e, b);
+            });
         report.add_kernel(Phase::Compaction, &s);
 
         if total == 0 {
@@ -183,59 +207,73 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         // write their thread ID to the lookup table and apply
         // atomicMin; a second pass picks one owner per node for the
         // frontier (Davidson's dedup scheme, §2.2.2). ----
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
-            let e = ctx.load(&ef, tid) as usize;
-            let w = ctx.load(&ew, tid);
-            let b = ctx.load(&basef, tid);
-            ctx.alu(2);
-            let cost = b.saturating_add(w);
-            let d = ctx.load(&dist, e);
-            let valid = cost < d;
-            let near = valid && cost <= threshold;
-            let far = valid && cost > threshold;
-            if near {
-                ctx.store(&mut lut, e, tid as u32);
-                ctx.atomic_min_u32(&mut dist, e, cost);
-            }
-            ctx.store(&mut near_flags, tid, near as u32);
-            ctx.store(&mut far_flags, tid, far as u32);
-            ctx.store(&mut costf, tid, cost);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
+                let e = ctx.load(&ef, tid) as usize;
+                let w = ctx.load(&ew, tid);
+                let b = ctx.load(&basef, tid);
+                ctx.alu(2);
+                let cost = b.saturating_add(w);
+                let d = ctx.load(&dist, e);
+                let valid = cost < d;
+                let near = valid && cost <= threshold;
+                let far = valid && cost > threshold;
+                if near {
+                    ctx.store(&mut lut, e, tid as u32);
+                    ctx.atomic_min_u32(&mut dist, e, cost);
+                }
+                ctx.store(&mut near_flags, tid, near as u32);
+                ctx.store(&mut far_flags, tid, far as u32);
+                ctx.store(&mut costf, tid, cost);
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction: owner resolution (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
-            if ctx.load(&near_flags, tid) != 0 {
-                let e = ctx.load(&ef, tid) as usize;
-                let owner = ctx.load(&lut, e) == tid as u32;
-                ctx.store(&mut near_flags, tid, owner as u32);
-            }
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+                if ctx.load(&near_flags, tid) != 0 {
+                    let e = ctx.load(&ef, tid) as usize;
+                    let owner = ctx.load(&lut, e) == tid as u32;
+                    ctx.store(&mut near_flags, tid, owner as u32);
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction: compact near -> node frontier. ----
         let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, total);
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-scatter-near", total, |tid, ctx| {
-            if ctx.load(&near_flags, tid) != 0 {
-                let e = ctx.load(&ef, tid);
-                let off = ctx.load(&noff, tid) as usize;
-                ctx.store(&mut nf, off, e);
-            }
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "sssp-contract-scatter-near",
+            total,
+            |tid, ctx| {
+                if ctx.load(&near_flags, tid) != 0 {
+                    let e = ctx.load(&ef, tid);
+                    let off = ctx.load(&noff, tid) as usize;
+                    ctx.store(&mut nf, off, e);
+                }
+            },
+        );
         report.add_kernel(Phase::Compaction, &s);
 
         // ---- Contraction: append far entries. ----
         let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, total);
         assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-scatter-far", total, |tid, ctx| {
-            if ctx.load(&far_flags, tid) != 0 {
-                let e = ctx.load(&ef, tid);
-                let c = ctx.load(&costf, tid);
-                let off = far_len + ctx.load(&foff, tid) as usize;
-                ctx.store(&mut far_e, off, e);
-                ctx.store(&mut far_w, off, c);
-            }
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "sssp-contract-scatter-far",
+            total,
+            |tid, ctx| {
+                if ctx.load(&far_flags, tid) != 0 {
+                    let e = ctx.load(&ef, tid);
+                    let c = ctx.load(&costf, tid);
+                    let off = far_len + ctx.load(&foff, tid) as usize;
+                    ctx.store(&mut far_e, off, e);
+                    ctx.store(&mut far_w, off, c);
+                }
+            },
+        );
         report.add_kernel(Phase::Compaction, &s);
 
         frontier_len = nkept as usize;

@@ -35,16 +35,25 @@ pub struct ScuVariant {
 impl ScuVariant {
     /// The basic SCU of Algorithm 2: compaction offload only.
     pub fn basic() -> Self {
-        ScuVariant { filtering: false, grouping: false }
+        ScuVariant {
+            filtering: false,
+            grouping: false,
+        }
     }
 
     /// Filtering without grouping (Figure 12's baseline).
     pub fn filtering_only() -> Self {
-        ScuVariant { filtering: true, grouping: false }
+        ScuVariant {
+            filtering: true,
+            grouping: false,
+        }
     }
 
     /// The full enhanced SCU of Algorithm 5.
     pub fn enhanced() -> Self {
-        ScuVariant { filtering: true, grouping: true }
+        ScuVariant {
+            filtering: true,
+            grouping: true,
+        }
     }
 }

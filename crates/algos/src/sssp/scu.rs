@@ -14,8 +14,8 @@
 
 use scu_core::group::GroupHash;
 use scu_core::hash::{FilterHash, FilterMode};
-use scu_graph::Csr;
 use scu_gpu::buffer::DeviceArray;
+use scu_graph::Csr;
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -31,7 +31,10 @@ use super::{ScuVariant, DELTA, UNREACHED};
 /// Panics if `src` is out of range or `sys` has no SCU.
 pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32>, RunReport) {
     assert!((src as usize) < g.num_nodes(), "source {src} out of range");
-    assert!(sys.scu.is_some(), "SCU SSSP requires a System::with_scu platform");
+    assert!(
+        sys.scu.is_some(),
+        "SCU SSSP requires a System::with_scu platform"
+    );
     let mut report = RunReport::new("sssp", sys.kind, true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
@@ -91,30 +94,34 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
             threshold += DELTA;
             report.iterations += 1;
 
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
-                let e = ctx.load(&far_e, tid) as usize;
-                let w = ctx.load(&far_w, tid);
-                let d = ctx.load(&dist, e);
-                ctx.alu(3);
-                let valid = w < d;
-                let near = valid && w <= threshold;
-                let keep_far = valid && w > threshold;
-                if near {
-                    ctx.store(&mut lut, e, tid as u32);
-                    ctx.atomic_min_u32(&mut dist, e, w);
-                }
-                ctx.store(&mut near8, tid, near as u8);
-                ctx.store(&mut far8, tid, keep_far as u8);
-            });
+            let s = sys
+                .gpu
+                .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
+                    let e = ctx.load(&far_e, tid) as usize;
+                    let w = ctx.load(&far_w, tid);
+                    let d = ctx.load(&dist, e);
+                    ctx.alu(3);
+                    let valid = w < d;
+                    let near = valid && w <= threshold;
+                    let keep_far = valid && w > threshold;
+                    if near {
+                        ctx.store(&mut lut, e, tid as u32);
+                        ctx.atomic_min_u32(&mut dist, e, w);
+                    }
+                    ctx.store(&mut near8, tid, near as u8);
+                    ctx.store(&mut far8, tid, keep_far as u8);
+                });
             report.add_kernel(Phase::Processing, &s);
 
-            let s = sys.gpu.run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
-                if ctx.load(&near8, tid) != 0 {
-                    let e = ctx.load(&far_e, tid) as usize;
-                    let owner = ctx.load(&lut, e) == tid as u32;
-                    ctx.store(&mut near8, tid, owner as u8);
-                }
-            });
+            let s = sys
+                .gpu
+                .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                    if ctx.load(&near8, tid) != 0 {
+                        let e = ctx.load(&far_e, tid) as usize;
+                        let owner = ctx.load(&lut, e) == tid as u32;
+                        ctx.store(&mut near8, tid, owner as u8);
+                    }
+                });
             report.add_kernel(Phase::Processing, &s);
 
             let scu = sys.scu.as_mut().expect("checked above");
@@ -142,13 +149,37 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
                 )
                 .elements_out
             } else {
-                scu.data_compaction_n(&mut sys.mem, &far_e, far_len, Some(&near8), None, &mut nf, 0)
-                    .elements_out
+                scu.data_compaction_n(
+                    &mut sys.mem,
+                    &far_e,
+                    far_len,
+                    Some(&near8),
+                    None,
+                    &mut nf,
+                    0,
+                )
+                .elements_out
             };
             let fkept = scu
-                .data_compaction_n(&mut sys.mem, &far_e, far_len, Some(&far8), None, &mut far_e2, 0)
+                .data_compaction_n(
+                    &mut sys.mem,
+                    &far_e,
+                    far_len,
+                    Some(&far8),
+                    None,
+                    &mut far_e2,
+                    0,
+                )
                 .elements_out;
-            scu.data_compaction_n(&mut sys.mem, &far_w, far_len, Some(&far8), None, &mut far_w2, 0);
+            scu.data_compaction_n(
+                &mut sys.mem,
+                &far_w,
+                far_len,
+                Some(&far8),
+                None,
+                &mut far_w2,
+                0,
+            );
 
             std::mem::swap(&mut far_e, &mut far_e2);
             std::mem::swap(&mut far_w, &mut far_w2);
@@ -160,21 +191,25 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
         report.iterations += 1;
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "sssp-expand-setup", frontier_len, |tid, ctx| {
-            let v = ctx.load(&nf, tid) as usize;
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            let d = ctx.load(&dist, v);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-            ctx.store(&mut base, tid, d);
-        });
+        let s = sys.gpu.run(
+            &mut sys.mem,
+            "sssp-expand-setup",
+            frontier_len,
+            |tid, ctx| {
+                let v = ctx.load(&nf, tid) as usize;
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                let d = ctx.load(&dist, v);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+                ctx.store(&mut base, tid, d);
+            },
+        );
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Expansion on the SCU. ----
-        let expansion_size: usize =
-            (0..frontier_len).map(|i| counts.get(i) as usize).sum();
+        let expansion_size: usize = (0..frontier_len).map(|i| counts.get(i) as usize).sum();
         assert!(expansion_size <= ef_cap, "edge frontier overflow");
         let scu = sys.scu.as_mut().expect("checked above");
         let eflags = if variant.filtering {
@@ -234,33 +269,37 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
         // ---- Contraction marking on the GPU. Near candidates write
         // the lookup table and apply atomicMin; a second pass picks
         // one owner per node (Davidson's dedup scheme, §2.2.2). ----
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
-            let e = ctx.load(&ef, tid) as usize;
-            let w = ctx.load(&ew, tid);
-            let b = ctx.load(&basef, tid);
-            ctx.alu(2);
-            let cost = b.saturating_add(w);
-            let d = ctx.load(&dist, e);
-            let valid = cost < d;
-            let near = valid && cost <= threshold;
-            let far = valid && cost > threshold;
-            if near {
-                ctx.store(&mut lut, e, tid as u32);
-                ctx.atomic_min_u32(&mut dist, e, cost);
-            }
-            ctx.store(&mut near8, tid, near as u8);
-            ctx.store(&mut far8, tid, far as u8);
-            ctx.store(&mut costf, tid, cost);
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
+                let e = ctx.load(&ef, tid) as usize;
+                let w = ctx.load(&ew, tid);
+                let b = ctx.load(&basef, tid);
+                ctx.alu(2);
+                let cost = b.saturating_add(w);
+                let d = ctx.load(&dist, e);
+                let valid = cost < d;
+                let near = valid && cost <= threshold;
+                let far = valid && cost > threshold;
+                if near {
+                    ctx.store(&mut lut, e, tid as u32);
+                    ctx.atomic_min_u32(&mut dist, e, cost);
+                }
+                ctx.store(&mut near8, tid, near as u8);
+                ctx.store(&mut far8, tid, far as u8);
+                ctx.store(&mut costf, tid, cost);
+            });
         report.add_kernel(Phase::Processing, &s);
 
-        let s = sys.gpu.run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
-            if ctx.load(&near8, tid) != 0 {
-                let e = ctx.load(&ef, tid) as usize;
-                let owner = ctx.load(&lut, e) == tid as u32;
-                ctx.store(&mut near8, tid, owner as u8);
-            }
-        });
+        let s = sys
+            .gpu
+            .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+                if ctx.load(&near8, tid) != 0 {
+                    let e = ctx.load(&ef, tid) as usize;
+                    let owner = ctx.load(&lut, e) == tid as u32;
+                    ctx.store(&mut near8, tid, owner as u8);
+                }
+            });
         report.add_kernel(Phase::Processing, &s);
 
         // ---- Contraction compaction on the SCU. ----
@@ -309,9 +348,25 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
             &far8
         };
         let fkept = scu
-            .data_compaction_n(&mut sys.mem, &ef, total, Some(far_append_flags), None, &mut far_e, far_len)
+            .data_compaction_n(
+                &mut sys.mem,
+                &ef,
+                total,
+                Some(far_append_flags),
+                None,
+                &mut far_e,
+                far_len,
+            )
             .elements_out;
-        scu.data_compaction_n(&mut sys.mem, &costf, total, Some(far_append_flags), None, &mut far_w, far_len);
+        scu.data_compaction_n(
+            &mut sys.mem,
+            &costf,
+            total,
+            Some(far_append_flags),
+            None,
+            &mut far_w,
+            far_len,
+        );
         assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
 
         frontier_len = nkept as usize;

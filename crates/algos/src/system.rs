@@ -1,14 +1,14 @@
 //! The simulated platform: GPU engine + optional SCU + shared memory.
 
-use serde::Serialize;
 use scu_core::{ScuConfig, ScuDevice};
 use scu_energy::EnergyModel;
 use scu_gpu::{GpuConfig, GpuEngine};
 use scu_mem::buffer::DeviceAllocator;
 use scu_mem::system::MemorySystem;
+use serde::{Deserialize, Serialize};
 
 /// Which of the paper's two platforms to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SystemKind {
     /// High-performance NVIDIA GTX 980 (Table 3).
     Gtx980,
@@ -108,7 +108,9 @@ impl System {
     ///
     /// Panics if this system was built with [`System::baseline`].
     pub fn scu_mut(&mut self) -> &mut ScuDevice {
-        self.scu.as_mut().expect("this System was built without an SCU")
+        self.scu
+            .as_mut()
+            .expect("this System was built without an SCU")
     }
 
     /// Peak DRAM bandwidth of this platform, bytes/second.

@@ -28,7 +28,12 @@ fn bench_figures(c: &mut Criterion) {
 
     let matrix = Matrix::collect(
         &cfg,
-        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+        &[
+            Mode::GpuBaseline,
+            Mode::ScuBasic,
+            Mode::ScuFilteringOnly,
+            Mode::ScuEnhanced,
+        ],
     );
 
     g.bench_function("fig01-breakdown", |b| {

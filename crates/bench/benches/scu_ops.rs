@@ -90,8 +90,7 @@ fn bench_ops(c: &mut Criterion) {
         let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, N);
         b.iter(|| {
             hash.clear();
-            let op =
-                scu.group_pass_data(&mut mem, &src, N, None, &target, &mut hash, &mut order);
+            let op = scu.group_pass_data(&mut mem, &src, N, None, &target, &mut hash, &mut order);
             black_box(op.elements_out);
         });
     });

@@ -2,5 +2,8 @@
 use scu_bench::ExperimentConfig;
 
 fn main() {
-    print!("{}", scu_bench::experiments::ablation::render(&ExperimentConfig::from_env()));
+    print!(
+        "{}",
+        scu_bench::experiments::ablation::render(&ExperimentConfig::from_env())
+    );
 }

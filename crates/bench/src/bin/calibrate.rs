@@ -3,7 +3,10 @@ use scu_algos::{run, Algorithm, Mode, SystemKind};
 use scu_graph::Dataset;
 
 fn main() {
-    let scale: f64 = std::env::var("SCU_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0 / 32.0);
+    let scale: f64 = std::env::var("SCU_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0 / 32.0);
     for kind in [SystemKind::Tx1, SystemKind::Gtx980] {
         for algo in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank] {
             for d in [Dataset::Cond, Dataset::Kron, Dataset::Ca] {

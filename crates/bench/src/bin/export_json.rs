@@ -4,55 +4,83 @@
 //! ```text
 //! SCU_SCALE=0.0625 cargo run --release -p scu-bench --bin export_json > matrix.json
 //! ```
+//!
+//! Accepts the shared harness flags: `--jobs N`, `--no-cache`,
+//! `--filter SUBSTR`, `--timeout-secs N`. The matrix covers the
+//! paper's three primitives plus the CC and k-core extensions.
 
 use scu_algos::runner::Mode;
-use scu_bench::experiments::matrix::Matrix;
+use scu_bench::experiments::matrix::{Matrix, Measurement};
 use scu_bench::ExperimentConfig;
-use serde::Serialize;
+use scu_harness::{CliArgs, Harness};
+use serde_json::Value;
 
-#[derive(Serialize)]
-struct JsonRow<'a> {
-    algorithm: &'a str,
-    dataset: &'a str,
-    system: &'a str,
-    mode: &'a str,
-    total_time_ns: f64,
-    gpu_time_ns: f64,
-    scu_time_ns: f64,
-    compaction_fraction: f64,
-    energy_total_pj: f64,
-    gpu_thread_insts: u64,
-    gpu_coalescing: f64,
-    bandwidth_utilization: f64,
-    iterations: u32,
-    report: &'a scu_algos::RunReport,
+fn row(e: &Measurement) -> Value {
+    let s = |v: &str| Value::Str(v.to_string());
+    Value::Object(vec![
+        ("algorithm".into(), s(e.algo.name())),
+        ("dataset".into(), s(e.dataset.name())),
+        ("system".into(), s(e.system.name())),
+        ("mode".into(), s(e.mode.name())),
+        ("total_time_ns".into(), Value::F64(e.report.total_time_ns())),
+        ("gpu_time_ns".into(), Value::F64(e.report.gpu_time_ns())),
+        ("scu_time_ns".into(), Value::F64(e.report.scu.time_ns)),
+        (
+            "compaction_fraction".into(),
+            Value::F64(e.report.compaction_fraction()),
+        ),
+        (
+            "energy_total_pj".into(),
+            Value::F64(e.report.energy.total_pj()),
+        ),
+        (
+            "gpu_thread_insts".into(),
+            Value::U64(e.report.gpu_thread_insts()),
+        ),
+        (
+            "gpu_coalescing".into(),
+            Value::F64(e.report.gpu_coalescing()),
+        ),
+        (
+            "bandwidth_utilization".into(),
+            Value::F64(e.report.bandwidth_utilization()),
+        ),
+        ("iterations".into(), Value::U64(e.report.iterations as u64)),
+        ("values_fnv".into(), Value::U64(e.values_fnv)),
+        ("report".into(), serde_json::to_value(&e.report)),
+    ])
 }
 
 fn main() {
+    let args = CliArgs::from_env();
+    if !args.rest.is_empty() {
+        eprintln!(
+            "unexpected arguments: {:?}\n{}",
+            args.rest,
+            scu_harness::cli::USAGE
+        );
+        std::process::exit(2);
+    }
     let cfg = ExperimentConfig::from_env();
-    let m = Matrix::collect(
+    let harness = Harness::new().apply_cli(&args, "results/cache");
+    let (m, sweep) = Matrix::collect_with(
         &cfg,
-        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+        &[
+            Mode::GpuBaseline,
+            Mode::ScuBasic,
+            Mode::ScuFilteringOnly,
+            Mode::ScuEnhanced,
+        ],
+        &harness,
+        args.filter.as_deref(),
     );
-    let rows: Vec<JsonRow> = m
-        .entries()
-        .iter()
-        .map(|e| JsonRow {
-            algorithm: e.algo.name(),
-            dataset: e.dataset.name(),
-            system: e.system.name(),
-            mode: e.mode.name(),
-            total_time_ns: e.report.total_time_ns(),
-            gpu_time_ns: e.report.gpu_time_ns(),
-            scu_time_ns: e.report.scu.time_ns,
-            compaction_fraction: e.report.compaction_fraction(),
-            energy_total_pj: e.report.energy.total_pj(),
-            gpu_thread_insts: e.report.gpu_thread_insts(),
-            gpu_coalescing: e.report.gpu_coalescing(),
-            bandwidth_utilization: e.report.bandwidth_utilization(),
-            iterations: e.report.iterations,
-            report: &e.report,
-        })
-        .collect();
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+    let rows: Vec<Value> = m.entries().iter().map(row).collect();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&Value::Array(rows)).expect("serialisable")
+    );
+    if !sweep.summary.all_done() {
+        eprintln!("{}", sweep.summary.render());
+        std::process::exit(1);
+    }
 }

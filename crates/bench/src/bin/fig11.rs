@@ -5,6 +5,9 @@ use scu_bench::ExperimentConfig;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let m = Matrix::collect(&cfg, &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuEnhanced]);
+    let m = Matrix::collect(
+        &cfg,
+        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuEnhanced],
+    );
     print!("{}", fig11::render(&fig11::rows(&m)));
 }

@@ -1,39 +1,120 @@
-//! Runs every experiment in sequence — the one-shot paper reproduction.
+//! Runs every experiment — the one-shot paper reproduction.
+//!
+//! The measurement matrix fills through the parallel harness: cells
+//! run on all cores (`--jobs N` to override), finished cells are
+//! cached under `results/cache` (`--no-cache` to recompute), and
+//! `--filter SUBSTR` narrows the sweep to matching cells. Output is
+//! mirrored to `results/reproduce_output.txt`, live progress to
+//! `results/reproduce_progress.txt`.
 //!
 //! Scale with `SCU_SCALE` (default 1/16 of published dataset sizes).
+
+use std::fmt::Write as _;
+
 use scu_algos::runner::Mode;
 use scu_bench::experiments::{
     ablation, area, fig01, fig09, fig10, fig11, fig12, fig13, filtering, matrix::Matrix, tables,
     workload,
 };
 use scu_bench::ExperimentConfig;
+use scu_harness::{CliArgs, Harness};
+
+/// All four machine variants, in the paper's order.
+const MODES: [Mode; 4] = [
+    Mode::GpuBaseline,
+    Mode::ScuBasic,
+    Mode::ScuFilteringOnly,
+    Mode::ScuEnhanced,
+];
 
 fn main() {
+    let args = CliArgs::from_env();
+    if !args.rest.is_empty() {
+        eprintln!(
+            "unexpected arguments: {:?}\n{}",
+            args.rest,
+            scu_harness::cli::USAGE
+        );
+        std::process::exit(2);
+    }
     let cfg = ExperimentConfig::from_env();
-    println!("=== SCU reproduction: all tables and figures (scale {:.4}) ===\n", cfg.scale);
-    print!("{}", tables::render_all(&cfg));
-    println!();
-    print!("{}", area::render());
-    println!();
-    print!("{}", workload::render(&workload::rows(&cfg)));
-    println!();
-    let m = Matrix::collect(
-        &cfg,
-        &[Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced],
+    let harness = Harness::new()
+        .apply_cli(&args, "results/cache")
+        .narrate(true)
+        .progress_file("results/reproduce_progress.txt");
+    let (m, sweep) = Matrix::collect_with(&cfg, &MODES, &harness, args.filter.as_deref());
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== SCU reproduction: all tables and figures (scale {:.4}) ===\n",
+        cfg.scale
     );
-    print!("{}", fig01::render(&fig01::rows(&m)));
-    println!();
-    print!("{}", fig09::render(&fig09::rows(&m)));
-    println!();
-    print!("{}", fig10::render(&fig10::rows(&m)));
-    println!();
-    print!("{}", fig11::render(&fig11::rows(&m)));
-    println!();
-    print!("{}", fig12::render(&fig12::rows(&m)));
-    println!();
-    print!("{}", fig13::render(&fig13::rows(&m)));
-    println!();
-    print!("{}", filtering::render(&filtering::rows(&m)));
-    println!();
-    print!("{}", ablation::render(&cfg));
+    if args.filter.is_some() {
+        // A narrowed sweep cannot fill the figures; report the cells.
+        render_cells(&mut out, &m);
+    } else if sweep.summary.all_done() {
+        render_figures(&mut out, &cfg, &m);
+    } else {
+        let _ = writeln!(
+            out,
+            "grid incomplete ({}/{} cells) — figures skipped, collected cells below\n",
+            sweep.summary.done, sweep.summary.total
+        );
+        render_cells(&mut out, &m);
+    }
+    print!("{out}");
+    eprintln!("{}", sweep.summary.render());
+
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/reproduce_output.txt", &out))
+    {
+        eprintln!("cannot write results/reproduce_output.txt: {e}");
+    }
+    if !sweep.summary.all_done() {
+        std::process::exit(1);
+    }
+}
+
+/// The full paper reproduction: every table and figure.
+fn render_figures(out: &mut String, cfg: &ExperimentConfig, m: &Matrix) {
+    let sections = [
+        tables::render_all(cfg),
+        area::render(),
+        workload::render(&workload::rows(cfg)),
+        fig01::render(&fig01::rows(m)),
+        fig09::render(&fig09::rows(m)),
+        fig10::render(&fig10::rows(m)),
+        fig11::render(&fig11::rows(m)),
+        fig12::render(&fig12::rows(m)),
+        fig13::render(&fig13::rows(m)),
+        filtering::render(&filtering::rows(m)),
+        ablation::render(cfg),
+    ];
+    *out += &sections.join("\n");
+}
+
+/// Per-cell headline metrics, for filtered or partial sweeps.
+fn render_cells(out: &mut String, m: &Matrix) {
+    let _ = writeln!(
+        out,
+        "{:<30} {:>14} {:>12} {:>12}",
+        "cell", "total time us", "energy mJ", "iterations"
+    );
+    for e in m.entries() {
+        let _ = writeln!(
+            out,
+            "{:<30} {:>14.1} {:>12.3} {:>12}",
+            format!(
+                "{}/{}/{}/{}",
+                e.algo.name(),
+                e.dataset.name(),
+                e.system.name(),
+                e.mode.name()
+            ),
+            e.report.total_time_ns() / 1000.0,
+            e.report.energy.total_mj(),
+            e.report.iterations,
+        );
+    }
 }

@@ -6,15 +6,18 @@
 //!         [GTX980|TX1] [gpu|scu-basic|scu-filtering|scu-enhanced]
 //! ```
 //!
-//! Scale/seed come from `SCU_SCALE` / `SCU_SEED` as usual.
+//! Scale/seed come from `SCU_SCALE` / `SCU_SEED` as usual. The result
+//! is cached under `results/cache` like the full sweep's cells; pass
+//! `--no-cache` to force a fresh simulation.
 
-use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::cell::{Cell, CellResult};
+use scu_algos::runner::{Algorithm, Mode};
 use scu_algos::SystemKind;
 use scu_bench::ExperimentConfig;
 use scu_graph::{Dataset, GraphStats};
+use scu_harness::{CliArgs, ResultCache};
 
-fn parse_args() -> Result<(Algorithm, Dataset, SystemKind, Mode), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn parse_args(args: &[String]) -> Result<(Algorithm, Dataset, SystemKind, Mode), String> {
     let algo = match args.first().map(String::as_str) {
         None | Some("BFS") | Some("bfs") => Algorithm::Bfs,
         Some("SSSP") | Some("sssp") => Algorithm::Sssp,
@@ -45,45 +48,124 @@ fn parse_args() -> Result<(Algorithm, Dataset, SystemKind, Mode), String> {
     Ok((algo, dataset, system, mode))
 }
 
+/// Runs (or recalls) the cell; returns the result and whether it came
+/// from the cache.
+fn obtain(cell: &Cell, no_cache: bool) -> (CellResult, bool) {
+    if !no_cache {
+        if let Ok(cache) = ResultCache::open("results/cache") {
+            let key = cell.cache_key();
+            if let Some(value) = cache.load(&key) {
+                if let Ok(result) = CellResult::from_value(&value) {
+                    return (result, true);
+                }
+            }
+            let result = cell.run();
+            let value = serde_json::to_value(&result);
+            if let Err(e) = cache.store(&key, &value) {
+                eprintln!("cache store failed: {e}");
+            }
+            return (result, false);
+        }
+    }
+    (cell.run(), false)
+}
+
 fn main() {
-    let (algo, dataset, system, mode) = match parse_args() {
+    let args = CliArgs::from_env();
+    let (algo, dataset, system, mode) = match parse_args(&args.rest) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
-            eprintln!("usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode]");
+            eprintln!(
+                "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] [--no-cache]"
+            );
             std::process::exit(2);
         }
     };
     let cfg = ExperimentConfig::from_env();
-    let g = dataset.build(cfg.scale, cfg.seed);
+    let cell = Cell {
+        algorithm: algo,
+        dataset,
+        system,
+        mode,
+        pr_iters: cfg.pr_iters,
+        scale: cfg.scale,
+        seed: cfg.seed,
+        scu_config: Some(cfg.scu_config(system)),
+    };
+    let g = scu_algos::shared_graph(dataset, cfg.scale, cfg.seed);
     let stats = GraphStats::of(&g);
     println!(
         "{algo} on {dataset} ({} nodes, {} edges, gini {:.2}) @ {system} [{mode}]",
         stats.nodes, stats.edges, stats.degree_gini
     );
 
-    let scu_cfg = cfg.scu_config(system);
-    let out = run_configured(algo, &g, system, mode, cfg.pr_iters, Some(&scu_cfg));
-    let r = &out.report;
+    let (result, cached) = obtain(&cell, args.no_cache);
+    if cached {
+        println!("(cached result — pass --no-cache to re-simulate)");
+    }
+    let r = &result.report;
     println!("\niterations           {}", r.iterations);
-    println!("total time           {:>12.1} us", r.total_time_ns() / 1000.0);
-    println!("  GPU processing     {:>12.1} us", r.gpu_processing.time_ns / 1000.0);
-    println!("  GPU compaction     {:>12.1} us", r.gpu_compaction.time_ns / 1000.0);
-    println!("  SCU operations     {:>12.1} us ({} ops)", r.scu.time_ns / 1000.0, r.scu.ops);
-    println!("compaction fraction  {:>12.1} %", r.compaction_fraction() * 100.0);
+    println!(
+        "total time           {:>12.1} us",
+        r.total_time_ns() / 1000.0
+    );
+    println!(
+        "  GPU processing     {:>12.1} us",
+        r.gpu_processing.time_ns / 1000.0
+    );
+    println!(
+        "  GPU compaction     {:>12.1} us",
+        r.gpu_compaction.time_ns / 1000.0
+    );
+    println!(
+        "  SCU operations     {:>12.1} us ({} ops)",
+        r.scu.time_ns / 1000.0,
+        r.scu.ops
+    );
+    println!(
+        "compaction fraction  {:>12.1} %",
+        r.compaction_fraction() * 100.0
+    );
     println!("GPU thread insts     {:>12}", r.gpu_thread_insts());
     println!("GPU tx/mem-inst      {:>12.2}", r.gpu_coalescing());
-    println!("DRAM traffic         {:>12.2} MB", r.dram_bytes() as f64 / 1e6);
-    println!("bandwidth util       {:>12.1} %", r.bandwidth_utilization() * 100.0);
+    println!(
+        "DRAM traffic         {:>12.2} MB",
+        r.dram_bytes() as f64 / 1e6
+    );
+    println!(
+        "bandwidth util       {:>12.1} %",
+        r.bandwidth_utilization() * 100.0
+    );
     println!("\nenergy               {:>12.3} mJ", r.energy.total_mj());
-    println!("  GPU dynamic        {:>12.3} mJ", r.energy.gpu_dynamic_pj / 1e9);
-    println!("  SCU dynamic        {:>12.3} mJ", r.energy.scu_dynamic_pj / 1e9);
-    println!("  DRAM dynamic       {:>12.3} mJ", r.energy.dram_dynamic_pj / 1e9);
+    println!(
+        "  GPU dynamic        {:>12.3} mJ",
+        r.energy.gpu_dynamic_pj / 1e9
+    );
+    println!(
+        "  SCU dynamic        {:>12.3} mJ",
+        r.energy.scu_dynamic_pj / 1e9
+    );
+    println!(
+        "  DRAM dynamic       {:>12.3} mJ",
+        r.energy.dram_dynamic_pj / 1e9
+    );
     println!("  static             {:>12.3} mJ", r.energy.static_pj / 1e9);
+    println!(
+        "\nanswer values        {:>12} (fnv {:016x})",
+        result.values_len, result.values_fnv
+    );
     if mode.uses_scu() {
         println!("\nSCU pipeline elems   {:>12}", r.scu.data_elements);
         println!("SCU skipped elems    {:>12}", r.scu.skipped_elements);
-        println!("filter probes/drops  {:>12} / {}", r.scu.filter.probes, r.scu.filter.dropped);
-        println!("groups formed        {:>12} (mean size {:.1})", r.scu.group.groups, r.scu.group.mean_group_size());
+        println!(
+            "filter probes/drops  {:>12} / {}",
+            r.scu.filter.probes, r.scu.filter.dropped
+        );
+        println!(
+            "groups formed        {:>12} (mean size {:.1})",
+            r.scu.group.groups,
+            r.scu.group.mean_group_size()
+        );
     }
 }

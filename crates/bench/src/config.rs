@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use scu_algos::runner::Algorithm;
 use scu_algos::SystemKind;
 use scu_core::{HashTableConfig, ScuConfig};
 use scu_graph::Dataset;
@@ -14,6 +15,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Datasets included.
     pub datasets: Vec<Dataset>,
+    /// Algorithms included (defaults to [`Algorithm::EXTENDED`]: the
+    /// paper's three primitives plus the CC and k-core extensions).
+    pub algos: Vec<Algorithm>,
     /// PageRank iteration cap for experiment runs.
     pub pr_iters: u32,
     /// Scale the SCU's filtering/grouping hash tables with the
@@ -34,6 +38,7 @@ impl ExperimentConfig {
             scale: 1.0 / 16.0,
             seed: 42,
             datasets: Dataset::ALL.to_vec(),
+            algos: Algorithm::EXTENDED.to_vec(),
             pr_iters: 5,
             scale_hash: true,
         }
@@ -66,7 +71,10 @@ impl ExperimentConfig {
         if let Some(s) = std::env::var("SCU_SEED").ok().and_then(|v| v.parse().ok()) {
             cfg.seed = s;
         }
-        if let Some(s) = std::env::var("SCU_PR_ITERS").ok().and_then(|v| v.parse().ok()) {
+        if let Some(s) = std::env::var("SCU_PR_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
             cfg.pr_iters = s;
         }
         cfg
@@ -79,6 +87,7 @@ impl ExperimentConfig {
             scale: 1.0 / 128.0,
             seed: 42,
             datasets: vec![Dataset::Cond, Dataset::Kron],
+            algos: Algorithm::EXTENDED.to_vec(),
             pr_iters: 3,
             scale_hash: true,
         }
@@ -107,6 +116,11 @@ mod tests {
     fn defaults_cover_all_datasets() {
         let c = ExperimentConfig::new();
         assert_eq!(c.datasets.len(), 6);
+        assert_eq!(
+            c.algos.len(),
+            5,
+            "paper's three primitives plus CC and k-core"
+        );
         assert!(c.scale > 0.0 && c.scale <= 1.0);
     }
 
@@ -117,8 +131,7 @@ mod tests {
         scu.validate().unwrap();
         let full = SystemKind::Tx1.scu_config();
         assert!(scu.filter_bfs_hash.size_bytes < full.filter_bfs_hash.size_bytes);
-        let ratio =
-            scu.filter_bfs_hash.size_bytes as f64 / full.filter_bfs_hash.size_bytes as f64;
+        let ratio = scu.filter_bfs_hash.size_bytes as f64 / full.filter_bfs_hash.size_bytes as f64;
         assert!((ratio - cfg.scale).abs() < 0.02, "ratio {ratio}");
     }
 

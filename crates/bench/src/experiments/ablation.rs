@@ -9,11 +9,11 @@
 //!   this ablation measures it.
 
 use scu_algos::bfs::{self, BfsVariant};
-use scu_graph::transform;
 use scu_algos::runner::{run_with, Algorithm, Mode};
 use scu_algos::sssp;
 use scu_algos::{System, SystemKind};
 use scu_core::{ScuConfig, ScuDevice};
+use scu_graph::transform;
 use scu_graph::Dataset;
 
 use crate::config::ExperimentConfig;
@@ -40,7 +40,13 @@ fn custom_system(kind: SystemKind, cfg: ScuConfig) -> System {
 /// Sweeps the BFS filtering hash size on the TX1 over `dataset`.
 pub fn hash_size_sweep(cfg: &ExperimentConfig, dataset: Dataset) -> Vec<HashSweepPoint> {
     let g = dataset.build(cfg.scale, cfg.seed);
-    let base = run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+    let base = run_with(
+        Algorithm::Bfs,
+        &g,
+        SystemKind::Tx1,
+        Mode::GpuBaseline,
+        cfg.pr_iters,
+    );
     let mut out = Vec::new();
     for kb in [8u64, 33, 66, 132, 264, 1056] {
         let mut scu_cfg = ScuConfig::tx1();
@@ -111,12 +117,27 @@ pub fn preprocessing_vs_scu(cfg: &ExperimentConfig, datasets: &[Dataset]) -> Vec
         .map(|&dataset| {
             let g = dataset.build(cfg.scale, cfg.seed);
             let (t, _) = transform::renumber_by_degree(&g);
-            let base =
-                run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
-            let pre =
-                run_with(Algorithm::Bfs, &t, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
-            let scu =
-                run_with(Algorithm::Bfs, &g, SystemKind::Tx1, Mode::ScuEnhanced, cfg.pr_iters);
+            let base = run_with(
+                Algorithm::Bfs,
+                &g,
+                SystemKind::Tx1,
+                Mode::GpuBaseline,
+                cfg.pr_iters,
+            );
+            let pre = run_with(
+                Algorithm::Bfs,
+                &t,
+                SystemKind::Tx1,
+                Mode::GpuBaseline,
+                cfg.pr_iters,
+            );
+            let scu = run_with(
+                Algorithm::Bfs,
+                &g,
+                SystemKind::Tx1,
+                Mode::ScuEnhanced,
+                cfg.pr_iters,
+            );
             PreprocessPoint {
                 dataset,
                 baseline_ns: base.report.total_time_ns(),
@@ -144,15 +165,20 @@ pub struct L2PressurePoint {
 /// small".
 pub fn l2_pressure_sweep(cfg: &ExperimentConfig, dataset: Dataset) -> Vec<L2PressurePoint> {
     let g = dataset.build(cfg.scale, cfg.seed);
-    let base = run_with(Algorithm::Sssp, &g, SystemKind::Tx1, Mode::GpuBaseline, cfg.pr_iters);
+    let base = run_with(
+        Algorithm::Sssp,
+        &g,
+        SystemKind::Tx1,
+        Mode::GpuBaseline,
+        cfg.pr_iters,
+    );
     [24u64, 48, 96, 192, 384, 768]
         .into_iter()
         .map(|kb| {
             let mut scu_cfg = ScuConfig::tx1();
             scu_cfg.filter_sssp_hash.size_bytes = kb * 1024;
             let mut sys = custom_system(SystemKind::Tx1, scu_cfg);
-            let (_, report) =
-                sssp::scu::run(&mut sys, &g, 0, sssp::ScuVariant::enhanced());
+            let (_, report) = sssp::scu::run(&mut sys, &g, 0, sssp::ScuVariant::enhanced());
             let mut gpu = report.gpu_processing;
             gpu.merge(&report.gpu_compaction);
             L2PressurePoint {
@@ -232,7 +258,12 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     ));
 
     let pts = preprocessing_vs_scu(cfg, &[Dataset::Kron, Dataset::Cond]);
-    let mut t = Table::new(&["dataset", "GPU baseline", "GPU + renumbered graph", "GPU + SCU"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "GPU baseline",
+        "GPU + renumbered graph",
+        "GPU + SCU",
+    ]);
     for p in &pts {
         t.row(&[
             p.dataset.to_string(),
@@ -248,7 +279,12 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     ));
 
     let pts = bfs_grouping(cfg);
-    let mut t = Table::new(&["dataset", "enhanced (ns)", "with grouping (ns)", "grouping effect"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "enhanced (ns)",
+        "with grouping (ns)",
+        "grouping effect",
+    ]);
     for p in &pts {
         t.row(&[
             p.dataset.to_string(),
@@ -281,8 +317,10 @@ mod tests {
     fn width_sweep_monotone_on_gtx980() {
         let cfg = ExperimentConfig::tiny();
         let pts = width_sweep(&cfg, Dataset::Kron);
-        let g: Vec<&WidthSweepPoint> =
-            pts.iter().filter(|p| p.system == SystemKind::Gtx980).collect();
+        let g: Vec<&WidthSweepPoint> = pts
+            .iter()
+            .filter(|p| p.system == SystemKind::Gtx980)
+            .collect();
         assert!(g.last().unwrap().speedup >= g[0].speedup * 0.95);
     }
 

@@ -9,7 +9,13 @@ use crate::table::{percent, Table};
 /// 3.65 mm² / 4.1% on the TX1).
 pub fn render() -> String {
     let model = ScuAreaModel::default();
-    let mut t = Table::new(&["system", "pipeline width", "SCU area (mm2)", "GPU area (mm2)", "overhead"]);
+    let mut t = Table::new(&[
+        "system",
+        "pipeline width",
+        "SCU area (mm2)",
+        "GPU area (mm2)",
+        "overhead",
+    ]);
     for (cfg, gpu_mm2) in [
         (ScuConfig::gtx980(), gpu_area::GTX980_MM2),
         (ScuConfig::tx1(), gpu_area::TX1_MM2),
@@ -26,7 +32,10 @@ pub fn render() -> String {
     for (name, mm2) in model.lane_components_mm2() {
         c.row(&[name.to_string(), format!("{mm2:.2}")]);
     }
-    c.row(&["fixed (control + buffers)".to_string(), format!("{:.2}", model.fixed_mm2)]);
+    c.row(&[
+        "fixed (control + buffers)".to_string(),
+        format!("{:.2}", model.fixed_mm2),
+    ]);
     format!(
         "Section 6.4: SCU area (paper: 13.27 mm2 / 3.3% GTX980, 3.65 mm2 / 4.1% TX1)\n{t}\n\
          Per-component split (one pipeline lane):\n{c}"

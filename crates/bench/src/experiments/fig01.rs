@@ -37,7 +37,11 @@ pub fn rows(matrix: &Matrix) -> Vec<Row> {
                 })
                 .sum::<f64>()
                 / ds.len() as f64;
-            out.push(Row { algo, system, compaction_fraction: mean });
+            out.push(Row {
+                algo,
+                system,
+                compaction_fraction: mean,
+            });
         }
     }
     out
@@ -61,9 +65,7 @@ pub fn render(rows: &[Row]) -> String {
             bar(r.compaction_fraction, 1.0, 20),
         ]);
     }
-    format!(
-        "Figure 1: baseline GPU time in stream compaction (paper: 25-55%)\n{t}"
-    )
+    format!("Figure 1: baseline GPU time in stream compaction (paper: 25-55%)\n{t}")
 }
 
 #[cfg(test)]

@@ -59,7 +59,14 @@ pub fn average_reduction(rows: &[Row], system: SystemKind) -> f64 {
 
 /// Renders the figure as a text table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(&["primitive", "system", "dataset", "norm. energy", "SCU share", "vs baseline=1.0"]);
+    let mut t = Table::new(&[
+        "primitive",
+        "system",
+        "dataset",
+        "norm. energy",
+        "SCU share",
+        "vs baseline=1.0",
+    ]);
     for r in rows {
         t.row(&[
             r.algo.to_string(),
@@ -98,8 +105,11 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.scu_share));
         }
         // The SCU saves energy on average for BFS/SSSP.
-        let bfs_rows: Vec<Row> =
-            rs.iter().copied().filter(|r| r.algo == Algorithm::Bfs).collect();
+        let bfs_rows: Vec<Row> = rs
+            .iter()
+            .copied()
+            .filter(|r| r.algo == Algorithm::Bfs)
+            .collect();
         assert!(average_reduction(&bfs_rows, SystemKind::Tx1) > 1.0);
         assert!(render(&rs).contains("average reduction"));
     }

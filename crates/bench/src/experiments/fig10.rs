@@ -59,15 +59,24 @@ pub fn average_speedup(rows: &[Row], system: SystemKind) -> f64 {
 /// Average speedup per (primitive, system) — the per-primitive
 /// numbers quoted in §6.2.
 pub fn primitive_speedup(rows: &[Row], algo: Algorithm, system: SystemKind) -> f64 {
-    let rs: Vec<&Row> =
-        rows.iter().filter(|r| r.system == system && r.algo == algo).collect();
+    let rs: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.system == system && r.algo == algo)
+        .collect();
     let product: f64 = rs.iter().map(|r| 1.0 / r.normalized_time).product();
     product.powf(1.0 / rs.len() as f64)
 }
 
 /// Renders the figure as a text table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(&["primitive", "system", "dataset", "norm. time", "SCU share", "vs baseline=1.0"]);
+    let mut t = Table::new(&[
+        "primitive",
+        "system",
+        "dataset",
+        "norm. time",
+        "SCU share",
+        "vs baseline=1.0",
+    ]);
     for r in rows {
         t.row(&[
             r.algo.to_string(),

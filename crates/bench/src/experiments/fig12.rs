@@ -49,8 +49,7 @@ pub fn rows(matrix: &Matrix) -> Vec<Row> {
                 SystemKind::Tx1,
                 Mode::ScuFilteringOnly,
             );
-            let enh =
-                matrix.report(Algorithm::Sssp, dataset, SystemKind::Tx1, Mode::ScuEnhanced);
+            let enh = matrix.report(Algorithm::Sssp, dataset, SystemKind::Tx1, Mode::ScuEnhanced);
             Row {
                 dataset,
                 filtering_only: fo.gpu_coalescing(),

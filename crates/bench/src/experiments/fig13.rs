@@ -51,14 +51,24 @@ pub fn rows(matrix: &Matrix) -> Vec<Row> {
 
 /// Renders the figure as a text table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(&["primitive", "system", "GPU system", "GPU+SCU system", "GPU | GPU+SCU"]);
+    let mut t = Table::new(&[
+        "primitive",
+        "system",
+        "GPU system",
+        "GPU+SCU system",
+        "GPU | GPU+SCU",
+    ]);
     for r in rows {
         t.row(&[
             r.algo.to_string(),
             r.system.to_string(),
             percent(r.gpu_utilization),
             percent(r.scu_utilization),
-            format!("{} | {}", bar(r.gpu_utilization, 1.0, 12), bar(r.scu_utilization, 1.0, 12)),
+            format!(
+                "{} | {}",
+                bar(r.gpu_utilization, 1.0, 12),
+                bar(r.scu_utilization, 1.0, 12)
+            ),
         ]);
     }
     format!(

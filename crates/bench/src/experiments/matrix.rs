@@ -1,8 +1,18 @@
 //! The shared measurement grid all figures draw from.
+//!
+//! Collection runs through [`scu_harness`]: every (algorithm × dataset
+//! × system × mode) combination becomes one pure [`Cell`] job, so the
+//! grid fills on all cores, completed cells are cached on disk between
+//! invocations, and a panicking cell surfaces as a failed entry in the
+//! sweep summary instead of killing the run. Entries always come back
+//! in planning order — parallel and sequential collection produce
+//! byte-identical grids.
 
-use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::cell::{Cell, CellResult};
+use scu_algos::runner::{Algorithm, Mode};
 use scu_algos::{RunReport, SystemKind};
-use scu_graph::{Csr, Dataset};
+use scu_graph::Dataset;
+use scu_harness::{Harness, Job, JobGraph, Sweep};
 
 use crate::config::ExperimentConfig;
 
@@ -19,6 +29,10 @@ pub struct Measurement {
     pub mode: Mode,
     /// The measured report.
     pub report: RunReport,
+    /// FNV-1a fingerprint of the algorithm's answer values — equal
+    /// across modes of the same (algo, dataset) when the machines
+    /// agree on the answer.
+    pub values_fnv: u64,
 }
 
 /// The filled grid.
@@ -28,43 +42,83 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Runs every (algorithm × dataset × system × mode) combination.
-    ///
-    /// Progress is narrated on stderr because a full-scale grid takes
-    /// minutes.
-    pub fn collect(cfg: &ExperimentConfig, modes: &[Mode]) -> Matrix {
-        let mut entries = Vec::new();
+    /// Plans the grid: one [`Cell`] per (dataset × algorithm × system
+    /// × mode) combination, in that nesting order. `filter` keeps only
+    /// cells whose [`Cell::id`] contains the substring.
+    pub fn plan(cfg: &ExperimentConfig, modes: &[Mode], filter: Option<&str>) -> Vec<Cell> {
+        let mut cells = Vec::new();
         for &dataset in &cfg.datasets {
-            let g: Csr = dataset.build(cfg.scale, cfg.seed);
-            for algo in Algorithm::ALL {
+            for &algorithm in &cfg.algos {
                 for system in SystemKind::ALL {
                     for &mode in modes {
-                        eprintln!(
-                            "[matrix] {algo} on {dataset} ({} nodes, {} edges) @ {system} [{mode}]",
-                            g.num_nodes(),
-                            g.num_edges()
-                        );
-                        let scu_cfg = cfg.scu_config(system);
-                        let out = run_configured(
-                            algo,
-                            &g,
-                            system,
-                            mode,
-                            cfg.pr_iters,
-                            Some(&scu_cfg),
-                        );
-                        entries.push(Measurement {
-                            algo,
+                        let cell = Cell {
+                            algorithm,
                             dataset,
                             system,
                             mode,
-                            report: out.report,
-                        });
+                            pr_iters: cfg.pr_iters,
+                            scale: cfg.scale,
+                            seed: cfg.seed,
+                            scu_config: Some(cfg.scu_config(system)),
+                        };
+                        if filter.is_none_or(|f| cell.id().contains(f)) {
+                            cells.push(cell);
+                        }
                     }
                 }
             }
         }
-        Matrix { entries }
+        cells
+    }
+
+    /// Runs every combination on a default [`Harness`] (all cores, no
+    /// cache, silent) and panics if any cell fails — the strict
+    /// entry point for tests and figure code that needs a full grid.
+    pub fn collect(cfg: &ExperimentConfig, modes: &[Mode]) -> Matrix {
+        let (matrix, sweep) = Matrix::collect_with(cfg, modes, &Harness::new(), None);
+        assert!(
+            sweep.summary.all_done(),
+            "matrix collection incomplete:\n{}",
+            sweep.summary.render()
+        );
+        matrix
+    }
+
+    /// Runs the planned cells on `harness` and returns the grid plus
+    /// the sweep record (timings, cache hits, failures). Cells that
+    /// fail or time out are absent from the grid but listed in the
+    /// summary; the rest of the sweep completes regardless.
+    pub fn collect_with(
+        cfg: &ExperimentConfig,
+        modes: &[Mode],
+        harness: &Harness,
+        filter: Option<&str>,
+    ) -> (Matrix, Sweep) {
+        let cells = Matrix::plan(cfg, modes, filter);
+        let mut graph = JobGraph::new();
+        for cell in &cells {
+            let work = cell.clone();
+            graph.push(
+                Job::new(cell.id(), move || work.run_value()).with_cache_key(cell.cache_key()),
+            );
+        }
+        let sweep = harness.run(&graph);
+        let mut entries = Vec::new();
+        for (cell, outcome) in cells.iter().zip(&sweep.outcomes) {
+            if let Some(value) = outcome.value() {
+                let result = CellResult::from_value(value)
+                    .unwrap_or_else(|e| panic!("cell {} result malformed: {e:?}", cell.id()));
+                entries.push(Measurement {
+                    algo: cell.algorithm,
+                    dataset: cell.dataset,
+                    system: cell.system,
+                    mode: cell.mode,
+                    report: result.report,
+                    values_fnv: result.values_fnv,
+                });
+            }
+        }
+        (Matrix { entries }, sweep)
     }
 
     /// All cells.
@@ -142,8 +196,8 @@ mod tests {
     #[test]
     fn grid_is_complete() {
         let m = tiny_matrix();
-        // 2 datasets x 3 algos x 2 systems x 2 modes.
-        assert_eq!(m.entries().len(), 24);
+        // 2 datasets x 5 algos (3 paper + CC/k-core) x 2 systems x 2 modes.
+        assert_eq!(m.entries().len(), 40);
         let r = m.report(
             Algorithm::Bfs,
             Dataset::Cond,
@@ -151,6 +205,49 @@ mod tests {
             Mode::ScuEnhanced,
         );
         assert!(r.total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn extensions_are_collected() {
+        let m = tiny_matrix();
+        for algo in [Algorithm::Cc, Algorithm::KCore] {
+            let r = m.report(algo, Dataset::Kron, SystemKind::Gtx980, Mode::GpuBaseline);
+            assert!(r.total_time_ns() > 0.0, "{algo} missing from grid");
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_answers_via_fingerprint() {
+        let m = tiny_matrix();
+        for base in m.entries().iter().filter(|m| m.mode == Mode::GpuBaseline) {
+            let scu = m
+                .entries()
+                .iter()
+                .find(|e| {
+                    e.algo == base.algo
+                        && e.dataset == base.dataset
+                        && e.system == base.system
+                        && e.mode == Mode::ScuEnhanced
+                })
+                .expect("paired SCU cell");
+            assert_eq!(
+                base.values_fnv, scu.values_fnv,
+                "{}/{} answers diverge across modes",
+                base.algo, base.dataset
+            );
+        }
+    }
+
+    #[test]
+    fn filter_narrows_the_plan() {
+        let cfg = ExperimentConfig::tiny();
+        let modes = [Mode::GpuBaseline, Mode::ScuEnhanced];
+        let all = Matrix::plan(&cfg, &modes, None);
+        assert_eq!(all.len(), 40);
+        let bfs = Matrix::plan(&cfg, &modes, Some("BFS/"));
+        assert_eq!(bfs.len(), 8);
+        assert!(bfs.iter().all(|c| c.algorithm == Algorithm::Bfs));
+        assert!(Matrix::plan(&cfg, &modes, Some("no-such-cell")).is_empty());
     }
 
     #[test]

@@ -15,8 +15,14 @@ use crate::table::Table;
 pub fn table1() -> String {
     let c = ScuConfig::tx1();
     let mut t = Table::new(&["parameter", "value"]);
-    t.row(&["Technology, Frequency".into(), "32 nm, 1.27GHz / 1GHz".into()]);
-    t.row(&["Vector Buffering".into(), format!("{} KB", c.vector_buffer_bytes / 1024)]);
+    t.row(&[
+        "Technology, Frequency".into(),
+        "32 nm, 1.27GHz / 1GHz".into(),
+    ]);
+    t.row(&[
+        "Vector Buffering".into(),
+        format!("{} KB", c.vector_buffer_bytes / 1024),
+    ]);
     t.row(&[
         "FIFO Requests Buffer".into(),
         format!("{} KB", c.fifo_request_buffer_bytes / 1024),
@@ -41,16 +47,33 @@ pub fn table2() -> String {
     let x = ScuConfig::tx1();
     let mut t = Table::new(&["parameter", "GTX980", "TX1"]);
     let hash = |h: scu_core::HashTableConfig| {
-        format!("{} KB, {}-way, {} bytes/line", h.size_bytes / 1024, h.ways, h.entry_bytes)
+        format!(
+            "{} KB, {}-way, {} bytes/line",
+            h.size_bytes / 1024,
+            h.ways,
+            h.entry_bytes
+        )
     };
     t.row(&[
         "Pipeline Width".into(),
         format!("{} elements/cycle", g.pipeline_width),
         format!("{} elements/cycle", x.pipeline_width),
     ]);
-    t.row(&["Filtering BFS Hash".into(), hash(g.filter_bfs_hash), hash(x.filter_bfs_hash)]);
-    t.row(&["Filtering SSSP Hash".into(), hash(g.filter_sssp_hash), hash(x.filter_sssp_hash)]);
-    t.row(&["Grouping SSSP Hash".into(), hash(g.grouping_hash), hash(x.grouping_hash)]);
+    t.row(&[
+        "Filtering BFS Hash".into(),
+        hash(g.filter_bfs_hash),
+        hash(x.filter_bfs_hash),
+    ]);
+    t.row(&[
+        "Filtering SSSP Hash".into(),
+        hash(g.filter_sssp_hash),
+        hash(x.filter_sssp_hash),
+    ]);
+    t.row(&[
+        "Grouping SSSP Hash".into(),
+        hash(g.grouping_hash),
+        hash(x.grouping_hash),
+    ]);
     format!("Table 2: SCU scalability parameters\n{t}")
 }
 
@@ -102,7 +125,11 @@ pub fn table5(cfg: &ExperimentConfig) -> String {
         t.row(&[
             d.to_string(),
             d.description().to_string(),
-            format!("{}K / {:.2}M", d.published_nodes() / 1000, d.published_edges() as f64 / 1e6),
+            format!(
+                "{}K / {:.2}M",
+                d.published_nodes() / 1000,
+                d.published_edges() as f64 / 1e6
+            ),
             format!(
                 "{}K / {:.2}M ({:.4})",
                 g.num_nodes() / 1000,
@@ -117,7 +144,13 @@ pub fn table5(cfg: &ExperimentConfig) -> String {
 
 /// Renders all five tables.
 pub fn render_all(cfg: &ExperimentConfig) -> String {
-    format!("{}\n{}\n{}\n{}", table1(), table2(), table3_4(), table5(cfg))
+    format!(
+        "{}\n{}\n{}\n{}",
+        table1(),
+        table2(),
+        table3_4(),
+        table5(cfg)
+    )
 }
 
 #[cfg(test)]

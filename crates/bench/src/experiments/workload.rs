@@ -37,7 +37,12 @@ impl LevelRow {
 /// Per-level BFS trace of `g` from node 0, via the host reference.
 pub fn bfs_levels(g: &Csr) -> Vec<LevelRow> {
     let dist = bfs::reference::distances(g, 0);
-    let max_level = dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+    let max_level = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0);
     (0..=max_level)
         .map(|level| {
             let nodes = dist.iter().filter(|&&d| d == level).count();
@@ -50,7 +55,11 @@ pub fn bfs_levels(g: &Csr) -> Vec<LevelRow> {
                     .map(|(v, _)| g.degree(v as u32) as usize)
                     .sum()
             };
-            LevelRow { level, nodes, edge_frontier }
+            LevelRow {
+                level,
+                nodes,
+                edge_frontier,
+            }
         })
         .collect()
 }
@@ -123,9 +132,7 @@ pub fn render(rows: &[DatasetWorkload]) -> String {
             format!("{:.2}", r.degree_gini),
         ]);
     }
-    format!(
-        "Workload characterisation: the duplicate surplus filtering removes (section 1-2)\n{t}"
-    )
+    format!("Workload characterisation: the duplicate surplus filtering removes (section 1-2)\n{t}")
 }
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -92,7 +95,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || width == 0 {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     let mut s = String::with_capacity(width);
     for i in 0..width {
         s.push(if i < filled { '#' } else { '.' });

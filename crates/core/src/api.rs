@@ -134,7 +134,10 @@ pub struct CommandQueue {
 impl CommandQueue {
     /// Creates a queue owning `device`.
     pub fn new(device: ScuDevice) -> Self {
-        CommandQueue { device, history: Vec::new() }
+        CommandQueue {
+            device,
+            history: Vec::new(),
+        }
     }
 
     /// Executes one command to completion and records its statistics.
@@ -142,18 +145,41 @@ impl CommandQueue {
     /// Returns the number of elements written to the destination.
     pub fn submit(&mut self, mem: &mut MemorySystem, cmd: Command<'_>) -> u64 {
         let stats = match cmd {
-            Command::BitmaskConstruct { src, count, cmp, reference, flags_out } => {
-                self.device.bitmask_construct(mem, src, count, cmp, reference, flags_out)
-            }
-            Command::DataCompaction { src, count, flags, dst } => {
-                self.device.data_compaction_n(mem, src, count, flags, None, dst, 0)
-            }
-            Command::AccessCompaction { src, indexes, count, flags, dst } => {
-                self.device.access_compaction(mem, src, indexes, count, flags, dst)
-            }
-            Command::ReplicationCompaction { src, counts, count, flags, dst } => {
-                self.device.replication_compaction(mem, src, counts, count, flags, None, dst)
-            }
+            Command::BitmaskConstruct {
+                src,
+                count,
+                cmp,
+                reference,
+                flags_out,
+            } => self
+                .device
+                .bitmask_construct(mem, src, count, cmp, reference, flags_out),
+            Command::DataCompaction {
+                src,
+                count,
+                flags,
+                dst,
+            } => self
+                .device
+                .data_compaction_n(mem, src, count, flags, None, dst, 0),
+            Command::AccessCompaction {
+                src,
+                indexes,
+                count,
+                flags,
+                dst,
+            } => self
+                .device
+                .access_compaction(mem, src, indexes, count, flags, dst),
+            Command::ReplicationCompaction {
+                src,
+                counts,
+                count,
+                flags,
+                dst,
+            } => self
+                .device
+                .replication_compaction(mem, src, counts, count, flags, None, dst),
             Command::AccessExpansionCompaction {
                 src,
                 indexes,
@@ -224,7 +250,12 @@ mod tests {
         );
         let kept = q.submit(
             &mut mem,
-            Command::DataCompaction { src: &src, count: 5, flags: Some(&flags), dst: &mut dst },
+            Command::DataCompaction {
+                src: &src,
+                count: 5,
+                flags: Some(&flags),
+                dst: &mut dst,
+            },
         );
         assert_eq!(kept, 3);
         assert_eq!(&dst.as_slice()[..3], &[5, 8, 3]);
@@ -260,7 +291,12 @@ mod tests {
         let (_, _, mut alloc) = setup();
         let src = DeviceArray::from_vec(&mut alloc, vec![0u32]);
         let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 1);
-        let cmd = Command::DataCompaction { src: &src, count: 1, flags: None, dst: &mut dst };
+        let cmd = Command::DataCompaction {
+            src: &src,
+            count: 1,
+            flags: None,
+            dst: &mut dst,
+        };
         assert_eq!(cmd.kind(), OpKind::DataCompaction);
     }
 
@@ -269,7 +305,15 @@ mod tests {
         let (mut q, mut mem, mut alloc) = setup();
         let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 2]);
         let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 2);
-        q.submit(&mut mem, Command::DataCompaction { src: &src, count: 2, flags: None, dst: &mut dst });
+        q.submit(
+            &mut mem,
+            Command::DataCompaction {
+                src: &src,
+                count: 2,
+                flags: None,
+                dst: &mut dst,
+            },
+        );
         assert_eq!(q.device().stats().ops, 1);
         let dev = q.into_device();
         assert_eq!(dev.stats().elements_out, 2);

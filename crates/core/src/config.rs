@@ -1,5 +1,7 @@
 //! SCU hardware parameters (paper Tables 1 and 2).
 
+use serde::{Deserialize, Serialize};
+
 /// Geometry of the reconfigurable in-memory hash table used by the
 /// enhanced SCU's filtering and grouping operations (§4.1).
 ///
@@ -7,7 +9,7 @@
 /// shared L2 — "using existing memory does not require any additional
 /// hardware" (§4.1) — so its size relative to the L2 determines how
 /// many probes hit on chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HashTableConfig {
     /// Total table size in bytes.
     pub size_bytes: u64,
@@ -40,7 +42,10 @@ impl HashTableConfig {
         if self.ways == 0 || self.entry_bytes == 0 || self.size_bytes == 0 {
             return Err("hash geometry fields must be positive".into());
         }
-        if !self.size_bytes.is_multiple_of(self.entry_bytes as u64 * self.ways as u64) {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.entry_bytes as u64 * self.ways as u64)
+        {
             return Err(format!(
                 "hash size {} does not divide into sets of {} x {}B entries",
                 self.size_bytes, self.ways, self.entry_bytes
@@ -56,7 +61,7 @@ impl HashTableConfig {
 /// scalability parameters come from Table 2 (pipeline width and hash
 /// table sizes per target GPU). §5.1 explains the two knobs: pipeline
 /// width is an RTL parameter, hash sizes are set at runtime.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScuConfig {
     /// Target system name ("GTX980" / "TX1").
     pub name: &'static str,
@@ -221,16 +226,28 @@ mod tests {
 
     #[test]
     fn hash_geometry_math() {
-        let h = HashTableConfig { size_bytes: 1 << 20, ways: 16, entry_bytes: 4 };
+        let h = HashTableConfig {
+            size_bytes: 1 << 20,
+            ways: 16,
+            entry_bytes: 4,
+        };
         assert_eq!(h.num_entries(), 262_144);
         assert_eq!(h.num_sets(), 16_384);
     }
 
     #[test]
     fn invalid_geometry_rejected() {
-        let h = HashTableConfig { size_bytes: 100, ways: 16, entry_bytes: 4 };
+        let h = HashTableConfig {
+            size_bytes: 100,
+            ways: 16,
+            entry_bytes: 4,
+        };
         assert!(h.validate().is_err());
-        let h = HashTableConfig { size_bytes: 0, ways: 16, entry_bytes: 4 };
+        let h = HashTableConfig {
+            size_bytes: 0,
+            ways: 16,
+            entry_bytes: 4,
+        };
         assert!(h.validate().is_err());
     }
 

@@ -74,7 +74,11 @@ impl CycleSim {
         assert!(w.elem_bytes > 0, "elements must have positive size");
         assert!(w.lines_per_cycle > 0.0, "bandwidth must be positive");
         if w.elements == 0 {
-            return CycleSimResult { cycles: 0, fetch_stalls: 0, requests: 0 };
+            return CycleSimResult {
+                cycles: 0,
+                fetch_stalls: 0,
+                requests: 0,
+            };
         }
 
         let elems_per_line = (self.line_bytes / w.elem_bytes as u64).max(1);
@@ -138,7 +142,11 @@ impl CycleSim {
             );
         }
 
-        CycleSimResult { cycles: cycle, fetch_stalls, requests: lines_issued }
+        CycleSimResult {
+            cycles: cycle,
+            fetch_stalls,
+            requests: lines_issued,
+        }
     }
 }
 

@@ -107,7 +107,10 @@ impl ScuDevice {
     /// Panics if `cfg` fails [`ScuConfig::validate`].
     pub fn new(cfg: ScuConfig) -> Self {
         cfg.validate().expect("invalid SCU config");
-        ScuDevice { cfg, stats: ScuStats::default() }
+        ScuDevice {
+            cfg,
+            stats: ScuStats::default(),
+        }
     }
 
     /// The configuration this device was built with.
@@ -147,14 +150,17 @@ impl ScuDevice {
         // Flagged-out elements only pass the bitmask scanner, which
         // consumes FLAG_SKIP_RATE of them per lane-cycle.
         let slots = run.control.max(run.data + run.skipped / FLAG_SKIP_RATE);
-        let cycles = self.cfg.op_setup_cycles as u64
-            + slots.div_ceil(self.cfg.pipeline_width as u64);
-        let pipeline_ns =
-            cycles as f64 * self.cfg.cycle_ns() + self.cfg.op_issue_ns;
-        let memory_ns = (mem.service_time_ns() - run.service_before).max(0.0)
-            / self.cfg.dram_efficiency;
+        let cycles =
+            self.cfg.op_setup_cycles as u64 + slots.div_ceil(self.cfg.pipeline_width as u64);
+        let pipeline_ns = cycles as f64 * self.cfg.cycle_ns() + self.cfg.op_issue_ns;
+        let memory_ns =
+            (mem.service_time_ns() - run.service_before).max(0.0) / self.cfg.dram_efficiency;
         let latency_ns = run.latency_ns / self.cfg.coalescer_in_flight as f64;
-        let bounds = ScuBounds { pipeline_ns, memory_ns, latency_ns };
+        let bounds = ScuBounds {
+            pipeline_ns,
+            memory_ns,
+            latency_ns,
+        };
         let op = ScuOpStats {
             op: run.kind,
             control_elements: run.control,
@@ -296,7 +302,13 @@ impl ScuDevice {
                         None => k,
                     };
                 if order.is_some() {
-                    Self::gather(&mut run, &mut scatter, mem, dst.addr(pos), AccessKind::Write);
+                    Self::gather(
+                        &mut run,
+                        &mut scatter,
+                        mem,
+                        dst.addr(pos),
+                        AccessKind::Write,
+                    );
                 } else {
                     dst_wr.touch(mem, dst.addr(pos), esz);
                 }
@@ -306,10 +318,8 @@ impl ScuDevice {
                 run.skipped += 1;
             }
         }
-        run.issued += src_rd.accesses()
-            + flag_rd.accesses()
-            + order_rd.accesses()
-            + dst_wr.accesses();
+        run.issued +=
+            src_rd.accesses() + flag_rd.accesses() + order_rd.accesses() + dst_wr.accesses();
         self.finish(mem, run)
     }
 
@@ -433,10 +443,8 @@ impl ScuDevice {
             }
         }
         run.issued += eflag_rd.accesses();
-        run.issued += src_rd.accesses()
-            + cnt_rd.accesses()
-            + flag_rd.accesses()
-            + dst_wr.accesses();
+        run.issued +=
+            src_rd.accesses() + cnt_rd.accesses() + flag_rd.accesses() + dst_wr.accesses();
         self.finish(mem, run)
     }
 
@@ -491,7 +499,13 @@ impl ScuDevice {
                     None => true,
                 };
                 if keep {
-                    Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                    Self::gather(
+                        &mut run,
+                        &mut co,
+                        mem,
+                        src.addr(start + j),
+                        AccessKind::Read,
+                    );
                     run.data += 1;
                     let k = run.out as usize;
                     let pos = match order {
@@ -520,10 +534,8 @@ impl ScuDevice {
                 e += 1;
             }
         }
-        run.issued += idx_rd.accesses()
-            + flag_rd.accesses()
-            + order_rd.accesses()
-            + dst_wr.accesses();
+        run.issued +=
+            idx_rd.accesses() + flag_rd.accesses() + order_rd.accesses() + dst_wr.accesses();
         self.finish(mem, run)
     }
 
@@ -595,10 +607,8 @@ impl ScuDevice {
             }
         }
         run.latency_ns += hash.latency_ns() - hash_lat_before;
-        run.issued += src_rd.accesses()
-            + cost_rd.accesses()
-            + flag_rd.accesses()
-            + flag_wr.accesses();
+        run.issued +=
+            src_rd.accesses() + cost_rd.accesses() + flag_rd.accesses() + flag_wr.accesses();
         let mut window = hash.stats();
         window = {
             let mut w = window;
@@ -663,20 +673,20 @@ impl ScuDevice {
             }
             let start = indexes.get(i) as usize;
             for j in 0..counts.get(i) as usize {
-                Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                Self::gather(
+                    &mut run,
+                    &mut co,
+                    mem,
+                    src.addr(start + j),
+                    AccessKind::Read,
+                );
                 run.data += 1;
                 let id = src.get(start + j);
                 let keep = match mode {
                     FilterMode::Unique => hash.probe_unique(mem, id),
                     FilterMode::UniqueBestCost => {
                         let w = weights.expect("checked above");
-                        Self::gather(
-                            &mut run,
-                            &mut wco,
-                            mem,
-                            w.addr(start + j),
-                            AccessKind::Read,
-                        );
+                        Self::gather(&mut run, &mut wco, mem, w.addr(start + j), AccessKind::Read);
                         let cost = base
                             .expect("checked above")
                             .get(i)
@@ -737,13 +747,19 @@ impl ScuDevice {
 
         let mut next_pos = 0u32;
         let emit = |run: &mut OpRun,
-                        mem: &mut MemorySystem,
-                        order_wr: &mut StreamCoalescer,
-                        order_out: &mut DeviceArray<u32>,
-                        members: Vec<u32>,
-                        next_pos: &mut u32| {
+                    mem: &mut MemorySystem,
+                    order_wr: &mut StreamCoalescer,
+                    order_out: &mut DeviceArray<u32>,
+                    members: Vec<u32>,
+                    next_pos: &mut u32| {
             for m in members {
-                Self::gather(run, order_wr, mem, order_out.addr(m as usize), AccessKind::Write);
+                Self::gather(
+                    run,
+                    order_wr,
+                    mem,
+                    order_out.addr(m as usize),
+                    AccessKind::Write,
+                );
                 order_out.set(m as usize, *next_pos);
                 *next_pos += 1;
             }
@@ -767,12 +783,26 @@ impl ScuDevice {
             let dest = src.get(i) as usize;
             let block = LineSize::L128.index_of(target.addr(dest));
             if let Some(members) = hash.push(mem, k, block) {
-                emit(&mut run, mem, &mut order_wr, order_out, members, &mut next_pos);
+                emit(
+                    &mut run,
+                    mem,
+                    &mut order_wr,
+                    order_out,
+                    members,
+                    &mut next_pos,
+                );
             }
             run.out += 1;
         }
         for members in hash.flush() {
-            emit(&mut run, mem, &mut order_wr, order_out, members, &mut next_pos);
+            emit(
+                &mut run,
+                mem,
+                &mut order_wr,
+                order_out,
+                members,
+                &mut next_pos,
+            );
         }
 
         run.latency_ns += hash.latency_ns() - hash_lat_before;
@@ -839,7 +869,13 @@ impl ScuDevice {
                     run.skipped += 1;
                     continue;
                 }
-                Self::gather(&mut run, &mut co, mem, src.addr(start + j), AccessKind::Read);
+                Self::gather(
+                    &mut run,
+                    &mut co,
+                    mem,
+                    src.addr(start + j),
+                    AccessKind::Read,
+                );
                 run.data += 1;
                 let k = run.out as u32;
                 let dest = src.get(start + j) as usize;
@@ -984,7 +1020,14 @@ mod tests {
         let flags = DeviceArray::from_vec(&mut alloc, vec![0u8, 1, 0, 1, 0, 1]);
         let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 6);
         let op = scu.access_expansion_compaction(
-            &mut mem, &src, &indexes, &counts, 2, Some(&flags), None, &mut dst,
+            &mut mem,
+            &src,
+            &indexes,
+            &counts,
+            2,
+            Some(&flags),
+            None,
+            &mut dst,
         );
         assert_eq!(op.elements_out, 3);
         assert_eq!(&dst.as_slice()[..3], &[1, 5, 7]);
@@ -995,12 +1038,23 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = FilterHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 4 },
+            HashTableConfig {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                entry_bytes: 4,
+            },
         );
         let src = DeviceArray::from_vec(&mut alloc, vec![3u32, 5, 3, 7, 5, 3]);
         let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 6);
         let op = scu.filter_pass_data(
-            &mut mem, &src, 6, None, FilterMode::Unique, None, &mut hash, &mut flags,
+            &mut mem,
+            &src,
+            6,
+            None,
+            FilterMode::Unique,
+            None,
+            &mut hash,
+            &mut flags,
         );
         assert_eq!(flags.as_slice(), &[1, 1, 0, 1, 0, 0]);
         assert_eq!(op.elements_out, 3);
@@ -1012,12 +1066,23 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = FilterHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 4 },
+            HashTableConfig {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                entry_bytes: 4,
+            },
         );
         let src = DeviceArray::from_vec(&mut alloc, vec![9u32, 9, 4, 4, 1]);
         let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 5);
         scu.filter_pass_data(
-            &mut mem, &src, 5, None, FilterMode::Unique, None, &mut hash, &mut flags,
+            &mut mem,
+            &src,
+            5,
+            None,
+            FilterMode::Unique,
+            None,
+            &mut hash,
+            &mut flags,
         );
         let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
         let op = scu.data_compaction(&mut mem, &src, Some(&flags), &mut dst);
@@ -1030,7 +1095,11 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = FilterHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 8 },
+            HashTableConfig {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                entry_bytes: 8,
+            },
         );
         let src = DeviceArray::from_vec(&mut alloc, vec![1u32, 1, 1]);
         let costs = DeviceArray::from_vec(&mut alloc, vec![10u32, 5, 8]);
@@ -1055,7 +1124,11 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = FilterHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 128 * 1024, ways: 16, entry_bytes: 8 },
+            HashTableConfig {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                entry_bytes: 8,
+            },
         );
         let src = DeviceArray::from_vec(&mut alloc, vec![1u32]);
         let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 1);
@@ -1076,15 +1149,18 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = GroupHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 144 * 1024, ways: 16, entry_bytes: 32 },
+            HashTableConfig {
+                size_bytes: 144 * 1024,
+                ways: 16,
+                entry_bytes: 32,
+            },
         );
         // Target array of u32: 32 entries per 128-byte line. Elements
         // 0 and 64 are in different lines; 0 and 1 share a line.
         let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 256);
         let src = DeviceArray::from_vec(&mut alloc, vec![0u32, 64, 1, 65, 2]);
         let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 5);
-        let op =
-            scu.group_pass_data(&mut mem, &src, 5, None, &target, &mut hash, &mut order);
+        let op = scu.group_pass_data(&mut mem, &src, 5, None, &target, &mut hash, &mut order);
         assert_eq!(op.elements_out, 5);
         let o = order.as_slice();
         // Positions must be a permutation of 0..5.
@@ -1109,11 +1185,17 @@ mod tests {
         let (mut scu, mut mem, mut alloc) = setup();
         let mut hash = GroupHash::new(
             &mut alloc,
-            HashTableConfig { size_bytes: 144 * 1024, ways: 16, entry_bytes: 32 },
+            HashTableConfig {
+                size_bytes: 144 * 1024,
+                ways: 16,
+                entry_bytes: 32,
+            },
         );
         let n = 1000;
         let target: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 4096);
-        let ids: Vec<u32> = (0..n).map(|i| ((i * 2654435761u64 as usize) % 4096) as u32).collect();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| ((i * 2654435761u64 as usize) % 4096) as u32)
+            .collect();
         let src = DeviceArray::from_vec(&mut alloc, ids.clone());
         let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
         scu.group_pass_data(&mut mem, &src, n, None, &target, &mut hash, &mut order);
@@ -1135,15 +1217,24 @@ mod tests {
 
         let mut scu1 = ScuDevice::new(ScuConfig::tx1());
         let mut mem1 = MemorySystem::new(MemorySystemConfig::tx1());
-        let t1 = scu1.data_compaction(&mut mem1, &src, None, &mut dst).bounds.pipeline_ns;
+        let t1 = scu1
+            .data_compaction(&mut mem1, &src, None, &mut dst)
+            .bounds
+            .pipeline_ns;
 
         let mut cfg4 = ScuConfig::tx1();
         cfg4.pipeline_width = 4;
         let mut scu4 = ScuDevice::new(cfg4);
         let mut mem4 = MemorySystem::new(MemorySystemConfig::tx1());
-        let t4 = scu4.data_compaction(&mut mem4, &src, None, &mut dst).bounds.pipeline_ns;
+        let t4 = scu4
+            .data_compaction(&mut mem4, &src, None, &mut dst)
+            .bounds
+            .pipeline_ns;
 
-        assert!(t4 < t1 / 2.0, "width-4 pipeline {t4} not faster than width-1 {t1}");
+        assert!(
+            t4 < t1 / 2.0,
+            "width-4 pipeline {t4} not faster than width-1 {t1}"
+        );
     }
 
     #[test]

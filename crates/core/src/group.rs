@@ -58,7 +58,13 @@ impl GroupHash {
         cfg.validate().expect("invalid hash geometry");
         let base = alloc.alloc(cfg.size_bytes);
         let sets = vec![vec![None; cfg.ways as usize]; cfg.num_sets() as usize];
-        GroupHash { cfg, base, sets, stats: GroupStats::default(), latency_ns: 0.0 }
+        GroupHash {
+            cfg,
+            base,
+            sets,
+            stats: GroupStats::default(),
+            latency_ns: 0.0,
+        }
     }
 
     /// The geometry this table was built with.
@@ -102,12 +108,7 @@ impl GroupHash {
     /// Returns a group emitted as a side effect: either the entry that
     /// had to be evicted for a conflicting block, or the element's own
     /// group if it reached [`MAX_GROUP`].
-    pub fn push(
-        &mut self,
-        mem: &mut MemorySystem,
-        input_idx: u32,
-        block: u64,
-    ) -> Option<Vec<u32>> {
+    pub fn push(&mut self, mem: &mut MemorySystem, input_idx: u32, block: u64) -> Option<Vec<u32>> {
         self.stats.elements += 1;
         let set_idx = fib_hash(block, self.sets.len() as u64);
         let set_addr = self.set_addr(set_idx);
@@ -134,13 +135,13 @@ impl GroupHash {
         }
 
         // Empty way?
-        if let Some(w) =
-            self.sets[set_idx as usize].iter().position(Option::is_none)
-        {
+        if let Some(w) = self.sets[set_idx as usize].iter().position(Option::is_none) {
             let entry_addr = set_addr + w as u64 * self.cfg.entry_bytes as u64;
             self.touch(mem, entry_addr, AccessKind::Write);
-            self.sets[set_idx as usize][w] =
-                Some(GroupEntry { block, members: vec![input_idx] });
+            self.sets[set_idx as usize][w] = Some(GroupEntry {
+                block,
+                members: vec![input_idx],
+            });
             return None;
         }
 
@@ -149,7 +150,10 @@ impl GroupHash {
         let entry_addr = set_addr + w as u64 * self.cfg.entry_bytes as u64;
         self.touch(mem, entry_addr, AccessKind::Write);
         let victim = self.sets[set_idx as usize][w]
-            .replace(GroupEntry { block, members: vec![input_idx] })
+            .replace(GroupEntry {
+                block,
+                members: vec![input_idx],
+            })
             .expect("set is full");
         self.stats.groups += 1;
         Some(victim.members)
@@ -177,7 +181,11 @@ mod tests {
 
     fn setup() -> (GroupHash, MemorySystem) {
         let mut alloc = DeviceAllocator::new();
-        let cfg = HashTableConfig { size_bytes: 144 * 1024, ways: 16, entry_bytes: 32 };
+        let cfg = HashTableConfig {
+            size_bytes: 144 * 1024,
+            ways: 16,
+            entry_bytes: 32,
+        };
         (
             GroupHash::new(&mut alloc, cfg),
             MemorySystem::new(MemorySystemConfig::tx1()),
@@ -240,7 +248,11 @@ mod tests {
     fn conflict_evicts_and_emits() {
         let mut alloc = DeviceAllocator::new();
         // 1 set x 2 ways.
-        let cfg = HashTableConfig { size_bytes: 64, ways: 2, entry_bytes: 32 };
+        let cfg = HashTableConfig {
+            size_bytes: 64,
+            ways: 2,
+            entry_bytes: 32,
+        };
         let mut g = GroupHash::new(&mut alloc, cfg);
         let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
         g.push(&mut mem, 0, 1);
@@ -248,8 +260,7 @@ mod tests {
         // Third distinct block must evict someone.
         let evicted = g.push(&mut mem, 2, 3);
         assert!(evicted.is_some());
-        let total: usize =
-            evicted.unwrap().len() + g.flush().iter().map(Vec::len).sum::<usize>();
+        let total: usize = evicted.unwrap().len() + g.flush().iter().map(Vec::len).sum::<usize>();
         assert_eq!(total, 3);
     }
 

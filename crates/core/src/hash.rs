@@ -49,7 +49,12 @@ struct Slot {
     last_use: u64,
 }
 
-const EMPTY_SLOT: Slot = Slot { id: 0, cost: 0, valid: false, last_use: 0 };
+const EMPTY_SLOT: Slot = Slot {
+    id: 0,
+    cost: 0,
+    valid: false,
+    last_use: 0,
+};
 
 /// Fibonacci hash of an ID into `[0, n)`.
 #[inline]
@@ -100,8 +105,7 @@ impl FilterHash {
         // contents live in `sets`; only the addresses matter for
         // traffic and L2 occupancy.
         let base = alloc.alloc(cfg.size_bytes);
-        let sets =
-            vec![vec![EMPTY_SLOT; cfg.ways as usize]; cfg.num_sets() as usize];
+        let sets = vec![vec![EMPTY_SLOT; cfg.ways as usize]; cfg.num_sets() as usize];
         FilterHash {
             cfg,
             base,
@@ -166,12 +170,7 @@ impl FilterHash {
 
     /// Probes `id` with `cost` in unique-best-cost mode; returns `true`
     /// if the element is kept (new, or improves the stored cost).
-    pub fn probe_best_cost(
-        &mut self,
-        mem: &mut MemorySystem,
-        id: u32,
-        cost: u32,
-    ) -> bool {
+    pub fn probe_best_cost(&mut self, mem: &mut MemorySystem, id: u32, cost: u32) -> bool {
         self.probe(mem, id, Some(cost))
     }
 
@@ -198,8 +197,7 @@ impl FilterHash {
             };
             if keep {
                 self.stats.kept += 1;
-                let entry_addr =
-                    set_addr + w as u64 * self.cfg.entry_bytes as u64;
+                let entry_addr = set_addr + w as u64 * self.cfg.entry_bytes as u64;
                 self.touch(mem, entry_addr, AccessKind::Write);
             } else {
                 self.stats.dropped += 1;
@@ -213,20 +211,23 @@ impl FilterHash {
             None => {
                 self.stats.evictions += 1;
                 match self.policy {
-                    VictimPolicy::Overwrite => {
-                        (fib_hash(id ^ 0x5bd1_e995, ways as u64)) as usize
+                    VictimPolicy::Overwrite => (fib_hash(id ^ 0x5bd1_e995, ways as u64)) as usize,
+                    VictimPolicy::Lru => {
+                        set.iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| s.last_use)
+                            .expect("ways is positive")
+                            .0
                     }
-                    VictimPolicy::Lru => set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, s)| s.last_use)
-                        .expect("ways is positive")
-                        .0,
                 }
             }
         };
-        set[victim] =
-            Slot { id, cost: cost.unwrap_or(0), valid: true, last_use: self.clock };
+        set[victim] = Slot {
+            id,
+            cost: cost.unwrap_or(0),
+            valid: true,
+            last_use: self.clock,
+        };
         self.stats.kept += 1;
         let entry_addr = set_addr + victim as u64 * self.cfg.entry_bytes as u64;
         self.touch(mem, entry_addr, AccessKind::Write);
@@ -241,7 +242,11 @@ mod tests {
 
     fn setup(size_kb: u64, entry: u32) -> (FilterHash, MemorySystem) {
         let mut alloc = DeviceAllocator::new();
-        let cfg = HashTableConfig { size_bytes: size_kb * 1024, ways: 16, entry_bytes: entry };
+        let cfg = HashTableConfig {
+            size_bytes: size_kb * 1024,
+            ways: 16,
+            entry_bytes: entry,
+        };
         (
             FilterHash::new(&mut alloc, cfg),
             MemorySystem::new(MemorySystemConfig::tx1()),
@@ -285,11 +290,18 @@ mod tests {
         // must be true-positive — i.e. the first probe of an ID is
         // always kept.
         let mut alloc = DeviceAllocator::new();
-        let cfg = HashTableConfig { size_bytes: 64, ways: 16, entry_bytes: 4 };
+        let cfg = HashTableConfig {
+            size_bytes: 64,
+            ways: 16,
+            entry_bytes: 4,
+        };
         let mut h = FilterHash::new(&mut alloc, cfg);
         let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
         for id in 0..1000u32 {
-            assert!(h.probe_unique(&mut mem, id), "first probe of {id} must keep");
+            assert!(
+                h.probe_unique(&mut mem, id),
+                "first probe of {id} must keep"
+            );
         }
         assert!(h.stats().evictions > 0);
     }
@@ -318,7 +330,11 @@ mod tests {
         // A hot set of IDs re-probed between bursts of cold ones: LRU
         // keeps the hot entries resident, the stateless overwrite
         // policy sometimes evicts them.
-        let cfg = HashTableConfig { size_bytes: 1024, ways: 16, entry_bytes: 4 };
+        let cfg = HashTableConfig {
+            size_bytes: 1024,
+            ways: 16,
+            entry_bytes: 4,
+        };
         let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
         let mut drops = Vec::new();
         for policy in [VictimPolicy::Overwrite, VictimPolicy::Lru] {

@@ -191,12 +191,19 @@ mod tests {
         };
         let narrow = StageOccupancy::from_op(&op, &ScuConfig::tx1());
         let wide = StageOccupancy::from_op(&op, &ScuConfig::gtx980());
-        assert!(wide.cycles[4] * 3 <= narrow.cycles[4], "width-4 store {} vs width-1 {}", wide.cycles[4], narrow.cycles[4]);
+        assert!(
+            wide.cycles[4] * 3 <= narrow.cycles[4],
+            "width-4 store {} vs width-1 {}",
+            wide.cycles[4],
+            narrow.cycles[4]
+        );
     }
 
     #[test]
     fn utilization_is_bounded() {
-        let occ = StageOccupancy { cycles: [10, 5, 0, 0, 10, 0] };
+        let occ = StageOccupancy {
+            cycles: [10, 5, 0, 0, 10, 0],
+        };
         let u = occ.utilization(8);
         assert_eq!(u[0], 1.0); // clamped
         assert!((u[1] - 0.625).abs() < 1e-12);
@@ -205,8 +212,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = StageOccupancy { cycles: [1, 2, 3, 4, 5, 6] };
-        a.merge(&StageOccupancy { cycles: [6, 5, 4, 3, 2, 1] });
+        let mut a = StageOccupancy {
+            cycles: [1, 2, 3, 4, 5, 6],
+        };
+        a.merge(&StageOccupancy {
+            cycles: [6, 5, 4, 3, 2, 1],
+        });
         assert_eq!(a.cycles, [7; 6]);
     }
 

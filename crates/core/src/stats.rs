@@ -1,11 +1,11 @@
 //! Per-operation and accumulated SCU statistics.
 
-use serde::Serialize;
 use scu_mem::stats::MemoryStats;
+use serde::{Deserialize, Serialize};
 
 /// Which of the five SCU operations (Figure 6) — or enhanced pass — an
 /// [`ScuOpStats`] describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Bitmask Constructor: compare stream against a reference value.
     BitmaskConstructor,
@@ -39,7 +39,7 @@ impl OpKind {
 }
 
 /// The individual lower bounds whose max is one operation's time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScuBounds {
     /// Pipeline throughput (`setup + slots / width` cycles), ns.
     pub pipeline_ns: f64,
@@ -64,7 +64,7 @@ impl ScuBounds {
 }
 
 /// Statistics of one SCU operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScuOpStats {
     /// Operation kind.
     pub op: OpKind,
@@ -111,7 +111,7 @@ impl ScuOpStats {
 }
 
 /// Filtering-effectiveness counters (§4.2 / §6.3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FilterStats {
     /// Elements probed.
     pub probes: u64,
@@ -144,7 +144,7 @@ impl FilterStats {
 }
 
 /// Grouping-effectiveness counters (§4.3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GroupStats {
     /// Elements processed.
     pub elements: u64,
@@ -173,7 +173,7 @@ impl GroupStats {
 }
 
 /// Accumulated statistics of one [`crate::device::ScuDevice`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScuStats {
     /// Operations executed.
     pub ops: u64,
@@ -249,9 +249,17 @@ mod tests {
 
     #[test]
     fn bounds_max_and_merge() {
-        let mut b = ScuBounds { pipeline_ns: 3.0, memory_ns: 5.0, latency_ns: 1.0 };
+        let mut b = ScuBounds {
+            pipeline_ns: 3.0,
+            memory_ns: 5.0,
+            latency_ns: 1.0,
+        };
         assert_eq!(b.max_ns(), 5.0);
-        b.merge(&ScuBounds { pipeline_ns: 1.0, memory_ns: 0.0, latency_ns: 9.0 });
+        b.merge(&ScuBounds {
+            pipeline_ns: 1.0,
+            memory_ns: 0.0,
+            latency_ns: 9.0,
+        });
         assert_eq!(b.pipeline_ns, 4.0);
         assert_eq!(b.latency_ns, 10.0);
     }
@@ -259,14 +267,23 @@ mod tests {
     #[test]
     fn filter_drop_rate() {
         assert_eq!(FilterStats::default().drop_rate(), 0.0);
-        let f = FilterStats { probes: 10, kept: 3, dropped: 7, evictions: 0 };
+        let f = FilterStats {
+            probes: 10,
+            kept: 3,
+            dropped: 7,
+            evictions: 0,
+        };
         assert!((f.drop_rate() - 0.7).abs() < 1e-12);
     }
 
     #[test]
     fn group_mean_size() {
         assert_eq!(GroupStats::default().mean_group_size(), 0.0);
-        let g = GroupStats { elements: 12, groups: 3, joined: 9 };
+        let g = GroupStats {
+            elements: 12,
+            groups: 3,
+            joined: 9,
+        };
         assert!((g.mean_group_size() - 4.0).abs() < 1e-12);
     }
 

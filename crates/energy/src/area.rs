@@ -22,7 +22,10 @@ impl Default for ScuAreaModel {
     fn default() -> Self {
         // Solved from the paper's two design points:
         //   width 1 -> 3.65 mm²,  width 4 -> 13.27 mm².
-        ScuAreaModel { fixed_mm2: 0.4433, lane_mm2: 3.2067 }
+        ScuAreaModel {
+            fixed_mm2: 0.4433,
+            lane_mm2: 3.2067,
+        }
     }
 }
 
@@ -68,8 +71,16 @@ mod tests {
     #[test]
     fn matches_paper_design_points() {
         let m = ScuAreaModel::default();
-        assert!((m.area_mm2(1) - 3.65).abs() < 0.01, "width-1 {}", m.area_mm2(1));
-        assert!((m.area_mm2(4) - 13.27).abs() < 0.01, "width-4 {}", m.area_mm2(4));
+        assert!(
+            (m.area_mm2(1) - 3.65).abs() < 0.01,
+            "width-1 {}",
+            m.area_mm2(1)
+        );
+        assert!(
+            (m.area_mm2(4) - 13.27).abs() < 0.01,
+            "width-4 {}",
+            m.area_mm2(4)
+        );
     }
 
     #[test]

@@ -80,12 +80,20 @@ pub struct ScuEnergyParams {
 impl ScuEnergyParams {
     /// SCU sized for the GTX 980 (pipeline width 4).
     pub fn gtx980() -> Self {
-        ScuEnergyParams { element_pj: 25.0, probe_pj: 30.0, static_w: 0.40 }
+        ScuEnergyParams {
+            element_pj: 25.0,
+            probe_pj: 30.0,
+            static_w: 0.40,
+        }
     }
 
     /// SCU sized for the TX1 (pipeline width 1).
     pub fn tx1() -> Self {
-        ScuEnergyParams { element_pj: 8.0, probe_pj: 10.0, static_w: 0.025 }
+        ScuEnergyParams {
+            element_pj: 8.0,
+            probe_pj: 10.0,
+            static_w: 0.025,
+        }
     }
 }
 

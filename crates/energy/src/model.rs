@@ -1,9 +1,9 @@
 //! Turning event windows into energy numbers.
 
-use serde::Serialize;
 use scu_core::stats::ScuStats;
 use scu_gpu::stats::KernelStats;
 use scu_mem::stats::MemoryStats;
+use serde::{Deserialize, Serialize};
 
 use crate::constants::EnergyParams;
 
@@ -11,7 +11,7 @@ use crate::constants::EnergyParams;
 ///
 /// All fields are picojoules. `total_pj` = GPU dynamic + SCU dynamic +
 /// DRAM dynamic + static.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// SM instructions + L1 + NoC + L2 traffic from GPU kernels.
     pub gpu_dynamic_pj: f64,
@@ -57,7 +57,10 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Creates a model from a parameter preset.
     pub fn new(params: EnergyParams, scu_present: bool) -> Self {
-        EnergyModel { params, scu_present }
+        EnergyModel {
+            params,
+            scu_present,
+        }
     }
 
     /// GTX 980 model.
@@ -77,11 +80,9 @@ impl EnergyModel {
 
     /// Dynamic energy of the DRAM events in `mem`, picojoules.
     pub fn dram_dynamic_pj(&self, mem: &MemoryStats) -> f64 {
-        self.params.dram.dynamic_pj(
-            mem.dram.reads,
-            mem.dram.writes,
-            mem.dram.activations,
-        )
+        self.params
+            .dram
+            .dynamic_pj(mem.dram.reads, mem.dram.writes, mem.dram.activations)
     }
 
     /// GPU-side dynamic energy (instructions, L1, NoC, L2) of
@@ -119,12 +120,7 @@ impl EnergyModel {
     /// Full breakdown for an application window: accumulated GPU
     /// kernels `k`, accumulated SCU ops `s`, and elapsed wall-clock
     /// time.
-    pub fn breakdown(
-        &self,
-        k: &KernelStats,
-        s: &ScuStats,
-        elapsed_ns: f64,
-    ) -> EnergyBreakdown {
+    pub fn breakdown(&self, k: &KernelStats, s: &ScuStats, elapsed_ns: f64) -> EnergyBreakdown {
         let mut mem = k.mem;
         mem.merge(&s.mem);
         EnergyBreakdown {
@@ -144,10 +140,19 @@ mod tests {
     fn kernel_with(insts: u64, l1: u64, l2: u64, dram_reads: u64) -> KernelStats {
         KernelStats {
             thread_insts: insts,
-            l1: CacheStats { accesses: l1, ..Default::default() },
+            l1: CacheStats {
+                accesses: l1,
+                ..Default::default()
+            },
             mem: MemoryStats {
-                l2: CacheStats { accesses: l2, ..Default::default() },
-                dram: DramStats { reads: dram_reads, ..Default::default() },
+                l2: CacheStats {
+                    accesses: l2,
+                    ..Default::default()
+                },
+                dram: DramStats {
+                    reads: dram_reads,
+                    ..Default::default()
+                },
             },
             ..Default::default()
         }
@@ -187,7 +192,10 @@ mod tests {
     fn breakdown_total_sums_components() {
         let m = EnergyModel::tx1(true);
         let k = kernel_with(100, 50, 20, 5);
-        let s = ScuStats { data_elements: 40, ..Default::default() };
+        let s = ScuStats {
+            data_elements: 40,
+            ..Default::default()
+        };
         let b = m.breakdown(&k, &s, 1000.0);
         let sum = b.gpu_dynamic_pj + b.scu_dynamic_pj + b.dram_dynamic_pj + b.static_pj;
         assert!((b.total_pj() - sum).abs() < 1e-9);
@@ -202,7 +210,11 @@ mod tests {
         let m = EnergyModel::tx1(true);
         let n = 1_000_000u64;
         let k = kernel_with(2 * n, n / 16, 0, 0); // ld+st per element
-        let s = ScuStats { control_elements: n, data_elements: n, ..Default::default() };
+        let s = ScuStats {
+            control_elements: n,
+            data_elements: n,
+            ..Default::default()
+        };
         assert!(m.scu_dynamic_pj(&s) < m.gpu_dynamic_pj(&k) / 2.0);
     }
 

@@ -57,8 +57,7 @@ impl GpuConfig {
             warp_size: 32,
             threads_per_sm: 2048,
             issue_width: 4,
-            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4)
-                .expect("static geometry is valid"),
+            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4).expect("static geometry is valid"),
             l1_hit_latency_ns: 9.0,
             atomic_latency_ns: 24.0,
             mlp_per_warp: 2.0,
@@ -77,8 +76,7 @@ impl GpuConfig {
             warp_size: 32,
             threads_per_sm: 256,
             issue_width: 2,
-            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4)
-                .expect("static geometry is valid"),
+            l1: CacheConfig::new(32 * 1024, LineSize::L128, 4).expect("static geometry is valid"),
             l1_hit_latency_ns: 12.0,
             atomic_latency_ns: 30.0,
             mlp_per_warp: 2.0,

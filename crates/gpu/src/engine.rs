@@ -46,7 +46,11 @@ impl GpuEngine {
         cfg.validate().expect("invalid GPU config");
         let l1s = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect();
         let coalescer = WarpCoalescer::new(cfg.l1.line_size);
-        GpuEngine { cfg, l1s, coalescer }
+        GpuEngine {
+            cfg,
+            l1s,
+            coalescer,
+        }
     }
 
     /// The configuration this engine was built with.
@@ -147,8 +151,7 @@ impl GpuEngine {
                 mem_lists.push(mems);
             }
 
-            let mem_slot_count =
-                mem_lists.iter().map(Vec::len).max().unwrap_or(0);
+            let mem_slot_count = mem_lists.iter().map(Vec::len).max().unwrap_or(0);
 
             // Simulate each aligned memory slot.
             let mut warp_tx = 0u64;
@@ -196,8 +199,7 @@ impl GpuEngine {
                     for line in self.coalescer.transactions(&atomics) {
                         warp_tx += 1;
                         let out = mem.access(line, AccessKind::Write);
-                        total_latency_ns +=
-                            self.cfg.atomic_latency_ns + out.latency_ns;
+                        total_latency_ns += self.cfg.atomic_latency_ns + out.latency_ns;
                     }
                 }
             }
@@ -216,16 +218,21 @@ impl GpuEngine {
 
         let compute_ns = max_sm_slots as f64 * cycle / self.cfg.issue_width as f64;
         let l1_ns = max_sm_tx as f64 * cycle;
-        let memory_ns = (mem.service_time_ns() - service_before).max(0.0)
-            / self.cfg.dram_efficiency;
-        let concurrency = (n_warps as f64)
-            .min(self.cfg.max_resident_warps() as f64)
-            * self.cfg.mlp_per_warp;
+        let memory_ns =
+            (mem.service_time_ns() - service_before).max(0.0) / self.cfg.dram_efficiency;
+        let concurrency =
+            (n_warps as f64).min(self.cfg.max_resident_warps() as f64) * self.cfg.mlp_per_warp;
         let latency_ns = total_latency_ns / concurrency.max(1.0);
         let max_conflicts = atomic_counts.values().copied().max().unwrap_or(0);
         let atomic_ns = max_conflicts as f64 * ATOMIC_THROUGHPUT_NS;
 
-        stats.bounds = TimeBounds { compute_ns, l1_ns, memory_ns, latency_ns, atomic_ns };
+        stats.bounds = TimeBounds {
+            compute_ns,
+            l1_ns,
+            memory_ns,
+            latency_ns,
+            atomic_ns,
+        };
         stats.time_ns = stats.bounds.max_ns() + self.cfg.kernel_launch_ns;
 
         // Traffic windows.

@@ -128,7 +128,13 @@ mod tests {
         assert_eq!(ctx.load(&arr, 1), 8);
         let ops = ctx.take_ops();
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0], ThreadOp::Load { addr: arr.addr(1), bytes: 4 });
+        assert_eq!(
+            ops[0],
+            ThreadOp::Load {
+                addr: arr.addr(1),
+                bytes: 4
+            }
+        );
     }
 
     #[test]
@@ -138,7 +144,13 @@ mod tests {
         let mut ctx = ThreadCtx::new();
         ctx.store(&mut arr, 2, 99);
         assert_eq!(arr.get(2), 99);
-        assert_eq!(ctx.take_ops()[0], ThreadOp::Store { addr: arr.addr(2), bytes: 8 });
+        assert_eq!(
+            ctx.take_ops()[0],
+            ThreadOp::Store {
+                addr: arr.addr(2),
+                bytes: 8
+            }
+        );
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub mod engine;
 pub mod kernel;
 pub mod stats;
 
-pub use scu_mem::buffer;
-pub use scu_mem::buffer::{DeviceAllocator, DeviceArray};
 pub use config::GpuConfig;
 pub use engine::GpuEngine;
 pub use kernel::ThreadCtx;
+pub use scu_mem::buffer;
+pub use scu_mem::buffer::{DeviceAllocator, DeviceArray};
 pub use stats::{KernelStats, TimeBounds};

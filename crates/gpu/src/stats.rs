@@ -1,13 +1,13 @@
 //! Kernel-launch statistics and the time-bounds breakdown.
 
-use serde::Serialize;
 use scu_mem::stats::{CacheStats, MemoryStats};
+use serde::{Deserialize, Serialize};
 
 /// The individual lower bounds whose maximum is the kernel time.
 ///
 /// Each field answers "how long would this kernel take if only this
 /// resource constrained it?" — the roofline model takes the max.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeBounds {
     /// Instruction issue throughput across SMs, ns.
     pub compute_ns: f64,
@@ -60,7 +60,7 @@ impl TimeBounds {
 
 /// Statistics of one kernel launch (or, after
 /// [`KernelStats::merge`], of a sequence of launches).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Number of launches accumulated (1 for a single launch).
     pub launches: u64,
@@ -145,8 +145,15 @@ mod tests {
 
     #[test]
     fn merge_sums_bounds() {
-        let mut a = TimeBounds { compute_ns: 1.0, ..Default::default() };
-        a.merge(&TimeBounds { compute_ns: 2.0, atomic_ns: 3.0, ..Default::default() });
+        let mut a = TimeBounds {
+            compute_ns: 1.0,
+            ..Default::default()
+        };
+        a.merge(&TimeBounds {
+            compute_ns: 2.0,
+            atomic_ns: 3.0,
+            ..Default::default()
+        });
         assert_eq!(a.compute_ns, 3.0);
         assert_eq!(a.atomic_ns, 3.0);
     }
@@ -154,14 +161,28 @@ mod tests {
     #[test]
     fn transactions_per_mem_slot_handles_zero() {
         assert_eq!(KernelStats::default().transactions_per_mem_slot(), 0.0);
-        let s = KernelStats { mem_slots: 4, transactions: 10, ..Default::default() };
+        let s = KernelStats {
+            mem_slots: 4,
+            transactions: 10,
+            ..Default::default()
+        };
         assert!((s.transactions_per_mem_slot() - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn kernel_stats_merge_accumulates() {
-        let mut a = KernelStats { launches: 1, threads: 32, time_ns: 10.0, ..Default::default() };
-        let b = KernelStats { launches: 1, threads: 64, time_ns: 5.0, ..Default::default() };
+        let mut a = KernelStats {
+            launches: 1,
+            threads: 32,
+            time_ns: 10.0,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            launches: 1,
+            threads: 64,
+            time_ns: 5.0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.launches, 2);
         assert_eq!(a.threads, 96);

@@ -25,7 +25,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::new(), dedup: false }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            dedup: false,
+        }
     }
 
     /// Removes duplicate `(src, dst)` pairs at build time, keeping the

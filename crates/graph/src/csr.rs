@@ -41,7 +41,11 @@ impl Csr {
         edges: Vec<u32>,
         weights: Vec<u32>,
     ) -> Result<Self, InvalidCsr> {
-        let g = Csr { row_offsets, edges, weights };
+        let g = Csr {
+            row_offsets,
+            edges,
+            weights,
+        };
         g.validate()?;
         Ok(g)
     }
@@ -53,7 +57,9 @@ impl Csr {
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), InvalidCsr> {
         if self.row_offsets.is_empty() {
-            return Err(InvalidCsr("row_offsets must have at least one entry".into()));
+            return Err(InvalidCsr(
+                "row_offsets must have at least one entry".into(),
+            ));
         }
         if self.row_offsets[0] != 0 {
             return Err(InvalidCsr("row_offsets[0] must be 0".into()));
@@ -79,7 +85,9 @@ impl Csr {
         }
         let n = self.num_nodes() as u32;
         if let Some(&bad) = self.edges.iter().find(|&&d| d >= n) {
-            return Err(InvalidCsr(format!("edge destination {bad} out of range (n={n})")));
+            return Err(InvalidCsr(format!(
+                "edge destination {bad} out of range (n={n})"
+            )));
         }
         Ok(())
     }
@@ -114,7 +122,10 @@ impl Csr {
 
     /// Maximum out-degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_nodes() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The out-neighbour slice of `v`.

@@ -14,11 +14,13 @@
 //! *class* synthetically at the published size (scale 1.0) or smaller
 //! (see `DESIGN.md` for the substitution rationale).
 
+use serde::{Deserialize, Serialize};
+
 use crate::csr::Csr;
 use crate::generate;
 
 /// One of the paper's six benchmark graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dataset {
     /// California road network (710 K nodes, 3.48 M edges).
     Ca,
@@ -100,7 +102,10 @@ impl Dataset {
     ///
     /// Panics if `scale` is not in `(0, 1]`.
     pub fn build(self, scale: f64, seed: u64) -> Csr {
-        assert!(scale > 0.0 && scale <= 1.0, "scale {scale} must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale {scale} must be in (0, 1]"
+        );
         let nodes = ((self.published_nodes() as f64 * scale) as usize).max(64);
         let avg_degree =
             (self.published_edges() as f64 / self.published_nodes() as f64).round() as usize;
@@ -163,10 +168,7 @@ mod tests {
 
     #[test]
     fn determinism_across_calls() {
-        assert_eq!(
-            Dataset::Cond.build(0.01, 5),
-            Dataset::Cond.build(0.01, 5)
-        );
+        assert_eq!(Dataset::Cond.build(0.01, 5), Dataset::Cond.build(0.01, 5));
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub const C: f64 = 0.19;
 /// `edge_factor * 2^scale` directed edges (multi-edges kept, as in
 /// Graph500's edge lists).
 pub fn generate(scale: u32, edge_factor: usize, seed: u64) -> Csr {
-    assert!((1..=26).contains(&scale), "scale {scale} out of supported range");
+    assert!(
+        (1..=26).contains(&scale),
+        "scale {scale} out of supported range"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut rng = StdRng::seed_from_u64(seed);

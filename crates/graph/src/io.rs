@@ -32,7 +32,10 @@ impl std::fmt::Display for ParseGraphError {
 impl std::error::Error for ParseGraphError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseGraphError {
-    ParseGraphError { line, message: message.into() }
+    ParseGraphError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a 0-indexed `src dst [weight]` edge list. Missing weights
@@ -61,7 +64,9 @@ pub fn parse_edge_list(text: &str) -> Result<Csr, ParseGraphError> {
             .parse()
             .map_err(|e| err(ln + 1, format!("bad dst: {e}")))?;
         let weight: u32 = match it.next() {
-            Some(w) => w.parse().map_err(|e| err(ln + 1, format!("bad weight: {e}")))?,
+            Some(w) => w
+                .parse()
+                .map_err(|e| err(ln + 1, format!("bad weight: {e}")))?,
             None => 1,
         };
         if it.next().is_some() {
@@ -70,7 +75,11 @@ pub fn parse_edge_list(text: &str) -> Result<Csr, ParseGraphError> {
         max_id = max_id.max(src).max(dst);
         triples.push((src, dst, weight));
     }
-    let n = if triples.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if triples.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::new(n);
     for (s, d, w) in triples {
         b.add_edge(s, d, w);
@@ -168,7 +177,10 @@ pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
         || !banner_fields[1].eq_ignore_ascii_case("matrix")
         || !banner_fields[2].eq_ignore_ascii_case("coordinate")
     {
-        return Err(err(1, "expected '%%MatrixMarket matrix coordinate ...' banner"));
+        return Err(err(
+            1,
+            "expected '%%MatrixMarket matrix coordinate ...' banner",
+        ));
     }
     let pattern = banner_fields[3].eq_ignore_ascii_case("pattern");
     let symmetric = banner_fields[4].eq_ignore_ascii_case("symmetric");
@@ -302,7 +314,10 @@ mod tests {
     fn matrix_market_rejects_bad_input() {
         assert!(parse_matrix_market("").is_err());
         assert!(parse_matrix_market("%%MatrixMarket vector coordinate real general\n").is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3\n").is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3\n"
+        )
+        .is_err());
         assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n").is_err());
     }
 

@@ -78,7 +78,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut buckets = vec![0usize; 1];
     for v in 0..g.num_nodes() as u32 {
         let d = g.degree(v);
-        let b = if d < 2 { 0 } else { (32 - d.leading_zeros()) as usize - 1 };
+        let b = if d < 2 {
+            0
+        } else {
+            (32 - d.leading_zeros()) as usize - 1
+        };
         if b >= buckets.len() {
             buckets.resize(b + 1, 0);
         }
@@ -90,8 +94,8 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::datasets::Dataset;
     use crate::builder::GraphBuilder;
+    use crate::datasets::Dataset;
 
     #[test]
     fn uniform_graph_has_low_gini() {

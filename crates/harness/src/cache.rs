@@ -1,0 +1,206 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each entry is a JSON file named by the stable digest of the
+//! canonical (compact) serialisation of its key — the cell
+//! configuration plus a model-version string the caller bakes into the
+//! key. A code change that alters results must bump the model version;
+//! every digest then changes and the old entries become dead weight
+//! rather than stale answers.
+//!
+//! Robustness properties:
+//!
+//! - **Collision-proof reads**: the stored envelope carries the full
+//!   key; a digest collision or truncated file reads back as a miss,
+//!   never as a wrong value.
+//! - **Atomic writes**: entries are written to a temp file and
+//!   renamed into place, so a crashed or concurrent writer cannot
+//!   leave a half-written entry behind. Concurrent writers of the
+//!   same key race benignly (same bytes either way).
+//! - **Thread safety**: all methods take `&self`; hit/miss/store
+//!   counters are atomics.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::Value;
+
+use crate::hash::stable_digest;
+
+/// Counters of one cache's activity within this process.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful loads.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// A directory of content-addressed JSON results.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The digest addressing `key`.
+    pub fn digest_of(key: &Value) -> String {
+        let canonical = serde_json::to_string(key).expect("serialising a Value cannot fail");
+        stable_digest(canonical.as_bytes())
+    }
+
+    fn path_of(&self, key: &Value) -> PathBuf {
+        self.dir.join(format!("{}.json", Self::digest_of(key)))
+    }
+
+    /// Loads the value stored for `key`, if present and intact.
+    pub fn load(&self, key: &Value) -> Option<Value> {
+        let loaded = self.try_load(key);
+        match loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    fn try_load(&self, key: &Value) -> Option<Value> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let envelope: Value = serde_json::from_str(&text).ok()?;
+        // Verify the full key: a digest collision, truncation-then-
+        // rewrite, or hand-edited file must read as a miss.
+        if envelope.get("key") != Some(key) {
+            return None;
+        }
+        envelope.get("value").cloned()
+    }
+
+    /// Stores `value` under `key`, atomically.
+    pub fn store(&self, key: &Value, value: &Value) -> std::io::Result<()> {
+        let envelope = Value::Object(vec![
+            ("key".to_string(), key.clone()),
+            ("value".to_string(), value.clone()),
+        ]);
+        let text = serde_json::to_string(&envelope).expect("serialising a Value cannot fail");
+        let final_path = self.path_of(key);
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp_path, text)?;
+        std::fs::rename(&tmp_path, &final_path)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// This process's hit/miss/store counts so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scu-harness-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> Value {
+        Value::Object(vec![("cell".into(), Value::U64(n))])
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let dir = scratch_dir("round-trip");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.load(&key(1)), None);
+        cache.store(&key(1), &Value::Str("result".into())).unwrap();
+        assert_eq!(cache.load(&key(1)), Some(Value::Str("result".into())));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = scratch_dir("reopen");
+        ResultCache::open(&dir)
+            .unwrap()
+            .store(&key(7), &Value::U64(42))
+            .unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.load(&key(7)), Some(Value::U64(42)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_reads_as_miss() {
+        let dir = scratch_dir("mismatch");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(&key(1), &Value::U64(1)).unwrap();
+        // Corrupt the envelope by rewriting it under the same digest
+        // with a different key.
+        let path = cache.path_of(&key(1));
+        std::fs::write(&path, r#"{"key":{"cell":999},"value":123}"#).unwrap();
+        assert_eq!(cache.load(&key(1)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_reads_as_miss() {
+        let dir = scratch_dir("truncated");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(&key(2), &Value::U64(2)).unwrap();
+        let path = cache.path_of(&key(2));
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key(2)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_are_canonical_per_key() {
+        assert_eq!(
+            ResultCache::digest_of(&key(1)),
+            ResultCache::digest_of(&key(1))
+        );
+        assert_ne!(
+            ResultCache::digest_of(&key(1)),
+            ResultCache::digest_of(&key(2))
+        );
+    }
+}

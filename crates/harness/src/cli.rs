@@ -1,0 +1,144 @@
+//! Shared command-line surface for the experiment binaries:
+//! `--jobs N`, `--no-cache`, `--filter <substr>`, `--timeout-secs N`.
+
+use std::time::Duration;
+
+use crate::executor::default_jobs;
+
+/// Parsed harness flags plus whatever positional arguments remain.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Worker threads (defaults to available cores).
+    pub jobs: usize,
+    /// Disable the on-disk result cache.
+    pub no_cache: bool,
+    /// Only run cells whose id contains this substring.
+    pub filter: Option<String>,
+    /// Per-cell wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Positional arguments, in order, with harness flags removed.
+    pub rest: Vec<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            jobs: default_jobs(),
+            no_cache: false,
+            filter: None,
+            timeout: None,
+            rest: Vec::new(),
+        }
+    }
+}
+
+/// The usage block describing the shared flags, for `--help` output.
+pub const USAGE: &str = "harness options:\n  \
+    --jobs N          worker threads (default: available cores)\n  \
+    --no-cache        recompute every cell, ignore cached results\n  \
+    --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
+    --timeout-secs N  mark cells running longer than N seconds as timed out";
+
+impl CliArgs {
+    /// Parses `std::env::args().skip(1)`-style arguments. Unknown
+    /// flags and positionals are collected into [`CliArgs::rest`] for
+    /// the binary to interpret; malformed values for known flags are
+    /// errors.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+        let mut out = CliArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let mut value = |what: &str| -> Result<String, String> {
+                inline
+                    .clone()
+                    .or_else(|| args.next())
+                    .ok_or_else(|| format!("{flag} expects {what}"))
+            };
+            match flag.as_str() {
+                "--jobs" | "-j" => {
+                    let v = value("a thread count")?;
+                    out.jobs =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs expects a positive integer, got '{v}'")
+                        })?;
+                }
+                "--no-cache" => out.no_cache = true,
+                "--filter" => out.filter = Some(value("a substring")?),
+                "--timeout-secs" => {
+                    let v = value("a duration in seconds")?;
+                    let secs = v.parse::<f64>().ok().filter(|s| *s > 0.0).ok_or_else(|| {
+                        format!("--timeout-secs expects a positive number, got '{v}'")
+                    })?;
+                    out.timeout = Some(Duration::from_secs_f64(secs));
+                }
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process's own arguments, exiting with usage on error.
+    pub fn from_env() -> CliArgs {
+        match CliArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliArgs {
+        CliArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn defaults_use_all_cores_and_cache() {
+        let a = parse(&[]);
+        assert!(a.jobs >= 1);
+        assert!(!a.no_cache);
+        assert!(a.filter.is_none() && a.timeout.is_none());
+    }
+
+    #[test]
+    fn flags_parse_in_both_spellings() {
+        let a = parse(&[
+            "--jobs",
+            "3",
+            "--filter=BFS",
+            "--no-cache",
+            "--timeout-secs",
+            "2.5",
+        ]);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.filter.as_deref(), Some("BFS"));
+        assert!(a.no_cache);
+        assert_eq!(a.timeout, Some(Duration::from_secs_f64(2.5)));
+        let b = parse(&["-j", "7"]);
+        assert_eq!(b.jobs, 7);
+    }
+
+    #[test]
+    fn positionals_pass_through_in_order() {
+        let a = parse(&["BFS", "--jobs=2", "kron", "TX1"]);
+        assert_eq!(a.rest, vec!["BFS", "kron", "TX1"]);
+        assert_eq!(a.jobs, 2);
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(CliArgs::parse(["--jobs".to_string(), "zero".to_string()]).is_err());
+        assert!(CliArgs::parse(["--jobs".to_string(), "0".to_string()]).is_err());
+        assert!(CliArgs::parse(["--timeout-secs".to_string(), "-1".to_string()]).is_err());
+        assert!(CliArgs::parse(["--filter".to_string()]).is_err());
+    }
+}

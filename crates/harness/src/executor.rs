@@ -1,0 +1,390 @@
+//! The parallel executor: a fixed pool of worker threads draining a
+//! dependency-ordered ready queue.
+//!
+//! `crossbeam`/`parking_lot` are unavailable in this offline build, so
+//! the pool is built on `std::sync` — one `Mutex<SchedState>` +
+//! `Condvar` protects the ready queue, the indegree counts and the
+//! unfinished counter together, which rules out the classic lost-
+//! wakeup between "queue looked empty" and "last job finished".
+//!
+//! Determinism: each job owns its inputs and its work closure is pure,
+//! so the *values* produced are independent of scheduling; outcomes
+//! are recorded into a slot vector indexed by [`JobId`], so the
+//! returned order is insertion order regardless of completion order.
+//! Running with one worker or sixteen yields byte-identical results.
+//!
+//! Fault isolation: a panicking job is caught with `catch_unwind` and
+//! reported as [`Outcome::Failed`]; its transitive dependents become
+//! [`Outcome::Skipped`]; everything else proceeds. With a configured
+//! timeout the job runs on a dedicated thread that is *abandoned* on
+//! expiry (threads cannot be killed safely); the closure's `Arc` keeps
+//! its environment alive until the stray thread finishes.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use crate::cache::ResultCache;
+use crate::job::{Job, JobGraph, JobId, Outcome};
+use crate::progress::Progress;
+
+/// Executor knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads; clamped to `1..=graph.len()`.
+    pub jobs: usize,
+    /// Per-job wall-clock budget; `None` disables the watchdog and
+    /// runs jobs inline on the workers.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            jobs: default_jobs(),
+            timeout: None,
+        }
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct SchedState {
+    ready: VecDeque<JobId>,
+    indegree: Vec<usize>,
+    unfinished: usize,
+}
+
+struct Scheduler<'g> {
+    graph: &'g JobGraph,
+    dependents: Vec<Vec<JobId>>,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    results: Mutex<Vec<Option<Outcome>>>,
+}
+
+impl<'g> Scheduler<'g> {
+    fn new(graph: &'g JobGraph) -> Self {
+        let n = graph.len();
+        let mut dependents = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (id, job) in graph.jobs().iter().enumerate() {
+            indegree[id] = job.deps.len();
+            for &d in &job.deps {
+                dependents[d].push(id);
+            }
+        }
+        let ready: VecDeque<JobId> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        Scheduler {
+            graph,
+            dependents,
+            state: Mutex::new(SchedState {
+                ready,
+                indegree,
+                unfinished: n,
+            }),
+            cv: Condvar::new(),
+            results: Mutex::new(vec![None; n]),
+        }
+    }
+
+    /// Blocks until a job is ready or everything is finished.
+    fn next_job(&self) -> Option<JobId> {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        loop {
+            if let Some(id) = state.ready.pop_front() {
+                return Some(id);
+            }
+            if state.unfinished == 0 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("scheduler state poisoned");
+        }
+    }
+
+    /// Records an outcome and releases any newly-ready dependents.
+    fn record(&self, id: JobId, outcome: Outcome) {
+        // Results first: a dependent reading its deps must find them.
+        self.results.lock().expect("results poisoned")[id] = Some(outcome);
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        state.unfinished -= 1;
+        for &d in &self.dependents[id] {
+            state.indegree[d] -= 1;
+            if state.indegree[d] == 0 {
+                state.ready.push_back(d);
+            }
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// The id of the first dependency that did not complete, if any.
+    fn failed_dep(&self, job: &Job) -> Option<String> {
+        let results = self.results.lock().expect("results poisoned");
+        for &d in &job.deps {
+            let dep_done = results[d].as_ref().is_some_and(Outcome::is_done);
+            if !dep_done {
+                return Some(self.graph.jobs()[d].id.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Runs every job in `graph`, returning outcomes in insertion order.
+pub fn execute(
+    graph: &JobGraph,
+    cache: Option<&ResultCache>,
+    opts: &ExecOptions,
+    progress: &Progress,
+) -> Vec<Outcome> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let workers = opts.jobs.clamp(1, graph.len());
+    let sched = Scheduler::new(graph);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let sched = &sched;
+            std::thread::Builder::new()
+                .name(format!("scu-harness-{w}"))
+                .spawn_scoped(scope, move || {
+                    while let Some(id) = sched.next_job() {
+                        let job = &sched.graph.jobs()[id];
+                        let outcome = run_one(job, cache, opts.timeout, sched);
+                        progress.job_finished(&job.id, &outcome);
+                        sched.record(id, outcome);
+                    }
+                })
+                .expect("spawning worker thread");
+        }
+    });
+    sched
+        .results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|o| o.expect("every job has an outcome"))
+        .collect()
+}
+
+fn run_one(
+    job: &Job,
+    cache: Option<&ResultCache>,
+    timeout: Option<Duration>,
+    sched: &Scheduler<'_>,
+) -> Outcome {
+    if let Some(failed_dep) = sched.failed_dep(job) {
+        return Outcome::Skipped { failed_dep };
+    }
+    let start = Instant::now();
+    if let (Some(cache), Some(key)) = (cache, job.cache_key.as_ref()) {
+        if let Some(value) = cache.load(key) {
+            return Outcome::Done {
+                value,
+                duration: start.elapsed(),
+                cached: true,
+            };
+        }
+    }
+    let outcome = match timeout {
+        None => run_inline(job, start),
+        Some(limit) => run_with_watchdog(job, start, limit),
+    };
+    if let (Some(cache), Some(key), Outcome::Done { value, .. }) =
+        (cache, job.cache_key.as_ref(), &outcome)
+    {
+        if let Err(e) = cache.store(key, value) {
+            // A write failure degrades caching, not correctness.
+            eprintln!("[scu-harness] cache store failed for '{}': {e}", job.id);
+        }
+    }
+    outcome
+}
+
+fn run_inline(job: &Job, start: Instant) -> Outcome {
+    let work = &job.work;
+    match catch_unwind(AssertUnwindSafe(|| work())) {
+        Ok(value) => Outcome::Done {
+            value,
+            duration: start.elapsed(),
+            cached: false,
+        },
+        Err(payload) => Outcome::Failed {
+            error: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+fn run_with_watchdog(job: &Job, start: Instant, limit: Duration) -> Outcome {
+    let work = job.work.clone();
+    let (tx, rx) = std::sync::mpsc::channel::<Result<Value, String>>();
+    let spawned = std::thread::Builder::new()
+        .name(format!("scu-cell-{}", job.id))
+        .spawn(move || {
+            let result =
+                catch_unwind(AssertUnwindSafe(|| work())).map_err(|p| panic_message(p.as_ref()));
+            // The receiver may have timed out and gone away.
+            let _ = tx.send(result);
+        });
+    if spawned.is_err() {
+        // Could not get a watchdog thread; run inline instead of
+        // failing the cell (the timeout is advisory, the result not).
+        return run_inline(job, start);
+    }
+    match rx.recv_timeout(limit) {
+        Ok(Ok(value)) => Outcome::Done {
+            value,
+            duration: start.elapsed(),
+            cached: false,
+        },
+        Ok(Err(error)) => Outcome::Failed { error },
+        Err(RecvTimeoutError::Timeout) => Outcome::TimedOut { limit },
+        Err(RecvTimeoutError::Disconnected) => Outcome::Failed {
+            error: "cell thread vanished without reporting".to_string(),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::progress::Progress;
+
+    fn silent() -> Progress {
+        Progress::silent(0)
+    }
+
+    fn run(graph: &JobGraph, jobs: usize) -> Vec<Outcome> {
+        execute(
+            graph,
+            None,
+            &ExecOptions {
+                jobs,
+                timeout: None,
+            },
+            &silent(),
+        )
+    }
+
+    #[test]
+    fn outcomes_are_in_insertion_order_regardless_of_parallelism() {
+        let build = || {
+            let mut g = JobGraph::new();
+            for i in 0..40u64 {
+                // Reverse sleep pattern: later jobs finish earlier.
+                g.push(Job::new(format!("job-{i}"), move || {
+                    std::thread::sleep(Duration::from_micros(40 - i));
+                    Value::U64(i * i)
+                }));
+            }
+            g
+        };
+        let seq: Vec<Outcome> = run(&build(), 1);
+        let par: Vec<Outcome> = run(&build(), 8);
+        let values = |v: &[Outcome]| -> Vec<Value> {
+            v.iter().map(|o| o.value().unwrap().clone()).collect()
+        };
+        assert_eq!(values(&seq), values(&par));
+        assert_eq!(values(&seq)[3], Value::U64(9));
+    }
+
+    #[test]
+    fn panicking_job_fails_alone() {
+        let mut g = JobGraph::new();
+        g.push(Job::new("ok-1", || Value::U64(1)));
+        g.push(Job::new("bad", || panic!("deliberate cell failure")));
+        g.push(Job::new("ok-2", || Value::U64(2)));
+        let out = run(&g, 4);
+        assert!(out[0].is_done());
+        assert!(matches!(&out[1], Outcome::Failed { error } if error.contains("deliberate")));
+        assert!(out[2].is_done());
+    }
+
+    #[test]
+    fn dependencies_run_in_order_and_failures_cascade_to_skips() {
+        let mut g = JobGraph::new();
+        let a = g.push(Job::new("a", || Value::U64(1)));
+        let b = g.push(Job::new("b", || panic!("boom")));
+        let c = g.push(Job::new("c", move || Value::U64(3)).after(&[a]));
+        let d = g.push(Job::new("d", move || Value::U64(4)).after(&[b]));
+        let e = g.push(Job::new("e", move || Value::U64(5)).after(&[d]));
+        let out = run(&g, 4);
+        assert!(out[a].is_done() && out[c].is_done());
+        assert!(matches!(out[b], Outcome::Failed { .. }));
+        assert!(matches!(&out[d], Outcome::Skipped { failed_dep } if failed_dep == "b"));
+        assert!(matches!(&out[e], Outcome::Skipped { failed_dep } if failed_dep == "d"));
+    }
+
+    #[test]
+    fn timeout_marks_cell_without_aborting_sweep() {
+        let mut g = JobGraph::new();
+        g.push(Job::new("slow", || {
+            std::thread::sleep(Duration::from_secs(5));
+            Value::Null
+        }));
+        g.push(Job::new("fast", || Value::U64(7)));
+        let opts = ExecOptions {
+            jobs: 2,
+            timeout: Some(Duration::from_millis(30)),
+        };
+        let out = execute(&g, None, &opts, &silent());
+        assert!(matches!(out[0], Outcome::TimedOut { .. }));
+        assert_eq!(out[1].value(), Some(&Value::U64(7)));
+    }
+
+    #[test]
+    fn cache_round_trip_through_executor() {
+        let dir =
+            std::env::temp_dir().join(format!("scu-harness-exec-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = Value::Str("cell-key".into());
+        let build = |key: Value| {
+            let mut g = JobGraph::new();
+            g.push(Job::new("cell", || Value::U64(99)).with_cache_key(key));
+            g
+        };
+        let first = execute(
+            &build(key.clone()),
+            Some(&cache),
+            &ExecOptions::default(),
+            &silent(),
+        );
+        assert!(first[0].is_done() && !first[0].is_cached());
+        let second = execute(
+            &build(key),
+            Some(&cache),
+            &ExecOptions::default(),
+            &silent(),
+        );
+        assert!(second[0].is_cached());
+        assert_eq!(second[0].value(), first[0].value());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        assert!(run(&JobGraph::new(), 4).is_empty());
+    }
+}

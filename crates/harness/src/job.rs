@@ -1,0 +1,203 @@
+//! Jobs and the dependency graph the executor runs.
+//!
+//! A [`Job`] is one experiment cell: a human-readable id, an optional
+//! cache key (the canonical configuration of the cell), and a pure
+//! work closure producing a JSON value. Jobs are collected into a
+//! [`JobGraph`]; dependency edges may only point at already-inserted
+//! jobs, which makes the graph acyclic by construction.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+
+/// Index of a job within its [`JobGraph`], in insertion order.
+pub type JobId = usize;
+
+/// One schedulable unit of work.
+pub struct Job {
+    /// Human-readable identity, e.g. `"BFS/kron/TX1/scu-enhanced"`.
+    /// Shown in progress lines and failure summaries.
+    pub id: String,
+    /// Canonical configuration for content-addressed caching; `None`
+    /// makes the job uncacheable (always recomputed).
+    pub cache_key: Option<Value>,
+    /// Jobs that must complete successfully before this one runs.
+    pub deps: Vec<JobId>,
+    /// The work itself. Must be pure: same configuration, same value.
+    /// Shared (`Arc`) so a timed-out invocation can be abandoned
+    /// without tearing down the closure under it.
+    pub(crate) work: Arc<dyn Fn() -> Value + Send + Sync + 'static>,
+}
+
+impl Job {
+    /// A dependency-free, uncached job.
+    pub fn new(id: impl Into<String>, work: impl Fn() -> Value + Send + Sync + 'static) -> Self {
+        Job {
+            id: id.into(),
+            cache_key: None,
+            deps: Vec::new(),
+            work: Arc::new(work),
+        }
+    }
+
+    /// Attaches a cache key: the canonical JSON of everything the
+    /// result depends on (cell configuration + model version).
+    pub fn with_cache_key(mut self, key: Value) -> Self {
+        self.cache_key = Some(key);
+        self
+    }
+
+    /// Adds dependencies on earlier jobs.
+    pub fn after(mut self, deps: &[JobId]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("deps", &self.deps)
+            .field("cached", &self.cache_key.is_some())
+            .finish()
+    }
+}
+
+/// An append-only DAG of jobs.
+#[derive(Debug, Default)]
+pub struct JobGraph {
+    jobs: Vec<Job>,
+}
+
+impl JobGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        JobGraph::default()
+    }
+
+    /// Inserts a job, returning its [`JobId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency refers to a job not yet inserted —
+    /// forward edges are the one way to build a cycle here, so they
+    /// are rejected at insertion.
+    pub fn push(&mut self, job: Job) -> JobId {
+        let id = self.jobs.len();
+        for &d in &job.deps {
+            assert!(
+                d < id,
+                "job '{}' depends on not-yet-inserted job #{d}",
+                job.id
+            );
+        }
+        self.jobs.push(job);
+        id
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in insertion order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+}
+
+/// What happened to one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Completed; `cached` tells whether the value came from the
+    /// result cache instead of being computed.
+    Done {
+        value: Value,
+        duration: Duration,
+        cached: bool,
+    },
+    /// The work panicked; the payload's message.
+    Failed { error: String },
+    /// The work exceeded the configured wall-clock budget and was
+    /// abandoned.
+    TimedOut { limit: Duration },
+    /// A dependency did not complete, so the job never ran.
+    Skipped { failed_dep: String },
+}
+
+impl Outcome {
+    /// The produced value, if the job completed.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Outcome::Done { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether the job completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Outcome::Done { .. })
+    }
+
+    /// Whether the value was served from cache.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, Outcome::Done { cached: true, .. })
+    }
+
+    /// One-word status label for progress lines and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Done { cached: true, .. } => "cached",
+            Outcome::Done { cached: false, .. } => "done",
+            Outcome::Failed { .. } => "FAILED",
+            Outcome::TimedOut { .. } => "TIMED-OUT",
+            Outcome::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut g = JobGraph::new();
+        let a = g.push(Job::new("a", || Value::Null));
+        let b = g.push(Job::new("b", || Value::Null).after(&[a]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.jobs()[1].deps, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-inserted")]
+    fn forward_dependency_is_rejected() {
+        let mut g = JobGraph::new();
+        g.push(Job::new("a", || Value::Null).after(&[3]));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let done = Outcome::Done {
+            value: Value::U64(1),
+            duration: Duration::from_millis(5),
+            cached: false,
+        };
+        assert!(done.is_done() && !done.is_cached());
+        assert_eq!(done.value(), Some(&Value::U64(1)));
+        assert_eq!(done.label(), "done");
+        let failed = Outcome::Failed {
+            error: "boom".into(),
+        };
+        assert!(failed.value().is_none());
+        assert_eq!(failed.label(), "FAILED");
+    }
+}

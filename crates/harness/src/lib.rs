@@ -1,0 +1,276 @@
+//! # scu-harness — parallel experiment orchestration
+//!
+//! The reproduction matrix (algorithm × dataset × platform × machine
+//! mode) is 150+ independent, deterministic simulator cells. This
+//! crate runs them concurrently while keeping the sequential path's
+//! guarantees:
+//!
+//! - **Determinism** — each cell is a pure closure owning its
+//!   configuration; outcomes are returned in submission order, so a
+//!   run with `--jobs 16` is byte-identical to `--jobs 1`.
+//! - **Content-addressed caching** — results are JSON blobs keyed by
+//!   a stable hash of the cell configuration plus a model-version
+//!   string; after a code tweak that bumps the version, only
+//!   invalidated cells recompute ([`cache::ResultCache`]).
+//! - **Fault isolation** — a panicking cell is caught and reported
+//!   `FAILED`, a cell over its wall-clock budget `TIMED-OUT`, and
+//!   dependents of either are `skipped`; the sweep always completes
+//!   and ends with a summary ([`progress::SweepSummary`]).
+//!
+//! The executor is a fixed worker pool over a single
+//! `Mutex`+`Condvar`-protected ready queue (`crossbeam` and
+//! `parking_lot` cannot be resolved in this offline environment, and
+//! at ~150 cells of milliseconds-to-seconds each, queue contention is
+//! noise — the work units dwarf the locking).
+//!
+//! ```
+//! use scu_harness::{Harness, Job, JobGraph};
+//! use serde_json::Value;
+//!
+//! let mut graph = JobGraph::new();
+//! for i in 0..4u64 {
+//!     graph.push(Job::new(format!("cell-{i}"), move || Value::U64(i * i)));
+//! }
+//! let sweep = Harness::new().jobs(2).run(&graph);
+//! assert!(sweep.summary.all_done());
+//! assert_eq!(sweep.outcomes[3].value(), Some(&Value::U64(9)));
+//! ```
+
+pub mod cache;
+pub mod cli;
+pub mod executor;
+pub mod hash;
+pub mod job;
+pub mod progress;
+
+pub use cache::{CacheStats, ResultCache};
+pub use cli::CliArgs;
+pub use executor::{default_jobs, ExecOptions};
+pub use job::{Job, JobGraph, JobId, Outcome};
+pub use progress::{Progress, SweepSummary};
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Everything a finished sweep produced.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Per-job outcomes, in [`JobGraph`] insertion order.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregate counts, failures and timings.
+    pub summary: SweepSummary,
+    /// Cache activity during the sweep (zeroes when caching is off).
+    pub cache_stats: CacheStats,
+}
+
+/// Builder-style front door: configure once, run a [`JobGraph`].
+#[derive(Debug, Clone)]
+pub struct Harness {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    timeout: Option<Duration>,
+    narrate: bool,
+    progress_file: Option<PathBuf>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            jobs: default_jobs(),
+            cache_dir: None,
+            timeout: None,
+            narrate: false,
+            progress_file: None,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with default options: all cores, no cache, no
+    /// timeout, silent.
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables the on-disk result cache rooted at `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the per-cell wall-clock budget.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Narrates per-cell completions on stderr.
+    pub fn narrate(mut self, narrate: bool) -> Self {
+        self.narrate = narrate;
+        self
+    }
+
+    /// Mirrors progress lines into a file (e.g.
+    /// `results/reproduce_progress.txt`).
+    pub fn progress_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.progress_file = Some(path.into());
+        self
+    }
+
+    /// Applies the shared CLI flags (`--jobs`, `--no-cache`,
+    /// `--timeout-secs`) on top of the current configuration.
+    /// `default_cache_dir` is used unless `--no-cache` was given.
+    pub fn apply_cli(mut self, args: &CliArgs, default_cache_dir: impl Into<PathBuf>) -> Self {
+        self.jobs = args.jobs.max(1);
+        self.timeout = args.timeout;
+        self.cache_dir = if args.no_cache {
+            None
+        } else {
+            Some(default_cache_dir.into())
+        };
+        self
+    }
+
+    /// Runs the graph to completion.
+    pub fn run(&self, graph: &JobGraph) -> Sweep {
+        let cache = self
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| match ResultCache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[scu-harness] cannot open cache at {}: {e}; running uncached",
+                        dir.display()
+                    );
+                    None
+                }
+            });
+        let mut progress = if self.narrate {
+            Progress::stderr(graph.len())
+        } else {
+            Progress::silent(graph.len())
+        };
+        if let Some(path) = &self.progress_file {
+            match progress.with_file(path) {
+                Ok(p) => progress = p,
+                Err(e) => {
+                    eprintln!(
+                        "[scu-harness] cannot write progress to {}: {e}",
+                        path.display()
+                    );
+                    progress = if self.narrate {
+                        Progress::stderr(graph.len())
+                    } else {
+                        Progress::silent(graph.len())
+                    };
+                }
+            }
+        }
+        let opts = ExecOptions {
+            jobs: self.jobs,
+            timeout: self.timeout,
+        };
+        let start = Instant::now();
+        let outcomes = executor::execute(graph, cache.as_ref(), &opts, &progress);
+        let summary = SweepSummary::new(graph, &outcomes, start.elapsed());
+        let cache_stats = cache.map(|c| c.stats()).unwrap_or_default();
+        Sweep {
+            outcomes,
+            summary,
+            cache_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scu-harness-lib-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cell_graph() -> JobGraph {
+        let mut g = JobGraph::new();
+        for i in 0..6u64 {
+            let key = Value::Object(vec![
+                ("cell".to_string(), Value::U64(i)),
+                ("model".to_string(), Value::Str("v1".into())),
+            ]);
+            g.push(Job::new(format!("cell-{i}"), move || Value::U64(i + 100)).with_cache_key(key));
+        }
+        g
+    }
+
+    #[test]
+    fn warm_cache_serves_every_cell() {
+        let dir = scratch("warm");
+        let harness = Harness::new().jobs(4).cache_dir(&dir);
+        let cold = harness.run(&cell_graph());
+        assert!(cold.summary.all_done());
+        assert_eq!(cold.summary.cached, 0);
+        assert_eq!(cold.cache_stats.stores, 6);
+        let warm = harness.run(&cell_graph());
+        assert!(warm.summary.fully_cached());
+        assert_eq!(warm.cache_stats.hits, 6);
+        let values = |s: &Sweep| -> Vec<Value> {
+            s.outcomes
+                .iter()
+                .map(|o| o.value().unwrap().clone())
+                .collect()
+        };
+        assert_eq!(values(&cold), values(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let seq = Harness::new().jobs(1).run(&cell_graph());
+        let par = Harness::new().jobs(6).run(&cell_graph());
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn apply_cli_respects_no_cache() {
+        let args = CliArgs::parse([
+            "--no-cache".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+        ])
+        .unwrap();
+        let h = Harness::new().apply_cli(&args, "unused-cache-dir");
+        assert_eq!(h.jobs, 2);
+        assert!(h.cache_dir.is_none());
+        let with_cache =
+            Harness::new().apply_cli(&CliArgs::parse(Vec::<String>::new()).unwrap(), "some-dir");
+        assert_eq!(
+            with_cache.cache_dir.as_deref(),
+            Some(std::path::Path::new("some-dir"))
+        );
+    }
+
+    #[test]
+    fn doc_example_shape() {
+        let mut graph = JobGraph::new();
+        for i in 0..4u64 {
+            graph.push(Job::new(format!("cell-{i}"), move || Value::U64(i * i)));
+        }
+        let sweep = Harness::new().jobs(2).run(&graph);
+        assert!(sweep.summary.all_done());
+        assert_eq!(sweep.outcomes[3].value(), Some(&Value::U64(9)));
+    }
+}

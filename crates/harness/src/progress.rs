@@ -1,0 +1,338 @@
+//! Live progress lines and the end-of-sweep summary.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::job::{JobGraph, Outcome};
+
+/// Where per-job completion lines go. Thread-safe; shared by all
+/// workers.
+pub struct Progress {
+    total: usize,
+    finished: AtomicUsize,
+    start: Instant,
+    to_stderr: bool,
+    file: Option<Mutex<File>>,
+}
+
+impl Progress {
+    /// Reports nothing (unit tests, library use).
+    pub fn silent(total: usize) -> Self {
+        Progress {
+            total,
+            finished: AtomicUsize::new(0),
+            start: Instant::now(),
+            to_stderr: false,
+            file: None,
+        }
+    }
+
+    /// Narrates each completion on stderr, like the sequential
+    /// reproduction did.
+    pub fn stderr(total: usize) -> Self {
+        Progress {
+            to_stderr: true,
+            ..Progress::silent(total)
+        }
+    }
+
+    /// Additionally appends each line to `path` (the live progress
+    /// file under `results/`). Truncates any previous content.
+    pub fn with_file(mut self, path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        self.file = Some(Mutex::new(File::create(path)?));
+        Ok(self)
+    }
+
+    /// Records one finished job and emits its line.
+    pub fn job_finished(&self, id: &str, outcome: &Outcome) {
+        let n = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.to_stderr && self.file.is_none() {
+            return;
+        }
+        let line = match outcome {
+            Outcome::Done {
+                duration, cached, ..
+            } => format!(
+                "[{n}/{}] {id} {} ({})",
+                self.total,
+                if *cached { "cached" } else { "done" },
+                fmt_duration(*duration),
+            ),
+            Outcome::Failed { error } => {
+                let first = error.lines().next().unwrap_or("");
+                format!("[{n}/{}] {id} FAILED: {first}", self.total)
+            }
+            Outcome::TimedOut { limit } => {
+                format!(
+                    "[{n}/{}] {id} TIMED-OUT after {}",
+                    self.total,
+                    fmt_duration(*limit)
+                )
+            }
+            Outcome::Skipped { failed_dep } => {
+                format!(
+                    "[{n}/{}] {id} skipped (dependency '{failed_dep}' failed)",
+                    self.total
+                )
+            }
+        };
+        if self.to_stderr {
+            eprintln!("{line}");
+        }
+        if let Some(file) = &self.file {
+            let mut file = file.lock().expect("progress file poisoned");
+            let _ = writeln!(file, "{line}");
+        }
+    }
+
+    /// Time since the progress tracker was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Everything worth saying after a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Jobs in the graph.
+    pub total: usize,
+    /// Jobs that completed (fresh or cached).
+    pub done: usize,
+    /// Completions served from the result cache.
+    pub cached: usize,
+    /// `(job id, panic message)` for each failed job.
+    pub failed: Vec<(String, String)>,
+    /// Ids of jobs that exceeded the wall-clock budget.
+    pub timed_out: Vec<String>,
+    /// Ids of jobs skipped because a dependency did not complete.
+    pub skipped: Vec<String>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Sum of per-job compute durations (fresh completions only) —
+    /// `cell_time / wall` approximates achieved parallelism.
+    pub cell_time: Duration,
+    /// The slowest fresh completions, `(job id, duration)`,
+    /// descending; at most five.
+    pub slowest: Vec<(String, Duration)>,
+}
+
+impl SweepSummary {
+    /// Folds per-job outcomes into a summary.
+    pub fn new(graph: &JobGraph, outcomes: &[Outcome], wall: Duration) -> Self {
+        assert_eq!(graph.len(), outcomes.len());
+        let mut s = SweepSummary {
+            total: outcomes.len(),
+            done: 0,
+            cached: 0,
+            failed: Vec::new(),
+            timed_out: Vec::new(),
+            skipped: Vec::new(),
+            wall,
+            cell_time: Duration::ZERO,
+            slowest: Vec::new(),
+        };
+        let mut durations: Vec<(String, Duration)> = Vec::new();
+        for (job, outcome) in graph.jobs().iter().zip(outcomes) {
+            match outcome {
+                Outcome::Done {
+                    duration, cached, ..
+                } => {
+                    s.done += 1;
+                    if *cached {
+                        s.cached += 1;
+                    } else {
+                        s.cell_time += *duration;
+                        durations.push((job.id.clone(), *duration));
+                    }
+                }
+                Outcome::Failed { error } => s.failed.push((job.id.clone(), error.clone())),
+                Outcome::TimedOut { .. } => s.timed_out.push(job.id.clone()),
+                Outcome::Skipped { .. } => s.skipped.push(job.id.clone()),
+            }
+        }
+        durations.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        durations.truncate(5);
+        s.slowest = durations;
+        s
+    }
+
+    /// Whether every job completed.
+    pub fn all_done(&self) -> bool {
+        self.done == self.total
+    }
+
+    /// Whether every completion came from the cache.
+    pub fn fully_cached(&self) -> bool {
+        self.all_done() && self.cached == self.total
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep: {}/{} cells done ({} from cache) in {}",
+            self.done,
+            self.total,
+            self.cached,
+            fmt_duration(self.wall),
+        ));
+        if self.cell_time > Duration::ZERO {
+            out.push_str(&format!(
+                " — {} of cell compute ({:.1}x parallel)",
+                fmt_duration(self.cell_time),
+                self.cell_time.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+            ));
+        }
+        out.push('\n');
+        if !self.slowest.is_empty() {
+            out.push_str("slowest cells:\n");
+            for (id, d) in &self.slowest {
+                out.push_str(&format!("  {:<44} {}\n", id, fmt_duration(*d)));
+            }
+        }
+        for (id, err) in &self.failed {
+            out.push_str(&format!(
+                "FAILED    {id}: {}\n",
+                err.lines().next().unwrap_or("")
+            ));
+        }
+        for id in &self.timed_out {
+            out.push_str(&format!("TIMED-OUT {id}\n"));
+        }
+        for id in &self.skipped {
+            out.push_str(&format!("skipped   {id} (failed dependency)\n"));
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.001 {
+        format!("{:.0} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use serde_json::Value;
+
+    fn graph(ids: &[&str]) -> JobGraph {
+        let mut g = JobGraph::new();
+        for &id in ids {
+            g.push(Job::new(id, || Value::Null));
+        }
+        g
+    }
+
+    #[test]
+    fn summary_counts_every_outcome_kind() {
+        let g = graph(&["a", "b", "c", "d", "e"]);
+        let outcomes = vec![
+            Outcome::Done {
+                value: Value::Null,
+                duration: Duration::from_secs(2),
+                cached: false,
+            },
+            Outcome::Done {
+                value: Value::Null,
+                duration: Duration::from_millis(1),
+                cached: true,
+            },
+            Outcome::Failed {
+                error: "boom\nbacktrace".into(),
+            },
+            Outcome::TimedOut {
+                limit: Duration::from_secs(1),
+            },
+            Outcome::Skipped {
+                failed_dep: "c".into(),
+            },
+        ];
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(3));
+        assert_eq!((s.total, s.done, s.cached), (5, 2, 1));
+        assert_eq!(
+            s.failed,
+            vec![("c".to_string(), "boom\nbacktrace".to_string())]
+        );
+        assert_eq!(s.timed_out, vec!["d".to_string()]);
+        assert_eq!(s.skipped, vec!["e".to_string()]);
+        assert_eq!(s.cell_time, Duration::from_secs(2));
+        assert!(!s.all_done());
+        let text = s.render();
+        assert!(text.contains("2/5"));
+        assert!(text.contains("FAILED    c: boom"));
+        assert!(
+            !text.contains("backtrace"),
+            "only first line of panic shown"
+        );
+    }
+
+    #[test]
+    fn fully_cached_detection() {
+        let g = graph(&["a"]);
+        let outcomes = vec![Outcome::Done {
+            value: Value::Null,
+            duration: Duration::ZERO,
+            cached: true,
+        }];
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_millis(1));
+        assert!(s.fully_cached());
+    }
+
+    #[test]
+    fn slowest_is_sorted_and_capped() {
+        let g = graph(&["a", "b", "c", "d", "e", "f", "g"]);
+        let outcomes: Vec<Outcome> = (0..7)
+            .map(|i| Outcome::Done {
+                value: Value::Null,
+                duration: Duration::from_millis(100 - i),
+                cached: false,
+            })
+            .collect();
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(1));
+        assert_eq!(s.slowest.len(), 5);
+        assert_eq!(s.slowest[0].0, "a");
+        assert!(s.slowest.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn progress_writes_file_lines() {
+        let path =
+            std::env::temp_dir().join(format!("scu-harness-progress-{}.txt", std::process::id()));
+        let p = Progress::silent(2).with_file(&path).unwrap();
+        p.job_finished(
+            "cell-a",
+            &Outcome::Done {
+                value: Value::Null,
+                duration: Duration::ZERO,
+                cached: false,
+            },
+        );
+        p.job_finished(
+            "cell-b",
+            &Outcome::Failed {
+                error: "why".into(),
+            },
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("[1/2] cell-a done"));
+        assert!(text.contains("[2/2] cell-b FAILED: why"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -96,7 +96,11 @@ impl<T: Copy> DeviceArray<T> {
     /// Panics if `i` is out of bounds.
     #[inline]
     pub fn addr(&self, i: usize) -> Addr {
-        assert!(i < self.data.len(), "index {i} out of bounds ({})", self.data.len());
+        assert!(
+            i < self.data.len(),
+            "index {i} out of bounds ({})",
+            self.data.len()
+        );
         self.base + (i * std::mem::size_of::<T>()) as Addr
     }
 

@@ -38,11 +38,7 @@ impl CacheConfig {
     /// Returns a message if the capacity is not a positive multiple of
     /// `line_size * associativity` or the resulting set count is not a
     /// power of two.
-    pub fn new(
-        size_bytes: u64,
-        line_size: LineSize,
-        associativity: u32,
-    ) -> Result<Self, String> {
+    pub fn new(size_bytes: u64, line_size: LineSize, associativity: u32) -> Result<Self, String> {
         if associativity == 0 {
             return Err("associativity must be positive".to_string());
         }
@@ -56,7 +52,11 @@ impl CacheConfig {
         if !sets.is_power_of_two() {
             return Err(format!("set count {sets} is not a power of two"));
         }
-        Ok(CacheConfig { size_bytes, line_size, associativity })
+        Ok(CacheConfig {
+            size_bytes,
+            line_size,
+            associativity,
+        })
     }
 
     /// Number of sets implied by the geometry.
@@ -89,7 +89,12 @@ struct Way {
 }
 
 impl Way {
-    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, last_use: 0 };
+    const EMPTY: Way = Way {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        last_use: 0,
+    };
 }
 
 /// A set-associative, write-back, write-allocate cache with LRU
@@ -179,7 +184,10 @@ impl Cache {
                 way.dirty = true;
             }
             self.stats.hits += 1;
-            return CacheOutcome { hit: true, dirty_eviction: false };
+            return CacheOutcome {
+                hit: true,
+                dirty_eviction: false,
+            };
         }
 
         self.stats.misses += 1;
@@ -206,7 +214,10 @@ impl Cache {
             dirty: kind == AccessKind::Write,
             last_use: self.clock,
         };
-        CacheOutcome { hit: false, dirty_eviction }
+        CacheOutcome {
+            hit: false,
+            dirty_eviction,
+        }
     }
 
     /// Returns `true` if the line containing `addr` is currently

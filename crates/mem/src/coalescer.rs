@@ -13,8 +13,8 @@
 //!   holds up to 32 in-flight requests with a merge window of 4
 //!   elements (Table 1).
 
-use serde::Serialize;
 use crate::line::{Addr, LineSize};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Intra-warp address coalescer.
@@ -69,7 +69,7 @@ impl WarpCoalescer {
 }
 
 /// Statistics accumulated by a [`StreamCoalescer`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamCoalescerStats {
     /// Requests fed into the unit.
     pub requests_in: u64,

@@ -47,9 +47,20 @@ impl Dram {
     /// Panics if `cfg` fails [`DramConfig::validate`].
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("invalid DRAM config");
-        let banks = vec![Bank { open_row: None, busy_ns: 0.0 }; cfg.total_banks() as usize];
+        let banks = vec![
+            Bank {
+                open_row: None,
+                busy_ns: 0.0
+            };
+            cfg.total_banks() as usize
+        ];
         let channel_bus_ns = vec![0.0; cfg.channels as usize];
-        Dram { cfg, banks, channel_bus_ns, stats: DramStats::default() }
+        Dram {
+            cfg,
+            banks,
+            channel_bus_ns,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration this device was built with.
@@ -102,7 +113,10 @@ impl Dram {
         }
         self.stats.bytes += self.cfg.access_bytes.bytes() as u64;
 
-        DramAccess { row_hit, latency_ns: latency_ns + bus }
+        DramAccess {
+            row_hit,
+            latency_ns: latency_ns + bus,
+        }
     }
 
     /// Minimum time needed to service all traffic issued so far,
@@ -132,7 +146,10 @@ impl Dram {
     /// Closes all rows, resets counters and busy time.
     pub fn clear(&mut self) {
         for b in &mut self.banks {
-            *b = Bank { open_row: None, busy_ns: 0.0 };
+            *b = Bank {
+                open_row: None,
+                busy_ns: 0.0,
+            };
         }
         self.channel_bus_ns.fill(0.0);
         self.stats = DramStats::default();

@@ -42,10 +42,16 @@ impl std::error::Error for InvalidLineSize {}
 
 impl LineSize {
     /// The 128-byte line used by both modelled GPUs (Maxwell-class L1/L2).
-    pub const L128: LineSize = LineSize { bytes: 128, shift: 7 };
+    pub const L128: LineSize = LineSize {
+        bytes: 128,
+        shift: 7,
+    };
 
     /// The 32-byte DRAM burst granule used by the bandwidth model.
-    pub const B32: LineSize = LineSize { bytes: 32, shift: 5 };
+    pub const B32: LineSize = LineSize {
+        bytes: 32,
+        shift: 5,
+    };
 
     /// Creates a line size of `bytes` bytes.
     ///
@@ -57,7 +63,10 @@ impl LineSize {
         if bytes == 0 || !bytes.is_power_of_two() {
             return Err(InvalidLineSize(bytes));
         }
-        Ok(LineSize { bytes, shift: bytes.trailing_zeros() })
+        Ok(LineSize {
+            bytes,
+            shift: bytes.trailing_zeros(),
+        })
     }
 
     /// The line size in bytes.
@@ -178,7 +187,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(LineSize::L128.to_string(), "128B");
-        assert_eq!(InvalidLineSize(96).to_string(), "line size 96 is not a positive power of two");
+        assert_eq!(
+            InvalidLineSize(96).to_string(),
+            "line size 96 is not a positive power of two"
+        );
     }
 
     #[test]

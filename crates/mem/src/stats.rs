@@ -6,10 +6,10 @@
 //! [`merge`](CacheStats::merge)-style accumulation so per-phase
 //! measurements can be rolled up into per-application totals.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Hit/miss counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Total accesses (reads + writes).
     pub accesses: u64,
@@ -61,7 +61,7 @@ impl CacheStats {
 }
 
 /// DRAM access counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramStats {
     /// Read bursts serviced.
     pub reads: u64,
@@ -112,7 +112,7 @@ impl DramStats {
 }
 
 /// Combined snapshot of an entire [`crate::system::MemorySystem`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemoryStats {
     /// L2 counters.
     pub l2: CacheStats,
@@ -129,7 +129,10 @@ impl MemoryStats {
 
     /// Difference `self - other` (see [`CacheStats::since`]).
     pub fn since(&self, other: &MemoryStats) -> MemoryStats {
-        MemoryStats { l2: self.l2.since(&other.l2), dram: self.dram.since(&other.dram) }
+        MemoryStats {
+            l2: self.l2.since(&other.l2),
+            dram: self.dram.since(&other.dram),
+        }
     }
 }
 
@@ -140,14 +143,27 @@ mod tests {
     #[test]
     fn hit_rate_handles_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
-        let s = CacheStats { accesses: 4, hits: 3, ..Default::default() };
+        let s = CacheStats {
+            accesses: 4,
+            hits: 3,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CacheStats { accesses: 1, hits: 1, ..Default::default() };
-        let b = CacheStats { accesses: 2, misses: 2, writebacks: 1, ..Default::default() };
+        let mut a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 2,
+            misses: 2,
+            writebacks: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 3);
         assert_eq!(a.hits, 1);
@@ -157,8 +173,17 @@ mod tests {
 
     #[test]
     fn since_subtracts_snapshot() {
-        let start = DramStats { reads: 10, bytes: 320, ..Default::default() };
-        let end = DramStats { reads: 15, bytes: 480, row_hits: 3, ..Default::default() };
+        let start = DramStats {
+            reads: 10,
+            bytes: 320,
+            ..Default::default()
+        };
+        let end = DramStats {
+            reads: 15,
+            bytes: 480,
+            row_hits: 3,
+            ..Default::default()
+        };
         let w = end.since(&start);
         assert_eq!(w.reads, 5);
         assert_eq!(w.bytes, 160);
@@ -168,7 +193,11 @@ mod tests {
     #[test]
     fn row_hit_rate_handles_zero() {
         assert_eq!(DramStats::default().row_hit_rate(), 0.0);
-        let s = DramStats { row_hits: 1, row_misses: 3, ..Default::default() };
+        let s = DramStats {
+            row_hits: 1,
+            row_misses: 3,
+            ..Default::default()
+        };
         assert!((s.row_hit_rate() - 0.25).abs() < 1e-12);
     }
 
@@ -176,8 +205,14 @@ mod tests {
     fn memory_stats_roll_up() {
         let mut m = MemoryStats::default();
         m.merge(&MemoryStats {
-            l2: CacheStats { accesses: 5, ..Default::default() },
-            dram: DramStats { bytes: 64, ..Default::default() },
+            l2: CacheStats {
+                accesses: 5,
+                ..Default::default()
+            },
+            dram: DramStats {
+                bytes: 64,
+                ..Default::default()
+            },
         });
         assert_eq!(m.l2.accesses, 5);
         assert_eq!(m.dram.bytes, 64);

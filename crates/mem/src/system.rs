@@ -43,8 +43,7 @@ impl MemorySystemConfig {
     /// (paper Table 4).
     pub fn tx1() -> Self {
         MemorySystemConfig {
-            l2: CacheConfig::new(256 * 1024, LineSize::L128, 16)
-                .expect("static geometry is valid"),
+            l2: CacheConfig::new(256 * 1024, LineSize::L128, 16).expect("static geometry is valid"),
             dram: DramConfig::lpddr4_4gb(),
             l2_hit_latency_ns: 28.0,
             l2_bw_bytes_per_ns: 64.0,
@@ -85,7 +84,12 @@ impl MemorySystem {
     pub fn new(cfg: MemorySystemConfig) -> Self {
         let l2 = Cache::new(cfg.l2);
         let dram = Dram::new(cfg.dram.clone());
-        MemorySystem { cfg, l2, dram, l2_bytes: 0 }
+        MemorySystem {
+            cfg,
+            l2,
+            dram,
+            l2_bytes: 0,
+        }
     }
 
     /// The configuration this system was built with.
@@ -113,7 +117,10 @@ impl MemorySystem {
             // approximate locality.
             self.dram.access(addr, AccessKind::Write);
         }
-        MemOutcome { l2_hit: out.hit, latency_ns: latency }
+        MemOutcome {
+            l2_hit: out.hit,
+            latency_ns: latency,
+        }
     }
 
     /// A sector-granularity access (32 bytes of L2 bandwidth instead
@@ -132,19 +139,28 @@ impl MemorySystem {
         if out.dirty_eviction {
             self.dram.access(addr, AccessKind::Write);
         }
-        MemOutcome { l2_hit: out.hit, latency_ns: latency }
+        MemOutcome {
+            l2_hit: out.hit,
+            latency_ns: latency,
+        }
     }
 
     /// Reads the DRAM line behind the L2 without allocating — used for
     /// streaming traffic that the modelled hardware marks non-cacheable.
     pub fn access_uncached(&mut self, addr: Addr, kind: AccessKind) -> MemOutcome {
         let a = self.dram.access(addr, kind);
-        MemOutcome { l2_hit: false, latency_ns: a.latency_ns }
+        MemOutcome {
+            l2_hit: false,
+            latency_ns: a.latency_ns,
+        }
     }
 
     /// Combined counters snapshot.
     pub fn stats(&self) -> MemoryStats {
-        MemoryStats { l2: *self.l2.stats(), dram: *self.dram.stats() }
+        MemoryStats {
+            l2: *self.l2.stats(),
+            dram: *self.dram.stats(),
+        }
     }
 
     /// Minimum service time for all traffic issued so far: the max of

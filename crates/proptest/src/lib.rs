@@ -1,0 +1,280 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network and no registry cache, so the
+//! real proptest cannot be resolved. This crate keeps the calling
+//! convention of the subset the workspace's property tests use —
+//! [`proptest!`], [`prop_assert!`]/[`prop_assert_eq!`],
+//! `prop::collection::vec`, integer-range strategies, tuple strategies
+//! and [`ProptestConfig::with_cases`] — and runs each property over a
+//! fixed number of deterministically generated cases.
+//!
+//! Differences from real proptest, deliberately accepted: no input
+//! shrinking on failure (the failing values are printed instead), no
+//! persisted regression files, and case generation is seeded from the
+//! test's name, so failures reproduce exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngExt;
+
+/// The deterministic case generator handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the stream from the test name, so every run of a given
+    /// test sees the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Length specification for [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy combinators, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::RngExt;
+
+        /// A vector strategy: `len` drawn from `size`, elements from
+        /// `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.rng().random_range(self.size.lo..self.size.hi_exclusive);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, printing context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property, printing context on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs
+/// its body over [`ProptestConfig::cases`] generated argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@inner $cfg; $($rest)*}
+    };
+    (@inner $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut prop_rng = $crate::TestRng::deterministic(stringify!($name));
+                for prop_case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)*
+                    let detail = || {
+                        let mut s = format!("case {prop_case}:");
+                        $(s.push_str(&format!(" {} = {:?};", stringify!($arg), &$arg));)*
+                        s
+                    };
+                    $crate::eprintln_on_panic(&detail, || $body);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@inner $crate::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+/// Runs `body`, printing `detail()` before propagating a panic — the
+/// stand-in for proptest's failure-case reporting (without shrinking).
+pub fn eprintln_on_panic<D: Fn() -> String>(detail: &D, body: impl FnOnce()) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = outcome {
+        eprintln!("proptest stub failing input — {}", detail());
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The glob import real proptest users write.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(0u32..10, 3..7),
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_compose(
+            pair in (0u8..2, 5usize..6),
+            triple in (0u32..4, 0u32..4, 1u32..2),
+        ) {
+            prop_assert!(pair.0 < 2);
+            prop_assert_eq!(pair.1, 5);
+            prop_assert_eq!(triple.2, 1);
+        }
+    }
+
+    #[test]
+    fn default_config_runs() {
+        // No `#[test]` on the inner fn: attributes are optional in the
+        // macro, and a nested test item would be unnameable anyway.
+        proptest! {
+            fn inner(x in 0u64..100) {
+                prop_assert!(x < 100);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let sa = (0u32..1000).sample(&mut a);
+        let sb = (0u32..1000).sample(&mut b);
+        assert_eq!(sa, sb);
+    }
+
+    // The macro must call the named tests; vec_lengths... carries
+    // #[test] through $meta, so nothing extra to do here.
+}

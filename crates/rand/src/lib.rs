@@ -1,0 +1,294 @@
+//! Offline stand-in for `rand`.
+//!
+//! The build environment has no network and no registry cache, so the
+//! real `rand` cannot be resolved. This crate supplies the slice the
+//! workspace uses — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and [`RngExt`]'s `random`/`random_range` — backed by xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64, the same construction
+//! the upstream crate documents for seeding.
+//!
+//! Streams are deterministic per seed and stable across platforms and
+//! releases: the graph generators derive every synthetic dataset from
+//! these streams, and the experiment cache keys assume a given
+//! `(dataset, scale, seed)` always reproduces the same graph. Do not
+//! change the generator without bumping the model version in
+//! `scu-algos`.
+
+/// Core pseudo-random stream: 64 fresh bits per call.
+pub trait RngCore {
+    /// The next 64-bit output of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// 256 bits of state, period 2^256 − 1, passes BigCrush; chosen
+    /// over a cryptographic generator because graph generation wants
+    /// speed and reproducibility, not unpredictability.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion; guarantees a non-zero state for
+            // every seed (SplitMix64 is a bijection, so the four
+            // outputs cannot all be zero).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly from the full `next_u64` stream.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait UniformInt: Copy {
+    /// Widens to the sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back; the value is guaranteed in range by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+// Signed bounds map through an order-preserving bijection into u64
+// (sign-extend, then flip the top bit), so the unsigned sampling path
+// handles them unchanged.
+macro_rules! uniform_int_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                (self as i64 as u64) ^ (1u64 << 63)
+            }
+            fn from_u64(v: u64) -> Self {
+                (v ^ (1u64 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+uniform_int_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges acceptable to [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw from `[0, n)` by rejection — no modulo bias.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Reject draws from the final partial copy of [0, n) in u64 space.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange for std::ops::Range<T> {
+    type Output = T;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "random_range called with empty range");
+        T::from_u64(lo + uniform_below(rng, hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange for std::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "random_range called with empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + uniform_below(rng, span + 1))
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// Draws one value of an inferable type.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u32 = rng.random_range(1..=10);
+            assert!((1..=10).contains(&y));
+            let z: usize = rng.random_range(0..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo_seen |= x < 0.1;
+            hi_seen |= x > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "draws did not cover the interval");
+    }
+
+    #[test]
+    fn range_draws_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn stream_is_stable_across_releases() {
+        // Golden values pin the generator: dataset reproducibility and
+        // cache keys depend on this stream never changing.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.random()).collect();
+        assert_eq!(
+            first,
+            [
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+}

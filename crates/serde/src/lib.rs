@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network and no registry cache, so the
+//! real serde cannot be resolved. This crate provides the small slice
+//! of its surface the workspace actually uses — a [`Serialize`] /
+//! [`Deserialize`] trait pair over a JSON-shaped [`Value`] — with the
+//! same derive-macro spelling, so user code is written exactly as it
+//! would be against real serde. The sibling `serde_json` package
+//! supplies the string syntax (printing and parsing).
+//!
+//! Design constraints that matter to the workspace:
+//!
+//! - **Byte-stable serialisation.** [`Value::Object`] preserves
+//!   insertion order (derives emit fields in declaration order), so
+//!   serialising the same data twice yields identical bytes — the
+//!   experiment harness compares and caches on those bytes.
+//! - **Lossless numerics.** `u64` counters exceed 2^53 in long
+//!   simulations, so integers are kept apart from floats rather than
+//!   funnelled through `f64`.
+
+// Lets the `::serde::` paths emitted by the derive macros resolve
+// when the derives are used inside this crate (e.g. its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (serialised without a decimal point).
+    U64(u64),
+    /// A negative integer (serialised without a decimal point).
+    I64(i64),
+    /// A finite float. Non-finite floats serialise as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered, duplicate keys are not checked.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers are widened losslessly, floats returned
+    /// verbatim.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A deserialisation error: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a description.
+    pub fn new(msg: &str) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Prefixes the description with a location, for field context.
+    pub fn context(self, what: &str) -> Self {
+        DeError(format!("{what}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree, describing the mismatch on failure.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up `name` in an object's entries and deserialises it —
+/// the helper the derive macro expands struct fields into.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+    T::from_value(v).map_err(|e| e.context(name))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::new("expected integer"))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_u64()
+            .ok_or_else(|| DeError::new("expected unsigned integer"))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = u64::from_value(v)?;
+        usize::try_from(n).map_err(|_| DeError(format!("integer {n} out of range for usize")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            // Non-finite floats serialise as null; NaN is the honest
+            // round-trip of "not a representable number".
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+/// `&'static str` deserialises by interning: reports carry
+/// `&'static str` names, and the handful of distinct names observed in
+/// a process is tiny, so leaking each new one once is bounded.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        use std::sync::Mutex;
+        static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let s = v.as_str().ok_or_else(|| DeError::new("expected string"))?;
+        let mut pool = INTERNED.lock().expect("intern pool poisoned");
+        if let Some(hit) = pool.iter().find(|x| **x == s) {
+            return Ok(hit);
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        pool.push(leaked);
+        Ok(leaked)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| T::from_value(x).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        count: u64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn struct_round_trip_preserves_field_order() {
+        let p = Point {
+            x: 1.5,
+            count: u64::MAX,
+            label: "hi".into(),
+        };
+        let v = p.to_value();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["x", "count", "label"]);
+        assert_eq!(Point::from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn unit_enum_maps_to_variant_name() {
+        assert_eq!(Kind::Beta.to_value(), Value::Str("Beta".into()));
+        assert_eq!(
+            Kind::from_value(&Value::Str("Alpha".into())).unwrap(),
+            Kind::Alpha
+        );
+        assert!(Kind::from_value(&Value::Str("Gamma".into())).is_err());
+    }
+
+    #[test]
+    fn u64_survives_beyond_f64_precision() {
+        let n: u64 = (1 << 53) + 1;
+        assert_eq!(u64::from_value(&n.to_value()).unwrap(), n);
+    }
+
+    #[test]
+    fn missing_field_names_the_field() {
+        let v = Value::Object(vec![("x".into(), Value::F64(0.0))]);
+        let err = Point::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn static_str_interns() {
+        let a = <&'static str>::from_value(&Value::Str("bfs".into())).unwrap();
+        let b = <&'static str>::from_value(&Value::Str("bfs".into())).unwrap();
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(3), None];
+        let round: Vec<Option<u32>> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+    }
+}

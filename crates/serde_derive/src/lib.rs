@@ -1,0 +1,244 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network and no registry cache, so the
+//! real serde stack cannot be resolved. This crate derives the
+//! workspace-local [`serde`](../serde) traits instead, covering exactly
+//! the shapes this repository uses:
+//!
+//! - structs with named fields → JSON objects (fields in declaration
+//!   order, so serialisation is byte-stable),
+//! - enums whose variants are all units → JSON strings of the variant
+//!   name (matching real serde's external tagging for unit variants).
+//!
+//! Generics, tuple structs and data-carrying enum variants are
+//! rejected with a compile-time panic: hand-write the impl instead.
+//! Parsing is done directly on the [`proc_macro::TokenStream`] —
+//! `syn`/`quote` are equally unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the workspace-local trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n", name = item.name))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Str(match self {{\n{arms}}}.to_string())\n\
+                 }}\n}}\n",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the workspace-local trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n", name = item.name))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let s = v.as_str().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected string for {name}\"))?;\n\
+                 match s {{\n{arms}\
+                 other => Err(::serde::DeError::new(&format!(\
+                 \"unknown {name} variant '{{other}}'\"))),\n\
+                 }}\n}}\n}}\n",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+enum Shape {
+    /// Named field identifiers, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant identifiers, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips any number of `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive stub: generics on `{name}` are not supported; hand-write the impl"
+            );
+        }
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde_derive stub: `{name}` has no braced body (tuple/unit items unsupported)")
+        });
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(&name, body)),
+        "enum" => Shape::Enum(parse_enum_variants(&name, body)),
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn parse_struct_fields(name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive stub: expected field name in `{name}`, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected ':' in `{name}`, found {other}"),
+        }
+        // Skip the type: everything up to the next top-level ','.
+        // Generic arguments arrive as single `Group`/`Punct` trees, but
+        // `<`/`>` appear as plain puncts, so track angle depth.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde_derive stub: expected variant in `{name}`, found {other}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive stub: only unit variants are supported; \
+                 `{name}` has data near {other}"
+            ),
+        }
+    }
+    variants
+}

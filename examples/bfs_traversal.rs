@@ -23,7 +23,12 @@ fn main() {
 
     // Level populations from the reference BFS.
     let dist = bfs::reference::distances(&graph, 0);
-    let max_level = dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+    let max_level = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0);
     println!("\nlevel populations (reference BFS from node 0):");
     for level in 0..=max_level {
         let count = dist.iter().filter(|&&d| d == level).count();
@@ -38,8 +43,10 @@ fn main() {
         println!(
             "  level {level}: {count:>6} nodes{}",
             if level > 0 {
-                format!("  (edge frontier into it: {expanded:>8} - {:>4.1}x duplicates+visited)",
-                    expanded as f64 / count.max(1) as f64)
+                format!(
+                    "  (edge frontier into it: {expanded:>8} - {:>4.1}x duplicates+visited)",
+                    expanded as f64 / count.max(1) as f64
+                )
             } else {
                 String::new()
             }

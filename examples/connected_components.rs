@@ -26,7 +26,11 @@ fn main() {
         b.add_undirected(base + 1, base + 2, 1);
     }
     let g = b.build();
-    println!("graph: {} nodes, {} edges (road network + 10 islands)", g.num_nodes(), g.num_edges());
+    println!(
+        "graph: {} nodes, {} edges (road network + 10 islands)",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     let base = run(Algorithm::Cc, &g, SystemKind::Tx1, Mode::GpuBaseline);
     let enh = run(Algorithm::Cc, &g, SystemKind::Tx1, Mode::ScuEnhanced);

@@ -25,15 +25,26 @@ fn main() {
     let frontier: Vec<u32> = by_degree.into_iter().take(1024).collect();
     let indexes = DeviceArray::from_vec(
         &mut alloc,
-        frontier.iter().map(|&v| graph.row_offsets()[v as usize]).collect(),
+        frontier
+            .iter()
+            .map(|&v| graph.row_offsets()[v as usize])
+            .collect(),
     );
-    let counts =
-        DeviceArray::from_vec(&mut alloc, frontier.iter().map(|&v| graph.degree(v)).collect());
+    let counts = DeviceArray::from_vec(
+        &mut alloc,
+        frontier.iter().map(|&v| graph.degree(v)).collect(),
+    );
     let total: usize = frontier.iter().map(|&v| graph.degree(v) as usize).sum();
-    println!("frontier of {} nodes expands to {total} edges\n", frontier.len());
+    println!(
+        "frontier of {} nodes expands to {total} edges\n",
+        frontier.len()
+    );
 
     // --- Knob 1: pipeline width. ---
-    println!("{:<16} {:>12} {:>14}", "pipeline width", "op time (us)", "elements/cycle");
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "pipeline width", "op time (us)", "elements/cycle"
+    );
     for width in [1u32, 2, 4, 8] {
         let mut cfg = ScuConfig::tx1();
         cfg.pipeline_width = width;
@@ -41,7 +52,14 @@ fn main() {
         let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
         let mut dst: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, total);
         let op = scu.access_expansion_compaction(
-            &mut mem, &edges, &indexes, &counts, frontier.len(), None, None, &mut dst,
+            &mut mem,
+            &edges,
+            &indexes,
+            &counts,
+            frontier.len(),
+            None,
+            None,
+            &mut dst,
         );
         println!(
             "{width:<16} {:>12.1} {:>14.2}",
@@ -51,7 +69,10 @@ fn main() {
     }
 
     // --- Knob 2: filtering hash size. ---
-    println!("\n{:<16} {:>12} {:>12}", "hash size (KB)", "dropped", "drop rate");
+    println!(
+        "\n{:<16} {:>12} {:>12}",
+        "hash size (KB)", "dropped", "drop rate"
+    );
     for kb in [8u64, 33, 132, 528] {
         let mut cfg = ScuConfig::tx1();
         cfg.filter_bfs_hash.size_bytes = kb * 1024;
@@ -72,7 +93,11 @@ fn main() {
             &mut flags,
         );
         let s = hash.stats();
-        println!("{kb:<16} {:>12} {:>11.1}%", s.dropped, s.drop_rate() * 100.0);
+        println!(
+            "{kb:<16} {:>12} {:>11.1}%",
+            s.dropped,
+            s.drop_rate() * 100.0
+        );
     }
     println!("\nlarger tables catch more duplicates; the paper sizes them to the L2 (Table 2).");
 }

@@ -18,14 +18,26 @@ fn main() {
         graph.num_edges()
     );
 
-    let base = run(Algorithm::PageRank, &graph, SystemKind::Tx1, Mode::GpuBaseline);
+    let base = run(
+        Algorithm::PageRank,
+        &graph,
+        SystemKind::Tx1,
+        Mode::GpuBaseline,
+    );
 
     // Top-5 ranked nodes (ranks were quantised to 1e-9 by the runner).
     let mut ranked: Vec<(usize, u64)> = base.values.iter().copied().enumerate().collect();
     ranked.sort_by_key(|&(_, r)| std::cmp::Reverse(r));
-    println!("\ntop-5 authors by rank (converged in {} iterations):", base.report.iterations);
+    println!(
+        "\ntop-5 authors by rank (converged in {} iterations):",
+        base.report.iterations
+    );
     for (node, rank) in ranked.iter().take(5) {
-        println!("  node {node:>6}  rank {:.4}  degree {}", *rank as f64 / 1e9, graph.degree(*node as u32));
+        println!(
+            "  node {node:>6}  rank {:.4}  degree {}",
+            *rank as f64 / 1e9,
+            graph.degree(*node as u32)
+        );
     }
 
     println!("\nSCU offload of the expansion phase (Algorithm 3):");

@@ -28,8 +28,15 @@ fn main() {
     // Same answers on both machines.
     assert_eq!(base.values, scu.values);
 
-    let reached = base.values.iter().filter(|&&d| d != u32::MAX as u64).count();
-    println!("BFS from node 0 reaches {reached} nodes in {} iterations", base.report.iterations);
+    let reached = base
+        .values
+        .iter()
+        .filter(|&&d| d != u32::MAX as u64)
+        .count();
+    println!(
+        "BFS from node 0 reaches {reached} nodes in {} iterations",
+        base.report.iterations
+    );
 
     println!(
         "baseline GPU : {:>10.1} us  ({:.0}% of it in stream compaction)",

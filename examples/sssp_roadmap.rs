@@ -24,8 +24,12 @@ fn main() {
         "\nshortest paths from junction 0 computed in {} near/far rounds",
         base.report.iterations
     );
-    let reachable: Vec<u64> =
-        base.values.iter().copied().filter(|&d| d != u32::MAX as u64).collect();
+    let reachable: Vec<u64> = base
+        .values
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX as u64)
+        .collect();
     println!(
         "reachable junctions: {} (max cost {}, mean cost {:.1})",
         reachable.len(),
@@ -33,8 +37,16 @@ fn main() {
         reachable.iter().sum::<u64>() as f64 / reachable.len() as f64
     );
 
-    println!("\n{:<16} {:>12} {:>9} {:>10} {:>12}", "machine", "time (us)", "speedup", "energy(x)", "GPU insts");
-    for mode in [Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced] {
+    println!(
+        "\n{:<16} {:>12} {:>9} {:>10} {:>12}",
+        "machine", "time (us)", "speedup", "energy(x)", "GPU insts"
+    );
+    for mode in [
+        Mode::GpuBaseline,
+        Mode::ScuBasic,
+        Mode::ScuFilteringOnly,
+        Mode::ScuEnhanced,
+    ] {
         let out = run(Algorithm::Sssp, &graph, SystemKind::Tx1, mode);
         assert_eq!(out.values, base.values, "all machines must agree");
         println!(

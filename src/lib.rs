@@ -13,4 +13,5 @@ pub use scu_core as unit;
 pub use scu_energy as energy;
 pub use scu_gpu as gpu;
 pub use scu_graph as graph;
+pub use scu_harness as harness;
 pub use scu_mem as mem;

@@ -5,8 +5,12 @@ use scu::algos::runner::{run, Algorithm, Mode};
 use scu::algos::{bfs, pagerank, sssp, SystemKind};
 use scu::graph::Dataset;
 
-const MODES: [Mode; 4] =
-    [Mode::GpuBaseline, Mode::ScuBasic, Mode::ScuFilteringOnly, Mode::ScuEnhanced];
+const MODES: [Mode; 4] = [
+    Mode::GpuBaseline,
+    Mode::ScuBasic,
+    Mode::ScuFilteringOnly,
+    Mode::ScuEnhanced,
+];
 
 #[test]
 fn bfs_exact_on_every_dataset_and_machine() {
@@ -85,8 +89,7 @@ fn different_sources_also_agree() {
 
         let expect = sssp::reference::distances(&g, src);
         let mut sys = scu::algos::System::with_scu(SystemKind::Tx1);
-        let (got, _) =
-            sssp::scu::run(&mut sys, &g, src, sssp::ScuVariant::enhanced());
+        let (got, _) = sssp::scu::run(&mut sys, &g, src, sssp::ScuVariant::enhanced());
         assert_eq!(got, expect, "source {src}");
     }
 }

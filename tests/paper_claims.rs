@@ -54,12 +54,34 @@ fn claim_pagerank_benefits_least() {
     // Paper: PR ~1.05x on TX1, small slowdown on GTX980 — in any case
     // far below the BFS gain.
     let pr = {
-        let b = bench(Algorithm::PageRank, Dataset::Kron, SystemKind::Tx1, Mode::GpuBaseline);
-        bench(Algorithm::PageRank, Dataset::Kron, SystemKind::Tx1, Mode::ScuBasic).speedup_vs(&b)
+        let b = bench(
+            Algorithm::PageRank,
+            Dataset::Kron,
+            SystemKind::Tx1,
+            Mode::GpuBaseline,
+        );
+        bench(
+            Algorithm::PageRank,
+            Dataset::Kron,
+            SystemKind::Tx1,
+            Mode::ScuBasic,
+        )
+        .speedup_vs(&b)
     };
     let bfs = {
-        let b = bench(Algorithm::Bfs, Dataset::Kron, SystemKind::Tx1, Mode::GpuBaseline);
-        bench(Algorithm::Bfs, Dataset::Kron, SystemKind::Tx1, Mode::ScuEnhanced).speedup_vs(&b)
+        let b = bench(
+            Algorithm::Bfs,
+            Dataset::Kron,
+            SystemKind::Tx1,
+            Mode::GpuBaseline,
+        );
+        bench(
+            Algorithm::Bfs,
+            Dataset::Kron,
+            SystemKind::Tx1,
+            Mode::ScuEnhanced,
+        )
+        .speedup_vs(&b)
     };
     assert!((0.5..1.6).contains(&pr), "PR speedup {pr} should be near 1");
     assert!(bfs > pr, "BFS {bfs} must beat PR {pr}");
@@ -91,8 +113,18 @@ fn claim_enhanced_scu_saves_energy() {
 #[test]
 fn claim_grouping_improves_coalescing_over_filtering_only() {
     // Paper Figure 12: +27% coalescing on SSSP/TX1.
-    let fo = bench(Algorithm::Sssp, Dataset::Kron, SystemKind::Tx1, Mode::ScuFilteringOnly);
-    let enh = bench(Algorithm::Sssp, Dataset::Kron, SystemKind::Tx1, Mode::ScuEnhanced);
+    let fo = bench(
+        Algorithm::Sssp,
+        Dataset::Kron,
+        SystemKind::Tx1,
+        Mode::ScuFilteringOnly,
+    );
+    let enh = bench(
+        Algorithm::Sssp,
+        Dataset::Kron,
+        SystemKind::Tx1,
+        Mode::ScuEnhanced,
+    );
     assert!(
         enh.gpu_coalescing() < fo.gpu_coalescing(),
         "grouped {} vs filtering-only {}",
@@ -114,7 +146,10 @@ fn claim_basic_scu_gives_modest_gains() {
         let basic_er = basic.energy_reduction_vs(&base);
         let enh_er = enh.energy_reduction_vs(&base);
         assert!(basic_er > 1.0, "{algo}: basic energy reduction {basic_er}");
-        assert!(enh_er > basic_er, "{algo}: enhanced {enh_er} vs basic {basic_er}");
+        assert!(
+            enh_er > basic_er,
+            "{algo}: enhanced {enh_er} vs basic {basic_er}"
+        );
     }
 }
 

@@ -80,6 +80,10 @@ impl Cell {
     /// and summarises. Pure with respect to the configuration — equal
     /// cells produce equal results on any thread, in any order.
     pub fn run(&self) -> CellResult {
+        // Failpoint site for fault-injection tests: with
+        // `SCU_FAILPOINTS=cell-run=…` armed, a cell can be made to
+        // panic, stall, or flake deterministically.
+        scu_harness::failpoint::apply("cell-run");
         let g = shared_graph(self.dataset, self.scale, self.seed);
         let out = run_configured(
             self.algorithm,
@@ -158,15 +162,19 @@ type GraphKey = (Dataset, u64, u64);
 /// regenerating it per algorithm × platform × mode combination.
 pub fn shared_graph(dataset: Dataset, scale: f64, seed: u64) -> Arc<Csr> {
     static CACHE: OnceLock<Mutex<HashMap<GraphKey, Arc<Csr>>>> = OnceLock::new();
+    scu_harness::failpoint::apply("graph-build");
     let key = (dataset, scale.to_bits(), seed);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(g) = cache.lock().expect("graph cache poisoned").get(&key) {
+    // Poison-tolerant: a panic injected (or hit) between the lookup
+    // and the insert leaves the map consistent, so later cells can
+    // keep using it instead of dying on a poisoned lock.
+    if let Some(g) = scu_harness::error::lock_unpoisoned(cache, "graph cache").get(&key) {
         return Arc::clone(g);
     }
     // Build outside the lock: different graphs may build concurrently,
     // and a duplicate build of the same key is deterministic anyway.
     let g = Arc::new(dataset.build(scale, seed));
-    let mut cache = cache.lock().expect("graph cache poisoned");
+    let mut cache = scu_harness::error::lock_unpoisoned(cache, "graph cache");
     Arc::clone(cache.entry(key).or_insert(g))
 }
 

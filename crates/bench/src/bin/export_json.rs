@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Accepts the shared harness flags: `--jobs N`, `--no-cache`,
-//! `--filter SUBSTR`, `--timeout-secs N`. The matrix covers the
-//! paper's three primitives plus the CC and k-core extensions.
+//! `--filter SUBSTR`, `--timeout-secs N`, `--retries N`, `--resume`.
+//! Completions are journaled to `results/manifest.json`, so a killed
+//! export rerun with `--resume` recomputes only the missing cells and
+//! produces byte-identical JSON. The matrix covers the paper's three
+//! primitives plus the CC and k-core extensions.
 
 use scu_algos::runner::Mode;
 use scu_bench::experiments::matrix::{Matrix, Measurement};
@@ -62,7 +65,10 @@ fn main() {
         std::process::exit(2);
     }
     let cfg = ExperimentConfig::from_env();
-    let harness = Harness::new().apply_cli(&args, "results/cache");
+    let harness = Harness::new()
+        .apply_cli(&args, "results/cache")
+        .manifest("results/manifest.json")
+        .handle_sigint(true);
     let (m, sweep) = Matrix::collect_with(
         &cfg,
         &[
@@ -79,6 +85,11 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&Value::Array(rows)).expect("serialisable")
     );
+    if sweep.summary.was_interrupted() {
+        eprintln!("{}", sweep.summary.render());
+        eprintln!("interrupted — rerun with --resume to finish the remaining cells");
+        std::process::exit(130);
+    }
     if !sweep.summary.all_done() {
         eprintln!("{}", sweep.summary.render());
         std::process::exit(1);

@@ -7,6 +7,12 @@
 //! mirrored to `results/reproduce_output.txt`, live progress to
 //! `results/reproduce_progress.txt`.
 //!
+//! Robustness: flaky cells are retried (`--retries N`, default 2);
+//! completions are journaled to `results/manifest.json` as they land,
+//! so a killed run restarts with `--resume` and re-executes only the
+//! cells the journal missed. The first Ctrl-C drains in-flight cells,
+//! writes the manifest and exits 130; the second kills immediately.
+//!
 //! Scale with `SCU_SCALE` (default 1/16 of published dataset sizes).
 
 use std::fmt::Write as _;
@@ -41,7 +47,9 @@ fn main() {
     let harness = Harness::new()
         .apply_cli(&args, "results/cache")
         .narrate(true)
-        .progress_file("results/reproduce_progress.txt");
+        .progress_file("results/reproduce_progress.txt")
+        .manifest("results/manifest.json")
+        .handle_sigint(true);
     let (m, sweep) = Matrix::collect_with(&cfg, &MODES, &harness, args.filter.as_deref());
 
     let mut out = String::new();
@@ -70,6 +78,10 @@ fn main() {
         .and_then(|()| std::fs::write("results/reproduce_output.txt", &out))
     {
         eprintln!("cannot write results/reproduce_output.txt: {e}");
+    }
+    if sweep.summary.was_interrupted() {
+        eprintln!("interrupted — rerun with --resume to finish the remaining cells");
+        std::process::exit(130);
     }
     if !sweep.summary.all_done() {
         std::process::exit(1);

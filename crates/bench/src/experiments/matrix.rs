@@ -106,16 +106,23 @@ impl Matrix {
         let mut entries = Vec::new();
         for (cell, outcome) in cells.iter().zip(&sweep.outcomes) {
             if let Some(value) = outcome.value() {
-                let result = CellResult::from_value(value)
-                    .unwrap_or_else(|e| panic!("cell {} result malformed: {e:?}", cell.id()));
-                entries.push(Measurement {
-                    algo: cell.algorithm,
-                    dataset: cell.dataset,
-                    system: cell.system,
-                    mode: cell.mode,
-                    report: result.report,
-                    values_fnv: result.values_fnv,
-                });
+                // A malformed result (e.g. a foreign-version blob that
+                // slipped past cache verification) drops this one cell
+                // from the grid; the sweep's other cells stay usable.
+                match CellResult::from_value(value) {
+                    Ok(result) => entries.push(Measurement {
+                        algo: cell.algorithm,
+                        dataset: cell.dataset,
+                        system: cell.system,
+                        mode: cell.mode,
+                        report: result.report,
+                        values_fnv: result.values_fnv,
+                    }),
+                    Err(e) => eprintln!(
+                        "[scu-bench] cell {} result malformed ({e:?}); dropped from grid",
+                        cell.id()
+                    ),
+                }
             }
         }
         (Matrix { entries }, sweep)

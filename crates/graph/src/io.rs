@@ -72,6 +72,18 @@ pub fn parse_edge_list(text: &str) -> Result<Csr, ParseGraphError> {
         if it.next().is_some() {
             return Err(err(ln + 1, "trailing tokens"));
         }
+        // `u32::MAX` would make the node count `u32::MAX + 1`, which
+        // no u32 node id can index — reject instead of wrapping.
+        if src == u32::MAX || dst == u32::MAX {
+            return Err(err(
+                ln + 1,
+                format!(
+                    "node index overflow: id {} exceeds the maximum {}",
+                    u32::MAX,
+                    u32::MAX - 1
+                ),
+            ));
+        }
         max_id = max_id.max(src).max(dst);
         triples.push((src, dst, weight));
     }
@@ -102,9 +114,12 @@ pub fn to_edge_list(g: &Csr) -> String {
 /// # Errors
 ///
 /// Returns [`ParseGraphError`] on malformed lines, a missing header,
-/// or node IDs outside the declared range.
+/// node IDs outside the declared range, or an arc count that does not
+/// match the header's `m`.
 pub fn parse_dimacs(text: &str) -> Result<Csr, ParseGraphError> {
     let mut builder: Option<GraphBuilder> = None;
+    let mut declared: (usize, usize) = (0, 0);
+    let mut arcs = 0usize;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('c') {
@@ -121,6 +136,18 @@ pub fn parse_dimacs(text: &str) -> Result<Csr, ParseGraphError> {
                     .ok_or_else(|| err(ln + 1, "missing node count"))?
                     .parse()
                     .map_err(|e| err(ln + 1, format!("bad node count: {e}")))?;
+                let m: usize = it
+                    .next()
+                    .ok_or_else(|| err(ln + 1, "missing edge count"))?
+                    .parse()
+                    .map_err(|e| err(ln + 1, format!("bad edge count: {e}")))?;
+                if n > u32::MAX as usize {
+                    return Err(err(
+                        ln + 1,
+                        format!("node count {n} exceeds the u32 node-id space"),
+                    ));
+                }
+                declared = (n, m);
                 builder = Some(GraphBuilder::new(n));
             }
             Some("a") => {
@@ -145,6 +172,16 @@ pub fn parse_dimacs(text: &str) -> Result<Csr, ParseGraphError> {
                 if src == 0 || dst == 0 {
                     return Err(err(ln + 1, "DIMACS node ids are 1-indexed"));
                 }
+                if src as usize > declared.0 || dst as usize > declared.0 {
+                    return Err(err(
+                        ln + 1,
+                        format!(
+                            "arc ({src}, {dst}) outside the declared {} node(s)",
+                            declared.0
+                        ),
+                    ));
+                }
+                arcs += 1;
                 b.add_edge(src - 1, dst - 1, w);
             }
             Some(other) => {
@@ -154,6 +191,12 @@ pub fn parse_dimacs(text: &str) -> Result<Csr, ParseGraphError> {
         }
     }
     let b = builder.ok_or_else(|| err(1, "missing 'p sp' header"))?;
+    if arcs != declared.1 {
+        return Err(err(
+            text.lines().count().max(1),
+            format!("header declares {} arc(s) but {arcs} present", declared.1),
+        ));
+    }
     Ok(b.build())
 }
 
@@ -186,6 +229,8 @@ pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
     let symmetric = banner_fields[4].eq_ignore_ascii_case("symmetric");
 
     let mut builder: Option<GraphBuilder> = None;
+    let mut declared: (usize, usize, usize) = (0, 0, 0); // rows, cols, nnz
+    let mut entries = 0usize;
     for (ln, raw) in lines {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('%') {
@@ -203,6 +248,18 @@ pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
                 .ok_or_else(|| err(ln + 1, "missing column count"))?
                 .parse()
                 .map_err(|e| err(ln + 1, format!("bad column count: {e}")))?;
+            let nnz: usize = it
+                .next()
+                .ok_or_else(|| err(ln + 1, "missing nonzero count"))?
+                .parse()
+                .map_err(|e| err(ln + 1, format!("bad nonzero count: {e}")))?;
+            if rows.max(cols) > u32::MAX as usize {
+                return Err(err(
+                    ln + 1,
+                    format!("dimension {} exceeds the u32 node-id space", rows.max(cols)),
+                ));
+            }
+            declared = (rows, cols, nnz);
             builder = Some(GraphBuilder::new(rows.max(cols)));
             continue;
         }
@@ -220,6 +277,15 @@ pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
         if i == 0 || j == 0 {
             return Err(err(ln + 1, "MatrixMarket indices are 1-indexed"));
         }
+        if i as usize > declared.0 || j as usize > declared.1 {
+            return Err(err(
+                ln + 1,
+                format!(
+                    "entry ({i}, {j}) outside the declared {}x{} matrix",
+                    declared.0, declared.1
+                ),
+            ));
+        }
         let weight = if pattern {
             1
         } else {
@@ -230,12 +296,22 @@ pub fn parse_matrix_market(text: &str) -> Result<Csr, ParseGraphError> {
                 .map_err(|e| err(ln + 1, format!("bad value: {e}")))?;
             (v.abs().ceil() as u32).max(1)
         };
+        entries += 1;
         b.add_edge(i - 1, j - 1, weight);
         if symmetric && i != j {
             b.add_edge(j - 1, i - 1, weight);
         }
     }
     let b = builder.ok_or_else(|| err(1, "missing size line"))?;
+    if entries != declared.2 {
+        return Err(err(
+            text.lines().count().max(1),
+            format!(
+                "size line declares {} nonzero(s) but {entries} present",
+                declared.2
+            ),
+        ));
+    }
     Ok(b.build())
 }
 
@@ -325,5 +401,44 @@ mod tests {
     fn error_display_includes_line() {
         let e = parse_edge_list("0 1\nbroken\n").unwrap_err();
         assert!(e.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn edge_list_rejects_node_index_overflow() {
+        let e = parse_edge_list(&format!("0 {}\n", u32::MAX)).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("overflow"), "{}", e.message);
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_arcs() {
+        let e = parse_dimacs("p sp 2 1\na 1 3 5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("outside the declared"), "{}", e.message);
+    }
+
+    #[test]
+    fn dimacs_rejects_arc_count_mismatch() {
+        let e = parse_dimacs("p sp 3 2\na 1 2 7\n").unwrap_err();
+        assert!(e.message.contains("declares 2 arc(s)"), "{}", e.message);
+        let e = parse_dimacs("p sp 3 1\na 1 2 7\na 2 3 4\n").unwrap_err();
+        assert!(e.message.contains("but 2 present"), "{}", e.message);
+    }
+
+    #[test]
+    fn matrix_market_rejects_out_of_range_entries() {
+        let e =
+            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+                .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("outside the declared"), "{}", e.message);
+    }
+
+    #[test]
+    fn matrix_market_rejects_nnz_mismatch() {
+        let e =
+            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n")
+                .unwrap_err();
+        assert!(e.message.contains("declares 2 nonzero(s)"), "{}", e.message);
     }
 }

@@ -1,5 +1,6 @@
 //! Shared command-line surface for the experiment binaries:
-//! `--jobs N`, `--no-cache`, `--filter <substr>`, `--timeout-secs N`.
+//! `--jobs N`, `--no-cache`, `--filter <substr>`, `--timeout-secs N`,
+//! `--retries N`, `--resume`.
 
 use std::time::Duration;
 
@@ -16,6 +17,12 @@ pub struct CliArgs {
     pub filter: Option<String>,
     /// Per-cell wall-clock budget.
     pub timeout: Option<Duration>,
+    /// Retries for failed or timed-out cells (sweep binaries default
+    /// to 2 so one flaky cell does not cost a rerun).
+    pub retries: u32,
+    /// Resume from the journal of an interrupted sweep instead of
+    /// starting fresh.
+    pub resume: bool,
     /// Positional arguments, in order, with harness flags removed.
     pub rest: Vec<String>,
 }
@@ -27,6 +34,8 @@ impl Default for CliArgs {
             no_cache: false,
             filter: None,
             timeout: None,
+            retries: 2,
+            resume: false,
             rest: Vec::new(),
         }
     }
@@ -37,7 +46,9 @@ pub const USAGE: &str = "harness options:\n  \
     --jobs N          worker threads (default: available cores)\n  \
     --no-cache        recompute every cell, ignore cached results\n  \
     --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
-    --timeout-secs N  mark cells running longer than N seconds as timed out";
+    --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
+    --retries N       retry failed/timed-out cells up to N times (default: 2)\n  \
+    --resume          resume an interrupted sweep from results/manifest.json";
 
 impl CliArgs {
     /// Parses `std::env::args().skip(1)`-style arguments. Unknown
@@ -75,6 +86,13 @@ impl CliArgs {
                     })?;
                     out.timeout = Some(Duration::from_secs_f64(secs));
                 }
+                "--retries" => {
+                    let v = value("a retry count")?;
+                    out.retries = v.parse::<u32>().map_err(|_| {
+                        format!("--retries expects a non-negative integer, got '{v}'")
+                    })?;
+                }
+                "--resume" => out.resume = true,
                 _ => out.rest.push(arg),
             }
         }
@@ -107,6 +125,18 @@ mod tests {
         assert!(a.jobs >= 1);
         assert!(!a.no_cache);
         assert!(a.filter.is_none() && a.timeout.is_none());
+        assert_eq!(a.retries, 2);
+        assert!(!a.resume);
+    }
+
+    #[test]
+    fn retries_and_resume_parse() {
+        let a = parse(&["--retries", "0", "--resume"]);
+        assert_eq!(a.retries, 0);
+        assert!(a.resume);
+        let b = parse(&["--retries=5"]);
+        assert_eq!(b.retries, 5);
+        assert!(CliArgs::parse(["--retries".to_string(), "-1".to_string()]).is_err());
     }
 
     #[test]

@@ -13,23 +13,47 @@
 //! returned order is insertion order regardless of completion order.
 //! Running with one worker or sixteen yields byte-identical results.
 //!
-//! Fault isolation: a panicking job is caught with `catch_unwind` and
-//! reported as [`Outcome::Failed`]; its transitive dependents become
-//! [`Outcome::Skipped`]; everything else proceeds. With a configured
-//! timeout the job runs on a dedicated thread that is *abandoned* on
-//! expiry (threads cannot be killed safely); the closure's `Arc` keeps
-//! its environment alive until the stray thread finishes.
+//! Fault isolation and recovery, layered per job:
+//!
+//! 1. **Resume** — with a resume map (journaled completions from an
+//!    interrupted sweep), a matching job is pre-resolved without
+//!    running.
+//! 2. **Cache** — a content-addressed hit short-circuits execution.
+//! 3. **Retry** — a panicking or timed-out attempt is retried up to
+//!    [`ExecOptions::retries`] times with capped exponential backoff;
+//!    every failed attempt is recorded in the outcome's history.
+//! 4. **Isolation** — the final panic is caught with `catch_unwind`
+//!    and reported as [`Outcome::Failed`]; transitive dependents become
+//!    [`Outcome::Skipped`]; everything else proceeds.
+//!
+//! Timeouts: with a configured budget the job runs on a dedicated
+//! thread; on expiry the thread is *abandoned* (threads cannot be
+//! killed safely) and the worker moves on — pool capacity is restored
+//! immediately because the worker itself never ran the cell. Abandoned
+//! threads are tracked: those that finish before the sweep ends are
+//! joined (reclaimed), the rest are counted as
+//! [`ExecResult::leaked_threads`] so a sweep that shed threads says so
+//! in its summary instead of leaking silently.
+//!
+//! Cancellation: when the cancel flag rises (SIGINT), workers finish
+//! their in-flight jobs — completions still reach the journal — and
+//! stop drawing new ones; never-started jobs report
+//! [`Outcome::Cancelled`].
 
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
 use crate::cache::ResultCache;
-use crate::job::{Job, JobGraph, JobId, Outcome};
+use crate::error::lock_unpoisoned;
+use crate::job::{Attempt, Job, JobGraph, JobId, Outcome};
+use crate::journal::{Journal, JournalEntry};
 use crate::progress::Progress;
 
 /// Executor knobs.
@@ -40,6 +64,13 @@ pub struct ExecOptions {
     /// Per-job wall-clock budget; `None` disables the watchdog and
     /// runs jobs inline on the workers.
     pub timeout: Option<Duration>,
+    /// Retries after a failed or timed-out attempt (0 = single shot).
+    pub retries: u32,
+    /// Base backoff slept after the first failed attempt; doubles per
+    /// attempt, capped at [`ExecOptions::backoff_cap`].
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
 }
 
 impl Default for ExecOptions {
@@ -47,8 +78,34 @@ impl Default for ExecOptions {
         ExecOptions {
             jobs: default_jobs(),
             timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
         }
     }
+}
+
+/// Everything the executor consults besides the graph itself.
+#[derive(Default)]
+pub struct ExecContext<'a> {
+    /// Content-addressed result cache, if caching is on.
+    pub cache: Option<&'a ResultCache>,
+    /// Journal receiving each completion, if journaling is on.
+    pub journal: Option<&'a Journal>,
+    /// Journaled completions from an interrupted sweep, keyed by
+    /// [`JournalEntry::resume_key`].
+    pub resume: Option<&'a HashMap<String, Value>>,
+    /// Rises when the sweep should drain and stop (SIGINT).
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+/// What a finished (or drained) execution produced.
+#[derive(Debug)]
+pub struct ExecResult {
+    /// Per-job outcomes in insertion order.
+    pub outcomes: Vec<Outcome>,
+    /// Timed-out worker threads still running when the sweep ended.
+    pub leaked_threads: usize,
 }
 
 /// The machine's available parallelism (1 if unknown).
@@ -64,12 +121,20 @@ struct SchedState {
     unfinished: usize,
 }
 
+/// A cell thread abandoned by the timeout watchdog: joinable once
+/// `finished` rises, leaked if the sweep ends first.
+struct Abandoned {
+    handle: std::thread::JoinHandle<()>,
+    finished: Arc<AtomicBool>,
+}
+
 struct Scheduler<'g> {
     graph: &'g JobGraph,
     dependents: Vec<Vec<JobId>>,
     state: Mutex<SchedState>,
     cv: Condvar,
     results: Mutex<Vec<Option<Outcome>>>,
+    abandoned: Mutex<Vec<Abandoned>>,
 }
 
 impl<'g> Scheduler<'g> {
@@ -94,28 +159,40 @@ impl<'g> Scheduler<'g> {
             }),
             cv: Condvar::new(),
             results: Mutex::new(vec![None; n]),
+            abandoned: Mutex::new(Vec::new()),
         }
     }
 
-    /// Blocks until a job is ready or everything is finished.
-    fn next_job(&self) -> Option<JobId> {
-        let mut state = self.state.lock().expect("scheduler state poisoned");
+    /// Blocks until a job is ready, everything is finished, or the
+    /// sweep is cancelled.
+    fn next_job(&self, cancel: Option<&AtomicBool>) -> Option<JobId> {
+        let cancelled = || cancel.is_some_and(|c| c.load(Ordering::SeqCst));
+        let mut state = lock_unpoisoned(&self.state, "scheduler state");
         loop {
+            if cancelled() {
+                return None;
+            }
             if let Some(id) = state.ready.pop_front() {
                 return Some(id);
             }
             if state.unfinished == 0 {
                 return None;
             }
-            state = self.cv.wait(state).expect("scheduler state poisoned");
+            // A bounded wait keeps draining responsive to a cancel
+            // raised while every worker is parked.
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
         }
     }
 
     /// Records an outcome and releases any newly-ready dependents.
     fn record(&self, id: JobId, outcome: Outcome) {
         // Results first: a dependent reading its deps must find them.
-        self.results.lock().expect("results poisoned")[id] = Some(outcome);
-        let mut state = self.state.lock().expect("scheduler state poisoned");
+        lock_unpoisoned(&self.results, "results")[id] = Some(outcome);
+        let mut state = lock_unpoisoned(&self.state, "scheduler state");
         state.unfinished -= 1;
         for &d in &self.dependents[id] {
             state.indegree[d] -= 1;
@@ -129,7 +206,7 @@ impl<'g> Scheduler<'g> {
 
     /// The id of the first dependency that did not complete, if any.
     fn failed_dep(&self, job: &Job) -> Option<String> {
-        let results = self.results.lock().expect("results poisoned");
+        let results = lock_unpoisoned(&self.results, "results");
         for &d in &job.deps {
             let dep_done = results[d].as_ref().is_some_and(Outcome::is_done);
             if !dep_done {
@@ -138,17 +215,38 @@ impl<'g> Scheduler<'g> {
         }
         None
     }
+
+    /// Reclaims abandoned cell threads that finished on their own;
+    /// returns how many are still running (leaked).
+    fn sweep_abandoned(&self) -> usize {
+        let mut abandoned = lock_unpoisoned(&self.abandoned, "abandoned threads");
+        let mut leaked = 0usize;
+        for a in abandoned.drain(..) {
+            if a.finished.load(Ordering::SeqCst) {
+                let _ = a.handle.join();
+            } else {
+                leaked += 1;
+                // Dropping the handle detaches the thread; its closure
+                // Arc keeps the environment alive until it returns.
+            }
+        }
+        leaked
+    }
 }
 
-/// Runs every job in `graph`, returning outcomes in insertion order.
+/// Runs every job in `graph`, returning outcomes in insertion order
+/// plus the count of threads the timeout watchdog had to shed.
 pub fn execute(
     graph: &JobGraph,
-    cache: Option<&ResultCache>,
+    ctx: &ExecContext<'_>,
     opts: &ExecOptions,
     progress: &Progress,
-) -> Vec<Outcome> {
+) -> ExecResult {
     if graph.is_empty() {
-        return Vec::new();
+        return ExecResult {
+            outcomes: Vec::new(),
+            leaked_threads: 0,
+        };
     }
     let workers = opts.jobs.clamp(1, graph.len());
     let sched = Scheduler::new(graph);
@@ -158,9 +256,9 @@ pub fn execute(
             std::thread::Builder::new()
                 .name(format!("scu-harness-{w}"))
                 .spawn_scoped(scope, move || {
-                    while let Some(id) = sched.next_job() {
+                    while let Some(id) = sched.next_job(ctx.cancel) {
                         let job = &sched.graph.jobs()[id];
-                        let outcome = run_one(job, cache, opts.timeout, sched);
+                        let outcome = run_one(job, ctx, opts, sched);
                         progress.job_finished(&job.id, &outcome);
                         sched.record(id, outcome);
                     }
@@ -168,47 +266,128 @@ pub fn execute(
                 .expect("spawning worker thread");
         }
     });
-    sched
-        .results
-        .into_inner()
-        .expect("results poisoned")
-        .into_iter()
-        .map(|o| o.expect("every job has an outcome"))
-        .collect()
+    let leaked_threads = sched.sweep_abandoned();
+    let outcomes = lock_unpoisoned(&sched.results, "results")
+        .iter_mut()
+        .map(|slot| slot.take().unwrap_or(Outcome::Cancelled))
+        .collect();
+    ExecResult {
+        outcomes,
+        leaked_threads,
+    }
 }
 
-fn run_one(
-    job: &Job,
-    cache: Option<&ResultCache>,
-    timeout: Option<Duration>,
-    sched: &Scheduler<'_>,
-) -> Outcome {
+fn run_one(job: &Job, ctx: &ExecContext<'_>, opts: &ExecOptions, sched: &Scheduler<'_>) -> Outcome {
     if let Some(failed_dep) = sched.failed_dep(job) {
         return Outcome::Skipped { failed_dep };
     }
     let start = Instant::now();
-    if let (Some(cache), Some(key)) = (cache, job.cache_key.as_ref()) {
-        if let Some(value) = cache.load(key) {
+    if let Some(resume) = ctx.resume {
+        let rk = JournalEntry::resume_key(job.cache_key.as_ref(), &job.id);
+        if let Some(value) = resume.get(&rk) {
             return Outcome::Done {
-                value,
+                value: value.clone(),
                 duration: start.elapsed(),
                 cached: true,
+                retries: Vec::new(),
             };
         }
     }
-    let outcome = match timeout {
-        None => run_inline(job, start),
-        Some(limit) => run_with_watchdog(job, start, limit),
-    };
+    if let (Some(cache), Some(key)) = (ctx.cache, job.cache_key.as_ref()) {
+        if let Some(value) = cache.load(key) {
+            let outcome = Outcome::Done {
+                value,
+                duration: start.elapsed(),
+                cached: true,
+                retries: Vec::new(),
+            };
+            journal_done(ctx, job, &outcome);
+            return outcome;
+        }
+    }
+    let outcome = run_with_retries(job, opts, start, sched);
     if let (Some(cache), Some(key), Outcome::Done { value, .. }) =
-        (cache, job.cache_key.as_ref(), &outcome)
+        (ctx.cache, job.cache_key.as_ref(), &outcome)
     {
         if let Err(e) = cache.store(key, value) {
             // A write failure degrades caching, not correctness.
             eprintln!("[scu-harness] cache store failed for '{}': {e}", job.id);
         }
     }
+    journal_done(ctx, job, &outcome);
     outcome
+}
+
+/// Appends a completion to the journal, degrading on failure.
+fn journal_done(ctx: &ExecContext<'_>, job: &Job, outcome: &Outcome) {
+    let (Some(journal), Outcome::Done { value, .. }) = (ctx.journal, outcome) else {
+        return;
+    };
+    let entry = JournalEntry {
+        key: job.cache_key.clone(),
+        id: job.id.clone(),
+        value: value.clone(),
+    };
+    if let Err(e) = journal.append(&entry) {
+        // A short journal only costs recomputation on resume.
+        eprintln!("[scu-harness] journal append failed for '{}': {e}", job.id);
+    }
+}
+
+/// One attempt plus up to `opts.retries` retries with capped
+/// exponential backoff; each failed attempt lands in the history.
+fn run_with_retries(
+    job: &Job,
+    opts: &ExecOptions,
+    start: Instant,
+    sched: &Scheduler<'_>,
+) -> Outcome {
+    let mut history: Vec<Attempt> = Vec::new();
+    loop {
+        let attempt = match opts.timeout {
+            None => run_inline(job, start),
+            Some(limit) => run_with_watchdog(job, start, limit, Some(sched)),
+        };
+        let error = match &attempt {
+            Outcome::Done {
+                value,
+                duration,
+                cached,
+                ..
+            } => {
+                return Outcome::Done {
+                    value: value.clone(),
+                    duration: *duration,
+                    cached: *cached,
+                    retries: history,
+                };
+            }
+            Outcome::Failed { error, .. } => error.clone(),
+            Outcome::TimedOut { limit, .. } => {
+                format!("timed out after {:.3} s", limit.as_secs_f64())
+            }
+            Outcome::Skipped { .. } | Outcome::Cancelled => unreachable!("attempts run"),
+        };
+        if history.len() as u32 >= opts.retries {
+            return match attempt {
+                Outcome::Failed { error, .. } => Outcome::Failed {
+                    error,
+                    retries: history,
+                },
+                Outcome::TimedOut { limit, .. } => Outcome::TimedOut {
+                    limit,
+                    retries: history,
+                },
+                _ => unreachable!("non-done attempt"),
+            };
+        }
+        let backoff = opts
+            .backoff
+            .saturating_mul(1 << history.len().min(16))
+            .min(opts.backoff_cap);
+        history.push(Attempt { error, backoff });
+        std::thread::sleep(backoff);
+    }
 }
 
 fn run_inline(job: &Job, start: Instant) -> Outcome {
@@ -218,15 +397,24 @@ fn run_inline(job: &Job, start: Instant) -> Outcome {
             value,
             duration: start.elapsed(),
             cached: false,
+            retries: Vec::new(),
         },
         Err(payload) => Outcome::Failed {
             error: panic_message(payload.as_ref()),
+            retries: Vec::new(),
         },
     }
 }
 
-fn run_with_watchdog(job: &Job, start: Instant, limit: Duration) -> Outcome {
+fn run_with_watchdog(
+    job: &Job,
+    start: Instant,
+    limit: Duration,
+    sched: Option<&Scheduler<'_>>,
+) -> Outcome {
     let work = job.work.clone();
+    let finished = Arc::new(AtomicBool::new(false));
+    let done_flag = Arc::clone(&finished);
     let (tx, rx) = std::sync::mpsc::channel::<Result<Value, String>>();
     let spawned = std::thread::Builder::new()
         .name(format!("scu-cell-{}", job.id))
@@ -235,22 +423,46 @@ fn run_with_watchdog(job: &Job, start: Instant, limit: Duration) -> Outcome {
                 catch_unwind(AssertUnwindSafe(|| work())).map_err(|p| panic_message(p.as_ref()));
             // The receiver may have timed out and gone away.
             let _ = tx.send(result);
+            done_flag.store(true, Ordering::SeqCst);
         });
-    if spawned.is_err() {
+    let handle = match spawned {
+        Ok(h) => h,
         // Could not get a watchdog thread; run inline instead of
         // failing the cell (the timeout is advisory, the result not).
-        return run_inline(job, start);
-    }
+        Err(_) => return run_inline(job, start),
+    };
     match rx.recv_timeout(limit) {
-        Ok(Ok(value)) => Outcome::Done {
-            value,
-            duration: start.elapsed(),
-            cached: false,
-        },
-        Ok(Err(error)) => Outcome::Failed { error },
-        Err(RecvTimeoutError::Timeout) => Outcome::TimedOut { limit },
+        Ok(Ok(value)) => {
+            let _ = handle.join();
+            Outcome::Done {
+                value,
+                duration: start.elapsed(),
+                cached: false,
+                retries: Vec::new(),
+            }
+        }
+        Ok(Err(error)) => {
+            let _ = handle.join();
+            Outcome::Failed {
+                error,
+                retries: Vec::new(),
+            }
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            // Abandon the cell thread — it cannot be killed — but track
+            // it so the sweep can reclaim or count it at the end.
+            if let Some(sched) = sched {
+                lock_unpoisoned(&sched.abandoned, "abandoned threads")
+                    .push(Abandoned { handle, finished });
+            }
+            Outcome::TimedOut {
+                limit,
+                retries: Vec::new(),
+            }
+        }
         Err(RecvTimeoutError::Disconnected) => Outcome::Failed {
             error: "cell thread vanished without reporting".to_string(),
+            retries: Vec::new(),
         },
     }
 }
@@ -270,6 +482,7 @@ mod tests {
     use super::*;
     use crate::job::Job;
     use crate::progress::Progress;
+    use std::sync::atomic::AtomicU32;
 
     fn silent() -> Progress {
         Progress::silent(0)
@@ -278,13 +491,14 @@ mod tests {
     fn run(graph: &JobGraph, jobs: usize) -> Vec<Outcome> {
         execute(
             graph,
-            None,
+            &ExecContext::default(),
             &ExecOptions {
                 jobs,
-                timeout: None,
+                ..ExecOptions::default()
             },
             &silent(),
         )
+        .outcomes
     }
 
     #[test]
@@ -317,7 +531,7 @@ mod tests {
         g.push(Job::new("ok-2", || Value::U64(2)));
         let out = run(&g, 4);
         assert!(out[0].is_done());
-        assert!(matches!(&out[1], Outcome::Failed { error } if error.contains("deliberate")));
+        assert!(matches!(&out[1], Outcome::Failed { error, .. } if error.contains("deliberate")));
         assert!(out[2].is_done());
     }
 
@@ -337,7 +551,7 @@ mod tests {
     }
 
     #[test]
-    fn timeout_marks_cell_without_aborting_sweep() {
+    fn timeout_marks_cell_without_aborting_sweep_and_counts_the_leak() {
         let mut g = JobGraph::new();
         g.push(Job::new("slow", || {
             std::thread::sleep(Duration::from_secs(5));
@@ -347,10 +561,166 @@ mod tests {
         let opts = ExecOptions {
             jobs: 2,
             timeout: Some(Duration::from_millis(30)),
+            ..ExecOptions::default()
         };
-        let out = execute(&g, None, &opts, &silent());
-        assert!(matches!(out[0], Outcome::TimedOut { .. }));
-        assert_eq!(out[1].value(), Some(&Value::U64(7)));
+        let result = execute(&g, &ExecContext::default(), &opts, &silent());
+        assert!(matches!(result.outcomes[0], Outcome::TimedOut { .. }));
+        assert_eq!(result.outcomes[1].value(), Some(&Value::U64(7)));
+        assert_eq!(
+            result.leaked_threads, 1,
+            "the abandoned 5 s cell thread outlives the sweep"
+        );
+    }
+
+    #[test]
+    fn abandoned_thread_that_finishes_is_reclaimed_not_leaked() {
+        let mut g = JobGraph::new();
+        g.push(Job::new("brief-overrun", || {
+            std::thread::sleep(Duration::from_millis(60));
+            Value::Null
+        }));
+        // Enough in-budget jobs to keep the sweep alive past the
+        // abandoned cell's 60 ms, so it finishes and can be joined.
+        for i in 0..10u64 {
+            g.push(Job::new(format!("quick-{i}"), move || {
+                std::thread::sleep(Duration::from_millis(15));
+                Value::U64(i)
+            }));
+        }
+        let opts = ExecOptions {
+            jobs: 1,
+            timeout: Some(Duration::from_millis(30)),
+            ..ExecOptions::default()
+        };
+        let result = execute(&g, &ExecContext::default(), &opts, &silent());
+        assert!(matches!(result.outcomes[0], Outcome::TimedOut { .. }));
+        assert_eq!(result.leaked_threads, 0, "finished strays are joined");
+    }
+
+    #[test]
+    fn transient_failure_is_retried_then_ok_with_history() {
+        let flakes = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&flakes);
+        let mut g = JobGraph::new();
+        g.push(Job::new("flaky", move || {
+            if f.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient fault");
+            }
+            Value::U64(42)
+        }));
+        let opts = ExecOptions {
+            jobs: 1,
+            retries: 3,
+            backoff: Duration::from_millis(1),
+            ..ExecOptions::default()
+        };
+        let out = execute(&g, &ExecContext::default(), &opts, &silent()).outcomes;
+        assert!(out[0].was_retried());
+        assert_eq!(out[0].value(), Some(&Value::U64(42)));
+        let history = out[0].retries();
+        assert_eq!(history.len(), 2);
+        assert!(history.iter().all(|a| a.error.contains("transient")));
+        // Exponential: second backoff doubles the first.
+        assert_eq!(history[1].backoff, history[0].backoff * 2);
+    }
+
+    #[test]
+    fn permanent_failure_exhausts_retries_and_keeps_history() {
+        let mut g = JobGraph::new();
+        g.push(Job::new("doomed", || panic!("always broken")));
+        let opts = ExecOptions {
+            jobs: 1,
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..ExecOptions::default()
+        };
+        let out = execute(&g, &ExecContext::default(), &opts, &silent()).outcomes;
+        match &out[0] {
+            Outcome::Failed { error, retries } => {
+                assert!(error.contains("always broken"));
+                assert_eq!(retries.len(), 2, "two failed attempts precede the verdict");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let opts = ExecOptions {
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            retries: 6,
+            jobs: 1,
+            ..ExecOptions::default()
+        };
+        let mut g = JobGraph::new();
+        g.push(Job::new("doomed", || panic!("nope")));
+        let out = execute(&g, &ExecContext::default(), &opts, &silent()).outcomes;
+        let history = out[0].retries();
+        assert_eq!(history.len(), 6);
+        assert!(history
+            .iter()
+            .all(|a| a.backoff <= Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn cancel_drains_in_flight_and_marks_the_rest_cancelled() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancel);
+        let mut g = JobGraph::new();
+        g.push(Job::new("trigger", move || {
+            flag.store(true, Ordering::SeqCst);
+            Value::U64(1)
+        }));
+        for i in 1..5u64 {
+            g.push(Job::new(format!("never-{i}"), move || Value::U64(i)));
+        }
+        let ctx = ExecContext {
+            cancel: Some(&cancel),
+            ..ExecContext::default()
+        };
+        let out = execute(
+            &g,
+            &ctx,
+            &ExecOptions {
+                jobs: 1,
+                ..ExecOptions::default()
+            },
+            &silent(),
+        )
+        .outcomes;
+        assert!(out[0].is_done(), "in-flight job drains to completion");
+        for o in &out[1..] {
+            assert_eq!(o, &Outcome::Cancelled);
+        }
+    }
+
+    #[test]
+    fn resume_map_pre_resolves_without_running() {
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let key = Value::Str("resume-key".into());
+        let mut g = JobGraph::new();
+        g.push(
+            Job::new("resumable", move || {
+                flag.store(true, Ordering::SeqCst);
+                Value::U64(0)
+            })
+            .with_cache_key(key.clone()),
+        );
+        let mut resume = HashMap::new();
+        resume.insert(
+            JournalEntry::resume_key(Some(&key), "resumable"),
+            Value::U64(99),
+        );
+        let ctx = ExecContext {
+            resume: Some(&resume),
+            ..ExecContext::default()
+        };
+        let out = execute(&g, &ctx, &ExecOptions::default(), &silent()).outcomes;
+        assert_eq!(out[0].value(), Some(&Value::U64(99)));
+        assert!(out[0].is_cached());
+        assert!(!ran.load(Ordering::SeqCst), "journaled cell must not rerun");
     }
 
     #[test]
@@ -365,21 +735,42 @@ mod tests {
             g.push(Job::new("cell", || Value::U64(99)).with_cache_key(key));
             g
         };
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
         let first = execute(
             &build(key.clone()),
-            Some(&cache),
+            &ctx,
             &ExecOptions::default(),
             &silent(),
-        );
+        )
+        .outcomes;
         assert!(first[0].is_done() && !first[0].is_cached());
-        let second = execute(
-            &build(key),
-            Some(&cache),
-            &ExecOptions::default(),
-            &silent(),
-        );
+        let second = execute(&build(key), &ctx, &ExecOptions::default(), &silent()).outcomes;
         assert!(second[0].is_cached());
         assert_eq!(second[0].value(), first[0].value());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_records_completions_as_they_happen() {
+        let dir = std::env::temp_dir().join(format!("scu-harness-exec-jnl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("manifest.json");
+        let journal = Journal::open(&path, true).unwrap();
+        let mut g = JobGraph::new();
+        g.push(Job::new("ok", || Value::U64(5)).with_cache_key(Value::U64(1)));
+        g.push(Job::new("bad", || panic!("no journal entry for me")));
+        let ctx = ExecContext {
+            journal: Some(&journal),
+            ..ExecContext::default()
+        };
+        execute(&g, &ctx, &ExecOptions::default(), &silent());
+        let entries = Journal::load(&path).unwrap();
+        assert_eq!(entries.len(), 1, "only completions are journaled");
+        assert_eq!(entries[0].id, "ok");
+        assert_eq!(entries[0].value, Value::U64(5));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

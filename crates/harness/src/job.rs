@@ -113,23 +113,44 @@ impl JobGraph {
     }
 }
 
+/// One failed attempt that preceded a job's final outcome — the
+/// per-attempt history the retry layer records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// Why the attempt did not complete (panic message or timeout).
+    pub error: String,
+    /// The backoff slept after this attempt before the next one.
+    pub backoff: Duration,
+}
+
 /// What happened to one job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// Completed; `cached` tells whether the value came from the
-    /// result cache instead of being computed.
+    /// result cache (or resume journal) instead of being computed.
     Done {
         value: Value,
         duration: Duration,
         cached: bool,
+        /// Failed attempts that preceded this success (empty when the
+        /// first attempt succeeded).
+        retries: Vec<Attempt>,
     },
-    /// The work panicked; the payload's message.
-    Failed { error: String },
-    /// The work exceeded the configured wall-clock budget and was
+    /// Every attempt panicked; the final payload's message.
+    Failed {
+        error: String,
+        retries: Vec<Attempt>,
+    },
+    /// Every attempt exceeded the configured wall-clock budget and was
     /// abandoned.
-    TimedOut { limit: Duration },
+    TimedOut {
+        limit: Duration,
+        retries: Vec<Attempt>,
+    },
     /// A dependency did not complete, so the job never ran.
     Skipped { failed_dep: String },
+    /// The sweep was interrupted (SIGINT) before the job started.
+    Cancelled,
 }
 
 impl Outcome {
@@ -151,6 +172,21 @@ impl Outcome {
         matches!(self, Outcome::Done { cached: true, .. })
     }
 
+    /// The failed attempts that preceded this outcome.
+    pub fn retries(&self) -> &[Attempt] {
+        match self {
+            Outcome::Done { retries, .. }
+            | Outcome::Failed { retries, .. }
+            | Outcome::TimedOut { retries, .. } => retries,
+            Outcome::Skipped { .. } | Outcome::Cancelled => &[],
+        }
+    }
+
+    /// Whether the job completed only after at least one retry.
+    pub fn was_retried(&self) -> bool {
+        self.is_done() && !self.retries().is_empty()
+    }
+
     /// One-word status label for progress lines and summaries.
     pub fn label(&self) -> &'static str {
         match self {
@@ -159,6 +195,7 @@ impl Outcome {
             Outcome::Failed { .. } => "FAILED",
             Outcome::TimedOut { .. } => "TIMED-OUT",
             Outcome::Skipped { .. } => "skipped",
+            Outcome::Cancelled => "cancelled",
         }
     }
 }
@@ -190,14 +227,33 @@ mod tests {
             value: Value::U64(1),
             duration: Duration::from_millis(5),
             cached: false,
+            retries: Vec::new(),
         };
-        assert!(done.is_done() && !done.is_cached());
+        assert!(done.is_done() && !done.is_cached() && !done.was_retried());
         assert_eq!(done.value(), Some(&Value::U64(1)));
         assert_eq!(done.label(), "done");
         let failed = Outcome::Failed {
             error: "boom".into(),
+            retries: Vec::new(),
         };
         assert!(failed.value().is_none());
         assert_eq!(failed.label(), "FAILED");
+        assert_eq!(Outcome::Cancelled.label(), "cancelled");
+    }
+
+    #[test]
+    fn retried_then_ok_is_visible_in_history() {
+        let out = Outcome::Done {
+            value: Value::U64(2),
+            duration: Duration::from_millis(1),
+            cached: false,
+            retries: vec![Attempt {
+                error: "transient".into(),
+                backoff: Duration::from_millis(10),
+            }],
+        };
+        assert!(out.was_retried());
+        assert_eq!(out.retries().len(), 1);
+        assert_eq!(out.retries()[0].error, "transient");
     }
 }

@@ -1,0 +1,295 @@
+//! The crash-resume journal (`results/manifest.json`).
+//!
+//! A sweep's journal records every completed cell as one compact JSON
+//! object per line — `{"key":…,"id":…,"value":…}` — appended and
+//! flushed the moment the cell finishes. Line-oriented appends are what
+//! make the file a *journal*: a SIGKILL mid-sweep loses at most the
+//! line being written, and [`Journal::load`] tolerates exactly that by
+//! stopping at the first malformed line and returning the intact
+//! prefix.
+//!
+//! Resume (`--resume`) loads the journal and pre-resolves every job
+//! whose full cache key (or id, for uncacheable jobs) matches a
+//! journaled entry — byte-identical values, no recomputation, no
+//! dependence on the result cache being enabled. Jobs not journaled
+//! complete run normally and append themselves, so an interrupted sweep
+//! converges over any number of resumes.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+use crate::error::{lock_unpoisoned, HarnessError};
+use crate::failpoint;
+
+/// One completed cell, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The job's cache key, if it had one.
+    pub key: Option<Value>,
+    /// The job's human-readable id.
+    pub id: String,
+    /// The value the job produced.
+    pub value: Value,
+}
+
+impl JournalEntry {
+    /// The string a resume pass matches jobs against: the canonical
+    /// serialisation of the cache key, or the id for uncacheable jobs.
+    pub fn resume_key(key: Option<&Value>, id: &str) -> String {
+        match key {
+            Some(k) => format!(
+                "key:{}",
+                serde_json::to_string(k).expect("serialising a Value cannot fail")
+            ),
+            None => format!("id:{id}"),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("key".to_string(), self.key.clone().unwrap_or(Value::Null)),
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("value".to_string(), self.value.clone()),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let key = match v.get("key") {
+            None => return Err("missing 'key'".to_string()),
+            Some(Value::Null) => None,
+            Some(k) => Some(k.clone()),
+        };
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("missing 'id'")?
+            .to_string();
+        let value = v.get("value").cloned().ok_or("missing 'value'")?;
+        Ok(JournalEntry { key, id, value })
+    }
+}
+
+/// An append-only journal of completed cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating parent directories. With
+    /// `truncate` any previous journal is discarded (a fresh,
+    /// non-resumed sweep must not inherit stale completions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] if the file cannot be opened.
+    pub fn open(path: impl Into<PathBuf>, truncate: bool) -> Result<Self, HarnessError> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| HarnessError::io("create journal dir", dir, e))?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!truncate)
+            .write(true)
+            .truncate(truncate)
+            .open(&path)
+            .map_err(|e| HarnessError::io("open journal", &path, e))?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell and flushes, so the entry survives a
+    /// kill that lands any time after this call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] on write failure; callers degrade
+    /// (the cell still counts as done, the journal is just shorter).
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), HarnessError> {
+        failpoint::io("journal-append")
+            .map_err(|e| HarnessError::io("append journal", &self.path, e))?;
+        let line =
+            serde_json::to_string(&entry.to_value()).expect("serialising a Value cannot fail");
+        let mut file = lock_unpoisoned(&self.file, "journal file");
+        writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .map_err(|e| HarnessError::io("append journal", &self.path, e))
+    }
+
+    /// Loads the intact prefix of the journal at `path`. A malformed
+    /// line (the tail a SIGKILL tore) ends the prefix with a warning;
+    /// a missing file is an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] only if the file exists but cannot
+    /// be read.
+    pub fn load(path: impl AsRef<Path>) -> Result<Vec<JournalEntry>, HarnessError> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(HarnessError::io("read journal", path, e)),
+        };
+        let mut entries = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = serde_json::from_str::<Value>(line)
+                .map_err(|e| e.to_string())
+                .and_then(|v| JournalEntry::from_value(&v));
+            match parsed {
+                Ok(entry) => entries.push(entry),
+                Err(reason) => {
+                    let err = HarnessError::CorruptJournal {
+                        path: path.to_path_buf(),
+                        line: ln + 1,
+                        reason,
+                    };
+                    eprintln!(
+                        "[scu-harness] {err}; resuming from the {} intact entries",
+                        entries.len()
+                    );
+                    break;
+                }
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Loads the journal as a resume map: [`JournalEntry::resume_key`]
+    /// → value. Later entries win (a cell journaled twice across
+    /// resumes is the same value anyway).
+    pub fn load_resume_map(path: impl AsRef<Path>) -> Result<HashMap<String, Value>, HarnessError> {
+        let entries = Journal::load(path)?;
+        let mut map = HashMap::with_capacity(entries.len());
+        for e in entries {
+            map.insert(JournalEntry::resume_key(e.key.as_ref(), &e.id), e.value);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scu-journal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("manifest.json")
+    }
+
+    fn entry(n: u64) -> JournalEntry {
+        JournalEntry {
+            key: Some(Value::Object(vec![("cell".into(), Value::U64(n))])),
+            id: format!("cell-{n}"),
+            value: Value::U64(n * 10),
+        }
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let path = scratch("round-trip");
+        let j = Journal::open(&path, true).unwrap();
+        j.append(&entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded, vec![entry(1), entry(2)]);
+        let map = Journal::load_resume_map(&path).unwrap();
+        assert_eq!(
+            map.get(&JournalEntry::resume_key(entry(2).key.as_ref(), "cell-2")),
+            Some(&Value::U64(20))
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn truncated_tail_yields_intact_prefix() {
+        let path = scratch("torn");
+        let j = Journal::open(&path, true).unwrap();
+        j.append(&entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        // Tear the final line mid-write, as a SIGKILL would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded, vec![entry(1)]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reopen_without_truncate_appends() {
+        let path = scratch("reopen");
+        Journal::open(&path, true)
+            .unwrap()
+            .append(&entry(1))
+            .unwrap();
+        Journal::open(&path, false)
+            .unwrap()
+            .append(&entry(2))
+            .unwrap();
+        assert_eq!(Journal::load(&path).unwrap().len(), 2);
+        Journal::open(&path, true).unwrap();
+        assert!(
+            Journal::load(&path).unwrap().is_empty(),
+            "truncate discards"
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        assert!(Journal::load("/nonexistent/scu/manifest.json")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn uncacheable_jobs_resume_by_id() {
+        let e = JournalEntry {
+            key: None,
+            id: "plain".into(),
+            value: Value::Bool(true),
+        };
+        let path = scratch("by-id");
+        let j = Journal::open(&path, true).unwrap();
+        j.append(&e).unwrap();
+        let map = Journal::load_resume_map(&path).unwrap();
+        assert_eq!(map.get("id:plain"), Some(&Value::Bool(true)));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn injected_io_error_surfaces_typed() {
+        let _fp = crate::failpoint::scoped("journal-append=io-error");
+        let path = scratch("io-fault");
+        let j = Journal::open(&path, true).unwrap();
+        let err = j.append(&entry(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            HarnessError::Io {
+                op: "append journal",
+                ..
+            }
+        ));
+        assert!(Journal::load(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -37,16 +37,22 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod cli;
+pub mod error;
 pub mod executor;
+pub mod failpoint;
 pub mod hash;
 pub mod job;
+pub mod journal;
 pub mod progress;
 
 pub use cache::{CacheStats, ResultCache};
 pub use cli::CliArgs;
-pub use executor::{default_jobs, ExecOptions};
-pub use job::{Job, JobGraph, JobId, Outcome};
+pub use error::HarnessError;
+pub use executor::{default_jobs, ExecContext, ExecOptions, ExecResult};
+pub use job::{Attempt, Job, JobGraph, JobId, Outcome};
+pub use journal::{Journal, JournalEntry};
 pub use progress::{Progress, SweepSummary};
 
 use std::path::PathBuf;
@@ -71,6 +77,12 @@ pub struct Harness {
     timeout: Option<Duration>,
     narrate: bool,
     progress_file: Option<PathBuf>,
+    retries: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+    manifest: Option<PathBuf>,
+    resume: bool,
+    handle_sigint: bool,
 }
 
 impl Default for Harness {
@@ -81,6 +93,12 @@ impl Default for Harness {
             timeout: None,
             narrate: false,
             progress_file: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            manifest: None,
+            resume: false,
+            handle_sigint: false,
         }
     }
 }
@@ -123,12 +141,50 @@ impl Harness {
         self
     }
 
+    /// Retries failed or timed-out cells up to `retries` times with
+    /// capped exponential backoff (library default: 0, single shot).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the base backoff (doubles per attempt) and its cap.
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Journals each completion to `path` (e.g.
+    /// `results/manifest.json`) so an interrupted sweep can resume.
+    pub fn manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest = Some(path.into());
+        self
+    }
+
+    /// Pre-resolves jobs already journaled by an interrupted sweep
+    /// instead of truncating the manifest. Needs [`Harness::manifest`].
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Installs a SIGINT handler for the run: the first Ctrl-C drains
+    /// in-flight cells and writes the manifest, the second kills.
+    pub fn handle_sigint(mut self, handle: bool) -> Self {
+        self.handle_sigint = handle;
+        self
+    }
+
     /// Applies the shared CLI flags (`--jobs`, `--no-cache`,
-    /// `--timeout-secs`) on top of the current configuration.
-    /// `default_cache_dir` is used unless `--no-cache` was given.
+    /// `--timeout-secs`, `--retries`, `--resume`) on top of the
+    /// current configuration. `default_cache_dir` is used unless
+    /// `--no-cache` was given.
     pub fn apply_cli(mut self, args: &CliArgs, default_cache_dir: impl Into<PathBuf>) -> Self {
         self.jobs = args.jobs.max(1);
         self.timeout = args.timeout;
+        self.retries = args.retries;
+        self.resume = args.resume;
         self.cache_dir = if args.no_cache {
             None
         } else {
@@ -137,8 +193,15 @@ impl Harness {
         self
     }
 
-    /// Runs the graph to completion.
+    /// Runs the graph to completion (or to a drained cancellation).
+    ///
+    /// Every harness-side failure degrades rather than kills the
+    /// sweep: an unusable cache runs uncached, an unusable manifest
+    /// runs unjournaled, an unreadable resume journal resumes nothing.
     pub fn run(&self, graph: &JobGraph) -> Sweep {
+        if self.handle_sigint {
+            cancel::install_sigint_handler();
+        }
         let cache = self
             .cache_dir
             .as_ref()
@@ -152,6 +215,41 @@ impl Harness {
                     None
                 }
             });
+        let resume_map = if self.resume {
+            match self.manifest.as_ref() {
+                Some(path) => match Journal::load_resume_map(path) {
+                    Ok(map) => {
+                        if !map.is_empty() {
+                            eprintln!(
+                                "[scu-harness] resuming: {} cell(s) already journaled in {}",
+                                map.len(),
+                                path.display()
+                            );
+                        }
+                        Some(map)
+                    }
+                    Err(e) => {
+                        eprintln!("[scu-harness] cannot resume: {e}; starting fresh");
+                        None
+                    }
+                },
+                None => None,
+            }
+        } else {
+            None
+        };
+        // A fresh (non-resumed) sweep truncates any stale journal so
+        // the manifest only ever describes this sweep's completions.
+        let journal =
+            self.manifest
+                .as_ref()
+                .and_then(|path| match Journal::open(path, !self.resume) {
+                    Ok(j) => Some(j),
+                    Err(e) => {
+                        eprintln!("[scu-harness] cannot open manifest: {e}; running unjournaled");
+                        None
+                    }
+                });
         let mut progress = if self.narrate {
             Progress::stderr(graph.len())
         } else {
@@ -176,13 +274,31 @@ impl Harness {
         let opts = ExecOptions {
             jobs: self.jobs,
             timeout: self.timeout,
+            retries: self.retries,
+            backoff: self.backoff,
+            backoff_cap: self.backoff_cap,
+        };
+        let ctx = ExecContext {
+            cache: cache.as_ref(),
+            journal: journal.as_ref(),
+            resume: resume_map.as_ref(),
+            cancel: if self.handle_sigint {
+                Some(cancel::flag())
+            } else {
+                None
+            },
         };
         let start = Instant::now();
-        let outcomes = executor::execute(graph, cache.as_ref(), &opts, &progress);
-        let summary = SweepSummary::new(graph, &outcomes, start.elapsed());
+        let result = executor::execute(graph, &ctx, &opts, &progress);
+        let summary = SweepSummary::new(
+            graph,
+            &result.outcomes,
+            start.elapsed(),
+            result.leaked_threads,
+        );
         let cache_stats = cache.map(|c| c.stats()).unwrap_or_default();
         Sweep {
-            outcomes,
+            outcomes: result.outcomes,
             summary,
             cache_stats,
         }
@@ -261,6 +377,66 @@ mod tests {
             with_cache.cache_dir.as_deref(),
             Some(std::path::Path::new("some-dir"))
         );
+    }
+
+    #[test]
+    fn manifest_then_resume_serves_journaled_cells() {
+        let dir = scratch("resume");
+        let manifest = dir.join("manifest.json");
+        let first = Harness::new()
+            .jobs(2)
+            .manifest(&manifest)
+            .run(&cell_graph());
+        assert!(first.summary.all_done());
+        assert_eq!(journal::Journal::load(&manifest).unwrap().len(), 6);
+        let resumed = Harness::new()
+            .jobs(2)
+            .manifest(&manifest)
+            .resume(true)
+            .run(&cell_graph());
+        assert!(resumed.summary.fully_cached(), "all cells pre-resolved");
+        let values = |s: &Sweep| -> Vec<Value> {
+            s.outcomes
+                .iter()
+                .map(|o| o.value().unwrap().clone())
+                .collect()
+        };
+        assert_eq!(values(&first), values(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_sweep_truncates_stale_manifest() {
+        let dir = scratch("truncate");
+        let manifest = dir.join("manifest.json");
+        Harness::new().manifest(&manifest).run(&cell_graph());
+        let mut g = JobGraph::new();
+        g.push(Job::new("only", || Value::U64(1)));
+        Harness::new().manifest(&manifest).run(&g);
+        assert_eq!(journal::Journal::load(&manifest).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builder_retries_recover_a_flaky_cell() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let flakes = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&flakes);
+        let mut g = JobGraph::new();
+        g.push(Job::new("flaky", move || {
+            if f.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt flakes");
+            }
+            Value::U64(7)
+        }));
+        let sweep = Harness::new()
+            .retries(2)
+            .backoff(Duration::from_millis(1), Duration::from_millis(10))
+            .run(&g);
+        assert!(sweep.summary.all_done());
+        assert_eq!(sweep.summary.retried, vec!["flaky".to_string()]);
+        assert!(sweep.outcomes[0].was_retried());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::error::lock_unpoisoned;
 use crate::job::{JobGraph, Outcome};
 
 /// Where per-job completion lines go. Thread-safe; shared by all
@@ -56,24 +57,40 @@ impl Progress {
         if !self.to_stderr && self.file.is_none() {
             return;
         }
+        let retry_note = |retries: &[crate::job::Attempt]| -> String {
+            match retries.len() {
+                0 => String::new(),
+                1 => " (after 1 retry)".to_string(),
+                n => format!(" (after {n} retries)"),
+            }
+        };
         let line = match outcome {
             Outcome::Done {
-                duration, cached, ..
+                duration,
+                cached,
+                retries,
+                ..
             } => format!(
-                "[{n}/{}] {id} {} ({})",
+                "[{n}/{}] {id} {} ({}){}",
                 self.total,
                 if *cached { "cached" } else { "done" },
                 fmt_duration(*duration),
+                retry_note(retries),
             ),
-            Outcome::Failed { error } => {
+            Outcome::Failed { error, retries } => {
                 let first = error.lines().next().unwrap_or("");
-                format!("[{n}/{}] {id} FAILED: {first}", self.total)
-            }
-            Outcome::TimedOut { limit } => {
                 format!(
-                    "[{n}/{}] {id} TIMED-OUT after {}",
+                    "[{n}/{}] {id} FAILED: {first}{}",
                     self.total,
-                    fmt_duration(*limit)
+                    retry_note(retries)
+                )
+            }
+            Outcome::TimedOut { limit, retries } => {
+                format!(
+                    "[{n}/{}] {id} TIMED-OUT after {}{}",
+                    self.total,
+                    fmt_duration(*limit),
+                    retry_note(retries),
                 )
             }
             Outcome::Skipped { failed_dep } => {
@@ -82,12 +99,15 @@ impl Progress {
                     self.total
                 )
             }
+            Outcome::Cancelled => {
+                format!("[{n}/{}] {id} cancelled (sweep interrupted)", self.total)
+            }
         };
         if self.to_stderr {
             eprintln!("{line}");
         }
         if let Some(file) = &self.file {
-            let mut file = file.lock().expect("progress file poisoned");
+            let mut file = lock_unpoisoned(file, "progress file");
             let _ = writeln!(file, "{line}");
         }
     }
@@ -113,6 +133,12 @@ pub struct SweepSummary {
     pub timed_out: Vec<String>,
     /// Ids of jobs skipped because a dependency did not complete.
     pub skipped: Vec<String>,
+    /// Ids of jobs that completed only after at least one retry.
+    pub retried: Vec<String>,
+    /// Ids of jobs never started because the sweep was interrupted.
+    pub cancelled: Vec<String>,
+    /// Timed-out cell threads still running when the sweep ended.
+    pub leaked_threads: usize,
     /// Wall-clock time of the whole sweep.
     pub wall: Duration,
     /// Sum of per-job compute durations (fresh completions only) —
@@ -124,8 +150,15 @@ pub struct SweepSummary {
 }
 
 impl SweepSummary {
-    /// Folds per-job outcomes into a summary.
-    pub fn new(graph: &JobGraph, outcomes: &[Outcome], wall: Duration) -> Self {
+    /// Folds per-job outcomes into a summary. `leaked_threads` comes
+    /// from the executor's end-of-sweep accounting of abandoned
+    /// (timed-out) cell threads.
+    pub fn new(
+        graph: &JobGraph,
+        outcomes: &[Outcome],
+        wall: Duration,
+        leaked_threads: usize,
+    ) -> Self {
         assert_eq!(graph.len(), outcomes.len());
         let mut s = SweepSummary {
             total: outcomes.len(),
@@ -134,12 +167,18 @@ impl SweepSummary {
             failed: Vec::new(),
             timed_out: Vec::new(),
             skipped: Vec::new(),
+            retried: Vec::new(),
+            cancelled: Vec::new(),
+            leaked_threads,
             wall,
             cell_time: Duration::ZERO,
             slowest: Vec::new(),
         };
         let mut durations: Vec<(String, Duration)> = Vec::new();
         for (job, outcome) in graph.jobs().iter().zip(outcomes) {
+            if outcome.was_retried() {
+                s.retried.push(job.id.clone());
+            }
             match outcome {
                 Outcome::Done {
                     duration, cached, ..
@@ -152,9 +191,10 @@ impl SweepSummary {
                         durations.push((job.id.clone(), *duration));
                     }
                 }
-                Outcome::Failed { error } => s.failed.push((job.id.clone(), error.clone())),
+                Outcome::Failed { error, .. } => s.failed.push((job.id.clone(), error.clone())),
                 Outcome::TimedOut { .. } => s.timed_out.push(job.id.clone()),
                 Outcome::Skipped { .. } => s.skipped.push(job.id.clone()),
+                Outcome::Cancelled => s.cancelled.push(job.id.clone()),
             }
         }
         durations.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -190,7 +230,16 @@ impl SweepSummary {
                 self.cell_time.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
             ));
         }
+        if !self.retried.is_empty() {
+            out.push_str(&format!(" — {} cell(s) retried", self.retried.len()));
+        }
         out.push('\n');
+        if self.leaked_threads > 0 {
+            out.push_str(&format!(
+                "leaked threads: {} timed-out cell(s) still running at sweep end\n",
+                self.leaked_threads
+            ));
+        }
         if !self.slowest.is_empty() {
             out.push_str("slowest cells:\n");
             for (id, d) in &self.slowest {
@@ -209,7 +258,18 @@ impl SweepSummary {
         for id in &self.skipped {
             out.push_str(&format!("skipped   {id} (failed dependency)\n"));
         }
+        if !self.cancelled.is_empty() {
+            out.push_str(&format!(
+                "cancelled {} cell(s) (sweep interrupted; rerun with --resume)\n",
+                self.cancelled.len()
+            ));
+        }
         out
+    }
+
+    /// Whether the sweep was interrupted before completing.
+    pub fn was_interrupted(&self) -> bool {
+        !self.cancelled.is_empty()
     }
 }
 
@@ -242,41 +302,56 @@ mod tests {
 
     #[test]
     fn summary_counts_every_outcome_kind() {
-        let g = graph(&["a", "b", "c", "d", "e"]);
+        let g = graph(&["a", "b", "c", "d", "e", "f"]);
         let outcomes = vec![
             Outcome::Done {
                 value: Value::Null,
                 duration: Duration::from_secs(2),
                 cached: false,
+                retries: vec![crate::job::Attempt {
+                    error: "transient".into(),
+                    backoff: Duration::from_millis(100),
+                }],
             },
             Outcome::Done {
                 value: Value::Null,
                 duration: Duration::from_millis(1),
                 cached: true,
+                retries: Vec::new(),
             },
             Outcome::Failed {
                 error: "boom\nbacktrace".into(),
+                retries: Vec::new(),
             },
             Outcome::TimedOut {
                 limit: Duration::from_secs(1),
+                retries: Vec::new(),
             },
             Outcome::Skipped {
                 failed_dep: "c".into(),
             },
+            Outcome::Cancelled,
         ];
-        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(3));
-        assert_eq!((s.total, s.done, s.cached), (5, 2, 1));
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(3), 1);
+        assert_eq!((s.total, s.done, s.cached), (6, 2, 1));
         assert_eq!(
             s.failed,
             vec![("c".to_string(), "boom\nbacktrace".to_string())]
         );
         assert_eq!(s.timed_out, vec!["d".to_string()]);
         assert_eq!(s.skipped, vec!["e".to_string()]);
+        assert_eq!(s.retried, vec!["a".to_string()]);
+        assert_eq!(s.cancelled, vec!["f".to_string()]);
+        assert_eq!(s.leaked_threads, 1);
         assert_eq!(s.cell_time, Duration::from_secs(2));
         assert!(!s.all_done());
+        assert!(s.was_interrupted());
         let text = s.render();
-        assert!(text.contains("2/5"));
+        assert!(text.contains("2/6"));
         assert!(text.contains("FAILED    c: boom"));
+        assert!(text.contains("1 cell(s) retried"));
+        assert!(text.contains("leaked threads: 1"));
+        assert!(text.contains("cancelled 1 cell(s)"));
         assert!(
             !text.contains("backtrace"),
             "only first line of panic shown"
@@ -290,9 +365,11 @@ mod tests {
             value: Value::Null,
             duration: Duration::ZERO,
             cached: true,
+            retries: Vec::new(),
         }];
-        let s = SweepSummary::new(&g, &outcomes, Duration::from_millis(1));
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_millis(1), 0);
         assert!(s.fully_cached());
+        assert!(!s.was_interrupted());
     }
 
     #[test]
@@ -303,9 +380,10 @@ mod tests {
                 value: Value::Null,
                 duration: Duration::from_millis(100 - i),
                 cached: false,
+                retries: Vec::new(),
             })
             .collect();
-        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(1));
+        let s = SweepSummary::new(&g, &outcomes, Duration::from_secs(1), 0);
         assert_eq!(s.slowest.len(), 5);
         assert_eq!(s.slowest[0].0, "a");
         assert!(s.slowest.windows(2).all(|w| w[0].1 >= w[1].1));
@@ -322,16 +400,22 @@ mod tests {
                 value: Value::Null,
                 duration: Duration::ZERO,
                 cached: false,
+                retries: vec![crate::job::Attempt {
+                    error: "flake".into(),
+                    backoff: Duration::from_millis(1),
+                }],
             },
         );
         p.job_finished(
             "cell-b",
             &Outcome::Failed {
                 error: "why".into(),
+                retries: Vec::new(),
             },
         );
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("[1/2] cell-a done"));
+        assert!(text.contains("(after 1 retry)"));
         assert!(text.contains("[2/2] cell-b FAILED: why"));
         let _ = std::fs::remove_file(&path);
     }

@@ -15,6 +15,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan, WarpCull};
@@ -32,7 +33,7 @@ use super::UNREACHED;
 /// (pass a fresh [`System`]).
 pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     assert!((src as usize) < g.num_nodes(), "source {src} out of range");
-    let mut report = RunReport::new("bfs", sys.kind, false);
+    sys.begin_trace("bfs", false);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -46,21 +47,24 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     let mut flags: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
 
     // Init kernel: dist <- UNREACHED everywhere, then seed the source.
-    let s = sys.gpu.run(&mut sys.mem, "bfs-init", n, |tid, ctx| {
-        ctx.store(&mut dist, tid, UNREACHED);
-    });
-    report.add_kernel(Phase::Processing, &s);
-    let s = sys.gpu.run(&mut sys.mem, "bfs-seed", 1, |_, ctx| {
-        ctx.store(&mut dist, src as usize, 0);
-        ctx.store(&mut nf, 0, src);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "bfs-init", n, |tid, ctx| {
+            ctx.store(&mut dist, tid, UNREACHED);
+        });
+        sys.gpu.run(&mut sys.mem, "bfs-seed", 1, |_, ctx| {
+            ctx.store(&mut dist, src as usize, 0);
+            ctx.store(&mut nf, 0, src);
+        });
+    }
 
     let mut frontier_len = 1usize;
     let mut level = 0u32;
+    let mut iter = 0u32;
 
     while frontier_len > 0 {
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
         if frontier_len > indexes.len() {
             let cap = frontier_len * 2;
             indexes = DeviceArray::zeroed(&mut sys.alloc, cap);
@@ -68,23 +72,25 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Expansion: setup (processing) ----
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "bfs-expand-setup",
-            frontier_len,
-            |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-            },
-        );
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(
+                &mut sys.mem,
+                "bfs-expand-setup",
+                frontier_len,
+                |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                },
+            );
+        }
 
         // ---- Expansion: scan + gather (compaction) ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
         let total = total as usize;
         if total == 0 {
             break;
@@ -104,17 +110,18 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         // Load-balanced gather: one thread per edge-frontier slot,
         // locating its row via merge-path search over the offsets.
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "bfs-expand-gather", total, |e, ctx| {
-                ctx.alu(3); // merge-path binary search (amortised)
-                let row = rows[e] as usize;
-                ctx.load(&offsets, row);
-                let p = pos[e] as usize;
-                let v = ctx.load(&dg.edges, p);
-                ctx.store(&mut ef, e, v);
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "bfs-expand-gather", total, |e, ctx| {
+                    ctx.alu(3); // merge-path binary search (amortised)
+                    let row = rows[e] as usize;
+                    ctx.load(&offsets, row);
+                    let p = pos[e] as usize;
+                    let v = ctx.load(&dg.edges, p);
+                    ctx.store(&mut ef, e, v);
+                });
+        }
 
         // ---- Contraction mark (processing). Visited checks use
         // wave-granular visibility: threads resident together read the
@@ -127,50 +134,52 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         let mut pending: Vec<(usize, u32)> = Vec::new();
         let mut cur_wave = 0usize;
         let mut cull = WarpCull::new();
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
-                let w = tid / wave;
-                if w != cur_wave {
-                    for (i, v) in pending.drain(..) {
-                        visible[i] = v;
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
+                    let w = tid / wave;
+                    if w != cur_wave {
+                        for (i, v) in pending.drain(..) {
+                            visible[i] = v;
+                        }
+                        cur_wave = w;
                     }
-                    cur_wave = w;
-                }
-                let e = ctx.load(&ef, tid) as usize;
-                ctx.alu(3); // warp-cull hashing
-                ctx.load(&dist, e); // visited check (value from `visible`)
-                let unvisited = visible[e] == UNREACHED;
-                let first = cull.first_in_warp(tid, e as u32);
-                let keep = unvisited && first;
-                ctx.store(&mut flags, tid, keep as u32);
-                if keep {
-                    ctx.store(&mut dist, e, level + 1);
-                    pending.push((e, level + 1));
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let e = ctx.load(&ef, tid) as usize;
+                    ctx.alu(3); // warp-cull hashing
+                    ctx.load(&dist, e); // visited check (value from `visible`)
+                    let unvisited = visible[e] == UNREACHED;
+                    let first = cull.first_in_warp(tid, e as u32);
+                    let keep = unvisited && first;
+                    ctx.store(&mut flags, tid, keep as u32);
+                    if keep {
+                        ctx.store(&mut dist, e, level + 1);
+                        pending.push((e, level + 1));
+                    }
+                });
+        }
 
         // ---- Contraction: scan + scatter (compaction) ----
-        let (offsets2, kept) = gpu_exclusive_scan(sys, &mut report, &flags, total);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "bfs-contract-scatter", total, |tid, ctx| {
-                let f = ctx.load(&flags, tid);
-                if f != 0 {
-                    let e = ctx.load(&ef, tid);
-                    let off = ctx.load(&offsets2, tid) as usize;
-                    ctx.store(&mut nf, off, e);
-                }
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        let (offsets2, kept) = gpu_exclusive_scan(sys, &flags, total);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "bfs-contract-scatter", total, |tid, ctx| {
+                    let f = ctx.load(&flags, tid);
+                    if f != 0 {
+                        let e = ctx.load(&ef, tid);
+                        let off = ctx.load(&offsets2, tid) as usize;
+                        ctx.store(&mut nf, off, e);
+                    }
+                });
+        }
 
         frontier_len = kept as usize;
         level += 1;
         assert!(level <= n as u32 + 1, "BFS failed to terminate");
     }
 
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (dist.into_vec(), report)
 }
 

@@ -13,6 +13,7 @@ use scu_core::group::GroupHash;
 use scu_core::hash::{FilterHash, FilterMode};
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::WarpCull;
@@ -54,7 +55,7 @@ pub fn run_variant(
         sys.scu.is_some(),
         "SCU BFS requires a System::with_scu platform"
     );
-    let mut report = RunReport::new("bfs", sys.kind, true);
+    sys.begin_trace("bfs", true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -79,15 +80,16 @@ pub fn run_variant(
     let mut group_hash = GroupHash::new(&mut sys.alloc, scu_cfg.grouping_hash);
     let mut order: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, ef_cap);
 
-    let s = sys.gpu.run(&mut sys.mem, "bfs-init", n, |tid, ctx| {
-        ctx.store(&mut dist, tid, UNREACHED);
-    });
-    report.add_kernel(Phase::Processing, &s);
-    let s = sys.gpu.run(&mut sys.mem, "bfs-seed", 1, |_, ctx| {
-        ctx.store(&mut dist, src as usize, 0);
-        ctx.store(&mut nf, 0, src);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "bfs-init", n, |tid, ctx| {
+            ctx.store(&mut dist, tid, UNREACHED);
+        });
+        sys.gpu.run(&mut sys.mem, "bfs-seed", 1, |_, ctx| {
+            ctx.store(&mut dist, src as usize, 0);
+            ctx.store(&mut nf, 0, src);
+        });
+    }
     if variant.filtering {
         // Seed the visited filter so back-edges to the source drop.
         visited_hash.probe_unique(&mut sys.mem, src);
@@ -95,9 +97,11 @@ pub fn run_variant(
 
     let mut frontier_len = 1usize;
     let mut level = 0u32;
+    let mut iter = 0u32;
 
     while frontier_len > 0 {
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
         if frontier_len > indexes.len() {
             let cap = frontier_len * 2;
             indexes = DeviceArray::zeroed(&mut sys.alloc, cap);
@@ -105,20 +109,22 @@ pub fn run_variant(
         }
 
         // ---- Expansion setup on the GPU (contiguous accesses). ----
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "bfs-expand-setup",
-            frontier_len,
-            |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-            },
-        );
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(
+                &mut sys.mem,
+                "bfs-expand-setup",
+                frontier_len,
+                |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                },
+            );
+        }
 
         // ---- Expansion compaction on the SCU. ----
         let expansion_size: usize = (0..frontier_len).map(|i| counts.get(i) as usize).sum();
@@ -131,43 +137,46 @@ pub fn run_variant(
             filter_flags = DeviceArray::zeroed(&mut sys.alloc, cap);
             order = DeviceArray::zeroed(&mut sys.alloc, cap);
         }
-        let scu = sys.scu.as_mut().expect("checked above");
-        let total = if variant.filtering {
-            scu.filter_pass_expansion(
-                &mut sys.mem,
-                &dg.edges,
-                None,
-                &indexes,
-                &counts,
-                frontier_len,
-                None,
-                FilterMode::Unique,
-                &mut visited_hash,
-                &mut elem_flags,
-            );
-            let op = scu.access_expansion_compaction(
-                &mut sys.mem,
-                &dg.edges,
-                &indexes,
-                &counts,
-                frontier_len,
-                Some(&elem_flags),
-                None,
-                &mut ef,
-            );
-            op.elements_out as usize
-        } else {
-            let op = scu.access_expansion_compaction(
-                &mut sys.mem,
-                &dg.edges,
-                &indexes,
-                &counts,
-                frontier_len,
-                None,
-                None,
-                &mut ef,
-            );
-            op.elements_out as usize
+        let total = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            if variant.filtering {
+                scu.filter_pass_expansion(
+                    &mut sys.mem,
+                    &dg.edges,
+                    None,
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    None,
+                    FilterMode::Unique,
+                    &mut visited_hash,
+                    &mut elem_flags,
+                );
+                let op = scu.access_expansion_compaction(
+                    &mut sys.mem,
+                    &dg.edges,
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    Some(&elem_flags),
+                    None,
+                    &mut ef,
+                );
+                op.elements_out as usize
+            } else {
+                let op = scu.access_expansion_compaction(
+                    &mut sys.mem,
+                    &dg.edges,
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    None,
+                    None,
+                    &mut ef,
+                );
+                op.elements_out as usize
+            }
         };
         if total == 0 {
             break;
@@ -184,33 +193,35 @@ pub fn run_variant(
         let mut pending: Vec<(usize, u32)> = Vec::new();
         let mut cur_wave = 0usize;
         let mut cull = WarpCull::new();
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
-                let w = tid / wave;
-                if w != cur_wave {
-                    for (i, v) in pending.drain(..) {
-                        visible[i] = v;
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "bfs-contract-mark", total, |tid, ctx| {
+                    let w = tid / wave;
+                    if w != cur_wave {
+                        for (i, v) in pending.drain(..) {
+                            visible[i] = v;
+                        }
+                        cur_wave = w;
                     }
-                    cur_wave = w;
-                }
-                let e = ctx.load(&ef, tid) as usize;
-                ctx.alu(3); // warp-cull hashing
-                ctx.load(&dist, e); // visited check (value from `visible`)
-                let unvisited = visible[e] == UNREACHED;
-                let first = cull.first_in_warp(tid, e as u32);
-                let keep = unvisited && first;
-                ctx.store(&mut flags8, tid, keep as u8);
-                if keep {
-                    ctx.store(&mut dist, e, level + 1);
-                    pending.push((e, level + 1));
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let e = ctx.load(&ef, tid) as usize;
+                    ctx.alu(3); // warp-cull hashing
+                    ctx.load(&dist, e); // visited check (value from `visible`)
+                    let unvisited = visible[e] == UNREACHED;
+                    let first = cull.first_in_warp(tid, e as u32);
+                    let keep = unvisited && first;
+                    ctx.store(&mut flags8, tid, keep as u8);
+                    if keep {
+                        ctx.store(&mut dist, e, level + 1);
+                        pending.push((e, level + 1));
+                    }
+                });
+        }
 
         // ---- Contraction compaction on the SCU. ----
-        let scu = sys.scu.as_mut().expect("checked above");
         let kept = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
             let final_flags = if variant.filtering {
                 iter_hash.clear();
                 scu.filter_pass_data(
@@ -258,8 +269,7 @@ pub fn run_variant(
         assert!(level <= n as u32 + 1, "BFS failed to terminate");
     }
 
-    report.scu = *sys.scu.as_ref().expect("checked above").stats();
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (dist.into_vec(), report)
 }
 

@@ -4,6 +4,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -13,7 +14,7 @@ use crate::system::System;
 /// Runs baseline GPU label propagation; returns the label fixed point
 /// and the measured report.
 pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
-    let mut report = RunReport::new("cc", sys.kind, false);
+    sys.begin_trace("cc", false);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -30,101 +31,107 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
     let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
 
     // Init: every node labels itself and joins the first frontier.
-    let s = sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
-        ctx.store(&mut labels, tid, tid as u32);
-        ctx.store(&mut nf, tid, tid as u32);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
+            ctx.store(&mut labels, tid, tid as u32);
+            ctx.store(&mut nf, tid, tid as u32);
+        });
+    }
 
     let mut frontier_len = n;
     let mut rounds = 0u64;
+    let mut iter = 0u32;
 
     while frontier_len > 0 {
         rounds += 1;
         assert!(rounds <= n as u64 + 2, "CC failed to converge");
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Expansion setup (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                let l = ctx.load(&labels, v);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-                ctx.store(&mut base, tid, l);
-            });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    let l = ctx.load(&labels, v);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                    ctx.store(&mut base, tid, l);
+                });
+        }
 
         // ---- Expansion scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
         let total = total as usize;
         if total == 0 {
             break;
         }
         assert!(total <= cap, "edge frontier overflow");
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-expand-gather", total, |e, ctx| {
-                ctx.alu(3);
-                let row = rows[e] as usize;
-                ctx.load(&offsets, row);
-                let l = ctx.load(&base, row);
-                let p = pos[e] as usize;
-                let v = ctx.load(&dg.edges, p);
-                ctx.store(&mut ef, e, v);
-                ctx.store(&mut lf, e, l);
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "cc-expand-gather", total, |e, ctx| {
+                    ctx.alu(3);
+                    let row = rows[e] as usize;
+                    ctx.load(&offsets, row);
+                    let l = ctx.load(&base, row);
+                    let p = pos[e] as usize;
+                    let v = ctx.load(&dg.edges, p);
+                    ctx.store(&mut ef, e, v);
+                    ctx.store(&mut lf, e, l);
+                });
+        }
 
         // ---- Contraction: relax labels, dedup winners (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
-                let v = ctx.load(&ef, tid) as usize;
-                let l = ctx.load(&lf, tid);
-                let cur = ctx.load(&labels, v);
-                ctx.alu(1);
-                let improves = l < cur;
-                if improves {
-                    ctx.store(&mut lut, v, tid as u32);
-                    ctx.atomic_min_u32(&mut labels, v, l);
-                }
-                ctx.store(&mut flags, tid, improves as u32);
-            });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
-                if ctx.load(&flags, tid) != 0 {
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
                     let v = ctx.load(&ef, tid) as usize;
-                    let owner = ctx.load(&lut, v) == tid as u32;
-                    ctx.store(&mut flags, tid, owner as u32);
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let l = ctx.load(&lf, tid);
+                    let cur = ctx.load(&labels, v);
+                    ctx.alu(1);
+                    let improves = l < cur;
+                    if improves {
+                        ctx.store(&mut lut, v, tid as u32);
+                        ctx.atomic_min_u32(&mut labels, v, l);
+                    }
+                    ctx.store(&mut flags, tid, improves as u32);
+                });
+            sys.gpu
+                .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
+                    if ctx.load(&flags, tid) != 0 {
+                        let v = ctx.load(&ef, tid) as usize;
+                        let owner = ctx.load(&lut, v) == tid as u32;
+                        ctx.store(&mut flags, tid, owner as u32);
+                    }
+                });
+        }
 
         // ---- Contraction scan + scatter (compaction). ----
-        let (noff, kept) = gpu_exclusive_scan(sys, &mut report, &flags, total);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-contract-scatter", total, |tid, ctx| {
-                if ctx.load(&flags, tid) != 0 {
-                    let v = ctx.load(&ef, tid);
-                    let off = ctx.load(&noff, tid) as usize;
-                    ctx.store(&mut nf, off, v);
-                }
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        let (noff, kept) = gpu_exclusive_scan(sys, &flags, total);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "cc-contract-scatter", total, |tid, ctx| {
+                    if ctx.load(&flags, tid) != 0 {
+                        let v = ctx.load(&ef, tid);
+                        let off = ctx.load(&noff, tid) as usize;
+                        ctx.store(&mut nf, off, v);
+                    }
+                });
+        }
 
         frontier_len = kept as usize;
     }
 
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (labels.into_vec(), report)
 }
 

@@ -11,6 +11,7 @@
 use scu_core::hash::{FilterHash, FilterMode};
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -28,7 +29,7 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
         sys.scu.is_some(),
         "SCU CC requires a System::with_scu platform"
     );
-    let mut report = RunReport::new("cc", sys.kind, true);
+    sys.begin_trace("cc", true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -53,90 +54,99 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
         .filter_sssp_hash;
     let mut label_hash = FilterHash::new(&mut sys.alloc, label_hash_cfg);
 
-    let s = sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
-        ctx.store(&mut labels, tid, tid as u32);
-        ctx.store(&mut nf, tid, tid as u32);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "cc-init", n, |tid, ctx| {
+            ctx.store(&mut labels, tid, tid as u32);
+            ctx.store(&mut nf, tid, tid as u32);
+        });
+    }
 
     let mut frontier_len = n;
     let mut rounds = 0u64;
+    let mut iter = 0u32;
 
     while frontier_len > 0 {
         rounds += 1;
         assert!(rounds <= n as u64 + 2, "CC failed to converge");
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Expansion setup (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                let l = ctx.load(&labels, v);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-                ctx.store(&mut base, tid, l);
-            });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "cc-expand-setup", frontier_len, |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    let l = ctx.load(&labels, v);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                    ctx.store(&mut base, tid, l);
+                });
+        }
 
         // ---- Expansion on the SCU. ----
-        let scu = sys.scu.as_mut().expect("checked above");
-        let total = scu
-            .access_expansion_compaction(
+        let total = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            let total = scu
+                .access_expansion_compaction(
+                    &mut sys.mem,
+                    &dg.edges,
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    None,
+                    None,
+                    &mut ef,
+                )
+                .elements_out as usize;
+            scu.replication_compaction(
                 &mut sys.mem,
-                &dg.edges,
-                &indexes,
+                &base,
                 &counts,
                 frontier_len,
                 None,
                 None,
-                &mut ef,
-            )
-            .elements_out as usize;
-        scu.replication_compaction(
-            &mut sys.mem,
-            &base,
-            &counts,
-            frontier_len,
-            None,
-            None,
-            &mut lf,
-        );
+                &mut lf,
+            );
+            total
+        };
         if total == 0 {
             break;
         }
 
         // ---- Contraction relax + owner dedup (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
-                let v = ctx.load(&ef, tid) as usize;
-                let l = ctx.load(&lf, tid);
-                let cur = ctx.load(&labels, v);
-                ctx.alu(1);
-                let improves = l < cur;
-                if improves {
-                    ctx.store(&mut lut, v, tid as u32);
-                    ctx.atomic_min_u32(&mut labels, v, l);
-                }
-                ctx.store(&mut flags8, tid, improves as u8);
-            });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
-                if ctx.load(&flags8, tid) != 0 {
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "cc-contract-relax", total, |tid, ctx| {
                     let v = ctx.load(&ef, tid) as usize;
-                    let owner = ctx.load(&lut, v) == tid as u32;
-                    ctx.store(&mut flags8, tid, owner as u8);
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let l = ctx.load(&lf, tid);
+                    let cur = ctx.load(&labels, v);
+                    ctx.alu(1);
+                    let improves = l < cur;
+                    if improves {
+                        ctx.store(&mut lut, v, tid as u32);
+                        ctx.atomic_min_u32(&mut labels, v, l);
+                    }
+                    ctx.store(&mut flags8, tid, improves as u8);
+                });
+            sys.gpu
+                .run(&mut sys.mem, "cc-contract-owner", total, |tid, ctx| {
+                    if ctx.load(&flags8, tid) != 0 {
+                        let v = ctx.load(&ef, tid) as usize;
+                        let owner = ctx.load(&lut, v) == tid as u32;
+                        ctx.store(&mut flags8, tid, owner as u8);
+                    }
+                });
+        }
 
         // ---- Contraction compaction on the SCU. ----
+        let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
         let scu = sys.scu.as_mut().expect("checked above");
         let final_flags = if enhanced {
             // Unique-best-label: drops frontier insertions whose label
@@ -170,8 +180,7 @@ pub fn run(sys: &mut System, g: &Csr, enhanced: bool) -> (Vec<u32>, RunReport) {
         frontier_len = kept;
     }
 
-    report.scu = *sys.scu.as_ref().expect("checked above").stats();
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (labels.into_vec(), report)
 }
 

@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use scu_core::ScuConfig;
 use scu_graph::{Csr, Dataset};
+use scu_trace::{PhaseRow, Timeline};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
@@ -30,7 +31,7 @@ use crate::system::SystemKind;
 /// (timing model, energy model, generators, algorithms); cached
 /// results from older versions then simply stop matching and are
 /// recomputed. Leave it alone for pure refactors.
-pub const MODEL_VERSION: &str = "scu-sim-1";
+pub const MODEL_VERSION: &str = "scu-sim-2";
 
 /// One fully-specified point of the experiment matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,6 +97,24 @@ impl Cell {
         CellResult::new(self.id(), &out)
     }
 
+    /// [`Cell::run`], also handing back the full event timeline the
+    /// run recorded — for trace export, where the summary alone is
+    /// not enough.
+    pub fn run_traced(&self) -> (CellResult, Timeline) {
+        scu_harness::failpoint::apply("cell-run");
+        let g = shared_graph(self.dataset, self.scale, self.seed);
+        let out = run_configured(
+            self.algorithm,
+            &g,
+            self.system,
+            self.mode,
+            self.pr_iters,
+            self.scu_config.as_ref(),
+        );
+        let result = CellResult::new(self.id(), &out);
+        (result, out.timeline)
+    }
+
     /// [`Cell::run`] as a JSON value — the closure body the harness
     /// executes and caches.
     pub fn run_value(&self) -> Value {
@@ -116,6 +135,14 @@ pub struct CellResult {
     pub values_fnv: u64,
     /// The full measurement report.
     pub report: RunReport,
+    /// Order-sensitive digest of the run's event timeline. Two runs
+    /// of the same cell on the same model version emit byte-identical
+    /// event streams, so the digest doubles as a determinism check
+    /// across threads, processes, and `--resume` boundaries.
+    pub timeline_digest: u64,
+    /// Per-iteration phase breakdown derived from the timeline —
+    /// small enough to cache, unlike the raw event stream.
+    pub phases: Vec<PhaseRow>,
 }
 
 impl CellResult {
@@ -126,6 +153,8 @@ impl CellResult {
             values_len: out.values.len() as u64,
             values_fnv: fnv1a_u64s(&out.values),
             report: out.report.clone(),
+            timeline_digest: out.timeline.digest(),
+            phases: out.timeline.phase_breakdown(),
         }
     }
 

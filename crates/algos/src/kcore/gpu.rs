@@ -3,6 +3,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -14,7 +15,7 @@ use super::REMOVED;
 /// Runs baseline GPU peeling; returns per-node coreness and the
 /// measured report.
 pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
-    let mut report = RunReport::new("kcore", sys.kind, false);
+    sys.begin_trace("kcore", false);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -29,40 +30,48 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
 
     // Initial support = in-degree, computed with one atomic pass over
     // the edge array (the standard histogram kernel).
-    let s = sys.gpu.run(
-        &mut sys.mem,
-        "kcore-support-init",
-        g.num_edges(),
-        |tid, ctx| {
-            let w = ctx.load(&dg.edges, tid) as usize;
-            ctx.atomic_rmw(&mut support, w, |x| x + 1);
-        },
-    );
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(
+            &mut sys.mem,
+            "kcore-support-init",
+            g.num_edges(),
+            |tid, ctx| {
+                let w = ctx.load(&dg.edges, tid) as usize;
+                ctx.atomic_rmw(&mut support, w, |x| x + 1);
+            },
+        );
+    }
 
     let mut alive = n;
     let mut k = 1u32;
+    let mut iter = 0u32;
     while alive > 0 {
         assert!(k as usize <= n + 2, "peeling failed to terminate");
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Mark: support < k (removed nodes sit at REMOVED). ----
-        let s = sys.gpu.run(&mut sys.mem, "kcore-mark", n, |tid, ctx| {
-            let sup = ctx.load(&support, tid);
-            ctx.alu(1);
-            ctx.store(&mut flags, tid, (sup < k) as u32);
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "kcore-mark", n, |tid, ctx| {
+                let sup = ctx.load(&support, tid);
+                ctx.alu(1);
+                ctx.store(&mut flags, tid, (sup < k) as u32);
+            });
+        }
 
         // ---- Compact the removal frontier (compaction). ----
-        let (offsets, kept) = gpu_exclusive_scan(sys, &mut report, &flags, n);
-        let s = sys.gpu.run(&mut sys.mem, "kcore-scatter", n, |tid, ctx| {
-            if ctx.load(&flags, tid) != 0 {
-                let off = ctx.load(&offsets, tid) as usize;
-                ctx.store(&mut rf, off, tid as u32);
-            }
-        });
-        report.add_kernel(Phase::Compaction, &s);
+        let (offsets, kept) = gpu_exclusive_scan(sys, &flags, n);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu.run(&mut sys.mem, "kcore-scatter", n, |tid, ctx| {
+                if ctx.load(&flags, tid) != 0 {
+                    let off = ctx.load(&offsets, tid) as usize;
+                    ctx.store(&mut rf, off, tid as u32);
+                }
+            });
+        }
 
         let kept = kept as usize;
         if kept == 0 {
@@ -72,47 +81,52 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         alive -= kept;
 
         // ---- Remove + prepare expansion (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "kcore-remove", kept, |tid, ctx| {
-            let v = ctx.load(&rf, tid) as usize;
-            ctx.store(&mut support, v, REMOVED);
-            ctx.store(&mut core, v, k - 1);
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "kcore-remove", kept, |tid, ctx| {
+                let v = ctx.load(&rf, tid) as usize;
+                ctx.store(&mut support, v, REMOVED);
+                ctx.store(&mut core, v, k - 1);
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+            });
+        }
 
         // ---- Gather out-edges of removed nodes (compaction). ----
-        let (eoff, total) = gpu_exclusive_scan(sys, &mut report, &counts, kept);
+        let (eoff, total) = gpu_exclusive_scan(sys, &counts, kept);
         let total = total as usize;
         let (rows, pos) = edge_slot_map(&indexes, &counts, kept);
-        let s = sys.gpu.run(&mut sys.mem, "kcore-gather", total, |e, ctx| {
-            ctx.alu(3);
-            let row = rows[e] as usize;
-            ctx.load(&eoff, row);
-            let p = pos[e] as usize;
-            let w = ctx.load(&dg.edges, p);
-            ctx.store(&mut ef, e, w);
-        });
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu.run(&mut sys.mem, "kcore-gather", total, |e, ctx| {
+                ctx.alu(3);
+                let row = rows[e] as usize;
+                ctx.load(&eoff, row);
+                let p = pos[e] as usize;
+                let w = ctx.load(&dg.edges, p);
+                ctx.store(&mut ef, e, w);
+            });
+        }
 
         // ---- Decrement targets' support (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
-                let w = ctx.load(&ef, tid) as usize;
-                let sup = ctx.load(&support, w);
-                if sup != REMOVED {
-                    ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
-                }
-                let _ = sup;
-            });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
+                    let w = ctx.load(&ef, tid) as usize;
+                    let sup = ctx.load(&support, w);
+                    if sup != REMOVED {
+                        ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
+                    }
+                    let _ = sup;
+                });
+        }
     }
 
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (core.into_vec(), report)
 }
 

@@ -11,6 +11,7 @@
 use scu_core::CompareOp;
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -29,7 +30,7 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         sys.scu.is_some(),
         "SCU k-core requires a System::with_scu platform"
     );
-    let mut report = RunReport::new("kcore", sys.kind, true);
+    sys.begin_trace("kcore", true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -43,29 +44,35 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
     let mut counts: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let mut ef: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, m);
 
-    let s = sys.gpu.run(
-        &mut sys.mem,
-        "kcore-support-init",
-        g.num_edges(),
-        |tid, ctx| {
-            let w = ctx.load(&dg.edges, tid) as usize;
-            ctx.atomic_rmw(&mut support, w, |x| x + 1);
-        },
-    );
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(
+            &mut sys.mem,
+            "kcore-support-init",
+            g.num_edges(),
+            |tid, ctx| {
+                let w = ctx.load(&dg.edges, tid) as usize;
+                ctx.atomic_rmw(&mut support, w, |x| x + 1);
+            },
+        );
+    }
 
     let mut alive = n;
     let mut k = 1u32;
+    let mut iter = 0u32;
     while alive > 0 {
         assert!(k as usize <= n + 2, "peeling failed to terminate");
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- SCU: bitmask + removal-frontier compaction. ----
-        let scu = sys.scu.as_mut().expect("checked above");
-        scu.bitmask_construct(&mut sys.mem, &support, n, CompareOp::Lt, k, &mut flags8);
-        let kept = scu
-            .data_compaction_n(&mut sys.mem, &node_ids, n, Some(&flags8), None, &mut rf, 0)
-            .elements_out as usize;
+        let kept = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            scu.bitmask_construct(&mut sys.mem, &support, n, CompareOp::Lt, k, &mut flags8);
+            scu.data_compaction_n(&mut sys.mem, &node_ids, n, Some(&flags8), None, &mut rf, 0)
+                .elements_out as usize
+        };
 
         if kept == 0 {
             k += 1;
@@ -74,22 +81,25 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         alive -= kept;
 
         // ---- Remove + prepare expansion (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "kcore-remove", kept, |tid, ctx| {
-            let v = ctx.load(&rf, tid) as usize;
-            ctx.store(&mut support, v, REMOVED);
-            ctx.store(&mut core, v, k - 1);
-            let lo = ctx.load(&dg.row_offsets, v);
-            let hi = ctx.load(&dg.row_offsets, v + 1);
-            ctx.alu(1);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, hi - lo);
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "kcore-remove", kept, |tid, ctx| {
+                let v = ctx.load(&rf, tid) as usize;
+                ctx.store(&mut support, v, REMOVED);
+                ctx.store(&mut core, v, k - 1);
+                let lo = ctx.load(&dg.row_offsets, v);
+                let hi = ctx.load(&dg.row_offsets, v + 1);
+                ctx.alu(1);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, hi - lo);
+            });
+        }
 
         // ---- SCU: expand out-edges of the removed nodes. ----
-        let scu = sys.scu.as_mut().expect("checked above");
-        let total = scu
-            .access_expansion_compaction(
+        let total = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            scu.access_expansion_compaction(
                 &mut sys.mem,
                 &dg.edges,
                 &indexes,
@@ -99,24 +109,25 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
                 None,
                 &mut ef,
             )
-            .elements_out as usize;
+            .elements_out as usize
+        };
 
         // ---- Decrement targets' support (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
-                let w = ctx.load(&ef, tid) as usize;
-                let sup = ctx.load(&support, w);
-                if sup != REMOVED {
-                    ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
-                }
-                let _ = sup;
-            });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "kcore-decrement", total, |tid, ctx| {
+                    let w = ctx.load(&ef, tid) as usize;
+                    let sup = ctx.load(&support, w);
+                    if sup != REMOVED {
+                        ctx.atomic_rmw(&mut support, w, |x| x.saturating_sub(1));
+                    }
+                    let _ = sup;
+                });
+        }
     }
 
-    report.scu = *sys.scu.as_ref().expect("checked above").stats();
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (core.into_vec(), report)
 }
 

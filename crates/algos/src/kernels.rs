@@ -5,14 +5,14 @@
 use std::collections::HashSet;
 
 use scu_gpu::buffer::DeviceArray;
+use scu_trace::PhaseGuard;
 
-use crate::report::{Phase, RunReport};
+use crate::report::Phase;
 use crate::system::System;
 
 /// Runs the baseline GPU exclusive prefix-sum over `counts[0..n]` as
-/// one kernel, charging it to the [`Phase::Compaction`] bucket of
-/// `report`, and returns the offsets array (device-resident) plus the
-/// total.
+/// one kernel inside its own [`Phase::Compaction`] scope, and returns
+/// the offsets array (device-resident) plus the total.
 ///
 /// The data movement matches a CUB-style single-pass chained scan
 /// (decoupled look-back): each element is read once and written once;
@@ -20,7 +20,6 @@ use crate::system::System;
 /// reads its predecessor's.
 pub fn gpu_exclusive_scan(
     sys: &mut System,
-    report: &mut RunReport,
     counts: &DeviceArray<u32>,
     n: usize,
 ) -> (DeviceArray<u32>, u32) {
@@ -38,7 +37,8 @@ pub fn gpu_exclusive_scan(
         running_total += (lo..hi).map(|i| counts.get(i)).sum::<u32>();
     }
 
-    let s = sys.gpu.run(&mut sys.mem, "scan-chained", n, |tid, ctx| {
+    let _scan = PhaseGuard::new(sys.probe(), Phase::Compaction);
+    sys.gpu.run(&mut sys.mem, "scan-chained", n, |tid, ctx| {
         let block = tid / 256;
         let v = ctx.load(counts, tid);
         ctx.alu(2); // shared-memory scan, amortised
@@ -53,7 +53,6 @@ pub fn gpu_exclusive_scan(
         running[block] += v;
         ctx.store(&mut offsets, tid, off);
     });
-    report.add_kernel(Phase::Compaction, &s);
 
     (offsets, running_total)
 }
@@ -123,9 +122,8 @@ mod tests {
     #[test]
     fn scan_matches_host_prefix_sum() {
         let mut sys = System::baseline(SystemKind::Tx1);
-        let mut report = RunReport::new("test", SystemKind::Tx1, false);
         let counts = DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 5, 2, 7, 1, 0, 4]);
-        let (offsets, total) = gpu_exclusive_scan(&mut sys, &mut report, &counts, 8);
+        let (offsets, total) = gpu_exclusive_scan(&mut sys, &counts, 8);
         assert_eq!(offsets.as_slice(), &[0, 3, 3, 8, 10, 17, 18, 18]);
         assert_eq!(total, 22);
     }
@@ -133,9 +131,10 @@ mod tests {
     #[test]
     fn scan_charges_compaction_phase() {
         let mut sys = System::baseline(SystemKind::Tx1);
-        let mut report = RunReport::new("test", SystemKind::Tx1, false);
         let counts = DeviceArray::from_vec(&mut sys.alloc, vec![1u32; 1000]);
-        let _ = gpu_exclusive_scan(&mut sys, &mut report, &counts, 1000);
+        sys.begin_trace("test", false);
+        let _ = gpu_exclusive_scan(&mut sys, &counts, 1000);
+        let report = sys.finish_trace();
         assert_eq!(report.gpu_compaction.launches, 1);
         assert!(report.gpu_compaction.time_ns > 0.0);
         assert_eq!(report.gpu_processing.launches, 0);
@@ -144,10 +143,9 @@ mod tests {
     #[test]
     fn scan_spanning_many_blocks() {
         let mut sys = System::baseline(SystemKind::Tx1);
-        let mut report = RunReport::new("test", SystemKind::Tx1, false);
         let n = 1000;
         let counts = DeviceArray::from_vec(&mut sys.alloc, vec![2u32; n]);
-        let (offsets, total) = gpu_exclusive_scan(&mut sys, &mut report, &counts, n);
+        let (offsets, total) = gpu_exclusive_scan(&mut sys, &counts, n);
         assert_eq!(total, 2000);
         for i in 0..n {
             assert_eq!(offsets.get(i), 2 * i as u32);

@@ -8,6 +8,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -19,7 +20,7 @@ use super::{DAMPING, EPSILON};
 /// Runs baseline GPU PageRank for at most `max_iters` iterations;
 /// returns the ranks and the measured report.
 pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
-    let mut report = RunReport::new("pr", sys.kind, false);
+    sys.begin_trace("pr", false);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -34,84 +35,90 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
     let mut diff_blocks: DeviceArray<f64> =
         DeviceArray::zeroed(&mut sys.alloc, n.div_ceil(256).max(1));
 
-    let s = sys.gpu.run(&mut sys.mem, "pr-init", n, |tid, ctx| {
-        ctx.store(&mut rank, tid, 1.0);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "pr-init", n, |tid, ctx| {
+            ctx.store(&mut rank, tid, 1.0);
+        });
+    }
 
+    let mut iter = 0u32;
     for _ in 0..max_iters {
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Contribution + setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "pr-contrib", n, |tid, ctx| {
-            let r = ctx.load(&rank, tid);
-            let lo = ctx.load(&dg.row_offsets, tid);
-            let hi = ctx.load(&dg.row_offsets, tid + 1);
-            ctx.alu(2); // degree + divide
-            let deg = hi - lo;
-            let c = if deg == 0 { 0.0 } else { r / deg as f64 };
-            ctx.store(&mut contrib, tid, c);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, deg);
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "pr-contrib", n, |tid, ctx| {
+                let r = ctx.load(&rank, tid);
+                let lo = ctx.load(&dg.row_offsets, tid);
+                let hi = ctx.load(&dg.row_offsets, tid + 1);
+                ctx.alu(2); // degree + divide
+                let deg = hi - lo;
+                let c = if deg == 0 { 0.0 } else { r / deg as f64 };
+                ctx.store(&mut contrib, tid, c);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, deg);
+            });
+        }
 
         // ---- Expansion: scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, n);
+        let (offsets, total) = gpu_exclusive_scan(sys, &counts, n);
         let total = total as usize;
         // Load-balanced gather: one thread per edge slot.
         let (rows, pos) = edge_slot_map(&indexes, &counts, n);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "pr-expand-gather", total, |e, ctx| {
-                ctx.alu(3); // merge-path binary search (amortised)
-                let row = rows[e] as usize;
-                ctx.load(&offsets, row);
-                let c = ctx.load(&contrib, row);
-                let p = pos[e] as usize;
-                let v = ctx.load(&dg.edges, p);
-                ctx.store(&mut ef, e, v);
-                ctx.store(&mut wf, e, c);
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "pr-expand-gather", total, |e, ctx| {
+                    ctx.alu(3); // merge-path binary search (amortised)
+                    let row = rows[e] as usize;
+                    ctx.load(&offsets, row);
+                    let c = ctx.load(&contrib, row);
+                    let p = pos[e] as usize;
+                    let v = ctx.load(&dg.edges, p);
+                    ctx.store(&mut ef, e, v);
+                    ctx.store(&mut wf, e, c);
+                });
+        }
 
         // ---- Rank update: zero + atomicAdd per edge (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "pr-zero", n, |tid, ctx| {
-            ctx.store(&mut incoming, tid, 0.0);
-        });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
-                let e = ctx.load(&ef, tid) as usize;
-                let c = ctx.load(&wf, tid);
-                ctx.atomic_add(&mut incoming, e, c);
-            });
-        report.add_kernel(Phase::Processing, &s);
-
-        // ---- Dampening + convergence check (processing). ----
         let mut max_diff = 0.0f64;
-        let s = sys.gpu.run(&mut sys.mem, "pr-dampen-check", n, |tid, ctx| {
-            let old = ctx.load(&rank, tid);
-            let inc = ctx.load(&incoming, tid);
-            ctx.alu(4);
-            let new = (1.0 - DAMPING) + DAMPING * inc;
-            ctx.store(&mut rank, tid, new);
-            let d = (new - old).abs();
-            max_diff = max_diff.max(d);
-            if tid % 256 == 0 {
-                // Block-level reduction publishes one value per block.
-                ctx.store(&mut diff_blocks, tid / 256, 0.0);
-            }
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "pr-zero", n, |tid, ctx| {
+                ctx.store(&mut incoming, tid, 0.0);
+            });
+            sys.gpu
+                .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
+                    let e = ctx.load(&ef, tid) as usize;
+                    let c = ctx.load(&wf, tid);
+                    ctx.atomic_add(&mut incoming, e, c);
+                });
+
+            // ---- Dampening + convergence check (processing). ----
+            sys.gpu.run(&mut sys.mem, "pr-dampen-check", n, |tid, ctx| {
+                let old = ctx.load(&rank, tid);
+                let inc = ctx.load(&incoming, tid);
+                ctx.alu(4);
+                let new = (1.0 - DAMPING) + DAMPING * inc;
+                ctx.store(&mut rank, tid, new);
+                let d = (new - old).abs();
+                max_diff = max_diff.max(d);
+                if tid % 256 == 0 {
+                    // Block-level reduction publishes one value per block.
+                    ctx.store(&mut diff_blocks, tid / 256, 0.0);
+                }
+            });
+        }
 
         if max_diff < EPSILON {
             break;
         }
     }
 
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (rank.into_vec(), report)
 }
 

@@ -8,6 +8,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -26,7 +27,7 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
         sys.scu.is_some(),
         "SCU PageRank requires a System::with_scu platform"
     );
-    let mut report = RunReport::new("pr", sys.kind, true);
+    sys.begin_trace("pr", true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -41,81 +42,89 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
     let mut diff_blocks: DeviceArray<f64> =
         DeviceArray::zeroed(&mut sys.alloc, n.div_ceil(256).max(1));
 
-    let s = sys.gpu.run(&mut sys.mem, "pr-init", n, |tid, ctx| {
-        ctx.store(&mut rank, tid, 1.0);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "pr-init", n, |tid, ctx| {
+            ctx.store(&mut rank, tid, 1.0);
+        });
+    }
 
+    let mut iter = 0u32;
     for _ in 0..max_iters {
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Contribution + setup (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "pr-contrib", n, |tid, ctx| {
-            let r = ctx.load(&rank, tid);
-            let lo = ctx.load(&dg.row_offsets, tid);
-            let hi = ctx.load(&dg.row_offsets, tid + 1);
-            ctx.alu(2);
-            let deg = hi - lo;
-            let c = if deg == 0 { 0.0 } else { r / deg as f64 };
-            ctx.store(&mut contrib, tid, c);
-            ctx.store(&mut indexes, tid, lo);
-            ctx.store(&mut counts, tid, deg);
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "pr-contrib", n, |tid, ctx| {
+                let r = ctx.load(&rank, tid);
+                let lo = ctx.load(&dg.row_offsets, tid);
+                let hi = ctx.load(&dg.row_offsets, tid + 1);
+                ctx.alu(2);
+                let deg = hi - lo;
+                let c = if deg == 0 { 0.0 } else { r / deg as f64 };
+                ctx.store(&mut contrib, tid, c);
+                ctx.store(&mut indexes, tid, lo);
+                ctx.store(&mut counts, tid, deg);
+            });
+        }
 
         // ---- Expansion on the SCU (Algorithm 3). ----
-        let scu = sys.scu.as_mut().expect("checked above");
-        let total = scu
-            .access_expansion_compaction(
-                &mut sys.mem,
-                &dg.edges,
-                &indexes,
-                &counts,
-                n,
-                None,
-                None,
-                &mut ef,
-            )
-            .elements_out as usize;
-        scu.replication_compaction(&mut sys.mem, &contrib, &counts, n, None, None, &mut wf);
+        let total = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            let total = scu
+                .access_expansion_compaction(
+                    &mut sys.mem,
+                    &dg.edges,
+                    &indexes,
+                    &counts,
+                    n,
+                    None,
+                    None,
+                    &mut ef,
+                )
+                .elements_out as usize;
+            scu.replication_compaction(&mut sys.mem, &contrib, &counts, n, None, None, &mut wf);
+            total
+        };
 
         // ---- Rank update (processing). ----
-        let s = sys.gpu.run(&mut sys.mem, "pr-zero", n, |tid, ctx| {
-            ctx.store(&mut incoming, tid, 0.0);
-        });
-        report.add_kernel(Phase::Processing, &s);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
-                let e = ctx.load(&ef, tid) as usize;
-                let c = ctx.load(&wf, tid);
-                ctx.atomic_add(&mut incoming, e, c);
-            });
-        report.add_kernel(Phase::Processing, &s);
-
-        // ---- Dampening + convergence check (processing). ----
         let mut max_diff = 0.0f64;
-        let s = sys.gpu.run(&mut sys.mem, "pr-dampen-check", n, |tid, ctx| {
-            let old = ctx.load(&rank, tid);
-            let inc = ctx.load(&incoming, tid);
-            ctx.alu(4);
-            let new = (1.0 - DAMPING) + DAMPING * inc;
-            ctx.store(&mut rank, tid, new);
-            let d = (new - old).abs();
-            max_diff = max_diff.max(d);
-            if tid % 256 == 0 {
-                ctx.store(&mut diff_blocks, tid / 256, 0.0);
-            }
-        });
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(&mut sys.mem, "pr-zero", n, |tid, ctx| {
+                ctx.store(&mut incoming, tid, 0.0);
+            });
+            sys.gpu
+                .run(&mut sys.mem, "pr-rank-update", total, |tid, ctx| {
+                    let e = ctx.load(&ef, tid) as usize;
+                    let c = ctx.load(&wf, tid);
+                    ctx.atomic_add(&mut incoming, e, c);
+                });
+
+            // ---- Dampening + convergence check (processing). ----
+            sys.gpu.run(&mut sys.mem, "pr-dampen-check", n, |tid, ctx| {
+                let old = ctx.load(&rank, tid);
+                let inc = ctx.load(&incoming, tid);
+                ctx.alu(4);
+                let new = (1.0 - DAMPING) + DAMPING * inc;
+                ctx.store(&mut rank, tid, new);
+                let d = (new - old).abs();
+                max_diff = max_diff.max(d);
+                if tid % 256 == 0 {
+                    ctx.store(&mut diff_blocks, tid / 256, 0.0);
+                }
+            });
+        }
 
         if max_diff < EPSILON {
             break;
         }
     }
 
-    report.scu = *sys.scu.as_ref().expect("checked above").stats();
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (rank.into_vec(), report)
 }
 

@@ -1,23 +1,23 @@
 //! Per-run measurement collection — the raw material of every figure
 //! in §6.
+//!
+//! Since the trace spine landed, a [`RunReport`] is a *derived view*:
+//! [`RunReport::from_timeline`] folds a finished
+//! [`scu_trace::Timeline`] into the same per-phase totals the
+//! per-launch [`RunReport::add_kernel`] accumulation used to produce,
+//! bit-identically (the folds replay the identical merge sequence).
 
 use scu_core::stats::ScuStats;
 use scu_energy::{EnergyBreakdown, EnergyModel};
 use scu_gpu::stats::KernelStats;
+use scu_trace::Timeline;
 use serde::{Deserialize, Serialize};
 
 use crate::system::SystemKind;
 
-/// How a GPU kernel launch is classified for the Figure 1 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Phase {
-    /// Graph processing proper (expansion setup, contraction marking,
-    /// rank updates, ...).
-    Processing,
-    /// Stream compaction work (scan, gather, scatter) — the work the
-    /// SCU absorbs.
-    Compaction,
-}
+/// How a GPU kernel launch is classified for the Figure 1 breakdown
+/// (re-exported from `scu-trace`, where the phase markers live).
+pub use scu_trace::Phase;
 
 /// Everything measured in one end-to-end algorithm run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +56,33 @@ impl RunReport {
             energy: EnergyBreakdown::default(),
             peak_bw_bytes_per_sec: 0.0,
         }
+    }
+
+    /// Derives a finished report from a recorded timeline: kernel and
+    /// SCU totals are folded in event order (bit-identical to live
+    /// accumulation), iteration count is the highest recorded
+    /// iteration, and the energy breakdown is computed at the end as
+    /// [`RunReport::finalize`] always has.
+    pub fn from_timeline(
+        tl: &Timeline,
+        system: SystemKind,
+        energy: &EnergyModel,
+        peak_bw_bytes_per_sec: f64,
+    ) -> Self {
+        let (gpu_processing, gpu_compaction) = tl.kernel_totals();
+        let mut report = RunReport {
+            algorithm: tl.algo,
+            system,
+            scu_present: tl.scu_present,
+            iterations: tl.iterations(),
+            gpu_processing,
+            gpu_compaction,
+            scu: tl.scu_totals(),
+            energy: EnergyBreakdown::default(),
+            peak_bw_bytes_per_sec: 0.0,
+        };
+        report.finalize(energy, peak_bw_bytes_per_sec);
+        report
     }
 
     /// Folds one kernel launch into the report under `phase`.

@@ -2,6 +2,7 @@
 
 use scu_core::{ScuConfig, ScuDevice};
 use scu_graph::Csr;
+use scu_trace::Timeline;
 use serde::{Deserialize, Serialize};
 
 use crate::report::RunReport;
@@ -106,8 +107,11 @@ pub struct RunOutput {
     /// Algorithm results normalised for cross-mode comparison: BFS and
     /// SSSP distances verbatim; PR ranks quantised to 1e-9.
     pub values: Vec<u64>,
-    /// The measurement report.
+    /// The measurement report (derived from [`RunOutput::timeline`]).
     pub report: RunReport,
+    /// The full event timeline the run recorded; every derived view
+    /// (report, phase breakdown, chrome trace) folds over this.
+    pub timeline: Timeline,
 }
 
 /// Runs `algorithm` over `g` on a fresh system of `kind` in `mode`.
@@ -210,7 +214,14 @@ pub fn run_configured(
             (quantise(&d), r)
         }
     };
-    RunOutput { values, report }
+    let timeline = sys
+        .take_timeline()
+        .expect("every algorithm run records a timeline");
+    RunOutput {
+        values,
+        report,
+        timeline,
+    }
 }
 
 fn widen(d: &[u32]) -> Vec<u64> {

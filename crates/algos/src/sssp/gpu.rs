@@ -11,6 +11,7 @@
 
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
@@ -28,7 +29,7 @@ use super::{DELTA, UNREACHED};
 /// (pathological input).
 pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     assert!((src as usize) < g.num_nodes(), "source {src} out of range");
-    let mut report = RunReport::new("sssp", sys.kind, false);
+    sys.begin_trace("sssp", false);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -52,20 +53,22 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     let mut far_w2: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, far_cap);
     let mut lut: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n);
 
-    let s = sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
-        ctx.store(&mut dist, tid, UNREACHED);
-    });
-    report.add_kernel(Phase::Processing, &s);
-    let s = sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
-        ctx.store(&mut dist, src as usize, 0);
-        ctx.store(&mut nf, 0, src);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
+            ctx.store(&mut dist, tid, UNREACHED);
+        });
+        sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
+            ctx.store(&mut dist, src as usize, 0);
+            ctx.store(&mut nf, 0, src);
+        });
+    }
 
     let mut frontier_len = 1usize;
     let mut far_len = 0usize;
     let mut threshold = DELTA;
     let mut rounds = 0u64;
+    let mut iter = 0u32;
 
     loop {
         rounds += 1;
@@ -77,74 +80,78 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
             }
             // ---- Far-pile drain. ----
             threshold += DELTA;
-            report.iterations += 1;
+            iter += 1;
+            let _iter = IterGuard::new(sys.probe(), iter);
 
             // Revalidate & mark (processing); near candidates write
             // the lookup table and apply atomicMin.
-            let s = sys
-                .gpu
-                .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
-                    let e = ctx.load(&far_e, tid) as usize;
-                    let w = ctx.load(&far_w, tid);
-                    let d = ctx.load(&dist, e);
-                    ctx.alu(3);
-                    let valid = w < d;
-                    let near = valid && w <= threshold;
-                    let keep_far = valid && w > threshold;
-                    if near {
-                        ctx.store(&mut lut, e, tid as u32);
-                        ctx.atomic_min_u32(&mut dist, e, w);
-                    }
-                    ctx.store(&mut near_flags, tid, near as u32);
-                    ctx.store(&mut far_flags, tid, keep_far as u32);
-                });
-            report.add_kernel(Phase::Processing, &s);
-
-            // Owner resolution (processing).
-            let s = sys
-                .gpu
-                .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
-                    if ctx.load(&near_flags, tid) != 0 {
+            {
+                let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+                sys.gpu
+                    .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
                         let e = ctx.load(&far_e, tid) as usize;
-                        let owner = ctx.load(&lut, e) == tid as u32;
-                        ctx.store(&mut near_flags, tid, owner as u32);
-                    }
-                });
-            report.add_kernel(Phase::Processing, &s);
+                        let w = ctx.load(&far_w, tid);
+                        let d = ctx.load(&dist, e);
+                        ctx.alu(3);
+                        let valid = w < d;
+                        let near = valid && w <= threshold;
+                        let keep_far = valid && w > threshold;
+                        if near {
+                            ctx.store(&mut lut, e, tid as u32);
+                            ctx.atomic_min_u32(&mut dist, e, w);
+                        }
+                        ctx.store(&mut near_flags, tid, near as u32);
+                        ctx.store(&mut far_flags, tid, keep_far as u32);
+                    });
+
+                // Owner resolution (processing).
+                sys.gpu
+                    .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                        if ctx.load(&near_flags, tid) != 0 {
+                            let e = ctx.load(&far_e, tid) as usize;
+                            let owner = ctx.load(&lut, e) == tid as u32;
+                            ctx.store(&mut near_flags, tid, owner as u32);
+                        }
+                    });
+            }
 
             // Compact near -> node frontier (compaction).
-            let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, far_len);
-            let s = sys.gpu.run(
-                &mut sys.mem,
-                "sssp-drain-scatter-near",
-                far_len,
-                |tid, ctx| {
-                    if ctx.load(&near_flags, tid) != 0 {
-                        let e = ctx.load(&far_e, tid);
-                        let off = ctx.load(&noff, tid) as usize;
-                        ctx.store(&mut nf, off, e);
-                    }
-                },
-            );
-            report.add_kernel(Phase::Compaction, &s);
+            let (noff, nkept) = gpu_exclusive_scan(sys, &near_flags, far_len);
+            {
+                let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+                sys.gpu.run(
+                    &mut sys.mem,
+                    "sssp-drain-scatter-near",
+                    far_len,
+                    |tid, ctx| {
+                        if ctx.load(&near_flags, tid) != 0 {
+                            let e = ctx.load(&far_e, tid);
+                            let off = ctx.load(&noff, tid) as usize;
+                            ctx.store(&mut nf, off, e);
+                        }
+                    },
+                );
+            }
 
             // Recompact surviving far entries (compaction).
-            let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, far_len);
-            let s = sys.gpu.run(
-                &mut sys.mem,
-                "sssp-drain-scatter-far",
-                far_len,
-                |tid, ctx| {
-                    if ctx.load(&far_flags, tid) != 0 {
-                        let e = ctx.load(&far_e, tid);
-                        let w = ctx.load(&far_w, tid);
-                        let off = ctx.load(&foff, tid) as usize;
-                        ctx.store(&mut far_e2, off, e);
-                        ctx.store(&mut far_w2, off, w);
-                    }
-                },
-            );
-            report.add_kernel(Phase::Compaction, &s);
+            let (foff, fkept) = gpu_exclusive_scan(sys, &far_flags, far_len);
+            {
+                let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+                sys.gpu.run(
+                    &mut sys.mem,
+                    "sssp-drain-scatter-far",
+                    far_len,
+                    |tid, ctx| {
+                        if ctx.load(&far_flags, tid) != 0 {
+                            let e = ctx.load(&far_e, tid);
+                            let w = ctx.load(&far_w, tid);
+                            let off = ctx.load(&foff, tid) as usize;
+                            ctx.store(&mut far_e2, off, e);
+                            ctx.store(&mut far_w2, off, w);
+                        }
+                    },
+                );
+            }
 
             std::mem::swap(&mut far_e, &mut far_e2);
             std::mem::swap(&mut far_w, &mut far_w2);
@@ -153,28 +160,31 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
             continue;
         }
 
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "sssp-expand-setup",
-            frontier_len,
-            |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                let d = ctx.load(&dist, v);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-                ctx.store(&mut base, tid, d);
-            },
-        );
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(
+                &mut sys.mem,
+                "sssp-expand-setup",
+                frontier_len,
+                |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    let d = ctx.load(&dist, v);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                    ctx.store(&mut base, tid, d);
+                },
+            );
+        }
 
         // ---- Expansion scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &mut report, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
         let total = total as usize;
         assert!(
             total <= ef_cap,
@@ -182,21 +192,22 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         );
         // Load-balanced gather: one thread per edge-frontier slot.
         let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "sssp-expand-gather", total, |e, ctx| {
-                ctx.alu(3); // merge-path binary search (amortised)
-                let row = rows[e] as usize;
-                ctx.load(&offsets, row);
-                let b = ctx.load(&base, row);
-                let p = pos[e] as usize;
-                let v = ctx.load(&dg.edges, p);
-                let w = ctx.load(&dg.weights, p);
-                ctx.store(&mut ef, e, v);
-                ctx.store(&mut ew, e, w);
-                ctx.store(&mut basef, e, b);
-            });
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu
+                .run(&mut sys.mem, "sssp-expand-gather", total, |e, ctx| {
+                    ctx.alu(3); // merge-path binary search (amortised)
+                    let row = rows[e] as usize;
+                    ctx.load(&offsets, row);
+                    let b = ctx.load(&base, row);
+                    let p = pos[e] as usize;
+                    let v = ctx.load(&dg.edges, p);
+                    let w = ctx.load(&dg.weights, p);
+                    ctx.store(&mut ef, e, v);
+                    ctx.store(&mut ew, e, w);
+                    ctx.store(&mut basef, e, b);
+                });
+        }
 
         if total == 0 {
             frontier_len = 0;
@@ -207,80 +218,83 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         // write their thread ID to the lookup table and apply
         // atomicMin; a second pass picks one owner per node for the
         // frontier (Davidson's dedup scheme, §2.2.2). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
-                let e = ctx.load(&ef, tid) as usize;
-                let w = ctx.load(&ew, tid);
-                let b = ctx.load(&basef, tid);
-                ctx.alu(2);
-                let cost = b.saturating_add(w);
-                let d = ctx.load(&dist, e);
-                let valid = cost < d;
-                let near = valid && cost <= threshold;
-                let far = valid && cost > threshold;
-                if near {
-                    ctx.store(&mut lut, e, tid as u32);
-                    ctx.atomic_min_u32(&mut dist, e, cost);
-                }
-                ctx.store(&mut near_flags, tid, near as u32);
-                ctx.store(&mut far_flags, tid, far as u32);
-                ctx.store(&mut costf, tid, cost);
-            });
-        report.add_kernel(Phase::Processing, &s);
-
-        // ---- Contraction: owner resolution (processing). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
-                if ctx.load(&near_flags, tid) != 0 {
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
                     let e = ctx.load(&ef, tid) as usize;
-                    let owner = ctx.load(&lut, e) == tid as u32;
-                    ctx.store(&mut near_flags, tid, owner as u32);
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let w = ctx.load(&ew, tid);
+                    let b = ctx.load(&basef, tid);
+                    ctx.alu(2);
+                    let cost = b.saturating_add(w);
+                    let d = ctx.load(&dist, e);
+                    let valid = cost < d;
+                    let near = valid && cost <= threshold;
+                    let far = valid && cost > threshold;
+                    if near {
+                        ctx.store(&mut lut, e, tid as u32);
+                        ctx.atomic_min_u32(&mut dist, e, cost);
+                    }
+                    ctx.store(&mut near_flags, tid, near as u32);
+                    ctx.store(&mut far_flags, tid, far as u32);
+                    ctx.store(&mut costf, tid, cost);
+                });
+
+            // ---- Contraction: owner resolution (processing). ----
+            sys.gpu
+                .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+                    if ctx.load(&near_flags, tid) != 0 {
+                        let e = ctx.load(&ef, tid) as usize;
+                        let owner = ctx.load(&lut, e) == tid as u32;
+                        ctx.store(&mut near_flags, tid, owner as u32);
+                    }
+                });
+        }
 
         // ---- Contraction: compact near -> node frontier. ----
-        let (noff, nkept) = gpu_exclusive_scan(sys, &mut report, &near_flags, total);
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "sssp-contract-scatter-near",
-            total,
-            |tid, ctx| {
-                if ctx.load(&near_flags, tid) != 0 {
-                    let e = ctx.load(&ef, tid);
-                    let off = ctx.load(&noff, tid) as usize;
-                    ctx.store(&mut nf, off, e);
-                }
-            },
-        );
-        report.add_kernel(Phase::Compaction, &s);
+        let (noff, nkept) = gpu_exclusive_scan(sys, &near_flags, total);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu.run(
+                &mut sys.mem,
+                "sssp-contract-scatter-near",
+                total,
+                |tid, ctx| {
+                    if ctx.load(&near_flags, tid) != 0 {
+                        let e = ctx.load(&ef, tid);
+                        let off = ctx.load(&noff, tid) as usize;
+                        ctx.store(&mut nf, off, e);
+                    }
+                },
+            );
+        }
 
         // ---- Contraction: append far entries. ----
-        let (foff, fkept) = gpu_exclusive_scan(sys, &mut report, &far_flags, total);
+        let (foff, fkept) = gpu_exclusive_scan(sys, &far_flags, total);
         assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "sssp-contract-scatter-far",
-            total,
-            |tid, ctx| {
-                if ctx.load(&far_flags, tid) != 0 {
-                    let e = ctx.load(&ef, tid);
-                    let c = ctx.load(&costf, tid);
-                    let off = far_len + ctx.load(&foff, tid) as usize;
-                    ctx.store(&mut far_e, off, e);
-                    ctx.store(&mut far_w, off, c);
-                }
-            },
-        );
-        report.add_kernel(Phase::Compaction, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            sys.gpu.run(
+                &mut sys.mem,
+                "sssp-contract-scatter-far",
+                total,
+                |tid, ctx| {
+                    if ctx.load(&far_flags, tid) != 0 {
+                        let e = ctx.load(&ef, tid);
+                        let c = ctx.load(&costf, tid);
+                        let off = far_len + ctx.load(&foff, tid) as usize;
+                        ctx.store(&mut far_e, off, e);
+                        ctx.store(&mut far_w, off, c);
+                    }
+                },
+            );
+        }
 
         frontier_len = nkept as usize;
         far_len += fkept as usize;
     }
 
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (dist.into_vec(), report)
 }
 

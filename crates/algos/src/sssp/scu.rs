@@ -16,6 +16,7 @@ use scu_core::group::GroupHash;
 use scu_core::hash::{FilterHash, FilterMode};
 use scu_gpu::buffer::DeviceArray;
 use scu_graph::Csr;
+use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
 use crate::report::{Phase, RunReport};
@@ -35,7 +36,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
         sys.scu.is_some(),
         "SCU SSSP requires a System::with_scu platform"
     );
-    let mut report = RunReport::new("sssp", sys.kind, true);
+    sys.begin_trace("sssp", true);
     let dg = DeviceGraph::upload(&mut sys.alloc, g);
     let n = g.num_nodes();
     let m = g.num_edges().max(1);
@@ -67,20 +68,22 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
     let mut far_hash = FilterHash::new(&mut sys.alloc, scu_cfg.filter_sssp_hash);
     let mut group_hash = GroupHash::new(&mut sys.alloc, scu_cfg.grouping_hash);
 
-    let s = sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
-        ctx.store(&mut dist, tid, UNREACHED);
-    });
-    report.add_kernel(Phase::Processing, &s);
-    let s = sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
-        ctx.store(&mut dist, src as usize, 0);
-        ctx.store(&mut nf, 0, src);
-    });
-    report.add_kernel(Phase::Processing, &s);
+    {
+        let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+        sys.gpu.run(&mut sys.mem, "sssp-init", n, |tid, ctx| {
+            ctx.store(&mut dist, tid, UNREACHED);
+        });
+        sys.gpu.run(&mut sys.mem, "sssp-seed", 1, |_, ctx| {
+            ctx.store(&mut dist, src as usize, 0);
+            ctx.store(&mut nf, 0, src);
+        });
+    }
 
     let mut frontier_len = 1usize;
     let mut far_len = 0usize;
     let mut threshold = DELTA;
     let mut rounds = 0u64;
+    let mut iter = 0u32;
 
     loop {
         rounds += 1;
@@ -92,38 +95,39 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
             }
             // ---- Far-pile drain. ----
             threshold += DELTA;
-            report.iterations += 1;
+            iter += 1;
+            let _iter = IterGuard::new(sys.probe(), iter);
 
-            let s = sys
-                .gpu
-                .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
-                    let e = ctx.load(&far_e, tid) as usize;
-                    let w = ctx.load(&far_w, tid);
-                    let d = ctx.load(&dist, e);
-                    ctx.alu(3);
-                    let valid = w < d;
-                    let near = valid && w <= threshold;
-                    let keep_far = valid && w > threshold;
-                    if near {
-                        ctx.store(&mut lut, e, tid as u32);
-                        ctx.atomic_min_u32(&mut dist, e, w);
-                    }
-                    ctx.store(&mut near8, tid, near as u8);
-                    ctx.store(&mut far8, tid, keep_far as u8);
-                });
-            report.add_kernel(Phase::Processing, &s);
-
-            let s = sys
-                .gpu
-                .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
-                    if ctx.load(&near8, tid) != 0 {
+            {
+                let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+                sys.gpu
+                    .run(&mut sys.mem, "sssp-drain-mark", far_len, |tid, ctx| {
                         let e = ctx.load(&far_e, tid) as usize;
-                        let owner = ctx.load(&lut, e) == tid as u32;
-                        ctx.store(&mut near8, tid, owner as u8);
-                    }
-                });
-            report.add_kernel(Phase::Processing, &s);
+                        let w = ctx.load(&far_w, tid);
+                        let d = ctx.load(&dist, e);
+                        ctx.alu(3);
+                        let valid = w < d;
+                        let near = valid && w <= threshold;
+                        let keep_far = valid && w > threshold;
+                        if near {
+                            ctx.store(&mut lut, e, tid as u32);
+                            ctx.atomic_min_u32(&mut dist, e, w);
+                        }
+                        ctx.store(&mut near8, tid, near as u8);
+                        ctx.store(&mut far8, tid, keep_far as u8);
+                    });
 
+                sys.gpu
+                    .run(&mut sys.mem, "sssp-drain-owner", far_len, |tid, ctx| {
+                        if ctx.load(&near8, tid) != 0 {
+                            let e = ctx.load(&far_e, tid) as usize;
+                            let owner = ctx.load(&lut, e) == tid as u32;
+                            ctx.store(&mut near8, tid, owner as u8);
+                        }
+                    });
+            }
+
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             let scu = sys.scu.as_mut().expect("checked above");
             let nkept = if variant.grouping {
                 // Far elements were filtered at append time; at drain
@@ -188,78 +192,85 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
             continue;
         }
 
-        report.iterations += 1;
+        iter += 1;
+        let _iter = IterGuard::new(sys.probe(), iter);
 
         // ---- Expansion setup (processing). ----
-        let s = sys.gpu.run(
-            &mut sys.mem,
-            "sssp-expand-setup",
-            frontier_len,
-            |tid, ctx| {
-                let v = ctx.load(&nf, tid) as usize;
-                let lo = ctx.load(&dg.row_offsets, v);
-                let hi = ctx.load(&dg.row_offsets, v + 1);
-                let d = ctx.load(&dist, v);
-                ctx.alu(1);
-                ctx.store(&mut indexes, tid, lo);
-                ctx.store(&mut counts, tid, hi - lo);
-                ctx.store(&mut base, tid, d);
-            },
-        );
-        report.add_kernel(Phase::Processing, &s);
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu.run(
+                &mut sys.mem,
+                "sssp-expand-setup",
+                frontier_len,
+                |tid, ctx| {
+                    let v = ctx.load(&nf, tid) as usize;
+                    let lo = ctx.load(&dg.row_offsets, v);
+                    let hi = ctx.load(&dg.row_offsets, v + 1);
+                    let d = ctx.load(&dist, v);
+                    ctx.alu(1);
+                    ctx.store(&mut indexes, tid, lo);
+                    ctx.store(&mut counts, tid, hi - lo);
+                    ctx.store(&mut base, tid, d);
+                },
+            );
+        }
 
         // ---- Expansion on the SCU. ----
         let expansion_size: usize = (0..frontier_len).map(|i| counts.get(i) as usize).sum();
         assert!(expansion_size <= ef_cap, "edge frontier overflow");
-        let scu = sys.scu.as_mut().expect("checked above");
-        let eflags = if variant.filtering {
-            scu.filter_pass_expansion(
+        let total = {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
+            let scu = sys.scu.as_mut().expect("checked above");
+            let eflags = if variant.filtering {
+                scu.filter_pass_expansion(
+                    &mut sys.mem,
+                    &dg.edges,
+                    Some(&dg.weights),
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    Some(&base),
+                    FilterMode::UniqueBestCost,
+                    &mut cost_hash,
+                    &mut elem_flags,
+                );
+                Some(&elem_flags)
+            } else {
+                None
+            };
+            let total = scu
+                .access_expansion_compaction(
+                    &mut sys.mem,
+                    &dg.edges,
+                    &indexes,
+                    &counts,
+                    frontier_len,
+                    eflags,
+                    None,
+                    &mut ef,
+                )
+                .elements_out as usize;
+            scu.access_expansion_compaction(
                 &mut sys.mem,
-                &dg.edges,
-                Some(&dg.weights),
-                &indexes,
-                &counts,
-                frontier_len,
-                Some(&base),
-                FilterMode::UniqueBestCost,
-                &mut cost_hash,
-                &mut elem_flags,
-            );
-            Some(&elem_flags)
-        } else {
-            None
-        };
-        let total = scu
-            .access_expansion_compaction(
-                &mut sys.mem,
-                &dg.edges,
+                &dg.weights,
                 &indexes,
                 &counts,
                 frontier_len,
                 eflags,
                 None,
-                &mut ef,
-            )
-            .elements_out as usize;
-        scu.access_expansion_compaction(
-            &mut sys.mem,
-            &dg.weights,
-            &indexes,
-            &counts,
-            frontier_len,
-            eflags,
-            None,
-            &mut ew,
-        );
-        scu.replication_compaction(
-            &mut sys.mem,
-            &base,
-            &counts,
-            frontier_len,
-            None,
-            eflags,
-            &mut basef,
-        );
+                &mut ew,
+            );
+            scu.replication_compaction(
+                &mut sys.mem,
+                &base,
+                &counts,
+                frontier_len,
+                None,
+                eflags,
+                &mut basef,
+            );
+            total
+        };
 
         if total == 0 {
             frontier_len = 0;
@@ -269,40 +280,40 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
         // ---- Contraction marking on the GPU. Near candidates write
         // the lookup table and apply atomicMin; a second pass picks
         // one owner per node (Davidson's dedup scheme, §2.2.2). ----
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
-                let e = ctx.load(&ef, tid) as usize;
-                let w = ctx.load(&ew, tid);
-                let b = ctx.load(&basef, tid);
-                ctx.alu(2);
-                let cost = b.saturating_add(w);
-                let d = ctx.load(&dist, e);
-                let valid = cost < d;
-                let near = valid && cost <= threshold;
-                let far = valid && cost > threshold;
-                if near {
-                    ctx.store(&mut lut, e, tid as u32);
-                    ctx.atomic_min_u32(&mut dist, e, cost);
-                }
-                ctx.store(&mut near8, tid, near as u8);
-                ctx.store(&mut far8, tid, far as u8);
-                ctx.store(&mut costf, tid, cost);
-            });
-        report.add_kernel(Phase::Processing, &s);
-
-        let s = sys
-            .gpu
-            .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
-                if ctx.load(&near8, tid) != 0 {
+        {
+            let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
+            sys.gpu
+                .run(&mut sys.mem, "sssp-contract-resolve", total, |tid, ctx| {
                     let e = ctx.load(&ef, tid) as usize;
-                    let owner = ctx.load(&lut, e) == tid as u32;
-                    ctx.store(&mut near8, tid, owner as u8);
-                }
-            });
-        report.add_kernel(Phase::Processing, &s);
+                    let w = ctx.load(&ew, tid);
+                    let b = ctx.load(&basef, tid);
+                    ctx.alu(2);
+                    let cost = b.saturating_add(w);
+                    let d = ctx.load(&dist, e);
+                    let valid = cost < d;
+                    let near = valid && cost <= threshold;
+                    let far = valid && cost > threshold;
+                    if near {
+                        ctx.store(&mut lut, e, tid as u32);
+                        ctx.atomic_min_u32(&mut dist, e, cost);
+                    }
+                    ctx.store(&mut near8, tid, near as u8);
+                    ctx.store(&mut far8, tid, far as u8);
+                    ctx.store(&mut costf, tid, cost);
+                });
+
+            sys.gpu
+                .run(&mut sys.mem, "sssp-contract-owner", total, |tid, ctx| {
+                    if ctx.load(&near8, tid) != 0 {
+                        let e = ctx.load(&ef, tid) as usize;
+                        let owner = ctx.load(&lut, e) == tid as u32;
+                        ctx.store(&mut near8, tid, owner as u8);
+                    }
+                });
+        }
 
         // ---- Contraction compaction on the SCU. ----
+        let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
         let scu = sys.scu.as_mut().expect("checked above");
         let nkept = if variant.grouping {
             // Near: GPU filtering is complete; only grouping applies.
@@ -373,8 +384,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32, variant: ScuVariant) -> (Vec<u32
         far_len += fkept as usize;
     }
 
-    report.scu = *sys.scu.as_ref().expect("checked above").stats();
-    report.finalize(&sys.energy, sys.peak_bw_bytes_per_sec());
+    let report = sys.finish_trace();
     (dist.into_vec(), report)
 }
 

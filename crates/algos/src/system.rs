@@ -1,11 +1,24 @@
 //! The simulated platform: GPU engine + optional SCU + shared memory.
+//!
+//! The platform also owns the run's trace session: [`System::begin_trace`]
+//! attaches one shared [`scu_trace::RecordingSink`] to every layer
+//! (memory system, GPU engine, SCU), and [`System::finish_trace`]
+//! detaches it and derives the [`RunReport`] from the finished
+//! [`Timeline`] — the single event stream every report and exporter is
+//! a fold over.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use scu_core::{ScuConfig, ScuDevice};
 use scu_energy::EnergyModel;
 use scu_gpu::{GpuConfig, GpuEngine};
 use scu_mem::buffer::DeviceAllocator;
 use scu_mem::system::MemorySystem;
+use scu_trace::{Probe, RecordingSink, Timeline};
 use serde::{Deserialize, Serialize};
+
+use crate::report::RunReport;
 
 /// Which of the paper's two platforms to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,6 +91,12 @@ pub struct System {
     pub alloc: DeviceAllocator,
     /// Event-energy model matching `kind` and SCU presence.
     pub energy: EnergyModel,
+    /// Live recording sink between `begin_trace` and `finish_trace`.
+    recorder: Option<Rc<RefCell<RecordingSink>>>,
+    /// Probe the devices share while tracing (off otherwise).
+    probe: Probe,
+    /// Finished timeline of the last traced run.
+    last_timeline: Option<Timeline>,
 }
 
 impl System {
@@ -91,6 +110,9 @@ impl System {
             scu: None,
             alloc: DeviceAllocator::new(),
             energy: kind.energy_model(false),
+            recorder: None,
+            probe: Probe::off(),
+            last_timeline: None,
         }
     }
 
@@ -116,6 +138,74 @@ impl System {
     /// Peak DRAM bandwidth of this platform, bytes/second.
     pub fn peak_bw_bytes_per_sec(&self) -> f64 {
         self.mem.config().dram.peak_bw_bytes_per_sec
+    }
+
+    /// Starts a trace session: one [`RecordingSink`] shared by the
+    /// memory system, the GPU engine and (when present) the SCU.
+    /// Every kernel, SCU op and memory window they retire from here on
+    /// lands in one ordered event stream.
+    pub fn begin_trace(&mut self, algo: &'static str, scu_present: bool) {
+        let sink = Rc::new(RefCell::new(RecordingSink::new(algo, scu_present)));
+        let probe = Probe::new(sink.clone());
+        self.mem.set_probe(probe.clone());
+        self.gpu.set_probe(probe.clone());
+        if let Some(scu) = self.scu.as_mut() {
+            scu.set_probe(probe.clone());
+        }
+        self.probe = probe;
+        self.recorder = Some(sink);
+        self.last_timeline = None;
+    }
+
+    /// A clone of the current probe, for scope guards
+    /// ([`scu_trace::PhaseGuard`], [`scu_trace::IterGuard`]). Off when
+    /// no trace session is active.
+    pub fn probe(&self) -> Probe {
+        self.probe.clone()
+    }
+
+    /// Ends the trace session, detaching every probe, and returns the
+    /// finished timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session is active, or if probe clones (e.g. a
+    /// still-open guard) outlive the session.
+    pub fn end_trace(&mut self) -> Timeline {
+        self.mem.set_probe(Probe::off());
+        self.gpu.set_probe(Probe::off());
+        if let Some(scu) = self.scu.as_mut() {
+            scu.set_probe(Probe::off());
+        }
+        self.probe = Probe::off();
+        let sink = self
+            .recorder
+            .take()
+            .expect("end_trace called without begin_trace");
+        Rc::try_unwrap(sink)
+            .expect("a probe clone outlived the trace session")
+            .into_inner()
+            .finish()
+    }
+
+    /// Ends the trace session and derives the run's [`RunReport`] from
+    /// the timeline; the timeline itself stays available through
+    /// [`System::take_timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`System::end_trace`].
+    pub fn finish_trace(&mut self) -> RunReport {
+        let tl = self.end_trace();
+        let report =
+            RunReport::from_timeline(&tl, self.kind, &self.energy, self.peak_bw_bytes_per_sec());
+        self.last_timeline = Some(tl);
+        report
+    }
+
+    /// Takes the timeline recorded by the last [`System::finish_trace`].
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.last_timeline.take()
     }
 }
 

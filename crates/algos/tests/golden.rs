@@ -1,0 +1,72 @@
+//! Golden-equivalence harness: the timeline-derived [`RunReport`] must
+//! be field-for-field identical to the pre-refactor direct aggregation.
+//!
+//! The fixture in `tests/fixtures/golden_reports.json` was captured
+//! from the seed tree *before* the trace-spine refactor (run with
+//! `SCU_GOLDEN_CAPTURE=1` to regenerate after an intentional model
+//! change). Each entry serialises the full `RunReport` — every counter,
+//! every f64 — so any drift in the derived aggregation fails loudly.
+
+use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::system::SystemKind;
+use scu_graph::Dataset;
+use serde_json::Value;
+
+/// One small graph per algorithm, GPU baseline + enhanced SCU on both
+/// platforms' cheaper one (TX1) — ten reports in a stable order.
+fn golden_cases() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for algo in [
+        Algorithm::Bfs,
+        Algorithm::Sssp,
+        Algorithm::PageRank,
+        Algorithm::Cc,
+        Algorithm::KCore,
+    ] {
+        let g = Dataset::Cond.build(1.0 / 256.0, 11);
+        for mode in [Mode::GpuBaseline, Mode::ScuEnhanced] {
+            let run = run_configured(algo, &g, SystemKind::Tx1, mode, 3, None);
+            let name = format!("{}/{}", algo.name(), mode.name());
+            out.push((name, serde_json::to_value(&run.report)));
+        }
+    }
+    out
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_reports.json")
+}
+
+#[test]
+fn reports_match_pre_refactor_fixture() {
+    let cases = golden_cases();
+    let rendered = Value::Object(cases.clone());
+    if std::env::var("SCU_GOLDEN_CAPTURE").as_deref() == Ok("1") {
+        let path = fixture_path();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&rendered).unwrap()).unwrap();
+        eprintln!(
+            "captured {} golden reports to {}",
+            cases.len(),
+            path.display()
+        );
+        return;
+    }
+    let text = std::fs::read_to_string(fixture_path())
+        .expect("fixture missing — run once with SCU_GOLDEN_CAPTURE=1");
+    let golden: Value = serde_json::from_str(&text).unwrap();
+    for (name, report) in &cases {
+        let expect = golden
+            .get(name)
+            .unwrap_or_else(|| panic!("fixture has no entry for {name}"));
+        assert_eq!(
+            report, expect,
+            "{name}: timeline-derived report diverges from the pre-refactor aggregation"
+        );
+    }
+    assert_eq!(
+        golden.as_object().map(<[_]>::len),
+        Some(cases.len()),
+        "fixture and case list cover the same set"
+    );
+}

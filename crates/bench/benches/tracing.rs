@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the tracing hot path.
+//!
+//! The trace spine's contract is that an *off* probe costs one branch:
+//! `MemorySystem::access` and the warp coalescer must run at the same
+//! speed whether the system carries the default `Probe::off` or a live
+//! recording sink that is not subscribed to per-access events. The
+//! `probe-off` and `recording-sink` variants below must stay within
+//! noise (<2%) of each other; `recording-sink-mem-events` shows the
+//! cost of opting in to per-access events, which no production path
+//! does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+use scu_gpu::GpuConfig;
+use scu_mem::coalescer::WarpCoalescer;
+use scu_mem::line::LineSize;
+use scu_mem::system::MemorySystem;
+use scu_mem::AccessKind;
+use scu_trace::{Probe, RecordingSink};
+
+const ACCESSES: usize = 16 * 1024;
+
+fn fresh_mem() -> MemorySystem {
+    MemorySystem::new(GpuConfig::tx1().memory.clone())
+}
+
+/// A mixed read/write address walk with some locality, so the bench
+/// exercises hits and misses rather than a pure DRAM stream.
+fn drive(mem: &mut MemorySystem, n: usize) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..n {
+        let addr = ((i as u64).wrapping_mul(2654435761) % 4096) * 128 + (i as u64 % 32) * 4;
+        let kind = if i % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let out = mem.access(addr, kind);
+        sum = sum.wrapping_add(out.latency_ns as u64);
+    }
+    sum
+}
+
+fn bench_mem_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-hot-path");
+    g.sample_size(30);
+
+    g.bench_function("mem-access/probe-off", |b| {
+        let mut mem = fresh_mem();
+        b.iter(|| black_box(drive(&mut mem, ACCESSES)));
+    });
+
+    g.bench_function("mem-access/recording-sink", |b| {
+        // A live sink, but not subscribed to per-access events — the
+        // production tracing configuration. Same one-branch hot path.
+        let mut mem = fresh_mem();
+        let sink = Rc::new(RefCell::new(RecordingSink::new("bench", false)));
+        mem.set_probe(Probe::new(sink));
+        b.iter(|| black_box(drive(&mut mem, ACCESSES)));
+    });
+
+    g.bench_function("mem-access/recording-sink-mem-events", |b| {
+        // Opting in to per-access events records one event per access;
+        // rebuild the sink each iteration so the event vector cannot
+        // grow across samples.
+        b.iter(|| {
+            let mut mem = fresh_mem();
+            let sink = Rc::new(RefCell::new(
+                RecordingSink::new("bench", false).with_mem_access(true),
+            ));
+            mem.set_probe(Probe::new(sink));
+            black_box(drive(&mut mem, ACCESSES / 4))
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-hot-path");
+    g.sample_size(30);
+
+    // The coalescer sits inside every simulated warp access; it has no
+    // probe hook at all, so this is the floor the traced path rides on.
+    g.bench_function("warp-coalescer/strided", |b| {
+        let coal = WarpCoalescer::new(LineSize::L128);
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 64).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..1024 {
+                total += coal.transaction_count(black_box(&addrs));
+            }
+            black_box(total)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_mem_access, bench_coalescer);
+criterion_main!(benches);

@@ -51,6 +51,7 @@ fn row(e: &Measurement) -> Value {
         ("iterations".into(), Value::U64(e.report.iterations as u64)),
         ("values_fnv".into(), Value::U64(e.values_fnv)),
         ("report".into(), serde_json::to_value(&e.report)),
+        ("phases".into(), serde_json::to_value(&e.phases)),
     ])
 }
 
@@ -63,6 +64,9 @@ fn main() {
             scu_harness::cli::USAGE
         );
         std::process::exit(2);
+    }
+    if args.trace.is_some() {
+        eprintln!("note: --trace is honoured by run_one and reproduce_all, not export_json");
     }
     let cfg = ExperimentConfig::from_env();
     let harness = Harness::new()

@@ -14,6 +14,10 @@
 //! writes the manifest and exits 130; the second kills immediately.
 //!
 //! Scale with `SCU_SCALE` (default 1/16 of published dataset sizes).
+//!
+//! With `--trace <path>` the sweep also writes a chrome://tracing JSON
+//! document covering every cell that simulated fresh (cached or
+//! resumed cells have no event stream), loadable in Perfetto.
 
 use std::fmt::Write as _;
 
@@ -50,7 +54,26 @@ fn main() {
         .progress_file("results/reproduce_progress.txt")
         .manifest("results/manifest.json")
         .handle_sigint(true);
-    let (m, sweep) = Matrix::collect_with(&cfg, &MODES, &harness, args.filter.as_deref());
+    let (m, sweep) = match &args.trace {
+        Some(path) => {
+            let (m, sweep, timelines) =
+                Matrix::collect_traced(&cfg, &MODES, &harness, args.filter.as_deref());
+            let doc = scu_trace::chrome::chrome_trace_document(&timelines);
+            let text = serde_json::to_string(&doc).expect("serialising a Value cannot fail");
+            match std::fs::write(path, text) {
+                Ok(()) => eprintln!(
+                    "trace: {} of {} cell(s) captured to {} (cached cells are not traced) — \
+                     load it in Perfetto (ui.perfetto.dev) or chrome://tracing",
+                    timelines.len(),
+                    sweep.outcomes.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+            }
+            (m, sweep)
+        }
+        None => Matrix::collect_with(&cfg, &MODES, &harness, args.filter.as_deref()),
+    };
 
     let mut out = String::new();
     let _ = writeln!(

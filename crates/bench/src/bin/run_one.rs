@@ -9,6 +9,11 @@
 //! Scale/seed come from `SCU_SCALE` / `SCU_SEED` as usual. The result
 //! is cached under `results/cache` like the full sweep's cells; pass
 //! `--no-cache` to force a fresh simulation.
+//!
+//! With `--trace <path>` the cell always simulates fresh (a cached
+//! result has no event stream) and its timeline is written as a
+//! chrome://tracing JSON file, loadable in Perfetto or
+//! `chrome://tracing`.
 
 use scu_algos::cell::{Cell, CellResult};
 use scu_algos::runner::{Algorithm, Mode};
@@ -16,6 +21,7 @@ use scu_algos::SystemKind;
 use scu_bench::ExperimentConfig;
 use scu_graph::{Dataset, GraphStats};
 use scu_harness::{CliArgs, ResultCache};
+use scu_trace::chrome::chrome_trace_document;
 
 fn parse_args(args: &[String]) -> Result<(Algorithm, Dataset, SystemKind, Mode), String> {
     let algo = match args.first().map(String::as_str) {
@@ -77,7 +83,8 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] [--no-cache]"
+                "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
+                 [--no-cache] [--trace PATH]"
             );
             std::process::exit(2);
         }
@@ -100,7 +107,25 @@ fn main() {
         stats.nodes, stats.edges, stats.degree_gini
     );
 
-    let (result, cached) = obtain(&cell, args.no_cache);
+    let (result, cached) = match &args.trace {
+        Some(path) => {
+            // Tracing needs the event stream, so the cell simulates
+            // fresh; the result cache is neither consulted nor written.
+            let (result, timeline) = cell.run_traced();
+            let doc = chrome_trace_document(&[(cell.id(), timeline)]);
+            let text = serde_json::to_string(&doc).expect("serialising a Value cannot fail");
+            match std::fs::write(path, text) {
+                Ok(()) => eprintln!(
+                    "trace written to {} — load it in Perfetto (ui.perfetto.dev) \
+                     or chrome://tracing",
+                    path.display()
+                ),
+                Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+            }
+            (result, false)
+        }
+        None => obtain(&cell, args.no_cache),
+    };
     if cached {
         println!("(cached result — pass --no-cache to re-simulate)");
     }

@@ -8,13 +8,20 @@
 //! in planning order — parallel and sequential collection produce
 //! byte-identical grids.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use scu_algos::cell::{Cell, CellResult};
 use scu_algos::runner::{Algorithm, Mode};
 use scu_algos::{RunReport, SystemKind};
 use scu_graph::Dataset;
 use scu_harness::{Harness, Job, JobGraph, Sweep};
+use scu_trace::{PhaseRow, Timeline};
 
 use crate::config::ExperimentConfig;
+
+/// Shared collector the traced jobs push their timelines into.
+type TraceLog = Arc<Mutex<Vec<(String, Timeline)>>>;
 
 /// One cell of the measurement grid.
 #[derive(Debug, Clone)]
@@ -33,6 +40,9 @@ pub struct Measurement {
     /// across modes of the same (algo, dataset) when the machines
     /// agree on the answer.
     pub values_fnv: u64,
+    /// Per-iteration phase breakdown, derived from the cell's event
+    /// timeline.
+    pub phases: Vec<PhaseRow>,
 }
 
 /// The filled grid.
@@ -94,13 +104,62 @@ impl Matrix {
         harness: &Harness,
         filter: Option<&str>,
     ) -> (Matrix, Sweep) {
+        Matrix::collect_inner(cfg, modes, harness, filter, None)
+    }
+
+    /// [`Matrix::collect_with`], additionally capturing the full event
+    /// timeline of every cell that actually simulated. Cells served
+    /// from the cache or the resume journal carry no event stream and
+    /// are absent from the returned list; timelines come back in
+    /// planning order regardless of worker scheduling.
+    pub fn collect_traced(
+        cfg: &ExperimentConfig,
+        modes: &[Mode],
+        harness: &Harness,
+        filter: Option<&str>,
+    ) -> (Matrix, Sweep, Vec<(String, Timeline)>) {
+        let log: TraceLog = Arc::new(Mutex::new(Vec::new()));
+        let (matrix, sweep) = Matrix::collect_inner(cfg, modes, harness, filter, Some(&log));
+        let mut timelines = std::mem::take(&mut *scu_harness::error::lock_unpoisoned(
+            &log,
+            "trace collector",
+        ));
+        // Workers push in completion order; restore planning order so
+        // the exported document is deterministic across --jobs levels.
+        let order: HashMap<String, usize> = Matrix::plan(cfg, modes, filter)
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id(), i))
+            .collect();
+        timelines.sort_by_key(|(id, _)| order.get(id).copied().unwrap_or(usize::MAX));
+        (matrix, sweep, timelines)
+    }
+
+    fn collect_inner(
+        cfg: &ExperimentConfig,
+        modes: &[Mode],
+        harness: &Harness,
+        filter: Option<&str>,
+        trace: Option<&TraceLog>,
+    ) -> (Matrix, Sweep) {
         let cells = Matrix::plan(cfg, modes, filter);
         let mut graph = JobGraph::new();
         for cell in &cells {
             let work = cell.clone();
-            graph.push(
-                Job::new(cell.id(), move || work.run_value()).with_cache_key(cell.cache_key()),
-            );
+            let job = match trace {
+                None => Job::new(cell.id(), move || work.run_value()),
+                Some(log) => {
+                    let log = Arc::clone(log);
+                    Job::new(cell.id(), move || {
+                        let (result, timeline) = work.run_traced();
+                        let value = serde_json::to_value(&result);
+                        scu_harness::error::lock_unpoisoned(&log, "trace collector")
+                            .push((work.id(), timeline));
+                        value
+                    })
+                }
+            };
+            graph.push(job.with_cache_key(cell.cache_key()));
         }
         let sweep = harness.run(&graph);
         let mut entries = Vec::new();
@@ -117,6 +176,7 @@ impl Matrix {
                         mode: cell.mode,
                         report: result.report,
                         values_fnv: result.values_fnv,
+                        phases: result.phases,
                     }),
                     Err(e) => eprintln!(
                         "[scu-bench] cell {} result malformed ({e:?}); dropped from grid",
@@ -243,6 +303,26 @@ mod tests {
                 base.algo, base.dataset
             );
         }
+    }
+
+    #[test]
+    fn traced_collection_returns_one_timeline_per_simulated_cell() {
+        let cfg = ExperimentConfig::tiny();
+        let modes = [Mode::GpuBaseline, Mode::ScuEnhanced];
+        let (m, sweep, timelines) =
+            Matrix::collect_traced(&cfg, &modes, &Harness::new(), Some("BFS/"));
+        assert!(sweep.summary.all_done());
+        assert_eq!(timelines.len(), m.entries().len());
+        // Planning order, and every timeline has events to export.
+        let planned: Vec<String> = Matrix::plan(&cfg, &modes, Some("BFS/"))
+            .iter()
+            .map(Cell::id)
+            .collect();
+        let got: Vec<&String> = timelines.iter().map(|(id, _)| id).collect();
+        assert_eq!(got, planned.iter().collect::<Vec<_>>());
+        assert!(timelines.iter().all(|(_, tl)| !tl.events.is_empty()));
+        // The grid rows carry the derived per-iteration breakdown.
+        assert!(m.entries().iter().all(|e| !e.phases.is_empty()));
     }
 
     #[test]

@@ -196,6 +196,13 @@ impl CommandQueue {
         out
     }
 
+    /// Attaches a trace probe to the underlying device; every
+    /// submitted command then emits a
+    /// [`scu_trace::Event::ScuOpRetired`] as it retires.
+    pub fn set_probe(&mut self, probe: scu_trace::Probe) {
+        self.device.set_probe(probe);
+    }
+
     /// Per-command statistics, in submission order.
     pub fn history(&self) -> &[ScuOpStats] {
         &self.history

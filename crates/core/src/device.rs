@@ -29,10 +29,12 @@ use scu_mem::line::LineSize;
 use scu_mem::stats::MemoryStats;
 use scu_mem::system::MemorySystem;
 
+use scu_trace::{Event, MemSource, Probe};
+
 use crate::config::ScuConfig;
 use crate::group::GroupHash;
 use crate::hash::{FilterHash, FilterMode};
-use crate::stats::{OpKind, ScuBounds, ScuOpStats, ScuStats};
+use crate::stats::{FilterStats, GroupStats, OpKind, ScuBounds, ScuOpStats, ScuStats};
 use crate::streams::SeqStream;
 
 /// Comparison operator of the Bitmask Constructor operation.
@@ -85,6 +87,8 @@ struct OpRun {
     latency_ns: f64,
     issued: u64,
     merged: u64,
+    filter_window: FilterStats,
+    group_window: GroupStats,
 }
 
 /// The Stream Compaction Unit device model.
@@ -97,6 +101,7 @@ struct OpRun {
 pub struct ScuDevice {
     cfg: ScuConfig,
     stats: ScuStats,
+    probe: Probe,
 }
 
 impl ScuDevice {
@@ -110,12 +115,19 @@ impl ScuDevice {
         ScuDevice {
             cfg,
             stats: ScuStats::default(),
+            probe: Probe::off(),
         }
     }
 
     /// The configuration this device was built with.
     pub fn config(&self) -> &ScuConfig {
         &self.cfg
+    }
+
+    /// Attaches (or detaches, with [`Probe::off`]) the trace probe
+    /// through which finished operations emit [`Event::ScuOpRetired`].
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Accumulated device statistics.
@@ -140,10 +152,12 @@ impl ScuDevice {
             latency_ns: 0.0,
             issued: 0,
             merged: 0,
+            filter_window: FilterStats::default(),
+            group_window: GroupStats::default(),
         }
     }
 
-    fn finish(&mut self, mem: &MemorySystem, run: OpRun) -> ScuOpStats {
+    fn finish(&mut self, mem: &mut MemorySystem, run: OpRun) -> ScuOpStats {
         // The Address Generator walks control streams while Data
         // Fetch/Store move data elements: distinct pipeline stages that
         // overlap, so occupancy is the slower stage, not their sum.
@@ -175,6 +189,14 @@ impl ScuDevice {
             time_ns: bounds.max_ns(),
         };
         self.stats.absorb(&op);
+        if self.probe.is_on() {
+            self.probe.emit(Event::ScuOpRetired {
+                op: Box::new(op),
+                filter: run.filter_window,
+                group: run.group_window,
+            });
+            mem.emit_window(MemSource::Scu);
+        }
         op
     }
 
@@ -618,7 +640,8 @@ impl ScuDevice {
             w.evictions -= filter_before.evictions;
             w
         };
-        self.stats.filter.merge(&window);
+        run.filter_window = window;
+        self.stats.filter.merge(&run.filter_window);
         self.finish(mem, run)
     }
 
@@ -705,13 +728,13 @@ impl ScuDevice {
         run.latency_ns += hash.latency_ns() - hash_lat_before;
         run.issued += idx_rd.accesses() + flag_wr.accesses();
         let after = hash.stats();
-        let window = crate::stats::FilterStats {
+        run.filter_window = crate::stats::FilterStats {
             probes: after.probes - filter_before.probes,
             kept: after.kept - filter_before.kept,
             dropped: after.dropped - filter_before.dropped,
             evictions: after.evictions - filter_before.evictions,
         };
-        self.stats.filter.merge(&window);
+        self.stats.filter.merge(&run.filter_window);
         self.finish(mem, run)
     }
 
@@ -808,12 +831,12 @@ impl ScuDevice {
         run.latency_ns += hash.latency_ns() - hash_lat_before;
         run.issued += src_rd.accesses() + flag_rd.accesses();
         let after = hash.stats();
-        let window = crate::stats::GroupStats {
+        run.group_window = crate::stats::GroupStats {
             elements: after.elements - group_before.elements,
             groups: after.groups - group_before.groups,
             joined: after.joined - group_before.joined,
         };
-        self.stats.group.merge(&window);
+        self.stats.group.merge(&run.group_window);
         self.finish(mem, run)
     }
 
@@ -904,12 +927,12 @@ impl ScuDevice {
         run.latency_ns += hash.latency_ns() - hash_lat_before;
         run.issued += idx_rd.accesses() + flag_rd.accesses();
         let after = hash.stats();
-        let window = crate::stats::GroupStats {
+        run.group_window = crate::stats::GroupStats {
             elements: after.elements - group_before.elements,
             groups: after.groups - group_before.groups,
             joined: after.joined - group_before.joined,
         };
-        self.stats.group.merge(&window);
+        self.stats.group.merge(&run.group_window);
         self.finish(mem, run)
     }
 }
@@ -1260,5 +1283,70 @@ mod tests {
         assert!(scu.stats().time_ns > 0.0);
         scu.reset_stats();
         assert_eq!(scu.stats().ops, 0);
+    }
+
+    #[test]
+    fn traced_ops_emit_retirement_and_memory_window() {
+        use scu_trace::{Event, MemSource, RecordingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let (mut scu, mut mem, mut alloc) = setup();
+        let sink = Rc::new(RefCell::new(RecordingSink::new("test", true)));
+        let probe = Probe::new(sink.clone());
+        scu.set_probe(probe.clone());
+        mem.set_probe(probe);
+
+        let mut hash = FilterHash::new(
+            &mut alloc,
+            HashTableConfig {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                entry_bytes: 4,
+            },
+        );
+        let src = DeviceArray::from_vec(&mut alloc, vec![3u32, 5, 3, 7, 5, 3]);
+        let mut flags: DeviceArray<u8> = DeviceArray::zeroed(&mut alloc, 6);
+        let op = scu.filter_pass_data(
+            &mut mem,
+            &src,
+            6,
+            None,
+            FilterMode::Unique,
+            None,
+            &mut hash,
+            &mut flags,
+        );
+
+        scu.set_probe(Probe::off());
+        mem.set_probe(Probe::off());
+        let timeline = Rc::try_unwrap(sink).unwrap().into_inner().finish();
+        let retired: Vec<_> = timeline
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::ScuOpRetired { op, filter, .. } => Some((op, filter)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].0.as_ref(), &op);
+        assert_eq!(retired[0].1.dropped, 3);
+        let windows: Vec<_> = timeline
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::MemWindow { source, stats } => Some((*source, stats)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].0, MemSource::Scu);
+        assert_eq!(windows[0].1.l2.accesses, op.mem.l2.accesses);
+        // Replaying the timeline reproduces live accumulation exactly.
+        let folded = timeline.scu_totals();
+        assert_eq!(folded.ops, scu.stats().ops);
+        assert_eq!(folded.filter.dropped, scu.stats().filter.dropped);
+        assert_eq!(folded.time_ns, scu.stats().time_ns);
     }
 }

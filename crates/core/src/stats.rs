@@ -1,241 +1,10 @@
 //! Per-operation and accumulated SCU statistics.
+//!
+//! The structs live in `scu-trace` so [`scu_trace::Event`] can carry
+//! them; this module re-exports them from their historical home, so
+//! `scu_core::stats::ScuOpStats` and friends keep resolving.
 
-use scu_mem::stats::MemoryStats;
-use serde::{Deserialize, Serialize};
-
-/// Which of the five SCU operations (Figure 6) — or enhanced pass — an
-/// [`ScuOpStats`] describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum OpKind {
-    /// Bitmask Constructor: compare stream against a reference value.
-    BitmaskConstructor,
-    /// Data Compaction: sequential data + bitmask → compacted data.
-    DataCompaction,
-    /// Access Compaction: index vector + bitmask → gathered data.
-    AccessCompaction,
-    /// Replication Compaction: data + count vector → replicated data.
-    ReplicationCompaction,
-    /// Access Expansion Compaction: indexes + counts → gathered ranges.
-    AccessExpansionCompaction,
-    /// Enhanced-SCU step 1 producing a filtering bitmask (§4.2).
-    FilterPass,
-    /// Enhanced-SCU step 1 producing a grouping reorder vector (§4.3).
-    GroupPass,
-}
-
-impl OpKind {
-    /// Short lower-case name for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            OpKind::BitmaskConstructor => "bitmask",
-            OpKind::DataCompaction => "data-compaction",
-            OpKind::AccessCompaction => "access-compaction",
-            OpKind::ReplicationCompaction => "replication-compaction",
-            OpKind::AccessExpansionCompaction => "access-expansion",
-            OpKind::FilterPass => "filter-pass",
-            OpKind::GroupPass => "group-pass",
-        }
-    }
-}
-
-/// The individual lower bounds whose max is one operation's time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct ScuBounds {
-    /// Pipeline throughput (`setup + slots / width` cycles), ns.
-    pub pipeline_ns: f64,
-    /// L2 bandwidth + DRAM service time of the op's traffic, ns.
-    pub memory_ns: f64,
-    /// Total miss latency divided by the in-flight request budget, ns.
-    pub latency_ns: f64,
-}
-
-impl ScuBounds {
-    /// The binding constraint, ns.
-    pub fn max_ns(&self) -> f64 {
-        self.pipeline_ns.max(self.memory_ns).max(self.latency_ns)
-    }
-
-    /// Component-wise accumulation.
-    pub fn merge(&mut self, other: &ScuBounds) {
-        self.pipeline_ns += other.pipeline_ns;
-        self.memory_ns += other.memory_ns;
-        self.latency_ns += other.latency_ns;
-    }
-}
-
-/// Statistics of one SCU operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ScuOpStats {
-    /// Operation kind.
-    pub op: OpKind,
-    /// Control-stream entries consumed (bitmask/index/count slots).
-    pub control_elements: u64,
-    /// Data elements that flowed through the pipeline.
-    pub data_elements: u64,
-    /// Flagged-out elements skipped by the bitmask scanner (cost a
-    /// fraction of a pipeline slot and no gather traffic).
-    pub skipped_elements: u64,
-    /// Elements written to the destination.
-    pub elements_out: u64,
-    /// Pipeline cycles charged.
-    pub scu_cycles: u64,
-    /// Memory requests issued after coalescing.
-    pub requests_issued: u64,
-    /// Memory requests merged away by the coalescing units.
-    pub requests_merged: u64,
-    /// L2/DRAM traffic attributable to this operation.
-    pub mem: MemoryStats,
-    /// Time-bound breakdown.
-    pub bounds: ScuBounds,
-    /// Estimated operation time, ns.
-    pub time_ns: f64,
-}
-
-impl ScuOpStats {
-    /// Creates an empty record of the given kind.
-    pub fn new(op: OpKind) -> Self {
-        ScuOpStats {
-            op,
-            control_elements: 0,
-            data_elements: 0,
-            skipped_elements: 0,
-            elements_out: 0,
-            scu_cycles: 0,
-            requests_issued: 0,
-            requests_merged: 0,
-            mem: MemoryStats::default(),
-            bounds: ScuBounds::default(),
-            time_ns: 0.0,
-        }
-    }
-}
-
-/// Filtering-effectiveness counters (§4.2 / §6.3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FilterStats {
-    /// Elements probed.
-    pub probes: u64,
-    /// Elements kept (first occurrences or cost improvements).
-    pub kept: u64,
-    /// Duplicates dropped.
-    pub dropped: u64,
-    /// Hash-collision evictions (a different ID overwrote an entry —
-    /// these are the source of filtering false negatives).
-    pub evictions: u64,
-}
-
-impl FilterStats {
-    /// Fraction of the input stream removed, in `[0, 1]`.
-    pub fn drop_rate(&self) -> f64 {
-        if self.probes == 0 {
-            0.0
-        } else {
-            self.dropped as f64 / self.probes as f64
-        }
-    }
-
-    /// Accumulates another window.
-    pub fn merge(&mut self, other: &FilterStats) {
-        self.probes += other.probes;
-        self.kept += other.kept;
-        self.dropped += other.dropped;
-        self.evictions += other.evictions;
-    }
-}
-
-/// Grouping-effectiveness counters (§4.3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct GroupStats {
-    /// Elements processed.
-    pub elements: u64,
-    /// Groups emitted (evictions plus final flush).
-    pub groups: u64,
-    /// Elements that joined an existing resident group.
-    pub joined: u64,
-}
-
-impl GroupStats {
-    /// Mean emitted group size (1.0 means grouping found no locality).
-    pub fn mean_group_size(&self) -> f64 {
-        if self.groups == 0 {
-            0.0
-        } else {
-            self.elements as f64 / self.groups as f64
-        }
-    }
-
-    /// Accumulates another window.
-    pub fn merge(&mut self, other: &GroupStats) {
-        self.elements += other.elements;
-        self.groups += other.groups;
-        self.joined += other.joined;
-    }
-}
-
-/// Accumulated statistics of one [`crate::device::ScuDevice`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct ScuStats {
-    /// Operations executed.
-    pub ops: u64,
-    /// Total pipeline cycles.
-    pub scu_cycles: u64,
-    /// Total estimated busy time, ns.
-    pub time_ns: f64,
-    /// Total control-stream elements.
-    pub control_elements: u64,
-    /// Total data elements through the pipeline.
-    pub data_elements: u64,
-    /// Total flagged-out elements skipped by the bitmask scanner.
-    pub skipped_elements: u64,
-    /// Total elements written.
-    pub elements_out: u64,
-    /// Total issued memory requests.
-    pub requests_issued: u64,
-    /// Total merged memory requests.
-    pub requests_merged: u64,
-    /// Memory traffic attributable to the SCU.
-    pub mem: MemoryStats,
-    /// Accumulated time-bound breakdown.
-    pub bounds: ScuBounds,
-    /// Filtering effectiveness.
-    pub filter: FilterStats,
-    /// Grouping effectiveness.
-    pub group: GroupStats,
-}
-
-impl ScuStats {
-    /// Folds one operation's record into the device totals.
-    pub fn absorb(&mut self, op: &ScuOpStats) {
-        self.ops += 1;
-        self.scu_cycles += op.scu_cycles;
-        self.time_ns += op.time_ns;
-        self.control_elements += op.control_elements;
-        self.data_elements += op.data_elements;
-        self.skipped_elements += op.skipped_elements;
-        self.elements_out += op.elements_out;
-        self.requests_issued += op.requests_issued;
-        self.requests_merged += op.requests_merged;
-        self.mem.merge(&op.mem);
-        self.bounds.merge(&op.bounds);
-    }
-
-    /// Accumulates another device's totals (e.g. across phases).
-    pub fn merge(&mut self, other: &ScuStats) {
-        self.ops += other.ops;
-        self.scu_cycles += other.scu_cycles;
-        self.time_ns += other.time_ns;
-        self.control_elements += other.control_elements;
-        self.data_elements += other.data_elements;
-        self.skipped_elements += other.skipped_elements;
-        self.elements_out += other.elements_out;
-        self.requests_issued += other.requests_issued;
-        self.requests_merged += other.requests_merged;
-        self.mem.merge(&other.mem);
-        self.bounds.merge(&other.bounds);
-        self.filter.merge(&other.filter);
-        self.group.merge(&other.group);
-    }
-}
+pub use scu_trace::{FilterStats, GroupStats, OpKind, ScuBounds, ScuOpStats, ScuStats};
 
 #[cfg(test)]
 mod tests {

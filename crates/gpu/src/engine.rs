@@ -17,6 +17,8 @@ use scu_mem::line::Addr;
 use scu_mem::stats::CacheStats;
 use scu_mem::system::MemorySystem;
 
+use scu_trace::{Event, MemSource, Probe};
+
 use crate::config::GpuConfig;
 use crate::kernel::{ThreadCtx, ThreadOp};
 use crate::stats::{KernelStats, TimeBounds};
@@ -34,6 +36,7 @@ pub struct GpuEngine {
     cfg: GpuConfig,
     l1s: Vec<Cache>,
     coalescer: WarpCoalescer,
+    probe: Probe,
 }
 
 impl GpuEngine {
@@ -50,12 +53,20 @@ impl GpuEngine {
             cfg,
             l1s,
             coalescer,
+            probe: Probe::off(),
         }
     }
 
     /// The configuration this engine was built with.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Attaches (or detaches, with [`Probe::off`]) the trace probe
+    /// through which launches emit [`Event::KernelLaunched`] /
+    /// [`Event::KernelRetired`].
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Invalidates all L1 caches (kernel-boundary behaviour of
@@ -83,10 +94,13 @@ impl GpuEngine {
     where
         F: FnMut(usize, &mut ThreadCtx),
     {
-        let _ = name;
         if threads == 0 {
             return KernelStats::default();
         }
+        self.probe.emit_with(|| Event::KernelLaunched {
+            name: name.to_string(),
+            threads: threads as u64,
+        });
 
         let warp_size = self.cfg.warp_size as usize;
         let num_sms = self.cfg.num_sms as usize;
@@ -243,6 +257,14 @@ impl GpuEngine {
         stats.l1 = l1_window;
         stats.mem = mem.stats().since(&mem_before);
 
+        if self.probe.is_on() {
+            self.probe.emit(Event::KernelRetired {
+                name: name.to_string(),
+                stats: Box::new(stats),
+            });
+            mem.emit_window(MemSource::Gpu);
+        }
+
         stats
     }
 }
@@ -381,6 +403,38 @@ mod tests {
         let sb = eng_b.run(&mut mem_b, "alu", 1 << 16, work);
         let ss = eng_s.run(&mut mem_s, "alu", 1 << 16, work);
         assert!(sb.time_ns < ss.time_ns / 4.0);
+    }
+
+    #[test]
+    fn traced_launch_emits_lifecycle_and_window() {
+        use scu_trace::RecordingSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let (mut eng, mut mem, mut alloc) = setup();
+        let a: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 64);
+        let sink = Rc::new(RefCell::new(RecordingSink::new("t", false)));
+        eng.set_probe(Probe::new(sink.clone()));
+        mem.set_probe(Probe::new(sink.clone()));
+        let direct = eng.run(&mut mem, "probe-me", 64, |tid, ctx| {
+            let _ = ctx.load(&a, tid);
+        });
+        eng.set_probe(Probe::off());
+        mem.set_probe(Probe::off());
+        let tl = Rc::try_unwrap(sink).unwrap().into_inner().finish();
+        assert!(matches!(
+            &tl.events[0].event,
+            Event::KernelLaunched { name, threads: 64 } if name == "probe-me"
+        ));
+        let Event::KernelRetired { stats, .. } = &tl.events[1].event else {
+            panic!("expected KernelRetired, got {:?}", tl.events[1].event);
+        };
+        assert_eq!(**stats, direct, "event payload matches returned stats");
+        let Event::MemWindow { source, stats } = &tl.events[2].event else {
+            panic!("expected MemWindow, got {:?}", tl.events[2].event);
+        };
+        assert_eq!(*source, MemSource::Gpu);
+        assert_eq!(stats.l2.accesses, direct.mem.l2.accesses);
     }
 
     #[test]

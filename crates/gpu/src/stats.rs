@@ -1,130 +1,10 @@
 //! Kernel-launch statistics and the time-bounds breakdown.
+//!
+//! The structs live in `scu-trace` so [`scu_trace::Event`] can carry
+//! them; this module re-exports them from their historical home, so
+//! `scu_gpu::stats::KernelStats` and friends keep resolving.
 
-use scu_mem::stats::{CacheStats, MemoryStats};
-use serde::{Deserialize, Serialize};
-
-/// The individual lower bounds whose maximum is the kernel time.
-///
-/// Each field answers "how long would this kernel take if only this
-/// resource constrained it?" — the roofline model takes the max.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct TimeBounds {
-    /// Instruction issue throughput across SMs, ns.
-    pub compute_ns: f64,
-    /// L1 transaction throughput (1 line/cycle/SM), ns.
-    pub l1_ns: f64,
-    /// Shared L2 bandwidth + DRAM service time, ns.
-    pub memory_ns: f64,
-    /// Total memory latency divided by warp-level parallelism, ns.
-    pub latency_ns: f64,
-    /// Same-address atomic serialisation, ns.
-    pub atomic_ns: f64,
-}
-
-impl TimeBounds {
-    /// The binding constraint — the kernel-time estimate.
-    pub fn max_ns(&self) -> f64 {
-        self.compute_ns
-            .max(self.l1_ns)
-            .max(self.memory_ns)
-            .max(self.latency_ns)
-            .max(self.atomic_ns)
-    }
-
-    /// Name of the binding constraint (for reports).
-    pub fn binding(&self) -> &'static str {
-        let m = self.max_ns();
-        if m == self.compute_ns {
-            "compute"
-        } else if m == self.l1_ns {
-            "l1"
-        } else if m == self.memory_ns {
-            "memory"
-        } else if m == self.latency_ns {
-            "latency"
-        } else {
-            "atomic"
-        }
-    }
-
-    /// Component-wise sum, for accumulating per-launch bounds into an
-    /// application profile.
-    pub fn merge(&mut self, other: &TimeBounds) {
-        self.compute_ns += other.compute_ns;
-        self.l1_ns += other.l1_ns;
-        self.memory_ns += other.memory_ns;
-        self.latency_ns += other.latency_ns;
-        self.atomic_ns += other.atomic_ns;
-    }
-}
-
-/// Statistics of one kernel launch (or, after
-/// [`KernelStats::merge`], of a sequence of launches).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct KernelStats {
-    /// Number of launches accumulated (1 for a single launch).
-    pub launches: u64,
-    /// Threads launched.
-    pub threads: u64,
-    /// Warps launched.
-    pub warps: u64,
-    /// Dynamic per-thread instructions (ALU + memory + atomic). This is
-    /// the metric behind the paper's "GPU instructions reduced by >70%".
-    pub thread_insts: u64,
-    /// Warp-level issue slots (divergence-inclusive).
-    pub warp_slots: u64,
-    /// Warp-level memory instructions.
-    pub mem_slots: u64,
-    /// Coalesced line transactions issued by all warps.
-    pub transactions: u64,
-    /// Per-thread loads.
-    pub loads: u64,
-    /// Per-thread stores.
-    pub stores: u64,
-    /// Per-thread atomics.
-    pub atomics: u64,
-    /// L1 counters for this window (all SMs summed).
-    pub l1: CacheStats,
-    /// L2 + DRAM counters for this window.
-    pub mem: MemoryStats,
-    /// The time-bound breakdown.
-    pub bounds: TimeBounds,
-    /// Estimated execution time, ns (max of bounds per launch, summed
-    /// across merged launches).
-    pub time_ns: f64,
-}
-
-impl KernelStats {
-    /// Average line transactions per warp memory instruction — the
-    /// memory-divergence metric (1.0 = perfectly coalesced, up to 32).
-    pub fn transactions_per_mem_slot(&self) -> f64 {
-        if self.mem_slots == 0 {
-            0.0
-        } else {
-            self.transactions as f64 / self.mem_slots as f64
-        }
-    }
-
-    /// Accumulates another launch's statistics into this one.
-    ///
-    /// `time_ns` adds (launches are sequential); counters sum.
-    pub fn merge(&mut self, other: &KernelStats) {
-        self.launches += other.launches;
-        self.threads += other.threads;
-        self.warps += other.warps;
-        self.thread_insts += other.thread_insts;
-        self.warp_slots += other.warp_slots;
-        self.mem_slots += other.mem_slots;
-        self.transactions += other.transactions;
-        self.loads += other.loads;
-        self.stores += other.stores;
-        self.atomics += other.atomics;
-        self.l1.merge(&other.l1);
-        self.mem.merge(&other.mem);
-        self.bounds.merge(&other.bounds);
-        self.time_ns += other.time_ns;
-    }
-}
+pub use scu_trace::{KernelStats, TimeBounds};
 
 #[cfg(test)]
 mod tests {

@@ -37,7 +37,7 @@ use crate::hash::stable_digest;
 
 /// Counters of one cache's activity within this process.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
+pub struct ResultCacheStats {
     /// Successful loads.
     pub hits: u64,
     /// Lookups that found nothing usable.
@@ -209,8 +209,8 @@ impl ResultCache {
     }
 
     /// This process's hit/miss/store/quarantine counts so far.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
@@ -245,7 +245,7 @@ mod tests {
         assert_eq!(cache.load(&key(1)), Some(Value::Str("result".into())));
         assert_eq!(
             cache.stats(),
-            CacheStats {
+            ResultCacheStats {
                 hits: 1,
                 misses: 1,
                 stores: 1,

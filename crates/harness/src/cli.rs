@@ -1,7 +1,8 @@
 //! Shared command-line surface for the experiment binaries:
 //! `--jobs N`, `--no-cache`, `--filter <substr>`, `--timeout-secs N`,
-//! `--retries N`, `--resume`.
+//! `--retries N`, `--resume`, `--trace <path>`.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::executor::default_jobs;
@@ -23,6 +24,10 @@ pub struct CliArgs {
     /// Resume from the journal of an interrupted sweep instead of
     /// starting fresh.
     pub resume: bool,
+    /// Write a chrome://tracing JSON file of the run's event timeline
+    /// here (binaries that simulate fresh cells honour it; cached
+    /// cells have no event stream to export).
+    pub trace: Option<PathBuf>,
     /// Positional arguments, in order, with harness flags removed.
     pub rest: Vec<String>,
 }
@@ -36,6 +41,7 @@ impl Default for CliArgs {
             timeout: None,
             retries: 2,
             resume: false,
+            trace: None,
             rest: Vec::new(),
         }
     }
@@ -48,7 +54,8 @@ pub const USAGE: &str = "harness options:\n  \
     --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
     --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
     --retries N       retry failed/timed-out cells up to N times (default: 2)\n  \
-    --resume          resume an interrupted sweep from results/manifest.json";
+    --resume          resume an interrupted sweep from results/manifest.json\n  \
+    --trace PATH      write a chrome://tracing (Perfetto) JSON trace to PATH";
 
 impl CliArgs {
     /// Parses `std::env::args().skip(1)`-style arguments. Unknown
@@ -93,6 +100,7 @@ impl CliArgs {
                     })?;
                 }
                 "--resume" => out.resume = true,
+                "--trace" => out.trace = Some(PathBuf::from(value("a file path")?)),
                 _ => out.rest.push(arg),
             }
         }
@@ -137,6 +145,19 @@ mod tests {
         let b = parse(&["--retries=5"]);
         assert_eq!(b.retries, 5);
         assert!(CliArgs::parse(["--retries".to_string(), "-1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn trace_parses_in_both_spellings() {
+        let a = parse(&["--trace", "out.json"]);
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("out.json")));
+        let b = parse(&["--trace=results/trace.json"]);
+        assert_eq!(
+            b.trace.as_deref(),
+            Some(std::path::Path::new("results/trace.json"))
+        );
+        assert!(parse(&[]).trace.is_none());
+        assert!(CliArgs::parse(["--trace".to_string()]).is_err());
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub struct ExecContext<'a> {
     /// Journaled completions from an interrupted sweep, keyed by
     /// [`JournalEntry::resume_key`].
     pub resume: Option<&'a HashMap<String, Value>>,
+    /// Timeline digests from the interrupted sweep's journal, keyed by
+    /// job id. A cell that *re-runs* during a resumed sweep (its cache
+    /// key changed, so the resume map missed it) is cross-checked
+    /// against the digest journaled for the same id; a mismatch warns
+    /// but never fails the cell.
+    pub resume_digests: Option<&'a HashMap<String, u64>>,
     /// Rises when the sweep should drain and stop (SIGINT).
     pub cancel: Option<&'a AtomicBool>,
 }
@@ -306,6 +312,18 @@ fn run_one(job: &Job, ctx: &ExecContext<'_>, opts: &ExecOptions, sched: &Schedul
         }
     }
     let outcome = run_with_retries(job, opts, start, sched);
+    if let (Some(digests), Outcome::Done { value, .. }) = (ctx.resume_digests, &outcome) {
+        if let (Some(&journaled), Some(fresh)) = (digests.get(&job.id), timeline_digest(value)) {
+            if journaled != fresh {
+                eprintln!(
+                    "[scu-harness] warning: cell '{}' re-ran with timeline digest \
+                     {fresh:016x} but the interrupted sweep journaled {journaled:016x} \
+                     (model or configuration changed between sweeps)",
+                    job.id
+                );
+            }
+        }
+    }
     if let (Some(cache), Some(key), Outcome::Done { value, .. }) =
         (ctx.cache, job.cache_key.as_ref(), &outcome)
     {
@@ -318,6 +336,11 @@ fn run_one(job: &Job, ctx: &ExecContext<'_>, opts: &ExecOptions, sched: &Schedul
     outcome
 }
 
+/// The per-cell timeline digest, when the result value carries one.
+fn timeline_digest(value: &Value) -> Option<u64> {
+    value.get("timeline_digest").and_then(Value::as_u64)
+}
+
 /// Appends a completion to the journal, degrading on failure.
 fn journal_done(ctx: &ExecContext<'_>, job: &Job, outcome: &Outcome) {
     let (Some(journal), Outcome::Done { value, .. }) = (ctx.journal, outcome) else {
@@ -327,6 +350,7 @@ fn journal_done(ctx: &ExecContext<'_>, job: &Job, outcome: &Outcome) {
         key: job.cache_key.clone(),
         id: job.id.clone(),
         value: value.clone(),
+        digest: timeline_digest(value),
     };
     if let Err(e) = journal.append(&entry) {
         // A short journal only costs recomputation on resume.
@@ -721,6 +745,32 @@ mod tests {
         assert_eq!(out[0].value(), Some(&Value::U64(99)));
         assert!(out[0].is_cached());
         assert!(!ran.load(Ordering::SeqCst), "journaled cell must not rerun");
+    }
+
+    #[test]
+    fn rerun_cell_with_mismatched_journal_digest_warns_but_completes() {
+        // The cell's cache key changed between sweeps (e.g. a model
+        // bump), so the resume map misses and it re-runs; its fresh
+        // digest disagrees with the journaled one. The outcome must
+        // still be Done — the mismatch is diagnostic only.
+        let mut g = JobGraph::new();
+        g.push(
+            Job::new("cell", || {
+                Value::Object(vec![("timeline_digest".into(), Value::U64(0xbeef))])
+            })
+            .with_cache_key(Value::Str("new-model-key".into())),
+        );
+        let resume = HashMap::new(); // no resume match -> re-run
+        let mut digests = HashMap::new();
+        digests.insert("cell".to_string(), 0xdeadu64);
+        let ctx = ExecContext {
+            resume: Some(&resume),
+            resume_digests: Some(&digests),
+            ..ExecContext::default()
+        };
+        let out = execute(&g, &ctx, &ExecOptions::default(), &silent()).outcomes;
+        assert!(out[0].is_done(), "digest mismatch must not fail the cell");
+        assert!(!out[0].is_cached());
     }
 
     #[test]

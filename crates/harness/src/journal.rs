@@ -35,6 +35,10 @@ pub struct JournalEntry {
     pub id: String,
     /// The value the job produced.
     pub value: Value,
+    /// The run's timeline digest, when the value carried one — lets a
+    /// resumed sweep cross-check a re-run cell against what the
+    /// interrupted sweep observed.
+    pub digest: Option<u64>,
 }
 
 impl JournalEntry {
@@ -51,11 +55,15 @@ impl JournalEntry {
     }
 
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("key".to_string(), self.key.clone().unwrap_or(Value::Null)),
             ("id".to_string(), Value::Str(self.id.clone())),
             ("value".to_string(), self.value.clone()),
-        ])
+        ];
+        if let Some(d) = self.digest {
+            fields.push(("digest".to_string(), Value::U64(d)));
+        }
+        Value::Object(fields)
     }
 
     fn from_value(v: &Value) -> Result<Self, String> {
@@ -70,7 +78,14 @@ impl JournalEntry {
             .ok_or("missing 'id'")?
             .to_string();
         let value = v.get("value").cloned().ok_or("missing 'value'")?;
-        Ok(JournalEntry { key, id, value })
+        // Tolerant of journals written before digests existed.
+        let digest = v.get("digest").and_then(Value::as_u64);
+        Ok(JournalEntry {
+            key,
+            id,
+            value,
+            digest,
+        })
     }
 }
 
@@ -184,6 +199,21 @@ impl Journal {
         }
         Ok(map)
     }
+
+    /// Loads the journaled timeline digests keyed by job id. A resumed
+    /// sweep uses this to cross-check cells it *re-runs* (because the
+    /// model version or configuration changed their cache key) against
+    /// what the interrupted sweep observed for the same id.
+    pub fn load_digest_map(path: impl AsRef<Path>) -> Result<HashMap<String, u64>, HarnessError> {
+        let entries = Journal::load(path)?;
+        let mut map = HashMap::new();
+        for e in entries {
+            if let Some(d) = e.digest {
+                map.insert(e.id, d);
+            }
+        }
+        Ok(map)
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +231,7 @@ mod tests {
             key: Some(Value::Object(vec![("cell".into(), Value::U64(n))])),
             id: format!("cell-{n}"),
             value: Value::U64(n * 10),
+            digest: Some(n * 1000),
         }
     }
 
@@ -255,6 +286,29 @@ mod tests {
     }
 
     #[test]
+    fn digests_round_trip_and_pre_digest_journals_load() {
+        let path = scratch("digest");
+        let j = Journal::open(&path, true).unwrap();
+        j.append(&entry(3)).unwrap();
+        // A line from before digests existed parses with digest: None.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, r#"{{"key":null,"id":"old","value":7}}"#).unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded[0].digest, Some(3000));
+        assert_eq!(loaded[1].digest, None);
+        let digests = Journal::load_digest_map(&path).unwrap();
+        assert_eq!(digests.get("cell-3"), Some(&3000));
+        assert!(!digests.contains_key("old"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
     fn missing_journal_is_empty() {
         assert!(Journal::load("/nonexistent/scu/manifest.json")
             .unwrap()
@@ -267,6 +321,7 @@ mod tests {
             key: None,
             id: "plain".into(),
             value: Value::Bool(true),
+            digest: None,
         };
         let path = scratch("by-id");
         let j = Journal::open(&path, true).unwrap();

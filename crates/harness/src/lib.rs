@@ -47,7 +47,7 @@ pub mod job;
 pub mod journal;
 pub mod progress;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::CliArgs;
 pub use error::HarnessError;
 pub use executor::{default_jobs, ExecContext, ExecOptions, ExecResult};
@@ -66,7 +66,7 @@ pub struct Sweep {
     /// Aggregate counts, failures and timings.
     pub summary: SweepSummary,
     /// Cache activity during the sweep (zeroes when caching is off).
-    pub cache_stats: CacheStats,
+    pub cache_stats: ResultCacheStats,
 }
 
 /// Builder-style front door: configure once, run a [`JobGraph`].
@@ -215,6 +215,7 @@ impl Harness {
                     None
                 }
             });
+        let mut resume_digests = None;
         let resume_map = if self.resume {
             match self.manifest.as_ref() {
                 Some(path) => match Journal::load_resume_map(path) {
@@ -226,6 +227,9 @@ impl Harness {
                                 path.display()
                             );
                         }
+                        // Digests cross-check re-run cells against what
+                        // the interrupted sweep observed (warn-only).
+                        resume_digests = Journal::load_digest_map(path).ok();
                         Some(map)
                     }
                     Err(e) => {
@@ -282,6 +286,7 @@ impl Harness {
             cache: cache.as_ref(),
             journal: journal.as_ref(),
             resume: resume_map.as_ref(),
+            resume_digests: resume_digests.as_ref(),
             cancel: if self.handle_sigint {
                 Some(cancel::flag())
             } else {

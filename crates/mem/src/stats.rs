@@ -1,140 +1,16 @@
 //! Traffic counters shared by the cache, DRAM and system models.
 //!
-//! All counters are plain event counts; the energy model in `scu-energy`
-//! multiplies them by per-event energies, and the timing models divide
-//! byte counts by peak bandwidth. Every stats struct supports
+//! The structs themselves live in `scu-trace` (the bottom of the
+//! dependency order) so trace events can carry them; they are
+//! re-exported here, their historical home, and all existing paths
+//! (`scu_mem::stats::CacheStats`, …) keep working. All counters are
+//! plain event counts; the energy model in `scu-energy` multiplies
+//! them by per-event energies, and the timing models divide byte
+//! counts by peak bandwidth. Every stats struct supports
 //! [`merge`](CacheStats::merge)-style accumulation so per-phase
 //! measurements can be rolled up into per-application totals.
 
-use serde::{Deserialize, Serialize};
-
-/// Hit/miss counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Total accesses (reads + writes).
-    pub accesses: u64,
-    /// Accesses that hit.
-    pub hits: u64,
-    /// Accesses that missed (and allocated).
-    pub misses: u64,
-    /// Write accesses (subset of `accesses`).
-    pub writes: u64,
-    /// Dirty evictions (write-back traffic toward the next level).
-    pub writebacks: u64,
-}
-
-impl CacheStats {
-    /// Hit rate in `[0, 1]`; zero if there were no accesses.
-    pub fn hit_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.accesses as f64
-        }
-    }
-
-    /// Adds `other`'s counters into `self`.
-    pub fn merge(&mut self, other: &CacheStats) {
-        self.accesses += other.accesses;
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.writes += other.writes;
-        self.writebacks += other.writebacks;
-    }
-
-    /// Difference `self - other`, for windowed measurements where
-    /// `other` is a snapshot taken at the start of the window.
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `other` is not an earlier snapshot of
-    /// the same counter stream (any counter would go negative).
-    pub fn since(&self, other: &CacheStats) -> CacheStats {
-        CacheStats {
-            accesses: self.accesses - other.accesses,
-            hits: self.hits - other.hits,
-            misses: self.misses - other.misses,
-            writes: self.writes - other.writes,
-            writebacks: self.writebacks - other.writebacks,
-        }
-    }
-}
-
-/// DRAM access counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DramStats {
-    /// Read bursts serviced.
-    pub reads: u64,
-    /// Write bursts serviced.
-    pub writes: u64,
-    /// Accesses that hit an open row.
-    pub row_hits: u64,
-    /// Accesses that required precharge + activate.
-    pub row_misses: u64,
-    /// Total bytes transferred on the data bus.
-    pub bytes: u64,
-    /// Row activations issued.
-    pub activations: u64,
-}
-
-impl DramStats {
-    /// Row-buffer hit rate in `[0, 1]`; zero if there were no accesses.
-    pub fn row_hit_rate(&self) -> f64 {
-        let total = self.row_hits + self.row_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.row_hits as f64 / total as f64
-        }
-    }
-
-    /// Adds `other`'s counters into `self`.
-    pub fn merge(&mut self, other: &DramStats) {
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.row_hits += other.row_hits;
-        self.row_misses += other.row_misses;
-        self.bytes += other.bytes;
-        self.activations += other.activations;
-    }
-
-    /// Difference `self - other` (see [`CacheStats::since`]).
-    pub fn since(&self, other: &DramStats) -> DramStats {
-        DramStats {
-            reads: self.reads - other.reads,
-            writes: self.writes - other.writes,
-            row_hits: self.row_hits - other.row_hits,
-            row_misses: self.row_misses - other.row_misses,
-            bytes: self.bytes - other.bytes,
-            activations: self.activations - other.activations,
-        }
-    }
-}
-
-/// Combined snapshot of an entire [`crate::system::MemorySystem`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MemoryStats {
-    /// L2 counters.
-    pub l2: CacheStats,
-    /// DRAM counters.
-    pub dram: DramStats,
-}
-
-impl MemoryStats {
-    /// Adds `other`'s counters into `self`.
-    pub fn merge(&mut self, other: &MemoryStats) {
-        self.l2.merge(&other.l2);
-        self.dram.merge(&other.dram);
-    }
-
-    /// Difference `self - other` (see [`CacheStats::since`]).
-    pub fn since(&self, other: &MemoryStats) -> MemoryStats {
-        MemoryStats {
-            l2: self.l2.since(&other.l2),
-            dram: self.dram.since(&other.dram),
-        }
-    }
-}
+pub use scu_trace::{CacheStats, DramStats, MemoryStats};
 
 #[cfg(test)]
 mod tests {

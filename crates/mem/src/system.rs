@@ -10,6 +10,7 @@ use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::line::{Addr, LineSize};
 use crate::stats::MemoryStats;
+use scu_trace::{Event, MemSource, Probe};
 
 /// Parameters of a [`MemorySystem`].
 #[derive(Debug, Clone)]
@@ -77,6 +78,8 @@ pub struct MemorySystem {
     l2: Cache,
     dram: Dram,
     l2_bytes: u64,
+    probe: Probe,
+    window_anchor: MemoryStats,
 }
 
 impl MemorySystem {
@@ -89,12 +92,33 @@ impl MemorySystem {
             l2,
             dram,
             l2_bytes: 0,
+            probe: Probe::off(),
+            window_anchor: MemoryStats::default(),
         }
     }
 
     /// The configuration this system was built with.
     pub fn config(&self) -> &MemorySystemConfig {
         &self.cfg
+    }
+
+    /// Attaches (or detaches, with [`Probe::off`]) the trace probe and
+    /// re-anchors the traffic window at the current counters.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+        self.window_anchor = self.stats();
+    }
+
+    /// Emits an [`Event::MemWindow`] covering all traffic since the
+    /// last window (or since [`MemorySystem::set_probe`]) attributed to
+    /// `source`, and re-anchors the window.
+    pub fn emit_window(&mut self, source: MemSource) {
+        let now = self.stats();
+        self.probe.emit_with(|| Event::MemWindow {
+            source,
+            stats: Box::new(now.since(&self.window_anchor)),
+        });
+        self.window_anchor = now;
     }
 
     /// Performs one line-granularity access.
@@ -116,6 +140,13 @@ impl MemorySystem {
             // address's bank neighbourhood, which preserves traffic and
             // approximate locality.
             self.dram.access(addr, AccessKind::Write);
+        }
+        if self.probe.wants_mem_access() {
+            self.probe.emit(Event::MemAccess {
+                addr,
+                write: matches!(kind, AccessKind::Write),
+                l2_hit: out.hit,
+            });
         }
         MemOutcome {
             l2_hit: out.hit,
@@ -139,6 +170,13 @@ impl MemorySystem {
         if out.dirty_eviction {
             self.dram.access(addr, AccessKind::Write);
         }
+        if self.probe.wants_mem_access() {
+            self.probe.emit(Event::MemAccess {
+                addr,
+                write: matches!(kind, AccessKind::Write),
+                l2_hit: out.hit,
+            });
+        }
         MemOutcome {
             l2_hit: out.hit,
             latency_ns: latency,
@@ -149,6 +187,13 @@ impl MemorySystem {
     /// streaming traffic that the modelled hardware marks non-cacheable.
     pub fn access_uncached(&mut self, addr: Addr, kind: AccessKind) -> MemOutcome {
         let a = self.dram.access(addr, kind);
+        if self.probe.wants_mem_access() {
+            self.probe.emit(Event::MemAccess {
+                addr,
+                write: matches!(kind, AccessKind::Write),
+                l2_hit: false,
+            });
+        }
         MemOutcome {
             l2_hit: false,
             latency_ns: a.latency_ns,
@@ -267,6 +312,75 @@ mod tests {
         assert_eq!(s.l2.accesses, 0);
         assert_eq!(s.dram.reads, 0);
         assert_eq!(m.service_time_ns(), 0.0);
+    }
+
+    #[test]
+    fn probe_windows_cover_traffic_since_anchor() {
+        use scu_trace::{Probe, RecordingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        m.access(0, AccessKind::Read); // pre-probe traffic is excluded
+        let sink = Rc::new(RefCell::new(RecordingSink::new("t", false)));
+        m.set_probe(Probe::new(sink.clone()));
+        m.access(128, AccessKind::Read);
+        m.emit_window(MemSource::Gpu);
+        m.access(256, AccessKind::Write);
+        m.emit_window(MemSource::Scu);
+        m.set_probe(Probe::off());
+        let tl = Rc::try_unwrap(sink).unwrap().into_inner().finish();
+        let windows: Vec<_> = tl
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::MemWindow { source, stats } => Some((*source, **stats)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0, MemSource::Gpu);
+        assert_eq!(windows[0].1.l2.accesses, 1);
+        assert_eq!(windows[1].0, MemSource::Scu);
+        assert_eq!(windows[1].1.l2.writes, 1);
+    }
+
+    #[test]
+    fn mem_access_events_are_opt_in() {
+        use scu_trace::{Probe, RecordingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let quiet = Rc::new(RefCell::new(RecordingSink::new("t", false)));
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        m.set_probe(Probe::new(quiet.clone()));
+        m.access(0, AccessKind::Read);
+        m.set_probe(Probe::off());
+        let tl = Rc::try_unwrap(quiet).unwrap().into_inner().finish();
+        assert!(tl.events.is_empty());
+
+        let chatty = Rc::new(RefCell::new(
+            RecordingSink::new("t", false).with_mem_access(true),
+        ));
+        let mut m = MemorySystem::new(MemorySystemConfig::tx1());
+        m.set_probe(Probe::new(chatty.clone()));
+        m.access(0, AccessKind::Read);
+        m.access_uncached(128, AccessKind::Write);
+        m.set_probe(Probe::off());
+        let tl = Rc::try_unwrap(chatty).unwrap().into_inner().finish();
+        let accesses: Vec<_> = tl
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::MemAccess {
+                    addr,
+                    write,
+                    l2_hit,
+                } => Some((addr, write, l2_hit)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accesses, vec![(0, false, false), (128, true, false)]);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! chrome://tracing (Trace Event Format) export — the files Perfetto
+//! and `chrome://tracing` load.
+//!
+//! Each run becomes one process; inside it, iterations, phases, GPU
+//! kernels, SCU operations and memory windows render on separate
+//! tracks. Timestamps are the timeline's virtual nanoseconds converted
+//! to the format's microseconds. Four event categories are emitted:
+//! `phase` (iteration + phase spans), `kernel`, `scu-op` and `memory`.
+
+use serde_json::Value;
+
+use crate::event::Event;
+use crate::record::Timeline;
+use crate::stats::Phase;
+
+const TID_ITER: u64 = 0;
+const TID_PHASE: u64 = 1;
+const TID_KERNEL: u64 = 2;
+const TID_SCU: u64 = 3;
+const TID_MEM: u64 = 4;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn us(t_ns: f64) -> Value {
+    Value::F64(t_ns / 1000.0)
+}
+
+fn span(name: &str, cat: &str, pid: u64, tid: u64, t_ns: f64, dur_ns: f64, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("X".to_string())),
+        ("ts", us(t_ns)),
+        ("dur", us(dur_ns)),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: &str, cat: &str, pid: u64, tid: u64, t_ns: f64, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("i".to_string())),
+        ("ts", us(t_ns)),
+        ("s", Value::Str("t".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("args", args),
+    ])
+}
+
+fn metadata(kind: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
+    let mut entries = vec![
+        ("name", Value::Str(kind.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::U64(pid)),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid", Value::U64(tid)));
+    }
+    entries.push(("args", obj(vec![("name", Value::Str(label.to_string()))])));
+    obj(entries)
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Processing => "processing",
+        Phase::Compaction => "compaction",
+    }
+}
+
+/// Renders one timeline as Trace Event Format entries under process
+/// `pid` (thread-name metadata included; process naming is left to the
+/// caller, who knows the cell label).
+pub fn chrome_trace_events(timeline: &Timeline, pid: u64) -> Vec<Value> {
+    let mut out = vec![
+        metadata("thread_name", pid, Some(TID_ITER), "iterations"),
+        metadata("thread_name", pid, Some(TID_PHASE), "phases"),
+        metadata("thread_name", pid, Some(TID_KERNEL), "gpu kernels"),
+        metadata("thread_name", pid, Some(TID_SCU), "scu ops"),
+        metadata("thread_name", pid, Some(TID_MEM), "memory"),
+    ];
+    let mut phase_starts: Vec<(Phase, f64)> = Vec::new();
+    let mut iter_starts: Vec<(u32, f64)> = Vec::new();
+    for te in &timeline.events {
+        match &te.event {
+            Event::PhaseBegin { phase } => phase_starts.push((*phase, te.t_ns)),
+            Event::PhaseEnd { phase } => {
+                let t0 = phase_starts.pop().map(|(_, t)| t).unwrap_or(te.t_ns);
+                out.push(span(
+                    phase_name(*phase),
+                    "phase",
+                    pid,
+                    TID_PHASE,
+                    t0,
+                    te.t_ns - t0,
+                    obj(vec![("iter", Value::U64(u64::from(te.iter)))]),
+                ));
+            }
+            Event::IterBegin { iter } => iter_starts.push((*iter, te.t_ns)),
+            Event::IterEnd { iter } => {
+                let t0 = iter_starts.pop().map(|(_, t)| t).unwrap_or(te.t_ns);
+                out.push(span(
+                    &format!("iter {iter}"),
+                    "phase",
+                    pid,
+                    TID_ITER,
+                    t0,
+                    te.t_ns - t0,
+                    obj(vec![]),
+                ));
+            }
+            Event::KernelLaunched { .. } => {}
+            Event::KernelRetired { name, stats } => out.push(span(
+                name,
+                "kernel",
+                pid,
+                TID_KERNEL,
+                te.t_ns,
+                stats.time_ns,
+                obj(vec![
+                    ("threads", Value::U64(stats.threads)),
+                    ("thread_insts", Value::U64(stats.thread_insts)),
+                    ("transactions", Value::U64(stats.transactions)),
+                    ("bound", Value::Str(stats.bounds.binding().to_string())),
+                ]),
+            )),
+            Event::ScuOpRetired { op, filter, group } => out.push(span(
+                op.op.name(),
+                "scu-op",
+                pid,
+                TID_SCU,
+                te.t_ns,
+                op.time_ns,
+                obj(vec![
+                    ("data_elements", Value::U64(op.data_elements)),
+                    ("elements_out", Value::U64(op.elements_out)),
+                    ("requests_issued", Value::U64(op.requests_issued)),
+                    ("filter_dropped", Value::U64(filter.dropped)),
+                    ("groups", Value::U64(group.groups)),
+                ]),
+            )),
+            Event::MemWindow { source, stats } => out.push(instant(
+                &format!("mem:{}", source.name()),
+                "memory",
+                pid,
+                TID_MEM,
+                te.t_ns,
+                obj(vec![
+                    ("l2_hits", Value::U64(stats.l2.hits)),
+                    ("l2_accesses", Value::U64(stats.l2.accesses)),
+                    ("dram_bytes", Value::U64(stats.dram.bytes)),
+                    ("row_hits", Value::U64(stats.dram.row_hits)),
+                ]),
+            )),
+            Event::MemAccess {
+                addr,
+                write,
+                l2_hit,
+            } => out.push(instant(
+                "access",
+                "memory",
+                pid,
+                TID_MEM,
+                te.t_ns,
+                obj(vec![
+                    ("addr", Value::U64(*addr)),
+                    ("write", Value::Bool(*write)),
+                    ("l2_hit", Value::Bool(*l2_hit)),
+                ]),
+            )),
+        }
+    }
+    out
+}
+
+/// Builds a complete Trace Event Format document from labelled
+/// timelines — one process per timeline, named by its label (e.g. the
+/// matrix cell id).
+pub fn chrome_trace_document(timelines: &[(String, Timeline)]) -> Value {
+    let mut events = Vec::new();
+    for (pid, (label, timeline)) in timelines.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(metadata("process_name", pid, None, label));
+        events.extend(chrome_trace_events(timeline, pid));
+    }
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ns".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::TraceSink;
+    use crate::record::RecordingSink;
+    use crate::stats::KernelStats;
+
+    fn sample() -> Timeline {
+        let mut sink = RecordingSink::new("bfs", true);
+        sink.emit(Event::IterBegin { iter: 1 });
+        sink.emit(Event::PhaseBegin {
+            phase: Phase::Processing,
+        });
+        sink.emit(Event::KernelRetired {
+            name: "expand".to_string(),
+            stats: Box::new(KernelStats {
+                launches: 1,
+                time_ns: 100.0,
+                ..KernelStats::default()
+            }),
+        });
+        sink.emit(Event::MemWindow {
+            source: crate::event::MemSource::Gpu,
+            stats: Box::default(),
+        });
+        sink.emit(Event::PhaseEnd {
+            phase: Phase::Processing,
+        });
+        sink.emit({
+            let op = crate::stats::ScuOpStats::new(crate::stats::OpKind::DataCompaction);
+            Event::ScuOpRetired {
+                op: Box::new(op),
+                filter: crate::stats::FilterStats::default(),
+                group: crate::stats::GroupStats::default(),
+            }
+        });
+        sink.emit(Event::IterEnd { iter: 1 });
+        sink.finish()
+    }
+
+    fn cats(events: &[Value]) -> Vec<String> {
+        events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(Value::as_str))
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn all_four_categories_render() {
+        let events = chrome_trace_events(&sample(), 0);
+        let cats = cats(&events);
+        for want in ["phase", "kernel", "scu-op", "memory"] {
+            assert!(cats.iter().any(|c| c == want), "missing category {want}");
+        }
+    }
+
+    #[test]
+    fn spans_convert_ns_to_us() {
+        let events = chrome_trace_events(&sample(), 0);
+        let kernel = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Value::as_str) == Some("kernel"))
+            .unwrap();
+        assert_eq!(kernel.get("dur").and_then(Value::as_f64), Some(0.1));
+        assert_eq!(kernel.get("ph").and_then(Value::as_str), Some("X"));
+    }
+
+    #[test]
+    fn document_names_processes_by_label() {
+        let doc = chrome_trace_document(&[("BFS/cond/tx1".to_string(), sample())]);
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        let proc_name = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .unwrap();
+        assert_eq!(
+            proc_name
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("BFS/cond/tx1")
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The structured event taxonomy every layer emits.
+
+use crate::stats::{FilterStats, GroupStats, KernelStats, MemoryStats, Phase, ScuOpStats};
+
+/// Which device a memory-traffic window is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSource {
+    /// GPU kernel traffic (L1 misses reaching L2/DRAM).
+    Gpu,
+    /// SCU operation traffic (stream reads/writes, hash tables).
+    Scu,
+}
+
+impl MemSource {
+    /// Short lower-case name for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemSource::Gpu => "gpu",
+            MemSource::Scu => "scu",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Large payloads are boxed so the enum stays small — the common
+/// variants ([`Event::MemAccess`], the phase/iter markers) are what
+/// dominate a recording run.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// An algorithm phase opened (emitted by
+    /// [`crate::guard::PhaseGuard::new`]).
+    PhaseBegin {
+        /// The phase being entered.
+        phase: Phase,
+    },
+    /// An algorithm phase closed (emitted on guard drop).
+    PhaseEnd {
+        /// The phase being left.
+        phase: Phase,
+    },
+    /// A frontier iteration opened (1-based; emitted by
+    /// [`crate::guard::IterGuard::new`]).
+    IterBegin {
+        /// The iteration number.
+        iter: u32,
+    },
+    /// A frontier iteration closed.
+    IterEnd {
+        /// The iteration number.
+        iter: u32,
+    },
+    /// A GPU kernel was launched.
+    KernelLaunched {
+        /// Kernel name.
+        name: String,
+        /// Threads launched.
+        threads: u64,
+    },
+    /// A GPU kernel finished; carries its full statistics window.
+    KernelRetired {
+        /// Kernel name.
+        name: String,
+        /// The launch's statistics (time, traffic, bounds).
+        stats: Box<KernelStats>,
+    },
+    /// An SCU operation finished; carries its statistics plus the
+    /// filtering/grouping effectiveness window of that operation.
+    ScuOpRetired {
+        /// The operation's statistics.
+        op: Box<ScuOpStats>,
+        /// Filtering counters accrued during this operation.
+        filter: FilterStats,
+        /// Grouping counters accrued during this operation.
+        group: GroupStats,
+    },
+    /// Memory-system traffic accrued since the previous window of the
+    /// same stream (l2 hits, DRAM bytes, row hits, …).
+    MemWindow {
+        /// Which device drove the traffic.
+        source: MemSource,
+        /// The since-last-window counters.
+        stats: Box<MemoryStats>,
+    },
+    /// One L2 access — emitted only when the sink opts in via
+    /// [`crate::probe::TraceSink::wants_mem_access`].
+    MemAccess {
+        /// Byte address accessed.
+        addr: u64,
+        /// Whether it was a write.
+        write: bool,
+        /// Whether it hit in L2.
+        l2_hit: bool,
+    },
+}
+
+impl Event {
+    /// A stable small integer identifying the variant, used by the
+    /// timeline digest.
+    pub fn discriminant(&self) -> u8 {
+        match self {
+            Event::PhaseBegin { .. } => 0,
+            Event::PhaseEnd { .. } => 1,
+            Event::IterBegin { .. } => 2,
+            Event::IterEnd { .. } => 3,
+            Event::KernelLaunched { .. } => 4,
+            Event::KernelRetired { .. } => 5,
+            Event::ScuOpRetired { .. } => 6,
+            Event::MemWindow { .. } => 7,
+            Event::MemAccess { .. } => 8,
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! RAII scope markers: phases and frontier iterations.
+//!
+//! Guards hold their own [`Probe`] clone rather than borrowing the
+//! emitting layer, so an algorithm can open a phase and still mutate
+//! its `System` freely inside the scope.
+
+use crate::event::Event;
+use crate::probe::Probe;
+use crate::stats::Phase;
+
+/// Marks a [`Phase`] scope: emits [`Event::PhaseBegin`] on creation and
+/// [`Event::PhaseEnd`] on drop. Kernels and SCU ops retired inside the
+/// scope are attributed to the phase.
+#[must_use = "dropping the guard immediately closes the phase"]
+#[derive(Debug)]
+pub struct PhaseGuard {
+    probe: Probe,
+    phase: Phase,
+}
+
+impl PhaseGuard {
+    /// Opens `phase`.
+    pub fn new(probe: Probe, phase: Phase) -> Self {
+        probe.emit(Event::PhaseBegin { phase });
+        PhaseGuard { probe, phase }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.probe.emit(Event::PhaseEnd { phase: self.phase });
+    }
+}
+
+/// Marks one frontier iteration (1-based): emits [`Event::IterBegin`]
+/// on creation and [`Event::IterEnd`] on drop — correct across `break`
+/// and `continue` because drop runs on every exit path.
+#[must_use = "dropping the guard immediately closes the iteration"]
+#[derive(Debug)]
+pub struct IterGuard {
+    probe: Probe,
+    iter: u32,
+}
+
+impl IterGuard {
+    /// Opens iteration `iter`.
+    pub fn new(probe: Probe, iter: u32) -> Self {
+        probe.emit(Event::IterBegin { iter });
+        IterGuard { probe, iter }
+    }
+}
+
+impl Drop for IterGuard {
+    fn drop(&mut self) {
+        self.probe.emit(Event::IterEnd { iter: self.iter });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordingSink;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn guards_balance_on_early_exit() {
+        let sink = Rc::new(RefCell::new(RecordingSink::new("t", false)));
+        let probe = Probe::new(sink.clone());
+        for i in 1..=3u32 {
+            let _iter = IterGuard::new(probe.clone(), i);
+            let _phase = PhaseGuard::new(probe.clone(), Phase::Processing);
+            if i == 2 {
+                break; // drops must still emit both end markers
+            }
+        }
+        drop(probe);
+        let tl = Rc::try_unwrap(sink).unwrap().into_inner().finish();
+        let begins = tl
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::PhaseBegin { .. } | Event::IterBegin { .. }))
+            .count();
+        let ends = tl
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::PhaseEnd { .. } | Event::IterEnd { .. }))
+            .count();
+        assert_eq!(begins, 4);
+        assert_eq!(ends, begins);
+        assert_eq!(tl.iterations(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The emission side of the spine: [`Probe`] handles held by every
+//! layer, writing into a shared [`TraceSink`].
+//!
+//! A probe is a cheap cloneable handle. Detached ([`Probe::off`], the
+//! default) it is a `None` and every emission site is one branch; when
+//! attached, all clones funnel into the same sink. The simulator is
+//! single-threaded per run, so the sink is shared via `Rc<RefCell<…>>`
+//! rather than locks — the finished [`crate::record::Timeline`] (plain
+//! data) is what crosses threads, not the live sink.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::Event;
+
+/// A consumer of trace [`Event`]s.
+pub trait TraceSink {
+    /// Whether the sink wants per-access [`Event::MemAccess`] events.
+    ///
+    /// These are orders of magnitude more frequent than every other
+    /// event class combined, so producers consult
+    /// [`Probe::wants_mem_access`] (this answer, cached at attach time)
+    /// before constructing one. Defaults to `false`.
+    fn wants_mem_access(&self) -> bool {
+        false
+    }
+
+    /// Consumes one event.
+    fn emit(&mut self, event: Event);
+}
+
+/// A sink that discards every event — the default when tracing is off
+/// and the reference point for the hot-path overhead bench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: Event) {}
+}
+
+/// A cloneable handle through which a layer emits trace events.
+#[derive(Clone, Default)]
+pub struct Probe {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    mem_access: bool,
+}
+
+impl Probe {
+    /// A detached probe: every `emit` is a single `None` check.
+    pub fn off() -> Self {
+        Probe::default()
+    }
+
+    /// Attaches a probe to `sink`, caching its
+    /// [`TraceSink::wants_mem_access`] answer.
+    pub fn new(sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+        let mem_access = sink.borrow().wants_mem_access();
+        Probe {
+            sink: Some(sink),
+            mem_access,
+        }
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Whether per-access [`Event::MemAccess`] events should be
+    /// constructed — the one per-memory-access branch on the hot path.
+    pub fn wants_mem_access(&self) -> bool {
+        self.mem_access
+    }
+
+    /// Emits an already-constructed event (use for cheap payloads).
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().emit(event);
+        }
+    }
+
+    /// Emits the event `f` constructs, calling `f` only when attached —
+    /// use when the payload allocates (e.g. a kernel-name `String`).
+    pub fn emit_with(&self, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().emit(f());
+        }
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("on", &self.is_on())
+            .field("mem_access", &self.mem_access)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordingSink;
+
+    #[test]
+    fn detached_probe_drops_everything() {
+        let p = Probe::off();
+        assert!(!p.is_on());
+        assert!(!p.wants_mem_access());
+        p.emit(Event::IterBegin { iter: 1 });
+        p.emit_with(|| panic!("closure must not run when detached"));
+    }
+
+    #[test]
+    fn attached_probe_routes_to_sink() {
+        let sink = Rc::new(RefCell::new(RecordingSink::new("t", false)));
+        let p = Probe::new(sink.clone());
+        assert!(p.is_on());
+        p.emit(Event::IterBegin { iter: 1 });
+        p.emit_with(|| Event::IterEnd { iter: 1 });
+        drop(p);
+        let tl = Rc::try_unwrap(sink).unwrap().into_inner().finish();
+        assert_eq!(tl.events.len(), 2);
+    }
+
+    #[test]
+    fn mem_access_gate_is_cached_from_sink() {
+        let quiet = Probe::new(Rc::new(RefCell::new(RecordingSink::new("t", false))));
+        assert!(!quiet.wants_mem_access());
+        let chatty = Probe::new(Rc::new(RefCell::new(
+            RecordingSink::new("t", false).with_mem_access(true),
+        )));
+        assert!(chatty.wants_mem_access());
+    }
+
+    #[test]
+    fn null_sink_is_silent() {
+        let p = Probe::new(Rc::new(RefCell::new(NullSink)));
+        assert!(p.is_on());
+        assert!(!p.wants_mem_access());
+        p.emit(Event::IterBegin { iter: 1 }); // no panic, nothing stored
+    }
+}

@@ -1,0 +1,434 @@
+//! The recording sink and the finished [`Timeline`] it produces.
+//!
+//! [`RecordingSink`] timestamps events on a virtual clock that advances
+//! by each retired kernel's / SCU op's estimated time — the same
+//! serialised execution model `RunReport::total_time_ns` uses (§3: the
+//! GPU resumes once the SCU operation concludes). The finished
+//! [`Timeline`] is plain `Send` data; every report, table and exporter
+//! is a fold over it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::probe::TraceSink;
+use crate::stats::{KernelStats, Phase, ScuStats};
+
+/// One event with its timeline position: virtual timestamp, enclosing
+/// iteration (0 = outside the frontier loop) and enclosing phase.
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// Virtual timestamp, ns from run start.
+    pub t_ns: f64,
+    /// Enclosing iteration (1-based; 0 = pre-/post-loop work).
+    pub iter: u32,
+    /// Enclosing phase, if any.
+    pub phase: Option<Phase>,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A [`TraceSink`] that records everything into a [`Timeline`].
+#[derive(Debug)]
+pub struct RecordingSink {
+    algo: &'static str,
+    scu_present: bool,
+    cur_iter: u32,
+    phase_stack: Vec<Phase>,
+    clock_ns: f64,
+    record_mem_access: bool,
+    events: Vec<TimedEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording for one algorithm run.
+    pub fn new(algo: &'static str, scu_present: bool) -> Self {
+        RecordingSink {
+            algo,
+            scu_present,
+            cur_iter: 0,
+            phase_stack: Vec::new(),
+            clock_ns: 0.0,
+            record_mem_access: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Opts in to per-access [`Event::MemAccess`] events (expensive;
+    /// off by default).
+    pub fn with_mem_access(mut self, on: bool) -> Self {
+        self.record_mem_access = on;
+        self
+    }
+
+    /// Consumes the sink, yielding the finished timeline.
+    pub fn finish(self) -> Timeline {
+        Timeline {
+            algo: self.algo,
+            scu_present: self.scu_present,
+            events: self.events,
+        }
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn wants_mem_access(&self) -> bool {
+        self.record_mem_access
+    }
+
+    fn emit(&mut self, event: Event) {
+        // Begin-markers take effect before the event is stamped, so the
+        // marker itself carries the scope it opens; end-markers take
+        // effect after, so they carry the scope they close.
+        match &event {
+            Event::IterBegin { iter } => self.cur_iter = *iter,
+            Event::PhaseBegin { phase } => self.phase_stack.push(*phase),
+            _ => {}
+        }
+        let advance = match &event {
+            Event::KernelRetired { stats, .. } => stats.time_ns,
+            Event::ScuOpRetired { op, .. } => op.time_ns,
+            _ => 0.0,
+        };
+        let ends_phase = matches!(event, Event::PhaseEnd { .. });
+        let ends_iter = matches!(event, Event::IterEnd { .. });
+        self.events.push(TimedEvent {
+            t_ns: self.clock_ns,
+            iter: self.cur_iter,
+            phase: self.phase_stack.last().copied(),
+            event,
+        });
+        self.clock_ns += advance;
+        if ends_phase {
+            self.phase_stack.pop();
+        }
+        if ends_iter {
+            self.cur_iter = 0;
+        }
+    }
+}
+
+/// One row of [`Timeline::phase_breakdown`]: time attribution of one
+/// iteration (row 0 is pre-/post-loop work such as init kernels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Iteration number (0 = outside the frontier loop).
+    pub iter: u32,
+    /// GPU processing-phase kernel time, ns.
+    pub processing_ns: f64,
+    /// GPU compaction-phase kernel time, ns.
+    pub compaction_ns: f64,
+    /// SCU operation time, ns.
+    pub scu_ns: f64,
+}
+
+/// The finished event stream of one algorithm run — plain data, `Send`,
+/// and the single source of truth every report derives from.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Algorithm name ("bfs", "sssp", …).
+    pub algo: &'static str,
+    /// Whether an SCU was present.
+    pub scu_present: bool,
+    /// All recorded events in emission order.
+    pub events: Vec<TimedEvent>,
+}
+
+impl Timeline {
+    /// Folds retired kernels into `(processing, compaction)` totals, in
+    /// event order — bit-identical to the pre-spine per-launch
+    /// `RunReport::add_kernel` accumulation. Kernels outside any phase
+    /// count as processing.
+    pub fn kernel_totals(&self) -> (KernelStats, KernelStats) {
+        let mut processing = KernelStats::default();
+        let mut compaction = KernelStats::default();
+        for te in &self.events {
+            if let Event::KernelRetired { stats, .. } = &te.event {
+                match te.phase.unwrap_or(Phase::Processing) {
+                    Phase::Processing => processing.merge(stats),
+                    Phase::Compaction => compaction.merge(stats),
+                }
+            }
+        }
+        (processing, compaction)
+    }
+
+    /// Folds retired SCU operations into device totals, in event order
+    /// — the same `absorb` + filter/group window merges the device
+    /// performed live, replayed, so f64 sums associate identically.
+    pub fn scu_totals(&self) -> ScuStats {
+        let mut scu = ScuStats::default();
+        for te in &self.events {
+            if let Event::ScuOpRetired { op, filter, group } = &te.event {
+                scu.absorb(op);
+                scu.filter.merge(filter);
+                scu.group.merge(group);
+            }
+        }
+        scu
+    }
+
+    /// Number of frontier iterations executed (the highest iteration
+    /// any event was recorded under).
+    pub fn iterations(&self) -> u32 {
+        self.events.iter().map(|e| e.iter).max().unwrap_or(0)
+    }
+
+    /// Per-iteration time attribution, rows `0..=iterations()` (row 0
+    /// collects pre-/post-loop work).
+    pub fn phase_breakdown(&self) -> Vec<PhaseRow> {
+        let mut rows: Vec<PhaseRow> = (0..=self.iterations())
+            .map(|iter| PhaseRow {
+                iter,
+                ..PhaseRow::default()
+            })
+            .collect();
+        for te in &self.events {
+            let row = &mut rows[te.iter as usize];
+            match &te.event {
+                Event::KernelRetired { stats, .. } => match te.phase.unwrap_or(Phase::Processing) {
+                    Phase::Processing => row.processing_ns += stats.time_ns,
+                    Phase::Compaction => row.compaction_ns += stats.time_ns,
+                },
+                Event::ScuOpRetired { op, .. } => row.scu_ns += op.time_ns,
+                _ => {}
+            }
+        }
+        rows
+    }
+
+    /// Virtual end-of-run timestamp, ns (total serialised device time).
+    pub fn span_ns(&self) -> f64 {
+        self.events
+            .last()
+            .map(|te| {
+                te.t_ns
+                    + match &te.event {
+                        Event::KernelRetired { stats, .. } => stats.time_ns,
+                        Event::ScuOpRetired { op, .. } => op.time_ns,
+                        _ => 0.0,
+                    }
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// An order-sensitive FNV-1a digest of the event stream, stable
+    /// across processes — the journal cross-checks cached and live runs
+    /// on it.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv(FNV_OFFSET, self.algo.as_bytes());
+        h = fnv_u64(h, u64::from(self.scu_present));
+        for te in &self.events {
+            h = fnv_u64(h, u64::from(te.event.discriminant()));
+            h = fnv_u64(h, u64::from(te.iter));
+            h = fnv_u64(
+                h,
+                match te.phase {
+                    None => 0,
+                    Some(Phase::Processing) => 1,
+                    Some(Phase::Compaction) => 2,
+                },
+            );
+            h = fnv_u64(h, te.t_ns.to_bits());
+            match &te.event {
+                Event::KernelLaunched { name, threads } => {
+                    h = fnv(h, name.as_bytes());
+                    h = fnv_u64(h, *threads);
+                }
+                Event::KernelRetired { name, stats } => {
+                    h = fnv(h, name.as_bytes());
+                    h = fnv_u64(h, stats.thread_insts);
+                    h = fnv_u64(h, stats.time_ns.to_bits());
+                }
+                Event::ScuOpRetired { op, filter, group } => {
+                    h = fnv(h, op.op.name().as_bytes());
+                    h = fnv_u64(h, op.elements_out);
+                    h = fnv_u64(h, op.time_ns.to_bits());
+                    h = fnv_u64(h, filter.dropped);
+                    h = fnv_u64(h, group.groups);
+                }
+                Event::MemWindow { source, stats } => {
+                    h = fnv(h, source.name().as_bytes());
+                    h = fnv_u64(h, stats.l2.accesses);
+                    h = fnv_u64(h, stats.dram.bytes);
+                }
+                Event::MemAccess {
+                    addr,
+                    write,
+                    l2_hit,
+                } => {
+                    h = fnv_u64(h, *addr);
+                    h = fnv_u64(h, u64::from(*write) << 1 | u64::from(*l2_hit));
+                }
+                _ => {}
+            }
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv(h, &v.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ScuOpStats;
+
+    fn kernel(name: &str, time_ns: f64) -> Event {
+        Event::KernelRetired {
+            name: name.to_string(),
+            stats: Box::new(KernelStats {
+                launches: 1,
+                time_ns,
+                thread_insts: 10,
+                ..KernelStats::default()
+            }),
+        }
+    }
+
+    fn scu_op(time_ns: f64) -> Event {
+        let mut op = ScuOpStats::new(crate::stats::OpKind::DataCompaction);
+        op.time_ns = time_ns;
+        op.elements_out = 3;
+        Event::ScuOpRetired {
+            op: Box::new(op),
+            filter: crate::stats::FilterStats::default(),
+            group: crate::stats::GroupStats::default(),
+        }
+    }
+
+    fn record(events: Vec<Event>) -> Timeline {
+        let mut sink = RecordingSink::new("test", true);
+        for e in events {
+            sink.emit(e);
+        }
+        sink.finish()
+    }
+
+    #[test]
+    fn clock_advances_on_retirements_only() {
+        let tl = record(vec![
+            Event::PhaseBegin {
+                phase: Phase::Processing,
+            },
+            kernel("a", 10.0),
+            kernel("b", 5.0),
+            Event::PhaseEnd {
+                phase: Phase::Processing,
+            },
+            scu_op(7.0),
+        ]);
+        let ts: Vec<f64> = tl.events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![0.0, 0.0, 10.0, 15.0, 15.0]);
+        assert_eq!(tl.span_ns(), 22.0);
+    }
+
+    #[test]
+    fn phase_and_iter_scoping() {
+        let tl = record(vec![
+            kernel("init", 1.0), // outside any scope
+            Event::IterBegin { iter: 1 },
+            Event::PhaseBegin {
+                phase: Phase::Compaction,
+            },
+            kernel("scan", 2.0),
+            Event::PhaseEnd {
+                phase: Phase::Compaction,
+            },
+            Event::IterEnd { iter: 1 },
+            kernel("tail", 1.0),
+        ]);
+        assert_eq!(tl.events[0].iter, 0);
+        assert_eq!(tl.events[0].phase, None);
+        assert_eq!(tl.events[3].iter, 1);
+        assert_eq!(tl.events[3].phase, Some(Phase::Compaction));
+        // End markers carry the scope they close; the next event is out.
+        assert_eq!(tl.events[4].phase, Some(Phase::Compaction));
+        assert_eq!(tl.events[6].iter, 0);
+        assert_eq!(tl.iterations(), 1);
+    }
+
+    #[test]
+    fn kernel_totals_split_by_phase() {
+        let tl = record(vec![
+            kernel("init", 1.0), // no phase -> processing
+            Event::PhaseBegin {
+                phase: Phase::Compaction,
+            },
+            kernel("scan", 2.0),
+            Event::PhaseEnd {
+                phase: Phase::Compaction,
+            },
+        ]);
+        let (proc, comp) = tl.kernel_totals();
+        assert_eq!(proc.launches, 1);
+        assert_eq!(proc.time_ns, 1.0);
+        assert_eq!(comp.launches, 1);
+        assert_eq!(comp.time_ns, 2.0);
+    }
+
+    #[test]
+    fn scu_totals_replay_absorb_plus_windows() {
+        let filter = crate::stats::FilterStats {
+            probes: 8,
+            dropped: 5,
+            ..Default::default()
+        };
+        let mut op = ScuOpStats::new(crate::stats::OpKind::FilterPass);
+        op.time_ns = 3.0;
+        let tl = record(vec![Event::ScuOpRetired {
+            op: Box::new(op),
+            filter,
+            group: crate::stats::GroupStats::default(),
+        }]);
+        let scu = tl.scu_totals();
+        assert_eq!(scu.ops, 1);
+        assert_eq!(scu.time_ns, 3.0);
+        assert_eq!(scu.filter.probes, 8);
+        assert_eq!(scu.filter.dropped, 5);
+    }
+
+    #[test]
+    fn phase_breakdown_rows_per_iteration() {
+        let tl = record(vec![
+            kernel("init", 1.0),
+            Event::IterBegin { iter: 1 },
+            kernel("expand", 4.0),
+            Event::PhaseBegin {
+                phase: Phase::Compaction,
+            },
+            scu_op(2.0),
+            Event::PhaseEnd {
+                phase: Phase::Compaction,
+            },
+            Event::IterEnd { iter: 1 },
+        ]);
+        let rows = tl.phase_breakdown();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].processing_ns, 1.0);
+        assert_eq!(rows[1].processing_ns, 4.0);
+        assert_eq!(rows[1].scu_ns, 2.0);
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let a = record(vec![kernel("a", 1.0), kernel("b", 2.0)]);
+        let b = record(vec![kernel("a", 1.0), kernel("b", 2.0)]);
+        let c = record(vec![kernel("b", 2.0), kernel("a", 1.0)]);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(record(vec![]).digest(), 0);
+    }
+}

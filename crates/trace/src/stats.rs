@@ -1,0 +1,521 @@
+//! The shared statistics structs carried by trace events.
+//!
+//! These historically lived next to the models that produce them
+//! (`scu_mem::stats`, `scu_gpu::stats`, `scu_core::stats`) and are
+//! still re-exported from those paths; they live here so
+//! [`crate::event::Event`] can carry them without a dependency cycle.
+//! All counters are plain event counts; the energy model in `scu-energy`
+//! multiplies them by per-event energies, and the timing models divide
+//! byte counts by peak bandwidth. Every stats struct supports
+//! [`merge`](CacheStats::merge)-style accumulation so per-phase
+//! measurements can be rolled up into per-application totals.
+
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Memory-system counters (historically `scu_mem::stats`).
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and allocated).
+    pub misses: u64,
+    /// Write accesses (subset of `accesses`).
+    pub writes: u64,
+    /// Dirty evictions (write-back traffic toward the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero if there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Difference `self - other`, for windowed measurements where
+    /// `other` is a snapshot taken at the start of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other` is not an earlier snapshot of
+    /// the same counter stream (any counter would go negative).
+    pub fn since(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - other.accesses,
+            hits: self.hits - other.hits,
+            misses: self.misses - other.misses,
+            writes: self.writes - other.writes,
+            writebacks: self.writebacks - other.writebacks,
+        }
+    }
+}
+
+/// DRAM access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that required precharge + activate.
+    pub row_misses: u64,
+    /// Total bytes transferred on the data bus.
+    pub bytes: u64,
+    /// Row activations issued.
+    pub activations: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate in `[0, 1]`; zero if there were no accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.bytes += other.bytes;
+        self.activations += other.activations;
+    }
+
+    /// Difference `self - other` (see [`CacheStats::since`]).
+    pub fn since(&self, other: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - other.reads,
+            writes: self.writes - other.writes,
+            row_hits: self.row_hits - other.row_hits,
+            row_misses: self.row_misses - other.row_misses,
+            bytes: self.bytes - other.bytes,
+            activations: self.activations - other.activations,
+        }
+    }
+}
+
+/// Combined snapshot of an entire `scu_mem::system::MemorySystem`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+}
+
+impl MemoryStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.l2.merge(&other.l2);
+        self.dram.merge(&other.dram);
+    }
+
+    /// Difference `self - other` (see [`CacheStats::since`]).
+    pub fn since(&self, other: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            l2: self.l2.since(&other.l2),
+            dram: self.dram.since(&other.dram),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU kernel counters (historically `scu_gpu::stats`).
+
+/// The individual lower bounds whose maximum is the kernel time.
+///
+/// Each field answers "how long would this kernel take if only this
+/// resource constrained it?" — the roofline model takes the max.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBounds {
+    /// Instruction issue throughput across SMs, ns.
+    pub compute_ns: f64,
+    /// L1 transaction throughput (1 line/cycle/SM), ns.
+    pub l1_ns: f64,
+    /// Shared L2 bandwidth + DRAM service time, ns.
+    pub memory_ns: f64,
+    /// Total memory latency divided by warp-level parallelism, ns.
+    pub latency_ns: f64,
+    /// Same-address atomic serialisation, ns.
+    pub atomic_ns: f64,
+}
+
+impl TimeBounds {
+    /// The binding constraint — the kernel-time estimate.
+    pub fn max_ns(&self) -> f64 {
+        self.compute_ns
+            .max(self.l1_ns)
+            .max(self.memory_ns)
+            .max(self.latency_ns)
+            .max(self.atomic_ns)
+    }
+
+    /// Name of the binding constraint (for reports).
+    pub fn binding(&self) -> &'static str {
+        let m = self.max_ns();
+        if m == self.compute_ns {
+            "compute"
+        } else if m == self.l1_ns {
+            "l1"
+        } else if m == self.memory_ns {
+            "memory"
+        } else if m == self.latency_ns {
+            "latency"
+        } else {
+            "atomic"
+        }
+    }
+
+    /// Component-wise sum, for accumulating per-launch bounds into an
+    /// application profile.
+    pub fn merge(&mut self, other: &TimeBounds) {
+        self.compute_ns += other.compute_ns;
+        self.l1_ns += other.l1_ns;
+        self.memory_ns += other.memory_ns;
+        self.latency_ns += other.latency_ns;
+        self.atomic_ns += other.atomic_ns;
+    }
+}
+
+/// Statistics of one kernel launch (or, after
+/// [`KernelStats::merge`], of a sequence of launches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Number of launches accumulated (1 for a single launch).
+    pub launches: u64,
+    /// Threads launched.
+    pub threads: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// Dynamic per-thread instructions (ALU + memory + atomic). This is
+    /// the metric behind the paper's "GPU instructions reduced by >70%".
+    pub thread_insts: u64,
+    /// Warp-level issue slots (divergence-inclusive).
+    pub warp_slots: u64,
+    /// Warp-level memory instructions.
+    pub mem_slots: u64,
+    /// Coalesced line transactions issued by all warps.
+    pub transactions: u64,
+    /// Per-thread loads.
+    pub loads: u64,
+    /// Per-thread stores.
+    pub stores: u64,
+    /// Per-thread atomics.
+    pub atomics: u64,
+    /// L1 counters for this window (all SMs summed).
+    pub l1: CacheStats,
+    /// L2 + DRAM counters for this window.
+    pub mem: MemoryStats,
+    /// The time-bound breakdown.
+    pub bounds: TimeBounds,
+    /// Estimated execution time, ns (max of bounds per launch, summed
+    /// across merged launches).
+    pub time_ns: f64,
+}
+
+impl KernelStats {
+    /// Average line transactions per warp memory instruction — the
+    /// memory-divergence metric (1.0 = perfectly coalesced, up to 32).
+    pub fn transactions_per_mem_slot(&self) -> f64 {
+        if self.mem_slots == 0 {
+            0.0
+        } else {
+            self.transactions as f64 / self.mem_slots as f64
+        }
+    }
+
+    /// Accumulates another launch's statistics into this one.
+    ///
+    /// `time_ns` adds (launches are sequential); counters sum.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.threads += other.threads;
+        self.warps += other.warps;
+        self.thread_insts += other.thread_insts;
+        self.warp_slots += other.warp_slots;
+        self.mem_slots += other.mem_slots;
+        self.transactions += other.transactions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.atomics += other.atomics;
+        self.l1.merge(&other.l1);
+        self.mem.merge(&other.mem);
+        self.bounds.merge(&other.bounds);
+        self.time_ns += other.time_ns;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCU operation counters (historically `scu_core::stats`).
+
+/// Which of the five SCU operations (Figure 6) — or enhanced pass — an
+/// [`ScuOpStats`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Bitmask Constructor: compare stream against a reference value.
+    BitmaskConstructor,
+    /// Data Compaction: sequential data + bitmask → compacted data.
+    DataCompaction,
+    /// Access Compaction: index vector + bitmask → gathered data.
+    AccessCompaction,
+    /// Replication Compaction: data + count vector → replicated data.
+    ReplicationCompaction,
+    /// Access Expansion Compaction: indexes + counts → gathered ranges.
+    AccessExpansionCompaction,
+    /// Enhanced-SCU step 1 producing a filtering bitmask (§4.2).
+    FilterPass,
+    /// Enhanced-SCU step 1 producing a grouping reorder vector (§4.3).
+    GroupPass,
+}
+
+impl OpKind {
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::BitmaskConstructor => "bitmask",
+            OpKind::DataCompaction => "data-compaction",
+            OpKind::AccessCompaction => "access-compaction",
+            OpKind::ReplicationCompaction => "replication-compaction",
+            OpKind::AccessExpansionCompaction => "access-expansion",
+            OpKind::FilterPass => "filter-pass",
+            OpKind::GroupPass => "group-pass",
+        }
+    }
+}
+
+/// The individual lower bounds whose max is one operation's time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScuBounds {
+    /// Pipeline throughput (`setup + slots / width` cycles), ns.
+    pub pipeline_ns: f64,
+    /// L2 bandwidth + DRAM service time of the op's traffic, ns.
+    pub memory_ns: f64,
+    /// Total miss latency divided by the in-flight request budget, ns.
+    pub latency_ns: f64,
+}
+
+impl ScuBounds {
+    /// The binding constraint, ns.
+    pub fn max_ns(&self) -> f64 {
+        self.pipeline_ns.max(self.memory_ns).max(self.latency_ns)
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &ScuBounds) {
+        self.pipeline_ns += other.pipeline_ns;
+        self.memory_ns += other.memory_ns;
+        self.latency_ns += other.latency_ns;
+    }
+}
+
+/// Statistics of one SCU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScuOpStats {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Control-stream entries consumed (bitmask/index/count slots).
+    pub control_elements: u64,
+    /// Data elements that flowed through the pipeline.
+    pub data_elements: u64,
+    /// Flagged-out elements skipped by the bitmask scanner (cost a
+    /// fraction of a pipeline slot and no gather traffic).
+    pub skipped_elements: u64,
+    /// Elements written to the destination.
+    pub elements_out: u64,
+    /// Pipeline cycles charged.
+    pub scu_cycles: u64,
+    /// Memory requests issued after coalescing.
+    pub requests_issued: u64,
+    /// Memory requests merged away by the coalescing units.
+    pub requests_merged: u64,
+    /// L2/DRAM traffic attributable to this operation.
+    pub mem: MemoryStats,
+    /// Time-bound breakdown.
+    pub bounds: ScuBounds,
+    /// Estimated operation time, ns.
+    pub time_ns: f64,
+}
+
+impl ScuOpStats {
+    /// Creates an empty record of the given kind.
+    pub fn new(op: OpKind) -> Self {
+        ScuOpStats {
+            op,
+            control_elements: 0,
+            data_elements: 0,
+            skipped_elements: 0,
+            elements_out: 0,
+            scu_cycles: 0,
+            requests_issued: 0,
+            requests_merged: 0,
+            mem: MemoryStats::default(),
+            bounds: ScuBounds::default(),
+            time_ns: 0.0,
+        }
+    }
+}
+
+/// Filtering-effectiveness counters (§4.2 / §6.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Elements probed.
+    pub probes: u64,
+    /// Elements kept (first occurrences or cost improvements).
+    pub kept: u64,
+    /// Duplicates dropped.
+    pub dropped: u64,
+    /// Hash-collision evictions (a different ID overwrote an entry —
+    /// these are the source of filtering false negatives).
+    pub evictions: u64,
+}
+
+impl FilterStats {
+    /// Fraction of the input stream removed, in `[0, 1]`.
+    pub fn drop_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.probes as f64
+        }
+    }
+
+    /// Accumulates another window.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.probes += other.probes;
+        self.kept += other.kept;
+        self.dropped += other.dropped;
+        self.evictions += other.evictions;
+    }
+}
+
+/// Grouping-effectiveness counters (§4.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Elements processed.
+    pub elements: u64,
+    /// Groups emitted (evictions plus final flush).
+    pub groups: u64,
+    /// Elements that joined an existing resident group.
+    pub joined: u64,
+}
+
+impl GroupStats {
+    /// Mean emitted group size (1.0 means grouping found no locality).
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.elements as f64 / self.groups as f64
+        }
+    }
+
+    /// Accumulates another window.
+    pub fn merge(&mut self, other: &GroupStats) {
+        self.elements += other.elements;
+        self.groups += other.groups;
+        self.joined += other.joined;
+    }
+}
+
+/// Accumulated statistics of one `scu_core::device::ScuDevice`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScuStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Total pipeline cycles.
+    pub scu_cycles: u64,
+    /// Total estimated busy time, ns.
+    pub time_ns: f64,
+    /// Total control-stream elements.
+    pub control_elements: u64,
+    /// Total data elements through the pipeline.
+    pub data_elements: u64,
+    /// Total flagged-out elements skipped by the bitmask scanner.
+    pub skipped_elements: u64,
+    /// Total elements written.
+    pub elements_out: u64,
+    /// Total issued memory requests.
+    pub requests_issued: u64,
+    /// Total merged memory requests.
+    pub requests_merged: u64,
+    /// Memory traffic attributable to the SCU.
+    pub mem: MemoryStats,
+    /// Accumulated time-bound breakdown.
+    pub bounds: ScuBounds,
+    /// Filtering effectiveness.
+    pub filter: FilterStats,
+    /// Grouping effectiveness.
+    pub group: GroupStats,
+}
+
+impl ScuStats {
+    /// Folds one operation's record into the device totals.
+    pub fn absorb(&mut self, op: &ScuOpStats) {
+        self.ops += 1;
+        self.scu_cycles += op.scu_cycles;
+        self.time_ns += op.time_ns;
+        self.control_elements += op.control_elements;
+        self.data_elements += op.data_elements;
+        self.skipped_elements += op.skipped_elements;
+        self.elements_out += op.elements_out;
+        self.requests_issued += op.requests_issued;
+        self.requests_merged += op.requests_merged;
+        self.mem.merge(&op.mem);
+        self.bounds.merge(&op.bounds);
+    }
+
+    /// Accumulates another device's totals (e.g. across phases).
+    pub fn merge(&mut self, other: &ScuStats) {
+        self.ops += other.ops;
+        self.scu_cycles += other.scu_cycles;
+        self.time_ns += other.time_ns;
+        self.control_elements += other.control_elements;
+        self.data_elements += other.data_elements;
+        self.skipped_elements += other.skipped_elements;
+        self.elements_out += other.elements_out;
+        self.requests_issued += other.requests_issued;
+        self.requests_merged += other.requests_merged;
+        self.mem.merge(&other.mem);
+        self.bounds.merge(&other.bounds);
+        self.filter.merge(&other.filter);
+        self.group.merge(&other.group);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase classification (historically `scu_algos::report`).
+
+/// How a GPU kernel launch is classified for the Figure 1 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Graph processing proper (expansion setup, contraction marking,
+    /// rank updates, ...).
+    Processing,
+    /// Stream compaction work (scan, gather, scatter) — the work the
+    /// SCU absorbs.
+    Compaction,
+}

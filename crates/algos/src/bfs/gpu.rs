@@ -18,7 +18,7 @@ use scu_graph::Csr;
 use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::{edge_slot_map, gpu_exclusive_scan, WarpCull};
+use crate::kernels::{edge_slot_map_into, gpu_exclusive_scan_into, ScanScratch, WarpCull};
 use crate::report::{Phase, RunReport};
 use crate::system::System;
 
@@ -62,6 +62,15 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     let mut level = 0u32;
     let mut iter = 0u32;
 
+    // Host staging reused across iterations — the loop body allocates
+    // nothing on the host; only device regrowth (below) ever allocates.
+    let mut scan = ScanScratch::default();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+    let mut visible: Vec<u32> = Vec::with_capacity(n);
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    let mut cull = WarpCull::new(n);
+
     while frontier_len > 0 {
         iter += 1;
         let _iter = IterGuard::new(sys.probe(), iter);
@@ -90,7 +99,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Expansion: scan + gather (compaction) ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan_into(sys, &counts, frontier_len, &mut scan);
         let total = total as usize;
         if total == 0 {
             break;
@@ -109,7 +118,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
         // Load-balanced gather: one thread per edge-frontier slot,
         // locating its row via merge-path search over the offsets.
-        let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
+        edge_slot_map_into(&indexes, &counts, frontier_len, &mut rows, &mut pos);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu
@@ -130,10 +139,11 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         // earlier waves' updates — which is what bounds duplicate
         // amplification on real hardware. ----
         let wave = (sys.gpu.config().num_sms * sys.gpu.config().threads_per_sm) as usize;
-        let mut visible: Vec<u32> = dist.as_slice().to_vec();
-        let mut pending: Vec<(usize, u32)> = Vec::new();
+        visible.clear();
+        visible.extend_from_slice(dist.as_slice());
+        pending.clear();
         let mut cur_wave = 0usize;
-        let mut cull = WarpCull::new();
+        cull.begin_launch();
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
             sys.gpu
@@ -160,7 +170,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Contraction: scan + scatter (compaction) ----
-        let (offsets2, kept) = gpu_exclusive_scan(sys, &flags, total);
+        let (offsets2, kept) = gpu_exclusive_scan_into(sys, &flags, total, &mut scan);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu

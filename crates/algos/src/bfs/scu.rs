@@ -99,6 +99,12 @@ pub fn run_variant(
     let mut level = 0u32;
     let mut iter = 0u32;
 
+    // Host staging reused across iterations — the loop body allocates
+    // nothing on the host; only device regrowth (below) ever allocates.
+    let mut visible: Vec<u32> = Vec::with_capacity(n);
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    let mut cull = WarpCull::new(n);
+
     while frontier_len > 0 {
         iter += 1;
         let _iter = IterGuard::new(sys.probe(), iter);
@@ -189,10 +195,11 @@ pub fn run_variant(
         // earlier waves' updates — which is what bounds duplicate
         // amplification on real hardware. ----
         let wave = (sys.gpu.config().num_sms * sys.gpu.config().threads_per_sm) as usize;
-        let mut visible: Vec<u32> = dist.as_slice().to_vec();
-        let mut pending: Vec<(usize, u32)> = Vec::new();
+        visible.clear();
+        visible.extend_from_slice(dist.as_slice());
+        pending.clear();
         let mut cur_wave = 0usize;
-        let mut cull = WarpCull::new();
+        cull.begin_launch();
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Processing);
             sys.gpu

@@ -7,7 +7,7 @@ use scu_graph::Csr;
 use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
+use crate::kernels::{edge_slot_map_into, gpu_exclusive_scan_into, ScanScratch};
 use crate::report::{Phase, RunReport};
 use crate::system::System;
 
@@ -43,6 +43,12 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
     let mut rounds = 0u64;
     let mut iter = 0u32;
 
+    // Host staging reused across iterations so the loop body performs
+    // no host allocation.
+    let mut scan = ScanScratch::default();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+
     while frontier_len > 0 {
         rounds += 1;
         assert!(rounds <= n as u64 + 2, "CC failed to converge");
@@ -66,13 +72,13 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Expansion scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan_into(sys, &counts, frontier_len, &mut scan);
         let total = total as usize;
         if total == 0 {
             break;
         }
         assert!(total <= cap, "edge frontier overflow");
-        let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
+        edge_slot_map_into(&indexes, &counts, frontier_len, &mut rows, &mut pos);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu
@@ -115,7 +121,7 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Contraction scan + scatter (compaction). ----
-        let (noff, kept) = gpu_exclusive_scan(sys, &flags, total);
+        let (noff, kept) = gpu_exclusive_scan_into(sys, &flags, total, &mut scan);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu

@@ -12,7 +12,6 @@
 //! vectors are too large to cache, so results carry their length and a
 //! FNV-1a fingerprint instead — enough to assert cross-mode agreement.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use scu_core::ScuConfig;
@@ -184,27 +183,80 @@ fn fnv1a_u64s(values: &[u64]) -> u64 {
 /// Graph key: scale participates via its exact bit pattern.
 type GraphKey = (Dataset, u64, u64);
 
+/// Most graphs the process-wide memo retains at once.
+///
+/// The default matrix touches 6 datasets at one (scale, seed), so a
+/// full sweep stays fully memoised; multi-scale sweeps (ablation,
+/// scaling studies) evict least-recently-used graphs instead of
+/// accumulating every size ever built for the life of the process.
+const GRAPH_MEMO_CAP: usize = 8;
+
+/// LRU memo of built graphs: a linear table with a logical use clock.
+/// With [`GRAPH_MEMO_CAP`] entries a scan beats hashing and keeps
+/// eviction order fully deterministic (first-least-recent wins).
+#[derive(Default)]
+struct GraphMemo {
+    tick: u64,
+    entries: Vec<(GraphKey, Arc<Csr>, u64)>,
+}
+
+impl GraphMemo {
+    fn get(&mut self, key: &GraphKey) -> Option<Arc<Csr>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries
+            .iter_mut()
+            .find(|(k, ..)| k == key)
+            .map(|(_, g, last_use)| {
+                *last_use = tick;
+                Arc::clone(g)
+            })
+    }
+
+    fn insert(&mut self, key: GraphKey, g: Arc<Csr>) -> Arc<Csr> {
+        // Re-check under the lock: a concurrent builder of the same
+        // key may have landed first, and its Arc must win so both
+        // callers share one graph.
+        if let Some(g) = self.get(&key) {
+            return g;
+        }
+        if self.entries.len() >= GRAPH_MEMO_CAP {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (.., last_use))| *last_use)
+                .map(|(i, _)| i)
+                .expect("cap > 0, so a full memo has a least-recent entry");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((key, Arc::clone(&g), self.tick));
+        g
+    }
+}
+
 /// Builds `dataset` at (`scale`, `seed`), memoised process-wide.
 ///
 /// Generation is deterministic, so sharing is purely an optimisation:
 /// every cell of a sweep reads the same immutable [`Csr`] instead of
-/// regenerating it per algorithm × platform × mode combination.
+/// regenerating it per algorithm × platform × mode combination. The
+/// memo is bounded ([`GRAPH_MEMO_CAP`]); least-recently-used graphs
+/// are dropped once every cell holding them finishes.
 pub fn shared_graph(dataset: Dataset, scale: f64, seed: u64) -> Arc<Csr> {
-    static CACHE: OnceLock<Mutex<HashMap<GraphKey, Arc<Csr>>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<GraphMemo>> = OnceLock::new();
     scu_harness::failpoint::apply("graph-build");
     let key = (dataset, scale.to_bits(), seed);
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(GraphMemo::default()));
     // Poison-tolerant: a panic injected (or hit) between the lookup
-    // and the insert leaves the map consistent, so later cells can
+    // and the insert leaves the memo consistent, so later cells can
     // keep using it instead of dying on a poisoned lock.
     if let Some(g) = scu_harness::error::lock_unpoisoned(cache, "graph cache").get(&key) {
-        return Arc::clone(g);
+        return g;
     }
     // Build outside the lock: different graphs may build concurrently,
     // and a duplicate build of the same key is deterministic anyway.
     let g = Arc::new(dataset.build(scale, seed));
-    let mut cache = scu_harness::error::lock_unpoisoned(cache, "graph cache");
-    Arc::clone(cache.entry(key).or_insert(g))
+    scu_harness::error::lock_unpoisoned(cache, "graph cache").insert(key, g)
 }
 
 #[cfg(test)]
@@ -267,5 +319,27 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = shared_graph(Dataset::Cond, 1.0 / 256.0, 8);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn graph_memo_caps_and_evicts_least_recent() {
+        let mut memo = GraphMemo::default();
+        let g = Arc::new(Dataset::Ca.build(1.0 / 512.0, 1));
+        let cap = GRAPH_MEMO_CAP as u64;
+        for i in 0..cap + 3 {
+            memo.insert((Dataset::Ca, i, 1), Arc::clone(&g));
+        }
+        assert_eq!(memo.entries.len(), GRAPH_MEMO_CAP);
+        // The three oldest keys were evicted; the newest survive.
+        assert!(memo.get(&(Dataset::Ca, 0, 1)).is_none());
+        assert!(memo.get(&(Dataset::Ca, 2, 1)).is_none());
+        assert!(memo.get(&(Dataset::Ca, cap + 2, 1)).is_some());
+        // Touching the current least-recent key shields it from the
+        // next eviction.
+        let keep = (Dataset::Ca, 3, 1);
+        assert!(memo.get(&keep).is_some());
+        memo.insert((Dataset::Ca, 999, 1), Arc::clone(&g));
+        assert_eq!(memo.entries.len(), GRAPH_MEMO_CAP);
+        assert!(memo.get(&keep).is_some());
     }
 }

@@ -6,7 +6,7 @@ use scu_graph::Csr;
 use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
+use crate::kernels::{edge_slot_map_into, gpu_exclusive_scan_into, ScanScratch};
 use crate::report::{Phase, RunReport};
 use crate::system::System;
 
@@ -46,6 +46,13 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
     let mut alive = n;
     let mut k = 1u32;
     let mut iter = 0u32;
+
+    // Host staging reused across iterations so the loop body performs
+    // no host allocation.
+    let mut scan = ScanScratch::default();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+
     while alive > 0 {
         assert!(k as usize <= n + 2, "peeling failed to terminate");
         iter += 1;
@@ -62,7 +69,7 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Compact the removal frontier (compaction). ----
-        let (offsets, kept) = gpu_exclusive_scan(sys, &flags, n);
+        let (offsets, kept) = gpu_exclusive_scan_into(sys, &flags, n, &mut scan);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu.run(&mut sys.mem, "kcore-scatter", n, |tid, ctx| {
@@ -96,9 +103,9 @@ pub fn run(sys: &mut System, g: &Csr) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Gather out-edges of removed nodes (compaction). ----
-        let (eoff, total) = gpu_exclusive_scan(sys, &counts, kept);
+        let (eoff, total) = gpu_exclusive_scan_into(sys, &counts, kept, &mut scan);
         let total = total as usize;
-        let (rows, pos) = edge_slot_map(&indexes, &counts, kept);
+        edge_slot_map_into(&indexes, &counts, kept, &mut rows, &mut pos);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu.run(&mut sys.mem, "kcore-gather", total, |e, ctx| {

@@ -2,8 +2,6 @@
 //! machinery of the baseline implementations and Merrill's warp
 //! culling.
 
-use std::collections::HashSet;
-
 use scu_gpu::buffer::DeviceArray;
 use scu_trace::PhaseGuard;
 
@@ -23,13 +21,43 @@ pub fn gpu_exclusive_scan(
     counts: &DeviceArray<u32>,
     n: usize,
 ) -> (DeviceArray<u32>, u32) {
+    gpu_exclusive_scan_into(sys, counts, n, &mut ScanScratch::default())
+}
+
+/// Host-side staging reused across [`gpu_exclusive_scan_into`] calls,
+/// so per-iteration scans inside algorithm loops allocate nothing.
+///
+/// Only host bookkeeping lives here; the scan's device arrays are
+/// still allocated per call, keeping the device address sequence (and
+/// with it the simulated access stream) identical to the plain
+/// [`gpu_exclusive_scan`].
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    block_start: Vec<u32>,
+    running: Vec<u32>,
+}
+
+/// [`gpu_exclusive_scan`] with caller-owned host scratch.
+pub fn gpu_exclusive_scan_into(
+    sys: &mut System,
+    counts: &DeviceArray<u32>,
+    n: usize,
+    scratch: &mut ScanScratch,
+) -> (DeviceArray<u32>, u32) {
     let mut offsets: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n.max(1));
     let n_blocks = n.div_ceil(256).max(1);
     let mut block_sums: DeviceArray<u32> = DeviceArray::zeroed(&mut sys.alloc, n_blocks);
 
+    let ScanScratch {
+        block_start,
+        running,
+    } = scratch;
+    block_start.clear();
+    block_start.resize(n_blocks, 0);
+    running.clear();
+    running.resize(n_blocks, 0);
+
     let mut running_total = 0u32;
-    let mut block_start = vec![0u32; n_blocks];
-    let mut running = vec![0u32; n_blocks];
     for (b, start) in block_start.iter_mut().enumerate() {
         *start = running_total;
         let lo = b * 256;
@@ -74,6 +102,22 @@ pub fn edge_slot_map(
     let total: usize = (0..n).map(|i| counts.get(i) as usize).sum();
     let mut rows = Vec::with_capacity(total);
     let mut pos = Vec::with_capacity(total);
+    edge_slot_map_into(indexes, counts, n, &mut rows, &mut pos);
+    (rows, pos)
+}
+
+/// [`edge_slot_map`] into caller-owned buffers (cleared first), so
+/// iteration loops reuse two allocations instead of building fresh
+/// vectors per iteration.
+pub fn edge_slot_map_into(
+    indexes: &DeviceArray<u32>,
+    counts: &DeviceArray<u32>,
+    n: usize,
+    rows: &mut Vec<u32>,
+    pos: &mut Vec<u32>,
+) {
+    rows.clear();
+    pos.clear();
     for i in 0..n {
         let start = indexes.get(i);
         for j in 0..counts.get(i) {
@@ -81,36 +125,75 @@ pub fn edge_slot_map(
             pos.push(start + j);
         }
     }
-    (rows, pos)
 }
 
 /// Merrill-style warp culling state: a small per-warp history hash
 /// that drops duplicate IDs appearing in the same warp's lanes.
 ///
-/// The simulated engine executes threads in tid order, so a fresh set
-/// per 32-thread window reproduces the hardware behaviour
-/// deterministically.
-#[derive(Debug, Default)]
+/// The simulated engine executes threads in tid order, so a fresh
+/// history per 32-thread window reproduces the hardware behaviour
+/// deterministically. Instead of a `HashSet` cleared per warp, the
+/// history is an epoch-stamped array over the ID space: `stamps[id] ==
+/// epoch` means "seen this warp", and advancing the warp just bumps
+/// the epoch — no clearing, no hashing, no allocation in the hot loop.
+#[derive(Debug)]
 pub struct WarpCull {
     current_warp: usize,
-    seen: HashSet<u32>,
+    epoch: u32,
+    stamps: Vec<u32>,
 }
 
 impl WarpCull {
-    /// Creates empty culling state (one per kernel launch).
-    pub fn new() -> Self {
-        WarpCull::default()
+    /// Creates culling state for IDs in `0..ids` (one per kernel
+    /// launch; `ids` is the graph's node count for frontier culling).
+    pub fn new(ids: usize) -> Self {
+        WarpCull {
+            current_warp: 0,
+            epoch: 1,
+            stamps: vec![0; ids],
+        }
+    }
+
+    /// Starts a fresh kernel launch: thread IDs restart at warp 0 and
+    /// all previous history is forgotten (one epoch bump — no
+    /// clearing). Equivalent to constructing a new `WarpCull`, minus
+    /// the allocation.
+    pub fn begin_launch(&mut self) {
+        self.current_warp = 0;
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamps.fill(0);
+                1
+            }
+        };
     }
 
     /// Returns `true` if `id` is the first occurrence within `tid`'s
     /// warp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the `0..ids` range given to
+    /// [`WarpCull::new`].
     pub fn first_in_warp(&mut self, tid: usize, id: u32) -> bool {
         let warp = tid / 32;
         if warp != self.current_warp {
             self.current_warp = warp;
-            self.seen.clear();
+            self.epoch = match self.epoch.checked_add(1) {
+                Some(e) => e,
+                // Epoch exhausted (needs 2^32 warps): restamp and
+                // restart. Unreachable in practice, kept for soundness.
+                None => {
+                    self.stamps.fill(0);
+                    1
+                }
+            };
         }
-        self.seen.insert(id)
+        let stamp = &mut self.stamps[id as usize];
+        let first = *stamp != self.epoch;
+        *stamp = self.epoch;
+        first
     }
 }
 
@@ -154,11 +237,46 @@ mod tests {
 
     #[test]
     fn warp_cull_drops_in_warp_duplicates_only() {
-        let mut cull = WarpCull::new();
+        let mut cull = WarpCull::new(64);
         assert!(cull.first_in_warp(0, 42));
         assert!(!cull.first_in_warp(1, 42)); // same warp duplicate
         assert!(cull.first_in_warp(2, 43));
         // Next warp: history resets.
         assert!(cull.first_in_warp(32, 42));
+    }
+
+    #[test]
+    fn warp_cull_begin_launch_forgets_history() {
+        let mut cull = WarpCull::new(64);
+        assert!(cull.first_in_warp(0, 7));
+        assert!(!cull.first_in_warp(1, 7));
+        cull.begin_launch();
+        // Same warp index, fresh launch: 7 is new again.
+        assert!(cull.first_in_warp(0, 7));
+        assert!(!cull.first_in_warp(1, 7));
+    }
+
+    #[test]
+    fn scan_into_reuses_scratch_identically() {
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let counts = DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 5, 2, 7, 1, 0, 4]);
+        let mut scratch = ScanScratch::default();
+        let (a, ta) = gpu_exclusive_scan_into(&mut sys, &counts, 8, &mut scratch);
+        let (b, tb) = gpu_exclusive_scan_into(&mut sys, &counts, 8, &mut scratch);
+        assert_eq!(ta, tb);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn edge_slot_map_into_matches_allocating_form() {
+        let mut sys = System::baseline(SystemKind::Tx1);
+        let indexes = DeviceArray::from_vec(&mut sys.alloc, vec![0u32, 3, 3]);
+        let counts = DeviceArray::from_vec(&mut sys.alloc, vec![3u32, 0, 2]);
+        let (rows, pos) = edge_slot_map(&indexes, &counts, 3);
+        let mut r2 = vec![99u32; 7]; // stale contents must be cleared
+        let mut p2 = Vec::new();
+        edge_slot_map_into(&indexes, &counts, 3, &mut r2, &mut p2);
+        assert_eq!(rows, r2);
+        assert_eq!(pos, p2);
     }
 }

@@ -11,7 +11,7 @@ use scu_graph::Csr;
 use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
+use crate::kernels::{edge_slot_map_into, gpu_exclusive_scan_into, ScanScratch};
 use crate::report::{Phase, RunReport};
 use crate::system::System;
 
@@ -43,6 +43,13 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
     }
 
     let mut iter = 0u32;
+
+    // Host staging reused across iterations so the loop body performs
+    // no host allocation.
+    let mut scan = ScanScratch::default();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+
     for _ in 0..max_iters {
         iter += 1;
         let _iter = IterGuard::new(sys.probe(), iter);
@@ -64,10 +71,10 @@ pub fn run(sys: &mut System, g: &Csr, max_iters: u32) -> (Vec<f64>, RunReport) {
         }
 
         // ---- Expansion: scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &counts, n);
+        let (offsets, total) = gpu_exclusive_scan_into(sys, &counts, n, &mut scan);
         let total = total as usize;
         // Load-balanced gather: one thread per edge slot.
-        let (rows, pos) = edge_slot_map(&indexes, &counts, n);
+        edge_slot_map_into(&indexes, &counts, n, &mut rows, &mut pos);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu

@@ -14,7 +14,7 @@ use scu_graph::Csr;
 use scu_trace::{IterGuard, PhaseGuard};
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::{edge_slot_map, gpu_exclusive_scan};
+use crate::kernels::{edge_slot_map_into, gpu_exclusive_scan_into, ScanScratch};
 use crate::report::{Phase, RunReport};
 use crate::system::System;
 
@@ -70,6 +70,12 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
     let mut rounds = 0u64;
     let mut iter = 0u32;
 
+    // Host staging reused across iterations so the loop body performs
+    // no host allocation.
+    let mut scan = ScanScratch::default();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+
     loop {
         rounds += 1;
         assert!(rounds < 64 * n as u64 + 1024, "SSSP failed to terminate");
@@ -116,7 +122,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
             }
 
             // Compact near -> node frontier (compaction).
-            let (noff, nkept) = gpu_exclusive_scan(sys, &near_flags, far_len);
+            let (noff, nkept) = gpu_exclusive_scan_into(sys, &near_flags, far_len, &mut scan);
             {
                 let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
                 sys.gpu.run(
@@ -134,7 +140,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
             }
 
             // Recompact surviving far entries (compaction).
-            let (foff, fkept) = gpu_exclusive_scan(sys, &far_flags, far_len);
+            let (foff, fkept) = gpu_exclusive_scan_into(sys, &far_flags, far_len, &mut scan);
             {
                 let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
                 sys.gpu.run(
@@ -184,14 +190,14 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Expansion scan + gather (compaction). ----
-        let (offsets, total) = gpu_exclusive_scan(sys, &counts, frontier_len);
+        let (offsets, total) = gpu_exclusive_scan_into(sys, &counts, frontier_len, &mut scan);
         let total = total as usize;
         assert!(
             total <= ef_cap,
             "edge frontier overflow: {total} > {ef_cap}"
         );
         // Load-balanced gather: one thread per edge-frontier slot.
-        let (rows, pos) = edge_slot_map(&indexes, &counts, frontier_len);
+        edge_slot_map_into(&indexes, &counts, frontier_len, &mut rows, &mut pos);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu
@@ -252,7 +258,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Contraction: compact near -> node frontier. ----
-        let (noff, nkept) = gpu_exclusive_scan(sys, &near_flags, total);
+        let (noff, nkept) = gpu_exclusive_scan_into(sys, &near_flags, total, &mut scan);
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);
             sys.gpu.run(
@@ -270,7 +276,7 @@ pub fn run(sys: &mut System, g: &Csr, src: u32) -> (Vec<u32>, RunReport) {
         }
 
         // ---- Contraction: append far entries. ----
-        let (foff, fkept) = gpu_exclusive_scan(sys, &far_flags, total);
+        let (foff, fkept) = gpu_exclusive_scan_into(sys, &far_flags, total, &mut scan);
         assert!(far_len + fkept as usize <= far_cap, "far pile overflow");
         {
             let _p = PhaseGuard::new(sys.probe(), Phase::Compaction);

@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the memory-hierarchy hot paths the
+//! flattened data layouts optimise: raw cache tag scans, warp and
+//! stream coalescing, and the batched `access_run` line path. These are
+//! the tightest loops in the simulator, so they anchor the perf
+//! regression gate (see `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scu_mem::cache::{AccessKind, Cache, CacheConfig};
+use scu_mem::coalescer::{StreamCoalescer, WarpCoalescer};
+use scu_mem::line::LineSize;
+use scu_mem::system::{MemorySystem, MemorySystemConfig};
+
+/// Deterministic pseudo-random addresses (no RNG state to drift).
+fn scrambled(i: u64, span: u64) -> u64 {
+    (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) % span
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(20);
+
+    // GTX 980 L2 geometry: the largest tag array the sweep exercises.
+    let cfg = CacheConfig::new(2 * 1024 * 1024, LineSize::L128, 16).expect("valid");
+
+    g.bench_function(BenchmarkId::new("hit-scan", "2MiB-16way"), |b| {
+        let mut cache = Cache::new(cfg);
+        // Resident working set: every access after warm-up hits.
+        for i in 0..1024u64 {
+            cache.access(i * 128, AccessKind::Read);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access(i * 128, AccessKind::Read));
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("miss-evict", "2MiB-16way"), |b| {
+        let mut cache = Cache::new(cfg);
+        let mut epoch = 0u64;
+        b.iter(|| {
+            // A fresh 4 MiB stream per sample: every access misses and
+            // (once warm) evicts.
+            epoch += 1;
+            let base = epoch << 32;
+            for i in 0..32_768u64 {
+                black_box(cache.access(base + i * 128, AccessKind::Write));
+            }
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_coalescers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalescer");
+    g.sample_size(20);
+
+    let warp = WarpCoalescer::new(LineSize::L128);
+    let coalesced: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
+    let scattered: Vec<u64> = (0..32u64).map(|i| scrambled(i, 1 << 20)).collect();
+
+    g.bench_function(BenchmarkId::new("warp", "coalesced"), |b| {
+        let mut tx = Vec::new();
+        b.iter(|| {
+            for _ in 0..1024 {
+                warp.transactions_into(&coalesced, &mut tx);
+                black_box(tx.len());
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("warp", "scattered"), |b| {
+        let mut tx = Vec::new();
+        b.iter(|| {
+            for _ in 0..1024 {
+                warp.transactions_into(&scattered, &mut tx);
+                black_box(tx.len());
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("stream", "window-ring"), |b| {
+        let mut sc = StreamCoalescer::new(LineSize::L128, 8);
+        b.iter(|| {
+            for i in 0..16_384u64 {
+                // Mix of window hits (sequential) and fresh lines.
+                black_box(sc.push(i * 64));
+                black_box(sc.push(scrambled(i, 1 << 22)));
+            }
+            sc.reset();
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_access_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem-system");
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("access", "per-line"), |b| {
+        let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
+        b.iter(|| {
+            for i in 0..8192u64 {
+                black_box(mem.access(i * 128, AccessKind::Read));
+            }
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("access_run", "batched-64"), |b| {
+        let mut mem = MemorySystem::new(MemorySystemConfig::tx1());
+        b.iter(|| {
+            for i in 0..128u64 {
+                black_box(mem.access_run(i * 64 * 128, 64, AccessKind::Read));
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_coalescers, bench_access_run);
+criterion_main!(benches);

@@ -14,6 +14,12 @@
 //! result has no event stream) and its timeline is written as a
 //! chrome://tracing JSON file, loadable in Perfetto or
 //! `chrome://tracing`.
+//!
+//! With `--profile` the report is followed by a phase-time breakdown
+//! derived from the same timeline: total processing/compaction/SCU
+//! nanoseconds and the ten most expensive iterations — the quick
+//! "where does this cell's time go" view without leaving the
+//! terminal.
 
 use scu_algos::cell::{Cell, CellResult};
 use scu_algos::runner::{Algorithm, Mode};
@@ -78,13 +84,21 @@ fn obtain(cell: &Cell, no_cache: bool) -> (CellResult, bool) {
 
 fn main() {
     let args = CliArgs::from_env();
-    let (algo, dataset, system, mode) = match parse_args(&args.rest) {
+    let mut rest = args.rest.clone();
+    let profile = match rest.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let (algo, dataset, system, mode) = match parse_args(&rest) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
                 "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
-                 [--no-cache] [--trace PATH]"
+                 [--no-cache] [--trace PATH] [--profile]"
             );
             std::process::exit(2);
         }
@@ -191,6 +205,66 @@ fn main() {
             "groups formed        {:>12} (mean size {:.1})",
             r.scu.group.groups,
             r.scu.group.mean_group_size()
+        );
+    }
+    if profile {
+        print_profile(&result.phases);
+    }
+}
+
+/// Renders the `--profile` view: phase totals plus the heaviest
+/// iterations, all derived from the cell's recorded timeline breakdown
+/// (no extra instrumentation — cached results carry the same rows).
+fn print_profile(phases: &[scu_trace::PhaseRow]) {
+    if phases.is_empty() {
+        println!("\nprofile: no phase rows recorded for this cell");
+        return;
+    }
+    let sum = |f: fn(&scu_trace::PhaseRow) -> f64| phases.iter().map(f).sum::<f64>();
+    let proc = sum(|p| p.processing_ns);
+    let comp = sum(|p| p.compaction_ns);
+    let scu = sum(|p| p.scu_ns);
+    let total = (proc + comp + scu).max(f64::MIN_POSITIVE);
+
+    println!("\n--- profile: phase totals ---");
+    for (name, ns) in [
+        ("GPU processing", proc),
+        ("GPU compaction", comp),
+        ("SCU operations", scu),
+    ] {
+        println!(
+            "{name:<16} {:>12.1} us  {:>5.1} %",
+            ns / 1000.0,
+            100.0 * ns / total
+        );
+    }
+
+    let mut by_time: Vec<&scu_trace::PhaseRow> = phases.iter().collect();
+    by_time.sort_by(|a, b| {
+        let ta = a.processing_ns + a.compaction_ns + a.scu_ns;
+        let tb = b.processing_ns + b.compaction_ns + b.scu_ns;
+        tb.partial_cmp(&ta)
+            .expect("phase times are finite")
+            .then(a.iter.cmp(&b.iter))
+    });
+    let top = by_time.len().min(10);
+    println!(
+        "\n--- profile: top {top} of {} iterations ---",
+        by_time.len()
+    );
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "iter", "total us", "processing us", "compaction us", "scu us"
+    );
+    for p in &by_time[..top] {
+        let t = p.processing_ns + p.compaction_ns + p.scu_ns;
+        println!(
+            "{:>5} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            p.iter,
+            t / 1000.0,
+            p.processing_ns / 1000.0,
+            p.compaction_ns / 1000.0,
+            p.scu_ns / 1000.0
         );
     }
 }

@@ -37,6 +37,11 @@ impl SeqStream {
 
     /// Touches `bytes` bytes at `addr`; issues a transaction for each
     /// line not already in flight.
+    ///
+    /// Only the first line of a span can already be in flight (each
+    /// access re-anchors the in-flight line), so after skipping it the
+    /// remainder is a clean consecutive run and goes through the
+    /// batched [`MemorySystem::access_run`] fast path.
     pub fn touch(&mut self, mem: &mut MemorySystem, addr: Addr, bytes: u64) {
         if bytes == 0 {
             return;
@@ -44,19 +49,25 @@ impl SeqStream {
         let first = self.line_size.line_of(addr);
         let last = self.line_size.line_of(addr + bytes - 1);
         let step = self.line_size.bytes() as Addr;
-        let mut line = first;
-        loop {
-            if self.last_line != Some(line) {
-                let out = mem.access(line, self.kind);
-                self.accesses += 1;
-                self.latency_ns += out.latency_ns;
-                self.last_line = Some(line);
+        let start = if self.last_line == Some(first) {
+            if first == last {
+                return;
             }
-            if line == last {
-                break;
-            }
-            line += step;
+            first + step
+        } else {
+            first
+        };
+        let lines = (last - start) / step + 1;
+        if lines == 1 {
+            let out = mem.access(start, self.kind);
+            self.accesses += 1;
+            self.latency_ns += out.latency_ns;
+        } else {
+            let run = mem.access_run(start, lines, self.kind);
+            self.accesses += run.lines;
+            self.latency_ns += run.latency_ns;
         }
+        self.last_line = Some(last);
     }
 
     /// Number of line transactions issued.

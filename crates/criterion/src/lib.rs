@@ -6,9 +6,19 @@
 //! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
 //! [`BenchmarkId::new`], [`criterion_group!`]/[`criterion_main!`] —
 //! and reports min/mean/max wall-clock per iteration on stdout. No
-//! statistical analysis, plots or baselines; for model-regression
-//! tracking the printed means are compared by eye or scripts.
+//! statistical analysis or plots.
+//!
+//! Two environment variables make the stub scriptable for regression
+//! gating (see `EXPERIMENTS.md`):
+//!
+//! - `SCU_BENCH_JSON=PATH` — append one JSON line per finished
+//!   benchmark (`{"name", "min_ns", "mean_ns", "max_ns", "samples"}`)
+//!   to `PATH`. Append-only so every bench binary of a `cargo bench`
+//!   run can share one file.
+//! - `SCU_BENCH_SAMPLES=N` — override every group's `sample_size`,
+//!   letting CI run a fast smoke pass without editing the benches.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// A two-part benchmark name (`function/parameter`).
@@ -69,9 +79,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets how many samples each benchmark takes.
+    /// Sets how many samples each benchmark takes
+    /// (`SCU_BENCH_SAMPLES` overrides the requested count).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = sample_override().unwrap_or(n).max(1);
         self
     }
 
@@ -125,6 +136,15 @@ impl Criterion {
     }
 }
 
+/// The `SCU_BENCH_SAMPLES` override, if set to a positive integer.
+fn sample_override() -> Option<usize> {
+    std::env::var("SCU_BENCH_SAMPLES")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
 fn report(name: &str, samples: &[Duration]) {
     if samples.is_empty() {
         println!("{name:<48} no samples recorded");
@@ -140,6 +160,44 @@ fn report(name: &str, samples: &[Duration]) {
         fmt_duration(*max),
         samples.len(),
     );
+    if let Ok(path) = std::env::var("SCU_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = append_json_line(&path, name, *min, mean, *max, samples.len()) {
+                eprintln!("SCU_BENCH_JSON: cannot append to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Appends one benchmark result as a JSON line (the format
+/// `bench_gate` consumes). Hand-rolled serialisation: the stub has no
+/// serde, and the only string field needs just quote/backslash escapes.
+fn append_json_line(
+    path: &str,
+    name: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+) -> std::io::Result<()> {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"name\":\"{escaped}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{samples}}}",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    )
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -204,6 +262,41 @@ mod tests {
     #[test]
     fn benchmark_id_joins_parts() {
         assert_eq!(BenchmarkId::new("algo", 42).into_id(), "algo/42");
+    }
+
+    #[test]
+    fn json_lines_append_and_escape() {
+        let dir = std::env::temp_dir().join(format!("scu-criterion-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.jsonl");
+        let p = path.to_str().unwrap();
+        append_json_line(
+            p,
+            "grp/with \"quote\"",
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+            Duration::from_nanos(30),
+            5,
+        )
+        .unwrap();
+        append_json_line(
+            p,
+            "grp/second",
+            Duration::from_nanos(1),
+            Duration::from_nanos(2),
+            Duration::from_nanos(3),
+            1,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"grp/with \\\"quote\\\"\",\"min_ns\":10,\"mean_ns\":20,\"max_ns\":30,\"samples\":5}"
+        );
+        assert!(lines[1].contains("\"name\":\"grp/second\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -20,7 +20,7 @@ use scu_mem::system::MemorySystem;
 use scu_trace::{Event, MemSource, Probe};
 
 use crate::config::GpuConfig;
-use crate::kernel::{ThreadCtx, ThreadOp};
+use crate::kernel::{MemOp, ThreadCtx};
 use crate::stats::{KernelStats, TimeBounds};
 
 /// Time charged per serialised same-address atomic at the L2, ns.
@@ -28,6 +28,20 @@ use crate::stats::{KernelStats, TimeBounds};
 /// Maxwell-class GPUs retire one conflicting atomic every couple of
 /// cycles at the L2; 2 ns is the GPGPU-Sim-class figure.
 const ATOMIC_THROUGHPUT_NS: f64 = 2.0;
+
+/// Reusable per-launch scratch buffers, kept on the engine so the
+/// warp loop — the hottest loop in the simulator — allocates nothing.
+#[derive(Debug, Default)]
+struct RunScratch {
+    /// Per-lane recorded memory traces (one buffer per warp lane).
+    warp_traces: Vec<Vec<MemOp>>,
+    loads: Vec<Addr>,
+    stores: Vec<Addr>,
+    atomics: Vec<Addr>,
+    /// Coalesced line transactions of the current slot.
+    tx: Vec<Addr>,
+    atomic_counts: HashMap<Addr, u64>,
+}
 
 /// The GPU execution engine: owns per-SM L1 caches and executes kernel
 /// launches against a shared [`MemorySystem`].
@@ -37,6 +51,7 @@ pub struct GpuEngine {
     l1s: Vec<Cache>,
     coalescer: WarpCoalescer,
     probe: Probe,
+    scratch: RunScratch,
 }
 
 impl GpuEngine {
@@ -54,6 +69,7 @@ impl GpuEngine {
             l1s,
             coalescer,
             probe: Probe::off(),
+            scratch: RunScratch::default(),
         }
     }
 
@@ -120,75 +136,78 @@ impl GpuEngine {
         let mut sm_slots = vec![0u64; num_sms];
         let mut sm_l1_tx = vec![0u64; num_sms];
         let mut total_latency_ns = 0.0f64;
-        let mut atomic_counts: HashMap<Addr, u64> = HashMap::new();
+
+        // Borrow the scratch buffers apart from `l1s`/`coalescer` so
+        // the warp loop reuses them without fighting the borrow checker.
+        let RunScratch {
+            warp_traces,
+            loads,
+            stores,
+            atomics,
+            tx,
+            atomic_counts,
+        } = &mut self.scratch;
+        if warp_traces.len() < warp_size {
+            warp_traces.resize_with(warp_size, Vec::new);
+        }
+        atomic_counts.clear();
+
+        // Batched store runs are only valid when L1 lines and L2 lines
+        // coincide (they do on both modelled platforms).
+        let line_bytes = self.cfg.l1.line_size.bytes() as u64;
+        let same_line_size = line_bytes == mem.config().l2.line_size.bytes() as u64;
 
         let mut ctx = ThreadCtx::new();
-        let mut warp_traces: Vec<Vec<ThreadOp>> = Vec::with_capacity(warp_size);
 
         for w in 0..n_warps {
             let sm = w % num_sms;
-            warp_traces.clear();
             let first = w * warp_size;
             let last = ((w + 1) * warp_size).min(threads);
-            for tid in first..last {
-                body(tid, &mut ctx);
-                warp_traces.push(ctx.take_ops());
-            }
-
-            // Split each thread trace into (total ALU, ordered mem ops).
+            let lanes = last - first;
             let mut alu_max = 0u64;
-            let mut mem_lists: Vec<Vec<(AccessKind, Addr, bool)>> =
-                Vec::with_capacity(warp_traces.len());
-            for ops in &warp_traces {
-                let mut alu = 0u64;
-                let mut mems = Vec::new();
-                for op in ops {
-                    match *op {
-                        ThreadOp::Alu(n) => alu += n as u64,
-                        ThreadOp::Load { addr, .. } => {
-                            mems.push((AccessKind::Read, addr, false));
-                            stats.loads += 1;
-                        }
-                        ThreadOp::Store { addr, .. } => {
-                            mems.push((AccessKind::Write, addr, false));
-                            stats.stores += 1;
-                        }
-                        ThreadOp::Atomic { addr, .. } => {
-                            mems.push((AccessKind::Write, addr, true));
-                            stats.atomics += 1;
-                            *atomic_counts.entry(addr).or_insert(0) += 1;
-                        }
+            let mut mem_slot_count = 0usize;
+            for (k, tid) in (first..last).enumerate() {
+                body(tid, &mut ctx);
+                let alu = ctx.drain_trace_into(&mut warp_traces[k]);
+                let mems = &warp_traces[k];
+                for op in mems.iter() {
+                    if op.atomic {
+                        stats.atomics += 1;
+                        *atomic_counts.entry(op.addr).or_insert(0) += 1;
+                    } else if op.write {
+                        stats.stores += 1;
+                    } else {
+                        stats.loads += 1;
                     }
                 }
                 alu_max = alu_max.max(alu);
                 stats.thread_insts += alu + mems.len() as u64;
-                mem_lists.push(mems);
+                mem_slot_count = mem_slot_count.max(mems.len());
             }
-
-            let mem_slot_count = mem_lists.iter().map(Vec::len).max().unwrap_or(0);
 
             // Simulate each aligned memory slot.
             let mut warp_tx = 0u64;
             for j in 0..mem_slot_count {
                 // Gather the j-th op of each lane, grouped by kind.
-                let mut loads: Vec<Addr> = Vec::new();
-                let mut stores: Vec<Addr> = Vec::new();
-                let mut atomics: Vec<Addr> = Vec::new();
-                for lane in &mem_lists {
-                    if let Some(&(kind, addr, is_atomic)) = lane.get(j) {
-                        if is_atomic {
-                            atomics.push(addr);
-                        } else if kind == AccessKind::Read {
-                            loads.push(addr);
+                loads.clear();
+                stores.clear();
+                atomics.clear();
+                for lane in &warp_traces[..lanes] {
+                    if let Some(op) = lane.get(j) {
+                        if op.atomic {
+                            atomics.push(op.addr);
+                        } else if op.write {
+                            stores.push(op.addr);
                         } else {
-                            stores.push(addr);
+                            loads.push(op.addr);
                         }
                     }
                 }
 
                 if !loads.is_empty() {
                     stats.mem_slots += 1;
-                    for line in self.coalescer.transactions(&loads) {
+                    self.coalescer.transactions_into(loads, tx);
+                    for &line in tx.iter() {
                         warp_tx += 1;
                         let l1_out = self.l1s[sm].access(line, AccessKind::Read);
                         total_latency_ns += self.cfg.l1_hit_latency_ns;
@@ -202,15 +221,34 @@ impl GpuEngine {
                     stats.mem_slots += 1;
                     // Global stores are write-through, no-allocate on
                     // Maxwell: they bypass the L1 and go to the L2.
-                    for line in self.coalescer.transactions(&stores) {
-                        warp_tx += 1;
-                        mem.access(line, AccessKind::Write);
+                    // Consecutive-line spans (the common coalesced
+                    // case) go through the batched run fast path.
+                    self.coalescer.transactions_into(stores, tx);
+                    warp_tx += tx.len() as u64;
+                    let mut i = 0;
+                    while i < tx.len() {
+                        let start = tx[i];
+                        let mut len = 1u64;
+                        if same_line_size {
+                            while i + (len as usize) < tx.len()
+                                && tx[i + len as usize] == start + len * line_bytes
+                            {
+                                len += 1;
+                            }
+                        }
+                        if len == 1 {
+                            mem.access(start, AccessKind::Write);
+                        } else {
+                            mem.access_run(start, len, AccessKind::Write);
+                        }
+                        i += len as usize;
                     }
                 }
                 if !atomics.is_empty() {
                     stats.mem_slots += 1;
                     // Atomics resolve at the L2.
-                    for line in self.coalescer.transactions(&atomics) {
+                    self.coalescer.transactions_into(atomics, tx);
+                    for &line in tx.iter() {
                         warp_tx += 1;
                         let out = mem.access(line, AccessKind::Write);
                         total_latency_ns += self.cfg.atomic_latency_ns + out.latency_ns;

@@ -6,21 +6,26 @@
 //! memory operation goes through the [`ThreadCtx`] so the engine
 //! observes the exact addresses the computation touched. This mirrors
 //! how a CUDA thread both computes and generates a memory trace.
+//!
+//! The trace is split by what the engine needs: memory operations keep
+//! their program order (SIMT slot alignment depends on it), while ALU
+//! work — which only ever feeds a per-thread sum — is a plain counter.
+//! Recording a thread therefore costs one `Vec` push per *memory* op
+//! and a single add per `alu()` call, which matters: trace recording
+//! and decoding is the hottest path in the whole simulator.
 
 use scu_mem::buffer::DeviceArray;
 use scu_mem::line::Addr;
 
-/// One recorded per-thread operation.
+/// One recorded per-thread memory operation, in program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ThreadOp {
-    /// `n` arithmetic/control instructions with no memory traffic.
-    Alu(u32),
-    /// A global load of `bytes` bytes at `addr`.
-    Load { addr: Addr, bytes: u8 },
-    /// A global store of `bytes` bytes at `addr`.
-    Store { addr: Addr, bytes: u8 },
-    /// An atomic read-modify-write at `addr`.
-    Atomic { addr: Addr, bytes: u8 },
+pub struct MemOp {
+    /// Byte address of the accessed element.
+    pub addr: Addr,
+    /// Store or atomic (writes a line) vs load.
+    pub write: bool,
+    /// Atomic read-modify-write (serialises at the L2).
+    pub atomic: bool,
 }
 
 /// Execution context handed to each simulated thread.
@@ -32,29 +37,29 @@ pub enum ThreadOp {
 /// sufficient.
 #[derive(Debug, Default)]
 pub struct ThreadCtx {
-    ops: Vec<ThreadOp>,
+    alu: u64,
+    mems: Vec<MemOp>,
 }
 
 impl ThreadCtx {
     /// Creates an empty context (the engine does this per thread).
     pub fn new() -> Self {
-        ThreadCtx { ops: Vec::new() }
+        ThreadCtx::default()
     }
 
     /// Records `n` ALU instructions.
     #[inline]
     pub fn alu(&mut self, n: u32) {
-        if n > 0 {
-            self.ops.push(ThreadOp::Alu(n));
-        }
+        self.alu += n as u64;
     }
 
     /// Loads element `i` of `arr`, recording the access.
     #[inline]
     pub fn load<T: Copy>(&mut self, arr: &DeviceArray<T>, i: usize) -> T {
-        self.ops.push(ThreadOp::Load {
+        self.mems.push(MemOp {
             addr: arr.addr(i),
-            bytes: std::mem::size_of::<T>() as u8,
+            write: false,
+            atomic: false,
         });
         arr.get(i)
     }
@@ -62,9 +67,10 @@ impl ThreadCtx {
     /// Stores `v` into element `i` of `arr`, recording the access.
     #[inline]
     pub fn store<T: Copy>(&mut self, arr: &mut DeviceArray<T>, i: usize, v: T) {
-        self.ops.push(ThreadOp::Store {
+        self.mems.push(MemOp {
             addr: arr.addr(i),
-            bytes: std::mem::size_of::<T>() as u8,
+            write: true,
+            atomic: false,
         });
         arr.set(i, v);
     }
@@ -82,9 +88,10 @@ impl ThreadCtx {
         i: usize,
         f: impl FnOnce(T) -> T,
     ) -> T {
-        self.ops.push(ThreadOp::Atomic {
+        self.mems.push(MemOp {
             addr: arr.addr(i),
-            bytes: std::mem::size_of::<T>() as u8,
+            write: true,
+            atomic: true,
         });
         let old = arr.get(i);
         arr.set(i, f(old));
@@ -103,15 +110,24 @@ impl ThreadCtx {
         self.atomic_rmw(arr, i, |old| old.min(v))
     }
 
-    /// Number of operations recorded so far.
+    /// Number of memory operations recorded so far.
     pub fn op_count(&self) -> usize {
-        self.ops.len()
+        self.mems.len()
+    }
+
+    /// Accumulated ALU instruction count.
+    pub fn alu_count(&self) -> u64 {
+        self.alu
     }
 
     /// Drains the recorded trace (the engine calls this after the
-    /// thread body returns).
-    pub fn take_ops(&mut self) -> Vec<ThreadOp> {
-        std::mem::take(&mut self.ops)
+    /// thread body returns): the ordered memory ops move into `mems`
+    /// (cleared first, allocation reused) and the ALU total is
+    /// returned and reset.
+    pub fn drain_trace_into(&mut self, mems: &mut Vec<MemOp>) -> u64 {
+        mems.clear();
+        mems.append(&mut self.mems);
+        std::mem::take(&mut self.alu)
     }
 }
 
@@ -126,14 +142,16 @@ mod tests {
         let arr = DeviceArray::from_vec(&mut alloc, vec![7u32, 8]);
         let mut ctx = ThreadCtx::new();
         assert_eq!(ctx.load(&arr, 1), 8);
-        let ops = ctx.take_ops();
-        assert_eq!(ops.len(), 1);
+        let mut ops = Vec::new();
+        let alu = ctx.drain_trace_into(&mut ops);
+        assert_eq!(alu, 0);
         assert_eq!(
-            ops[0],
-            ThreadOp::Load {
+            ops,
+            vec![MemOp {
                 addr: arr.addr(1),
-                bytes: 4
-            }
+                write: false,
+                atomic: false
+            }]
         );
     }
 
@@ -144,11 +162,14 @@ mod tests {
         let mut ctx = ThreadCtx::new();
         ctx.store(&mut arr, 2, 99);
         assert_eq!(arr.get(2), 99);
+        let mut ops = Vec::new();
+        ctx.drain_trace_into(&mut ops);
         assert_eq!(
-            ctx.take_ops()[0],
-            ThreadOp::Store {
+            ops[0],
+            MemOp {
                 addr: arr.addr(2),
-                bytes: 8
+                write: true,
+                atomic: false
             }
         );
     }
@@ -164,6 +185,7 @@ mod tests {
         let old = ctx.atomic_min_u32(&mut arr, 0, 5);
         assert_eq!(old, 3);
         assert_eq!(arr.get(0), 3);
+        assert!(ctx.mems.iter().all(|m| m.write && m.atomic));
     }
 
     #[test]
@@ -176,18 +198,26 @@ mod tests {
     }
 
     #[test]
-    fn zero_alu_not_recorded() {
+    fn alu_accumulates_as_counter() {
         let mut ctx = ThreadCtx::new();
         ctx.alu(0);
         ctx.alu(3);
-        assert_eq!(ctx.op_count(), 1);
+        ctx.alu(2);
+        assert_eq!(ctx.alu_count(), 5);
+        assert_eq!(ctx.op_count(), 0);
     }
 
     #[test]
-    fn take_ops_drains() {
+    fn drain_resets_both_halves() {
+        let mut alloc = DeviceAllocator::new();
+        let arr = DeviceArray::from_vec(&mut alloc, vec![1u32]);
         let mut ctx = ThreadCtx::new();
         ctx.alu(1);
-        assert_eq!(ctx.take_ops().len(), 1);
+        ctx.load(&arr, 0);
+        let mut ops = Vec::new();
+        assert_eq!(ctx.drain_trace_into(&mut ops), 1);
+        assert_eq!(ops.len(), 1);
         assert_eq!(ctx.op_count(), 0);
+        assert_eq!(ctx.alu_count(), 0);
     }
 }

@@ -5,6 +5,11 @@
 //! evicted (the write-back traffic feeds the DRAM model). Timing is not
 //! modelled here — the owning [`crate::system::MemorySystem`] and the
 //! GPU/SCU engines charge latency and bandwidth from the outcome.
+//!
+//! Storage is a single contiguous `Box<[Way]>` indexed as
+//! `set * associativity + way` rather than a `Vec<Vec<Way>>`: one
+//! allocation, no pointer chase per set, and the whole working set of
+//! tag metadata stays cache-line-dense under the simulator's own L1.
 
 use crate::line::{Addr, LineSize};
 use crate::stats::CacheStats;
@@ -112,8 +117,13 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets, contiguous: `set * assoc + way`.
+    ways: Box<[Way]>,
+    assoc: usize,
     set_mask: u64,
+    /// Precomputed `set_mask.count_ones()` so the hot path does not
+    /// recompute the tag shift per access.
+    tag_shift: u32,
     clock: u64,
     stats: CacheStats,
 }
@@ -122,10 +132,14 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
+        let assoc = cfg.associativity as usize;
+        let set_mask = num_sets - 1;
         Cache {
             cfg,
-            sets: vec![vec![Way::EMPTY; cfg.associativity as usize]; num_sets as usize],
-            set_mask: num_sets - 1,
+            ways: vec![Way::EMPTY; num_sets as usize * assoc].into_boxed_slice(),
+            assoc,
+            set_mask,
+            tag_shift: set_mask.count_ones(),
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -149,9 +163,7 @@ impl Cache {
 
     /// Invalidates every line and clears statistics.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.fill(Way::EMPTY);
-        }
+        self.ways.fill(Way::EMPTY);
         self.clock = 0;
         self.stats = CacheStats::default();
     }
@@ -160,7 +172,7 @@ impl Cache {
     fn locate(&self, addr: Addr) -> (usize, u64) {
         let line = self.cfg.line_size.index_of(addr);
         let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let tag = line >> self.tag_shift;
         (set, tag)
     }
 
@@ -171,39 +183,47 @@ impl Cache {
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> CacheOutcome {
         self.clock += 1;
         let (set_idx, tag) = self.locate(addr);
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.assoc;
+        let set = &mut self.ways[base..base + self.assoc];
 
         self.stats.accesses += 1;
         if kind == AccessKind::Write {
             self.stats.writes += 1;
         }
 
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.last_use = self.clock;
-            if kind == AccessKind::Write {
-                way.dirty = true;
+        // Hit search and victim selection in one pass: remember the
+        // first invalid way (preferred victim) and the least-recently
+        // used valid way as we scan for the tag.
+        let mut invalid: Option<usize> = None;
+        let mut lru = 0usize;
+        let mut lru_use = u64::MAX;
+        for (i, w) in set.iter_mut().enumerate() {
+            if w.valid {
+                if w.tag == tag {
+                    w.last_use = self.clock;
+                    if kind == AccessKind::Write {
+                        w.dirty = true;
+                    }
+                    self.stats.hits += 1;
+                    return CacheOutcome {
+                        hit: true,
+                        dirty_eviction: false,
+                    };
+                }
+                if w.last_use < lru_use {
+                    lru_use = w.last_use;
+                    lru = i;
+                }
+            } else if invalid.is_none() {
+                invalid = Some(i);
             }
-            self.stats.hits += 1;
-            return CacheOutcome {
-                hit: true,
-                dirty_eviction: false,
-            };
         }
 
         self.stats.misses += 1;
 
-        // Victim: first invalid way, else LRU.
-        let victim = match set.iter().position(|w| !w.valid) {
-            Some(i) => i,
-            None => {
-                let (i, _) = set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.last_use)
-                    .expect("associativity is positive");
-                i
-            }
-        };
+        // Victim: first invalid way, else LRU (ties resolve to the
+        // lowest index, matching a `min_by_key` scan).
+        let victim = invalid.unwrap_or(lru);
         let dirty_eviction = set[victim].valid && set[victim].dirty;
         if dirty_eviction {
             self.stats.writebacks += 1;
@@ -224,7 +244,10 @@ impl Cache {
     /// resident (without touching LRU state or counters).
     pub fn probe(&self, addr: Addr) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+        let base = set_idx * self.assoc;
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 }
 
@@ -336,5 +359,20 @@ mod tests {
         for i in 0..4u64 {
             assert!(c.probe(i * 128), "line {i} should still be resident");
         }
+    }
+
+    #[test]
+    fn single_pass_victim_matches_two_pass_semantics() {
+        // Fill a 2-way set, invalidate nothing, touch in an order that
+        // makes the *second* way the LRU — the victim must be the LRU
+        // way, not the first scanned.
+        let mut c = small_cache(2);
+        let stride = 4 * 128;
+        c.access(0, AccessKind::Read); // way 0
+        c.access(stride, AccessKind::Read); // way 1
+        c.access(0, AccessKind::Read); // way 1 now LRU
+        c.access(2 * stride, AccessKind::Read); // must evict way 1
+        assert!(c.probe(0));
+        assert!(!c.probe(stride));
     }
 }

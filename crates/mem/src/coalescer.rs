@@ -15,7 +15,6 @@
 
 use crate::line::{Addr, LineSize};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Intra-warp address coalescer.
 ///
@@ -53,18 +52,44 @@ impl WarpCoalescer {
     /// Inactive threads should simply be omitted from `addrs`.
     pub fn transactions(&self, addrs: &[Addr]) -> Vec<Addr> {
         let mut out: Vec<Addr> = Vec::with_capacity(addrs.len().min(8));
+        self.transactions_into(addrs, &mut out);
+        out
+    }
+
+    /// [`Self::transactions`] into a caller-owned buffer, so hot loops
+    /// can reuse one allocation across warps. The buffer is cleared
+    /// first; on return it holds the distinct lines in first-touch
+    /// order.
+    pub fn transactions_into(&self, addrs: &[Addr], out: &mut Vec<Addr>) {
+        out.clear();
         for &a in addrs {
             let line = self.line_size.line_of(a);
             if !out.contains(&line) {
                 out.push(line);
             }
         }
-        out
     }
 
     /// Number of transactions without materialising them.
+    ///
+    /// Warp accesses are at most 32 threads wide, so the distinct-line
+    /// scratch fits on the stack for every caller in the simulator; the
+    /// heap path only exists for oversized inputs.
     pub fn transaction_count(&self, addrs: &[Addr]) -> usize {
-        self.transactions(addrs).len()
+        if addrs.len() <= 32 {
+            let mut lines = [0u64; 32];
+            let mut n = 0usize;
+            for &a in addrs {
+                let line = self.line_size.line_of(a);
+                if !lines[..n].contains(&line) {
+                    lines[n] = line;
+                    n += 1;
+                }
+            }
+            n
+        } else {
+            self.transactions(addrs).len()
+        }
     }
 }
 
@@ -111,7 +136,12 @@ impl StreamCoalescerStats {
 pub struct StreamCoalescer {
     line_size: LineSize,
     window: usize,
-    recent: VecDeque<Addr>,
+    /// Fixed-capacity ring holding the last `window` issued lines;
+    /// `head` is the slot the next issue overwrites once full. Only
+    /// membership matters for merging, so eviction order (FIFO) is the
+    /// only ordering the ring must preserve.
+    recent: Vec<Addr>,
+    head: usize,
     stats: StreamCoalescerStats,
 }
 
@@ -127,7 +157,8 @@ impl StreamCoalescer {
         StreamCoalescer {
             line_size,
             window,
-            recent: VecDeque::with_capacity(window),
+            recent: Vec::with_capacity(window),
+            head: 0,
             stats: StreamCoalescerStats::default(),
         }
     }
@@ -141,10 +172,12 @@ impl StreamCoalescer {
         if self.recent.contains(&line) {
             return None;
         }
-        if self.recent.len() == self.window {
-            self.recent.pop_front();
+        if self.recent.len() < self.window {
+            self.recent.push(line);
+        } else {
+            self.recent[self.head] = line;
+            self.head = (self.head + 1) % self.window;
         }
-        self.recent.push_back(line);
         self.stats.requests_out += 1;
         Some(line)
     }
@@ -158,6 +191,7 @@ impl StreamCoalescer {
     /// accumulated statistics.
     pub fn flush(&mut self) {
         self.recent.clear();
+        self.head = 0;
     }
 
     /// Accumulated merge statistics.
@@ -168,6 +202,7 @@ impl StreamCoalescer {
     /// Resets statistics and the merge window.
     pub fn reset(&mut self) {
         self.recent.clear();
+        self.head = 0;
         self.stats = StreamCoalescerStats::default();
     }
 }

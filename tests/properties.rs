@@ -8,9 +8,60 @@ use proptest::prelude::*;
 use scu::algos::{bfs, cc, kcore, sssp, System, SystemKind};
 use scu::graph::GraphBuilder;
 use scu::mem::buffer::{DeviceAllocator, DeviceArray};
+use scu::mem::cache::{AccessKind, Cache, CacheConfig};
+use scu::mem::line::LineSize;
 use scu::mem::system::{MemorySystem, MemorySystemConfig};
 use scu::unit::cyclesim::{CycleSim, StreamWorkload};
 use scu::unit::{CompareOp, FilterHash, FilterMode, GroupHash, ScuConfig, ScuDevice};
+
+/// Reference LRU cache: per-set MRU-ordered lists of `(tag, dirty)`.
+///
+/// The production [`Cache`] stores all ways in one flat slice and picks
+/// victims with a single timestamp scan; this model is the obviously
+/// correct formulation (move-to-front on hit, pop-back on overflow)
+/// that the flat layout must match access for access.
+struct ModelLru {
+    line: LineSize,
+    sets: Vec<Vec<(u64, bool)>>,
+    assoc: usize,
+}
+
+impl ModelLru {
+    fn new(cfg: CacheConfig) -> Self {
+        ModelLru {
+            line: cfg.line_size,
+            sets: vec![Vec::new(); cfg.num_sets() as usize],
+            assoc: cfg.associativity as usize,
+        }
+    }
+
+    /// Returns `(hit, dirty_eviction)`.
+    fn access(&mut self, addr: u64, write: bool) -> (bool, bool) {
+        let lines = self.line.index_of(addr);
+        let num_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(lines % num_sets) as usize];
+        let tag = lines / num_sets;
+        if let Some(i) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(i);
+            set.insert(0, (t, d || write));
+            return (true, false);
+        }
+        let mut dirty_eviction = false;
+        if set.len() == self.assoc {
+            let (_, d) = set.pop().expect("full set is non-empty");
+            dirty_eviction = d;
+        }
+        set.insert(0, (tag, write));
+        (false, dirty_eviction)
+    }
+
+    fn resident(&self, addr: u64) -> bool {
+        let lines = self.line.index_of(addr);
+        let set = &self.sets[(lines % self.sets.len() as u64) as usize];
+        let tag = lines / self.sets.len() as u64;
+        set.iter().any(|&(t, _)| t == tag)
+    }
+}
 
 fn fresh() -> (ScuDevice, MemorySystem, DeviceAllocator) {
     (
@@ -134,6 +185,50 @@ proptest! {
         positions.sort_unstable();
         let expect: Vec<u32> = (0..n as u32).collect();
         prop_assert_eq!(positions, expect);
+    }
+
+    #[test]
+    fn flat_cache_matches_reference_lru_model(
+        line_shift in 5u32..8,          // 32/64/128-byte lines
+        set_shift in 0u32..4,           // 1..8 sets
+        assoc in 1u32..5,
+        stream in prop::collection::vec((0u64..4096, 0u8..2), 1..400),
+    ) {
+        let line = LineSize::new(1 << line_shift).expect("power of two");
+        let size = (1u64 << set_shift) * assoc as u64 * line.bytes() as u64;
+        let cfg = CacheConfig::new(size, line, assoc).expect("valid geometry");
+        let mut cache = Cache::new(cfg);
+        let mut model = ModelLru::new(cfg);
+
+        let mut writes = 0u64;
+        let mut hits = 0u64;
+        let mut writebacks = 0u64;
+        for (i, &(addr, write_flag)) in stream.iter().enumerate() {
+            let write = write_flag != 0;
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let out = cache.access(addr, kind);
+            let (hit, dirty_eviction) = model.access(addr, write);
+            prop_assert_eq!(out.hit, hit, "access {} at {:#x}", i, addr);
+            prop_assert_eq!(
+                out.dirty_eviction, dirty_eviction,
+                "access {} at {:#x}", i, addr
+            );
+            writes += write as u64;
+            hits += hit as u64;
+            writebacks += dirty_eviction as u64;
+        }
+
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, stream.len() as u64);
+        prop_assert_eq!(stats.writes, writes);
+        prop_assert_eq!(stats.hits, hits);
+        prop_assert_eq!(stats.misses, stream.len() as u64 - hits);
+        prop_assert_eq!(stats.writebacks, writebacks);
+
+        // Residency agrees line-for-line across the touched range.
+        for addr in (0..4096u64).step_by(line.bytes() as usize) {
+            prop_assert_eq!(cache.probe(addr), model.resident(addr), "probe {:#x}", addr);
+        }
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! the harness run cells on worker threads and cache their results
 //! content-addressed.
 //!
+//! One deliberate exception: the process-global
+//! [`scu_gpu::SimThreads`] knob, which fans the GPU engine's timing
+//! reconstruction out across per-SM lanes. It is *not* part of the
+//! cell configuration or [`Cell::cache_key`] because the engine
+//! guarantees byte-identical results at any thread count — the knob
+//! changes how fast a cell simulates, never what it produces.
+//!
 //! The serialised cell configuration (plus [`MODEL_VERSION`]) *is* the
 //! cache key; [`CellResult`] is the cached value. Raw per-node answer
 //! vectors are too large to cache, so results carry their length and a

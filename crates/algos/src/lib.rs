@@ -53,4 +53,5 @@ pub mod system;
 pub use cell::{shared_graph, Cell, CellResult, MODEL_VERSION};
 pub use report::{Phase, RunReport};
 pub use runner::{run, Algorithm, Mode, RunOutput};
+pub use scu_gpu::SimThreads;
 pub use system::{System, SystemKind};

@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use scu_algos::cell::Cell;
 use scu_algos::runner::{Algorithm, Mode};
-use scu_algos::SystemKind;
+use scu_algos::{SimThreads, SystemKind};
 use scu_graph::Dataset;
 
 /// CI-sized cell: big enough to exercise multi-iteration frontiers,
@@ -46,5 +46,41 @@ fn bench_cells(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cells);
+/// Thread-scaling of the engine's per-SM timing lanes: the same
+/// GTX980 cell (16 SMs, so up to 16 lanes) at 1, 2 and 4 lanes.
+/// Results are byte-identical across variants — only wall-clock moves
+/// — so `t1` doubles as the sequential-path regression guard and
+/// `t4`'s ratio to it tracks the parallel speedup in the gate.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell-threads");
+    g.sample_size(10);
+
+    let cell = Cell {
+        algorithm: Algorithm::Bfs,
+        dataset: Dataset::Kron,
+        system: SystemKind::Gtx980,
+        mode: Mode::GpuBaseline,
+        pr_iters: 3,
+        scale: 1.0 / 128.0,
+        seed: 42,
+        scu_config: None,
+    };
+    black_box(scu_algos::shared_graph(cell.dataset, cell.scale, cell.seed));
+
+    for threads in [1usize, 2, 4] {
+        let cell = cell.clone();
+        g.bench_function(
+            BenchmarkId::new("BFS-GTX980-gpu", format!("t{threads}")),
+            move |b| {
+                SimThreads::set(threads);
+                b.iter(|| black_box(cell.run()));
+            },
+        );
+    }
+    SimThreads::set(1);
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_thread_scaling);
 criterion_main!(benches);

@@ -68,6 +68,7 @@ fn main() {
     if args.trace.is_some() {
         eprintln!("note: --trace is honoured by run_one and reproduce_all, not export_json");
     }
+    scu_algos::SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
     let harness = Harness::new()
         .apply_cli(&args, "results/cache")

@@ -47,6 +47,9 @@ fn main() {
         );
         std::process::exit(2);
     }
+    // Per-cell engine parallelism; the harness's apply_cli separately
+    // clamps jobs x sim-threads to the machine.
+    scu_algos::SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
     let harness = Harness::new()
         .apply_cli(&args, "results/cache")

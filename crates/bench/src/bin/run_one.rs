@@ -23,7 +23,7 @@
 
 use scu_algos::cell::{Cell, CellResult};
 use scu_algos::runner::{Algorithm, Mode};
-use scu_algos::SystemKind;
+use scu_algos::{SimThreads, SystemKind};
 use scu_bench::ExperimentConfig;
 use scu_graph::{Dataset, GraphStats};
 use scu_harness::{CliArgs, ResultCache};
@@ -98,11 +98,12 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
-                 [--no-cache] [--trace PATH] [--profile]"
+                 [--no-cache] [--trace PATH] [--profile] [--sim-threads N]"
             );
             std::process::exit(2);
         }
     };
+    SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
     let cell = Cell {
         algorithm: algo,
@@ -114,6 +115,11 @@ fn main() {
         seed: cfg.seed,
         scu_config: Some(cfg.scu_config(system)),
     };
+    if profile {
+        // Engine phase counters are process-global; zero them so the
+        // breakdown below covers exactly this cell's simulation.
+        scu_gpu::reset_phase_profile();
+    }
     let g = scu_algos::shared_graph(dataset, cfg.scale, cfg.seed);
     let stats = GraphStats::of(&g);
     println!(
@@ -209,6 +215,40 @@ fn main() {
     }
     if profile {
         print_profile(&result.phases);
+        print_engine_profile(cached, args.sim_threads);
+    }
+}
+
+/// Renders the host wall-clock breakdown of the GPU engine's execution
+/// phases for this process: with `--sim-threads` > 1, time splits into
+/// the sequential functional pass, the parallel per-SM timing lanes
+/// and the ordered L2 replay; at 1 it all lands in the single
+/// sequential pass.
+fn print_engine_profile(cached: bool, sim_threads: usize) {
+    let p = scu_gpu::phase_profile();
+    println!("\n--- profile: engine wall-clock (host, sim-threads={sim_threads}) ---");
+    if p.total_ns() == 0 {
+        if cached {
+            println!("no engine time recorded — result came from the cache");
+        } else {
+            println!("no engine time recorded — no GPU kernels ran");
+        }
+        return;
+    }
+    let total = p.total_ns() as f64;
+    for (name, ns) in [
+        ("functional pass", p.functional_ns),
+        ("timing lanes", p.lane_ns),
+        ("ordered replay", p.replay_ns),
+        ("sequential path", p.sequential_ns),
+    ] {
+        if ns > 0 {
+            println!(
+                "{name:<16} {:>12.1} ms  {:>5.1} %",
+                ns as f64 / 1e6,
+                100.0 * ns as f64 / total
+            );
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 
 use scu_mem::cache::AccessKind;
 use scu_mem::line::{Addr, LineSize};
-use scu_mem::system::MemorySystem;
+use scu_mem::system::{MemorySystem, TxRun};
 
 /// Tracks a sequential stream and issues one memory access per new
 /// line touched.
@@ -40,8 +40,11 @@ impl SeqStream {
     ///
     /// Only the first line of a span can already be in flight (each
     /// access re-anchors the in-flight line), so after skipping it the
-    /// remainder is a clean consecutive run and goes through the
-    /// batched [`MemorySystem::access_run`] fast path.
+    /// remainder is a clean consecutive run, expressed as one [`TxRun`]
+    /// and applied through the shared [`MemorySystem::apply_run`]
+    /// replay entry point — the same vocabulary the GPU engine's
+    /// ordered L2 replay uses, so both frontends drive the memory
+    /// system identically.
     pub fn touch(&mut self, mem: &mut MemorySystem, addr: Addr, bytes: u64) {
         if bytes == 0 {
             return;
@@ -58,15 +61,13 @@ impl SeqStream {
             first
         };
         let lines = (last - start) / step + 1;
-        if lines == 1 {
-            let out = mem.access(start, self.kind);
-            self.accesses += 1;
-            self.latency_ns += out.latency_ns;
-        } else {
-            let run = mem.access_run(start, lines, self.kind);
-            self.accesses += run.lines;
-            self.latency_ns += run.latency_ns;
-        }
+        let run = mem.apply_run(TxRun {
+            addr: start,
+            lines,
+            kind: self.kind,
+        });
+        self.accesses += run.lines;
+        self.latency_ns += run.latency_ns;
         self.last_line = Some(last);
     }
 

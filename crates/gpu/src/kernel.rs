@@ -129,6 +129,15 @@ impl ThreadCtx {
         mems.append(&mut self.mems);
         std::mem::take(&mut self.alu)
     }
+
+    /// Like [`ThreadCtx::drain_trace_into`] but *appends* to `mems`
+    /// instead of clearing it first — the per-SM timing lanes record
+    /// every lane of every warp into one flat buffer, so the drain
+    /// must not discard earlier lanes' ops.
+    pub fn drain_trace_append(&mut self, mems: &mut Vec<MemOp>) -> u64 {
+        mems.append(&mut self.mems);
+        std::mem::take(&mut self.alu)
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +213,23 @@ mod tests {
         ctx.alu(3);
         ctx.alu(2);
         assert_eq!(ctx.alu_count(), 5);
+        assert_eq!(ctx.op_count(), 0);
+    }
+
+    #[test]
+    fn drain_append_preserves_earlier_ops() {
+        let mut alloc = DeviceAllocator::new();
+        let arr = DeviceArray::from_vec(&mut alloc, vec![1u32, 2]);
+        let mut ctx = ThreadCtx::new();
+        let mut ops = Vec::new();
+        ctx.alu(2);
+        ctx.load(&arr, 0);
+        assert_eq!(ctx.drain_trace_append(&mut ops), 2);
+        ctx.load(&arr, 1);
+        assert_eq!(ctx.drain_trace_append(&mut ops), 0);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].addr, arr.addr(0));
+        assert_eq!(ops[1].addr, arr.addr(1));
         assert_eq!(ctx.op_count(), 0);
     }
 

@@ -1,0 +1,427 @@
+//! Per-SM timing lanes for the threaded engine path.
+//!
+//! The engine's timing model has exactly one shared mutable resource:
+//! the L2/DRAM [`scu_mem::MemorySystem`]. Each SM's L1 cache and
+//! coalescer, by contrast, depend only on that SM's own warp order —
+//! [`Cache::access`] never consults the next level. The lanes exploit
+//! that split: after the sequential functional pass records every
+//! warp's memory trace (phase A), each lane worker takes one SM's
+//! traces plus its L1 cache and — in parallel with the other SMs —
+//! compacts them into an ordered [`ReplayOp`] stream (phase B). The
+//! engine then replays the streams against the shared memory system in
+//! canonical warp-index order (phase C), so the L2/DRAM observes *the
+//! exact access sequence* the sequential engine would have produced.
+//!
+//! Byte-identity at any thread count hinges on the replay stream
+//! encoding not just L2 traffic but the full `total_latency_ns`
+//! addition sequence: f64 summation is non-associative, so L1 *hits*
+//! (a constant `l1_hit_latency_ns` add each) are recorded as run
+//! lengths interleaved in program order with misses and atomics.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use scu_mem::cache::{AccessKind, Cache};
+use scu_mem::coalescer::WarpCoalescer;
+use scu_mem::line::{Addr, LineSize};
+
+use crate::kernel::MemOp;
+
+/// One ordered L2-bound replay action produced by a timing lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayOp {
+    /// A run of consecutive L1 load hits: charge `l1_hit_latency_ns`
+    /// once per hit, no L2 traffic.
+    Hits(u32),
+    /// An L1 load miss: charge the hit latency (lookup), then access
+    /// the L2 and charge its latency.
+    Miss(Addr),
+    /// A coalesced store run: `lines` consecutive L1-bypassing write
+    /// lines starting at `addr` (1 for a lone line), no latency charge.
+    Store { addr: Addr, lines: u32 },
+    /// An atomic line: L2 write access plus
+    /// `atomic_latency_ns + access latency`.
+    Atomic(Addr),
+}
+
+/// Per-warp trace header inside a [`LaneBuf`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneWarp {
+    /// Active lanes (threads) in this warp.
+    pub lanes: u32,
+    /// Max per-lane memory-op count — the warp's SIMT slot count.
+    pub max_ops: u32,
+}
+
+/// One SM's launch-local buffers, round-tripped between the engine and
+/// a lane worker so steady-state launches allocate nothing.
+///
+/// Phase A (engine) fills `ops`/`lane_lens`/`warps`; phase B (worker)
+/// fills `replay`/`warp_replay` and the traffic tallies.
+#[derive(Debug, Default)]
+pub(crate) struct LaneBuf {
+    /// All recorded memory ops of this SM's warps, flat: warps in
+    /// launch order, lanes within a warp in order, ops per lane in
+    /// program order.
+    pub ops: Vec<MemOp>,
+    /// Per-lane op counts, `warps[i].lanes` entries per warp.
+    pub lane_lens: Vec<u32>,
+    /// Warp headers in launch order.
+    pub warps: Vec<LaneWarp>,
+    /// Ordered replay stream, all warps concatenated.
+    pub replay: Vec<ReplayOp>,
+    /// Replay-op count per warp (parallel to `warps`).
+    pub warp_replay: Vec<u32>,
+    /// Memory slots (coalescer invocations) this SM issued.
+    pub mem_slots: u64,
+    /// Line transactions this SM issued (its L1 throughput load).
+    pub transactions: u64,
+}
+
+impl LaneBuf {
+    /// Clears all per-launch state, keeping allocations.
+    pub fn begin_launch(&mut self) {
+        self.ops.clear();
+        self.lane_lens.clear();
+        self.warps.clear();
+        self.replay.clear();
+        self.warp_replay.clear();
+        self.mem_slots = 0;
+        self.transactions = 0;
+    }
+}
+
+/// Immutable per-launch parameters a lane needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneParams {
+    pub line_size: LineSize,
+    /// `line_size.bytes()`, precomputed for the store-run scan.
+    pub line_bytes: u64,
+    /// L1 and L2 lines coincide, enabling batched store runs
+    /// (mirrors the sequential engine's gate exactly).
+    pub same_line_size: bool,
+}
+
+/// Worker-local scratch (slot gather + coalescer output).
+#[derive(Debug, Default)]
+struct LaneScratch {
+    loads: Vec<Addr>,
+    stores: Vec<Addr>,
+    atomics: Vec<Addr>,
+    tx: Vec<Addr>,
+    /// Per-lane start offsets of the current warp in the flat op
+    /// buffer.
+    offsets: Vec<usize>,
+}
+
+/// A unit of lane work: one SM's buffers and L1, sent to a worker and
+/// sent back (ownership round-trip — no shared state, no `unsafe`).
+#[derive(Debug)]
+pub(crate) struct LaneTask {
+    pub sm: usize,
+    pub buf: LaneBuf,
+    pub cache: Cache,
+    pub params: LaneParams,
+}
+
+#[inline]
+fn flush_hits(replay: &mut Vec<ReplayOp>, pending: &mut u32) {
+    if *pending > 0 {
+        replay.push(ReplayOp::Hits(*pending));
+        *pending = 0;
+    }
+}
+
+/// Runs one SM's timing lane: walks the recorded warp traces in order,
+/// drives this SM's L1, and emits the ordered replay stream.
+///
+/// This is a line-for-line counterpart of the sequential engine's slot
+/// loop; the only difference is that where the sequential loop touches
+/// the shared `MemorySystem` or `total_latency_ns`, the lane emits a
+/// [`ReplayOp`] instead.
+fn simulate_lane(buf: &mut LaneBuf, cache: &mut Cache, params: LaneParams, sc: &mut LaneScratch) {
+    let coalescer = WarpCoalescer::new(params.line_size);
+    let mut op_base = 0usize;
+    let mut len_base = 0usize;
+    for warp in &buf.warps {
+        let lanes = warp.lanes as usize;
+        let lens = &buf.lane_lens[len_base..len_base + lanes];
+        sc.offsets.clear();
+        let mut acc = op_base;
+        for &len in lens {
+            sc.offsets.push(acc);
+            acc += len as usize;
+        }
+        let replay_start = buf.replay.len();
+        let mut pending_hits = 0u32;
+        for j in 0..warp.max_ops {
+            sc.loads.clear();
+            sc.stores.clear();
+            sc.atomics.clear();
+            for (k, &len) in lens.iter().enumerate() {
+                if j < len {
+                    let op = buf.ops[sc.offsets[k] + j as usize];
+                    if op.atomic {
+                        sc.atomics.push(op.addr);
+                    } else if op.write {
+                        sc.stores.push(op.addr);
+                    } else {
+                        sc.loads.push(op.addr);
+                    }
+                }
+            }
+
+            if !sc.loads.is_empty() {
+                buf.mem_slots += 1;
+                coalescer.transactions_into(&sc.loads, &mut sc.tx);
+                for &line in sc.tx.iter() {
+                    buf.transactions += 1;
+                    if cache.access(line, AccessKind::Read).hit {
+                        pending_hits += 1;
+                    } else {
+                        flush_hits(&mut buf.replay, &mut pending_hits);
+                        buf.replay.push(ReplayOp::Miss(line));
+                    }
+                }
+            }
+            if !sc.stores.is_empty() {
+                buf.mem_slots += 1;
+                coalescer.transactions_into(&sc.stores, &mut sc.tx);
+                buf.transactions += sc.tx.len() as u64;
+                flush_hits(&mut buf.replay, &mut pending_hits);
+                let mut i = 0;
+                while i < sc.tx.len() {
+                    let start = sc.tx[i];
+                    let mut len = 1u64;
+                    if params.same_line_size {
+                        while i + (len as usize) < sc.tx.len()
+                            && sc.tx[i + len as usize] == start + len * params.line_bytes
+                        {
+                            len += 1;
+                        }
+                    }
+                    buf.replay.push(ReplayOp::Store {
+                        addr: start,
+                        lines: len as u32,
+                    });
+                    i += len as usize;
+                }
+            }
+            if !sc.atomics.is_empty() {
+                buf.mem_slots += 1;
+                coalescer.transactions_into(&sc.atomics, &mut sc.tx);
+                flush_hits(&mut buf.replay, &mut pending_hits);
+                for &line in sc.tx.iter() {
+                    buf.transactions += 1;
+                    buf.replay.push(ReplayOp::Atomic(line));
+                }
+            }
+        }
+        flush_hits(&mut buf.replay, &mut pending_hits);
+        buf.warp_replay
+            .push((buf.replay.len() - replay_start) as u32);
+        op_base = acc;
+        len_base += lanes;
+    }
+}
+
+/// A persistent pool of lane workers, kept on the engine across
+/// launches so the steady state spawns no threads.
+///
+/// SM `s` is always handled by worker `s % workers`, so a worker sees
+/// its SMs' tasks in dispatch order; results return over one shared
+/// channel in completion order and are re-slotted by `sm`.
+#[derive(Debug)]
+pub(crate) struct LanePool {
+    senders: Vec<Sender<LaneTask>>,
+    results: Receiver<LaneTask>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LanePool {
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "lane pool needs at least one worker");
+        let (res_tx, res_rx) = channel::<LaneTask>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (task_tx, task_rx) = channel::<LaneTask>();
+            let res = res_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("scu-lane-{i}"))
+                .spawn(move || {
+                    let mut scratch = LaneScratch::default();
+                    while let Ok(mut task) = task_rx.recv() {
+                        simulate_lane(&mut task.buf, &mut task.cache, task.params, &mut scratch);
+                        if res.send(task).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn lane worker");
+            senders.push(task_tx);
+            handles.push(handle);
+        }
+        LanePool {
+            senders,
+            results: res_rx,
+            handles,
+        }
+    }
+
+    /// Number of workers (the engine rebuilds the pool when the
+    /// `SimThreads` knob changes).
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queues one SM's lane task on its worker.
+    pub fn dispatch(&self, task: LaneTask) {
+        let w = task.sm % self.senders.len();
+        self.senders[w]
+            .send(task)
+            .expect("lane worker exited unexpectedly");
+    }
+
+    /// Receives one completed lane task (any SM). A generous timeout
+    /// turns a worker panic into a loud failure instead of a hang.
+    pub fn collect(&self) -> LaneTask {
+        self.results
+            .recv_timeout(Duration::from_secs(60))
+            .expect("lane worker stalled or panicked")
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        // Closing the task channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_mem::cache::CacheConfig;
+
+    fn buf_with(ops: &[MemOp], lens: &[u32]) -> LaneBuf {
+        let mut buf = LaneBuf::default();
+        buf.ops.extend_from_slice(ops);
+        buf.lane_lens.extend_from_slice(lens);
+        let max_ops = lens.iter().copied().max().unwrap_or(0);
+        buf.warps.push(LaneWarp {
+            lanes: lens.len() as u32,
+            max_ops,
+        });
+        buf
+    }
+
+    fn params() -> LaneParams {
+        LaneParams {
+            line_size: LineSize::L128,
+            line_bytes: 128,
+            same_line_size: true,
+        }
+    }
+
+    fn l1() -> Cache {
+        Cache::new(CacheConfig::new(32 * 1024, LineSize::L128, 4).unwrap())
+    }
+
+    fn load(addr: Addr) -> MemOp {
+        MemOp {
+            addr,
+            write: false,
+            atomic: false,
+        }
+    }
+
+    #[test]
+    fn hits_coalesce_into_runs_between_misses() {
+        // One lane: miss, hit, hit, miss(new line), hit.
+        let ops = [load(0), load(4), load(8), load(128), load(132)];
+        let mut buf = buf_with(&ops, &[5]);
+        let mut cache = l1();
+        simulate_lane(&mut buf, &mut cache, params(), &mut LaneScratch::default());
+        assert_eq!(
+            buf.replay,
+            vec![
+                ReplayOp::Miss(0),
+                ReplayOp::Hits(2),
+                ReplayOp::Miss(128),
+                ReplayOp::Hits(1),
+            ]
+        );
+        assert_eq!(buf.warp_replay, vec![4]);
+        assert_eq!(buf.mem_slots, 5);
+        assert_eq!(buf.transactions, 5);
+    }
+
+    #[test]
+    fn consecutive_store_lines_batch_into_one_run() {
+        // Two lanes store to adjacent lines in the same slot.
+        let ops = [
+            MemOp {
+                addr: 0,
+                write: true,
+                atomic: false,
+            },
+            MemOp {
+                addr: 128,
+                write: true,
+                atomic: false,
+            },
+        ];
+        let mut buf = buf_with(&ops, &[1, 1]);
+        let mut cache = l1();
+        simulate_lane(&mut buf, &mut cache, params(), &mut LaneScratch::default());
+        assert_eq!(buf.replay, vec![ReplayOp::Store { addr: 0, lines: 2 }]);
+        assert_eq!(buf.transactions, 2);
+        assert_eq!(buf.mem_slots, 1);
+    }
+
+    #[test]
+    fn atomics_flush_pending_hits_first() {
+        let ops = [
+            load(0),
+            load(0), // hit after the miss warms the line
+            MemOp {
+                addr: 0,
+                write: true,
+                atomic: true,
+            },
+        ];
+        let mut buf = buf_with(&ops, &[3]);
+        let mut cache = l1();
+        simulate_lane(&mut buf, &mut cache, params(), &mut LaneScratch::default());
+        assert_eq!(
+            buf.replay,
+            vec![ReplayOp::Miss(0), ReplayOp::Hits(1), ReplayOp::Atomic(0)]
+        );
+    }
+
+    #[test]
+    fn pool_round_trips_tasks_and_preserves_sm_tag() {
+        let pool = LanePool::new(2);
+        for sm in 0..4 {
+            let buf = buf_with(&[load(sm as Addr * 4096)], &[1]);
+            pool.dispatch(LaneTask {
+                sm,
+                buf,
+                cache: l1(),
+                params: params(),
+            });
+        }
+        let mut seen = [false; 4];
+        for _ in 0..4 {
+            let task = pool.collect();
+            assert_eq!(task.buf.replay.len(), 1, "one miss per task");
+            seen[task.sm] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

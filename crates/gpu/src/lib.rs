@@ -45,7 +45,9 @@
 pub mod config;
 pub mod engine;
 pub mod kernel;
+pub(crate) mod lanes;
 pub mod stats;
+pub mod threads;
 
 pub use config::GpuConfig;
 pub use engine::GpuEngine;
@@ -53,3 +55,4 @@ pub use kernel::ThreadCtx;
 pub use scu_mem::buffer;
 pub use scu_mem::buffer::{DeviceAllocator, DeviceArray};
 pub use stats::{KernelStats, TimeBounds};
+pub use threads::{phase_profile, reset_phase_profile, PhaseProfile, SimThreads};

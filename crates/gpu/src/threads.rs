@@ -1,0 +1,155 @@
+//! The `SimThreads` knob and the engine's phase-time profile.
+//!
+//! `SimThreads` is a **process-global execution knob**, deliberately
+//! not part of any cell configuration: the engine's hard contract is
+//! that every simulated metric is byte-identical at any thread count,
+//! so the knob must never participate in content-addressed cache keys
+//! (a `Cell` that embedded it would hash differently per machine for
+//! identical results). Precedence: an explicit [`SimThreads::set`]
+//! (the `--sim-threads` flag) wins over the `SCU_SIM_THREADS`
+//! environment variable, which wins over the default of 1 — the
+//! sequential engine path.
+//!
+//! The phase profile is the host-side wall-clock companion: the
+//! engine attributes real elapsed time to its functional / lane /
+//! replay phases (or to the single sequential pass) so `run_one
+//! --profile` can show where a cell's simulation time goes and how
+//! the parallel lanes change it. Like the knob, it is observability
+//! only — nothing simulated reads it.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Unset sentinel: the first read resolves `SCU_SIM_THREADS`.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Per-SM timing-lane thread count for the GPU engine.
+pub struct SimThreads;
+
+impl SimThreads {
+    /// The current thread count (at least 1). The first call without
+    /// a prior [`SimThreads::set`] resolves the `SCU_SIM_THREADS`
+    /// environment variable, defaulting to 1.
+    pub fn get() -> usize {
+        match SIM_THREADS.load(Ordering::Relaxed) {
+            0 => {
+                let n = Self::from_env();
+                SIM_THREADS.store(n, Ordering::Relaxed);
+                n
+            }
+            n => n,
+        }
+    }
+
+    /// Overrides the thread count for the rest of the process
+    /// (clamped to at least 1). Engines pick the change up on their
+    /// next launch.
+    pub fn set(n: usize) {
+        SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// `SCU_SIM_THREADS`, when set to a positive integer; 1 otherwise.
+    fn from_env() -> usize {
+        std::env::var("SCU_SIM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+}
+
+static FUNCTIONAL_NS: AtomicU64 = AtomicU64::new(0);
+static LANE_NS: AtomicU64 = AtomicU64::new(0);
+static REPLAY_NS: AtomicU64 = AtomicU64::new(0);
+static SEQUENTIAL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulated host wall-clock per engine phase, ns, since the last
+/// [`reset_phase_profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Phase A: the sequential functional pass (thread bodies + trace
+    /// recording). Only grows on the threaded engine path.
+    pub functional_ns: u64,
+    /// Phase B: the parallel per-SM timing lanes, measured as the
+    /// dispatch-to-collect window on the launching thread.
+    pub lane_ns: u64,
+    /// Phase C: the sequential ordered L2/DRAM replay.
+    pub replay_ns: u64,
+    /// The single-pass sequential engine (`sim_threads` 1, or
+    /// launches too small to fan out).
+    pub sequential_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Total accumulated engine time, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.functional_ns + self.lane_ns + self.replay_ns + self.sequential_ns
+    }
+}
+
+/// Snapshot of the process-wide engine phase times.
+pub fn phase_profile() -> PhaseProfile {
+    PhaseProfile {
+        functional_ns: FUNCTIONAL_NS.load(Ordering::Relaxed),
+        lane_ns: LANE_NS.load(Ordering::Relaxed),
+        replay_ns: REPLAY_NS.load(Ordering::Relaxed),
+        sequential_ns: SEQUENTIAL_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the phase-time counters (start of a profiled run).
+pub fn reset_phase_profile() {
+    FUNCTIONAL_NS.store(0, Ordering::Relaxed);
+    LANE_NS.store(0, Ordering::Relaxed);
+    REPLAY_NS.store(0, Ordering::Relaxed);
+    SEQUENTIAL_NS.store(0, Ordering::Relaxed);
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Charges one threaded launch's phase times (engine internal).
+pub(crate) fn record_threaded(functional: Duration, lane: Duration, replay: Duration) {
+    FUNCTIONAL_NS.fetch_add(ns(functional), Ordering::Relaxed);
+    LANE_NS.fetch_add(ns(lane), Ordering::Relaxed);
+    REPLAY_NS.fetch_add(ns(replay), Ordering::Relaxed);
+}
+
+/// Charges one sequential launch's time (engine internal).
+pub(crate) fn record_sequential(elapsed: Duration) {
+    SEQUENTIAL_NS.fetch_add(ns(elapsed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overrides_and_clamps() {
+        SimThreads::set(3);
+        assert_eq!(SimThreads::get(), 3);
+        SimThreads::set(0);
+        assert_eq!(SimThreads::get(), 1, "0 clamps to the sequential path");
+        SimThreads::set(1);
+    }
+
+    #[test]
+    fn profile_accumulates_and_resets() {
+        reset_phase_profile();
+        record_threaded(
+            Duration::from_nanos(5),
+            Duration::from_nanos(7),
+            Duration::from_nanos(11),
+        );
+        record_sequential(Duration::from_nanos(13));
+        let p = phase_profile();
+        // Other tests' launches may add on top concurrently; the
+        // counters must hold at least this test's contribution.
+        assert!(p.functional_ns >= 5);
+        assert!(p.lane_ns >= 7);
+        assert!(p.replay_ns >= 11);
+        assert!(p.sequential_ns >= 13);
+        assert!(p.total_ns() >= 36);
+    }
+}

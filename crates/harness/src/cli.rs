@@ -1,6 +1,6 @@
 //! Shared command-line surface for the experiment binaries:
-//! `--jobs N`, `--no-cache`, `--filter <substr>`, `--timeout-secs N`,
-//! `--retries N`, `--resume`, `--trace <path>`.
+//! `--jobs N`, `--sim-threads N`, `--no-cache`, `--filter <substr>`,
+//! `--timeout-secs N`, `--retries N`, `--resume`, `--trace <path>`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -12,6 +12,11 @@ use crate::executor::default_jobs;
 pub struct CliArgs {
     /// Worker threads (defaults to available cores).
     pub jobs: usize,
+    /// Per-cell simulator timing-lane threads (the GPU engine's
+    /// `SimThreads` knob). Defaults to the `SCU_SIM_THREADS`
+    /// environment variable, else 1. Results are byte-identical at
+    /// any value; only wall-clock changes.
+    pub sim_threads: usize,
     /// Disable the on-disk result cache.
     pub no_cache: bool,
     /// Only run cells whose id contains this substring.
@@ -36,6 +41,7 @@ impl Default for CliArgs {
     fn default() -> Self {
         CliArgs {
             jobs: default_jobs(),
+            sim_threads: default_sim_threads(),
             no_cache: false,
             filter: None,
             timeout: None,
@@ -47,9 +53,26 @@ impl Default for CliArgs {
     }
 }
 
+/// Default for `--sim-threads`: the `SCU_SIM_THREADS` environment
+/// variable when set to a positive integer, else 1.
+///
+/// This mirrors `scu_gpu::SimThreads`'s own env fallback (the harness
+/// crate cannot depend on `scu-gpu`, so the parse is duplicated); the
+/// binaries then call `SimThreads::set` with the parsed value, making
+/// the flag the single source of truth for the process.
+pub fn default_sim_threads() -> usize {
+    std::env::var("SCU_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// The usage block describing the shared flags, for `--help` output.
 pub const USAGE: &str = "harness options:\n  \
     --jobs N          worker threads (default: available cores)\n  \
+    --sim-threads N   per-cell GPU-engine timing lanes (default: $SCU_SIM_THREADS or 1;\n                    \
+    results are byte-identical at any value)\n  \
     --no-cache        recompute every cell, ignore cached results\n  \
     --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
     --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
@@ -82,6 +105,13 @@ impl CliArgs {
                     out.jobs =
                         v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                             format!("--jobs expects a positive integer, got '{v}'")
+                        })?;
+                }
+                "--sim-threads" => {
+                    let v = value("a thread count")?;
+                    out.sim_threads =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--sim-threads expects a positive integer, got '{v}'")
                         })?;
                 }
                 "--no-cache" => out.no_cache = true,
@@ -191,5 +221,23 @@ mod tests {
         assert!(CliArgs::parse(["--jobs".to_string(), "0".to_string()]).is_err());
         assert!(CliArgs::parse(["--timeout-secs".to_string(), "-1".to_string()]).is_err());
         assert!(CliArgs::parse(["--filter".to_string()]).is_err());
+    }
+
+    #[test]
+    fn sim_threads_parses_in_both_spellings() {
+        let a = parse(&["--sim-threads", "4"]);
+        assert_eq!(a.sim_threads, 4);
+        let b = parse(&["--sim-threads=2"]);
+        assert_eq!(b.sim_threads, 2);
+        assert!(CliArgs::parse(["--sim-threads".to_string(), "0".to_string()]).is_err());
+        assert!(CliArgs::parse(["--sim-threads".to_string()]).is_err());
+    }
+
+    #[test]
+    fn sim_threads_defaults_to_at_least_one() {
+        // The default comes from SCU_SIM_THREADS or 1; either way it
+        // must be positive (tests must not mutate process env — other
+        // tests run concurrently in this binary).
+        assert!(parse(&[]).sim_threads >= 1);
     }
 }

@@ -50,7 +50,7 @@ pub mod progress;
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::CliArgs;
 pub use error::HarnessError;
-pub use executor::{default_jobs, ExecContext, ExecOptions, ExecResult};
+pub use executor::{default_jobs, effective_workers, ExecContext, ExecOptions, ExecResult};
 pub use job::{Attempt, Job, JobGraph, JobId, Outcome};
 pub use journal::{Journal, JournalEntry};
 pub use progress::{Progress, SweepSummary};
@@ -73,6 +73,7 @@ pub struct Sweep {
 #[derive(Debug, Clone)]
 pub struct Harness {
     jobs: usize,
+    threads_per_job: usize,
     cache_dir: Option<PathBuf>,
     timeout: Option<Duration>,
     narrate: bool,
@@ -89,6 +90,7 @@ impl Default for Harness {
     fn default() -> Self {
         Harness {
             jobs: default_jobs(),
+            threads_per_job: 1,
             cache_dir: None,
             timeout: None,
             narrate: false,
@@ -113,6 +115,15 @@ impl Harness {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Declares how many simulator threads each job spawns internally
+    /// (the GPU engine's `SimThreads` knob), so the executor can keep
+    /// `jobs × threads_per_job` within the machine's parallelism. The
+    /// harness itself never sets that knob — the binary does.
+    pub fn threads_per_job(mut self, threads: usize) -> Self {
+        self.threads_per_job = threads.max(1);
         self
     }
 
@@ -176,12 +187,13 @@ impl Harness {
         self
     }
 
-    /// Applies the shared CLI flags (`--jobs`, `--no-cache`,
-    /// `--timeout-secs`, `--retries`, `--resume`) on top of the
-    /// current configuration. `default_cache_dir` is used unless
-    /// `--no-cache` was given.
+    /// Applies the shared CLI flags (`--jobs`, `--sim-threads`,
+    /// `--no-cache`, `--timeout-secs`, `--retries`, `--resume`) on top
+    /// of the current configuration. `default_cache_dir` is used
+    /// unless `--no-cache` was given.
     pub fn apply_cli(mut self, args: &CliArgs, default_cache_dir: impl Into<PathBuf>) -> Self {
         self.jobs = args.jobs.max(1);
+        self.threads_per_job = args.sim_threads.max(1);
         self.timeout = args.timeout;
         self.retries = args.retries;
         self.resume = args.resume;
@@ -281,6 +293,7 @@ impl Harness {
             retries: self.retries,
             backoff: self.backoff,
             backoff_cap: self.backoff_cap,
+            threads_per_job: self.threads_per_job,
         };
         let ctx = ExecContext {
             cache: cache.as_ref(),

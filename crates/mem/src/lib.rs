@@ -45,4 +45,4 @@ pub use cache::{AccessKind, Cache, CacheConfig};
 pub use coalescer::{StreamCoalescer, WarpCoalescer};
 pub use dram::{Dram, DramConfig};
 pub use line::{line_containing, line_index, Addr, LineSize};
-pub use system::{MemOutcome, MemorySystem, MemorySystemConfig};
+pub use system::{MemOutcome, MemorySystem, MemorySystemConfig, RunOutcome, TxRun};

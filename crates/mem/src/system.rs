@@ -72,6 +72,25 @@ pub struct RunOutcome {
     pub latency_ns: f64,
 }
 
+/// One L2-bound transaction run: `lines` consecutive line accesses
+/// starting at `addr`, all of `kind`.
+///
+/// This is the unit every replayed access stream is expressed in —
+/// the GPU engine's ordered L2 replay and the SCU's sequential
+/// streams both reduce to a sequence of `TxRun`s applied through
+/// [`MemorySystem::apply_run`], so the shared L2/DRAM observes one
+/// canonical transaction vocabulary regardless of which frontend
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRun {
+    /// First line's address (any byte within the line).
+    pub addr: Addr,
+    /// Number of consecutive lines; must be at least 1.
+    pub lines: u64,
+    /// Read or write, applied to every line of the run.
+    pub kind: AccessKind,
+}
+
 /// Shared L2 + DRAM.
 ///
 /// ```
@@ -209,6 +228,27 @@ impl MemorySystem {
             lines,
             l2_hits: hits,
             latency_ns: latency,
+        }
+    }
+
+    /// Applies one [`TxRun`]: the single replay entry point for
+    /// ordered transaction streams.
+    ///
+    /// Behaviour is exactly [`MemorySystem::access`] for a one-line
+    /// run and [`MemorySystem::access_run`] otherwise — access for
+    /// access, in ascending address order — so a stream replayed
+    /// through `apply_run` drives the L2/DRAM through the identical
+    /// state sequence as the loop that recorded it.
+    pub fn apply_run(&mut self, run: TxRun) -> RunOutcome {
+        if run.lines == 1 {
+            let out = self.access(run.addr, run.kind);
+            RunOutcome {
+                lines: 1,
+                l2_hits: out.l2_hit as u64,
+                latency_ns: out.latency_ns,
+            }
+        } else {
+            self.access_run(run.addr, run.lines, run.kind)
         }
     }
 
@@ -470,6 +510,32 @@ mod tests {
         assert!((run.latency_ns - latency).abs() < 1e-9);
         assert_eq!(batched.stats(), serial.stats());
         assert_eq!(batched.service_time_ns(), serial.service_time_ns());
+    }
+
+    #[test]
+    fn apply_run_matches_both_underlying_paths() {
+        let mut via_run = MemorySystem::new(MemorySystemConfig::tx1());
+        let mut direct = MemorySystem::new(MemorySystemConfig::tx1());
+        // Single line: identical to one access().
+        let a = via_run.apply_run(TxRun {
+            addr: 0x2000,
+            lines: 1,
+            kind: AccessKind::Read,
+        });
+        let b = direct.access(0x2000, AccessKind::Read);
+        assert_eq!(a.lines, 1);
+        assert_eq!(a.l2_hits, b.l2_hit as u64);
+        assert!((a.latency_ns - b.latency_ns).abs() < 1e-12);
+        // Multi-line: identical to one access_run().
+        let a = via_run.apply_run(TxRun {
+            addr: 0x8000,
+            lines: 5,
+            kind: AccessKind::Write,
+        });
+        let b = direct.access_run(0x8000, 5, AccessKind::Write);
+        assert_eq!(a, b);
+        assert_eq!(via_run.stats(), direct.stats());
+        assert_eq!(via_run.service_time_ns(), direct.service_time_ns());
     }
 
     #[test]

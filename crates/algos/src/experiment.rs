@@ -1,0 +1,234 @@
+//! Experiment configuration and matrix planning.
+//!
+//! Lives here (rather than in `scu-bench`) because every consumer of
+//! the measurement matrix — the figure renderers in `scu-bench`, the
+//! JSON exporter, and the sweep server in `scu-server` — must plan
+//! byte-identical [`Cell`]s from the same knobs. `scu-bench` re-exports
+//! [`ExperimentConfig`] for compatibility.
+
+use scu_core::{HashTableConfig, ScuConfig};
+use scu_graph::Dataset;
+
+use crate::cell::Cell;
+use crate::runner::{Algorithm, Mode};
+use crate::system::SystemKind;
+
+/// All four machine variants, in the paper's order — the mode set the
+/// full reproduction matrix sweeps.
+pub const ALL_MODES: [Mode; 4] = [
+    Mode::GpuBaseline,
+    Mode::ScuBasic,
+    Mode::ScuFilteringOnly,
+    Mode::ScuEnhanced,
+];
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Fraction of the published dataset node counts to generate
+    /// (1.0 = full Table 5 sizes).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Datasets included.
+    pub datasets: Vec<Dataset>,
+    /// Algorithms included (defaults to [`Algorithm::EXTENDED`]: the
+    /// paper's three primitives plus the CC and k-core extensions).
+    pub algos: Vec<Algorithm>,
+    /// PageRank iteration cap for experiment runs.
+    pub pr_iters: u32,
+    /// Scale the SCU's filtering/grouping hash tables with the
+    /// datasets, preserving the paper's hash-to-graph capacity ratio
+    /// (Table 2 sizes the tables for the full-size graphs; running
+    /// 1/16-scale graphs against full-size tables would make the
+    /// filter unrealistically collision-free).
+    pub scale_hash: bool,
+}
+
+impl ExperimentConfig {
+    /// The default experiment scale: 1/16 of published sizes — large
+    /// enough that node arrays exceed the TX1 L2 and frontier shapes
+    /// match the full-size regime, small enough to run the entire
+    /// figure suite in minutes.
+    pub fn new() -> Self {
+        ExperimentConfig {
+            scale: 1.0 / 16.0,
+            seed: 42,
+            datasets: Dataset::ALL.to_vec(),
+            algos: Algorithm::EXTENDED.to_vec(),
+            pr_iters: 5,
+            scale_hash: true,
+        }
+    }
+
+    /// The SCU configuration for `kind` under this experiment's scale:
+    /// hash capacities shrink with the graphs when
+    /// [`ExperimentConfig::scale_hash`] is set.
+    pub fn scu_config(&self, kind: SystemKind) -> ScuConfig {
+        let mut cfg = kind.scu_config();
+        if self.scale_hash {
+            for h in [
+                &mut cfg.filter_bfs_hash,
+                &mut cfg.filter_sssp_hash,
+                &mut cfg.grouping_hash,
+            ] {
+                scale_hash_geometry(h, self.scale);
+            }
+        }
+        cfg
+    }
+
+    /// Reads `SCU_SCALE`, `SCU_SEED` and `SCU_PR_ITERS` from the
+    /// environment, falling back to [`ExperimentConfig::new`].
+    pub fn from_env() -> Self {
+        let mut cfg = ExperimentConfig::new();
+        if let Some(s) = std::env::var("SCU_SCALE").ok().and_then(|v| v.parse().ok()) {
+            cfg.scale = s;
+        }
+        if let Some(s) = std::env::var("SCU_SEED").ok().and_then(|v| v.parse().ok()) {
+            cfg.seed = s;
+        }
+        if let Some(s) = std::env::var("SCU_PR_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.pr_iters = s;
+        }
+        cfg
+    }
+
+    /// A reduced configuration for unit tests and Criterion benches:
+    /// 1/128 scale, two structurally distinct datasets.
+    pub fn tiny() -> Self {
+        ExperimentConfig {
+            scale: 1.0 / 128.0,
+            seed: 42,
+            datasets: vec![Dataset::Cond, Dataset::Kron],
+            algos: Algorithm::EXTENDED.to_vec(),
+            pr_iters: 3,
+            scale_hash: true,
+        }
+    }
+
+    /// The fully-specified [`Cell`] for one (algorithm, dataset,
+    /// system, mode) point under this configuration — the single
+    /// definition every entry path (CLI, JSON export, sweep server)
+    /// shares, so their cache keys and results are byte-identical.
+    pub fn cell(
+        &self,
+        algorithm: Algorithm,
+        dataset: Dataset,
+        system: SystemKind,
+        mode: Mode,
+    ) -> Cell {
+        Cell {
+            algorithm,
+            dataset,
+            system,
+            mode,
+            pr_iters: self.pr_iters,
+            scale: self.scale,
+            seed: self.seed,
+            scu_config: Some(self.scu_config(system)),
+        }
+    }
+}
+
+/// Plans the experiment grid: one [`Cell`] per (dataset × algorithm ×
+/// system × mode) combination, in that nesting order. `filter` keeps
+/// only cells whose [`Cell::id`] contains the substring.
+pub fn plan_cells(cfg: &ExperimentConfig, modes: &[Mode], filter: Option<&str>) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &dataset in &cfg.datasets {
+        for &algorithm in &cfg.algos {
+            for system in SystemKind::ALL {
+                for &mode in modes {
+                    let cell = cfg.cell(algorithm, dataset, system, mode);
+                    if filter.is_none_or(|f| cell.id().contains(f)) {
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Scales a hash geometry to `scale` of its capacity, rounded to whole
+/// sets (at least one).
+fn scale_hash_geometry(h: &mut HashTableConfig, scale: f64) {
+    let unit = (h.ways * h.entry_bytes) as u64;
+    let sets = ((h.size_bytes as f64 * scale / unit as f64).round() as u64).max(1);
+    h.size_bytes = sets * unit;
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_datasets() {
+        let c = ExperimentConfig::new();
+        assert_eq!(c.datasets.len(), 6);
+        assert_eq!(
+            c.algos.len(),
+            5,
+            "paper's three primitives plus CC and k-core"
+        );
+        assert!(c.scale > 0.0 && c.scale <= 1.0);
+    }
+
+    #[test]
+    fn scaled_hash_preserves_geometry() {
+        let cfg = ExperimentConfig::new();
+        let scu = cfg.scu_config(SystemKind::Tx1);
+        scu.validate().unwrap();
+        let full = SystemKind::Tx1.scu_config();
+        assert!(scu.filter_bfs_hash.size_bytes < full.filter_bfs_hash.size_bytes);
+        let ratio = scu.filter_bfs_hash.size_bytes as f64 / full.filter_bfs_hash.size_bytes as f64;
+        assert!((ratio - cfg.scale).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn hash_scaling_can_be_disabled() {
+        let mut cfg = ExperimentConfig::new();
+        cfg.scale_hash = false;
+        let scu = cfg.scu_config(SystemKind::Gtx980);
+        assert_eq!(scu, SystemKind::Gtx980.scu_config());
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let c = ExperimentConfig::tiny();
+        assert!(c.scale < ExperimentConfig::new().scale);
+        assert!(c.datasets.len() < 6);
+    }
+
+    #[test]
+    fn full_plan_covers_240_cells() {
+        let cells = plan_cells(&ExperimentConfig::new(), &ALL_MODES, None);
+        assert_eq!(
+            cells.len(),
+            240,
+            "6 datasets x 5 algos x 2 systems x 4 modes"
+        );
+        let filtered = plan_cells(&ExperimentConfig::new(), &ALL_MODES, Some("BFS/kron"));
+        assert!(filtered.iter().all(|c| c.id().contains("BFS/kron")));
+        assert_eq!(filtered.len(), 8);
+    }
+
+    #[test]
+    fn planned_cells_carry_scaled_scu_configs() {
+        let cfg = ExperimentConfig::tiny();
+        let cells = plan_cells(&cfg, &ALL_MODES, None);
+        assert!(cells
+            .iter()
+            .all(|c| c.scu_config == Some(cfg.scu_config(c.system))));
+    }
+}

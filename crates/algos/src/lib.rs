@@ -42,6 +42,7 @@ pub mod bfs;
 pub mod cc;
 pub mod cell;
 pub mod device_graph;
+pub mod experiment;
 pub mod kcore;
 pub mod kernels;
 pub mod pagerank;
@@ -51,6 +52,7 @@ pub mod sssp;
 pub mod system;
 
 pub use cell::{shared_graph, Cell, CellResult, MODEL_VERSION};
+pub use experiment::{plan_cells, ExperimentConfig, ALL_MODES};
 pub use report::{Phase, RunReport};
 pub use runner::{run, Algorithm, Mode, RunOutput};
 pub use scu_gpu::SimThreads;

@@ -54,6 +54,14 @@ impl Algorithm {
             Algorithm::KCore => "KCORE",
         }
     }
+
+    /// Parses the paper's short name, case-insensitively — the shared
+    /// validator for CLI positionals and server request specs.
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::EXTENDED
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -90,6 +98,13 @@ impl Mode {
             Mode::ScuFilteringOnly => "scu-filtering",
             Mode::ScuEnhanced => "scu-enhanced",
         }
+    }
+
+    /// Parses the short label, case-insensitively.
+    pub fn from_name(name: &str) -> Option<Mode> {
+        crate::experiment::ALL_MODES
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
     }
 }
 

@@ -41,6 +41,13 @@ impl SystemKind {
         }
     }
 
+    /// Parses the paper's name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<SystemKind> {
+        SystemKind::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
     /// GPU configuration for this platform.
     pub fn gpu_config(self) -> GpuConfig {
         match self {

@@ -15,7 +15,7 @@
 use scu_algos::runner::Mode;
 use scu_bench::experiments::matrix::{Matrix, Measurement};
 use scu_bench::ExperimentConfig;
-use scu_harness::{CliArgs, Harness};
+use scu_harness::CliArgs;
 use serde_json::Value;
 
 fn row(e: &Measurement) -> Value {
@@ -55,48 +55,40 @@ fn row(e: &Measurement) -> Value {
     ])
 }
 
+/// All four machine variants, in the paper's order.
+const MODES: [Mode; 4] = [
+    Mode::GpuBaseline,
+    Mode::ScuBasic,
+    Mode::ScuFilteringOnly,
+    Mode::ScuEnhanced,
+];
+
 fn main() {
     let args = CliArgs::from_env();
-    if !args.rest.is_empty() {
-        eprintln!(
-            "unexpected arguments: {:?}\n{}",
-            args.rest,
-            scu_harness::cli::USAGE
-        );
-        std::process::exit(2);
-    }
+    scu_harness::session::reject_unparsed_args(&args);
     if args.trace.is_some() {
         eprintln!("note: --trace is honoured by run_one and reproduce_all, not export_json");
     }
     scu_algos::SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
-    let harness = Harness::new()
-        .apply_cli(&args, "results/cache")
-        .manifest("results/manifest.json")
-        .handle_sigint(true);
-    let (m, sweep) = Matrix::collect_with(
-        &cfg,
-        &[
-            Mode::GpuBaseline,
-            Mode::ScuBasic,
-            Mode::ScuFilteringOnly,
-            Mode::ScuEnhanced,
-        ],
-        &harness,
-        args.filter.as_deref(),
-    );
+    if let Some(f) = args.filter.as_deref() {
+        if Matrix::plan(&cfg, &MODES, Some(f)).is_empty() {
+            eprintln!(
+                "--filter '{f}' matches none of the {} cells in the matrix",
+                Matrix::plan(&cfg, &MODES, None).len()
+            );
+            std::process::exit(2);
+        }
+    }
+    let harness = scu_harness::session::standard_harness(&args);
+    let (m, sweep) = Matrix::collect_with(&cfg, &MODES, &harness, args.filter.as_deref());
     let rows: Vec<Value> = m.entries().iter().map(row).collect();
     println!(
         "{}",
         serde_json::to_string_pretty(&Value::Array(rows)).expect("serialisable")
     );
-    if sweep.summary.was_interrupted() {
-        eprintln!("{}", sweep.summary.render());
-        eprintln!("interrupted — rerun with --resume to finish the remaining cells");
-        std::process::exit(130);
-    }
     if !sweep.summary.all_done() {
         eprintln!("{}", sweep.summary.render());
-        std::process::exit(1);
     }
+    scu_harness::session::exit_sweep(&sweep.summary);
 }

@@ -27,7 +27,7 @@ use scu_bench::experiments::{
     workload,
 };
 use scu_bench::ExperimentConfig;
-use scu_harness::{CliArgs, Harness};
+use scu_harness::CliArgs;
 
 /// All four machine variants, in the paper's order.
 const MODES: [Mode; 4] = [
@@ -39,24 +39,23 @@ const MODES: [Mode; 4] = [
 
 fn main() {
     let args = CliArgs::from_env();
-    if !args.rest.is_empty() {
-        eprintln!(
-            "unexpected arguments: {:?}\n{}",
-            args.rest,
-            scu_harness::cli::USAGE
-        );
-        std::process::exit(2);
-    }
+    scu_harness::session::reject_unparsed_args(&args);
     // Per-cell engine parallelism; the harness's apply_cli separately
     // clamps jobs x sim-threads to the machine.
     scu_algos::SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
-    let harness = Harness::new()
-        .apply_cli(&args, "results/cache")
+    if let Some(f) = args.filter.as_deref() {
+        if Matrix::plan(&cfg, &MODES, Some(f)).is_empty() {
+            eprintln!(
+                "--filter '{f}' matches none of the {} cells in the matrix",
+                Matrix::plan(&cfg, &MODES, None).len()
+            );
+            std::process::exit(2);
+        }
+    }
+    let harness = scu_harness::session::standard_harness(&args)
         .narrate(true)
-        .progress_file("results/reproduce_progress.txt")
-        .manifest("results/manifest.json")
-        .handle_sigint(true);
+        .progress_file("results/reproduce_progress.txt");
     let (m, sweep) = match &args.trace {
         Some(path) => {
             let (m, sweep, timelines) =
@@ -105,13 +104,7 @@ fn main() {
     {
         eprintln!("cannot write results/reproduce_output.txt: {e}");
     }
-    if sweep.summary.was_interrupted() {
-        eprintln!("interrupted — rerun with --resume to finish the remaining cells");
-        std::process::exit(130);
-    }
-    if !sweep.summary.all_done() {
-        std::process::exit(1);
-    }
+    scu_harness::session::exit_sweep(&sweep.summary);
 }
 
 /// The full paper reproduction: every table and figure.

@@ -20,6 +20,13 @@
 //! nanoseconds and the ten most expensive iterations — the quick
 //! "where does this cell's time go" view without leaving the
 //! terminal.
+//!
+//! With `--remote URL` the cell is obtained from a running `scu_serve`
+//! daemon instead of simulated locally: a cached cell is fetched with
+//! zero recompute, a cold one is submitted as a one-cell sweep and
+//! awaited. The printed report is byte-identical to the local path —
+//! both build the cell through the same `ExperimentConfig::cell` and
+//! serialise the same `CellResult`.
 
 use scu_algos::cell::{Cell, CellResult};
 use scu_algos::runner::{Algorithm, Mode};
@@ -82,6 +89,62 @@ fn obtain(cell: &Cell, no_cache: bool) -> (CellResult, bool) {
     (cell.run(), false)
 }
 
+/// Obtains the cell from a running `scu_serve` daemon. A warm cell is
+/// a pure cache read; a cold one is submitted as a one-cell sweep,
+/// awaited via the event stream, then fetched from the now-warm cache.
+/// Both paths deserialise the same `CellResult` envelope the local
+/// cache holds, so the printed report is byte-identical.
+fn obtain_remote(cell: &Cell, url: &str) -> Result<(CellResult, bool), String> {
+    use serde_json::Value;
+
+    let client = scu_server::Client::new(url);
+    let id = cell.id();
+    let parse = |value: &Value| {
+        let payload = value
+            .get("value")
+            .ok_or_else(|| format!("cell response for {id} carries no value"))?;
+        CellResult::from_value(payload).map_err(|e| format!("cell {id} payload is malformed: {e}"))
+    };
+    if let Some(entry) = client.cell(&id).map_err(|e| e.to_string())? {
+        return Ok((parse(&entry)?, true));
+    }
+    let spec = Value::Object(vec![
+        (
+            "algorithm".to_string(),
+            Value::Str(cell.algorithm.name().to_string()),
+        ),
+        (
+            "dataset".to_string(),
+            Value::Str(cell.dataset.name().to_string()),
+        ),
+        (
+            "system".to_string(),
+            Value::Str(cell.system.name().to_string()),
+        ),
+        ("mode".to_string(), Value::Str(cell.mode.name().to_string())),
+    ]);
+    let body = Value::Object(vec![("cells".to_string(), Value::Array(vec![spec]))]);
+    let sweep = client.submit(&body).map_err(|e| e.to_string())?;
+    let status = client.wait(sweep).map_err(|e| e.to_string())?;
+    let entry = client
+        .cell(&id)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| {
+            let detail = status
+                .get("cells")
+                .and_then(Value::as_array)
+                .and_then(|cells| cells.first())
+                .and_then(|c| c.get("error"))
+                .and_then(Value::as_str)
+                .unwrap_or("cell did not complete");
+            format!("remote simulation failed: {detail}")
+        })?;
+    Ok((parse(&entry)?, false))
+}
+
+const USAGE: &str = "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
+     [--no-cache] [--trace PATH] [--profile] [--sim-threads N] [--remote URL]";
+
 fn main() {
     let args = CliArgs::from_env();
     let mut rest = args.rest.clone();
@@ -92,29 +155,43 @@ fn main() {
         }
         None => false,
     };
+    let remote = match rest
+        .iter()
+        .position(|a| a == "--remote" || a.starts_with("--remote="))
+    {
+        Some(i) => {
+            let url = match rest[i].split_once('=') {
+                Some((_, v)) => v.to_string(),
+                None => {
+                    if i + 1 >= rest.len() {
+                        eprintln!("--remote expects a server URL\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                    rest.remove(i + 1)
+                }
+            };
+            rest.remove(i);
+            Some(url)
+        }
+        None => None,
+    };
+    if remote.is_some() && args.trace.is_some() {
+        eprintln!("--trace needs a local simulation; drop --remote to trace this cell");
+        std::process::exit(2);
+    }
     let (algo, dataset, system, mode) = match parse_args(&rest) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
-            eprintln!(
-                "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
-                 [--no-cache] [--trace PATH] [--profile] [--sim-threads N]"
-            );
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
     SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
-    let cell = Cell {
-        algorithm: algo,
-        dataset,
-        system,
-        mode,
-        pr_iters: cfg.pr_iters,
-        scale: cfg.scale,
-        seed: cfg.seed,
-        scu_config: Some(cfg.scu_config(system)),
-    };
+    // The same constructor the sweep binaries and the server use, so
+    // every entry path shares cache keys and result bytes.
+    let cell = cfg.cell(algo, dataset, system, mode);
     if profile {
         // Engine phase counters are process-global; zero them so the
         // breakdown below covers exactly this cell's simulation.
@@ -127,24 +204,34 @@ fn main() {
         stats.nodes, stats.edges, stats.degree_gini
     );
 
-    let (result, cached) = match &args.trace {
-        Some(path) => {
-            // Tracing needs the event stream, so the cell simulates
-            // fresh; the result cache is neither consulted nor written.
-            let (result, timeline) = cell.run_traced();
-            let doc = chrome_trace_document(&[(cell.id(), timeline)]);
-            let text = serde_json::to_string(&doc).expect("serialising a Value cannot fail");
-            match std::fs::write(path, text) {
-                Ok(()) => eprintln!(
-                    "trace written to {} — load it in Perfetto (ui.perfetto.dev) \
-                     or chrome://tracing",
-                    path.display()
-                ),
-                Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+    let (result, cached) = if let Some(url) = &remote {
+        match obtain_remote(&cell, url) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
             }
-            (result, false)
         }
-        None => obtain(&cell, args.no_cache),
+    } else {
+        match &args.trace {
+            Some(path) => {
+                // Tracing needs the event stream, so the cell simulates
+                // fresh; the result cache is neither consulted nor written.
+                let (result, timeline) = cell.run_traced();
+                let doc = chrome_trace_document(&[(cell.id(), timeline)]);
+                let text = serde_json::to_string(&doc).expect("serialising a Value cannot fail");
+                match std::fs::write(path, text) {
+                    Ok(()) => eprintln!(
+                        "trace written to {} — load it in Perfetto (ui.perfetto.dev) \
+                     or chrome://tracing",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+                }
+                (result, false)
+            }
+            None => obtain(&cell, args.no_cache),
+        }
     };
     if cached {
         println!("(cached result — pass --no-cache to re-simulate)");

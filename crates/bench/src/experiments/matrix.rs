@@ -54,31 +54,11 @@ pub struct Matrix {
 impl Matrix {
     /// Plans the grid: one [`Cell`] per (dataset × algorithm × system
     /// × mode) combination, in that nesting order. `filter` keeps only
-    /// cells whose [`Cell::id`] contains the substring.
+    /// cells whose [`Cell::id`] contains the substring. Delegates to
+    /// [`scu_algos::experiment::plan_cells`], the single planner shared
+    /// with the sweep server.
     pub fn plan(cfg: &ExperimentConfig, modes: &[Mode], filter: Option<&str>) -> Vec<Cell> {
-        let mut cells = Vec::new();
-        for &dataset in &cfg.datasets {
-            for &algorithm in &cfg.algos {
-                for system in SystemKind::ALL {
-                    for &mode in modes {
-                        let cell = Cell {
-                            algorithm,
-                            dataset,
-                            system,
-                            mode,
-                            pr_iters: cfg.pr_iters,
-                            scale: cfg.scale,
-                            seed: cfg.seed,
-                            scu_config: Some(cfg.scu_config(system)),
-                        };
-                        if filter.is_none_or(|f| cell.id().contains(f)) {
-                            cells.push(cell);
-                        }
-                    }
-                }
-            }
-        }
-        cells
+        scu_algos::experiment::plan_cells(cfg, modes, filter)
     }
 
     /// Runs every combination on a default [`Harness`] (all cores, no

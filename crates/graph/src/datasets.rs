@@ -47,6 +47,13 @@ impl Dataset {
         Dataset::Msdoor,
     ];
 
+    /// Parses the paper's name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+
     /// The paper's name for the dataset.
     pub fn name(self) -> &'static str {
         match self {

@@ -46,6 +46,7 @@ pub mod hash;
 pub mod job;
 pub mod journal;
 pub mod progress;
+pub mod session;
 
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::CliArgs;
@@ -53,7 +54,7 @@ pub use error::HarnessError;
 pub use executor::{default_jobs, effective_workers, ExecContext, ExecOptions, ExecResult};
 pub use job::{Attempt, Job, JobGraph, JobId, Outcome};
 pub use journal::{Journal, JournalEntry};
-pub use progress::{Progress, SweepSummary};
+pub use progress::{Progress, ProgressEvent, ProgressObserver, SweepSummary};
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -70,7 +71,7 @@ pub struct Sweep {
 }
 
 /// Builder-style front door: configure once, run a [`JobGraph`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Harness {
     jobs: usize,
     threads_per_job: usize,
@@ -78,12 +79,33 @@ pub struct Harness {
     timeout: Option<Duration>,
     narrate: bool,
     progress_file: Option<PathBuf>,
+    observer: Option<progress::ProgressObserver>,
     retries: u32,
     backoff: Duration,
     backoff_cap: Duration,
     manifest: Option<PathBuf>,
     resume: bool,
     handle_sigint: bool,
+    cancel_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("jobs", &self.jobs)
+            .field("threads_per_job", &self.threads_per_job)
+            .field("cache_dir", &self.cache_dir)
+            .field("timeout", &self.timeout)
+            .field("narrate", &self.narrate)
+            .field("progress_file", &self.progress_file)
+            .field("observer", &self.observer.is_some())
+            .field("retries", &self.retries)
+            .field("manifest", &self.manifest)
+            .field("resume", &self.resume)
+            .field("handle_sigint", &self.handle_sigint)
+            .field("cancel_flag", &self.cancel_flag.is_some())
+            .finish()
+    }
 }
 
 impl Default for Harness {
@@ -95,12 +117,14 @@ impl Default for Harness {
             timeout: None,
             narrate: false,
             progress_file: None,
+            observer: None,
             retries: 0,
             backoff: Duration::from_millis(100),
             backoff_cap: Duration::from_secs(2),
             manifest: None,
             resume: false,
             handle_sigint: false,
+            cancel_flag: None,
         }
     }
 }
@@ -149,6 +173,24 @@ impl Harness {
     /// `results/reproduce_progress.txt`).
     pub fn progress_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.progress_file = Some(path.into());
+        self
+    }
+
+    /// Delivers every per-job completion to `observer` as a structured
+    /// [`ProgressEvent`], from worker threads — the hook the sweep
+    /// server streams to its clients.
+    pub fn observer(mut self, observer: progress::ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Drains the sweep when `flag` rises, exactly like SIGINT does —
+    /// in-flight cells finish and reach the journal, unstarted cells
+    /// report [`Outcome::Cancelled`] — but scoped to this harness
+    /// instead of the process-global signal flag. Takes precedence
+    /// over [`Harness::handle_sigint`]'s flag when both are set.
+    pub fn cancel_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel_flag = Some(flag);
         self
     }
 
@@ -287,6 +329,9 @@ impl Harness {
                 }
             }
         }
+        if let Some(observer) = &self.observer {
+            progress = progress.with_observer(std::sync::Arc::clone(observer));
+        }
         let opts = ExecOptions {
             jobs: self.jobs,
             timeout: self.timeout,
@@ -300,10 +345,10 @@ impl Harness {
             journal: journal.as_ref(),
             resume: resume_map.as_ref(),
             resume_digests: resume_digests.as_ref(),
-            cancel: if self.handle_sigint {
-                Some(cancel::flag())
-            } else {
-                None
+            cancel: match (&self.cancel_flag, self.handle_sigint) {
+                (Some(flag), _) => Some(flag.as_ref()),
+                (None, true) => Some(cancel::flag()),
+                (None, false) => None,
             },
         };
         let start = Instant::now();

@@ -4,11 +4,41 @@ use std::fs::File;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::lock_unpoisoned;
 use crate::job::{JobGraph, Outcome};
+
+/// One per-job completion, as delivered to a progress observer — the
+/// hook the sweep server streams to its clients. Carries everything
+/// the human-readable line is rendered from, in structured form.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// 1-based completion sequence number (completion order, not
+    /// insertion order).
+    pub seq: usize,
+    /// Jobs in the sweep.
+    pub total: usize,
+    /// The job's id.
+    pub id: String,
+    /// The outcome's one-word label (`done`, `cached`, `FAILED`, …).
+    pub label: &'static str,
+    /// Whether the value came from the cache or resume journal.
+    pub cached: bool,
+    /// Wall-clock the job took (zero-ish for cached jobs).
+    pub duration: Duration,
+    /// The failure message, for `FAILED` outcomes.
+    pub error: Option<String>,
+    /// Completions per second over the sweep so far.
+    pub cells_per_sec: f64,
+    /// Projected time to finish the remaining jobs at the current
+    /// rate; `None` once everything finished.
+    pub eta: Option<Duration>,
+}
+
+/// Callback invoked on every job completion, from worker threads.
+pub type ProgressObserver = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
 
 /// Where per-job completion lines go. Thread-safe; shared by all
 /// workers.
@@ -18,6 +48,7 @@ pub struct Progress {
     start: Instant,
     to_stderr: bool,
     file: Option<Mutex<File>>,
+    observer: Option<ProgressObserver>,
 }
 
 impl Progress {
@@ -29,6 +60,7 @@ impl Progress {
             start: Instant::now(),
             to_stderr: false,
             file: None,
+            observer: None,
         }
     }
 
@@ -51,9 +83,50 @@ impl Progress {
         Ok(self)
     }
 
+    /// Additionally delivers every completion to `observer`, from
+    /// whichever worker thread finished the job.
+    pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Throughput over the sweep so far: completions per second and
+    /// the projected time to drain the remainder at that rate.
+    fn throughput(&self, finished: usize) -> (f64, Option<Duration>) {
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = finished as f64 / elapsed;
+        let remaining = self.total.saturating_sub(finished);
+        let eta =
+            (remaining > 0 && rate > 0.0).then(|| Duration::from_secs_f64(remaining as f64 / rate));
+        (rate, eta)
+    }
+
     /// Records one finished job and emits its line.
     pub fn job_finished(&self, id: &str, outcome: &Outcome) {
         let n = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+        let (cells_per_sec, eta) = self.throughput(n);
+        if let Some(observer) = &self.observer {
+            let (cached, duration) = match outcome {
+                Outcome::Done {
+                    cached, duration, ..
+                } => (*cached, *duration),
+                _ => (false, Duration::ZERO),
+            };
+            observer(&ProgressEvent {
+                seq: n,
+                total: self.total,
+                id: id.to_string(),
+                label: outcome.label(),
+                cached,
+                duration,
+                error: match outcome {
+                    Outcome::Failed { error, .. } => Some(error.clone()),
+                    _ => None,
+                },
+                cells_per_sec,
+                eta,
+            });
+        }
         if !self.to_stderr && self.file.is_none() {
             return;
         }
@@ -64,6 +137,12 @@ impl Progress {
                 n => format!(" (after {n} retries)"),
             }
         };
+        // The pace suffix turns a silent multi-minute sweep into a
+        // live dashboard line: how fast cells land, when it will end.
+        let pace = match eta {
+            Some(eta) => format!(" [{cells_per_sec:.1} cells/s, ETA {}]", fmt_duration(eta)),
+            None => format!(" [{cells_per_sec:.1} cells/s]"),
+        };
         let line = match outcome {
             Outcome::Done {
                 duration,
@@ -71,7 +150,7 @@ impl Progress {
                 retries,
                 ..
             } => format!(
-                "[{n}/{}] {id} {} ({}){}",
+                "[{n}/{}] {id} {} ({}){}{pace}",
                 self.total,
                 if *cached { "cached" } else { "done" },
                 fmt_duration(*duration),

@@ -1,0 +1,211 @@
+//! The sweep-request JSON surface and its validation.
+//!
+//! A `POST /sweeps` body names cells one of two ways:
+//!
+//! ```json
+//! {"filter": "BFS/kron"}
+//! {"filter": "BFS/", "modes": ["gpu", "scu-enhanced"]}
+//! {"cells": [{"algorithm": "BFS", "dataset": "kron",
+//!             "system": "TX1", "mode": "scu-enhanced"}]}
+//! ```
+//!
+//! Either way the request resolves to cells of the server's own
+//! experiment matrix — the same 240-cell plan the CLI sweeps run — so
+//! a served result is byte-identical to `run_one`'s and shares its
+//! cache entry. Requests naming anything outside the matrix are
+//! rejected with a message listing the bad name.
+
+use scu_algos::cell::Cell;
+use scu_algos::experiment::{plan_cells, ExperimentConfig, ALL_MODES};
+use scu_algos::runner::{Algorithm, Mode};
+use scu_algos::SystemKind;
+use scu_graph::Dataset;
+use serde_json::Value;
+
+/// Resolves a `POST /sweeps` body to planned cells, in request order,
+/// duplicates removed.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON shapes, unknown
+/// algorithm/dataset/system/mode names, filters matching nothing, and
+/// empty cell lists.
+pub fn parse_sweep_request(body: &Value, cfg: &ExperimentConfig) -> Result<Vec<Cell>, String> {
+    let cells = match (body.get("filter"), body.get("cells")) {
+        (Some(_), Some(_)) => {
+            return Err("request must name either 'filter' or 'cells', not both".to_string())
+        }
+        (Some(filter), None) => from_filter(filter, body.get("modes"), cfg)?,
+        (None, Some(specs)) => from_specs(specs, cfg)?,
+        (None, None) => {
+            return Err("request must carry a 'filter' string or a 'cells' array".to_string())
+        }
+    };
+    let mut seen = Vec::new();
+    let mut unique = Vec::new();
+    for cell in cells {
+        let id = cell.id();
+        if !seen.contains(&id) {
+            seen.push(id);
+            unique.push(cell);
+        }
+    }
+    Ok(unique)
+}
+
+fn from_filter(
+    filter: &Value,
+    modes: Option<&Value>,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Cell>, String> {
+    let filter = filter
+        .as_str()
+        .ok_or_else(|| "'filter' must be a string".to_string())?;
+    let modes: Vec<Mode> = match modes {
+        None => ALL_MODES.to_vec(),
+        Some(list) => list
+            .as_array()
+            .ok_or_else(|| "'modes' must be an array of mode names".to_string())?
+            .iter()
+            .map(|m| {
+                let name = m
+                    .as_str()
+                    .ok_or_else(|| "'modes' entries must be strings".to_string())?;
+                Mode::from_name(name).ok_or_else(|| format!("unknown mode '{name}'"))
+            })
+            .collect::<Result<_, String>>()?,
+    };
+    if modes.is_empty() {
+        return Err("'modes' must not be empty".to_string());
+    }
+    let cells = plan_cells(cfg, &modes, Some(filter));
+    if cells.is_empty() {
+        return Err(format!(
+            "filter '{filter}' matches no cell of the experiment matrix"
+        ));
+    }
+    Ok(cells)
+}
+
+fn from_specs(specs: &Value, cfg: &ExperimentConfig) -> Result<Vec<Cell>, String> {
+    let specs = specs
+        .as_array()
+        .ok_or_else(|| "'cells' must be an array".to_string())?;
+    if specs.is_empty() {
+        return Err("'cells' must not be empty".to_string());
+    }
+    specs
+        .iter()
+        .map(|spec| parse_cell_spec(spec, cfg))
+        .collect()
+}
+
+fn parse_cell_spec(spec: &Value, cfg: &ExperimentConfig) -> Result<Cell, String> {
+    let name = |field: &str| -> Result<&str, String> {
+        spec.get(field)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("cell spec is missing the '{field}' string"))
+    };
+    let algorithm = name("algorithm")
+        .and_then(|n| Algorithm::from_name(n).ok_or_else(|| format!("unknown algorithm '{n}'")))?;
+    let dataset = name("dataset")
+        .and_then(|n| Dataset::from_name(n).ok_or_else(|| format!("unknown dataset '{n}'")))?;
+    let system = name("system")
+        .and_then(|n| SystemKind::from_name(n).ok_or_else(|| format!("unknown system '{n}'")))?;
+    let mode = name("mode")
+        .and_then(|n| Mode::from_name(n).ok_or_else(|| format!("unknown mode '{n}'")))?;
+    if !cfg.datasets.contains(&dataset) || !cfg.algos.contains(&algorithm) {
+        return Err(format!(
+            "cell {}/{}/{}/{} is outside this server's experiment matrix",
+            algorithm.name(),
+            dataset.name(),
+            system.name(),
+            mode.name()
+        ));
+    }
+    Ok(cfg.cell(algorithm, dataset, system, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::new()
+    }
+
+    fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn filter_resolves_matrix_cells() {
+        let body = obj(vec![("filter", Value::Str("BFS/kron".into()))]);
+        let cells = parse_sweep_request(&body, &cfg()).unwrap();
+        assert_eq!(cells.len(), 8, "2 systems x 4 modes");
+        assert!(cells.iter().all(|c| c.id().contains("BFS/kron")));
+    }
+
+    #[test]
+    fn filter_with_modes_narrows_further() {
+        let body = obj(vec![
+            ("filter", Value::Str("BFS/kron".into())),
+            ("modes", Value::Array(vec![Value::Str("gpu".into())])),
+        ]);
+        let cells = parse_sweep_request(&body, &cfg()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.mode == Mode::GpuBaseline));
+    }
+
+    #[test]
+    fn explicit_cell_specs_resolve_and_dedup() {
+        let spec = obj(vec![
+            ("algorithm", Value::Str("BFS".into())),
+            ("dataset", Value::Str("kron".into())),
+            ("system", Value::Str("TX1".into())),
+            ("mode", Value::Str("scu-enhanced".into())),
+        ]);
+        let body = obj(vec![("cells", Value::Array(vec![spec.clone(), spec]))]);
+        let cells = parse_sweep_request(&body, &cfg()).unwrap();
+        assert_eq!(cells.len(), 1, "duplicate specs collapse");
+        assert_eq!(cells[0].id(), "BFS/kron/TX1/scu-enhanced");
+        // The resolved cell is exactly the planner's cell — same cache
+        // key, same result bytes.
+        let planned = plan_cells(&cfg(), &ALL_MODES, Some("BFS/kron/TX1/scu-enhanced"));
+        assert_eq!(cells[0], planned[0]);
+    }
+
+    #[test]
+    fn bad_names_are_rejected_with_the_offender() {
+        let spec = obj(vec![
+            ("algorithm", Value::Str("DIJKSTRA".into())),
+            ("dataset", Value::Str("kron".into())),
+            ("system", Value::Str("TX1".into())),
+            ("mode", Value::Str("gpu".into())),
+        ]);
+        let body = obj(vec![("cells", Value::Array(vec![spec]))]);
+        let err = parse_sweep_request(&body, &cfg()).unwrap_err();
+        assert!(err.contains("DIJKSTRA"), "{err}");
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected() {
+        let c = cfg();
+        assert!(parse_sweep_request(&obj(vec![]), &c).is_err());
+        assert!(parse_sweep_request(
+            &obj(vec![
+                ("filter", Value::Str("x".into())),
+                ("cells", Value::Array(vec![])),
+            ]),
+            &c
+        )
+        .is_err());
+        assert!(parse_sweep_request(&obj(vec![("cells", Value::Array(vec![]))]), &c).is_err());
+        let err = parse_sweep_request(
+            &obj(vec![("filter", Value::Str("no-such-cell".into()))]),
+            &c,
+        )
+        .unwrap_err();
+        assert!(err.contains("matches no cell"), "{err}");
+    }
+}

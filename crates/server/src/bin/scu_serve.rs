@@ -1,0 +1,95 @@
+//! The sweep daemon.
+//!
+//! ```text
+//! scu_serve [--addr HOST] [--port N] [harness flags]
+//! ```
+//!
+//! Binds `HOST:N` (default `127.0.0.1:7878`; port 0 asks the OS for an
+//! ephemeral port) and prints the resolved address on stdout so
+//! scripts can scrape it. The shared harness flags (`--jobs`,
+//! `--sim-threads`, `--no-cache`, `--retries`) configure the batch
+//! harness; `SCU_SCALE`/`SCU_SEED` configure the served matrix exactly
+//! like the CLI sweeps.
+//!
+//! The first SIGINT drains gracefully: new submissions are refused,
+//! the running batch finishes and reaches the cache and journal, event
+//! streams close, and the process exits 0. A second SIGINT kills
+//! immediately (the handler re-arms the default disposition).
+
+use scu_harness::CliArgs;
+use scu_server::{Scheduler, SchedulerConfig, Server};
+
+const USAGE: &str = "scu_serve options:\n  \
+    --addr HOST       bind address (default: 127.0.0.1)\n  \
+    --port N          bind port (default: 7878; 0 = OS-assigned)\n\
+plus the shared harness flags (--jobs, --sim-threads, --no-cache, --retries)";
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut addr = "127.0.0.1".to_string();
+    let mut port = 7878u16;
+    let mut rest = args.rest.iter();
+    while let Some(arg) = rest.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |what: &str| -> String {
+            inline
+                .clone()
+                .or_else(|| rest.next().cloned())
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} expects {what}\n{USAGE}");
+                    std::process::exit(2);
+                })
+        };
+        match flag {
+            "--addr" => addr = value("a bind address"),
+            "--port" => {
+                let v = value("a port number");
+                port = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--port expects a number 0-65535, got '{v}'\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}\n{}", scu_harness::cli::USAGE);
+                return;
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    scu_algos::SimThreads::set(args.sim_threads);
+    let scheduler = Scheduler::new(SchedulerConfig::from_cli(&args));
+    let server = match Server::bind(&format!("{addr}:{port}"), scheduler) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scraped by scripts and the CI smoke test; keep the shape stable,
+    // and flush explicitly — stdout is block-buffered into a pipe.
+    println!("scu-serve listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    scu_harness::cancel::install_sigint_handler();
+    let handle = server.handle();
+    std::thread::Builder::new()
+        .name("scu-sigint-watch".to_string())
+        .spawn(move || {
+            while !scu_harness::cancel::cancelled() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("scu-serve: SIGINT — draining in-flight cells");
+            handle.shutdown();
+        })
+        .expect("spawning the SIGINT watcher");
+
+    server.run();
+    eprintln!("scu-serve: drained and journaled; goodbye");
+}

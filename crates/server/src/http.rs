@@ -1,0 +1,203 @@
+//! Minimal HTTP/1.1 over [`std::net::TcpStream`].
+//!
+//! The offline build has no `hyper`/`tiny_http`, so the server speaks
+//! the protocol slice it actually needs by hand: request line, headers,
+//! and `Content-Length` bodies in; fixed-length JSON responses and
+//! `Transfer-Encoding: chunked` event streams out. Every connection
+//! carries exactly one request and is closed afterwards
+//! (`Connection: close`), which keeps the server loop and the client
+//! trivially correct at the cost of a TCP handshake per call — noise
+//! next to a simulator cell.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use serde_json::Value;
+
+/// Parsed request: method, percent-free path, and raw body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// The request path, e.g. `/sweeps/3/events` (query strings are
+    /// kept verbatim; no route uses them).
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Largest accepted header block — a request line plus a handful of
+/// headers fits in a fraction of this.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Largest accepted body: a full 240-cell sweep spec is ~30 KB.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Reads one request off the stream.
+///
+/// # Errors
+///
+/// Returns `Err` on connection errors, malformed syntax, or
+/// oversized head/body; the caller drops the connection either way.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    // Accumulate until the blank line ending the header block.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return Err(bad("header block too large"));
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("header block is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let path = parts.next().ok_or_else(|| bad("missing path"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparsable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length JSON response and flushes.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(body).expect("serialising a Value cannot fail");
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        status_text(status),
+        text.len(),
+    )?;
+    stream.flush()
+}
+
+/// Writes the standard error shape: `{"error": "..."}`.
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    respond_json(
+        stream,
+        status,
+        &Value::Object(vec![("error".to_string(), Value::Str(message.to_string()))]),
+    )
+}
+
+/// A `Transfer-Encoding: chunked` response in progress — the event
+/// stream. Each [`ChunkedWriter::send`] is one chunk (one JSON line),
+/// flushed immediately so clients see events as they happen.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(stream: &'a mut TcpStream, status: u16) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status_text(status),
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one event as its own chunk, newline-terminated.
+    pub fn send(&mut self, event: &Value) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(event).expect("serialising a Value cannot fail");
+        line.push('\n');
+        write!(self.stream, "{:x}\r\n{line}\r\n", line.len())?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        write!(self.stream, "0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw request bytes through a real socket pair.
+    fn parse(raw: &[u8]) -> std::io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        tx.write_all(raw).unwrap();
+        tx.flush().unwrap();
+        // Close the sender so a truncated request reads as EOF instead
+        // of blocking the parser forever.
+        drop(tx);
+        let (mut rx, _) = listener.accept().unwrap();
+        read_request(&mut rx)
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let r =
+            parse(b"POST /sweeps HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/sweeps");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse(b"\r\n\r\n").is_err(), "empty request line");
+        assert!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err(),
+            "bad length"
+        );
+        assert!(
+            parse(b"GET /x HTTP/1.1\r\nAccept: text").is_err(),
+            "closed mid-headers"
+        );
+    }
+}

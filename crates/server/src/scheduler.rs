@@ -1,0 +1,800 @@
+//! The sweep scheduler: dedup, in-flight coalescing, batched
+//! execution, and per-sweep event streams.
+//!
+//! Clients submit overlapping sets of matrix cells; the scheduler
+//! guarantees each unique cell is computed **at most once** regardless
+//! of how many sweeps want it:
+//!
+//! 1. **Cache dedup** — a cell already in the on-disk
+//!    [`ResultCache`] resolves at submission time without touching the
+//!    queue (`cache_hits`).
+//! 2. **In-flight coalescing** — a cell already queued or running
+//!    attaches the new sweep as a waiter on the existing computation
+//!    (`coalesced`); only genuinely new cells are scheduled
+//!    (`scheduled`).
+//! 3. **Batched execution** — a single dispatcher thread drains the
+//!    pending set into one [`JobGraph`] and runs it through one shared
+//!    [`Harness`], inheriting its result cache, journal-backed resume,
+//!    retries, fault isolation, and the jobs × sim-threads core clamp.
+//!
+//! Completions stream to every waiting sweep through the harness's
+//! progress-observer hook; a panicking cell fails only the sweeps that
+//! asked for it. Shutdown raises a scheduler-scoped cancel flag: the
+//! running batch drains (in-flight cells finish and reach the
+//! journal), unstarted cells report `cancelled`, and a restarted
+//! daemon resumes warm from the cache and journal.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use scu_algos::cell::Cell;
+use scu_algos::experiment::{plan_cells, ExperimentConfig, ALL_MODES};
+use scu_harness::error::lock_unpoisoned;
+use scu_harness::{CliArgs, Harness, Job, JobGraph, Outcome, ProgressEvent, ResultCache};
+use serde_json::Value;
+
+/// Everything the scheduler needs to build its matrix and harness.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// The experiment knobs (scale, seed, datasets, algorithms) — the
+    /// served matrix is exactly this configuration's 240-cell plan.
+    pub experiment: ExperimentConfig,
+    /// Worker threads per batch (the harness clamps jobs ×
+    /// sim-threads to the machine).
+    pub jobs: usize,
+    /// Per-cell simulator timing lanes, declared to the clamp.
+    pub sim_threads: usize,
+    /// Retries for failed cells.
+    pub retries: u32,
+    /// On-disk result cache; `None` disables dedup-by-cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Completion journal; `None` disables warm restarts.
+    pub manifest: Option<PathBuf>,
+}
+
+impl SchedulerConfig {
+    /// Builds the configuration from the shared harness flags plus the
+    /// `SCU_SCALE`/`SCU_SEED` environment, using the standard
+    /// `results/` paths.
+    pub fn from_cli(args: &CliArgs) -> Self {
+        SchedulerConfig {
+            experiment: ExperimentConfig::from_env(),
+            jobs: args.jobs.max(1),
+            sim_threads: args.sim_threads.max(1),
+            retries: args.retries,
+            cache_dir: (!args.no_cache)
+                .then(|| PathBuf::from(scu_harness::session::DEFAULT_CACHE_DIR)),
+            manifest: Some(PathBuf::from(scu_harness::session::DEFAULT_MANIFEST)),
+        }
+    }
+}
+
+/// How one cell ended, as delivered to the sweeps waiting on it.
+#[derive(Debug, Clone)]
+enum CellOutcome {
+    /// The result value, whether it came from cache/journal, and the
+    /// compute duration in nanoseconds.
+    Done(Value, bool, u64),
+    /// The failure message.
+    Failed(String),
+    /// Never ran: the scheduler shut down or the sweep was cancelled.
+    Cancelled,
+}
+
+/// Throughput attached to live completion events.
+#[derive(Debug, Clone, Copy)]
+struct Pace {
+    cells_per_sec: f64,
+    eta_ns: Option<u64>,
+}
+
+/// One submitted sweep: its planned cells and the event log clients
+/// stream from.
+pub struct SweepState {
+    /// Server-assigned sweep id.
+    pub id: u64,
+    /// Planned cell ids, in request order.
+    pub cells: Vec<String>,
+    log: Mutex<SweepLog>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct SweepLog {
+    /// Append-only JSON events; streaming clients replay from an index.
+    events: Vec<Value>,
+    /// Terminal state per resolved cell id.
+    states: HashMap<String, CellOutcome>,
+    /// Result values in resolution order (rendered in planned order).
+    values: Vec<(String, Value)>,
+    resolved: usize,
+    done_cells: usize,
+    cached_cells: usize,
+    failed_cells: usize,
+    cancelled_cells: usize,
+    /// The whole sweep was cancelled by the client or shutdown.
+    cancelled: bool,
+    /// No more events will be appended.
+    done: bool,
+}
+
+impl std::fmt::Debug for SweepState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepState")
+            .field("id", &self.id)
+            .field("cells", &self.cells)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepState {
+    fn new(id: u64, cells: Vec<String>) -> Arc<Self> {
+        Arc::new(SweepState {
+            id,
+            cells,
+            log: Mutex::new(SweepLog::default()),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Records one cell's terminal outcome, appends its event, and
+    /// closes the sweep when it was the last. Late resolutions after a
+    /// cancel are dropped.
+    fn deliver(&self, cell_id: &str, outcome: &CellOutcome, pace: Option<Pace>) {
+        let mut log = lock_unpoisoned(&self.log, "sweep log");
+        if log.done || log.states.contains_key(cell_id) {
+            return;
+        }
+        log.states.insert(cell_id.to_string(), outcome.clone());
+        log.resolved += 1;
+        let mut event = vec![
+            ("type".to_string(), Value::Str("cell".to_string())),
+            ("sweep".to_string(), Value::U64(self.id)),
+            ("seq".to_string(), Value::U64(log.resolved as u64)),
+            ("total".to_string(), Value::U64(self.cells.len() as u64)),
+            ("cell".to_string(), Value::Str(cell_id.to_string())),
+        ];
+        match outcome {
+            CellOutcome::Done(value, cached, duration_ns) => {
+                log.done_cells += 1;
+                if *cached {
+                    log.cached_cells += 1;
+                }
+                log.values.push((cell_id.to_string(), value.clone()));
+                event.push((
+                    "label".to_string(),
+                    Value::Str(if *cached { "cached" } else { "done" }.to_string()),
+                ));
+                event.push(("cached".to_string(), Value::Bool(*cached)));
+                event.push(("duration_ns".to_string(), Value::U64(*duration_ns)));
+            }
+            CellOutcome::Failed(error) => {
+                log.failed_cells += 1;
+                event.push(("label".to_string(), Value::Str("FAILED".to_string())));
+                event.push(("error".to_string(), Value::Str(error.clone())));
+            }
+            CellOutcome::Cancelled => {
+                log.cancelled_cells += 1;
+                event.push(("label".to_string(), Value::Str("cancelled".to_string())));
+            }
+        }
+        if let Some(p) = pace {
+            event.push(("cells_per_sec".to_string(), Value::F64(p.cells_per_sec)));
+            if let Some(eta) = p.eta_ns {
+                event.push(("eta_ns".to_string(), Value::U64(eta)));
+            }
+        }
+        log.events.push(Value::Object(event));
+        if log.resolved == self.cells.len() {
+            log.done = true;
+            let done = Value::Object(vec![
+                ("type".to_string(), Value::Str("done".to_string())),
+                ("sweep".to_string(), Value::U64(self.id)),
+                ("total".to_string(), Value::U64(self.cells.len() as u64)),
+                ("finished".to_string(), Value::U64(log.done_cells as u64)),
+                ("cached".to_string(), Value::U64(log.cached_cells as u64)),
+                ("failed".to_string(), Value::U64(log.failed_cells as u64)),
+                (
+                    "cancelled_cells".to_string(),
+                    Value::U64(log.cancelled_cells as u64),
+                ),
+            ]);
+            log.events.push(done);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Marks the sweep cancelled and closes its event stream.
+    fn cancel(&self) {
+        let mut log = lock_unpoisoned(&self.log, "sweep log");
+        if log.done {
+            return;
+        }
+        log.cancelled = true;
+        log.done = true;
+        log.events.push(Value::Object(vec![
+            ("type".to_string(), Value::Str("cancelled".to_string())),
+            ("sweep".to_string(), Value::U64(self.id)),
+        ]));
+        self.cond.notify_all();
+    }
+
+    /// The status document served at `GET /sweeps/{id}`.
+    pub fn status(&self) -> Value {
+        let log = lock_unpoisoned(&self.log, "sweep log");
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|id| {
+                let (state, cached, error) = match log.states.get(id) {
+                    None => ("pending", false, None),
+                    Some(CellOutcome::Done(_, cached, _)) => ("done", *cached, None),
+                    Some(CellOutcome::Failed(e)) => ("failed", false, Some(e.clone())),
+                    Some(CellOutcome::Cancelled) => ("cancelled", false, None),
+                };
+                let mut obj = vec![
+                    ("id".to_string(), Value::Str(id.clone())),
+                    ("state".to_string(), Value::Str(state.to_string())),
+                    ("cached".to_string(), Value::Bool(cached)),
+                ];
+                if let Some(e) = error {
+                    obj.push(("error".to_string(), Value::Str(e)));
+                }
+                Value::Object(obj)
+            })
+            .collect();
+        Value::Object(vec![
+            ("id".to_string(), Value::U64(self.id)),
+            ("total".to_string(), Value::U64(self.cells.len() as u64)),
+            ("resolved".to_string(), Value::U64(log.resolved as u64)),
+            ("finished".to_string(), Value::U64(log.done_cells as u64)),
+            ("cached".to_string(), Value::U64(log.cached_cells as u64)),
+            ("failed".to_string(), Value::U64(log.failed_cells as u64)),
+            ("done".to_string(), Value::Bool(log.done)),
+            ("cancelled".to_string(), Value::Bool(log.cancelled)),
+            ("cells".to_string(), Value::Array(cells)),
+        ])
+    }
+
+    /// The results document served at `GET /sweeps/{id}/results`:
+    /// resolved cell values in planned order. Byte-identical to what
+    /// `run_one` prints from the cache, because both are the same
+    /// [`Cell`] result serialisation.
+    pub fn results(&self) -> Value {
+        let log = lock_unpoisoned(&self.log, "sweep log");
+        let rows: Vec<Value> = self
+            .cells
+            .iter()
+            .filter_map(|id| {
+                log.values.iter().find(|(vid, _)| vid == id).map(|(_, v)| {
+                    Value::Object(vec![
+                        ("cell".to_string(), Value::Str(id.clone())),
+                        ("value".to_string(), v.clone()),
+                    ])
+                })
+            })
+            .collect();
+        Value::Object(vec![
+            ("id".to_string(), Value::U64(self.id)),
+            ("results".to_string(), Value::Array(rows)),
+        ])
+    }
+
+    /// Copies events starting at `from`, plus whether the stream is
+    /// closed; blocks until at least one of the two is news.
+    pub fn wait_events(&self, from: usize) -> (Vec<Value>, bool) {
+        let mut log = lock_unpoisoned(&self.log, "sweep log");
+        while !log.done && log.events.len() <= from {
+            log = self
+                .cond
+                .wait(log)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let fresh = log.events.get(from..).unwrap_or_default().to_vec();
+        (fresh, log.done)
+    }
+
+    /// Blocks until the sweep's event stream closes.
+    pub fn wait_done(&self) {
+        let mut log = lock_unpoisoned(&self.log, "sweep log");
+        while !log.done {
+            log = self
+                .cond
+                .wait(log)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// One queued-or-running unique cell and the sweeps waiting on it.
+struct Inflight {
+    waiters: Vec<Arc<SweepState>>,
+    outcome: Option<CellOutcome>,
+}
+
+/// Monotonic scheduling counters — the dedup proof `/metrics` exposes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counters {
+    /// Sweeps accepted.
+    pub sweeps: u64,
+    /// Cells requested across all sweeps (after per-sweep dedup).
+    pub cells_requested: u64,
+    /// Cells resolved from the on-disk cache at submission.
+    pub cache_hits: u64,
+    /// Cells attached to an already-queued-or-running computation.
+    pub coalesced: u64,
+    /// Unique cells scheduled for computation.
+    pub scheduled: u64,
+    /// Scheduled cells that completed.
+    pub computed: u64,
+    /// Scheduled cells that failed (after retries).
+    pub failed: u64,
+    /// Cells cancelled before running.
+    pub cancelled: u64,
+    /// Batches the dispatcher ran.
+    pub batches: u64,
+    /// Sum of per-cell compute time across batches, nanoseconds.
+    pub cell_time_ns: u64,
+    /// Sum of batch wall-clock, nanoseconds.
+    pub wall_ns: u64,
+}
+
+struct Inner {
+    pending: Vec<String>,
+    inflight: HashMap<String, Inflight>,
+    sweeps: HashMap<u64, Arc<SweepState>>,
+    next_id: u64,
+    shutdown: bool,
+    busy: bool,
+    counters: Counters,
+}
+
+/// The daemon's brain; shared by every connection handler.
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    /// id → cell for the full matrix this server serves.
+    catalog: HashMap<String, Cell>,
+    cache: Option<ResultCache>,
+    inner: Mutex<Inner>,
+    /// Wakes the dispatcher when cells are queued or shutdown begins.
+    wake: Condvar,
+    /// Scheduler-scoped batch drain flag (not the process SIGINT flag,
+    /// so embedding tests and graceful shutdown don't poison other
+    /// sweeps in the process).
+    cancel: Arc<AtomicBool>,
+    started: Instant,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Builds the catalog, opens the cache, and starts the dispatcher.
+    pub fn new(cfg: SchedulerConfig) -> Arc<Self> {
+        let catalog: HashMap<String, Cell> = plan_cells(&cfg.experiment, &ALL_MODES, None)
+            .into_iter()
+            .map(|c| (c.id(), c))
+            .collect();
+        let cache = cfg
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| match ResultCache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[scu-server] cannot open cache at {}: {e}; serving uncached",
+                        dir.display()
+                    );
+                    None
+                }
+            });
+        let scheduler = Arc::new(Scheduler {
+            cfg,
+            catalog,
+            cache,
+            inner: Mutex::new(Inner {
+                pending: Vec::new(),
+                inflight: HashMap::new(),
+                sweeps: HashMap::new(),
+                next_id: 1,
+                shutdown: false,
+                busy: false,
+                counters: Counters::default(),
+            }),
+            wake: Condvar::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+            dispatcher: Mutex::new(None),
+        });
+        let worker = Arc::clone(&scheduler);
+        let handle = std::thread::Builder::new()
+            .name("scu-dispatcher".to_string())
+            .spawn(move || worker.dispatch_loop())
+            .expect("spawning the dispatcher thread");
+        *lock_unpoisoned(&scheduler.dispatcher, "dispatcher handle") = Some(handle);
+        scheduler
+    }
+
+    /// Cells this server can serve.
+    pub fn matrix_size(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// The experiment configuration requests are validated against.
+    pub fn experiment(&self) -> &ExperimentConfig {
+        &self.cfg.experiment
+    }
+
+    /// Accepts a sweep: dedups against the cache, coalesces against
+    /// in-flight cells, queues the rest, and returns the sweep handle.
+    ///
+    /// # Errors
+    ///
+    /// Rejects cells outside the catalog and submissions during
+    /// shutdown.
+    pub fn submit(&self, cells: Vec<Cell>) -> Result<Arc<SweepState>, String> {
+        for cell in &cells {
+            match self.catalog.get(&cell.id()) {
+                Some(known) if known == cell => {}
+                Some(_) => {
+                    return Err(format!(
+                        "cell {} does not match this server's matrix configuration",
+                        cell.id()
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "cell {} is not in this server's experiment matrix",
+                        cell.id()
+                    ))
+                }
+            }
+        }
+        // Disk reads happen outside the scheduler lock.
+        let cached: Vec<Option<Value>> = cells
+            .iter()
+            .map(|cell| self.cache.as_ref().and_then(|c| c.load(&cell.cache_key())))
+            .collect();
+
+        let (sweep, resolutions) = {
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            if inner.shutdown {
+                return Err("server is shutting down".to_string());
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            let sweep = SweepState::new(id, cells.iter().map(Cell::id).collect());
+            inner.sweeps.insert(id, Arc::clone(&sweep));
+            inner.counters.sweeps += 1;
+            inner.counters.cells_requested += cells.len() as u64;
+            // Deferred deliveries: performed after the lock drops.
+            let mut resolutions: Vec<(String, CellOutcome)> = Vec::new();
+            let mut queued = false;
+            for (cell, hit) in cells.iter().zip(cached) {
+                let cell_id = cell.id();
+                if let Some(value) = hit {
+                    inner.counters.cache_hits += 1;
+                    resolutions.push((cell_id, CellOutcome::Done(value, true, 0)));
+                    continue;
+                }
+                if let Some(entry) = inner.inflight.get_mut(&cell_id) {
+                    match &entry.outcome {
+                        Some(outcome) => resolutions.push((cell_id, outcome.clone())),
+                        None => entry.waiters.push(Arc::clone(&sweep)),
+                    }
+                    inner.counters.coalesced += 1;
+                } else {
+                    inner.counters.scheduled += 1;
+                    inner.inflight.insert(
+                        cell_id.clone(),
+                        Inflight {
+                            waiters: vec![Arc::clone(&sweep)],
+                            outcome: None,
+                        },
+                    );
+                    inner.pending.push(cell_id);
+                    queued = true;
+                }
+            }
+            if queued {
+                self.wake.notify_all();
+            }
+            (sweep, resolutions)
+        };
+        for (cell_id, outcome) in resolutions {
+            sweep.deliver(&cell_id, &outcome, None);
+        }
+        Ok(sweep)
+    }
+
+    /// Looks up a sweep by id.
+    pub fn sweep(&self, id: u64) -> Option<Arc<SweepState>> {
+        lock_unpoisoned(&self.inner, "scheduler")
+            .sweeps
+            .get(&id)
+            .cloned()
+    }
+
+    /// Cancels a sweep: closes its event stream, detaches it from
+    /// in-flight cells, and unschedules cells nobody else wants that
+    /// have not started. Returns false for unknown ids.
+    pub fn cancel_sweep(&self, id: u64) -> bool {
+        let Some(sweep) = self.sweep(id) else {
+            return false;
+        };
+        {
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            for cell_id in &sweep.cells {
+                let orphaned = match inner.inflight.get_mut(cell_id) {
+                    Some(entry) => {
+                        entry.waiters.retain(|w| w.id != id);
+                        entry.waiters.is_empty() && entry.outcome.is_none()
+                    }
+                    None => false,
+                };
+                // A cell nobody waits on anymore is dropped from the
+                // queue if the dispatcher has not yet picked it up;
+                // once batched it simply completes into the cache.
+                if orphaned && inner.pending.iter().any(|p| p == cell_id) {
+                    inner.pending.retain(|p| p != cell_id);
+                    inner.inflight.remove(cell_id);
+                    inner.counters.cancelled += 1;
+                }
+            }
+        }
+        sweep.cancel();
+        true
+    }
+
+    /// Resolves one unique cell and fans the outcome out to its
+    /// waiters. Idempotent: only the first resolution counts.
+    fn resolve_cell(&self, cell_id: &str, outcome: CellOutcome, pace: Option<Pace>) {
+        let waiters = {
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            let Some(entry) = inner.inflight.get_mut(cell_id) else {
+                return;
+            };
+            if entry.outcome.is_some() {
+                return;
+            }
+            entry.outcome = Some(outcome.clone());
+            let waiters = entry.waiters.clone();
+            match &outcome {
+                CellOutcome::Done(..) => inner.counters.computed += 1,
+                CellOutcome::Failed(_) => inner.counters.failed += 1,
+                CellOutcome::Cancelled => inner.counters.cancelled += 1,
+            }
+            waiters
+        };
+        for sweep in waiters {
+            sweep.deliver(cell_id, &outcome, pace);
+        }
+    }
+
+    /// The dispatcher thread: drain pending cells into a batch, run it
+    /// on the shared harness, resolve, repeat until shutdown.
+    fn dispatch_loop(self: Arc<Self>) {
+        loop {
+            let batch: Vec<String> = {
+                let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+                while inner.pending.is_empty() && !inner.shutdown {
+                    inner = self
+                        .wake
+                        .wait(inner)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                if inner.shutdown {
+                    break;
+                }
+                inner.busy = true;
+                inner.counters.batches += 1;
+                std::mem::take(&mut inner.pending)
+            };
+            Arc::clone(&self).run_batch(&batch);
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            inner.busy = false;
+            for cell_id in &batch {
+                inner.inflight.remove(cell_id);
+            }
+        }
+        // Shutdown: everything still queued or unresolved is cancelled
+        // so no client blocks on a stream that will never close.
+        let leftovers: Vec<String> = {
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            inner.pending.clear();
+            inner
+                .inflight
+                .iter()
+                .filter(|(_, e)| e.outcome.is_none())
+                .map(|(id, _)| id.clone())
+                .collect()
+        };
+        for cell_id in leftovers {
+            self.resolve_cell(&cell_id, CellOutcome::Cancelled, None);
+        }
+    }
+
+    /// Runs one batch of unique cells through the shared harness.
+    fn run_batch(self: Arc<Self>, batch: &[String]) {
+        // Fresh values land here from the job closures, so the
+        // observer can deliver them to waiters the moment the harness
+        // reports the completion — mid-batch, not at batch end.
+        let slots: Arc<Mutex<HashMap<String, Value>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut graph = JobGraph::new();
+        for cell_id in batch {
+            let cell = self.catalog[cell_id].clone();
+            let key = cell.cache_key();
+            let slot = Arc::clone(&slots);
+            let id_for_slot = cell_id.clone();
+            graph.push(
+                Job::new(cell_id.clone(), move || {
+                    let value = cell.run_value();
+                    lock_unpoisoned(&slot, "cell result slot")
+                        .insert(id_for_slot.clone(), value.clone());
+                    value
+                })
+                .with_cache_key(key),
+            );
+        }
+        let observer_slots = Arc::clone(&slots);
+        let scheduler = Arc::clone(&self);
+        let observer = std::sync::Arc::new(move |event: &ProgressEvent| {
+            let pace = Pace {
+                cells_per_sec: event.cells_per_sec,
+                eta_ns: event.eta.map(|d| d.as_nanos() as u64),
+            };
+            if event.label == "FAILED" {
+                let error = event.error.clone().unwrap_or_else(|| "failed".to_string());
+                scheduler.resolve_cell(&event.id, CellOutcome::Failed(error), Some(pace));
+            } else if let Some(value) =
+                lock_unpoisoned(&observer_slots, "cell result slot").remove(&event.id)
+            {
+                let duration = event.duration.as_nanos() as u64;
+                scheduler.resolve_cell(
+                    &event.id,
+                    CellOutcome::Done(value, event.cached, duration),
+                    Some(pace),
+                );
+            }
+            // Other labels (cached/resumed from the journal, timed
+            // out, cancelled) carry no value here; the post-run pass
+            // resolves them from the outcome.
+        });
+        let mut harness = Harness::new()
+            .jobs(self.cfg.jobs)
+            .threads_per_job(self.cfg.sim_threads)
+            .retries(self.cfg.retries)
+            .observer(observer)
+            .cancel_flag(Arc::clone(&self.cancel));
+        if let Some(dir) = &self.cfg.cache_dir {
+            harness = harness.cache_dir(dir.clone());
+        }
+        if let Some(manifest) = &self.cfg.manifest {
+            // Always resume: the journal accumulates across batches and
+            // daemon restarts, so completed cells never recompute.
+            harness = harness.manifest(manifest.clone()).resume(true);
+        }
+        let sweep = harness.run(&graph);
+        for (cell_id, outcome) in batch.iter().zip(&sweep.outcomes) {
+            let resolved = match outcome {
+                Outcome::Done {
+                    value,
+                    cached,
+                    duration,
+                    ..
+                } => CellOutcome::Done(value.clone(), *cached, duration.as_nanos() as u64),
+                Outcome::Failed { error, .. } => CellOutcome::Failed(error.clone()),
+                Outcome::TimedOut { limit, .. } => {
+                    CellOutcome::Failed(format!("timed out after {limit:?}"))
+                }
+                Outcome::Skipped { failed_dep } => {
+                    CellOutcome::Failed(format!("dependency '{failed_dep}' failed"))
+                }
+                Outcome::Cancelled => CellOutcome::Cancelled,
+            };
+            // Usually a no-op: the observer already resolved it live.
+            self.resolve_cell(cell_id, resolved, None);
+        }
+        let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+        inner.counters.cell_time_ns += sweep.summary.cell_time.as_nanos() as u64;
+        inner.counters.wall_ns += sweep.summary.wall.as_nanos() as u64;
+    }
+
+    /// Serves `GET /cells/{id}` — a pure cache read, never a
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Unknown cell ids are errors; a known-but-uncached cell returns
+    /// `Ok(None)`.
+    pub fn cached_cell(&self, cell_id: &str) -> Result<Option<Value>, String> {
+        let cell = self
+            .catalog
+            .get(cell_id)
+            .ok_or_else(|| format!("cell {cell_id} is not in this server's experiment matrix"))?;
+        Ok(self.cache.as_ref().and_then(|c| c.load(&cell.cache_key())))
+    }
+
+    /// A snapshot of the scheduling counters.
+    pub fn counters(&self) -> Counters {
+        lock_unpoisoned(&self.inner, "scheduler").counters
+    }
+
+    /// The `GET /metrics` document.
+    pub fn metrics(&self) -> Value {
+        let inner = lock_unpoisoned(&self.inner, "scheduler");
+        let c = inner.counters;
+        let utilization = if c.wall_ns > 0 {
+            c.cell_time_ns as f64 / (c.wall_ns as f64 * self.cfg.jobs.max(1) as f64)
+        } else {
+            0.0
+        };
+        let cache_stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        Value::Object(vec![
+            (
+                "uptime_secs".to_string(),
+                Value::F64(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "matrix_cells".to_string(),
+                Value::U64(self.catalog.len() as u64),
+            ),
+            ("workers".to_string(), Value::U64(self.cfg.jobs as u64)),
+            ("busy".to_string(), Value::Bool(inner.busy)),
+            (
+                "queue_depth".to_string(),
+                Value::U64(inner.pending.len() as u64),
+            ),
+            (
+                "inflight".to_string(),
+                Value::U64(inner.inflight.len() as u64),
+            ),
+            ("sweeps".to_string(), Value::U64(c.sweeps)),
+            ("cells_requested".to_string(), Value::U64(c.cells_requested)),
+            ("cache_hits".to_string(), Value::U64(c.cache_hits)),
+            ("coalesced".to_string(), Value::U64(c.coalesced)),
+            ("scheduled".to_string(), Value::U64(c.scheduled)),
+            ("computed".to_string(), Value::U64(c.computed)),
+            ("failed".to_string(), Value::U64(c.failed)),
+            ("cancelled".to_string(), Value::U64(c.cancelled)),
+            ("batches".to_string(), Value::U64(c.batches)),
+            (
+                "cache_loads".to_string(),
+                Value::U64(cache_stats.hits + cache_stats.misses),
+            ),
+            ("worker_utilization".to_string(), Value::F64(utilization)),
+        ])
+    }
+
+    /// Uptime for `GET /healthz`.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Drains and stops the dispatcher: the running batch's in-flight
+    /// cells finish (and reach the cache and journal), everything else
+    /// resolves `cancelled`, and the dispatcher thread is joined.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            inner.shutdown = true;
+        }
+        self.cancel.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+        let handle = lock_unpoisoned(&self.dispatcher, "dispatcher handle").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // A dropped scheduler whose dispatcher still runs would leak
+        // the thread; shutdown() is idempotent and joins it.
+        self.shutdown();
+    }
+}

@@ -1,0 +1,340 @@
+//! The HTTP front end: accept loop, connection workers, and routing.
+//!
+//! | method | path                  | behaviour                                   |
+//! |--------|-----------------------|---------------------------------------------|
+//! | GET    | `/healthz`            | liveness + uptime                           |
+//! | GET    | `/metrics`            | scheduler counters (dedup proof lives here) |
+//! | POST   | `/sweeps`             | submit a sweep (see [`crate::api`])         |
+//! | GET    | `/sweeps/{id}`        | status + per-cell states                    |
+//! | GET    | `/sweeps/{id}/events` | chunked NDJSON stream of live completions   |
+//! | GET    | `/sweeps/{id}/results`| resolved cell values, planned order         |
+//! | DELETE | `/sweeps/{id}`        | cancel                                      |
+//! | GET    | `/cells/{cell id}`    | cache read, zero recompute (404 if cold)    |
+//!
+//! Connections are handed to a small fixed worker pool; event-stream
+//! connections occupy a worker until the sweep closes, so the pool is
+//! sized above the handful of concurrent clients a workstation daemon
+//! sees.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use scu_harness::error::lock_unpoisoned;
+use serde_json::Value;
+
+use crate::api;
+use crate::http::{self, ChunkedWriter, Request};
+use crate::scheduler::Scheduler;
+
+/// Connection handler threads. Streaming clients hold a worker each.
+const WORKERS: usize = 8;
+
+/// Work queue feeding accepted connections to the handler pool.
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn push(&self, stream: TcpStream) {
+        lock_unpoisoned(&self.queue, "connection queue")
+            .0
+            .push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        lock_unpoisoned(&self.queue, "connection queue").1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Pops the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = lock_unpoisoned(&self.queue, "connection queue");
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Stops a running [`Server`] from another thread (the SIGINT watcher,
+/// a test).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Graceful shutdown: refuse new work, drain the scheduler (the
+    /// running batch finishes and reaches cache + journal), then
+    /// unblock the accept loop. Blocks until the scheduler is drained.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.scheduler.shutdown();
+        // The accept loop blocks in accept(2); one throwaway
+        // connection wakes it to observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds the listener. Use port 0 for an OS-assigned port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, bad address).
+    pub fn bind(addr: &str, scheduler: Arc<Scheduler>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            scheduler,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has an address")
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            scheduler: Arc::clone(&self.scheduler),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]. Returns after every
+    /// worker thread has drained — no leaked threads.
+    pub fn run(self) {
+        let queue = ConnQueue::new();
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let scheduler = Arc::clone(&self.scheduler);
+                std::thread::Builder::new()
+                    .name(format!("scu-http-{i}"))
+                    .spawn(move || {
+                        while let Some(mut stream) = queue.pop() {
+                            handle_connection(&mut stream, &scheduler);
+                        }
+                    })
+                    .expect("spawning an HTTP worker")
+            })
+            .collect();
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => queue.push(stream),
+                Err(e) => eprintln!("[scu-server] accept failed: {e}"),
+            }
+        }
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response. All errors
+/// degrade to an error response or a dropped connection — a bad client
+/// never takes the server down.
+fn handle_connection(stream: &mut TcpStream, scheduler: &Arc<Scheduler>) {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &format!("malformed request: {e}"));
+            return;
+        }
+    };
+    if let Err(e) = route(stream, &request, scheduler) {
+        // The stream is likely gone (client hung up mid-stream); a
+        // best-effort error response is all that is left to try.
+        let _ = http::respond_error(stream, 500, &format!("{e}"));
+    }
+}
+
+fn route(stream: &mut TcpStream, req: &Request, scheduler: &Arc<Scheduler>) -> std::io::Result<()> {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => http::respond_json(
+            stream,
+            200,
+            &Value::Object(vec![
+                ("status".to_string(), Value::Str("ok".to_string())),
+                (
+                    "uptime_secs".to_string(),
+                    Value::F64(scheduler.uptime_secs()),
+                ),
+                (
+                    "matrix_cells".to_string(),
+                    Value::U64(scheduler.matrix_size() as u64),
+                ),
+            ]),
+        ),
+        ("GET", "/metrics") => http::respond_json(stream, 200, &scheduler.metrics()),
+        ("POST", "/sweeps") => submit_sweep(stream, req, scheduler),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/sweeps/") {
+                return route_sweep(stream, req, scheduler, rest);
+            }
+            if let Some(cell_id) = path.strip_prefix("/cells/") {
+                return route_cell(stream, req, scheduler, cell_id);
+            }
+            http::respond_error(stream, 404, &format!("no route for {path}"))
+        }
+    }
+}
+
+fn submit_sweep(
+    stream: &mut TcpStream,
+    req: &Request,
+    scheduler: &Arc<Scheduler>,
+) -> std::io::Result<()> {
+    let body_text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return http::respond_error(stream, 400, "body is not UTF-8"),
+    };
+    let body: Value = match serde_json::from_str(body_text) {
+        Ok(v) => v,
+        Err(e) => return http::respond_error(stream, 400, &format!("body is not JSON: {e:?}")),
+    };
+    let cells = match api::parse_sweep_request(&body, scheduler.experiment()) {
+        Ok(c) => c,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    match scheduler.submit(cells) {
+        Ok(sweep) => http::respond_json(
+            stream,
+            201,
+            &Value::Object(vec![
+                ("id".to_string(), Value::U64(sweep.id)),
+                ("total".to_string(), Value::U64(sweep.cells.len() as u64)),
+                (
+                    "cells".to_string(),
+                    Value::Array(
+                        sweep
+                            .cells
+                            .iter()
+                            .map(|id| Value::Str(id.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        Err(e) if e.contains("shutting down") => http::respond_error(stream, 503, &e),
+        Err(e) => http::respond_error(stream, 400, &e),
+    }
+}
+
+fn route_sweep(
+    stream: &mut TcpStream,
+    req: &Request,
+    scheduler: &Arc<Scheduler>,
+    rest: &str,
+) -> std::io::Result<()> {
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return http::respond_error(stream, 400, &format!("bad sweep id '{id_text}'"));
+    };
+    let Some(sweep) = scheduler.sweep(id) else {
+        return http::respond_error(stream, 404, &format!("no sweep {id}"));
+    };
+    match (req.method.as_str(), tail) {
+        ("GET", None) => http::respond_json(stream, 200, &sweep.status()),
+        ("GET", Some("results")) => http::respond_json(stream, 200, &sweep.results()),
+        ("GET", Some("events")) => {
+            let mut writer = ChunkedWriter::start(stream, 200)?;
+            let mut cursor = 0usize;
+            loop {
+                let (events, done) = sweep.wait_events(cursor);
+                cursor += events.len();
+                for event in &events {
+                    writer.send(event)?;
+                }
+                // `done` was read under the same lock as the copy, and
+                // nothing appends after it rises — the stream is
+                // complete.
+                if done {
+                    break;
+                }
+            }
+            writer.finish()
+        }
+        ("DELETE", None) => {
+            scheduler.cancel_sweep(id);
+            http::respond_json(
+                stream,
+                200,
+                &Value::Object(vec![
+                    ("id".to_string(), Value::U64(id)),
+                    ("cancelled".to_string(), Value::Bool(true)),
+                ]),
+            )
+        }
+        _ => http::respond_error(stream, 405, "unsupported method for this sweep path"),
+    }
+}
+
+fn route_cell(
+    stream: &mut TcpStream,
+    req: &Request,
+    scheduler: &Arc<Scheduler>,
+    cell_id: &str,
+) -> std::io::Result<()> {
+    if req.method != "GET" {
+        return http::respond_error(stream, 405, "cells are read-only");
+    }
+    match scheduler.cached_cell(cell_id) {
+        Err(e) => http::respond_error(stream, 404, &e),
+        Ok(None) => http::respond_error(
+            stream,
+            404,
+            &format!("cell {cell_id} is not cached yet — submit a sweep to compute it"),
+        ),
+        Ok(Some(value)) => http::respond_json(
+            stream,
+            200,
+            &Value::Object(vec![
+                ("cell".to_string(), Value::Str(cell_id.to_string())),
+                ("cached".to_string(), Value::Bool(true)),
+                ("value".to_string(), value),
+            ]),
+        ),
+    }
+}

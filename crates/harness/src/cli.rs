@@ -1,6 +1,7 @@
 //! Shared command-line surface for the experiment binaries:
 //! `--jobs N`, `--sim-threads N`, `--no-cache`, `--filter <substr>`,
-//! `--timeout-secs N`, `--retries N`, `--resume`, `--trace <path>`.
+//! `--timeout-secs N`, `--retries N`, `--resume`, `--strict-resume`,
+//! `--trace <path>`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -29,6 +30,10 @@ pub struct CliArgs {
     /// Resume from the journal of an interrupted sweep instead of
     /// starting fresh.
     pub resume: bool,
+    /// Fail (non-zero exit) when a resumed cell re-runs and its
+    /// timeline digest disagrees with the journaled one, instead of
+    /// only warning. Lets CI treat model/config divergence as an error.
+    pub strict_resume: bool,
     /// Write a chrome://tracing JSON file of the run's event timeline
     /// here (binaries that simulate fresh cells honour it; cached
     /// cells have no event stream to export).
@@ -47,6 +52,7 @@ impl Default for CliArgs {
             timeout: None,
             retries: 2,
             resume: false,
+            strict_resume: false,
             trace: None,
             rest: Vec::new(),
         }
@@ -78,6 +84,8 @@ pub const USAGE: &str = "harness options:\n  \
     --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
     --retries N       retry failed/timed-out cells up to N times (default: 2)\n  \
     --resume          resume an interrupted sweep from results/manifest.json\n  \
+    --strict-resume   fail (exit 1) if a resumed cell's timeline digest diverges\n                    \
+    from the journaled one, instead of warning\n  \
     --trace PATH      write a chrome://tracing (Perfetto) JSON trace to PATH";
 
 impl CliArgs {
@@ -130,6 +138,7 @@ impl CliArgs {
                     })?;
                 }
                 "--resume" => out.resume = true,
+                "--strict-resume" => out.strict_resume = true,
                 "--trace" => out.trace = Some(PathBuf::from(value("a file path")?)),
                 _ => out.rest.push(arg),
             }
@@ -172,6 +181,9 @@ mod tests {
         let a = parse(&["--retries", "0", "--resume"]);
         assert_eq!(a.retries, 0);
         assert!(a.resume);
+        assert!(!a.strict_resume);
+        let s = parse(&["--resume", "--strict-resume"]);
+        assert!(s.resume && s.strict_resume);
         let b = parse(&["--retries=5"]);
         assert_eq!(b.retries, 5);
         assert!(CliArgs::parse(["--retries".to_string(), "-1".to_string()]).is_err());

@@ -76,6 +76,10 @@ pub struct ExecOptions {
     /// so `jobs × threads_per_job` cannot oversubscribe the machine;
     /// it never changes what a job computes.
     pub threads_per_job: usize,
+    /// Treat a resumed cell's timeline-digest mismatch as a failure
+    /// instead of a warning (the `--strict-resume` flag). CI uses this
+    /// to turn silent model/config divergence into a non-zero exit.
+    pub strict_resume: bool,
 }
 
 impl Default for ExecOptions {
@@ -87,8 +91,17 @@ impl Default for ExecOptions {
             backoff: Duration::from_millis(100),
             backoff_cap: Duration::from_secs(2),
             threads_per_job: 1,
+            strict_resume: false,
         }
     }
+}
+
+/// The sweep's retry pacing: `base · 2^prior`, saturating, never above
+/// `cap`. `prior` is how many attempts have already failed (0 for the
+/// first retry). Shared by the executor's cell retries and the HTTP
+/// client's transient-error retries so both back off identically.
+pub fn capped_backoff(base: Duration, cap: Duration, prior_attempts: usize) -> Duration {
+    base.saturating_mul(1u32 << prior_attempts.min(16)).min(cap)
 }
 
 /// Everything the executor consults besides the graph itself.
@@ -104,8 +117,8 @@ pub struct ExecContext<'a> {
     /// Timeline digests from the interrupted sweep's journal, keyed by
     /// job id. A cell that *re-runs* during a resumed sweep (its cache
     /// key changed, so the resume map missed it) is cross-checked
-    /// against the digest journaled for the same id; a mismatch warns
-    /// but never fails the cell.
+    /// against the digest journaled for the same id; a mismatch warns,
+    /// or fails the cell under [`ExecOptions::strict_resume`].
     pub resume_digests: Option<&'a HashMap<String, u64>>,
     /// Rises when the sweep should drain and stop (SIGINT).
     pub cancel: Option<&'a AtomicBool>,
@@ -355,6 +368,19 @@ fn run_one(job: &Job, ctx: &ExecContext<'_>, opts: &ExecOptions, sched: &Schedul
     if let (Some(digests), Outcome::Done { value, .. }) = (ctx.resume_digests, &outcome) {
         if let (Some(&journaled), Some(fresh)) = (digests.get(&job.id), timeline_digest(value)) {
             if journaled != fresh {
+                if opts.strict_resume {
+                    // Divergence is an error: the fresh value is
+                    // neither cached nor journaled, so the sweep exits
+                    // non-zero and nothing records the ambiguous run.
+                    return Outcome::Failed {
+                        error: format!(
+                            "strict resume: re-ran with timeline digest {fresh:016x} but \
+                             the interrupted sweep journaled {journaled:016x} (model or \
+                             configuration changed between sweeps)"
+                        ),
+                        retries: Vec::new(),
+                    };
+                }
                 eprintln!(
                     "[scu-harness] warning: cell '{}' re-ran with timeline digest \
                      {fresh:016x} but the interrupted sweep journaled {journaled:016x} \
@@ -445,10 +471,7 @@ fn run_with_retries(
                 _ => unreachable!("non-done attempt"),
             };
         }
-        let backoff = opts
-            .backoff
-            .saturating_mul(1 << history.len().min(16))
-            .min(opts.backoff_cap);
+        let backoff = capped_backoff(opts.backoff, opts.backoff_cap, history.len());
         history.push(Attempt { error, backoff });
         std::thread::sleep(backoff);
     }
@@ -811,6 +834,57 @@ mod tests {
         let out = execute(&g, &ctx, &ExecOptions::default(), &silent()).outcomes;
         assert!(out[0].is_done(), "digest mismatch must not fail the cell");
         assert!(!out[0].is_cached());
+    }
+
+    #[test]
+    fn strict_resume_fails_the_cell_on_digest_mismatch() {
+        let mut g = JobGraph::new();
+        g.push(
+            Job::new("cell", || {
+                Value::Object(vec![("timeline_digest".into(), Value::U64(0xbeef))])
+            })
+            .with_cache_key(Value::Str("new-model-key".into())),
+        );
+        let resume = HashMap::new();
+        let mut digests = HashMap::new();
+        digests.insert("cell".to_string(), 0xdeadu64);
+        let ctx = ExecContext {
+            resume: Some(&resume),
+            resume_digests: Some(&digests),
+            ..ExecContext::default()
+        };
+        let opts = ExecOptions {
+            strict_resume: true,
+            ..ExecOptions::default()
+        };
+        let out = execute(&g, &ctx, &opts, &silent()).outcomes;
+        match &out[0] {
+            Outcome::Failed { error, .. } => {
+                assert!(error.contains("strict resume"), "got: {error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // A matching digest passes untouched under strict mode.
+        digests.insert("cell".to_string(), 0xbeefu64);
+        let ctx = ExecContext {
+            resume: Some(&resume),
+            resume_digests: Some(&digests),
+            ..ExecContext::default()
+        };
+        let out = execute(&g, &ctx, &opts, &silent()).outcomes;
+        assert!(out[0].is_done());
+    }
+
+    #[test]
+    fn capped_backoff_doubles_then_saturates() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(2);
+        assert_eq!(capped_backoff(base, cap, 0), Duration::from_millis(100));
+        assert_eq!(capped_backoff(base, cap, 1), Duration::from_millis(200));
+        assert_eq!(capped_backoff(base, cap, 2), Duration::from_millis(400));
+        assert_eq!(capped_backoff(base, cap, 5), cap);
+        // The shift itself is clamped: absurd attempt counts stay at cap.
+        assert_eq!(capped_backoff(base, cap, 10_000), cap);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!           error[(msg)]   typed error from Result-shaped sites
 //!           delay(ms)      sleep before proceeding
 //!           io-error       std::io::Error from I/O-shaped sites
+//!           stall[(ms)]    sleep (default 60 s) then proceed — models a
+//!                          hung peer; pair with short socket timeouts
+//!           disconnect     ConnectionReset from I/O-shaped sites —
+//!                          models a peer vanishing mid-transfer
 //! trigger:  @N             fire on the Nth hit only (1-based)
 //!           @N+            fire on the Nth and every later hit
 //!           (none)         fire on every hit
@@ -39,13 +43,17 @@
 //!
 //! Site registry (every site compiled into the workspace):
 //!
-//! | site            | location                          | shapes honoured |
-//! |-----------------|-----------------------------------|-----------------|
-//! | `cell-run`      | `scu_algos::cell::Cell::run`      | panic, delay, error (as panic) |
-//! | `graph-build`   | `scu_algos::cell::shared_graph`   | panic, delay    |
-//! | `cache-load`    | `ResultCache::load`               | io-error, delay |
-//! | `cache-store`   | `ResultCache::store`              | io-error, delay |
-//! | `journal-append`| `Journal::append`                 | io-error, delay |
+//! | site                 | location                          | shapes honoured |
+//! |----------------------|-----------------------------------|-----------------|
+//! | `cell-run`           | `scu_algos::cell::Cell::run`      | panic, delay, error (as panic) |
+//! | `graph-build`        | `scu_algos::cell::shared_graph`   | panic, delay    |
+//! | `cache-load`         | `ResultCache::load`               | io-error, delay |
+//! | `cache-store`        | `ResultCache::store`              | io-error, delay |
+//! | `journal-append`     | `Journal::append`                 | io-error, delay |
+//! | `server-accept`      | `scu_server` accept loop          | io-error, disconnect, delay, stall |
+//! | `server-read`        | `scu_server::http::read_request`  | io-error, disconnect, delay, stall |
+//! | `server-stream-write`| `scu_server::http::ChunkedWriter` | io-error, disconnect, delay, stall |
+//! | `scheduler-enqueue`  | `scu_server::Scheduler::submit`   | error, delay    |
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +73,14 @@ pub enum Action {
     Delay(Duration),
     /// Return a `std::io::Error` from I/O-shaped sites.
     IoError,
+    /// Sleep this long (default 60 s), then proceed — a hung peer.
+    /// Unlike `delay` it is meant to outlive the socket timeout at the
+    /// site, so the *deadline* machinery fires rather than the sleep
+    /// elapsing.
+    Stall(Duration),
+    /// Return `ConnectionReset` from I/O-shaped sites — the peer
+    /// vanished mid-transfer.
+    Disconnect,
 }
 
 /// When an armed failpoint fires, relative to the per-site hit counter.
@@ -188,6 +204,16 @@ pub fn parse(spec: &str) -> Result<Vec<(String, Spec)>, String> {
                 Action::Delay(Duration::from_millis(ms))
             }
             "io-error" => Action::IoError,
+            "stall" => {
+                let ms: u64 = match arg.as_deref() {
+                    None => 60_000,
+                    Some(text) => text
+                        .parse()
+                        .map_err(|_| format!("'{item}': stall needs milliseconds"))?,
+                };
+                Action::Stall(Duration::from_millis(ms))
+            }
+            "disconnect" => Action::Disconnect,
             other => return Err(format!("'{item}': unknown action '{other}'")),
         };
         out.push((site.trim().to_string(), Spec { action, trigger }));
@@ -244,10 +270,11 @@ pub fn apply(site: &str) {
     }
     match fire(site) {
         None => {}
-        Some(Action::Delay(d)) => std::thread::sleep(d),
+        Some(Action::Delay(d)) | Some(Action::Stall(d)) => std::thread::sleep(d),
         Some(Action::Panic(msg)) => panic!("{msg}"),
         Some(Action::Error(msg)) => panic!("failpoint '{site}': {msg}"),
         Some(Action::IoError) => panic!("failpoint '{site}': injected io error"),
+        Some(Action::Disconnect) => panic!("failpoint '{site}': injected disconnect"),
     }
 }
 
@@ -263,7 +290,7 @@ pub fn check(site: &str) -> Result<(), Injected> {
     }
     match fire(site) {
         None => Ok(()),
-        Some(Action::Delay(d)) => {
+        Some(Action::Delay(d)) | Some(Action::Stall(d)) => {
             std::thread::sleep(d);
             Ok(())
         }
@@ -276,6 +303,10 @@ pub fn check(site: &str) -> Result<(), Injected> {
             site: site.to_string(),
             message: format!("injected io fault at '{site}'"),
         }),
+        Some(Action::Disconnect) => Err(Injected {
+            site: site.to_string(),
+            message: format!("injected disconnect at '{site}'"),
+        }),
     }
 }
 
@@ -283,14 +314,33 @@ pub fn check(site: &str) -> Result<(), Injected> {
 ///
 /// # Errors
 ///
-/// Returns an `std::io::Error` (kind `Other`) when an `io-error` or
-/// `error` action fires.
+/// Returns an `std::io::Error` when an `io-error`, `error`, or
+/// `disconnect` action fires; `disconnect` maps to
+/// `ErrorKind::ConnectionReset` so callers exercise the same branch a
+/// vanished peer takes.
 #[inline]
 pub fn io(site: &str) -> std::io::Result<()> {
     if !active() {
         return Ok(());
     }
-    check(site).map_err(|e| std::io::Error::other(e.to_string()))
+    match fire(site) {
+        None => Ok(()),
+        Some(Action::Delay(d)) | Some(Action::Stall(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Action::Panic(msg)) => panic!("{msg}"),
+        Some(Action::Error(msg)) => {
+            Err(std::io::Error::other(format!("failpoint '{site}': {msg}")))
+        }
+        Some(Action::IoError) => Err(std::io::Error::other(format!(
+            "failpoint '{site}': injected io fault at '{site}'"
+        ))),
+        Some(Action::Disconnect) => Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            format!("failpoint '{site}': injected disconnect"),
+        )),
+    }
 }
 
 /// Arms the sites described by `spec` for the lifetime of the returned
@@ -412,6 +462,40 @@ mod tests {
             assert!(check("fp-test-drop").is_err());
         }
         assert!(check("fp-test-drop").is_ok());
+    }
+
+    #[test]
+    fn stall_and_disconnect_parse() {
+        let specs = parse("a=stall;b=stall(250)@2;c=disconnect").unwrap();
+        assert_eq!(specs[0].1.action, Action::Stall(Duration::from_secs(60)));
+        assert_eq!(
+            specs[1].1,
+            Spec {
+                action: Action::Stall(Duration::from_millis(250)),
+                trigger: Trigger::Nth(2)
+            }
+        );
+        assert_eq!(specs[2].1.action, Action::Disconnect);
+        assert!(parse("a=stall(soon)").is_err());
+    }
+
+    #[test]
+    fn disconnect_maps_to_connection_reset_at_io_sites() {
+        let _fp = scoped("fp-test-disc=disconnect");
+        let err = io("fp-test-disc").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(err.to_string().contains("injected disconnect"));
+        // The Result-shaped entry point surfaces it as a typed error.
+        let _fp2 = scoped("fp-test-disc2=disconnect");
+        assert!(check("fp-test-disc2").is_err());
+    }
+
+    #[test]
+    fn stall_action_sleeps_then_proceeds() {
+        let _fp = scoped("fp-test-stall=stall(15)");
+        let start = std::time::Instant::now();
+        assert!(io("fp-test-stall").is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(15));
     }
 
     #[test]

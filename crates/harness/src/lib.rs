@@ -51,7 +51,9 @@ pub mod session;
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::CliArgs;
 pub use error::HarnessError;
-pub use executor::{default_jobs, effective_workers, ExecContext, ExecOptions, ExecResult};
+pub use executor::{
+    capped_backoff, default_jobs, effective_workers, ExecContext, ExecOptions, ExecResult,
+};
 pub use job::{Attempt, Job, JobGraph, JobId, Outcome};
 pub use journal::{Journal, JournalEntry};
 pub use progress::{Progress, ProgressEvent, ProgressObserver, SweepSummary};
@@ -85,6 +87,7 @@ pub struct Harness {
     backoff_cap: Duration,
     manifest: Option<PathBuf>,
     resume: bool,
+    strict_resume: bool,
     handle_sigint: bool,
     cancel_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
@@ -102,6 +105,7 @@ impl std::fmt::Debug for Harness {
             .field("retries", &self.retries)
             .field("manifest", &self.manifest)
             .field("resume", &self.resume)
+            .field("strict_resume", &self.strict_resume)
             .field("handle_sigint", &self.handle_sigint)
             .field("cancel_flag", &self.cancel_flag.is_some())
             .finish()
@@ -123,6 +127,7 @@ impl Default for Harness {
             backoff_cap: Duration::from_secs(2),
             manifest: None,
             resume: false,
+            strict_resume: false,
             handle_sigint: false,
             cancel_flag: None,
         }
@@ -222,6 +227,14 @@ impl Harness {
         self
     }
 
+    /// Fails (rather than warns) a resumed cell whose re-run timeline
+    /// digest disagrees with the journaled one — divergence becomes a
+    /// failed cell and a non-zero sweep exit.
+    pub fn strict_resume(mut self, strict: bool) -> Self {
+        self.strict_resume = strict;
+        self
+    }
+
     /// Installs a SIGINT handler for the run: the first Ctrl-C drains
     /// in-flight cells and writes the manifest, the second kills.
     pub fn handle_sigint(mut self, handle: bool) -> Self {
@@ -239,6 +252,7 @@ impl Harness {
         self.timeout = args.timeout;
         self.retries = args.retries;
         self.resume = args.resume;
+        self.strict_resume = args.strict_resume;
         self.cache_dir = if args.no_cache {
             None
         } else {
@@ -282,7 +296,8 @@ impl Harness {
                             );
                         }
                         // Digests cross-check re-run cells against what
-                        // the interrupted sweep observed (warn-only).
+                        // the interrupted sweep observed (warn, or fail
+                        // under strict_resume).
                         resume_digests = Journal::load_digest_map(path).ok();
                         Some(map)
                     }
@@ -339,6 +354,7 @@ impl Harness {
             backoff: self.backoff,
             backoff_cap: self.backoff_cap,
             threads_per_job: self.threads_per_job,
+            strict_resume: self.strict_resume,
         };
         let ctx = ExecContext {
             cache: cache.as_ref(),

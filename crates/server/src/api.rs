@@ -9,6 +9,9 @@
 //!             "system": "TX1", "mode": "scu-enhanced"}]}
 //! ```
 //!
+//! Either shape may add `"deadline_secs": N` — a wall-clock budget for
+//! the whole sweep, after which unresolved cells report `cancelled`.
+//!
 //! Either way the request resolves to cells of the server's own
 //! experiment matrix — the same 240-cell plan the CLI sweeps run — so
 //! a served result is byte-identical to `run_one`'s and shares its
@@ -51,6 +54,26 @@ pub fn parse_sweep_request(body: &Value, cfg: &ExperimentConfig) -> Result<Vec<C
         }
     }
     Ok(unique)
+}
+
+/// The optional `deadline_secs` field: a positive number of seconds of
+/// wall clock the whole sweep may take before the scheduler
+/// force-cancels whatever has not resolved.
+///
+/// # Errors
+///
+/// Returns a message when the field is present but not a positive
+/// number.
+pub fn parse_deadline(body: &Value) -> Result<Option<std::time::Duration>, String> {
+    let Some(field) = body.get("deadline_secs") else {
+        return Ok(None);
+    };
+    let secs = field
+        .as_f64()
+        .or_else(|| field.as_u64().map(|n| n as f64))
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| "'deadline_secs' must be a positive number of seconds".to_string())?;
+    Ok(Some(std::time::Duration::from_secs_f64(secs)))
 }
 
 fn from_filter(
@@ -186,6 +209,22 @@ mod tests {
         let body = obj(vec![("cells", Value::Array(vec![spec]))]);
         let err = parse_sweep_request(&body, &cfg()).unwrap_err();
         assert!(err.contains("DIJKSTRA"), "{err}");
+    }
+
+    #[test]
+    fn deadline_parses_and_rejects_nonsense() {
+        assert_eq!(parse_deadline(&obj(vec![])), Ok(None));
+        assert_eq!(
+            parse_deadline(&obj(vec![("deadline_secs", Value::F64(1.5))])),
+            Ok(Some(std::time::Duration::from_secs_f64(1.5)))
+        );
+        assert_eq!(
+            parse_deadline(&obj(vec![("deadline_secs", Value::U64(30))])),
+            Ok(Some(std::time::Duration::from_secs(30)))
+        );
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(0.0))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(-2.0))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::Str("soon".into()))])).is_err());
     }
 
     #[test]

@@ -11,23 +11,35 @@
 //! harness; `SCU_SCALE`/`SCU_SEED` configure the served matrix exactly
 //! like the CLI sweeps.
 //!
+//! Hardening knobs: `--max-pending N` caps queued cells (excess sweeps
+//! get `429 Retry-After`), `--max-conns N` caps connections waiting
+//! for a handler (excess get `503`), and `--request-deadline SECS`
+//! bounds how long one request may take to arrive in full (the
+//! slowloris cutoff).
+//!
 //! The first SIGINT drains gracefully: new submissions are refused,
 //! the running batch finishes and reaches the cache and journal, event
 //! streams close, and the process exits 0. A second SIGINT kills
 //! immediately (the handler re-arms the default disposition).
 
 use scu_harness::CliArgs;
-use scu_server::{Scheduler, SchedulerConfig, Server};
+use scu_server::{Scheduler, SchedulerConfig, Server, ServerConfig};
 
 const USAGE: &str = "scu_serve options:\n  \
     --addr HOST       bind address (default: 127.0.0.1)\n  \
-    --port N          bind port (default: 7878; 0 = OS-assigned)\n\
+    --port N          bind port (default: 7878; 0 = OS-assigned)\n  \
+    --max-pending N   cap on queued cells before sweeps are shed with 429\n  \
+    --max-conns N     cap on connections waiting for a handler (shed with 503)\n  \
+    --request-deadline SECS\n                    \
+    wall-clock budget for reading one request (slowloris cutoff)\n\
 plus the shared harness flags (--jobs, --sim-threads, --no-cache, --retries)";
 
 fn main() {
     let args = CliArgs::from_env();
     let mut addr = "127.0.0.1".to_string();
     let mut port = 7878u16;
+    let mut scheduler_cfg = SchedulerConfig::from_cli(&args);
+    let mut server_cfg = ServerConfig::default();
     let mut rest = args.rest.iter();
     while let Some(arg) = rest.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -52,6 +64,23 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--max-pending" => {
+                let v = value("a cell count");
+                scheduler_cfg.max_pending_cells = parse_or_die(flag, &v, "a positive number");
+            }
+            "--max-conns" => {
+                let v = value("a connection count");
+                server_cfg.max_queued_conns = parse_or_die(flag, &v, "a positive number");
+            }
+            "--request-deadline" => {
+                let v = value("a number of seconds");
+                let secs: f64 = parse_or_die(flag, &v, "a number of seconds");
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--request-deadline expects a positive number of seconds\n{USAGE}");
+                    std::process::exit(2);
+                }
+                server_cfg.request_deadline = std::time::Duration::from_secs_f64(secs);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}\n{}", scu_harness::cli::USAGE);
                 return;
@@ -63,8 +92,8 @@ fn main() {
         }
     }
     scu_algos::SimThreads::set(args.sim_threads);
-    let scheduler = Scheduler::new(SchedulerConfig::from_cli(&args));
-    let server = match Server::bind(&format!("{addr}:{port}"), scheduler) {
+    let scheduler = Scheduler::new(scheduler_cfg);
+    let server = match Server::bind_with(&format!("{addr}:{port}"), scheduler, server_cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}:{port}: {e}");
@@ -92,4 +121,11 @@ fn main() {
 
     server.run();
     eprintln!("scu-serve: drained and journaled; goodbye");
+}
+
+fn parse_or_die<T: std::str::FromStr>(flag: &str, v: &str, what: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects {what}, got '{v}'\n{USAGE}");
+        std::process::exit(2);
+    })
 }

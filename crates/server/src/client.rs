@@ -5,10 +5,19 @@
 //! the chunked NDJSON event stream incrementally, invoking the
 //! callback per event as it arrives — the CLI passthrough and the
 //! tests both watch sweeps live through it.
+//!
+//! Transient failures — connection/socket errors, `429`, and
+//! "overloaded" `503`s — are retried with the harness's
+//! capped-exponential-backoff policy ([`scu_harness::capped_backoff`],
+//! default 2 retries, 100 ms base, 2 s cap). Non-transient errors
+//! (4xx rejections, "shutting down" 503s) surface immediately, and an
+//! event stream never retries once events have started flowing.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
+use scu_harness::capped_backoff;
 use serde_json::Value;
 
 /// Client-side failures, with the HTTP error body when there was one.
@@ -42,6 +51,22 @@ impl From<std::io::Error> for ClientError {
 #[derive(Debug, Clone)]
 pub struct Client {
     host: String,
+    retries: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+}
+
+/// Whether an error is worth retrying: the server may come back
+/// (socket-level failure), asked us to retry (`429`), or shed us under
+/// load (`503` "overloaded"). A "shutting down" `503` and all 4xx
+/// rejections are final.
+fn is_transient(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_) => true,
+        ClientError::Http(429, _) => true,
+        ClientError::Http(503, msg) => msg.contains("overloaded"),
+        _ => false,
+    }
 }
 
 impl Client {
@@ -53,7 +78,26 @@ impl Client {
             .trim_start_matches("http://")
             .trim_end_matches('/')
             .to_string();
-        Client { host }
+        Client {
+            host,
+            retries: 2,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+
+    /// Retry budget for transient errors (default 2; 0 = single shot).
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Base backoff (doubles per attempt) and its cap, mirroring the
+    /// harness executor's knobs.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Client {
+        self.backoff = base;
+        self.backoff_cap = cap;
+        self
     }
 
     /// `GET /healthz`.
@@ -106,24 +150,9 @@ impl Client {
         id: u64,
         mut on_event: impl FnMut(&Value),
     ) -> Result<(), ClientError> {
-        let mut stream = TcpStream::connect(&self.host)?;
-        write!(
-            stream,
-            "GET /sweeps/{id}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
-            self.host
-        )?;
-        stream.flush()?;
-        let mut reader = BufReader::new(stream);
-        let (status, chunked, _content_length) = read_response_head(&mut reader)?;
-        if status != 200 {
-            let body = read_plain_body(&mut reader, None)?;
-            return Err(ClientError::Http(status, error_message(&body)));
-        }
-        if !chunked {
-            return Err(ClientError::Protocol(
-                "event stream is not chunked".to_string(),
-            ));
-        }
+        // Only the connection phase retries: once events flow, a retry
+        // would replay the stream from the start and duplicate them.
+        let mut reader = self.retrying(|| self.open_event_stream(id))?;
         // Chunk boundaries and event boundaries are independent;
         // accumulate bytes and peel complete newline-terminated events.
         let mut buffer = String::new();
@@ -165,8 +194,61 @@ impl Client {
         self.sweep(id)
     }
 
-    /// One request, one response body parsed as JSON.
+    /// Opens the event-stream connection and reads the response head;
+    /// the returned reader is positioned at the first chunk.
+    fn open_event_stream(&self, id: u64) -> Result<BufReader<TcpStream>, ClientError> {
+        let mut stream = TcpStream::connect(&self.host)?;
+        write!(
+            stream,
+            "GET /sweeps/{id}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.host
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let (status, chunked, _content_length) = read_response_head(&mut reader)?;
+        if status != 200 {
+            let body = read_plain_body(&mut reader, None)?;
+            return Err(ClientError::Http(status, error_message(&body)));
+        }
+        if !chunked {
+            return Err(ClientError::Protocol(
+                "event stream is not chunked".to_string(),
+            ));
+        }
+        Ok(reader)
+    }
+
+    /// Runs `attempt` up to `1 + retries` times, sleeping the shared
+    /// capped-exponential backoff between transient failures.
+    fn retrying<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut failures = 0usize;
+        loop {
+            match attempt() {
+                Err(e) if failures < self.retries as usize && is_transient(&e) => {
+                    std::thread::sleep(capped_backoff(self.backoff, self.backoff_cap, failures));
+                    failures += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One request, one response body parsed as JSON, with transient
+    /// errors retried.
     fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<Value, ClientError> {
+        self.retrying(|| self.request_once(method, path, body))
+    }
+
+    /// A single request attempt.
+    fn request_once(
         &self,
         method: &str,
         path: &str,
@@ -224,7 +306,14 @@ fn read_response_head(
     reader: &mut BufReader<TcpStream>,
 ) -> Result<(u16, bool, Option<usize>), ClientError> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        // The server accepted and dropped us without a byte (accept
+        // fault, crash): a connection-level failure, hence retryable.
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)

@@ -8,10 +8,18 @@
 //! (`Connection: close`), which keeps the server loop and the client
 //! trivially correct at the cost of a TCP handshake per call — noise
 //! next to a simulator cell.
+//!
+//! Reads are hostile-input hardened: the parser pulls the socket in
+//! blocks (never a syscall per byte), enforces [`ReadLimits`] on head
+//! and body size, and checks an optional wall-clock deadline between
+//! blocks so a trickling ("slowloris") client is cut off even though
+//! each individual `read(2)` succeeds within the socket timeout.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
+use scu_harness::failpoint;
 use serde_json::Value;
 
 /// Parsed request: method, percent-free path, and raw body bytes.
@@ -28,32 +36,95 @@ pub struct Request {
 
 /// Largest accepted header block — a request line plus a handful of
 /// headers fits in a fraction of this.
-const MAX_HEAD: usize = 16 * 1024;
+pub const MAX_HEAD: usize = 16 * 1024;
 
 /// Largest accepted body: a full 240-cell sweep spec is ~30 KB.
-const MAX_BODY: usize = 4 * 1024 * 1024;
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
 
-/// Reads one request off the stream.
+/// Bounds on a single request read; see [`read_request`].
+#[derive(Debug, Clone)]
+pub struct ReadLimits {
+    /// Reject heads larger than this.
+    pub max_head: usize,
+    /// Reject declared bodies larger than this.
+    pub max_body: usize,
+    /// Total wall-clock budget for reading the whole request. `None`
+    /// leaves only the socket's own read timeout (which a trickling
+    /// client can satisfy forever one byte at a time).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        ReadLimits {
+            max_head: MAX_HEAD,
+            max_body: MAX_BODY,
+            deadline: None,
+        }
+    }
+}
+
+/// Reads one request off the stream (failpoint site: `server-read`).
 ///
 /// # Errors
 ///
-/// Returns `Err` on connection errors, malformed syntax, or
-/// oversized head/body; the caller drops the connection either way.
-pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    // Accumulate until the blank line ending the header block.
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() > MAX_HEAD {
+/// Returns `Err` on connection errors, malformed syntax, oversized
+/// head/body (`InvalidData`, message contains "too large"), or an
+/// expired deadline (`TimedOut`); the caller drops the connection
+/// either way.
+pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> std::io::Result<Request> {
+    failpoint::io("server-read")?;
+    read_request_from(stream, limits)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// The transport-agnostic parser behind [`read_request`]; the fuzz
+/// suite drives it with in-memory readers. Reads in blocks, checking
+/// the deadline each time at least one byte (or one block) arrives, so
+/// wall-clock spent on a request is bounded by `limits.deadline` plus
+/// one socket-timeout window.
+///
+/// # Errors
+///
+/// See [`read_request`].
+pub fn read_request_from<R: Read>(reader: &mut R, limits: &ReadLimits) -> std::io::Result<Request> {
+    let deadline = limits.deadline.map(|d| Instant::now() + d);
+    // --- head: accumulate blocks until the blank line ---------------
+    let mut head: Vec<u8> = Vec::new();
+    let mut block = [0u8; 1024];
+    let body_start = loop {
+        if expired(deadline) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        if head.len() > limits.max_head {
             return Err(bad("header block too large"));
         }
-        let n = stream.read(&mut byte)?;
+        let n = reader.read(&mut block)?;
         if n == 0 {
             return Err(bad("connection closed mid-request"));
         }
-        head.push(byte[0]);
+        let scan_from = head.len().saturating_sub(3);
+        head.extend_from_slice(&block[..n]);
+        if let Some(at) = find_terminator(&head[scan_from..]) {
+            break scan_from + at + 4;
+        }
+    };
+    if body_start > limits.max_head + 4 {
+        return Err(bad("header block too large"));
     }
+    // Blocks may have read past the blank line; those bytes are the
+    // front of the body.
+    let leftover = head.split_off(body_start);
     let head = String::from_utf8(head).map_err(|_| bad("header block is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -71,16 +142,37 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
             }
         }
     }
-    if content_length > MAX_BODY {
+    if content_length > limits.max_body {
         return Err(bad("body too large"));
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
+    // --- body: leftover head bytes first, then blocks ---------------
+    let mut body = leftover;
+    body.truncate(content_length); // pipelined junk past the body is dropped
+    let mut filled = body.len();
+    body.resize(content_length, 0);
+    while filled < content_length {
+        if expired(deadline) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        let n = reader.read(&mut body[filled..])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        filled += n;
+    }
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
         body,
     })
+}
+
+/// Index of the `\r\n\r\n` head terminator in `buf`, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// The reason phrase for the status codes this server emits.
@@ -91,6 +183,9 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -99,21 +194,48 @@ pub fn status_text(status: u16) -> &'static str {
 
 /// Writes a complete fixed-length JSON response and flushes.
 pub fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
+    respond_json_with(stream, status, &[], body)
+}
+
+/// [`respond_json`] plus extra response headers (e.g. `Retry-After`).
+pub fn respond_json_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &Value,
+) -> std::io::Result<()> {
     let text = serde_json::to_string(body).expect("serialising a Value cannot fail");
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         status_text(status),
         text.len(),
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{text}")?;
     stream.flush()
 }
 
 /// Writes the standard error shape: `{"error": "..."}`.
 pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
-    respond_json(
+    respond_error_with(stream, status, &[], message)
+}
+
+/// [`respond_error`] plus extra response headers.
+pub fn respond_error_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    message: &str,
+) -> std::io::Result<()> {
+    respond_json_with(
         stream,
         status,
+        extra_headers,
         &Value::Object(vec![("error".to_string(), Value::Str(message.to_string()))]),
     )
 }
@@ -137,8 +259,10 @@ impl<'a> ChunkedWriter<'a> {
         Ok(ChunkedWriter { stream })
     }
 
-    /// Sends one event as its own chunk, newline-terminated.
+    /// Sends one event as its own chunk, newline-terminated
+    /// (failpoint site: `server-stream-write`).
     pub fn send(&mut self, event: &Value) -> std::io::Result<()> {
+        failpoint::io("server-stream-write")?;
         let mut line = serde_json::to_string(event).expect("serialising a Value cannot fail");
         line.push('\n');
         write!(self.stream, "{:x}\r\n{line}\r\n", line.len())?;
@@ -168,7 +292,7 @@ mod tests {
         // of blocking the parser forever.
         drop(tx);
         let (mut rx, _) = listener.accept().unwrap();
-        read_request(&mut rx)
+        read_request(&mut rx, &ReadLimits::default())
     }
 
     #[test]
@@ -199,5 +323,118 @@ mod tests {
             parse(b"GET /x HTTP/1.1\r\nAccept: text").is_err(),
             "closed mid-headers"
         );
+    }
+
+    #[test]
+    fn body_split_across_head_block_is_reassembled() {
+        // The 1 KiB read blocks always grab body bytes together with
+        // the head here; the parser must hand them back intact.
+        let mut raw = b"POST /sweeps HTTP/1.1\r\nContent-Length: 5000\r\n\r\n".to_vec();
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        raw.extend_from_slice(&payload);
+        let r = parse(&raw).unwrap();
+        assert_eq!(r.body, payload);
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        while raw.len() <= MAX_HEAD + 8 {
+            raw.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+        let err = parse(
+            format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn deadline_cuts_off_a_trickling_body() {
+        // A Read that yields one byte per call, forever: without the
+        // deadline the parser would loop until content_length.
+        struct Trickle;
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(1));
+                buf[0] = b'a';
+                Ok(1)
+            }
+        }
+        let head = b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+        let mut reader = std::io::Read::chain(&head[..], Trickle);
+        let limits = ReadLimits {
+            deadline: Some(Duration::from_millis(50)),
+            ..ReadLimits::default()
+        };
+        let start = Instant::now();
+        let err = read_request_from(&mut reader, &limits).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "cut off promptly"
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_off_a_trickling_head() {
+        struct DripHead {
+            sent: usize,
+        }
+        impl Read for DripHead {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(1));
+                // An endless header that never reaches the blank line.
+                buf[0] = if self.sent.is_multiple_of(64) {
+                    b'\n'
+                } else {
+                    b'h'
+                };
+                self.sent += 1;
+                Ok(1)
+            }
+        }
+        let limits = ReadLimits {
+            deadline: Some(Duration::from_millis(50)),
+            ..ReadLimits::default()
+        };
+        let err = read_request_from(&mut DripHead { sent: 1 }, &limits).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn server_read_failpoint_injects() {
+        let _fp = scu_harness::failpoint::scoped("server-read=disconnect");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        let err = read_request(&mut rx, &ReadLimits::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        respond_error_with(&mut rx, 429, &[("Retry-After", "1")], "overloaded").unwrap();
+        drop(rx);
+        let mut raw = String::new();
+        tx.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("Retry-After: 1\r\n"), "{raw}");
+        assert!(raw.ends_with("{\"error\":\"overloaded\"}"), "{raw}");
     }
 }

@@ -20,9 +20,18 @@
 //!   sweep submission, status, chunked event streams, cache reads,
 //!   metrics.
 //! - [`client`] — the blocking client the CLI passthrough
-//!   (`run_one --remote`) and the end-to-end tests use.
+//!   (`run_one --remote`) and the end-to-end tests use, with
+//!   capped-exponential-backoff retries on transient errors.
 //! - [`api`] / [`http`] — the JSON request surface and the protocol
 //!   plumbing.
+//!
+//! The server is hardened for hostile and degraded conditions: socket
+//! read/write timeouts plus a per-request wall-clock deadline
+//! (slowloris-proof), a bounded connection queue and pending-cell
+//! admission cap that shed overload with `503`/`429 Retry-After`,
+//! per-sweep deadlines that cancel unresolved cells, and mid-stream
+//! disconnect detection that releases orphaned sweeps. The failure
+//! model and its failpoint sites are documented in DESIGN.md §3e.
 //!
 //! Results served over HTTP are byte-identical to `run_one`'s: both
 //! paths build cells through
@@ -36,5 +45,6 @@ pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use scheduler::{Counters, Scheduler, SchedulerConfig, SweepState};
-pub use server::{Server, ServerHandle};
+pub use http::ReadLimits;
+pub use scheduler::{Counters, Scheduler, SchedulerConfig, SweepState, DEFAULT_MAX_PENDING_CELLS};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -19,10 +19,14 @@
 //!
 //! Completions stream to every waiting sweep through the harness's
 //! progress-observer hook; a panicking cell fails only the sweeps that
-//! asked for it. Shutdown raises a scheduler-scoped cancel flag: the
-//! running batch drains (in-flight cells finish and reach the
-//! journal), unstarted cells report `cancelled`, and a restarted
-//! daemon resumes warm from the cache and journal.
+//! asked for it. Shutdown — and a batch whose every waiter cancelled,
+//! disconnected, or ran out of deadline — raises that batch's drain
+//! flag: in-flight cells finish and reach the journal, unstarted cells
+//! report `cancelled`, and a restarted daemon resumes warm from the
+//! cache and journal. Admission is bounded: a pending backlog past
+//! `max_pending_cells` rejects new sweeps ("overloaded" → HTTP 429),
+//! and each sweep may carry a wall-clock deadline enforced by a
+//! watcher thread.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -54,6 +58,10 @@ pub struct SchedulerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Completion journal; `None` disables warm restarts.
     pub manifest: Option<PathBuf>,
+    /// Admission cap: submissions are rejected (HTTP 429) while this
+    /// many cells are already queued for the dispatcher. The running
+    /// batch does not count — only the backlog behind it.
+    pub max_pending_cells: usize,
 }
 
 impl SchedulerConfig {
@@ -69,8 +77,25 @@ impl SchedulerConfig {
             cache_dir: (!args.no_cache)
                 .then(|| PathBuf::from(scu_harness::session::DEFAULT_CACHE_DIR)),
             manifest: Some(PathBuf::from(scu_harness::session::DEFAULT_MANIFEST)),
+            max_pending_cells: DEFAULT_MAX_PENDING_CELLS,
         }
     }
+}
+
+/// Default admission cap: several full matrices of backlog. Deep
+/// enough that overlapping clients never see it, shallow enough that a
+/// submission flood cannot grow the queue without bound.
+pub const DEFAULT_MAX_PENDING_CELLS: usize = 4096;
+
+/// Why a sweep was torn down before its cells resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReleaseReason {
+    /// The client asked (`DELETE /sweeps/{id}`).
+    Cancelled,
+    /// The client vanished mid-event-stream.
+    Disconnected,
+    /// The sweep's wall-clock deadline expired.
+    DeadlineExpired,
 }
 
 /// How one cell ended, as delivered to the sweeps waiting on it.
@@ -99,6 +124,8 @@ pub struct SweepState {
     pub id: u64,
     /// Planned cell ids, in request order.
     pub cells: Vec<String>,
+    /// Wall-clock instant past which the sweep is force-cancelled.
+    deadline: Option<Instant>,
     log: Mutex<SweepLog>,
     cond: Condvar,
 }
@@ -132,10 +159,11 @@ impl std::fmt::Debug for SweepState {
 }
 
 impl SweepState {
-    fn new(id: u64, cells: Vec<String>) -> Arc<Self> {
+    fn new(id: u64, cells: Vec<String>, deadline: Option<Instant>) -> Arc<Self> {
         Arc::new(SweepState {
             id,
             cells,
+            deadline,
             log: Mutex::new(SweepLog::default()),
             cond: Condvar::new(),
         })
@@ -208,19 +236,50 @@ impl SweepState {
         self.cond.notify_all();
     }
 
-    /// Marks the sweep cancelled and closes its event stream.
-    fn cancel(&self) {
-        let mut log = lock_unpoisoned(&self.log, "sweep log");
-        if log.done {
-            return;
+    /// Marks the sweep cancelled, resolves every still-pending cell as
+    /// `Cancelled`, and closes the stream through the normal done
+    /// event — clients see a `cancelled` marker, one terminal event
+    /// per remaining cell, then `done`. Late real resolutions are
+    /// dropped by [`SweepState::deliver`]'s already-resolved guard.
+    fn cancel(&self, reason: ReleaseReason) {
+        {
+            let mut log = lock_unpoisoned(&self.log, "sweep log");
+            if log.done || log.cancelled {
+                return;
+            }
+            log.cancelled = true;
+            log.events.push(Value::Object(vec![
+                ("type".to_string(), Value::Str("cancelled".to_string())),
+                ("sweep".to_string(), Value::U64(self.id)),
+                (
+                    "reason".to_string(),
+                    Value::Str(
+                        match reason {
+                            ReleaseReason::Cancelled => "client-request",
+                            ReleaseReason::Disconnected => "client-disconnected",
+                            ReleaseReason::DeadlineExpired => "deadline-expired",
+                        }
+                        .to_string(),
+                    ),
+                ),
+            ]));
+            self.cond.notify_all();
         }
-        log.cancelled = true;
-        log.done = true;
-        log.events.push(Value::Object(vec![
-            ("type".to_string(), Value::Str("cancelled".to_string())),
-            ("sweep".to_string(), Value::U64(self.id)),
-        ]));
-        self.cond.notify_all();
+        for cell_id in &self.cells {
+            self.deliver(cell_id, &CellOutcome::Cancelled, None);
+        }
+    }
+
+    /// Whether the sweep's deadline has passed while it is still open.
+    fn deadline_expired(&self, now: Instant) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if now < deadline {
+            return false;
+        }
+        let log = lock_unpoisoned(&self.log, "sweep log");
+        !log.done && !log.cancelled
     }
 
     /// The status document served at `GET /sweeps/{id}`.
@@ -341,6 +400,19 @@ pub struct Counters {
     pub cell_time_ns: u64,
     /// Sum of batch wall-clock, nanoseconds.
     pub wall_ns: u64,
+    /// Submissions refused by the admission cap.
+    pub rejected_sweeps: u64,
+    /// Sweeps force-cancelled by their wall-clock deadline.
+    pub deadline_expired: u64,
+    /// Event streams whose client vanished mid-stream.
+    pub disconnected_streams: u64,
+    /// Timed-out worker threads abandoned across all batches
+    /// (from [`scu_harness::SweepSummary::leaked_threads`]).
+    pub leaked_threads: u64,
+    /// Cells that needed at least one retry before resolving.
+    pub retried_cells: u64,
+    /// Total retry attempts across all cells and batches.
+    pub retry_attempts: u64,
 }
 
 struct Inner {
@@ -350,6 +422,10 @@ struct Inner {
     next_id: u64,
     shutdown: bool,
     busy: bool,
+    /// Drain flag for the batch the dispatcher is currently running;
+    /// raised by shutdown or when every unresolved cell in the batch
+    /// loses its last waiter (orphaned work).
+    batch_cancel: Option<Arc<AtomicBool>>,
     counters: Counters,
 }
 
@@ -362,12 +438,11 @@ pub struct Scheduler {
     inner: Mutex<Inner>,
     /// Wakes the dispatcher when cells are queued or shutdown begins.
     wake: Condvar,
-    /// Scheduler-scoped batch drain flag (not the process SIGINT flag,
-    /// so embedding tests and graceful shutdown don't poison other
-    /// sweeps in the process).
-    cancel: Arc<AtomicBool>,
+    /// Stops the deadline watcher thread.
+    stopping: Arc<AtomicBool>,
     started: Instant,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
+    watcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Scheduler {
@@ -401,12 +476,14 @@ impl Scheduler {
                 next_id: 1,
                 shutdown: false,
                 busy: false,
+                batch_cancel: None,
                 counters: Counters::default(),
             }),
             wake: Condvar::new(),
-            cancel: Arc::new(AtomicBool::new(false)),
+            stopping: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
             dispatcher: Mutex::new(None),
+            watcher: Mutex::new(None),
         });
         let worker = Arc::clone(&scheduler);
         let handle = std::thread::Builder::new()
@@ -414,7 +491,34 @@ impl Scheduler {
             .spawn(move || worker.dispatch_loop())
             .expect("spawning the dispatcher thread");
         *lock_unpoisoned(&scheduler.dispatcher, "dispatcher handle") = Some(handle);
+        let sentry = Arc::clone(&scheduler);
+        let handle = std::thread::Builder::new()
+            .name("scu-deadline".to_string())
+            .spawn(move || sentry.deadline_loop())
+            .expect("spawning the deadline watcher thread");
+        *lock_unpoisoned(&scheduler.watcher, "deadline watcher handle") = Some(handle);
         scheduler
+    }
+
+    /// The deadline watcher: force-cancels sweeps whose wall-clock
+    /// budget ran out, ~20 ms granularity.
+    fn deadline_loop(self: Arc<Self>) {
+        while !self.stopping.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            let expired: Vec<Arc<SweepState>> = {
+                let inner = lock_unpoisoned(&self.inner, "scheduler");
+                inner
+                    .sweeps
+                    .values()
+                    .filter(|s| s.deadline_expired(now))
+                    .cloned()
+                    .collect()
+            };
+            for sweep in expired {
+                self.release_sweep(&sweep, ReleaseReason::DeadlineExpired);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
     }
 
     /// Cells this server can serve.
@@ -428,13 +532,22 @@ impl Scheduler {
     }
 
     /// Accepts a sweep: dedups against the cache, coalesces against
-    /// in-flight cells, queues the rest, and returns the sweep handle.
+    /// in-flight cells, queues the rest, and returns the sweep handle
+    /// (failpoint site: `scheduler-enqueue`). `deadline` is a
+    /// wall-clock budget for the whole sweep; when it expires the
+    /// deadline watcher force-cancels whatever has not resolved.
     ///
     /// # Errors
     ///
-    /// Rejects cells outside the catalog and submissions during
-    /// shutdown.
-    pub fn submit(&self, cells: Vec<Cell>) -> Result<Arc<SweepState>, String> {
+    /// Rejects cells outside the catalog, submissions during shutdown,
+    /// and submissions while the pending backlog is at the admission
+    /// cap (the error contains "overloaded"; HTTP maps it to 429).
+    pub fn submit(
+        &self,
+        cells: Vec<Cell>,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Arc<SweepState>, String> {
+        scu_harness::failpoint::check("scheduler-enqueue").map_err(|e| e.to_string())?;
         for cell in &cells {
             match self.catalog.get(&cell.id()) {
                 Some(known) if known == cell => {}
@@ -463,9 +576,21 @@ impl Scheduler {
             if inner.shutdown {
                 return Err("server is shutting down".to_string());
             }
+            if inner.pending.len() >= self.cfg.max_pending_cells {
+                inner.counters.rejected_sweeps += 1;
+                return Err(format!(
+                    "server overloaded: {} cells already pending (cap {}); retry later",
+                    inner.pending.len(),
+                    self.cfg.max_pending_cells
+                ));
+            }
             let id = inner.next_id;
             inner.next_id += 1;
-            let sweep = SweepState::new(id, cells.iter().map(Cell::id).collect());
+            let sweep = SweepState::new(
+                id,
+                cells.iter().map(Cell::id).collect(),
+                deadline.map(|d| Instant::now() + d),
+            );
             inner.sweeps.insert(id, Arc::clone(&sweep));
             inner.counters.sweeps += 1;
             inner.counters.cells_requested += cells.len() as u64;
@@ -517,15 +642,47 @@ impl Scheduler {
             .cloned()
     }
 
-    /// Cancels a sweep: closes its event stream, detaches it from
-    /// in-flight cells, and unschedules cells nobody else wants that
-    /// have not started. Returns false for unknown ids.
+    /// Cancels a sweep on client request (`DELETE /sweeps/{id}`):
+    /// closes its event stream, detaches it from in-flight cells, and
+    /// unschedules cells nobody else wants that have not started.
+    /// Returns false for unknown ids.
     pub fn cancel_sweep(&self, id: u64) -> bool {
-        let Some(sweep) = self.sweep(id) else {
-            return false;
-        };
+        match self.sweep(id) {
+            Some(sweep) => {
+                self.release_sweep(&sweep, ReleaseReason::Cancelled);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tears a sweep down after its event-stream client vanished:
+    /// identical to a cancel, but counted separately. Orphaned cells
+    /// stop consuming the harness; coalesced cells survive through
+    /// their other waiters.
+    pub fn client_disconnected(&self, id: u64) -> bool {
+        match self.sweep(id) {
+            Some(sweep) => {
+                self.release_sweep(&sweep, ReleaseReason::Disconnected);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The common teardown: detach the sweep from its cells, unschedule
+    /// queue entries nobody else wants, raise the running batch's drain
+    /// flag once every unresolved cell is orphaned, then resolve the
+    /// sweep's own view as cancelled.
+    fn release_sweep(&self, sweep: &Arc<SweepState>, reason: ReleaseReason) {
+        let id = sweep.id;
         {
             let mut inner = lock_unpoisoned(&self.inner, "scheduler");
+            match reason {
+                ReleaseReason::Cancelled => {}
+                ReleaseReason::Disconnected => inner.counters.disconnected_streams += 1,
+                ReleaseReason::DeadlineExpired => inner.counters.deadline_expired += 1,
+            }
             for cell_id in &sweep.cells {
                 let orphaned = match inner.inflight.get_mut(cell_id) {
                     Some(entry) => {
@@ -543,9 +700,21 @@ impl Scheduler {
                     inner.counters.cancelled += 1;
                 }
             }
+            // If the running batch now computes exclusively for ghosts,
+            // drain it: in-flight cells finish into the cache, the rest
+            // report cancelled.
+            let all_orphaned = inner
+                .inflight
+                .values()
+                .filter(|e| e.outcome.is_none())
+                .all(|e| e.waiters.is_empty());
+            if inner.busy && all_orphaned {
+                if let Some(flag) = &inner.batch_cancel {
+                    flag.store(true, Ordering::SeqCst);
+                }
+            }
         }
-        sweep.cancel();
-        true
+        sweep.cancel(reason);
     }
 
     /// Resolves one unique cell and fans the outcome out to its
@@ -577,7 +746,7 @@ impl Scheduler {
     /// on the shared harness, resolve, repeat until shutdown.
     fn dispatch_loop(self: Arc<Self>) {
         loop {
-            let batch: Vec<String> = {
+            let (batch, batch_cancel): (Vec<String>, Arc<AtomicBool>) = {
                 let mut inner = lock_unpoisoned(&self.inner, "scheduler");
                 while inner.pending.is_empty() && !inner.shutdown {
                     inner = self
@@ -590,11 +759,18 @@ impl Scheduler {
                 }
                 inner.busy = true;
                 inner.counters.batches += 1;
-                std::mem::take(&mut inner.pending)
+                // The flag is installed under the same lock that
+                // checked `shutdown`, so a concurrent shutdown always
+                // either sees it here or the dispatcher sees the flag
+                // before starting the next batch.
+                let flag = Arc::new(AtomicBool::new(false));
+                inner.batch_cancel = Some(Arc::clone(&flag));
+                (std::mem::take(&mut inner.pending), flag)
             };
-            Arc::clone(&self).run_batch(&batch);
+            Arc::clone(&self).run_batch(&batch, batch_cancel);
             let mut inner = lock_unpoisoned(&self.inner, "scheduler");
             inner.busy = false;
+            inner.batch_cancel = None;
             for cell_id in &batch {
                 inner.inflight.remove(cell_id);
             }
@@ -617,7 +793,10 @@ impl Scheduler {
     }
 
     /// Runs one batch of unique cells through the shared harness.
-    fn run_batch(self: Arc<Self>, batch: &[String]) {
+    /// `batch_cancel` drains the batch early (shutdown, or every
+    /// waiter gone): in-flight cells finish into the cache, unstarted
+    /// ones report cancelled.
+    fn run_batch(self: Arc<Self>, batch: &[String], batch_cancel: Arc<AtomicBool>) {
         // Fresh values land here from the job closures, so the
         // observer can deliver them to waiters the moment the harness
         // reports the completion — mid-batch, not at batch end.
@@ -667,7 +846,7 @@ impl Scheduler {
             .threads_per_job(self.cfg.sim_threads)
             .retries(self.cfg.retries)
             .observer(observer)
-            .cancel_flag(Arc::clone(&self.cancel));
+            .cancel_flag(batch_cancel);
         if let Some(dir) = &self.cfg.cache_dir {
             harness = harness.cache_dir(dir.clone());
         }
@@ -700,6 +879,13 @@ impl Scheduler {
         let mut inner = lock_unpoisoned(&self.inner, "scheduler");
         inner.counters.cell_time_ns += sweep.summary.cell_time.as_nanos() as u64;
         inner.counters.wall_ns += sweep.summary.wall.as_nanos() as u64;
+        inner.counters.leaked_threads += sweep.summary.leaked_threads as u64;
+        inner.counters.retried_cells += sweep.summary.retried.len() as u64;
+        inner.counters.retry_attempts += sweep
+            .outcomes
+            .iter()
+            .map(|o| o.retries().len() as u64)
+            .sum::<u64>();
     }
 
     /// Serves `GET /cells/{id}` — a pure cache read, never a
@@ -732,6 +918,7 @@ impl Scheduler {
             0.0
         };
         let cache_stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let load = Self::load_state_of(&inner, self.cfg.max_pending_cells);
         Value::Object(vec![
             (
                 "uptime_secs".to_string(),
@@ -765,12 +952,50 @@ impl Scheduler {
                 Value::U64(cache_stats.hits + cache_stats.misses),
             ),
             ("worker_utilization".to_string(), Value::F64(utilization)),
+            ("load".to_string(), Value::Str(load.to_string())),
+            (
+                "pending_cap".to_string(),
+                Value::U64(self.cfg.max_pending_cells as u64),
+            ),
+            ("rejected_sweeps".to_string(), Value::U64(c.rejected_sweeps)),
+            (
+                "deadline_expired".to_string(),
+                Value::U64(c.deadline_expired),
+            ),
+            (
+                "disconnected_streams".to_string(),
+                Value::U64(c.disconnected_streams),
+            ),
+            ("leaked_threads".to_string(), Value::U64(c.leaked_threads)),
+            ("retried_cells".to_string(), Value::U64(c.retried_cells)),
+            ("retry_attempts".to_string(), Value::U64(c.retry_attempts)),
         ])
     }
 
     /// Uptime for `GET /healthz`.
     pub fn uptime_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Coarse load state for `/healthz` and `/metrics`: `ok`, `busy`
+    /// (a batch is running or cells are queued), `overloaded` (the
+    /// admission cap is rejecting submissions), or `draining`
+    /// (shutdown in progress).
+    pub fn load_state(&self) -> &'static str {
+        let inner = lock_unpoisoned(&self.inner, "scheduler");
+        Self::load_state_of(&inner, self.cfg.max_pending_cells)
+    }
+
+    fn load_state_of(inner: &Inner, cap: usize) -> &'static str {
+        if inner.shutdown {
+            "draining"
+        } else if inner.pending.len() >= cap {
+            "overloaded"
+        } else if inner.busy || !inner.pending.is_empty() {
+            "busy"
+        } else {
+            "ok"
+        }
     }
 
     /// Drains and stops the dispatcher: the running batch's in-flight
@@ -781,10 +1006,17 @@ impl Scheduler {
         {
             let mut inner = lock_unpoisoned(&self.inner, "scheduler");
             inner.shutdown = true;
+            if let Some(flag) = &inner.batch_cancel {
+                flag.store(true, Ordering::SeqCst);
+            }
         }
-        self.cancel.store(true, Ordering::SeqCst);
+        self.stopping.store(true, Ordering::SeqCst);
         self.wake.notify_all();
         let handle = lock_unpoisoned(&self.dispatcher, "dispatcher handle").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        let handle = lock_unpoisoned(&self.watcher, "deadline watcher handle").take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }

@@ -2,7 +2,7 @@
 //!
 //! | method | path                  | behaviour                                   |
 //! |--------|-----------------------|---------------------------------------------|
-//! | GET    | `/healthz`            | liveness + uptime                           |
+//! | GET    | `/healthz`            | liveness + uptime + load state              |
 //! | GET    | `/metrics`            | scheduler counters (dedup proof lives here) |
 //! | POST   | `/sweeps`             | submit a sweep (see [`crate::api`])         |
 //! | GET    | `/sweeps/{id}`        | status + per-cell states                    |
@@ -15,41 +15,93 @@
 //! connections occupy a worker until the sweep closes, so the pool is
 //! sized above the handful of concurrent clients a workstation daemon
 //! sees.
+//!
+//! Degraded-conditions posture (see DESIGN.md §3e):
+//!
+//! - every accepted socket gets read/write timeouts plus a wall-clock
+//!   request deadline, so a slowloris client is cut off, not served;
+//! - the connection queue is bounded — overflow connections are shed
+//!   with an immediate `503 Retry-After` instead of queueing without
+//!   bound;
+//! - a client that vanishes mid-event-stream releases its sweep
+//!   (`Scheduler::client_disconnected`), so orphaned work stops
+//!   consuming the shared harness.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use scu_harness::error::lock_unpoisoned;
+use scu_harness::failpoint;
 use serde_json::Value;
 
 use crate::api;
-use crate::http::{self, ChunkedWriter, Request};
+use crate::http::{self, ChunkedWriter, ReadLimits, Request};
 use crate::scheduler::Scheduler;
 
-/// Connection handler threads. Streaming clients hold a worker each.
-const WORKERS: usize = 8;
+/// Socket and pool knobs; defaults suit a workstation daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection handler threads. Streaming clients hold one each.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this they are
+    /// shed with `503 Retry-After`.
+    pub max_queued_conns: usize,
+    /// Per-`read(2)` socket timeout.
+    pub read_timeout: Duration,
+    /// Per-`write(2)` socket timeout (bounds a stalled stream write).
+    pub write_timeout: Duration,
+    /// Total wall-clock budget for reading one request — the slowloris
+    /// bound (per-read timeouts alone never fire for a client that
+    /// trickles a byte per window).
+    pub request_deadline: Duration,
+}
 
-/// Work queue feeding accepted connections to the handler pool.
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            max_queued_conns: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Work queue feeding accepted connections to the handler pool,
+/// bounded so a connection flood sheds instead of accumulating.
 struct ConnQueue {
     queue: Mutex<(VecDeque<TcpStream>, bool)>,
     ready: Condvar,
+    cap: usize,
+    /// Connections shed because the queue was full.
+    shed: AtomicU64,
 }
 
 impl ConnQueue {
-    fn new() -> Arc<Self> {
+    fn new(cap: usize) -> Arc<Self> {
         Arc::new(ConnQueue {
             queue: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
+            cap: cap.max(1),
+            shed: AtomicU64::new(0),
         })
     }
 
-    fn push(&self, stream: TcpStream) {
-        lock_unpoisoned(&self.queue, "connection queue")
-            .0
-            .push_back(stream);
+    /// Enqueues the connection, or hands it back when the queue is at
+    /// capacity so the caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut guard = lock_unpoisoned(&self.queue, "connection queue");
+        if guard.0.len() >= self.cap {
+            return Err(stream);
+        }
+        guard.0.push_back(stream);
+        drop(guard);
         self.ready.notify_one();
+        Ok(())
     }
 
     fn close(&self) {
@@ -73,12 +125,17 @@ impl ConnQueue {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
+
+    fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
+    cfg: ServerConfig,
     stop: Arc<AtomicBool>,
 }
 
@@ -105,15 +162,30 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener. Use port 0 for an OS-assigned port.
+    /// Binds the listener with default [`ServerConfig`]. Use port 0
+    /// for an OS-assigned port.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure (port in use, bad address).
     pub fn bind(addr: &str, scheduler: Arc<Scheduler>) -> std::io::Result<Server> {
+        Server::bind_with(addr, scheduler, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit socket/pool knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, bad address).
+    pub fn bind_with(
+        addr: &str,
+        scheduler: Arc<Scheduler>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             scheduler,
+            cfg,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -137,16 +209,17 @@ impl Server {
     /// Serves until [`ServerHandle::shutdown`]. Returns after every
     /// worker thread has drained — no leaked threads.
     pub fn run(self) {
-        let queue = ConnQueue::new();
-        let workers: Vec<_> = (0..WORKERS)
+        let queue = ConnQueue::new(self.cfg.max_queued_conns);
+        let workers: Vec<_> = (0..self.cfg.workers.max(1))
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let scheduler = Arc::clone(&self.scheduler);
+                let cfg = self.cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("scu-http-{i}"))
                     .spawn(move || {
                         while let Some(mut stream) = queue.pop() {
-                            handle_connection(&mut stream, &scheduler);
+                            handle_connection(&mut stream, &scheduler, &cfg, &queue);
                         }
                     })
                     .expect("spawning an HTTP worker")
@@ -157,7 +230,19 @@ impl Server {
                 break;
             }
             match conn {
-                Ok(stream) => queue.push(stream),
+                Ok(stream) => {
+                    // Failpoint site: a fault here models accept(2) or
+                    // early-socket failures — the connection is dropped,
+                    // the loop must keep serving.
+                    if let Err(e) = failpoint::io("server-accept") {
+                        eprintln!("[scu-server] accept failed: {e}");
+                        continue;
+                    }
+                    if let Err(stream) = queue.push(stream) {
+                        queue.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream);
+                    }
+                }
                 Err(e) => eprintln!("[scu-server] accept failed: {e}"),
             }
         }
@@ -168,25 +253,61 @@ impl Server {
     }
 }
 
+/// Best-effort `503 Retry-After` on a connection the queue cannot
+/// hold; the write is bounded so a slow flood cannot stall the accept
+/// loop.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = http::respond_error_with(
+        &mut stream,
+        503,
+        &[("Retry-After", "1")],
+        "server overloaded: connection queue is full; retry later",
+    );
+}
+
 /// Reads one request, routes it, writes one response. All errors
 /// degrade to an error response or a dropped connection — a bad client
 /// never takes the server down.
-fn handle_connection(stream: &mut TcpStream, scheduler: &Arc<Scheduler>) {
-    let request = match http::read_request(stream) {
+fn handle_connection(
+    stream: &mut TcpStream,
+    scheduler: &Arc<Scheduler>,
+    cfg: &ServerConfig,
+    queue: &ConnQueue,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let limits = ReadLimits {
+        deadline: Some(cfg.request_deadline),
+        ..ReadLimits::default()
+    };
+    let request = match http::read_request(stream, &limits) {
         Ok(r) => r,
         Err(e) => {
-            let _ = http::respond_error(stream, 400, &format!("malformed request: {e}"));
+            let status = match e.kind() {
+                // The request deadline or a socket read timeout fired:
+                // the client was too slow, not malformed.
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => 408,
+                _ if e.to_string().contains("too large") => 413,
+                _ => 400,
+            };
+            let _ = http::respond_error(stream, status, &format!("bad request: {e}"));
             return;
         }
     };
-    if let Err(e) = route(stream, &request, scheduler) {
+    if let Err(e) = route(stream, &request, scheduler, queue) {
         // The stream is likely gone (client hung up mid-stream); a
         // best-effort error response is all that is left to try.
         let _ = http::respond_error(stream, 500, &format!("{e}"));
     }
 }
 
-fn route(stream: &mut TcpStream, req: &Request, scheduler: &Arc<Scheduler>) -> std::io::Result<()> {
+fn route(
+    stream: &mut TcpStream,
+    req: &Request,
+    scheduler: &Arc<Scheduler>,
+    queue: &ConnQueue,
+) -> std::io::Result<()> {
     let path = req.path.as_str();
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => http::respond_json(
@@ -194,6 +315,10 @@ fn route(stream: &mut TcpStream, req: &Request, scheduler: &Arc<Scheduler>) -> s
             200,
             &Value::Object(vec![
                 ("status".to_string(), Value::Str("ok".to_string())),
+                (
+                    "load".to_string(),
+                    Value::Str(scheduler.load_state().to_string()),
+                ),
                 (
                     "uptime_secs".to_string(),
                     Value::F64(scheduler.uptime_secs()),
@@ -204,7 +329,16 @@ fn route(stream: &mut TcpStream, req: &Request, scheduler: &Arc<Scheduler>) -> s
                 ),
             ]),
         ),
-        ("GET", "/metrics") => http::respond_json(stream, 200, &scheduler.metrics()),
+        ("GET", "/metrics") => {
+            let mut metrics = scheduler.metrics();
+            if let Value::Object(fields) = &mut metrics {
+                fields.push((
+                    "shed_connections".to_string(),
+                    Value::U64(queue.shed_count()),
+                ));
+            }
+            http::respond_json(stream, 200, &metrics)
+        }
         ("POST", "/sweeps") => submit_sweep(stream, req, scheduler),
         _ => {
             if let Some(rest) = path.strip_prefix("/sweeps/") {
@@ -235,7 +369,11 @@ fn submit_sweep(
         Ok(c) => c,
         Err(e) => return http::respond_error(stream, 400, &e),
     };
-    match scheduler.submit(cells) {
+    let deadline = match api::parse_deadline(&body) {
+        Ok(d) => d,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    match scheduler.submit(cells, deadline) {
         Ok(sweep) => http::respond_json(
             stream,
             201,
@@ -255,6 +393,9 @@ fn submit_sweep(
             ]),
         ),
         Err(e) if e.contains("shutting down") => http::respond_error(stream, 503, &e),
+        Err(e) if e.contains("overloaded") => {
+            http::respond_error_with(stream, 429, &[("Retry-After", "1")], &e)
+        }
         Err(e) => http::respond_error(stream, 400, &e),
     }
 }
@@ -279,22 +420,33 @@ fn route_sweep(
         ("GET", None) => http::respond_json(stream, 200, &sweep.status()),
         ("GET", Some("results")) => http::respond_json(stream, 200, &sweep.results()),
         ("GET", Some("events")) => {
-            let mut writer = ChunkedWriter::start(stream, 200)?;
-            let mut cursor = 0usize;
-            loop {
-                let (events, done) = sweep.wait_events(cursor);
-                cursor += events.len();
-                for event in &events {
-                    writer.send(event)?;
+            let streamed = (|| {
+                let mut writer = ChunkedWriter::start(stream, 200)?;
+                let mut cursor = 0usize;
+                loop {
+                    let (events, done) = sweep.wait_events(cursor);
+                    cursor += events.len();
+                    for event in &events {
+                        writer.send(event)?;
+                    }
+                    // `done` was read under the same lock as the copy,
+                    // and nothing appends after it rises — the stream
+                    // is complete.
+                    if done {
+                        break;
+                    }
                 }
-                // `done` was read under the same lock as the copy, and
-                // nothing appends after it rises — the stream is
-                // complete.
-                if done {
-                    break;
-                }
+                writer.finish()
+            })();
+            if let Err(e) = streamed {
+                // The consumer vanished (or stalled past the write
+                // timeout) — possibly before the response head was even
+                // out: release its sweep so orphaned cells stop
+                // consuming the harness, then drop the dead connection.
+                scheduler.client_disconnected(id);
+                return Err(e);
             }
-            writer.finish()
+            Ok(())
         }
         ("DELETE", None) => {
             scheduler.cancel_sweep(id);

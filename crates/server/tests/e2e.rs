@@ -46,6 +46,7 @@ fn config(dir: &Path) -> SchedulerConfig {
         retries: 0,
         cache_dir: Some(dir.join("cache")),
         manifest: Some(dir.join("manifest.json")),
+        max_pending_cells: scu_server::DEFAULT_MAX_PENDING_CELLS,
     }
 }
 
@@ -112,10 +113,10 @@ fn overlapping_sweeps_coalesce_to_one_computation() {
     // while the shared cell is still in flight.
     let fp = failpoint::scoped("cell-run=delay(150)");
     let a = scheduler
-        .submit(vec![x.clone(), y.clone()])
+        .submit(vec![x.clone(), y.clone()], None)
         .expect("submit a");
     let b = scheduler
-        .submit(vec![y.clone(), z.clone()])
+        .submit(vec![y.clone(), z.clone()], None)
         .expect("submit b");
     a.wait_done();
     b.wait_done();
@@ -255,7 +256,7 @@ fn a_panicking_cell_poisons_only_the_sweeps_that_asked_for_it() {
     // Only the first simulated cell panics; retries are off in
     // `config`, so the failure is permanent.
     let fp = failpoint::scoped("cell-run=panic(injected cell crash)@1");
-    let a = scheduler.submit(vec![x.clone()]).expect("submit a");
+    let a = scheduler.submit(vec![x.clone()], None).expect("submit a");
     a.wait_done();
     let status = a.status();
     assert_eq!(field_u64(&status, "failed"), 1);
@@ -269,7 +270,7 @@ fn a_panicking_cell_poisons_only_the_sweeps_that_asked_for_it() {
     assert!(error.contains("injected cell crash"), "{error}");
 
     // The daemon survives: a later sweep on a healthy cell completes.
-    let b = scheduler.submit(vec![y]).expect("submit b");
+    let b = scheduler.submit(vec![y], None).expect("submit b");
     b.wait_done();
     drop(fp);
     let status = b.status();
@@ -295,7 +296,7 @@ fn shutdown_drains_and_a_restart_resumes_warm() {
     let finished_first = {
         let scheduler = Scheduler::new(cfg.clone());
         let fp = failpoint::scoped("cell-run=delay(300)");
-        let sweep = scheduler.submit(cells.clone()).expect("submit");
+        let sweep = scheduler.submit(cells.clone(), None).expect("submit");
         // Shut down mid-batch, after at least one cell completed.
         let (events, _) = sweep.wait_events(0);
         assert!(!events.is_empty());
@@ -313,7 +314,7 @@ fn shutdown_drains_and_a_restart_resumes_warm() {
     // A fresh scheduler over the same directories resumes from the
     // cache: drained cells are submission-time hits, never recomputed.
     let scheduler = Scheduler::new(cfg);
-    let sweep = scheduler.submit(cells).expect("resubmit");
+    let sweep = scheduler.submit(cells, None).expect("resubmit");
     sweep.wait_done();
     let status = sweep.status();
     assert_eq!(field_u64(&status, "finished"), 3);
@@ -332,7 +333,7 @@ fn cancelling_a_sweep_closes_its_stream() {
     let cfg = scheduler.experiment().clone();
     let fp = failpoint::scoped("cell-run=delay(200)");
     let sweep = scheduler
-        .submit(vec![bfs_cond_tx1(&cfg), bfs_kron_tx1(&cfg)])
+        .submit(vec![bfs_cond_tx1(&cfg), bfs_kron_tx1(&cfg)], None)
         .expect("submit");
     assert!(scheduler.cancel_sweep(sweep.id));
     sweep.wait_done();
@@ -353,14 +354,14 @@ fn submissions_outside_the_matrix_or_during_shutdown_are_rejected() {
     // id with a catalog cell but not its parameters.
     let foreign = ExperimentConfig::new();
     let err = scheduler
-        .submit(vec![bfs_cond_tx1(&foreign)])
+        .submit(vec![bfs_cond_tx1(&foreign)], None)
         .expect_err("foreign cells are rejected");
     assert!(err.contains("does not match"), "{err}");
 
     scheduler.shutdown();
     let cfg = scheduler.experiment().clone();
     let err = scheduler
-        .submit(vec![bfs_cond_tx1(&cfg)])
+        .submit(vec![bfs_cond_tx1(&cfg)], None)
         .expect_err("submissions after shutdown are rejected");
     assert!(err.contains("shutting down"), "{err}");
 }

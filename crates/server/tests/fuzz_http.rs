@@ -1,0 +1,95 @@
+//! Property fuzz over the hand-rolled request parser: whatever bytes
+//! arrive — random garbage, truncated heads, absurd `Content-Length`
+//! declarations, non-UTF-8 header blocks — `read_request_from` must
+//! return `Err`, never panic, never loop, and never hand back a body
+//! that disagrees with the request's own declaration.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use scu_server::http::{read_request_from, ReadLimits, MAX_BODY};
+
+/// Parses raw bytes with default limits (no deadline: the cursor can
+/// never block, so termination must come from the parser itself).
+fn parse(raw: &[u8]) -> std::io::Result<scu_server::http::Request> {
+    read_request_from(&mut Cursor::new(raw), &ReadLimits::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        raw in prop::collection::vec(0u8..=255, 0..2048),
+    ) {
+        // Ok or Err are both acceptable; panicking or hanging is not.
+        let _ = parse(&raw);
+    }
+
+    #[test]
+    fn valid_requests_round_trip_and_truncations_fail(
+        body_len in 0usize..600,
+        cut_fraction in 0usize..100,
+    ) {
+        let body: Vec<u8> = (0..body_len).map(|i| (i % 251) as u8).collect();
+        let mut raw =
+            format!("POST /sweeps HTTP/1.1\r\nContent-Length: {body_len}\r\n\r\n").into_bytes();
+        let head_len = raw.len();
+        raw.extend_from_slice(&body);
+
+        let parsed = parse(&raw).expect("a complete request parses");
+        prop_assert_eq!(parsed.method, "POST");
+        prop_assert_eq!(parsed.body, body);
+
+        // Any strict prefix is a truncation: EOF mid-head or mid-body
+        // must surface as Err, never as a short body.
+        let cut = cut_fraction * (raw.len() - 1) / 100;
+        prop_assert!(cut < raw.len());
+        let err = parse(&raw[..cut]).expect_err("truncated request fails");
+        prop_assert!(err.to_string().contains("closed mid-request"), "{}", err);
+        // Truncations inside the head never reach the body reader.
+        let _ = head_len;
+    }
+
+    #[test]
+    fn absurd_content_lengths_are_rejected(
+        over_cap in 1u64..1_000_000,
+    ) {
+        // Past the cap but parseable: refused from the declaration
+        // alone, without buffering a byte.
+        let declared = MAX_BODY as u64 + over_cap;
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let err = parse(raw.as_bytes()).expect_err("oversized declaration fails");
+        prop_assert!(err.to_string().contains("too large"), "{}", err);
+    }
+
+    #[test]
+    fn unparsable_content_lengths_are_rejected(
+        junk in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        // Whatever lands in the Content-Length value — negative
+        // numbers, overflow digits, binary noise — parses to a clean
+        // Err. CR/LF inside the junk just reshapes the head; both
+        // outcomes must be panic-free, and a parsed request must carry
+        // an empty body (no Content-Length survived).
+        let mut raw = b"GET /x HTTP/1.1\r\nContent-Length: ".to_vec();
+        raw.extend_from_slice(&junk);
+        raw.extend_from_slice(b"\r\n\r\n");
+        if let Ok(request) = parse(&raw) {
+            prop_assert!(request.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn non_utf8_heads_are_rejected(
+        position in 0usize..20,
+        byte in 0xf5u8..=0xff,
+    ) {
+        // 0xF5..=0xFF can never appear in UTF-8. Splice one into the
+        // head; the parser must refuse the block, not lose the plot.
+        let mut raw = b"GET /healthz HTTP/1.1\r\nX-Junk: padpadpad\r\n\r\n".to_vec();
+        raw[position] = byte;
+        let err = parse(&raw).expect_err("non-UTF-8 head fails");
+        prop_assert!(!err.to_string().is_empty());
+    }
+}

@@ -56,6 +56,13 @@ pub fn parse_sweep_request(body: &Value, cfg: &ExperimentConfig) -> Result<Vec<C
     Ok(unique)
 }
 
+/// Upper bound on `deadline_secs` — roughly thirty years. Anything
+/// larger is indistinguishable from "no deadline" for a sweep, and
+/// values past ~1.8e19 would panic `Duration::from_secs_f64`, so the
+/// bound keeps hostile bodies on the 400 path instead of a worker
+/// thread's unwind path.
+pub const MAX_DEADLINE_SECS: f64 = 1e9;
+
 /// The optional `deadline_secs` field: a positive number of seconds of
 /// wall clock the whole sweep may take before the scheduler
 /// force-cancels whatever has not resolved.
@@ -63,7 +70,7 @@ pub fn parse_sweep_request(body: &Value, cfg: &ExperimentConfig) -> Result<Vec<C
 /// # Errors
 ///
 /// Returns a message when the field is present but not a positive
-/// number.
+/// number of at most [`MAX_DEADLINE_SECS`] seconds.
 pub fn parse_deadline(body: &Value) -> Result<Option<std::time::Duration>, String> {
     let Some(field) = body.get("deadline_secs") else {
         return Ok(None);
@@ -71,8 +78,10 @@ pub fn parse_deadline(body: &Value) -> Result<Option<std::time::Duration>, Strin
     let secs = field
         .as_f64()
         .or_else(|| field.as_u64().map(|n| n as f64))
-        .filter(|s| s.is_finite() && *s > 0.0)
-        .ok_or_else(|| "'deadline_secs' must be a positive number of seconds".to_string())?;
+        .filter(|s| s.is_finite() && *s > 0.0 && *s <= MAX_DEADLINE_SECS)
+        .ok_or_else(|| {
+            format!("'deadline_secs' must be a positive number of seconds (at most {MAX_DEADLINE_SECS:e})")
+        })?;
     Ok(Some(std::time::Duration::from_secs_f64(secs)))
 }
 
@@ -225,6 +234,21 @@ mod tests {
         assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(0.0))])).is_err());
         assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(-2.0))])).is_err());
         assert!(parse_deadline(&obj(vec![("deadline_secs", Value::Str("soon".into()))])).is_err());
+    }
+
+    /// `Duration::from_secs_f64` panics past ~1.85e19 seconds; absurd
+    /// deadlines must land on the 400 path, never a worker unwind.
+    #[test]
+    fn absurd_deadlines_are_rejected_without_panicking() {
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(1e20))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(f64::MAX))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(f64::INFINITY))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::F64(f64::NAN))])).is_err());
+        assert!(parse_deadline(&obj(vec![("deadline_secs", Value::U64(u64::MAX))])).is_err());
+        assert_eq!(
+            parse_deadline(&obj(vec![("deadline_secs", Value::F64(MAX_DEADLINE_SECS))])),
+            Ok(Some(std::time::Duration::from_secs_f64(MAX_DEADLINE_SECS)))
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!
 //! Hardening knobs: `--max-pending N` caps queued cells (excess sweeps
 //! get `429 Retry-After`), `--max-conns N` caps connections waiting
-//! for a handler (excess get `503`), and `--request-deadline SECS`
+//! for a handler (excess get `503`), `--max-retained N` caps how many
+//! finished sweeps stay queryable in memory (older ones evict;
+//! results survive in the cache), and `--request-deadline SECS`
 //! bounds how long one request may take to arrive in full (the
 //! slowloris cutoff).
 //!
@@ -30,6 +32,7 @@ const USAGE: &str = "scu_serve options:\n  \
     --port N          bind port (default: 7878; 0 = OS-assigned)\n  \
     --max-pending N   cap on queued cells before sweeps are shed with 429\n  \
     --max-conns N     cap on connections waiting for a handler (shed with 503)\n  \
+    --max-retained N  cap on finished sweeps kept queryable in memory\n  \
     --request-deadline SECS\n                    \
     wall-clock budget for reading one request (slowloris cutoff)\n\
 plus the shared harness flags (--jobs, --sim-threads, --no-cache, --retries)";
@@ -71,6 +74,10 @@ fn main() {
             "--max-conns" => {
                 let v = value("a connection count");
                 server_cfg.max_queued_conns = parse_or_die(flag, &v, "a positive number");
+            }
+            "--max-retained" => {
+                let v = value("a sweep count");
+                scheduler_cfg.max_retained_sweeps = parse_or_die(flag, &v, "a positive number");
             }
             "--request-deadline" => {
                 let v = value("a number of seconds");

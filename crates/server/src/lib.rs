@@ -46,5 +46,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use http::ReadLimits;
-pub use scheduler::{Counters, Scheduler, SchedulerConfig, SweepState, DEFAULT_MAX_PENDING_CELLS};
+pub use scheduler::{
+    Counters, Scheduler, SchedulerConfig, SweepState, DEFAULT_MAX_PENDING_CELLS,
+    DEFAULT_MAX_RETAINED_SWEEPS,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -26,7 +26,10 @@
 //! cache and journal. Admission is bounded: a pending backlog past
 //! `max_pending_cells` rejects new sweeps ("overloaded" → HTTP 429),
 //! and each sweep may carry a wall-clock deadline enforced by a
-//! watcher thread.
+//! watcher thread. Retention is bounded too: finished sweeps past
+//! `max_retained_sweeps` are evicted oldest-first at submission, so a
+//! long-lived daemon's in-memory sweep state cannot grow without
+//! bound (results stay reachable through the on-disk cache).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -62,6 +65,13 @@ pub struct SchedulerConfig {
     /// many cells are already queued for the dispatcher. The running
     /// batch does not count — only the backlog behind it.
     pub max_pending_cells: usize,
+    /// Retention cap: finished (done or cancelled) sweeps past this
+    /// count are evicted oldest-first at the next submission, so a
+    /// long-lived daemon's per-sweep state — result values and event
+    /// logs — cannot grow without bound. Evicted ids answer 404;
+    /// their results stay reachable through the on-disk cache
+    /// (`GET /cells/{id}`). Open sweeps are never evicted.
+    pub max_retained_sweeps: usize,
 }
 
 impl SchedulerConfig {
@@ -78,6 +88,7 @@ impl SchedulerConfig {
                 .then(|| PathBuf::from(scu_harness::session::DEFAULT_CACHE_DIR)),
             manifest: Some(PathBuf::from(scu_harness::session::DEFAULT_MANIFEST)),
             max_pending_cells: DEFAULT_MAX_PENDING_CELLS,
+            max_retained_sweeps: DEFAULT_MAX_RETAINED_SWEEPS,
         }
     }
 }
@@ -86,6 +97,11 @@ impl SchedulerConfig {
 /// enough that overlapping clients never see it, shallow enough that a
 /// submission flood cannot grow the queue without bound.
 pub const DEFAULT_MAX_PENDING_CELLS: usize = 4096;
+
+/// Default retention cap for finished sweeps: generous for any client
+/// that polls `GET /sweeps/{id}/results` after `done`, while bounding
+/// what a submission flood can pin in memory.
+pub const DEFAULT_MAX_RETAINED_SWEEPS: usize = 256;
 
 /// Why a sweep was torn down before its cells resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +284,13 @@ impl SweepState {
         for cell_id in &self.cells {
             self.deliver(cell_id, &CellOutcome::Cancelled, None);
         }
+    }
+
+    /// Whether the sweep's event stream has closed — every cell
+    /// resolved, by completion or cancellation. Finished sweeps are
+    /// eligible for retention eviction.
+    fn finished(&self) -> bool {
+        lock_unpoisoned(&self.log, "sweep log").done
     }
 
     /// Whether the sweep's deadline has passed while it is still open.
@@ -592,6 +615,7 @@ impl Scheduler {
                 deadline.map(|d| Instant::now() + d),
             );
             inner.sweeps.insert(id, Arc::clone(&sweep));
+            Self::evict_finished_sweeps(&mut inner, self.cfg.max_retained_sweeps);
             inner.counters.sweeps += 1;
             inner.counters.cells_requested += cells.len() as u64;
             // Deferred deliveries: performed after the lock drops.
@@ -632,6 +656,30 @@ impl Scheduler {
             sweep.deliver(&cell_id, &outcome, None);
         }
         Ok(sweep)
+    }
+
+    /// Bounds per-sweep memory in a long-lived daemon: while more than
+    /// `cap` sweeps are retained, evicts finished ones oldest-first.
+    /// Evicted ids answer 404; the result values themselves survive in
+    /// the on-disk cache. Open sweeps are never evicted, so `sweeps`
+    /// can still exceed `cap` transiently when that many are live at
+    /// once. Locks each sweep's log while holding the scheduler lock —
+    /// the same inner → log order the deadline watcher uses.
+    fn evict_finished_sweeps(inner: &mut Inner, cap: usize) {
+        if inner.sweeps.len() <= cap {
+            return;
+        }
+        let mut finished: Vec<u64> = inner
+            .sweeps
+            .iter()
+            .filter(|(_, sweep)| sweep.finished())
+            .map(|(id, _)| *id)
+            .collect();
+        finished.sort_unstable();
+        let excess = inner.sweeps.len() - cap;
+        for id in finished.into_iter().take(excess) {
+            inner.sweeps.remove(&id);
+        }
     }
 
     /// Looks up a sweep by id.

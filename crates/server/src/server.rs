@@ -295,11 +295,13 @@ fn handle_connection(
             return;
         }
     };
-    if let Err(e) = route(stream, &request, scheduler, queue) {
-        // The stream is likely gone (client hung up mid-stream); a
-        // best-effort error response is all that is left to try.
-        let _ = http::respond_error(stream, 500, &format!("{e}"));
-    }
+    // Every route error is a failed response write — the request was
+    // fully read before routing, so by the time route() errors the
+    // response has (at least partly) gone out, most visibly a chunked
+    // event stream cut off by a vanished or stalled client. Appending
+    // another response onto that partial one would corrupt the HTTP
+    // framing; dropping the connection is the only well-formed ending.
+    let _ = route(stream, &request, scheduler, queue);
 }
 
 fn route(

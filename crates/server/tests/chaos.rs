@@ -50,6 +50,7 @@ fn config(dir: &Path) -> SchedulerConfig {
         cache_dir: Some(dir.join("cache")),
         manifest: Some(dir.join("manifest.json")),
         max_pending_cells: DEFAULT_MAX_PENDING_CELLS,
+        max_retained_sweeps: scu_server::DEFAULT_MAX_RETAINED_SWEEPS,
     }
 }
 
@@ -188,6 +189,42 @@ fn oversized_heads_and_bodies_are_rejected_not_buffered() {
         response.starts_with("HTTP/1.1 413 "),
         "oversized head gets a 413, got: {response:?}"
     );
+
+    let health = Client::new(&format!("http://{addr}")).health().unwrap();
+    assert_eq!(field_str(&health, "status"), "ok");
+    handle.shutdown();
+    srv.join().unwrap();
+}
+
+/// `{"deadline_secs":1e20}` once panicked `Duration::from_secs_f64`
+/// on the worker thread; with a fixed pool and no respawn, one such
+/// POST per worker made the daemon unresponsive. The parser must keep
+/// absurd deadlines on the 400 path.
+#[test]
+fn absurd_deadlines_get_400_and_never_kill_a_worker() {
+    let _serial = lock();
+    let dir = scratch("absurd-deadline");
+    let (_scheduler, addr, handle, srv) = serve(&dir, tight());
+
+    // More hostile POSTs than the pool has workers (4): if any one of
+    // them unwound its worker, the healthz probe below would hang.
+    for bad in ["1e20", "1e308", "-1", "18446744073709551615"] {
+        for _ in 0..2 {
+            let body = format!("{{\"filter\":\"BFS/cond\",\"deadline_secs\":{bad}}}");
+            let response = raw_request(
+                addr,
+                format!(
+                    "POST /sweeps HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            assert!(
+                response.starts_with("HTTP/1.1 400 "),
+                "deadline_secs={bad} gets a 400, got: {response:?}"
+            );
+        }
+    }
 
     let health = Client::new(&format!("http://{addr}")).health().unwrap();
     assert_eq!(field_str(&health, "status"), "ok");

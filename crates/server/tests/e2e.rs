@@ -47,6 +47,7 @@ fn config(dir: &Path) -> SchedulerConfig {
         cache_dir: Some(dir.join("cache")),
         manifest: Some(dir.join("manifest.json")),
         max_pending_cells: scu_server::DEFAULT_MAX_PENDING_CELLS,
+        max_retained_sweeps: scu_server::DEFAULT_MAX_RETAINED_SWEEPS,
     }
 }
 
@@ -140,6 +141,72 @@ fn overlapping_sweeps_coalesce_to_one_computation() {
     let via_b = text(&value_of(&b, &shared));
     assert_eq!(via_a, via_b);
     assert_eq!(via_a, text(&y.run_value()));
+    scheduler.shutdown();
+}
+
+/// A long-lived daemon must not pin every finished sweep's result
+/// values and event log forever: past the retention cap, finished
+/// sweeps are evicted oldest-first at the next submission, while open
+/// sweeps and the on-disk cache are untouched.
+#[test]
+fn finished_sweeps_are_evicted_past_the_retention_cap() {
+    let _serial = lock();
+    let dir = scratch("retention");
+    let mut sched_cfg = config(&dir);
+    sched_cfg.max_retained_sweeps = 2;
+    let scheduler = Scheduler::new(sched_cfg);
+    let cfg = scheduler.experiment().clone();
+    let (x, y) = (bfs_cond_tx1(&cfg), bfs_kron_tx1(&cfg));
+
+    // The first sweep computes the cell; every later submission of it
+    // is a pure cache hit that finishes at submission time — exactly
+    // the traffic `max_pending_cells` cannot bound.
+    let first = scheduler.submit(vec![x.clone()], None).expect("submit");
+    first.wait_done();
+    let first_id = first.id;
+    drop(first);
+    let flood_ids: Vec<u64> = (0..6)
+        .map(|_| {
+            let sweep = scheduler.submit(vec![x.clone()], None).expect("submit");
+            sweep.wait_done();
+            sweep.id
+        })
+        .collect();
+
+    assert!(
+        scheduler.sweep(first_id).is_none(),
+        "the oldest finished sweep was evicted"
+    );
+    let last_two = &flood_ids[flood_ids.len() - 2..];
+    for id in last_two {
+        assert!(
+            scheduler.sweep(*id).is_some(),
+            "the {} most recent finished sweeps are retained",
+            last_two.len()
+        );
+    }
+    assert!(
+        scheduler
+            .cached_cell(&x.id())
+            .expect("known cell")
+            .is_some(),
+        "eviction drops in-memory sweep state only; the cache survives"
+    );
+
+    // An open sweep is older than the whole flood but must survive it:
+    // only finished sweeps are eviction candidates.
+    let fp = failpoint::scoped("cell-run=delay(300)");
+    let open = scheduler.submit(vec![y.clone()], None).expect("submit open");
+    for _ in 0..5 {
+        let sweep = scheduler.submit(vec![x.clone()], None).expect("submit");
+        sweep.wait_done();
+    }
+    assert!(
+        scheduler.sweep(open.id).is_some(),
+        "open sweeps are never evicted"
+    );
+    open.wait_done();
+    drop(fp);
     scheduler.shutdown();
 }
 

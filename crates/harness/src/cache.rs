@@ -1,39 +1,36 @@
-//! Content-addressed on-disk result cache.
+//! Content-addressed result cache — the harness-side front door to
+//! [`scu_store::ResultStore`].
 //!
-//! Each entry is a JSON file named by the stable digest of the
-//! canonical (compact) serialisation of its key — the cell
-//! configuration plus a model-version string the caller bakes into the
-//! key. A code change that alters results must bump the model version;
-//! every digest then changes and the old entries become dead weight
-//! rather than stale answers.
+//! Historically this module *was* the storage: one JSON blob per entry
+//! named by the stable digest of the key's canonical serialisation.
+//! That layout now lives in `scu_store::LegacyStore`; the default for
+//! new directories is `scu_store::LsmStore` (WAL + mmap segments), and
+//! [`ResultCache::open`] auto-detects which one a directory holds, so
+//! existing result trees keep working unconverted.
 //!
-//! Robustness properties:
+//! The guarantees are the trait's, unchanged from the blob era:
 //!
-//! - **Corruption-proof reads**: the stored envelope carries the full
-//!   key *and* a digest of the value's canonical bytes; a digest
-//!   collision, truncated file, flipped byte, or hand-edited entry is
-//!   detected, **quarantined** (moved to `<dir>/quarantine/` with a
-//!   logged reason — never silently ignored), and reads as a miss. A
-//!   mutated blob is either rejected-and-quarantined or byte-identical
-//!   to what was stored; there is no third outcome.
-//! - **Atomic writes**: entries are written to a temp file and
-//!   renamed into place, so a crashed or concurrent writer cannot
-//!   leave a half-written entry behind. Concurrent writers of the
-//!   same key race benignly (same bytes either way).
-//! - **Thread safety**: all methods take `&self`; hit/miss/store/
-//!   quarantine counters are atomics.
-//! - **Fault injection**: the IO paths carry the `cache-load` and
-//!   `cache-store` failpoint sites; an injected IO error exercises the
-//!   degraded paths (miss, store-skipped) without touching the disk.
+//! - **Corruption-proof reads**: a truncated, flipped, or hand-edited
+//!   entry is detected (key check + value digest in the legacy layout;
+//!   CRC-framed records in the LSM layout), **quarantined** into
+//!   `<dir>/quarantine/` (bounded — oldest evicted beyond a cap) and
+//!   reads as a miss. Never a third outcome.
+//! - **Atomic writes**: temp-file rename (legacy) or WAL append + an
+//!   atomic manifest swap (LSM).
+//! - **Thread safety**: all methods take `&self`; one cache may be
+//!   shared across worker threads and batches.
+//! - **Fault injection**: the `cache-load` and `cache-store` failpoint
+//!   sites fire inside whichever backend is active.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde_json::Value;
 
 use crate::error::HarnessError;
 use crate::failpoint;
-use crate::hash::stable_digest;
+
+pub use scu_store::{GetResult, ResultStore, StoreStats};
 
 /// Counters of one cache's activity within this process.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -44,142 +41,90 @@ pub struct ResultCacheStats {
     pub misses: u64,
     /// Entries written.
     pub stores: u64,
-    /// Corrupt entries moved to the quarantine directory.
+    /// Corrupt entries quarantined by this process.
     pub quarantined: u64,
+    /// Files currently retained in the quarantine directory (bounded
+    /// by the store's cap; survives across processes).
+    pub quarantined_total: u64,
 }
 
-/// A directory of content-addressed JSON results.
-#[derive(Debug)]
+/// A directory of content-addressed results, backed by whichever
+/// [`ResultStore`] layout the directory holds.
+#[derive(Debug, Clone)]
 pub struct ResultCache {
-    dir: PathBuf,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    stores: AtomicU64,
-    quarantined: AtomicU64,
-}
-
-/// What a raw load found.
-enum Loaded {
-    Hit(Value),
-    Miss,
-    Corrupt(String),
+    backend: Arc<dyn ResultStore>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory, auto-detecting
+    /// the layout: an LSM store where its `CURRENT` manifest exists,
+    /// the legacy blob layout where loose `*.json` entries do, a fresh
+    /// LSM store otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] if the directory cannot be created
+    /// or the store cannot be recovered.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, HarnessError> {
+        failpoint::install_store_hook();
+        let dir = dir.into();
+        let backend = scu_store::open_dir(&dir, None)
+            .map_err(|e| HarnessError::io("create cache dir", &dir, e))?;
+        Ok(ResultCache { backend })
+    }
+
+    /// Opens the directory explicitly as the legacy per-file layout
+    /// (used by corruption tests and migration tooling that poke blob
+    /// files directly).
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError::Io`] if the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, HarnessError> {
+    pub fn open_legacy(dir: impl Into<PathBuf>) -> Result<Self, HarnessError> {
+        failpoint::install_store_hook();
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| HarnessError::io("create cache dir", &dir, e))?;
+        let backend = scu_store::LegacyStore::open(&dir)
+            .map_err(|e| HarnessError::io("create cache dir", &dir, e))?;
         Ok(ResultCache {
-            dir,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            stores: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
+            backend: Arc::new(backend),
         })
+    }
+
+    /// Wraps an already-open backend (how the server shares one store
+    /// across its scheduler and every batch harness).
+    pub fn from_backend(backend: Arc<dyn ResultStore>) -> Self {
+        failpoint::install_store_hook();
+        ResultCache { backend }
+    }
+
+    /// The backend, for sharing (see [`crate::Harness::store_backend`])
+    /// and for store-level statistics.
+    pub fn backend(&self) -> Arc<dyn ResultStore> {
+        Arc::clone(&self.backend)
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.backend.dir()
     }
 
     /// Where corrupt entries are moved.
     pub fn quarantine_dir(&self) -> PathBuf {
-        self.dir.join("quarantine")
+        self.backend.quarantine_dir()
     }
 
-    /// The digest addressing `key`.
+    /// The digest addressing `key` (the blob filename stem in the
+    /// legacy layout; half of the record address in the LSM layout).
     pub fn digest_of(key: &Value) -> String {
-        let canonical = serde_json::to_string(key).expect("serialising a Value cannot fail");
-        stable_digest(canonical.as_bytes())
-    }
-
-    fn path_of(&self, key: &Value) -> PathBuf {
-        self.dir.join(format!("{}.json", Self::digest_of(key)))
+        scu_store::LegacyStore::digest_of(key)
     }
 
     /// Loads the value stored for `key`, if present and intact. A
     /// corrupt entry is quarantined and reads as a miss.
     pub fn load(&self, key: &Value) -> Option<Value> {
-        let path = self.path_of(key);
-        match self.try_load(&path, key) {
-            Loaded::Hit(value) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value)
-            }
-            Loaded::Miss => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            Loaded::Corrupt(reason) => {
-                self.quarantine(&path, &reason);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    fn try_load(&self, path: &Path, key: &Value) -> Loaded {
-        if let Err(e) = failpoint::io("cache-load") {
-            return Loaded::Corrupt(format!("read failed: {e}"));
-        }
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Loaded::Miss,
-            Err(e) => return Loaded::Corrupt(format!("read failed: {e}")),
-        };
-        let envelope: Value = match serde_json::from_str(&text) {
-            Ok(v) => v,
-            Err(e) => return Loaded::Corrupt(format!("not valid JSON ({e})")),
-        };
-        // Verify the full key: a digest collision, truncation-then-
-        // rewrite, or hand-edited file must not read as a hit.
-        if envelope.get("key") != Some(key) {
-            return Loaded::Corrupt("stored key does not match the requested key".to_string());
-        }
-        let value = match envelope.get("value") {
-            Some(v) => v.clone(),
-            None => return Loaded::Corrupt("missing 'value'".to_string()),
-        };
-        // Verify the value's own digest: a byte flip inside the value
-        // would keep the envelope parseable and the key intact, so the
-        // key check alone cannot catch it.
-        let expect = Self::value_check(&value);
-        match envelope.get("check").and_then(Value::as_str) {
-            Some(check) if check == expect => Loaded::Hit(value),
-            Some(_) => Loaded::Corrupt("value digest mismatch".to_string()),
-            None => Loaded::Corrupt("missing value digest".to_string()),
-        }
-    }
-
-    /// Digest of the value's canonical bytes, stored alongside it.
-    fn value_check(value: &Value) -> String {
-        let canonical = serde_json::to_string(value).expect("serialising a Value cannot fail");
-        stable_digest(canonical.as_bytes())
-    }
-
-    /// Moves a corrupt entry aside, keeping it for post-mortem instead
-    /// of letting the next store silently paper over it.
-    fn quarantine(&self, path: &Path, reason: &str) {
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
-        let qdir = self.quarantine_dir();
-        let dest = qdir.join(path.file_name().unwrap_or_default());
-        let moved = std::fs::create_dir_all(&qdir).and_then(|()| std::fs::rename(path, &dest));
-        match moved {
-            Ok(()) => eprintln!(
-                "[scu-harness] quarantined corrupt cache entry {} -> {} ({reason})",
-                path.display(),
-                dest.display()
-            ),
-            Err(e) => eprintln!(
-                "[scu-harness] corrupt cache entry {} ({reason}); quarantine failed: {e}",
-                path.display()
-            ),
+        match self.backend.get(key) {
+            GetResult::Hit(value) => Some(value),
+            GetResult::Miss | GetResult::Corrupt => None,
         }
     }
 
@@ -190,32 +135,27 @@ impl ResultCache {
     /// Returns [`HarnessError::Io`] on write failure; callers treat a
     /// failed store as degraded caching, not a failed cell.
     pub fn store(&self, key: &Value, value: &Value) -> Result<(), HarnessError> {
-        let final_path = self.path_of(key);
-        failpoint::io("cache-store")
-            .map_err(|e| HarnessError::io("store cache entry", &final_path, e))?;
-        let envelope = Value::Object(vec![
-            ("key".to_string(), key.clone()),
-            ("value".to_string(), value.clone()),
-            ("check".to_string(), Value::Str(Self::value_check(value))),
-        ]);
-        let text = serde_json::to_string(&envelope).expect("serialising a Value cannot fail");
-        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp_path, text)
-            .map_err(|e| HarnessError::io("store cache entry", &tmp_path, e))?;
-        std::fs::rename(&tmp_path, &final_path)
-            .map_err(|e| HarnessError::io("store cache entry", &final_path, e))?;
-        self.stores.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.backend
+            .put(key, value)
+            .map_err(|e| HarnessError::io("store cache entry", self.backend.dir(), e))
     }
 
     /// This process's hit/miss/store/quarantine counts so far.
     pub fn stats(&self) -> ResultCacheStats {
+        let s = self.backend.stats();
         ResultCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            stores: self.stores.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            hits: s.hits,
+            misses: s.misses,
+            stores: s.stores,
+            quarantined: s.quarantined,
+            quarantined_total: s.quarantined_total,
         }
+    }
+
+    /// The backend's full counter set (WAL appends, segment reads,
+    /// compactions, …) for `/metrics` and diagnostics.
+    pub fn store_stats(&self) -> StoreStats {
+        self.backend.stats()
     }
 }
 
@@ -249,7 +189,8 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 stores: 1,
-                quarantined: 0
+                quarantined: 0,
+                quarantined_total: 0,
             }
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -268,13 +209,35 @@ mod tests {
     }
 
     #[test]
+    fn fresh_directories_use_the_lsm_backend() {
+        let dir = scratch_dir("lsm-default");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.store_stats().backend, "lsm");
+        assert!(cache.backend().unified_journal());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_blob_directories_are_detected() {
+        let dir = scratch_dir("legacy-detect");
+        ResultCache::open_legacy(&dir)
+            .unwrap()
+            .store(&key(1), &Value::U64(10))
+            .unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.store_stats().backend, "legacy");
+        assert_eq!(cache.load(&key(1)), Some(Value::U64(10)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn key_mismatch_is_quarantined() {
         let dir = scratch_dir("mismatch");
-        let cache = ResultCache::open(&dir).unwrap();
+        let cache = ResultCache::open_legacy(&dir).unwrap();
         cache.store(&key(1), &Value::U64(1)).unwrap();
         // Corrupt the envelope by rewriting it under the same digest
         // with a different key.
-        let path = cache.path_of(&key(1));
+        let path = dir.join(format!("{}.json", ResultCache::digest_of(&key(1))));
         std::fs::write(&path, r#"{"key":{"cell":999},"value":123}"#).unwrap();
         assert_eq!(cache.load(&key(1)), None);
         assert_eq!(cache.stats().quarantined, 1);
@@ -292,9 +255,9 @@ mod tests {
     #[test]
     fn truncated_entry_is_quarantined_and_reads_as_miss() {
         let dir = scratch_dir("truncated");
-        let cache = ResultCache::open(&dir).unwrap();
+        let cache = ResultCache::open_legacy(&dir).unwrap();
         cache.store(&key(2), &Value::U64(2)).unwrap();
-        let path = cache.path_of(&key(2));
+        let path = dir.join(format!("{}.json", ResultCache::digest_of(&key(2))));
         let full = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert_eq!(cache.load(&key(2)), None);
@@ -306,9 +269,9 @@ mod tests {
     #[test]
     fn value_byte_flip_is_quarantined_not_served() {
         let dir = scratch_dir("byte-flip");
-        let cache = ResultCache::open(&dir).unwrap();
+        let cache = ResultCache::open_legacy(&dir).unwrap();
         cache.store(&key(3), &Value::U64(31337)).unwrap();
-        let path = cache.path_of(&key(3));
+        let path = dir.join(format!("{}.json", ResultCache::digest_of(&key(3))));
         let text = std::fs::read_to_string(&path).unwrap();
         // Flip one digit inside the value: still valid JSON, key still
         // matches — only the value digest can catch this.
@@ -324,8 +287,8 @@ mod tests {
     fn missing_value_digest_is_rejected() {
         // Entries written by the pre-digest format must not be served.
         let dir = scratch_dir("old-format");
-        let cache = ResultCache::open(&dir).unwrap();
-        let path = cache.path_of(&key(4));
+        let cache = ResultCache::open_legacy(&dir).unwrap();
+        let path = dir.join(format!("{}.json", ResultCache::digest_of(&key(4))));
         std::fs::write(&path, r#"{"key":{"cell":4},"value":99}"#).unwrap();
         assert_eq!(cache.load(&key(4)), None);
         assert_eq!(cache.stats().quarantined, 1);
@@ -333,9 +296,31 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_retention_is_bounded() {
+        let dir = scratch_dir("q-cap");
+        let cache = ResultCache::open_legacy(&dir).unwrap();
+        // Corrupt far more entries than the cap retains.
+        let over = scu_store::quarantine::DEFAULT_QUARANTINE_CAP as u64 + 10;
+        for n in 0..over {
+            cache.store(&key(n), &Value::U64(n)).unwrap();
+            let path = dir.join(format!("{}.json", ResultCache::digest_of(&key(n))));
+            std::fs::write(&path, "garbage").unwrap();
+            assert_eq!(cache.load(&key(n)), None);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.quarantined, over, "every corruption was counted");
+        assert_eq!(
+            stats.quarantined_total,
+            scu_store::quarantine::DEFAULT_QUARANTINE_CAP as u64,
+            "retention is capped, oldest evicted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn injected_load_fault_degrades_to_miss() {
         let dir = scratch_dir("fp-load");
-        let cache = ResultCache::open(&dir).unwrap();
+        let cache = ResultCache::open_legacy(&dir).unwrap();
         cache.store(&key(5), &Value::U64(5)).unwrap();
         {
             let _fp = crate::failpoint::scoped("cache-load=io-error");
@@ -349,20 +334,38 @@ mod tests {
     }
 
     #[test]
-    fn injected_store_fault_is_typed_and_skips_write() {
-        let dir = scratch_dir("fp-store");
+    fn injected_load_fault_on_lsm_misses_without_quarantine() {
+        let dir = scratch_dir("fp-load-lsm");
         let cache = ResultCache::open(&dir).unwrap();
-        let _fp = crate::failpoint::scoped("cache-store=io-error");
-        let err = cache.store(&key(6), &Value::U64(6)).unwrap_err();
-        assert!(matches!(
-            err,
-            HarnessError::Io {
-                op: "store cache entry",
-                ..
-            }
-        ));
-        assert_eq!(cache.stats().stores, 0);
+        assert_eq!(cache.store_stats().backend, "lsm");
+        cache.store(&key(5), &Value::U64(5)).unwrap();
+        {
+            let _fp = crate::failpoint::scoped("cache-load=io-error");
+            assert_eq!(cache.load(&key(5)), None, "injected IO error is a miss");
+        }
+        assert_eq!(cache.stats().quarantined, 0, "nothing was actually corrupt");
+        assert_eq!(cache.load(&key(5)), Some(Value::U64(5)), "entry intact");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_store_fault_is_typed_and_skips_write() {
+        for cache in [
+            ResultCache::open_legacy(scratch_dir("fp-store-legacy")).unwrap(),
+            ResultCache::open(scratch_dir("fp-store-lsm")).unwrap(),
+        ] {
+            let _fp = crate::failpoint::scoped("cache-store=io-error");
+            let err = cache.store(&key(6), &Value::U64(6)).unwrap_err();
+            assert!(matches!(
+                err,
+                HarnessError::Io {
+                    op: "store cache entry",
+                    ..
+                }
+            ));
+            assert_eq!(cache.stats().stores, 0);
+            let _ = std::fs::remove_dir_all(cache.dir());
+        }
     }
 
     #[test]

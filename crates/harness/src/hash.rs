@@ -11,31 +11,13 @@
 //! `cache.rs`), so a collision degrades to a cache miss, never to a
 //! wrong result.
 
-/// 64-bit FNV-1a with a caller-chosen offset basis.
-fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
-    let mut h = basis;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-/// The standard FNV-1a offset basis.
-const BASIS_A: u64 = 0xcbf29ce484222325;
-/// A second basis (the standard one XOR-folded with π bits) giving an
-/// independent 64-bit view of the same bytes.
-const BASIS_B: u64 = 0xcbf29ce484222325 ^ 0x243F6A8885A308D3;
-
 /// 128-bit stable digest of `bytes`, as 32 lowercase hex characters —
 /// filesystem-safe, fixed-width.
-pub fn stable_digest(bytes: &[u8]) -> String {
-    format!(
-        "{:016x}{:016x}",
-        fnv1a(bytes, BASIS_A),
-        fnv1a(bytes, BASIS_B)
-    )
-}
+///
+/// The implementation lives in `scu-store` (both store backends address
+/// entries by it); this re-export keeps the harness's historical API
+/// and pins the function with the tests below.
+pub use scu_store::hash::stable_digest;
 
 #[cfg(test)]
 mod tests {

@@ -1,99 +1,55 @@
-//! The crash-resume journal (`results/manifest.json`).
+//! The crash-resume journal.
 //!
-//! A sweep's journal records every completed cell as one compact JSON
-//! object per line — `{"key":…,"id":…,"value":…}` — appended and
-//! flushed the moment the cell finishes. Line-oriented appends are what
-//! make the file a *journal*: a SIGKILL mid-sweep loses at most the
-//! line being written, and [`Journal::load`] tolerates exactly that by
-//! stopping at the first malformed line and returning the intact
-//! prefix.
+//! A sweep's journal records every completed cell the moment it
+//! finishes, so a SIGKILL loses at most the entry being written and a
+//! resumed sweep (`--resume`) serves journaled cells byte-identically
+//! with no recomputation. Two shapes exist behind one [`Journal`]:
 //!
-//! Resume (`--resume`) loads the journal and pre-resolves every job
-//! whose full cache key (or id, for uncacheable jobs) matches a
-//! journaled entry — byte-identical values, no recomputation, no
-//! dependence on the result cache being enabled. Jobs not journaled
-//! complete run normally and append themselves, so an interrupted sweep
-//! converges over any number of resumes.
+//! - **File** (`results/manifest.json`): one compact JSON object per
+//!   line — `{"key":…,"id":…,"value":…}` — appended and flushed per
+//!   cell. [`Journal::load`] tolerates a torn tail by stopping at the
+//!   first malformed line and returning the intact prefix.
+//! - **Store**: when the cache directory holds an LSM store, the
+//!   store's write-ahead log *is* the journal — one durability domain
+//!   for cache and resume state instead of two files racing a kill.
+//!   Appends become CRC-framed WAL records
+//!   (`ResultStore::journal_append`); resume state comes from
+//!   [`crate::Harness`] asking the store, not from re-parsing a file.
+//!
+//! The entry type is [`scu_store::JournalRecord`], re-exported under
+//! its historical name so executor code is oblivious to the backend.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde_json::Value;
 
 use crate::error::{lock_unpoisoned, HarnessError};
 use crate::failpoint;
 
-/// One completed cell, as journaled.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JournalEntry {
-    /// The job's cache key, if it had one.
-    pub key: Option<Value>,
-    /// The job's human-readable id.
-    pub id: String,
-    /// The value the job produced.
-    pub value: Value,
-    /// The run's timeline digest, when the value carried one — lets a
-    /// resumed sweep cross-check a re-run cell against what the
-    /// interrupted sweep observed.
-    pub digest: Option<u64>,
-}
+/// One completed cell, as journaled. (The definition lives in
+/// `scu-store`, whose WAL records carry the same fields; the alias
+/// keeps the harness's historical API.)
+pub use scu_store::JournalRecord as JournalEntry;
 
-impl JournalEntry {
-    /// The string a resume pass matches jobs against: the canonical
-    /// serialisation of the cache key, or the id for uncacheable jobs.
-    pub fn resume_key(key: Option<&Value>, id: &str) -> String {
-        match key {
-            Some(k) => format!(
-                "key:{}",
-                serde_json::to_string(k).expect("serialising a Value cannot fail")
-            ),
-            None => format!("id:{id}"),
-        }
-    }
-
-    fn to_value(&self) -> Value {
-        let mut fields = vec![
-            ("key".to_string(), self.key.clone().unwrap_or(Value::Null)),
-            ("id".to_string(), Value::Str(self.id.clone())),
-            ("value".to_string(), self.value.clone()),
-        ];
-        if let Some(d) = self.digest {
-            fields.push(("digest".to_string(), Value::U64(d)));
-        }
-        Value::Object(fields)
-    }
-
-    fn from_value(v: &Value) -> Result<Self, String> {
-        let key = match v.get("key") {
-            None => return Err("missing 'key'".to_string()),
-            Some(Value::Null) => None,
-            Some(k) => Some(k.clone()),
-        };
-        let id = v
-            .get("id")
-            .and_then(Value::as_str)
-            .ok_or("missing 'id'")?
-            .to_string();
-        let value = v.get("value").cloned().ok_or("missing 'value'")?;
-        // Tolerant of journals written before digests existed.
-        let digest = v.get("digest").and_then(Value::as_u64);
-        Ok(JournalEntry {
-            key,
-            id,
-            value,
-            digest,
-        })
-    }
-}
+use scu_store::ResultStore;
 
 /// An append-only journal of completed cells.
 #[derive(Debug)]
-pub struct Journal {
-    path: PathBuf,
-    file: Mutex<File>,
+pub enum Journal {
+    /// The line-JSON file journal (legacy layout, and always the shape
+    /// behind an explicit `--manifest` path).
+    File {
+        /// Where the lines go.
+        path: PathBuf,
+        /// The open handle, flushed per append.
+        file: Mutex<File>,
+    },
+    /// The store's WAL is the journal.
+    Store(Arc<dyn ResultStore>),
 }
 
 impl Journal {
@@ -117,38 +73,60 @@ impl Journal {
             .truncate(truncate)
             .open(&path)
             .map_err(|e| HarnessError::io("open journal", &path, e))?;
-        Ok(Journal {
+        Ok(Journal::File {
             path,
             file: Mutex::new(file),
         })
     }
 
-    /// The journal's path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Wraps a store whose WAL will receive the journal appends. The
+    /// caller is responsible for having called
+    /// `ResultStore::begin_sweep` to mark the sweep boundary.
+    pub fn from_store(backend: Arc<dyn ResultStore>) -> Self {
+        Journal::Store(backend)
     }
 
-    /// Appends one completed cell and flushes, so the entry survives a
-    /// kill that lands any time after this call returns.
+    /// The journal's path: the line-JSON file, or the store directory
+    /// whose WAL absorbs the entries.
+    pub fn path(&self) -> &Path {
+        match self {
+            Journal::File { path, .. } => path,
+            Journal::Store(backend) => backend.dir(),
+        }
+    }
+
+    /// Appends one completed cell durably, so the entry survives a
+    /// kill that lands any time after this call returns. (The store
+    /// shape fires the `journal-append` failpoint inside the backend;
+    /// the file shape fires it here.)
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError::Io`] on write failure; callers degrade
     /// (the cell still counts as done, the journal is just shorter).
     pub fn append(&self, entry: &JournalEntry) -> Result<(), HarnessError> {
-        failpoint::io("journal-append")
-            .map_err(|e| HarnessError::io("append journal", &self.path, e))?;
-        let line =
-            serde_json::to_string(&entry.to_value()).expect("serialising a Value cannot fail");
-        let mut file = lock_unpoisoned(&self.file, "journal file");
-        writeln!(file, "{line}")
-            .and_then(|()| file.flush())
-            .map_err(|e| HarnessError::io("append journal", &self.path, e))
+        match self {
+            Journal::File { path, file } => {
+                failpoint::io("journal-append")
+                    .map_err(|e| HarnessError::io("append journal", path, e))?;
+                let line = serde_json::to_string(&entry.to_value())
+                    .expect("serialising a Value cannot fail");
+                let mut file = lock_unpoisoned(file, "journal file");
+                writeln!(file, "{line}")
+                    .and_then(|()| file.flush())
+                    .map_err(|e| HarnessError::io("append journal", path, e))
+            }
+            Journal::Store(backend) => backend
+                .journal_append(entry)
+                .map_err(|e| HarnessError::io("append journal", backend.dir(), e)),
+        }
     }
 
-    /// Loads the intact prefix of the journal at `path`. A malformed
-    /// line (the tail a SIGKILL tore) ends the prefix with a warning;
-    /// a missing file is an empty journal.
+    /// Loads the intact prefix of the *file* journal at `path`. A
+    /// malformed line (the tail a SIGKILL tore) ends the prefix with a
+    /// warning naming the line number, its byte offset, and how many
+    /// trailing lines were discarded; a missing file is an empty
+    /// journal.
     ///
     /// # Errors
     ///
@@ -162,7 +140,11 @@ impl Journal {
             Err(e) => return Err(HarnessError::io("read journal", path, e)),
         };
         let mut entries = Vec::new();
-        for (ln, line) in text.lines().enumerate() {
+        let mut offset = 0usize;
+        let mut lines = text.lines().enumerate();
+        for (ln, line) in &mut lines {
+            let line_offset = offset;
+            offset += line.len() + 1;
             if line.trim().is_empty() {
                 continue;
             }
@@ -172,13 +154,15 @@ impl Journal {
             match parsed {
                 Ok(entry) => entries.push(entry),
                 Err(reason) => {
+                    let discarded = 1 + lines.filter(|(_, rest)| !rest.trim().is_empty()).count();
                     let err = HarnessError::CorruptJournal {
                         path: path.to_path_buf(),
                         line: ln + 1,
                         reason,
                     };
                     eprintln!(
-                        "[scu-harness] {err}; resuming from the {} intact entries",
+                        "[scu-harness] {err} (byte offset {line_offset}); discarding {discarded} \
+                         trailing line(s), resuming from the {} intact entries",
                         entries.len()
                     );
                     break;
@@ -188,9 +172,9 @@ impl Journal {
         Ok(entries)
     }
 
-    /// Loads the journal as a resume map: [`JournalEntry::resume_key`]
-    /// → value. Later entries win (a cell journaled twice across
-    /// resumes is the same value anyway).
+    /// Loads the file journal as a resume map:
+    /// [`JournalEntry::resume_key`] → value. Later entries win (a cell
+    /// journaled twice across resumes is the same value anyway).
     pub fn load_resume_map(path: impl AsRef<Path>) -> Result<HashMap<String, Value>, HarnessError> {
         let entries = Journal::load(path)?;
         let mut map = HashMap::with_capacity(entries.len());
@@ -266,6 +250,49 @@ mod tests {
     }
 
     #[test]
+    fn garbage_middle_discards_everything_after_it() {
+        // The warning counts every discarded trailing line, not just
+        // the malformed one — entries past the damage are unreachable.
+        let path = scratch("garbage-middle");
+        let j = Journal::open(&path, true).unwrap();
+        j.append(&entry(1)).unwrap();
+        drop(j);
+        {
+            // Hand-write a malformed line followed by two well-formed
+            // ones: the parse stops at the damage, so the trailing
+            // entries are discarded (and counted in the warning).
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "not json at all").unwrap();
+        }
+        let j = Journal::open(&path, false).unwrap();
+        j.append(&entry(2)).unwrap();
+        j.append(&entry(3)).unwrap();
+        assert_eq!(Journal::load(&path).unwrap(), vec![entry(1)]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn store_backed_journal_appends_into_the_wal() {
+        let dir = std::env::temp_dir().join(format!("scu-journal-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend: Arc<dyn ResultStore> = Arc::new(scu_store::LsmStore::open(&dir).unwrap());
+        backend.begin_sweep(false).unwrap();
+        let j = Journal::from_store(Arc::clone(&backend));
+        assert_eq!(j.path(), dir.as_path());
+        j.append(&entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        let state = backend.resume_state().unwrap();
+        assert_eq!(state.values.len(), 2);
+        assert_eq!(
+            state
+                .values
+                .get(&JournalEntry::resume_key(entry(2).key.as_ref(), "cell-2")),
+            Some(&Value::U64(20))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn reopen_without_truncate_appends() {
         let path = scratch("reopen");
         Journal::open(&path, true)
@@ -292,7 +319,6 @@ mod tests {
         j.append(&entry(3)).unwrap();
         // A line from before digests existed parses with digest: None.
         {
-            use std::io::Write as _;
             let mut f = std::fs::OpenOptions::new()
                 .append(true)
                 .open(&path)

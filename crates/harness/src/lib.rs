@@ -48,7 +48,7 @@ pub mod journal;
 pub mod progress;
 pub mod session;
 
-pub use cache::{ResultCache, ResultCacheStats};
+pub use cache::{GetResult, ResultCache, ResultCacheStats, ResultStore, StoreStats};
 pub use cli::CliArgs;
 pub use error::HarnessError;
 pub use executor::{
@@ -58,7 +58,9 @@ pub use job::{Attempt, Job, JobGraph, JobId, Outcome};
 pub use journal::{Journal, JournalEntry};
 pub use progress::{Progress, ProgressEvent, ProgressObserver, SweepSummary};
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything a finished sweep produced.
@@ -78,6 +80,7 @@ pub struct Harness {
     jobs: usize,
     threads_per_job: usize,
     cache_dir: Option<PathBuf>,
+    store_backend: Option<Arc<dyn ResultStore>>,
     timeout: Option<Duration>,
     narrate: bool,
     progress_file: Option<PathBuf>,
@@ -98,6 +101,7 @@ impl std::fmt::Debug for Harness {
             .field("jobs", &self.jobs)
             .field("threads_per_job", &self.threads_per_job)
             .field("cache_dir", &self.cache_dir)
+            .field("store_backend", &self.store_backend.is_some())
             .field("timeout", &self.timeout)
             .field("narrate", &self.narrate)
             .field("progress_file", &self.progress_file)
@@ -118,6 +122,7 @@ impl Default for Harness {
             jobs: default_jobs(),
             threads_per_job: 1,
             cache_dir: None,
+            store_backend: None,
             timeout: None,
             narrate: false,
             progress_file: None,
@@ -159,6 +164,17 @@ impl Harness {
     /// Enables the on-disk result cache rooted at `dir`.
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Uses an already-open store as the result cache instead of
+    /// opening [`Harness::cache_dir`]. This is how the sweep server
+    /// shares one store between its scheduler and every batch harness
+    /// — the LSM layout is single-writer per directory, so two
+    /// independent opens of the same directory must not happen.
+    /// Takes precedence over `cache_dir`.
+    pub fn store_backend(mut self, backend: Arc<dyn ResultStore>) -> Self {
+        self.store_backend = Some(backend);
         self
     }
 
@@ -270,21 +286,66 @@ impl Harness {
         if self.handle_sigint {
             cancel::install_sigint_handler();
         }
-        let cache = self
-            .cache_dir
-            .as_ref()
-            .and_then(|dir| match ResultCache::open(dir) {
-                Ok(c) => Some(c),
+        let cache = match &self.store_backend {
+            Some(backend) => Some(ResultCache::from_backend(Arc::clone(backend))),
+            None => self
+                .cache_dir
+                .as_ref()
+                .and_then(|dir| match ResultCache::open(dir) {
+                    Ok(c) => Some(c),
+                    Err(e) => {
+                        eprintln!(
+                            "[scu-harness] cannot open cache at {}: {e}; running uncached",
+                            dir.display()
+                        );
+                        None
+                    }
+                }),
+        };
+        // With an LSM-backed cache the store's write-ahead log *is* the
+        // journal: each finished cell is one CRC-framed append, and
+        // resume state is replayed from the same bytes as the cache.
+        // The line-JSON manifest file remains the journal for legacy
+        // and uncached runs, byte-for-byte as before.
+        let unified = self.manifest.is_some()
+            && cache
+                .as_ref()
+                .is_some_and(|c| c.backend().unified_journal());
+        let mut resume_digests = None;
+        let resume_map = if !self.resume {
+            None
+        } else if unified {
+            let backend = cache.as_ref().expect("unified implies a cache").backend();
+            match backend.resume_state() {
+                Ok(state) => {
+                    // A leftover line-JSON manifest (sweeps from before
+                    // the store migration) still feeds resume; the
+                    // store wins where both journaled a cell.
+                    let (mut map, mut digests) = match self.manifest.as_deref() {
+                        Some(path) if path.exists() => (
+                            Journal::load_resume_map(path).unwrap_or_default(),
+                            Journal::load_digest_map(path).unwrap_or_default(),
+                        ),
+                        _ => (HashMap::new(), HashMap::new()),
+                    };
+                    map.extend(state.values);
+                    digests.extend(state.digests);
+                    if !map.is_empty() {
+                        eprintln!(
+                            "[scu-harness] resuming: {} cell(s) already journaled in {}",
+                            map.len(),
+                            backend.dir().display()
+                        );
+                    }
+                    resume_digests = Some(digests);
+                    Some(map)
+                }
                 Err(e) => {
-                    eprintln!(
-                        "[scu-harness] cannot open cache at {}: {e}; running uncached",
-                        dir.display()
-                    );
+                    eprintln!("[scu-harness] cannot resume: {e}; starting fresh");
                     None
                 }
-            });
-        let mut resume_digests = None;
-        let resume_map = if self.resume {
+            }
+        } else {
             match self.manifest.as_ref() {
                 Some(path) => match Journal::load_resume_map(path) {
                     Ok(map) => {
@@ -308,12 +369,31 @@ impl Harness {
                 },
                 None => None,
             }
-        } else {
-            None
         };
         // A fresh (non-resumed) sweep truncates any stale journal so
-        // the manifest only ever describes this sweep's completions.
-        let journal =
+        // it only ever describes this sweep's completions: the store
+        // does this logically (a new epoch), the file journal
+        // physically.
+        let journal = if unified {
+            let backend = cache.as_ref().expect("unified implies a cache").backend();
+            match backend.begin_sweep(self.resume) {
+                Ok(()) => {
+                    if !self.resume {
+                        if let Some(path) = self.manifest.as_deref().filter(|p| p.exists()) {
+                            // Also empty any leftover pre-migration
+                            // manifest so its stale entries cannot feed
+                            // a later resume.
+                            let _ = Journal::open(path, true);
+                        }
+                    }
+                    Some(Journal::from_store(backend))
+                }
+                Err(e) => {
+                    eprintln!("[scu-harness] cannot open manifest: {e}; running unjournaled");
+                    None
+                }
+            }
+        } else {
             self.manifest
                 .as_ref()
                 .and_then(|path| match Journal::open(path, !self.resume) {
@@ -322,7 +402,8 @@ impl Harness {
                         eprintln!("[scu-harness] cannot open manifest: {e}; running unjournaled");
                         None
                     }
-                });
+                })
+        };
         let mut progress = if self.narrate {
             Progress::stderr(graph.len())
         } else {
@@ -493,6 +574,134 @@ mod tests {
         g.push(Job::new("only", || Value::U64(1)));
         Harness::new().manifest(&manifest).run(&g);
         assert_eq!(journal::Journal::load(&manifest).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lsm_cache_unifies_the_journal_and_resumes_without_recompute() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let dir = scratch("unified");
+        let cache_dir = dir.join("cache");
+        let manifest = dir.join("manifest.json");
+        let runs = Arc::new(AtomicU32::new(0));
+        let counted_graph = |runs: &Arc<AtomicU32>| -> JobGraph {
+            let mut g = JobGraph::new();
+            for i in 0..6u64 {
+                let key = Value::Object(vec![
+                    ("cell".to_string(), Value::U64(i)),
+                    ("model".to_string(), Value::Str("v1".into())),
+                ]);
+                let r = Arc::clone(runs);
+                g.push(
+                    Job::new(format!("cell-{i}"), move || {
+                        r.fetch_add(1, Ordering::SeqCst);
+                        Value::U64(i + 100)
+                    })
+                    .with_cache_key(key),
+                );
+            }
+            g
+        };
+        let first = Harness::new()
+            .jobs(2)
+            .cache_dir(&cache_dir)
+            .manifest(&manifest)
+            .run(&counted_graph(&runs));
+        assert!(first.summary.all_done());
+        assert_eq!(runs.load(Ordering::SeqCst), 6);
+        assert!(
+            !manifest.exists(),
+            "the store's WAL is the journal; no manifest file is written"
+        );
+        assert!(cache_dir.join("CURRENT").exists(), "LSM layout in place");
+        let resumed = Harness::new()
+            .jobs(2)
+            .cache_dir(&cache_dir)
+            .manifest(&manifest)
+            .resume(true)
+            .run(&counted_graph(&runs));
+        assert!(resumed.summary.fully_cached(), "all cells pre-resolved");
+        assert_eq!(runs.load(Ordering::SeqCst), 6, "resume recomputed nothing");
+        let values = |s: &Sweep| -> Vec<Value> {
+            s.outcomes
+                .iter()
+                .map(|o| o.value().unwrap().clone())
+                .collect()
+        };
+        assert_eq!(values(&first), values(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unified_resume_merges_a_leftover_legacy_manifest() {
+        let dir = scratch("unified-merge");
+        let cache_dir = dir.join("cache");
+        let manifest = dir.join("manifest.json");
+        // A pre-migration sweep left a line-JSON manifest behind.
+        let j = Journal::open(&manifest, true).unwrap();
+        j.append(&JournalEntry {
+            key: Some(Value::Object(vec![
+                ("cell".to_string(), Value::U64(0)),
+                ("model".to_string(), Value::Str("v1".into())),
+            ])),
+            id: "cell-0".into(),
+            value: Value::U64(100),
+            digest: None,
+        })
+        .unwrap();
+        drop(j);
+        let mut g = JobGraph::new();
+        let key = Value::Object(vec![
+            ("cell".to_string(), Value::U64(0)),
+            ("model".to_string(), Value::Str("v1".into())),
+        ]);
+        g.push(
+            Job::new("cell-0", || panic!("must be served from the journal")).with_cache_key(key),
+        );
+        let sweep = Harness::new()
+            .cache_dir(&cache_dir)
+            .manifest(&manifest)
+            .resume(true)
+            .run(&g);
+        assert!(sweep.summary.all_done());
+        assert_eq!(sweep.outcomes[0].value(), Some(&Value::U64(100)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unified_fresh_sweep_empties_a_leftover_manifest() {
+        let dir = scratch("unified-truncate");
+        let cache_dir = dir.join("cache");
+        let manifest = dir.join("manifest.json");
+        Harness::new().manifest(&manifest).run(&cell_graph());
+        assert_eq!(Journal::load(&manifest).unwrap().len(), 6);
+        Harness::new()
+            .cache_dir(&cache_dir)
+            .manifest(&manifest)
+            .run(&cell_graph());
+        assert!(
+            Journal::load(&manifest).unwrap().is_empty(),
+            "stale pre-migration entries cannot feed a later resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_store_backend_is_used_for_caching() {
+        let dir = scratch("shared-backend");
+        let cache = ResultCache::open(&dir).unwrap();
+        let warmup = Harness::new()
+            .store_backend(cache.backend())
+            .run(&cell_graph());
+        assert_eq!(warmup.cache_stats.stores, 6);
+        let warm = Harness::new()
+            .store_backend(cache.backend())
+            .run(&cell_graph());
+        assert!(warm.summary.fully_cached());
+        // Counters are store-wide: both sweeps hit the same backend.
+        assert_eq!(cache.stats().stores, 6);
+        assert_eq!(cache.stats().hits, 6);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

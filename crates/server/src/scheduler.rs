@@ -895,8 +895,18 @@ impl Scheduler {
             .retries(self.cfg.retries)
             .observer(observer)
             .cancel_flag(batch_cancel);
-        if let Some(dir) = &self.cfg.cache_dir {
-            harness = harness.cache_dir(dir.clone());
+        match &self.cache {
+            // Share the scheduler's already-open store rather than
+            // re-opening the directory: the LSM layout is
+            // single-writer per directory, and sharing keeps
+            // submission-time hits and batch-time stores on one set
+            // of counters.
+            Some(cache) => harness = harness.store_backend(cache.backend()),
+            None => {
+                if let Some(dir) = &self.cfg.cache_dir {
+                    harness = harness.cache_dir(dir.clone());
+                }
+            }
         }
         if let Some(manifest) = &self.cfg.manifest {
             // Always resume: the journal accumulates across batches and
@@ -966,6 +976,11 @@ impl Scheduler {
             0.0
         };
         let cache_stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let store_stats = self
+            .cache
+            .as_ref()
+            .map(|c| c.store_stats())
+            .unwrap_or_default();
         let load = Self::load_state_of(&inner, self.cfg.max_pending_cells);
         Value::Object(vec![
             (
@@ -998,6 +1013,38 @@ impl Scheduler {
             (
                 "cache_loads".to_string(),
                 Value::U64(cache_stats.hits + cache_stats.misses),
+            ),
+            (
+                "quarantined".to_string(),
+                Value::U64(cache_stats.quarantined),
+            ),
+            (
+                "quarantined_total".to_string(),
+                Value::U64(cache_stats.quarantined_total),
+            ),
+            (
+                "store_backend".to_string(),
+                Value::Str(store_stats.backend.to_string()),
+            ),
+            (
+                "wal_appends".to_string(),
+                Value::U64(store_stats.wal_appends),
+            ),
+            (
+                "segment_reads".to_string(),
+                Value::U64(store_stats.segment_reads),
+            ),
+            (
+                "compactions".to_string(),
+                Value::U64(store_stats.compactions),
+            ),
+            (
+                "recovered_records".to_string(),
+                Value::U64(store_stats.recovered_records),
+            ),
+            (
+                "truncated_tail_bytes".to_string(),
+                Value::U64(store_stats.truncated_tail_bytes),
             ),
             ("worker_utilization".to_string(), Value::F64(utilization)),
             ("load".to_string(), Value::Str(load.to_string())),

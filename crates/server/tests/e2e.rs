@@ -196,7 +196,9 @@ fn finished_sweeps_are_evicted_past_the_retention_cap() {
     // An open sweep is older than the whole flood but must survive it:
     // only finished sweeps are eviction candidates.
     let fp = failpoint::scoped("cell-run=delay(300)");
-    let open = scheduler.submit(vec![y.clone()], None).expect("submit open");
+    let open = scheduler
+        .submit(vec![y.clone()], None)
+        .expect("submit open");
     for _ in 0..5 {
         let sweep = scheduler.submit(vec![x.clone()], None).expect("submit");
         sweep.wait_done();

@@ -1,0 +1,47 @@
+//! Fault-injection seam.
+//!
+//! The store must participate in the harness's failpoint subsystem
+//! (`SCU_FAILPOINTS`, sites like `wal-append=io-error`), but the
+//! dependency points the other way: `scu-harness` depends on
+//! `scu-store`. So the store exposes a single function-pointer hook;
+//! the harness installs its own `failpoint::io` into it the first time
+//! it constructs a store. With nothing installed every site is a
+//! no-op, so the store stays zero-cost and dependency-free standalone.
+
+use std::sync::OnceLock;
+
+/// The hook's shape: given a site name, return `Err` to inject an IO
+/// failure at that site (or sleep, for delay actions) and `Ok(())` to
+/// proceed.
+pub type IoHook = fn(&str) -> std::io::Result<()>;
+
+static HOOK: OnceLock<IoHook> = OnceLock::new();
+
+/// Installs the process-wide failpoint hook. Idempotent: the first
+/// installation wins and later calls are ignored, so every store
+/// constructor can call this unconditionally.
+pub fn install(hook: IoHook) {
+    let _ = HOOK.set(hook);
+}
+
+/// Fires the failpoint at `site`, if a hook is installed.
+///
+/// # Errors
+///
+/// Returns whatever injected error the hook decides on.
+pub fn io(site: &str) -> std::io::Result<()> {
+    match HOOK.get() {
+        Some(hook) => hook(site),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstalled_hook_is_a_no_op() {
+        assert!(io("wal-append").is_ok());
+    }
+}

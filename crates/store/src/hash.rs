@@ -1,0 +1,73 @@
+//! Stable content hashing for store addresses.
+//!
+//! Records are addressed by a hash of their resume key (the canonical
+//! compact JSON of the cache key, or the job id for uncacheable jobs).
+//! The hash must be stable across processes, platforms and releases —
+//! `std::hash` explicitly is not — so this module fixes the function:
+//! two independently-keyed 64-bit FNV-1a passes concatenated into a
+//! 128-bit digest. FNV is not collision-resistant against adversaries,
+//! but keys come from our own configuration space, and every read
+//! verifies the stored resume key against the requested one, so a
+//! collision degrades to a miss, never to a wrong result.
+//!
+//! This is the same function `scu-harness` has always used for cache
+//! blob filenames (it now re-exports this module), so digests printed
+//! in old logs still correspond.
+
+/// 64-bit FNV-1a with a caller-chosen offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The standard FNV-1a offset basis.
+const BASIS_A: u64 = 0xcbf29ce484222325;
+/// A second basis (the standard one XOR-folded with π bits) giving an
+/// independent 64-bit view of the same bytes.
+const BASIS_B: u64 = 0xcbf29ce484222325 ^ 0x243F6A8885A308D3;
+
+/// 128-bit stable digest of `bytes`, as 32 lowercase hex characters —
+/// filesystem-safe, fixed-width.
+pub fn stable_digest(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(bytes, BASIS_A),
+        fnv1a(bytes, BASIS_B)
+    )
+}
+
+/// The same 128 bits as [`stable_digest`], as an integer — the form
+/// segment indexes store and binary-search on.
+pub fn stable_addr(bytes: &[u8]) -> u128 {
+    ((fnv1a(bytes, BASIS_A) as u128) << 64) | fnv1a(bytes, BASIS_B) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable() {
+        // Pinned: changing the hash silently invalidates every
+        // on-disk store, so make that an explicit decision.
+        assert_eq!(stable_digest(b""), "cbf29ce484222325efcdf66c01812bf6");
+        assert_eq!(stable_digest(b"scu"), stable_digest(b"scu"));
+    }
+
+    #[test]
+    fn addr_is_the_digest_as_an_integer() {
+        let digest = stable_digest(b"any resume key");
+        let addr = stable_addr(b"any resume key");
+        assert_eq!(format!("{addr:032x}"), digest);
+    }
+
+    #[test]
+    fn nearby_inputs_diverge() {
+        assert_ne!(stable_addr(b"cell-1"), stable_addr(b"cell-2"));
+        assert_ne!(stable_addr(b"ab"), stable_addr(b"ba"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The `CURRENT` manifest: which segments are live.
+//!
+//! A tiny self-checksummed JSON file naming the live segment files in
+//! age order, the next segment id, and the current sweep epoch. Every
+//! mutation writes a complete replacement to a temp file and renames
+//! it over `CURRENT` — readers see the old list or the new list,
+//! never a half-written one. Segment files not named here are garbage
+//! from an interrupted flush/compaction and are deleted on open.
+//!
+//! If `CURRENT` itself is corrupt the store does not give up: the file
+//! is quarantined and the manifest rebuilt by scanning the directory
+//! for segment files — their names carry their ids, and the epoch is
+//! recovered as the maximum epoch seen in any record.
+
+use std::io;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::hash::stable_digest;
+
+/// The manifest's filename inside a store directory.
+pub const CURRENT: &str = "CURRENT";
+
+/// The live-segment list and store-wide counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// The current sweep epoch.
+    pub epoch: u64,
+    /// The id the next flushed segment will take.
+    pub next_segment: u64,
+    /// Live segment filenames, oldest first.
+    pub segments: Vec<String>,
+}
+
+/// The conventional filename for segment id `id`.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+/// Parses an id back out of [`segment_file_name`]'s shape.
+pub fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+impl Manifest {
+    fn inner_json(&self) -> String {
+        let v = Value::Object(vec![
+            ("version".to_string(), Value::U64(1)),
+            ("epoch".to_string(), Value::U64(self.epoch)),
+            ("next_segment".to_string(), Value::U64(self.next_segment)),
+            (
+                "segments".to_string(),
+                Value::Array(
+                    self.segments
+                        .iter()
+                        .map(|s| Value::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string(&v).expect("serialising a Value cannot fail")
+    }
+
+    /// Atomically replaces the manifest at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns write/rename failures.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let inner = self.inner_json();
+        let check = stable_digest(inner.as_bytes());
+        let text = format!("{{\"check\":\"{check}\",\"manifest\":{inner}}}\n");
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads the manifest at `path`. `Ok(None)` when the file does
+    /// not exist (a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the file exists but fails its self-check —
+    /// the caller quarantines it and rebuilds from the directory.
+    pub fn load(path: &Path) -> io::Result<Option<Manifest>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_string());
+        let outer: Value =
+            serde_json::from_str(text.trim()).map_err(|_| corrupt("manifest is not JSON"))?;
+        let check = outer
+            .get("check")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt("manifest missing check"))?;
+        let inner = outer
+            .get("manifest")
+            .ok_or_else(|| corrupt("manifest missing body"))?;
+        let inner_text = serde_json::to_string(inner).expect("serialising a Value cannot fail");
+        if stable_digest(inner_text.as_bytes()) != check {
+            return Err(corrupt("manifest checksum mismatch"));
+        }
+        let epoch = inner
+            .get("epoch")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt("manifest missing epoch"))?;
+        let next_segment = inner
+            .get("next_segment")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt("manifest missing next_segment"))?;
+        let segments = match inner.get("segments") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| corrupt("segment name is not a string"))
+                })
+                .collect::<io::Result<Vec<_>>>()?,
+            _ => return Err(corrupt("manifest missing segments")),
+        };
+        Ok(Some(Manifest {
+            epoch,
+            next_segment,
+            segments,
+        }))
+    }
+
+    /// Rebuilds a usable manifest by scanning `dir` for segment files
+    /// (used after quarantining a corrupt `CURRENT`). The epoch is the
+    /// caller's problem — it scans record contents.
+    pub fn rebuild_from_dir(dir: &Path) -> Manifest {
+        let mut ids: Vec<(u64, String)> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter_map(|e| {
+                        let name = e.file_name().to_str()?.to_string();
+                        Some((parse_segment_id(&name)?, name))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort_unstable();
+        Manifest {
+            epoch: 0,
+            next_segment: ids.last().map(|(id, _)| id + 1).unwrap_or(1),
+            segments: ids.into_iter().map(|(_, name)| name).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scu-store-man-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips() {
+        let dir = scratch("round");
+        let path = dir.join(CURRENT);
+        let m = Manifest {
+            epoch: 4,
+            next_segment: 9,
+            segments: vec![segment_file_name(3), segment_file_name(8)],
+        };
+        m.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), Some(m));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_is_none_corrupt_is_error() {
+        let dir = scratch("corrupt");
+        let path = dir.join(CURRENT);
+        assert_eq!(Manifest::load(&path).unwrap(), None);
+        let m = Manifest::default();
+        m.store(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"epoch\":0", "\"epoch\":7");
+        std::fs::write(&path, text).unwrap();
+        assert!(Manifest::load(&path).is_err(), "edited body trips check");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Manifest::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_scans_segment_names() {
+        let dir = scratch("rebuild");
+        std::fs::write(dir.join(segment_file_name(2)), b"x").unwrap();
+        std::fs::write(dir.join(segment_file_name(5)), b"x").unwrap();
+        std::fs::write(dir.join("unrelated.json"), b"x").unwrap();
+        let m = Manifest::rebuild_from_dir(&dir);
+        assert_eq!(m.segments, vec![segment_file_name(2), segment_file_name(5)]);
+        assert_eq!(m.next_segment, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_parse_back() {
+        assert_eq!(parse_segment_id(&segment_file_name(42)), Some(42));
+        assert_eq!(parse_segment_id("seg-junk.seg"), None);
+        assert_eq!(parse_segment_id("other.seg"), None);
+    }
+}

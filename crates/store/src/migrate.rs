@@ -1,0 +1,261 @@
+//! One-pass conversion of a legacy blob directory into an LSM store.
+//!
+//! `scu_store migrate --from results/cache --to results/cache.lsm`
+//! reads every `<digest>.json` envelope (verifying it the same way the
+//! cache would — corrupt blobs are skipped and counted, never carried
+//! over) and, when given the old line journal, replays it so an
+//! interrupted sweep stays resumable after the switch. The source
+//! directory is never modified.
+
+use std::io;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::legacy::LegacyStore;
+use crate::lsm::LsmStore;
+use crate::record::JournalRecord;
+use crate::{manifest, ResultStore};
+
+/// What a migration did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Cache entries carried over.
+    pub entries: u64,
+    /// Journal lines replayed (the interrupted sweep, if any).
+    pub journaled: u64,
+    /// Blobs or lines skipped as corrupt.
+    pub skipped: u64,
+}
+
+/// Migrates the legacy layout at `from` into a (fresh or existing) LSM
+/// store at `to`, optionally replaying the line journal at
+/// `legacy_manifest`.
+///
+/// # Errors
+///
+/// Fails when `to` already holds a legacy layout, or on IO errors
+/// opening/writing the destination. Corrupt *source* entries are
+/// skipped and counted, not errors.
+pub fn migrate(
+    from: &Path,
+    to: &Path,
+    legacy_manifest: Option<&Path>,
+) -> io::Result<MigrationReport> {
+    if !to.join(manifest::CURRENT).exists() && has_blobs(to) {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!("{} already holds a legacy layout", to.display()),
+        ));
+    }
+    let dest = LsmStore::open(to)?;
+    let mut report = MigrationReport::default();
+
+    let mut names: Vec<_> = std::fs::read_dir(from)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
+        .collect();
+    names.sort();
+    for path in names {
+        match read_envelope(&path) {
+            Some((key, value)) => {
+                dest.put(&key, &value)?;
+                report.entries += 1;
+            }
+            None => {
+                eprintln!(
+                    "[scu-store] migrate: skipping corrupt blob {}",
+                    path.display()
+                );
+                report.skipped += 1;
+            }
+        }
+    }
+
+    if let Some(path) = legacy_manifest {
+        let lines = journal_records(path)?;
+        if !lines.0.is_empty() {
+            // Replay as one sweep so the destination resumes exactly
+            // where the legacy journal left off.
+            dest.begin_sweep(false)?;
+            for rec in &lines.0 {
+                dest.journal_append(rec)?;
+                report.journaled += 1;
+            }
+        }
+        report.skipped += lines.1;
+    }
+
+    dest.flush()?;
+    Ok(report)
+}
+
+fn has_blobs(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .any(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+        })
+        .unwrap_or(false)
+}
+
+/// Reads and verifies one legacy envelope; `None` when it would not
+/// have been served by the cache either.
+fn read_envelope(path: &Path) -> Option<(Value, Value)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let envelope: Value = serde_json::from_str(&text).ok()?;
+    let key = envelope.get("key")?.clone();
+    let value = envelope.get("value")?.clone();
+    let expect_name = format!("{}.json", LegacyStore::digest_of(&key));
+    if path.file_name()?.to_str()? != expect_name {
+        return None;
+    }
+    let canonical = serde_json::to_string(&value).ok()?;
+    let check = crate::hash::stable_digest(canonical.as_bytes());
+    if envelope.get("check").and_then(Value::as_str) != Some(&check) {
+        return None;
+    }
+    Some((key, value))
+}
+
+/// Parses the intact prefix of a line journal; returns the records and
+/// the count of discarded trailing lines.
+fn journal_records(path: &Path) -> io::Result<(Vec<JournalRecord>, u64)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut discarded = 0u64;
+    let mut torn = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if torn {
+            discarded += 1;
+            continue;
+        }
+        let parsed = serde_json::from_str::<Value>(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| JournalRecord::from_value(&v));
+        match parsed {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                torn = true;
+                discarded += 1;
+            }
+        }
+    }
+    Ok((records, discarded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GetResult;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scu-store-mig-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> Value {
+        Value::Object(vec![("cell".into(), Value::U64(n))])
+    }
+
+    #[test]
+    fn migrates_blobs_and_journal_with_resume_parity() {
+        let root = scratch("parity");
+        let from = root.join("legacy");
+        let to = root.join("lsm");
+        let manifest_path = root.join("manifest.json");
+        let legacy = LegacyStore::open(&from)
+            .unwrap()
+            .with_manifest(&manifest_path);
+        legacy.begin_sweep(false).unwrap();
+        for n in 0..10 {
+            legacy.put(&key(n), &Value::U64(n * 10)).unwrap();
+        }
+        // Only half the sweep was journaled before the "crash".
+        for n in 0..5 {
+            legacy
+                .journal_append(&JournalRecord {
+                    key: Some(key(n)),
+                    id: format!("cell-{n}"),
+                    value: Value::U64(n * 10),
+                    digest: Some(n),
+                })
+                .unwrap();
+        }
+        let legacy_resume = legacy.resume_state().unwrap();
+        drop(legacy);
+
+        let report = migrate(&from, &to, Some(&manifest_path)).unwrap();
+        assert_eq!(report.entries, 10);
+        assert_eq!(report.journaled, 5);
+        assert_eq!(report.skipped, 0);
+
+        let dest = LsmStore::open(&to).unwrap();
+        for n in 0..10 {
+            assert!(
+                matches!(dest.get(&key(n)), GetResult::Hit(Value::U64(v)) if v == n * 10),
+                "entry {n} survives migration"
+            );
+        }
+        assert_eq!(
+            dest.resume_state().unwrap(),
+            legacy_resume,
+            "resume state carries over exactly"
+        );
+        // And the source is untouched.
+        let legacy = LegacyStore::open(&from).unwrap();
+        assert!(matches!(legacy.get(&key(3)), GetResult::Hit(_)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_blobs_and_torn_journal_lines_are_skipped() {
+        let root = scratch("skips");
+        let from = root.join("legacy");
+        let to = root.join("lsm");
+        let manifest_path = root.join("manifest.json");
+        let legacy = LegacyStore::open(&from).unwrap();
+        for n in 0..4 {
+            legacy.put(&key(n), &Value::U64(n)).unwrap();
+        }
+        // Corrupt one blob on disk.
+        let victim = from.join(format!("{}.json", LegacyStore::digest_of(&key(2))));
+        std::fs::write(&victim, "garbage").unwrap();
+        // A journal with a torn final line.
+        std::fs::write(
+            &manifest_path,
+            "{\"key\":{\"cell\":0},\"id\":\"cell-0\",\"value\":0,\"digest\":1}\n{\"key\":{\"ce",
+        )
+        .unwrap();
+
+        let report = migrate(&from, &to, Some(&manifest_path)).unwrap();
+        assert_eq!(report.entries, 3);
+        assert_eq!(report.journaled, 1);
+        assert_eq!(report.skipped, 2, "one blob + one torn line");
+        let dest = LsmStore::open(&to).unwrap();
+        assert!(matches!(dest.get(&key(2)), GetResult::Miss), "not carried");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn refuses_to_migrate_onto_a_legacy_directory() {
+        let root = scratch("refuse");
+        let from = root.join("legacy");
+        let legacy = LegacyStore::open(&from).unwrap();
+        legacy.put(&key(1), &Value::U64(1)).unwrap();
+        let err = migrate(&from, &from, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,176 @@
+//! Read-only memory-mapped files, without libc.
+//!
+//! Segment reads want to be zero-copy: a point read should touch only
+//! the index entries the binary search visits plus the one record
+//! frame, not re-read and re-allocate the whole file. The `libc` crate
+//! cannot be vendored here (offline build), so the two syscalls we
+//! need are declared directly against the platform C library on unix.
+//! Anywhere that fails — non-unix targets, empty files, exotic
+//! filesystems where `mmap` errors — the type degrades to a plain
+//! heap read with identical semantics, just without the sharing.
+
+use std::fs::File;
+use std::io::{self, Read as _, Seek as _};
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An immutable byte view of a file: memory-mapped when possible, a
+/// heap copy otherwise. Dereferences to `&[u8]` either way.
+#[derive(Debug)]
+pub struct Mapped {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(unix)]
+    Map {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared
+// bytes with no interior mutability — so views may move between and be
+// shared across threads.
+#[cfg(unix)]
+unsafe impl Send for Mapped {}
+#[cfg(unix)]
+unsafe impl Sync for Mapped {}
+
+impl Mapped {
+    /// Maps (or reads) the whole of `file`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the fallback heap read itself fails;
+    /// an `mmap` refusal silently degrades to the heap path.
+    pub fn of_file(file: &mut File) -> io::Result<Mapped> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd as _;
+            // SAFETY: fd is a valid open file descriptor for the
+            // lifetime of the call; len is the file's current size; a
+            // private read-only mapping cannot alias any Rust-visible
+            // mutable memory.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Mapped {
+                    inner: Inner::Map {
+                        ptr: ptr as *const u8,
+                        len,
+                    },
+                });
+            }
+        }
+        let mut bytes = Vec::with_capacity(len);
+        file.seek(io::SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+        Ok(Mapped {
+            inner: Inner::Heap(bytes),
+        })
+    }
+
+    /// Wraps bytes already in memory (used by tests and recovery
+    /// paths that have the file contents anyway).
+    pub fn from_bytes(bytes: Vec<u8>) -> Mapped {
+        Mapped {
+            inner: Inner::Heap(bytes),
+        }
+    }
+}
+
+impl Deref for Mapped {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful mmap that lives
+            // until Drop; the mapping is never mutated.
+            Inner::Map { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Heap(bytes) => bytes,
+        }
+    }
+}
+
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Map { ptr, len } = self.inner {
+            // SAFETY: exactly the region the constructor mapped, and
+            // no slice into it can outlive self.
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    #[test]
+    fn maps_round_trip_file_bytes() {
+        let path = std::env::temp_dir().join(format!("scu-store-mmap-{}", std::process::id()));
+        let payload = b"mapped bytes survive the trip".repeat(100);
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let mut file = File::open(&path).unwrap();
+        let mapped = Mapped::of_file(&mut file).unwrap();
+        assert_eq!(&*mapped, &payload[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = std::env::temp_dir().join(format!("scu-store-mmap0-{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let mut file = File::open(&path).unwrap();
+        let mapped = Mapped::of_file(&mut file).unwrap();
+        assert!(mapped.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heap_fallback_behaves_identically() {
+        let mapped = Mapped::from_bytes(vec![1, 2, 3]);
+        assert_eq!(&*mapped, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Immutable, checksummed, memory-mapped segment files.
+//!
+//! A segment is a flushed batch of WAL records, merged one-per-address
+//! and sorted, so point reads are a binary search over a fixed-width
+//! index plus one frame decode — no parsing of anything but the record
+//! actually asked for. Layout:
+//!
+//! ```text
+//! [8  "SCUSEG01"][u32le count][u32le reserved]
+//! count × frame                      (see crate::record)
+//! count × [u128le addr][u64le off]   (sorted by addr)
+//! [u64le index_off][u32le count][u32le crc32(index)][8 "SCUSEGIX"]
+//! ```
+//!
+//! Corruption handling is two-tier: a broken header, footer or index
+//! makes the whole file untrustworthy ([`Segment::open`] errors and
+//! the store quarantines the file); a broken *record* is isolated by
+//! its own CRC — the one address is poisoned and quarantined, every
+//! other record in the segment stays readable.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::mmap::Mapped;
+use crate::record::{read_frame, write_frame, Record};
+
+/// Leading magic.
+pub const SEG_MAGIC: &[u8; 8] = b"SCUSEG01";
+/// Trailing magic.
+pub const SEG_FOOTER_MAGIC: &[u8; 8] = b"SCUSEGIX";
+
+const HEADER_LEN: usize = 16;
+const INDEX_ENTRY: usize = 24;
+const FOOTER_LEN: usize = 24;
+
+/// An open segment: mapped bytes plus the validated index geometry.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    map: Mapped,
+    index_off: usize,
+    count: usize,
+}
+
+fn corrupt(reason: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.into())
+}
+
+impl Segment {
+    /// Writes `records` (pre-merged, one per address) as a segment at
+    /// `path`, atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns write/rename failures.
+    pub fn write(path: &Path, records: &mut [(u128, Record)]) -> io::Result<()> {
+        records.sort_by_key(|(addr, _)| *addr);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEG_MAGIC);
+        bytes.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut index = Vec::with_capacity(records.len() * INDEX_ENTRY);
+        for (addr, rec) in records.iter() {
+            index.extend_from_slice(&addr.to_le_bytes());
+            index.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            write_frame(&mut bytes, &rec.encode_body());
+        }
+        let index_off = bytes.len();
+        bytes.extend_from_slice(&index);
+        bytes.extend_from_slice(&(index_off as u64).to_le_bytes());
+        bytes.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&index).to_le_bytes());
+        bytes.extend_from_slice(SEG_FOOTER_MAGIC);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Opens and structurally validates the segment at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for any header/footer/index violation — the
+    /// caller treats the whole file as corrupt — and plain IO errors
+    /// for filesystem failures.
+    pub fn open(path: &Path) -> io::Result<Segment> {
+        let mut file = std::fs::File::open(path)?;
+        let map = Mapped::of_file(&mut file)?;
+        let len = map.len();
+        if len < HEADER_LEN + FOOTER_LEN {
+            return Err(corrupt("segment shorter than header + footer"));
+        }
+        if &map[..8] != SEG_MAGIC {
+            return Err(corrupt("bad segment magic"));
+        }
+        let footer = &map[len - FOOTER_LEN..];
+        if &footer[16..] != SEG_FOOTER_MAGIC {
+            return Err(corrupt("bad segment footer magic"));
+        }
+        let head_count = u32::from_le_bytes(map[8..12].try_into().unwrap()) as usize;
+        let index_off = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
+        let foot_count = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let index_crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
+        if head_count != foot_count {
+            return Err(corrupt("header/footer record counts disagree"));
+        }
+        let index_end = index_off
+            .checked_add(
+                head_count
+                    .checked_mul(INDEX_ENTRY)
+                    .ok_or_else(|| corrupt("index size overflows"))?,
+            )
+            .ok_or_else(|| corrupt("index size overflows"))?;
+        if index_off < HEADER_LEN || index_end != len - FOOTER_LEN {
+            return Err(corrupt("index does not span header..footer"));
+        }
+        if crc32(&map[index_off..index_end]) != index_crc {
+            return Err(corrupt("index checksum mismatch"));
+        }
+        Ok(Segment {
+            path: path.to_path_buf(),
+            map,
+            index_off,
+            count: head_count,
+        })
+    }
+
+    /// The file this segment maps.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn index_entry(&self, i: usize) -> (u128, usize) {
+        let at = self.index_off + i * INDEX_ENTRY;
+        let addr = u128::from_le_bytes(self.map[at..at + 16].try_into().unwrap());
+        let off = u64::from_le_bytes(self.map[at + 16..at + 24].try_into().unwrap()) as usize;
+        (addr, off)
+    }
+
+    fn decode_at(&self, off: usize) -> Result<Record, String> {
+        let frames = &self.map[..self.index_off];
+        match read_frame(frames, off) {
+            Ok((body, _)) => Record::decode_body(body),
+            Err(e) => Err(format!("{e:?} frame")),
+        }
+    }
+
+    /// Binary-searches for `addr`. `None` when absent; `Some(Err)`
+    /// when the record is present but corrupt (the caller poisons the
+    /// address and quarantines the bytes).
+    pub fn get(&self, addr: u128) -> Option<Result<Record, String>> {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (mid_addr, off) = self.index_entry(mid);
+            match mid_addr.cmp(&addr) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(self.decode_at(off)),
+            }
+        }
+        None
+    }
+
+    /// All records in address order, each individually validated.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, Result<Record, String>)> + '_ {
+        (0..self.count).map(|i| {
+            let (addr, off) = self.index_entry(i);
+            (addr, self.decode_at(off))
+        })
+    }
+
+    /// The raw frame bytes behind `addr`, for quarantining a corrupt
+    /// record without copying the whole segment.
+    pub fn raw_frame(&self, addr: u128) -> Option<&[u8]> {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (mid_addr, off) = self.index_entry(mid);
+            match mid_addr.cmp(&addr) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let next = (0..self.count)
+                        .map(|i| self.index_entry(i).1)
+                        .filter(|&o| o > off)
+                        .min()
+                        .unwrap_or(self.index_off);
+                    return self.map.get(off..next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::stable_addr;
+    use crate::record::RecordKind;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scu-store-seg-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn put(n: u64) -> (u128, Record) {
+        let rk = format!("key:{{\"cell\":{n}}}");
+        let rec = Record {
+            kind: RecordKind::Put,
+            epoch: 1,
+            rk: rk.clone(),
+            id: format!("cell-{n}"),
+            digest: Some(n),
+            value: format!("{{\"v\":{n}}}").into_bytes(),
+        };
+        (stable_addr(rk.as_bytes()), rec)
+    }
+
+    fn build(dir: &Path, n: u64) -> Segment {
+        let path = dir.join("seg-000001.seg");
+        let mut records: Vec<_> = (0..n).map(put).collect();
+        Segment::write(&path, &mut records).unwrap();
+        Segment::open(&path).unwrap()
+    }
+
+    #[test]
+    fn point_reads_find_every_record() {
+        let dir = scratch("reads");
+        let seg = build(&dir, 100);
+        assert_eq!(seg.len(), 100);
+        for n in 0..100 {
+            let (addr, expect) = put(n);
+            assert_eq!(seg.get(addr).unwrap().unwrap(), expect);
+        }
+        let (absent, _) = put(100_000);
+        assert!(seg.get(absent).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn iteration_yields_all_records_sorted() {
+        let dir = scratch("iter");
+        let seg = build(&dir, 32);
+        let addrs: Vec<u128> = seg.iter().map(|(a, _)| a).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted);
+        assert_eq!(seg.iter().filter(|(_, r)| r.is_ok()).count(), 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn structural_corruption_fails_open() {
+        let dir = scratch("structure");
+        let path = dir.join("seg-000001.seg");
+        let mut records: Vec<_> = (0..8).map(put).collect();
+        Segment::write(&path, &mut records).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncations anywhere in index/footer must fail open, not
+        // mis-read.
+        for cut in [good.len() - 1, good.len() - FOOTER_LEN, 10, 0] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(Segment::open(&path).is_err(), "cut {cut}");
+        }
+        // A flipped index byte must trip the index checksum.
+        let mut flipped = good.clone();
+        let idx = good.len() - FOOTER_LEN - 3;
+        flipped[idx] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(Segment::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_corruption_is_isolated_to_its_address() {
+        let dir = scratch("record");
+        let path = dir.join("seg-000001.seg");
+        let mut records: Vec<_> = (0..8).map(put).collect();
+        Segment::write(&path, &mut records).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        let (victim_addr, _) = put(3);
+        let victim_off = (0..seg.len())
+            .map(|i| seg.index_entry(i))
+            .find(|(a, _)| *a == victim_addr)
+            .unwrap()
+            .1;
+        drop(seg);
+        // Flip one byte inside the victim's frame body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[victim_off + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert!(seg.get(victim_addr).unwrap().is_err(), "victim corrupt");
+        assert!(seg.raw_frame(victim_addr).is_some());
+        for n in [0u64, 1, 2, 4, 5, 6, 7] {
+            let (addr, expect) = put(n);
+            assert_eq!(seg.get(addr).unwrap().unwrap(), expect, "others intact");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

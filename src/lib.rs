@@ -15,3 +15,4 @@ pub use scu_gpu as gpu;
 pub use scu_graph as graph;
 pub use scu_harness as harness;
 pub use scu_mem as mem;
+pub use scu_store as store;

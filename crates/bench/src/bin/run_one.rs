@@ -8,7 +8,9 @@
 //!
 //! Scale/seed come from `SCU_SCALE` / `SCU_SEED` as usual. The result
 //! is cached under `results/cache` like the full sweep's cells; pass
-//! `--no-cache` to force a fresh simulation.
+//! `--no-cache` to force a fresh simulation (recorded functional
+//! traces may still replay from the store — add `--no-trace-cache`
+//! for a fully cold run).
 //!
 //! With `--trace <path>` the cell always simulates fresh (a cached
 //! result has no event stream) and its timeline is written as a
@@ -19,7 +21,9 @@
 //! derived from the same timeline: total processing/compaction/SCU
 //! nanoseconds and the ten most expensive iterations — the quick
 //! "where does this cell's time go" view without leaving the
-//! terminal.
+//! terminal. Locally simulated cells also get a functional-trace
+//! cache verdict (semantic key, hit/miss, bytes replayed or stored);
+//! pass `--no-trace-cache` to force cold recording.
 //!
 //! With `--remote URL` the cell is obtained from a running `scu_serve`
 //! daemon instead of simulated locally: a cached cell is fetched with
@@ -68,10 +72,13 @@ fn parse_args(args: &[String]) -> Result<(Algorithm, Dataset, SystemKind, Mode),
 }
 
 /// Runs (or recalls) the cell; returns the result and whether it came
-/// from the cache.
-fn obtain(cell: &Cell, no_cache: bool) -> (CellResult, bool) {
+/// from the cache. With the result cache open, the functional-trace
+/// cache is mounted on the same store (unless `--no-trace-cache`), so
+/// a re-simulation of a known cell replays its recorded traces.
+fn obtain(cell: &Cell, no_cache: bool, trace_cache: bool) -> (CellResult, bool) {
     if !no_cache {
         if let Ok(cache) = ResultCache::open("results/cache") {
+            scu_harness::trace_bridge::install(Some(cache.backend()), trace_cache);
             let key = cell.cache_key();
             if let Some(value) = cache.load(&key) {
                 if let Ok(result) = CellResult::from_value(&value) {
@@ -84,6 +91,13 @@ fn obtain(cell: &Cell, no_cache: bool) -> (CellResult, bool) {
                 eprintln!("cache store failed: {e}");
             }
             return (result, false);
+        }
+    } else if trace_cache {
+        // --no-cache recomputes the result, but recorded functional
+        // traces may still replay — they cannot change result bytes.
+        // --no-trace-cache on top makes the simulation fully cold.
+        if let Ok(cache) = ResultCache::open("results/cache") {
+            scu_harness::trace_bridge::install(Some(cache.backend()), true);
         }
     }
     (cell.run(), false)
@@ -143,7 +157,7 @@ fn obtain_remote(cell: &Cell, url: &str) -> Result<(CellResult, bool), String> {
 }
 
 const USAGE: &str = "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
-     [--no-cache] [--trace PATH] [--profile] [--sim-threads N] [--remote URL]";
+     [--no-cache] [--no-trace-cache] [--trace PATH] [--profile] [--sim-threads N] [--remote URL]";
 
 fn main() {
     let args = CliArgs::from_env();
@@ -230,7 +244,7 @@ fn main() {
                 }
                 (result, false)
             }
-            None => obtain(&cell, args.no_cache),
+            None => obtain(&cell, args.no_cache, !args.no_trace_cache),
         }
     };
     if cached {
@@ -303,6 +317,40 @@ fn main() {
     if profile {
         print_profile(&result.phases);
         print_engine_profile(cached, args.sim_threads);
+        if remote.is_none() {
+            print_trace_outcome(cached);
+        }
+    }
+}
+
+/// Renders the functional-trace cache's verdict for this cell: the
+/// semantic key it ran under, whether recorded traces were replayed
+/// (warm) or recorded fresh (cold), and how many bytes moved either
+/// way. A result-cache hit skips simulation entirely, so it reports
+/// no trace activity.
+fn print_trace_outcome(cached: bool) {
+    println!("\n--- profile: functional-trace cache ---");
+    match scu_algos::trace_cache::last_cell_outcome() {
+        None if cached => println!("no trace activity — result came from the result cache"),
+        None => println!("no trace activity — trace cache disabled or no store mounted"),
+        Some(o) => {
+            let verdict = if o.poisoned {
+                "poisoned — stored trace failed verification, fell back to cold recording"
+            } else if o.hit {
+                "hit — replayed recorded traces, functional recording skipped"
+            } else if o.stored {
+                "miss — recorded fresh traces and stored them"
+            } else if o.oversize {
+                "miss — recorded fresh traces; blob exceeded the size cap, not stored"
+            } else {
+                "miss — recorded fresh traces; store declined the blob"
+            };
+            println!("semantic key     {}", o.key);
+            println!("outcome          {verdict}");
+            println!("kernel launches  {:>12}", o.launches);
+            println!("bytes replayed   {:>12}", o.bytes_replayed);
+            println!("bytes stored     {:>12}", o.bytes_stored);
+        }
     }
 }
 

@@ -32,6 +32,7 @@ use crate::kernel::{MemOp, ThreadCtx};
 use crate::lanes::{LaneBuf, LaneParams, LanePool, LaneTask, LaneWarp, ReplayOp};
 use crate::stats::{KernelStats, TimeBounds};
 use crate::threads::SimThreads;
+use crate::trace_cache::{self, LaunchDisposition};
 
 /// Time charged per serialised same-address atomic at the L2, ns.
 ///
@@ -199,26 +200,33 @@ impl GpuEngine {
             .thread_override
             .unwrap_or_else(SimThreads::get)
             .clamp(1, num_sms);
+        self.scratch.atomic_counts.clear();
         let mut tally = LaunchTally {
             stats: &mut stats,
             sm_slots: &mut sm_slots,
             sm_l1_tx: &mut sm_l1_tx,
             total_latency_ns: &mut total_latency_ns,
         };
-        if workers >= 2 && n_warps >= num_sms {
-            let t0 = Instant::now();
-            self.record_warp_traces(threads, &mut body, &mut tally);
-            let functional = t0.elapsed();
-            let t1 = Instant::now();
-            self.run_timing_lanes(workers, params);
-            let lane = t1.elapsed();
-            let t2 = Instant::now();
-            self.replay_lanes(mem, n_warps, &mut tally);
-            crate::threads::record_threaded(functional, lane, t2.elapsed());
-        } else {
-            let t0 = Instant::now();
-            self.run_warps_sequential(mem, threads, &mut body, &mut tally, params);
-            crate::threads::record_sequential(t0.elapsed());
+        // An active trace-cache session forces the lane path (its
+        // buffers are the unit the cache records and replays); without
+        // one the engine keeps its original threshold — both paths are
+        // byte-identical, so this is purely a routing choice.
+        match trace_cache::launch_begin(threads, num_sms, warp_size) {
+            LaunchDisposition::Replay(rec) => {
+                self.replay_recorded(mem, threads, &mut body, &mut tally, params, workers, rec);
+            }
+            LaunchDisposition::Record => {
+                self.run_lanes(mem, threads, &mut body, &mut tally, params, workers, true);
+            }
+            LaunchDisposition::None => {
+                if workers >= 2 && n_warps >= num_sms {
+                    self.run_lanes(mem, threads, &mut body, &mut tally, params, workers, false);
+                } else {
+                    let t0 = Instant::now();
+                    self.run_warps_sequential(mem, threads, &mut body, &mut tally, params);
+                    crate::threads::record_sequential(t0.elapsed());
+                }
+            }
         }
 
         // Assemble the time bounds.
@@ -408,13 +416,95 @@ impl GpuEngine {
         }
     }
 
-    /// Phase A of the threaded path: the sequential functional pass.
+    /// The lane path: sequential functional pass (phase A), parallel
+    /// per-SM timing lanes (phase B), ordered replay (phase C). With
+    /// `store_trace`, the filled lane buffers are appended to the
+    /// active trace-cache recording between phases B and C.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lanes<F>(
+        &mut self,
+        mem: &mut MemorySystem,
+        threads: usize,
+        body: &mut F,
+        tally: &mut LaunchTally<'_>,
+        params: LaneParams,
+        workers: usize,
+        store_trace: bool,
+    ) where
+        F: FnMut(usize, &mut ThreadCtx),
+    {
+        let warp_size = self.cfg.warp_size as usize;
+        let num_sms = self.cfg.num_sms as usize;
+        let n_warps = threads.div_ceil(warp_size);
+        let t0 = Instant::now();
+        self.record_warp_traces(threads, body);
+        let functional = t0.elapsed();
+        let t1 = Instant::now();
+        self.dispatch_lanes(workers, params);
+        self.collect_lanes();
+        let lane = t1.elapsed();
+        if store_trace {
+            trace_cache::record_launch(threads, num_sms, warp_size, &self.lane_bufs[..num_sms]);
+        }
+        let t2 = Instant::now();
+        self.replay_lanes(mem, n_warps, tally);
+        crate::threads::record_threaded(functional, lane, t2.elapsed());
+    }
+
+    /// The warm trace-cache path: the recorded per-SM streams go to
+    /// the timing lanes directly, and the kernel bodies re-run *while
+    /// the lanes work* — with recording off, since device-memory side
+    /// effects are all the functional pass still has to produce.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_recorded<F>(
+        &mut self,
+        mem: &mut MemorySystem,
+        threads: usize,
+        body: &mut F,
+        tally: &mut LaunchTally<'_>,
+        params: LaneParams,
+        workers: usize,
+        rec: trace_cache::LaunchReplay,
+    ) where
+        F: FnMut(usize, &mut ThreadCtx),
+    {
+        let num_sms = self.cfg.num_sms as usize;
+        let n_warps = threads.div_ceil(self.cfg.warp_size as usize);
+        if self.lane_bufs.len() < num_sms {
+            self.lane_bufs.resize_with(num_sms, LaneBuf::default);
+        }
+        for (buf, sm_rec) in self.lane_bufs.iter_mut().zip(rec.sms) {
+            buf.begin_launch();
+            buf.ops = sm_rec.ops;
+            buf.lane_lens = sm_rec.lane_lens;
+            buf.warps = sm_rec.warps;
+            buf.alu_total = sm_rec.alu_total;
+        }
+        let t1 = Instant::now();
+        self.dispatch_lanes(workers, params);
+        let t0 = Instant::now();
+        let mut ctx = ThreadCtx::new();
+        ctx.set_recording(false);
+        for tid in 0..threads {
+            body(tid, &mut ctx);
+        }
+        let functional = t0.elapsed();
+        self.collect_lanes();
+        let lane = t1.elapsed().saturating_sub(functional);
+        let t2 = Instant::now();
+        self.replay_lanes(mem, n_warps, tally);
+        crate::threads::record_threaded(functional, lane, t2.elapsed());
+    }
+
+    /// Phase A of the lane path: the sequential functional pass.
     ///
     /// Runs every thread body in canonical order (lanes share device
     /// memory, so this cannot parallelise), appending each warp's
-    /// per-lane traces into its SM's [`LaneBuf`] and accumulating the
-    /// order-insensitive integer statistics.
-    fn record_warp_traces<F>(&mut self, threads: usize, body: &mut F, tally: &mut LaunchTally<'_>)
+    /// per-lane traces into its SM's [`LaneBuf`]. Op classification
+    /// and slot accounting moved into the parallel lanes (phase B);
+    /// this loop keeps only what the bodies alone can produce: the
+    /// traces and the per-lane ALU counters.
+    fn record_warp_traces<F>(&mut self, threads: usize, body: &mut F)
     where
         F: FnMut(usize, &mut ThreadCtx),
     {
@@ -428,8 +518,6 @@ impl GpuEngine {
         for buf in &mut self.lane_bufs[..num_sms] {
             buf.begin_launch();
         }
-        let atomic_counts = &mut self.scratch.atomic_counts;
-        atomic_counts.clear();
 
         let mut ctx = ThreadCtx::new();
         for w in 0..n_warps {
@@ -445,34 +533,22 @@ impl GpuEngine {
                 let alu = ctx.drain_trace_append(&mut buf.ops);
                 let n_ops = buf.ops.len() - before;
                 buf.lane_lens.push(n_ops as u32);
-                for op in &buf.ops[before..] {
-                    if op.atomic {
-                        tally.stats.atomics += 1;
-                        *atomic_counts.entry(op.addr).or_insert(0) += 1;
-                    } else if op.write {
-                        tally.stats.stores += 1;
-                    } else {
-                        tally.stats.loads += 1;
-                    }
-                }
                 alu_max = alu_max.max(alu);
-                tally.stats.thread_insts += alu + n_ops as u64;
+                buf.alu_total += alu;
                 max_ops = max_ops.max(n_ops);
             }
             buf.warps.push(LaneWarp {
                 lanes: (last - first) as u32,
                 max_ops: max_ops as u32,
+                alu_max,
             });
-            let slots = alu_max + max_ops as u64;
-            tally.stats.warp_slots += slots;
-            tally.sm_slots[sm] += slots;
         }
     }
 
-    /// Phase B of the threaded path: fan each SM's traces plus its L1
-    /// out to the lane pool and collect the replay streams. Caches and
-    /// buffers move by ownership — no shared state, no locks.
-    fn run_timing_lanes(&mut self, workers: usize, params: LaneParams) {
+    /// Phase B dispatch: fan each SM's traces plus its L1 out to the
+    /// lane pool. Caches and buffers move by ownership — no shared
+    /// state, no locks.
+    fn dispatch_lanes(&mut self, workers: usize, params: LaneParams) {
         let num_sms = self.cfg.num_sms as usize;
         if self.pool.as_ref().map(LanePool::workers) != Some(workers) {
             self.pool = Some(LanePool::new(workers));
@@ -488,6 +564,12 @@ impl GpuEngine {
                 params,
             });
         }
+    }
+
+    /// Phase B collect: re-slot the completed lane tasks.
+    fn collect_lanes(&mut self) {
+        let num_sms = self.cfg.num_sms as usize;
+        let pool = self.pool.as_ref().expect("collect follows dispatch");
         for _ in 0..num_sms {
             let task = pool.collect();
             self.l1s[task.sm] = task.cache;
@@ -543,10 +625,24 @@ impl GpuEngine {
                 }
             }
         }
+        // Merge the order-insensitive tallies the lanes computed in
+        // parallel: plain integer sums (and per-address sums for the
+        // atomic conflicts), so the result is deterministic at any
+        // worker count and equal to the sequential path's.
+        let atomic_counts = &mut self.scratch.atomic_counts;
         for (sm, buf) in self.lane_bufs[..num_sms].iter().enumerate() {
             tally.stats.transactions += buf.transactions;
             tally.sm_l1_tx[sm] += buf.transactions;
             tally.stats.mem_slots += buf.mem_slots;
+            tally.stats.loads += buf.loads;
+            tally.stats.stores += buf.stores;
+            tally.stats.atomics += buf.atomics;
+            tally.stats.thread_insts += buf.alu_total + buf.ops_total;
+            tally.stats.warp_slots += buf.slots;
+            tally.sm_slots[sm] += buf.slots;
+            for (&addr, &n) in &buf.atomic_counts {
+                *atomic_counts.entry(addr).or_insert(0) += n;
+            }
         }
     }
 }
@@ -797,6 +893,161 @@ mod tests {
             })
         };
         assert_eq!(run(Some(1)), run(Some(8)));
+    }
+
+    /// Runs the standard mixed kernel twice (cross-launch warm state),
+    /// optionally inside a trace-cache cell scope, and fingerprints
+    /// every statistic plus the memory-system end state.
+    fn run_mixed_cell(
+        cfg: &GpuConfig,
+        pin: usize,
+        key: Option<&str>,
+    ) -> (String, Option<trace_cache::CellTraceOutcome>) {
+        let scope = key.map(trace_cache::begin_cell);
+        let mut alloc = DeviceAllocator::new();
+        let n = 4096usize;
+        let a = DeviceArray::from_vec(&mut alloc, (0u32..n as u32).collect());
+        let mut b: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+        let mut acc: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, 8);
+        let mut mem = MemorySystem::new(cfg.memory.clone());
+        let mut eng = GpuEngine::new(cfg.clone());
+        eng.set_thread_override(Some(pin));
+        let mut all = Vec::new();
+        for round in 0..2 {
+            let s = eng.run(&mut mem, "mixed", n, |tid, ctx| {
+                let v = ctx.load(&a, tid);
+                let w = ctx.load(&a, (tid * 7919 + round) % n);
+                ctx.alu(3);
+                ctx.store(&mut b, tid, v.wrapping_add(w));
+                if tid % 3 == 0 {
+                    ctx.atomic_rmw(&mut acc, tid % 8, |x| x.wrapping_add(v));
+                }
+            });
+            all.push(s);
+        }
+        let fingerprint = format!(
+            "{:?} | mem={:?} | service={:.6} | b={:?} | acc={:?}",
+            all,
+            mem.stats(),
+            mem.service_time_ns(),
+            b.as_slice(),
+            acc.as_slice(),
+        );
+        drop(scope);
+        (
+            fingerprint,
+            key.and_then(|_| trace_cache::last_cell_outcome()),
+        )
+    }
+
+    #[test]
+    fn trace_cache_warm_replay_is_byte_identical() {
+        let _serial = trace_cache::test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        trace_cache::set_enabled(true);
+        trace_cache::install(Some(trace_cache::shared_test_store()));
+        let cfg = GpuConfig::gtx980();
+        let key = "engine-warm-identical";
+
+        let (baseline, _) = run_mixed_cell(&cfg, 1, None);
+        let (cold, cold_out) = run_mixed_cell(&cfg, 4, Some(key));
+        let out = cold_out.expect("session ran");
+        assert!(out.stored && !out.hit && !out.poisoned, "{out:?}");
+        assert_eq!(out.launches, 2);
+        assert_eq!(baseline, cold, "cold recording diverged from plain run");
+
+        for pin in [1usize, 4] {
+            let (warm, warm_out) = run_mixed_cell(&cfg, pin, Some(key));
+            let out = warm_out.expect("session ran");
+            assert!(out.hit && !out.poisoned, "pin {pin}: {out:?}");
+            assert!(out.bytes_replayed > 0);
+            assert_eq!(baseline, warm, "warm replay diverged at pin {pin}");
+        }
+    }
+
+    #[test]
+    fn trace_cache_cold_recording_at_one_worker_matches_plain() {
+        let _serial = trace_cache::test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        trace_cache::set_enabled(true);
+        trace_cache::install(Some(trace_cache::shared_test_store()));
+        let cfg = GpuConfig::tx1();
+        let (baseline, _) = run_mixed_cell(&cfg, 1, None);
+        let (cold, out) = run_mixed_cell(&cfg, 1, Some("engine-cold-seq"));
+        assert!(out.expect("session ran").stored);
+        assert_eq!(baseline, cold);
+    }
+
+    #[test]
+    fn corrupt_stored_trace_falls_back_to_cold_and_heals() {
+        let _serial = trace_cache::test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        trace_cache::set_enabled(true);
+        let store = trace_cache::shared_test_store();
+        trace_cache::install(Some(store.clone()));
+        let cfg = GpuConfig::gtx980();
+        let key = "engine-corrupt";
+
+        let (baseline, _) = run_mixed_cell(&cfg, 1, None);
+        let (_, out) = run_mixed_cell(&cfg, 4, Some(key));
+        assert!(out.expect("session ran").stored);
+
+        // Flip a byte in the middle of the stored blob.
+        {
+            let mut map = store.map.lock().unwrap();
+            let blob = map.get_mut(key).expect("blob stored");
+            let mid = blob.len() / 2;
+            blob[mid] ^= 0xff;
+        }
+
+        let (fell_back, out) = run_mixed_cell(&cfg, 4, Some(key));
+        let out = out.expect("session ran");
+        assert!(!out.hit, "corrupt blob must not replay: {out:?}");
+        assert!(out.stored, "cold fallback re-stores a fresh blob");
+        assert_eq!(baseline, fell_back, "fallback produced a wrong result");
+
+        // The re-stored blob serves warm again.
+        let (healed, out) = run_mixed_cell(&cfg, 4, Some(key));
+        assert!(out.expect("session ran").hit);
+        assert_eq!(baseline, healed);
+    }
+
+    #[test]
+    fn trace_shape_divergence_poisons_and_stays_correct() {
+        let _serial = trace_cache::test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        trace_cache::set_enabled(true);
+        trace_cache::install(Some(trace_cache::shared_test_store()));
+        let cfg = GpuConfig::gtx980();
+        let key = "engine-diverge";
+        let n = 4096usize;
+
+        let run_n = |threads: usize, with_key: bool| {
+            let scope = with_key.then(|| trace_cache::begin_cell(key));
+            let mut alloc = DeviceAllocator::new();
+            let a: DeviceArray<u32> = DeviceArray::zeroed(&mut alloc, n);
+            let mut mem = MemorySystem::new(cfg.memory.clone());
+            let mut eng = GpuEngine::new(cfg.clone());
+            eng.set_thread_override(Some(4));
+            let s = eng.run(&mut mem, "probe", threads, |tid, ctx| {
+                let _ = ctx.load(&a, tid % n);
+            });
+            drop(scope);
+            format!("{s:?}")
+        };
+
+        let _ = run_n(n, true); // records a trace for `n` threads
+        let baseline = run_n(n / 2, false);
+        // Same key, different launch shape: must poison and fall back.
+        let diverged = run_n(n / 2, true);
+        let out = trace_cache::last_cell_outcome().expect("session ran");
+        assert!(out.poisoned, "{out:?}");
+        assert!(!out.stored, "poisoned sessions must not overwrite the blob");
+        assert_eq!(baseline, diverged);
     }
 
     #[test]

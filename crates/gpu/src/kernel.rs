@@ -35,43 +35,73 @@ pub struct MemOp {
 /// [`ThreadCtx::alu`] to account for arithmetic between memory
 /// operations; graph kernels are memory-bound, so a coarse count is
 /// sufficient.
-#[derive(Debug, Default)]
+///
+/// With recording switched off ([`ThreadCtx::set_recording`]) the data
+/// movement still happens — device memory must stay exact because the
+/// host algorithm reads it between launches — but no trace is kept.
+/// The engine uses this when replaying a cached functional trace: the
+/// bodies re-run for their side effects while the recorded `MemOp`
+/// streams stand in for the trace.
+#[derive(Debug)]
 pub struct ThreadCtx {
     alu: u64,
     mems: Vec<MemOp>,
+    record: bool,
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx {
+            alu: 0,
+            mems: Vec::new(),
+            record: true,
+        }
+    }
 }
 
 impl ThreadCtx {
-    /// Creates an empty context (the engine does this per thread).
+    /// Creates an empty, recording context (the engine does this per
+    /// launch).
     pub fn new() -> Self {
         ThreadCtx::default()
+    }
+
+    /// Switches trace recording on or off. Data movement is unaffected.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
     }
 
     /// Records `n` ALU instructions.
     #[inline]
     pub fn alu(&mut self, n: u32) {
-        self.alu += n as u64;
+        if self.record {
+            self.alu += n as u64;
+        }
     }
 
     /// Loads element `i` of `arr`, recording the access.
     #[inline]
     pub fn load<T: Copy>(&mut self, arr: &DeviceArray<T>, i: usize) -> T {
-        self.mems.push(MemOp {
-            addr: arr.addr(i),
-            write: false,
-            atomic: false,
-        });
+        if self.record {
+            self.mems.push(MemOp {
+                addr: arr.addr(i),
+                write: false,
+                atomic: false,
+            });
+        }
         arr.get(i)
     }
 
     /// Stores `v` into element `i` of `arr`, recording the access.
     #[inline]
     pub fn store<T: Copy>(&mut self, arr: &mut DeviceArray<T>, i: usize, v: T) {
-        self.mems.push(MemOp {
-            addr: arr.addr(i),
-            write: true,
-            atomic: false,
-        });
+        if self.record {
+            self.mems.push(MemOp {
+                addr: arr.addr(i),
+                write: true,
+                atomic: false,
+            });
+        }
         arr.set(i, v);
     }
 
@@ -88,11 +118,13 @@ impl ThreadCtx {
         i: usize,
         f: impl FnOnce(T) -> T,
     ) -> T {
-        self.mems.push(MemOp {
-            addr: arr.addr(i),
-            write: true,
-            atomic: true,
-        });
+        if self.record {
+            self.mems.push(MemOp {
+                addr: arr.addr(i),
+                write: true,
+                atomic: true,
+            });
+        }
         let old = arr.get(i);
         arr.set(i, f(old));
         old
@@ -231,6 +263,24 @@ mod tests {
         assert_eq!(ops[0].addr, arr.addr(0));
         assert_eq!(ops[1].addr, arr.addr(1));
         assert_eq!(ctx.op_count(), 0);
+    }
+
+    #[test]
+    fn recording_off_moves_data_but_keeps_no_trace() {
+        let mut alloc = DeviceAllocator::new();
+        let a = DeviceArray::from_vec(&mut alloc, vec![5u32, 6]);
+        let mut b = DeviceArray::from_vec(&mut alloc, vec![0u32; 2]);
+        let mut ctx = ThreadCtx::new();
+        ctx.set_recording(false);
+        ctx.alu(7);
+        let v = ctx.load(&a, 1);
+        ctx.store(&mut b, 0, v);
+        let old = ctx.atomic_min_u32(&mut b, 0, 2);
+        assert_eq!(v, 6);
+        assert_eq!(old, 6);
+        assert_eq!(b.get(0), 2, "data movement still exact");
+        assert_eq!(ctx.op_count(), 0);
+        assert_eq!(ctx.alu_count(), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! (a constant `l1_hit_latency_ns` add each) are recorded as run
 //! lengths interleaved in program order with misses and atomics.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,13 +53,19 @@ pub(crate) struct LaneWarp {
     pub lanes: u32,
     /// Max per-lane memory-op count — the warp's SIMT slot count.
     pub max_ops: u32,
+    /// Max per-lane ALU count — the warp's compute slot count.
+    pub alu_max: u64,
 }
 
 /// One SM's launch-local buffers, round-tripped between the engine and
 /// a lane worker so steady-state launches allocate nothing.
 ///
-/// Phase A (engine) fills `ops`/`lane_lens`/`warps`; phase B (worker)
-/// fills `replay`/`warp_replay` and the traffic tallies.
+/// Phase A (engine) fills `ops`/`lane_lens`/`warps`/`alu_total`; phase
+/// B (worker) fills `replay`/`warp_replay` and every tally below. The
+/// tallies are all order-insensitive integer sums, so merging them
+/// per-SM after the parallel phase is deterministic at any worker
+/// count — this is what lets the op classification the sequential
+/// functional pass used to do run inside the parallel lanes instead.
 #[derive(Debug, Default)]
 pub(crate) struct LaneBuf {
     /// All recorded memory ops of this SM's warps, flat: warps in
@@ -69,6 +76,9 @@ pub(crate) struct LaneBuf {
     pub lane_lens: Vec<u32>,
     /// Warp headers in launch order.
     pub warps: Vec<LaneWarp>,
+    /// Sum of all lanes' ALU counts on this SM (phase A; the one
+    /// per-thread scalar the functional pass still accumulates).
+    pub alu_total: u64,
     /// Ordered replay stream, all warps concatenated.
     pub replay: Vec<ReplayOp>,
     /// Replay-op count per warp (parallel to `warps`).
@@ -77,6 +87,18 @@ pub(crate) struct LaneBuf {
     pub mem_slots: u64,
     /// Line transactions this SM issued (its L1 throughput load).
     pub transactions: u64,
+    /// Load ops this SM's lanes classified.
+    pub loads: u64,
+    /// Store ops this SM's lanes classified.
+    pub stores: u64,
+    /// Atomic ops this SM's lanes classified.
+    pub atomics: u64,
+    /// Total memory ops (`Σ lane_lens`), for `thread_insts`.
+    pub ops_total: u64,
+    /// Issue slots (`Σ alu_max + max_ops` over warps) this SM used.
+    pub slots: u64,
+    /// Per-address atomic conflict counts on this SM.
+    pub atomic_counts: HashMap<Addr, u64>,
 }
 
 impl LaneBuf {
@@ -85,10 +107,17 @@ impl LaneBuf {
         self.ops.clear();
         self.lane_lens.clear();
         self.warps.clear();
+        self.alu_total = 0;
         self.replay.clear();
         self.warp_replay.clear();
         self.mem_slots = 0;
         self.transactions = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.atomics = 0;
+        self.ops_total = 0;
+        self.slots = 0;
+        self.atomic_counts.clear();
     }
 }
 
@@ -171,6 +200,14 @@ fn simulate_lane(buf: &mut LaneBuf, cache: &mut Cache, params: LaneParams, sc: &
                     }
                 }
             }
+            // Classify while the ops are hot: each op lands in exactly
+            // one slot of its lane, so these sums cover every op once.
+            buf.loads += sc.loads.len() as u64;
+            buf.stores += sc.stores.len() as u64;
+            buf.atomics += sc.atomics.len() as u64;
+            for &a in &sc.atomics {
+                *buf.atomic_counts.entry(a).or_insert(0) += 1;
+            }
 
             if !sc.loads.is_empty() {
                 buf.mem_slots += 1;
@@ -221,6 +258,8 @@ fn simulate_lane(buf: &mut LaneBuf, cache: &mut Cache, params: LaneParams, sc: &
         flush_hits(&mut buf.replay, &mut pending_hits);
         buf.warp_replay
             .push((buf.replay.len() - replay_start) as u32);
+        buf.slots += warp.alu_max + warp.max_ops as u64;
+        buf.ops_total += (acc - op_base) as u64;
         op_base = acc;
         len_base += lanes;
     }
@@ -316,6 +355,7 @@ mod tests {
         buf.warps.push(LaneWarp {
             lanes: lens.len() as u32,
             max_ops,
+            alu_max: 0,
         });
         buf
     }
@@ -402,6 +442,38 @@ mod tests {
             buf.replay,
             vec![ReplayOp::Miss(0), ReplayOp::Hits(1), ReplayOp::Atomic(0)]
         );
+    }
+
+    #[test]
+    fn lanes_classify_ops_and_count_slots() {
+        let ops = [
+            load(0),
+            MemOp {
+                addr: 128,
+                write: true,
+                atomic: false,
+            },
+            MemOp {
+                addr: 0,
+                write: true,
+                atomic: true,
+            },
+            MemOp {
+                addr: 0,
+                write: true,
+                atomic: true,
+            },
+        ];
+        let mut buf = buf_with(&ops, &[4]);
+        buf.warps[0].alu_max = 5;
+        let mut cache = l1();
+        simulate_lane(&mut buf, &mut cache, params(), &mut LaneScratch::default());
+        assert_eq!(buf.loads, 1);
+        assert_eq!(buf.stores, 1);
+        assert_eq!(buf.atomics, 2);
+        assert_eq!(buf.ops_total, 4);
+        assert_eq!(buf.slots, 5 + 4, "alu_max + max_ops");
+        assert_eq!(buf.atomic_counts.get(&0), Some(&2));
     }
 
     #[test]

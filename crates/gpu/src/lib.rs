@@ -48,6 +48,7 @@ pub mod kernel;
 pub(crate) mod lanes;
 pub mod stats;
 pub mod threads;
+pub mod trace_cache;
 
 pub use config::GpuConfig;
 pub use engine::GpuEngine;
@@ -55,4 +56,8 @@ pub use kernel::ThreadCtx;
 pub use scu_mem::buffer;
 pub use scu_mem::buffer::{DeviceAllocator, DeviceArray};
 pub use stats::{KernelStats, TimeBounds};
-pub use threads::{phase_profile, reset_phase_profile, PhaseProfile, SimThreads};
+pub use threads::{
+    available_parallelism, parallelism_degraded, phase_profile, reset_phase_profile, PhaseProfile,
+    SimThreads,
+};
+pub use trace_cache::{TraceCacheStats, TraceStore};

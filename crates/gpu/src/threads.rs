@@ -58,6 +58,22 @@ impl SimThreads {
     }
 }
 
+/// Host cores available to this process (1 when undetectable).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Whether a requested lane count exceeds the host's real parallelism
+/// — i.e. a threaded measurement taken now would be a time-sliced
+/// placeholder, not a speedup. Benchmarks tag such records
+/// `degraded: true` so they can never silently become a committed
+/// baseline (see `bench_gate`).
+pub fn parallelism_degraded(requested: usize) -> bool {
+    requested > 1 && available_parallelism() < requested
+}
+
 static FUNCTIONAL_NS: AtomicU64 = AtomicU64::new(0);
 static LANE_NS: AtomicU64 = AtomicU64::new(0);
 static REPLAY_NS: AtomicU64 = AtomicU64::new(0);

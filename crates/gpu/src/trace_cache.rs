@@ -1,0 +1,776 @@
+//! Content-addressed functional-trace cache.
+//!
+//! Most sweep cells differ only in *timing* knobs (cache geometry,
+//! DRAM model, SCU parameters): the kernel bodies execute the same
+//! instructions and touch the same addresses, so the per-warp `MemOp`
+//! traces the functional pass records are identical across large
+//! slices of the experiment matrix. This module caches those traces
+//! keyed by a cell's *semantic key* — everything that determines the
+//! traces (algorithm, dataset, launch geometry, functional-model
+//! version) and nothing that doesn't.
+//!
+//! The cache is strictly an accelerator, never an oracle:
+//!
+//! - Kernel bodies **always re-execute**, warm or cold — device memory
+//!   drives host control flow between launches (frontier sizes, loop
+//!   exits), so functional outputs are never taken from the cache. A
+//!   warm hit only skips trace *recording*: the engine feeds the
+//!   stored per-SM streams straight into its timing lanes, overlapped
+//!   with the (non-recording) body re-execution.
+//! - Every blob embeds its semantic key and a trailing FNV-1a digest;
+//!   any mismatch — corrupt bytes, wrong key, launch-shape divergence —
+//!   poisons the session and falls back to cold execution for the rest
+//!   of the cell. Byte-identical results are the invariant; the cache
+//!   can only ever be slow, not wrong.
+//!
+//! The store behind the cache is injected via [`TraceStore`] (the
+//! harness installs an adapter over its `scu-store` backend), keeping
+//! this crate free of persistence dependencies. State is
+//! process-global for the store/enable knobs and thread-local for the
+//! per-cell session, matching the harness model of one cell per worker
+//! thread.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::kernel::MemOp;
+use crate::lanes::{LaneBuf, LaneWarp};
+
+/// Blob header magic; the trailing two bytes version the format.
+const MAGIC: &[u8; 8] = b"SCUTRC01";
+
+/// Default cap on one cell's trace blob (`SCU_TRACE_CACHE_MAX_BYTES`
+/// overrides): large-scale cells can record hundreds of megabytes of
+/// ops, which would bloat the store for a cache that exists to save
+/// time, so oversized cells simply skip the cache.
+const DEFAULT_MAX_BYTES: u64 = 64 << 20;
+
+/// What a [`TraceStore`] lookup found.
+#[derive(Debug)]
+pub enum TraceLoad {
+    /// The stored blob, as last written.
+    Data(Vec<u8>),
+    /// Nothing stored under this key.
+    Missing,
+    /// The backend detected corruption (callers fall back to cold
+    /// recording, which re-stores a fresh blob).
+    Corrupt,
+}
+
+/// The persistence seam: the harness installs an adapter over its
+/// result store; tests install in-memory maps. Implementations must
+/// return bytes exactly as stored — integrity beyond transport is this
+/// module's own digest check.
+pub trait TraceStore: Send + Sync {
+    /// Looks up the blob stored under `key`.
+    fn load(&self, key: &str) -> TraceLoad;
+    /// Stores `bytes` under `key`; `false` means the write failed and
+    /// the blob was not persisted (the run continues uncached).
+    fn store(&self, key: &str, bytes: &[u8]) -> bool;
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn store_slot() -> &'static Mutex<Option<Arc<dyn TraceStore>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn TraceStore>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-wide trace store.
+/// Sessions already begun keep the store they captured.
+pub fn install(store: Option<Arc<dyn TraceStore>>) {
+    *store_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = store;
+}
+
+/// Enables or disables the cache process-wide (`--no-trace-cache`).
+/// Disabled means [`begin_cell`] is inert: no loads, no stores.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the cache is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static STORES: AtomicU64 = AtomicU64::new(0);
+static POISONED: AtomicU64 = AtomicU64::new(0);
+static OVERSIZE_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static BYTES_REPLAYED: AtomicU64 = AtomicU64::new(0);
+static BYTES_STORED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide trace-cache counters (for `/metrics` and summaries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Cells that began with a verified stored trace.
+    pub hits: u64,
+    /// Cells that found no stored trace and recorded cold.
+    pub misses: u64,
+    /// Trace blobs successfully persisted.
+    pub stores: u64,
+    /// Integrity or shape failures: corrupt blobs, key or geometry
+    /// mismatches, launch-count divergence. Each fell back to cold
+    /// execution.
+    pub poisoned: u64,
+    /// Cells whose trace exceeded the size cap and was not stored.
+    pub oversize_skipped: u64,
+    /// Trace bytes fed to the timing lanes from the cache.
+    pub bytes_replayed: u64,
+    /// Trace bytes persisted.
+    pub bytes_stored: u64,
+}
+
+/// Snapshot of the process-wide counters.
+pub fn stats() -> TraceCacheStats {
+    TraceCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        stores: STORES.load(Ordering::Relaxed),
+        poisoned: POISONED.load(Ordering::Relaxed),
+        oversize_skipped: OVERSIZE_SKIPPED.load(Ordering::Relaxed),
+        bytes_replayed: BYTES_REPLAYED.load(Ordering::Relaxed),
+        bytes_stored: BYTES_STORED.load(Ordering::Relaxed),
+    }
+}
+
+fn max_bytes() -> u64 {
+    static CAP: OnceLock<u64> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SCU_TRACE_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_MAX_BYTES)
+    })
+}
+
+enum SessionMode {
+    /// Verified blob; `cursor` walks launch frames, stopping at the
+    /// digest trailer.
+    Replay { blob: Vec<u8>, cursor: usize },
+    /// Recording cold; `buf` accumulates header + launch frames.
+    Record { buf: Vec<u8>, oversize: bool },
+    /// Poisoned mid-cell: plain execution, nothing stored.
+    Off,
+}
+
+struct CellSession {
+    store: Arc<dyn TraceStore>,
+    key: String,
+    mode: SessionMode,
+    /// The session began with a verified stored trace (kept out of
+    /// `mode` so a later poisoning doesn't erase it from the outcome).
+    hit: bool,
+    /// A stored trace existed but failed verification at load time, so
+    /// the session fell back to cold recording.
+    poisoned_load: bool,
+    launches: u64,
+    bytes_replayed: u64,
+}
+
+thread_local! {
+    static SESSION: RefCell<Option<CellSession>> = const { RefCell::new(None) };
+    static LAST: RefCell<Option<CellTraceOutcome>> = const { RefCell::new(None) };
+}
+
+/// How the most recent cell on this thread interacted with the cache
+/// (for `run_one --profile`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellTraceOutcome {
+    /// The semantic key the cell ran under.
+    pub key: String,
+    /// A verified stored trace was replayed.
+    pub hit: bool,
+    /// A freshly recorded trace was persisted.
+    pub stored: bool,
+    /// The session was poisoned (corruption or divergence) and fell
+    /// back to cold execution.
+    pub poisoned: bool,
+    /// The recorded trace exceeded the size cap and was skipped.
+    pub oversize: bool,
+    /// Kernel launches the session saw.
+    pub launches: u64,
+    /// Bytes replayed from the cache.
+    pub bytes_replayed: u64,
+    /// Bytes persisted to the cache.
+    pub bytes_stored: u64,
+}
+
+/// The outcome of the most recent [`CellScope`] dropped on this thread.
+pub fn last_cell_outcome() -> Option<CellTraceOutcome> {
+    LAST.with(|l| l.borrow().clone())
+}
+
+/// RAII guard scoping one cell's trace session to the current thread.
+/// Created by [`begin_cell`]; dropping it finalises the session
+/// (persisting a cold recording, checking a replay ran to completion).
+#[must_use = "the session ends when the scope drops"]
+pub struct CellScope {
+    active: bool,
+}
+
+/// Opens a trace session for a cell with semantic key `key`.
+///
+/// Inert (plain execution, engine behaviour unchanged) when the cache
+/// is disabled, no store is installed, or a session is already active
+/// on this thread.
+pub fn begin_cell(key: &str) -> CellScope {
+    if !is_enabled() {
+        return CellScope { active: false };
+    }
+    let store = match store_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+    {
+        Some(s) => s,
+        None => return CellScope { active: false },
+    };
+    if SESSION.with(|s| s.borrow().is_some()) {
+        return CellScope { active: false };
+    }
+    let mut poisoned_load = false;
+    let mode = match store.load(key) {
+        TraceLoad::Data(blob) => match validate_blob(&blob, key) {
+            Some(cursor) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                SessionMode::Replay { blob, cursor }
+            }
+            None => {
+                POISONED.fetch_add(1, Ordering::Relaxed);
+                poisoned_load = true;
+                record_mode(key)
+            }
+        },
+        TraceLoad::Missing => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            record_mode(key)
+        }
+        TraceLoad::Corrupt => {
+            POISONED.fetch_add(1, Ordering::Relaxed);
+            poisoned_load = true;
+            record_mode(key)
+        }
+    };
+    let hit = matches!(mode, SessionMode::Replay { .. });
+    SESSION.with(|s| {
+        *s.borrow_mut() = Some(CellSession {
+            store,
+            key: key.to_string(),
+            mode,
+            hit,
+            poisoned_load,
+            launches: 0,
+            bytes_replayed: 0,
+        });
+    });
+    CellScope { active: true }
+}
+
+fn record_mode(key: &str) -> SessionMode {
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    SessionMode::Record {
+        buf,
+        oversize: false,
+    }
+}
+
+impl Drop for CellScope {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(sess) = SESSION.with(|s| s.borrow_mut().take()) else {
+            return;
+        };
+        let mut outcome = CellTraceOutcome {
+            key: sess.key.clone(),
+            hit: sess.hit,
+            poisoned: sess.poisoned_load,
+            launches: sess.launches,
+            bytes_replayed: sess.bytes_replayed,
+            ..CellTraceOutcome::default()
+        };
+        match sess.mode {
+            SessionMode::Replay { blob, cursor } => {
+                BYTES_REPLAYED.fetch_add(sess.bytes_replayed, Ordering::Relaxed);
+                // Fewer launches than recorded means the cell diverged
+                // from the trace's semantics — flag it so the matrix
+                // check notices, even though every replayed launch was
+                // individually validated.
+                if cursor != blob.len().saturating_sub(8) {
+                    POISONED.fetch_add(1, Ordering::Relaxed);
+                    outcome.poisoned = true;
+                }
+            }
+            SessionMode::Record { mut buf, oversize } => {
+                if oversize {
+                    OVERSIZE_SKIPPED.fetch_add(1, Ordering::Relaxed);
+                    outcome.oversize = true;
+                } else if !std::thread::panicking() && sess.launches > 0 {
+                    let digest = fnv64(&buf);
+                    buf.extend_from_slice(&digest.to_le_bytes());
+                    if sess.store.store(&sess.key, &buf) {
+                        STORES.fetch_add(1, Ordering::Relaxed);
+                        BYTES_STORED.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        outcome.stored = true;
+                        outcome.bytes_stored = buf.len() as u64;
+                    }
+                }
+            }
+            SessionMode::Off => outcome.poisoned = true,
+        }
+        LAST.with(|l| *l.borrow_mut() = Some(outcome));
+    }
+}
+
+/// One SM's share of a recorded launch, ready to drop into a
+/// [`LaneBuf`].
+pub(crate) struct SmReplay {
+    pub alu_total: u64,
+    pub warps: Vec<LaneWarp>,
+    pub lane_lens: Vec<u32>,
+    pub ops: Vec<MemOp>,
+}
+
+/// A decoded launch frame: one [`SmReplay`] per SM.
+pub(crate) struct LaunchReplay {
+    pub sms: Vec<SmReplay>,
+}
+
+/// What the engine should do for the launch it is about to run.
+pub(crate) enum LaunchDisposition {
+    /// No session (or poisoned/oversized): the engine's normal paths.
+    None,
+    /// Cold session: route through the timing lanes and call
+    /// [`record_launch`] once the per-SM buffers are filled.
+    Record,
+    /// Warm session: feed these streams to the lanes; re-run bodies
+    /// without recording.
+    Replay(LaunchReplay),
+}
+
+/// Consulted by `GpuEngine::run` at the top of every non-empty launch.
+/// Validates the next recorded frame against the launch shape; any
+/// mismatch poisons the session (cold execution, nothing stored) —
+/// never a wrong result.
+pub(crate) fn launch_begin(threads: usize, num_sms: usize, warp_size: usize) -> LaunchDisposition {
+    SESSION.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(sess) = slot.as_mut() else {
+            return LaunchDisposition::None;
+        };
+        match &mut sess.mode {
+            SessionMode::Replay { blob, cursor } => {
+                match decode_launch(blob, *cursor, threads, num_sms, warp_size) {
+                    Some((rec, next)) => {
+                        sess.bytes_replayed += (next - *cursor) as u64;
+                        *cursor = next;
+                        sess.launches += 1;
+                        LaunchDisposition::Replay(rec)
+                    }
+                    None => {
+                        POISONED.fetch_add(1, Ordering::Relaxed);
+                        sess.mode = SessionMode::Off;
+                        LaunchDisposition::None
+                    }
+                }
+            }
+            SessionMode::Record { oversize: true, .. } => LaunchDisposition::None,
+            SessionMode::Record { .. } => {
+                sess.launches += 1;
+                LaunchDisposition::Record
+            }
+            SessionMode::Off => LaunchDisposition::None,
+        }
+    })
+}
+
+/// Appends one launch's per-SM streams to the session's recording.
+/// Called by the engine after the timing lanes have filled `bufs`
+/// (phase B), whose contents are exactly what a warm replay needs.
+pub(crate) fn record_launch(threads: usize, num_sms: usize, warp_size: usize, bufs: &[LaneBuf]) {
+    SESSION.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(sess) = slot.as_mut() else {
+            return;
+        };
+        if let SessionMode::Record { buf, oversize } = &mut sess.mode {
+            if *oversize {
+                return;
+            }
+            encode_launch(buf, threads, num_sms, warp_size, bufs);
+            if buf.len() as u64 > max_bytes() {
+                *oversize = true;
+                buf.clear();
+                buf.shrink_to_fit();
+            }
+        }
+    });
+}
+
+fn encode_launch(
+    out: &mut Vec<u8>,
+    threads: usize,
+    num_sms: usize,
+    warp_size: usize,
+    bufs: &[LaneBuf],
+) {
+    out.extend_from_slice(&(threads as u64).to_le_bytes());
+    out.extend_from_slice(&(num_sms as u32).to_le_bytes());
+    out.extend_from_slice(&(warp_size as u32).to_le_bytes());
+    for buf in bufs {
+        out.extend_from_slice(&buf.alu_total.to_le_bytes());
+        out.extend_from_slice(&(buf.warps.len() as u32).to_le_bytes());
+        for w in &buf.warps {
+            out.extend_from_slice(&w.lanes.to_le_bytes());
+            out.extend_from_slice(&w.max_ops.to_le_bytes());
+            out.extend_from_slice(&w.alu_max.to_le_bytes());
+        }
+        out.extend_from_slice(&(buf.lane_lens.len() as u32).to_le_bytes());
+        for &len in &buf.lane_lens {
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.extend_from_slice(&(buf.ops.len() as u64).to_le_bytes());
+        for op in &buf.ops {
+            out.extend_from_slice(&op.addr.to_le_bytes());
+            out.push(u8::from(op.write) | (u8::from(op.atomic) << 1));
+        }
+    }
+}
+
+/// Header + digest check; returns the first frame's offset.
+fn validate_blob(blob: &[u8], key: &str) -> Option<usize> {
+    let len = blob.len();
+    if len < MAGIC.len() + 4 + key.len() + 8 {
+        return None;
+    }
+    if &blob[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let mut c = Cursor {
+        blob,
+        pos: MAGIC.len(),
+        end: len - 8,
+    };
+    let key_len = c.u32()? as usize;
+    if key_len != key.len() || c.bytes(key_len)? != key.as_bytes() {
+        return None;
+    }
+    let digest = u64::from_le_bytes(blob[len - 8..].try_into().ok()?);
+    if fnv64(&blob[..len - 8]) != digest {
+        return None;
+    }
+    Some(c.pos)
+}
+
+struct Cursor<'a> {
+    blob: &'a [u8],
+    pos: usize,
+    /// Exclusive decode bound (the digest trailer is off limits).
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.end.checked_sub(self.pos)? < n {
+            return None;
+        }
+        let s = &self.blob[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+}
+
+/// Decodes the launch frame at `cursor`, validating it against the
+/// launch shape the engine is about to run. Returns the decoded
+/// streams and the next frame's offset.
+fn decode_launch(
+    blob: &[u8],
+    cursor: usize,
+    threads: usize,
+    num_sms: usize,
+    warp_size: usize,
+) -> Option<(LaunchReplay, usize)> {
+    let mut c = Cursor {
+        blob,
+        pos: cursor,
+        end: blob.len().checked_sub(8)?,
+    };
+    if c.u64()? != threads as u64 || c.u32()? != num_sms as u32 || c.u32()? != warp_size as u32 {
+        return None;
+    }
+    let mut sms = Vec::with_capacity(num_sms);
+    for _ in 0..num_sms {
+        let alu_total = c.u64()?;
+        let n_warps = c.u32()? as usize;
+        let mut warps = Vec::with_capacity(n_warps);
+        let mut lanes_total = 0usize;
+        for _ in 0..n_warps {
+            let lanes = c.u32()?;
+            let max_ops = c.u32()?;
+            let alu_max = c.u64()?;
+            lanes_total += lanes as usize;
+            warps.push(LaneWarp {
+                lanes,
+                max_ops,
+                alu_max,
+            });
+        }
+        let n_lens = c.u32()? as usize;
+        if n_lens != lanes_total {
+            return None;
+        }
+        let mut lane_lens = Vec::with_capacity(n_lens);
+        let mut ops_total = 0u64;
+        for _ in 0..n_lens {
+            let len = c.u32()?;
+            ops_total += len as u64;
+            lane_lens.push(len);
+        }
+        let n_ops = c.u64()?;
+        if n_ops != ops_total {
+            return None;
+        }
+        let mut ops = Vec::with_capacity(n_ops as usize);
+        for _ in 0..n_ops {
+            let addr = c.u64()?;
+            let flags = c.bytes(1)?[0];
+            if flags > 0b11 {
+                return None;
+            }
+            ops.push(MemOp {
+                addr,
+                write: flags & 0b01 != 0 || flags & 0b10 != 0,
+                atomic: flags & 0b10 != 0,
+            });
+        }
+        sms.push(SmReplay {
+            alu_total,
+            warps,
+            lane_lens,
+            ops,
+        });
+    }
+    Some((LaunchReplay { sms }, c.pos))
+}
+
+/// FNV-1a over a byte stream — the workspace's standard digest.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// In-memory store shared by this crate's unit tests. Tests run
+/// concurrently in one process against the process-global install
+/// slot, so they all install this one store (idempotent) and use
+/// unique keys; [`test_mutex`] serialises the few tests that must
+/// observe global counters or toggle the enable flag.
+#[cfg(test)]
+#[derive(Default)]
+pub(crate) struct MapStore {
+    pub map: Mutex<std::collections::HashMap<String, Vec<u8>>>,
+}
+
+#[cfg(test)]
+impl TraceStore for MapStore {
+    fn load(&self, key: &str) -> TraceLoad {
+        match self.map.lock().unwrap().get(key) {
+            Some(b) => TraceLoad::Data(b.clone()),
+            None => TraceLoad::Missing,
+        }
+    }
+    fn store(&self, key: &str, bytes: &[u8]) -> bool {
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), bytes.to_vec());
+        true
+    }
+}
+
+/// The one store every test installs (same `Arc`, so concurrent
+/// installs are harmless).
+#[cfg(test)]
+pub(crate) fn shared_test_store() -> Arc<MapStore> {
+    static STORE: OnceLock<Arc<MapStore>> = OnceLock::new();
+    Arc::clone(STORE.get_or_init(|| Arc::new(MapStore::default())))
+}
+
+/// Serialises tests that toggle [`set_enabled`] or assert on the
+/// global counters.
+#[cfg(test)]
+pub(crate) fn test_mutex() -> &'static Mutex<()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_buf() -> LaneBuf {
+        LaneBuf {
+            ops: vec![
+                MemOp {
+                    addr: 128,
+                    write: false,
+                    atomic: false,
+                },
+                MemOp {
+                    addr: 256,
+                    write: true,
+                    atomic: false,
+                },
+                MemOp {
+                    addr: 0,
+                    write: true,
+                    atomic: true,
+                },
+            ],
+            lane_lens: vec![2, 1],
+            warps: vec![LaneWarp {
+                lanes: 2,
+                max_ops: 2,
+                alu_max: 5,
+            }],
+            alu_total: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn launch_frames_roundtrip_exactly() {
+        let bufs = [sample_buf()];
+        let mut blob = Vec::new();
+        encode_launch(&mut blob, 2, 1, 32, &bufs);
+        blob.extend_from_slice(&[0u8; 8]); // digest placeholder for the cursor bound
+        let (rec, next) = decode_launch(&blob, 0, 2, 1, 32).expect("frame decodes");
+        assert_eq!(next, blob.len() - 8);
+        assert_eq!(rec.sms.len(), 1);
+        let sm = &rec.sms[0];
+        assert_eq!(sm.alu_total, 8);
+        assert_eq!(sm.ops, bufs[0].ops);
+        assert_eq!(sm.lane_lens, bufs[0].lane_lens);
+        assert_eq!(sm.warps.len(), 1);
+        assert_eq!(sm.warps[0].alu_max, 5);
+    }
+
+    #[test]
+    fn decode_rejects_shape_mismatch_and_truncation() {
+        let bufs = [sample_buf()];
+        let mut blob = Vec::new();
+        encode_launch(&mut blob, 2, 1, 32, &bufs);
+        blob.extend_from_slice(&[0u8; 8]);
+        assert!(decode_launch(&blob, 0, 3, 1, 32).is_none(), "thread count");
+        assert!(decode_launch(&blob, 0, 2, 2, 32).is_none(), "SM count");
+        assert!(decode_launch(&blob, 0, 2, 1, 16).is_none(), "warp size");
+        let truncated = &blob[..blob.len() - 12];
+        assert!(decode_launch(truncated, 0, 2, 1, 32).is_none());
+    }
+
+    #[test]
+    fn blob_validation_checks_magic_key_and_digest() {
+        let SessionMode::Record { mut buf, .. } = record_mode("k1") else {
+            panic!("record_mode returns Record");
+        };
+        encode_launch(&mut buf, 2, 1, 32, &[sample_buf()]);
+        let digest = fnv64(&buf);
+        buf.extend_from_slice(&digest.to_le_bytes());
+        assert!(validate_blob(&buf, "k1").is_some());
+        assert!(validate_blob(&buf, "k2").is_none(), "key mismatch");
+        let mut corrupt = buf.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xff;
+        assert!(validate_blob(&corrupt, "k1").is_none(), "digest mismatch");
+        let mut bad_magic = buf;
+        bad_magic[0] ^= 0xff;
+        assert!(validate_blob(&bad_magic, "k1").is_none());
+    }
+
+    #[test]
+    fn begin_cell_is_inert_when_disabled() {
+        let _serial = test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        install(Some(shared_test_store()));
+        set_enabled(false);
+        let scope = begin_cell("inert");
+        set_enabled(true);
+        assert!(!scope.active);
+        assert!(matches!(launch_begin(32, 2, 32), LaunchDisposition::None));
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip_through_a_store() {
+        let _serial = test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let store = shared_test_store();
+        install(Some(store.clone()));
+        let key = "unit-roundtrip";
+
+        {
+            let _scope = begin_cell(key);
+            assert!(matches!(launch_begin(2, 1, 32), LaunchDisposition::Record));
+            record_launch(2, 1, 32, &[sample_buf()]);
+        }
+        let outcome = last_cell_outcome().expect("scope just dropped");
+        assert!(outcome.stored && !outcome.hit, "{outcome:?}");
+        assert!(store.map.lock().unwrap().contains_key(key));
+
+        {
+            let _scope = begin_cell(key);
+            let LaunchDisposition::Replay(rec) = launch_begin(2, 1, 32) else {
+                panic!("expected warm replay");
+            };
+            assert_eq!(rec.sms[0].ops, sample_buf().ops);
+        }
+        let outcome = last_cell_outcome().expect("scope just dropped");
+        assert!(outcome.hit && !outcome.poisoned, "{outcome:?}");
+        assert!(outcome.bytes_replayed > 0);
+    }
+
+    #[test]
+    fn replay_poisons_on_launch_shape_divergence() {
+        let _serial = test_mutex()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        install(Some(shared_test_store()));
+        let key = "unit-diverge";
+        {
+            let _scope = begin_cell(key);
+            assert!(matches!(launch_begin(2, 1, 32), LaunchDisposition::Record));
+            record_launch(2, 1, 32, &[sample_buf()]);
+        }
+        {
+            let _scope = begin_cell(key);
+            // Different thread count than recorded: must refuse.
+            assert!(matches!(launch_begin(3, 1, 32), LaunchDisposition::None));
+            // And the whole session is now cold.
+            assert!(matches!(launch_begin(2, 1, 32), LaunchDisposition::None));
+        }
+        let outcome = last_cell_outcome().expect("scope just dropped");
+        assert!(outcome.hit && outcome.poisoned, "{outcome:?}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared command-line surface for the experiment binaries:
-//! `--jobs N`, `--sim-threads N`, `--no-cache`, `--filter <substr>`,
-//! `--timeout-secs N`, `--retries N`, `--resume`, `--strict-resume`,
-//! `--trace <path>`.
+//! `--jobs N`, `--sim-threads N`, `--no-cache`, `--no-trace-cache`,
+//! `--filter <substr>`, `--timeout-secs N`, `--retries N`,
+//! `--resume`, `--strict-resume`, `--trace <path>`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -20,6 +20,13 @@ pub struct CliArgs {
     pub sim_threads: usize,
     /// Disable the on-disk result cache.
     pub no_cache: bool,
+    /// Disable the functional-trace cache (recorded per-warp GPU
+    /// traces keyed by semantic key). Results are byte-identical with
+    /// it on or off; only the functional phase's wall-clock changes.
+    /// Independent of `--no-cache`: an uncached run recomputes every
+    /// result but may still replay recorded traces — pass both flags
+    /// for a fully cold simulation.
+    pub no_trace_cache: bool,
     /// Only run cells whose id contains this substring.
     pub filter: Option<String>,
     /// Per-cell wall-clock budget.
@@ -48,6 +55,7 @@ impl Default for CliArgs {
             jobs: default_jobs(),
             sim_threads: default_sim_threads(),
             no_cache: false,
+            no_trace_cache: false,
             filter: None,
             timeout: None,
             retries: 2,
@@ -62,10 +70,11 @@ impl Default for CliArgs {
 /// Default for `--sim-threads`: the `SCU_SIM_THREADS` environment
 /// variable when set to a positive integer, else 1.
 ///
-/// This mirrors `scu_gpu::SimThreads`'s own env fallback (the harness
-/// crate cannot depend on `scu-gpu`, so the parse is duplicated); the
-/// binaries then call `SimThreads::set` with the parsed value, making
-/// the flag the single source of truth for the process.
+/// This mirrors `scu_gpu::SimThreads`'s own env fallback (duplicated
+/// rather than calling `SimThreads::get`, which would freeze the
+/// process-global knob before the flag is applied); the binaries then
+/// call `SimThreads::set` with the parsed value, making the flag the
+/// single source of truth for the process.
 pub fn default_sim_threads() -> usize {
     std::env::var("SCU_SIM_THREADS")
         .ok()
@@ -80,6 +89,9 @@ pub const USAGE: &str = "harness options:\n  \
     --sim-threads N   per-cell GPU-engine timing lanes (default: $SCU_SIM_THREADS or 1;\n                    \
     results are byte-identical at any value)\n  \
     --no-cache        recompute every cell, ignore cached results\n  \
+    --no-trace-cache  re-record functional GPU traces instead of replaying cached\n                    \
+ones (results are byte-identical either way; combine with\n                    \
+--no-cache for a fully cold simulation)\n  \
     --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
     --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
     --retries N       retry failed/timed-out cells up to N times (default: 2)\n  \
@@ -125,6 +137,7 @@ impl CliArgs {
                         })?;
                 }
                 "--no-cache" => out.no_cache = true,
+                "--no-trace-cache" => out.no_trace_cache = true,
                 "--filter" => out.filter = Some(value("a substring")?),
                 "--timeout-secs" => {
                     let v = value("a duration in seconds")?;
@@ -189,6 +202,15 @@ mod tests {
         let b = parse(&["--retries=5"]);
         assert_eq!(b.retries, 5);
         assert!(CliArgs::parse(["--retries".to_string(), "-1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn no_trace_cache_parses_and_defaults_off() {
+        assert!(!parse(&[]).no_trace_cache);
+        let a = parse(&["--no-trace-cache"]);
+        assert!(a.no_trace_cache && !a.no_cache, "independent of --no-cache");
+        let b = parse(&["--no-cache", "--no-trace-cache"]);
+        assert!(b.no_cache && b.no_trace_cache);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod job;
 pub mod journal;
 pub mod progress;
 pub mod session;
+pub mod trace_bridge;
 
 pub use cache::{GetResult, ResultCache, ResultCacheStats, ResultStore, StoreStats};
 pub use cli::CliArgs;
@@ -93,6 +94,12 @@ pub struct Harness {
     strict_resume: bool,
     handle_sigint: bool,
     cancel_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    trace_cache: bool,
+    /// Store directory to mount the functional-trace cache from when
+    /// the *result* cache is off (`--no-cache` without
+    /// `--no-trace-cache`): results recompute, recorded traces still
+    /// replay — byte-identical either way.
+    trace_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Harness {
@@ -135,6 +142,8 @@ impl Default for Harness {
             strict_resume: false,
             handle_sigint: false,
             cancel_flag: None,
+            trace_cache: true,
+            trace_dir: None,
         }
     }
 }
@@ -258,10 +267,21 @@ impl Harness {
         self
     }
 
+    /// Enables or disables the functional-trace cache (`--no-trace-cache`;
+    /// default on). With a result cache open, recorded per-warp GPU
+    /// traces are persisted through the same store and replayed on
+    /// warm runs — byte-identical results, the functional phase's
+    /// wall-clock gone. Without a store to mount (no cache and no
+    /// `trace_dir`) this is inert.
+    pub fn trace_cache(mut self, on: bool) -> Self {
+        self.trace_cache = on;
+        self
+    }
+
     /// Applies the shared CLI flags (`--jobs`, `--sim-threads`,
-    /// `--no-cache`, `--timeout-secs`, `--retries`, `--resume`) on top
-    /// of the current configuration. `default_cache_dir` is used
-    /// unless `--no-cache` was given.
+    /// `--no-cache`, `--no-trace-cache`, `--timeout-secs`,
+    /// `--retries`, `--resume`) on top of the current configuration.
+    /// `default_cache_dir` is used unless `--no-cache` was given.
     pub fn apply_cli(mut self, args: &CliArgs, default_cache_dir: impl Into<PathBuf>) -> Self {
         self.jobs = args.jobs.max(1);
         self.threads_per_job = args.sim_threads.max(1);
@@ -269,11 +289,16 @@ impl Harness {
         self.retries = args.retries;
         self.resume = args.resume;
         self.strict_resume = args.strict_resume;
-        self.cache_dir = if args.no_cache {
-            None
+        let default_cache_dir = default_cache_dir.into();
+        (self.cache_dir, self.trace_dir) = if args.no_cache {
+            // Results recompute, but recorded functional traces still
+            // replay from the store (they cannot change result bytes);
+            // --no-trace-cache on top makes the run fully cold.
+            (None, (!args.no_trace_cache).then_some(default_cache_dir))
         } else {
-            Some(default_cache_dir.into())
+            (Some(default_cache_dir), None)
         };
+        self.trace_cache = !args.no_trace_cache;
         self
     }
 
@@ -302,6 +327,27 @@ impl Harness {
                     }
                 }),
         };
+        // Mount the functional-trace cache on the same store: warm
+        // cells replay recorded per-warp traces instead of re-recording
+        // them. An uncached run still mounts the store for traces alone
+        // (via `trace_dir`) — replay cannot change result bytes, so
+        // `--no-cache` keeps its recompute guarantee; only
+        // `--no-trace-cache` leaves the engine recording cold.
+        let trace_backend = match (&cache, &self.trace_dir) {
+            (Some(c), _) => Some(c.backend()),
+            (None, Some(dir)) if self.trace_cache => match ResultCache::open(dir) {
+                Ok(c) => Some(c.backend()),
+                Err(e) => {
+                    eprintln!(
+                        "[scu-harness] cannot open trace store at {}: {e}; recording cold",
+                        dir.display()
+                    );
+                    None
+                }
+            },
+            _ => None,
+        };
+        trace_bridge::install(trace_backend, self.trace_cache);
         // With an LSM-backed cache the store's write-ahead log *is* the
         // journal: each finished cell is one CRC-framed append, and
         // resume state is replayed from the same bytes as the cache.
@@ -531,12 +577,23 @@ mod tests {
         let h = Harness::new().apply_cli(&args, "unused-cache-dir");
         assert_eq!(h.jobs, 2);
         assert!(h.cache_dir.is_none());
+        assert_eq!(
+            h.trace_dir.as_deref(),
+            Some(std::path::Path::new("unused-cache-dir")),
+            "--no-cache alone keeps the trace store mounted"
+        );
         let with_cache =
             Harness::new().apply_cli(&CliArgs::parse(Vec::<String>::new()).unwrap(), "some-dir");
         assert_eq!(
             with_cache.cache_dir.as_deref(),
             Some(std::path::Path::new("some-dir"))
         );
+        assert!(with_cache.trace_dir.is_none(), "traces ride the cache");
+        let cold = Harness::new().apply_cli(
+            &CliArgs::parse(["--no-cache".to_string(), "--no-trace-cache".to_string()]).unwrap(),
+            "some-dir",
+        );
+        assert!(cold.cache_dir.is_none() && cold.trace_dir.is_none() && !cold.trace_cache);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Bridges the GPU engine's functional-trace cache onto the result
+//! store.
+//!
+//! `scu-gpu` knows nothing about persistence: its
+//! [`scu_gpu::trace_cache`] talks to an abstract
+//! [`scu_gpu::trace_cache::TraceStore`]. This module implements that
+//! trait over the harness's [`ResultStore`](crate::ResultStore) seam,
+//! so recorded traces ride the same WAL / segment / quarantine /
+//! compaction machinery as cached results — one store directory, one
+//! crash story, one corruption story.
+//!
+//! Failure posture matches the result cache: every store-side problem
+//! degrades to "run cold". A load error is a miss, a store error drops
+//! the recording, and store-level corruption surfaces as
+//! [`TraceLoad::Corrupt`] so the engine re-records (and its fresh
+//! store supersedes the quarantined bytes).
+//!
+//! The `trace-cache-load` / `trace-cache-store` failpoints fire here —
+//! at the seam, not inside the store — so fault-injection runs exercise
+//! exactly the degradation paths a real IO failure would take.
+
+use std::sync::Arc;
+
+use scu_gpu::trace_cache::{self, TraceLoad};
+
+use crate::failpoint;
+use crate::ResultStore;
+
+/// [`scu_gpu::trace_cache::TraceStore`] over an open result store.
+#[derive(Debug)]
+pub struct StoreTraceBridge {
+    backend: Arc<dyn ResultStore>,
+}
+
+impl StoreTraceBridge {
+    /// Wraps `backend`; cheap, no IO.
+    pub fn new(backend: Arc<dyn ResultStore>) -> Self {
+        StoreTraceBridge { backend }
+    }
+}
+
+impl trace_cache::TraceStore for StoreTraceBridge {
+    fn load(&self, key: &str) -> TraceLoad {
+        if failpoint::io("trace-cache-load").is_err() {
+            // An unreadable trace is a miss: the engine records cold.
+            return TraceLoad::Missing;
+        }
+        match self.backend.get_trace(key) {
+            scu_store::TraceGet::Hit(bytes) => TraceLoad::Data(bytes),
+            scu_store::TraceGet::Miss => TraceLoad::Missing,
+            scu_store::TraceGet::Corrupt => TraceLoad::Corrupt,
+        }
+    }
+
+    fn store(&self, key: &str, bytes: &[u8]) -> bool {
+        if failpoint::io("trace-cache-store").is_err() {
+            return false;
+        }
+        match self.backend.put_trace(key, bytes) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("[scu-harness] trace store failed for {key}: {e}; running uncached");
+                false
+            }
+        }
+    }
+}
+
+/// Installs (or clears) the process-global trace cache according to
+/// the harness configuration: `enabled` reflects `--no-trace-cache`,
+/// and the bridge is only mounted when a result store is open —
+/// traces have nowhere to live in uncached runs.
+pub fn install(backend: Option<Arc<dyn ResultStore>>, enabled: bool) {
+    trace_cache::set_enabled(enabled);
+    match backend {
+        Some(backend) if enabled => {
+            trace_cache::install(Some(Arc::new(StoreTraceBridge::new(backend))));
+        }
+        _ => trace_cache::install(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scu_gpu::trace_cache::TraceStore;
+    use scu_store::LsmStore;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scu-trace-bridge-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bridge_round_trips_bytes_through_the_store() {
+        let dir = scratch("round");
+        let store: Arc<dyn ResultStore> = Arc::new(LsmStore::open(&dir).unwrap());
+        let bridge = StoreTraceBridge::new(Arc::clone(&store));
+        assert!(matches!(bridge.load("k"), TraceLoad::Missing));
+        assert!(bridge.store("k", &[1, 2, 3, 0xff]));
+        assert!(matches!(bridge.load("k"), TraceLoad::Data(b) if b == vec![1, 2, 3, 0xff]));
+        assert_eq!(store.stats().trace_stores, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_failures_degrade_to_cold_paths() {
+        let dir = scratch("inject");
+        let store: Arc<dyn ResultStore> = Arc::new(LsmStore::open(&dir).unwrap());
+        let bridge = StoreTraceBridge::new(Arc::clone(&store));
+        {
+            let _g = failpoint::scoped("trace-cache-store=io-error");
+            assert!(!bridge.store("k", &[9]), "store failure drops the trace");
+        }
+        assert!(bridge.store("k", &[9]), "and clears with the guard");
+        {
+            let _g = failpoint::scoped("trace-cache-load=io-error");
+            assert!(
+                matches!(bridge.load("k"), TraceLoad::Missing),
+                "load failure is a miss, never corrupt data"
+            );
+        }
+        assert!(matches!(bridge.load("k"), TraceLoad::Data(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

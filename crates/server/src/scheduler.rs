@@ -976,6 +976,7 @@ impl Scheduler {
             0.0
         };
         let cache_stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let trace_stats = scu_algos::trace_cache::stats();
         let store_stats = self
             .cache
             .as_ref()
@@ -1045,6 +1046,31 @@ impl Scheduler {
             (
                 "truncated_tail_bytes".to_string(),
                 Value::U64(store_stats.truncated_tail_bytes),
+            ),
+            // Functional-trace cache: engine-side session counters
+            // plus the store's trace record counters. Warm sweeps show
+            // trace_cache_hits rising while the functional phase's
+            // share of cell wall-clock collapses.
+            ("trace_cache_hits".to_string(), Value::U64(trace_stats.hits)),
+            (
+                "trace_cache_misses".to_string(),
+                Value::U64(trace_stats.misses),
+            ),
+            (
+                "trace_cache_stores".to_string(),
+                Value::U64(trace_stats.stores),
+            ),
+            (
+                "trace_cache_poisoned".to_string(),
+                Value::U64(trace_stats.poisoned),
+            ),
+            (
+                "trace_cache_bytes_replayed".to_string(),
+                Value::U64(trace_stats.bytes_replayed),
+            ),
+            (
+                "trace_records_stored".to_string(),
+                Value::U64(store_stats.trace_stores),
             ),
             ("worker_utilization".to_string(), Value::F64(utilization)),
             ("load".to_string(), Value::Str(load.to_string())),

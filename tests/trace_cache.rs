@@ -1,0 +1,220 @@
+//! Cross-crate tests of the functional-trace cache: the semantic-key /
+//! timing-key split that decides when a recorded trace may be replayed,
+//! and the poisoned-trace path — a corrupt stored trace must degrade to
+//! cold recording with a byte-identical result, never a wrong one.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use scu::algos::cell::Cell;
+use scu::algos::runner::{Algorithm, Mode};
+use scu::algos::{trace_cache, SystemKind};
+use scu::graph::Dataset;
+use scu::harness::trace_bridge;
+use scu::harness::ResultCache;
+
+/// The reference cell the key properties mutate away from. SCU mode so
+/// hash-table geometry participates in the semantic key.
+fn base_cell() -> Cell {
+    Cell {
+        algorithm: Algorithm::Bfs,
+        dataset: Dataset::Kron,
+        system: SystemKind::Tx1,
+        mode: Mode::ScuEnhanced,
+        pr_iters: 3,
+        scale: 1.0 / 256.0,
+        seed: 7,
+        scu_config: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timing-only knobs (frequencies, buffer depths, issue costs,
+    /// DRAM efficiency) must never move the semantic key — they change
+    /// *when* things happen, not *what* the kernels compute — while
+    /// the result-cache key must see every one of them.
+    #[test]
+    fn timing_knobs_never_move_the_semantic_key(
+        knob in 0usize..10,
+        delta in 1u32..64,
+    ) {
+        let base = base_cell();
+        let mut cfg = base.system.scu_config();
+        match knob {
+            0 => cfg.freq_ghz += f64::from(delta) * 0.01,
+            1 => cfg.pipeline_width += delta,
+            2 => cfg.vector_buffer_bytes += delta * 128,
+            3 => cfg.fifo_request_buffer_bytes += delta * 128,
+            4 => cfg.hash_request_buffer_bytes += delta * 128,
+            5 => cfg.coalescer_in_flight += delta,
+            6 => cfg.coalescer_merge_window += delta,
+            7 => cfg.op_setup_cycles += delta,
+            8 => cfg.op_issue_ns += f64::from(delta),
+            9 => cfg.dram_efficiency *= 1.0 - f64::from(delta) * 0.001,
+            _ => unreachable!(),
+        }
+        let mut tweaked = base.clone();
+        tweaked.scu_config = Some(cfg);
+        prop_assert_eq!(
+            tweaked.semantic_key_string(),
+            base.semantic_key_string(),
+            "knob {} is timing-only and must not invalidate traces",
+            knob
+        );
+        prop_assert!(
+            tweaked.cache_key() != base.cache_key(),
+            "knob {} changes timing, so results must not be shared",
+            knob
+        );
+    }
+
+    /// Functional knobs — algorithm, dataset, graph scale/seed, system,
+    /// hash-table geometry — each must move the semantic key: any of
+    /// them can change what the kernels compute, so a recorded trace
+    /// must not be replayed across the change.
+    #[test]
+    fn functional_knobs_always_move_the_semantic_key(
+        knob in 0usize..6,
+        pick in 0u64..1_000_000,
+    ) {
+        let base = base_cell();
+        let mut c = base.clone();
+        match knob {
+            0 => c.seed = base.seed.wrapping_add(1 + pick),
+            1 => c.scale = base.scale * (1.0 + (pick as f64 + 1.0) * 1e-6),
+            2 => {
+                let others = [
+                    Algorithm::Sssp,
+                    Algorithm::Cc,
+                    Algorithm::KCore,
+                    Algorithm::PageRank,
+                ];
+                c.algorithm = others[(pick % 4) as usize];
+            }
+            3 => {
+                let others: Vec<Dataset> = Dataset::ALL
+                    .into_iter()
+                    .filter(|d| d.name() != base.dataset.name())
+                    .collect();
+                c.dataset = others[(pick as usize) % others.len()];
+            }
+            4 => {
+                // Hash-table geometry is functional: eviction decides
+                // which duplicates survive filtering, which changes the
+                // frontier contents, not just their timing.
+                let mut cfg = base.system.scu_config();
+                cfg.filter_bfs_hash.size_bytes *= 2;
+                c.scu_config = Some(cfg);
+            }
+            5 => c.system = SystemKind::Gtx980,
+            _ => unreachable!(),
+        }
+        prop_assert!(
+            c.semantic_key_string() != base.semantic_key_string(),
+            "knob {} changes what the kernels compute; sharing a trace would be wrong",
+            knob
+        );
+    }
+}
+
+/// The trace cache is process-global state; the tests below serialise
+/// on this lock so a parallel test run cannot interleave sessions.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scu-trace-itest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small cell for the end-to-end runs (distinct from `base_cell` so
+/// its semantic key never collides with the key-property tests).
+fn run_cell() -> Cell {
+    Cell {
+        algorithm: Algorithm::Bfs,
+        dataset: Dataset::Kron,
+        system: SystemKind::Tx1,
+        mode: Mode::ScuEnhanced,
+        pr_iters: 3,
+        scale: 1.0 / 512.0,
+        seed: 11,
+        scu_config: None,
+    }
+}
+
+/// Corrupting the stored trace must degrade to cold recording — byte
+/// for byte the cold result, never a wrong one — and the re-recording
+/// heals the entry so the next run replays again.
+#[test]
+fn poisoned_stored_trace_falls_back_cold_and_heals() {
+    let _guard = TRACE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = scratch_dir("poison");
+    let cache = ResultCache::open(&dir).expect("open store");
+    let backend = cache.backend();
+    trace_bridge::install(Some(backend.clone()), true);
+
+    let cell = run_cell();
+    let cold = cell.run();
+    let o = trace_cache::last_cell_outcome().expect("session ran");
+    assert!(!o.hit && o.stored, "first run records and stores");
+
+    // Overwrite the stored trace with bytes the store layer accepts
+    // (valid envelope digest) but the blob verifier must reject.
+    backend
+        .put_trace(&cell.semantic_key_string(), b"not a trace blob")
+        .expect("store accepts the write");
+
+    let before = trace_cache::stats().poisoned;
+    let fallback = cell.run();
+    assert_eq!(fallback, cold, "poisoned trace never changes the result");
+    let o = trace_cache::last_cell_outcome().expect("session ran");
+    assert!(o.poisoned, "the outcome reports the verification failure");
+    assert!(!o.hit, "a rejected trace is not a hit");
+    assert!(o.stored, "the cold re-recording heals the entry");
+    assert_eq!(trace_cache::stats().poisoned, before + 1);
+
+    let warm = cell.run();
+    assert_eq!(warm, cold, "the healed entry replays byte-identically");
+    let o = trace_cache::last_cell_outcome().expect("session ran");
+    assert!(o.hit && !o.poisoned && o.bytes_replayed > 0);
+
+    trace_bridge::install(None, true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--no-trace-cache` (cache disabled) and warm replay must agree with
+/// the plain uncached run — the cache can only move wall-clock.
+#[test]
+fn disabled_warm_and_cold_runs_agree() {
+    let _guard = TRACE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = scratch_dir("agree");
+    let cache = ResultCache::open(&dir).expect("open store");
+
+    let mut cell = run_cell();
+    cell.seed = 13; // distinct semantic key from the poison test
+    trace_bridge::install(None, false);
+    let disabled = cell.run();
+    assert!(
+        trace_cache::last_cell_outcome().is_none()
+            || trace_cache::last_cell_outcome().unwrap().key != cell.semantic_key_string(),
+        "no session opens while the cache is disabled"
+    );
+
+    trace_bridge::install(Some(cache.backend()), true);
+    let cold = cell.run();
+    let warm = cell.run();
+    assert_eq!(disabled, cold);
+    assert_eq!(disabled, warm);
+    assert!(trace_cache::last_cell_outcome().expect("session ran").hit);
+
+    trace_bridge::install(None, true);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -332,7 +332,8 @@ fn fnv1a_u64s(values: &[u64]) -> u64 {
 /// Graph key: scale participates via its exact bit pattern.
 type GraphKey = (Dataset, u64, u64);
 
-/// Most graphs the process-wide memo retains at once.
+/// Most graphs the process-wide memo retains at once, by default.
+/// Overridable via `SCU_GRAPH_MEMO_ENTRIES` (read once, at first use).
 ///
 /// The default matrix touches 6 datasets at one (scale, seed), so a
 /// full sweep stays fully memoised; multi-scale sweeps (ablation,
@@ -340,16 +341,55 @@ type GraphKey = (Dataset, u64, u64);
 /// accumulating every size ever built for the life of the process.
 const GRAPH_MEMO_CAP: usize = 8;
 
+/// The effective memo cap: `SCU_GRAPH_MEMO_ENTRIES` when set to a
+/// positive integer, [`GRAPH_MEMO_CAP`] otherwise.
+fn graph_memo_cap() -> usize {
+    std::env::var("SCU_GRAPH_MEMO_ENTRIES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&cap| cap > 0)
+        .unwrap_or(GRAPH_MEMO_CAP)
+}
+
+/// How many evicted keys the memo remembers for thrash detection.
+const EVICTED_KEYS_REMEMBERED: usize = 64;
+
 /// LRU memo of built graphs: a linear table with a logical use clock.
-/// With [`GRAPH_MEMO_CAP`] entries a scan beats hashing and keeps
-/// eviction order fully deterministic (first-least-recent wins).
-#[derive(Default)]
+/// At the default cap a scan beats hashing and keeps eviction order
+/// fully deterministic (first-least-recent wins).
+///
+/// With the artifact store mounted the payload per entry is an mmap
+/// handle (three `Arc`s over the same file), so even an evict/rebuild
+/// cycle re-maps a verified file instead of re-generating the graph —
+/// the memo then only amortises the digest check.
 struct GraphMemo {
+    cap: usize,
     tick: u64,
     entries: Vec<(GraphKey, Arc<Csr>, u64)>,
+    /// Recently evicted keys (bounded); re-requesting one of these is
+    /// eviction thrash — the cap is too small for the sweep's working
+    /// set — and warns once per process.
+    evicted: Vec<GraphKey>,
+    warned_thrash: bool,
+}
+
+impl Default for GraphMemo {
+    fn default() -> Self {
+        GraphMemo::with_cap(graph_memo_cap())
+    }
 }
 
 impl GraphMemo {
+    fn with_cap(cap: usize) -> Self {
+        GraphMemo {
+            cap: cap.max(1),
+            tick: 0,
+            entries: Vec::new(),
+            evicted: Vec::new(),
+            warned_thrash: false,
+        }
+    }
+
     fn get(&mut self, key: &GraphKey) -> Option<Arc<Csr>> {
         self.tick += 1;
         let tick = self.tick;
@@ -369,7 +409,15 @@ impl GraphMemo {
         if let Some(g) = self.get(&key) {
             return g;
         }
-        if self.entries.len() >= GRAPH_MEMO_CAP {
+        if self.evicted.contains(&key) && !self.warned_thrash {
+            self.warned_thrash = true;
+            eprintln!(
+                "[scu-algos] graph memo thrash: rebuilding a graph evicted earlier in this \
+                 sweep (cap {}); raise SCU_GRAPH_MEMO_ENTRIES if memory allows",
+                self.cap
+            );
+        }
+        if self.entries.len() >= self.cap {
             let lru = self
                 .entries
                 .iter()
@@ -377,7 +425,11 @@ impl GraphMemo {
                 .min_by_key(|(_, (.., last_use))| *last_use)
                 .map(|(i, _)| i)
                 .expect("cap > 0, so a full memo has a least-recent entry");
-            self.entries.swap_remove(lru);
+            let (evicted_key, ..) = self.entries.swap_remove(lru);
+            if self.evicted.len() >= EVICTED_KEYS_REMEMBERED {
+                self.evicted.remove(0);
+            }
+            self.evicted.push(evicted_key);
         }
         self.entries.push((key, Arc::clone(&g), self.tick));
         g
@@ -389,8 +441,17 @@ impl GraphMemo {
 /// Generation is deterministic, so sharing is purely an optimisation:
 /// every cell of a sweep reads the same immutable [`Csr`] instead of
 /// regenerating it per algorithm × platform × mode combination. The
-/// memo is bounded ([`GRAPH_MEMO_CAP`]); least-recently-used graphs
-/// are dropped once every cell holding them finishes.
+/// memo is bounded (`SCU_GRAPH_MEMO_ENTRIES`, default
+/// [`GRAPH_MEMO_CAP`]); least-recently-used graphs are dropped once
+/// every cell holding them finishes.
+///
+/// When a graph artifact store is mounted ([`mount_graph_artifacts`])
+/// a memo miss goes through it: a verified on-disk artifact is mmap'd
+/// zero-copy (shared with every other process mapping it); only a
+/// missing or corrupt artifact triggers an actual generator run, whose
+/// output is published for every later process. Artifacts are keyed
+/// outside `cache_key` — a hit serves the exact bytes the in-memory
+/// build would produce, so results cannot depend on the store.
 pub fn shared_graph(dataset: Dataset, scale: f64, seed: u64) -> Arc<Csr> {
     static CACHE: OnceLock<Mutex<GraphMemo>> = OnceLock::new();
     scu_harness::failpoint::apply("graph-build");
@@ -404,8 +465,23 @@ pub fn shared_graph(dataset: Dataset, scale: f64, seed: u64) -> Arc<Csr> {
     }
     // Build outside the lock: different graphs may build concurrently,
     // and a duplicate build of the same key is deterministic anyway.
-    let g = Arc::new(dataset.build(scale, seed));
+    let g = Arc::new(match scu_graph::artifact::active() {
+        Some(store) => store
+            .load_or_build(dataset, scale, seed, || dataset.try_build(scale, seed))
+            .unwrap_or_else(|e| panic!("{e}")),
+        None => dataset.build(scale, seed),
+    });
     scu_harness::error::lock_unpoisoned(cache, "graph cache").insert(key, g)
+}
+
+/// Mounts the graph artifact store at `dir` (or unmounts it with
+/// `None`) and wires its IO failpoints (`graph-artifact-load`,
+/// `graph-artifact-store`) into the harness registry. Binaries call
+/// this once at startup — library code and unit tests run with the
+/// store unmounted and build in memory, exactly as before.
+pub fn mount_graph_artifacts(dir: Option<std::path::PathBuf>) {
+    scu_graph::artifact::install_io_hook(scu_harness::failpoint::io);
+    scu_graph::artifact::install(dir.map(|d| Arc::new(scu_graph::artifact::GraphStore::new(d))));
 }
 
 #[cfg(test)]
@@ -608,7 +684,9 @@ mod tests {
 
     #[test]
     fn graph_memo_caps_and_evicts_least_recent() {
-        let mut memo = GraphMemo::default();
+        // Explicit cap: the default reads SCU_GRAPH_MEMO_ENTRIES, and
+        // process env must not leak into this test (or vice versa).
+        let mut memo = GraphMemo::with_cap(GRAPH_MEMO_CAP);
         let g = Arc::new(Dataset::Ca.build(1.0 / 512.0, 1));
         let cap = GRAPH_MEMO_CAP as u64;
         for i in 0..cap + 3 {
@@ -626,5 +704,31 @@ mod tests {
         memo.insert((Dataset::Ca, 999, 1), Arc::clone(&g));
         assert_eq!(memo.entries.len(), GRAPH_MEMO_CAP);
         assert!(memo.get(&keep).is_some());
+    }
+
+    #[test]
+    fn graph_memo_warns_once_on_eviction_thrash() {
+        let mut memo = GraphMemo::with_cap(2);
+        let g = Arc::new(Dataset::Ca.build(1.0 / 512.0, 1));
+        for i in 0..3u64 {
+            memo.insert((Dataset::Ca, i, 1), Arc::clone(&g));
+        }
+        // Key 0 was evicted; re-inserting it is thrash.
+        assert!(!memo.warned_thrash);
+        memo.insert((Dataset::Ca, 0, 1), Arc::clone(&g));
+        assert!(memo.warned_thrash);
+        // The evicted ring stays bounded under sustained cycling.
+        for i in 10..10 + 2 * EVICTED_KEYS_REMEMBERED as u64 {
+            memo.insert((Dataset::Ca, i, 1), Arc::clone(&g));
+        }
+        assert!(memo.evicted.len() <= EVICTED_KEYS_REMEMBERED);
+    }
+
+    #[test]
+    fn graph_memo_cap_env_parsing() {
+        // The default (no env contract in unit tests) is positive and
+        // with_cap clamps zero to one.
+        assert!(graph_memo_cap() >= 1);
+        assert_eq!(GraphMemo::with_cap(0).cap, 1);
     }
 }

@@ -110,6 +110,22 @@ impl ExperimentConfig {
         }
     }
 
+    /// Checks that every dataset in the matrix can be built at this
+    /// scale. CLIs call this right after parsing so an out-of-range
+    /// `SCU_SCALE` is a one-line error (exit 2) instead of a panic
+    /// mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first dataset's range violation, one line.
+    pub fn validate(&self) -> Result<(), String> {
+        for &d in &self.datasets {
+            d.validate_scale(self.scale)
+                .map_err(|e| format!("dataset {d}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// The fully-specified [`Cell`] for one (algorithm, dataset,
     /// system, mode) point under this configuration — the single
     /// definition every entry path (CLI, JSON export, sweep server)
@@ -221,6 +237,19 @@ mod tests {
         let filtered = plan_cells(&ExperimentConfig::new(), &ALL_MODES, Some("BFS/kron"));
         assert!(filtered.iter().all(|c| c.id().contains("BFS/kron")));
         assert_eq!(filtered.len(), 8);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_scales() {
+        let mut cfg = ExperimentConfig::new();
+        assert!(cfg.validate().is_ok());
+        cfg.scale = 16.0; // Kronecker exponent 22: allowed.
+        assert!(cfg.validate().is_ok());
+        cfg.scale = -3.0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        cfg.scale = 1.0e9;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! The artifact-store invariant: a cell simulated on an mmap'd CSR
+//! must produce a report byte-identical to the same cell on the
+//! in-memory build. The graph source is an implementation detail of
+//! where the words live; MODEL_VERSION does not change.
+
+use std::sync::Arc;
+
+use scu_algos::runner::{run_configured, Algorithm, Mode};
+use scu_algos::system::SystemKind;
+use scu_graph::artifact::GraphStore;
+use scu_graph::Dataset;
+
+/// One process-wide test (the artifact store install slot is global
+/// state): build each graph in memory and through the store's mmap
+/// path, then run cells on both and compare the serialised reports.
+#[test]
+fn mapped_and_owned_graphs_simulate_identically() {
+    let dir = std::env::temp_dir().join(format!("scu-algos-artifact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(GraphStore::new(&dir));
+
+    for (dataset, scale, seed) in [
+        (Dataset::Cond, 1.0 / 256.0, 11u64),
+        (Dataset::Kron, 1.0 / 64.0, 42),
+    ] {
+        let owned = dataset.build(scale, seed);
+        let build = || dataset.try_build(scale, seed);
+        // First call publishes, second call mmaps the artifact.
+        store.load_or_build(dataset, scale, seed, build).unwrap();
+        let mapped = store.load_or_build(dataset, scale, seed, build).unwrap();
+        assert!(mapped.is_mapped(), "{dataset}: second load should mmap");
+        assert_eq!(mapped, owned, "{dataset}: CSR content must match");
+
+        for algo in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::KCore] {
+            for mode in [Mode::GpuBaseline, Mode::ScuEnhanced] {
+                let on_owned = run_configured(algo, &owned, SystemKind::Gtx980, mode, 3, None);
+                let on_mapped = run_configured(algo, &mapped, SystemKind::Gtx980, mode, 3, None);
+                assert_eq!(
+                    serde_json::to_value(&on_owned.report),
+                    serde_json::to_value(&on_mapped.report),
+                    "{dataset}/{}/{}: report diverges between owned and mmap'd CSR",
+                    algo.name(),
+                    mode.name()
+                );
+                assert_eq!(
+                    on_owned.values,
+                    on_mapped.values,
+                    "{dataset}/{}/{}: algorithm output diverges",
+                    algo.name(),
+                    mode.name()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

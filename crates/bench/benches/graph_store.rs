@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the graph artifact store: cold build
+//! (generate the CSR, publish the artifact) vs. warm load (digest
+//! check + mmap of the published file) at the default paper scale,
+//! plus the raw decode cost with the graph already in page cache.
+//! The acceptance bar for the build-once artifact work is that a
+//! warm load is orders of magnitude cheaper than a cold build;
+//! `bench_gate` pins the numbers in `BENCH_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use scu_graph::artifact::GraphStore;
+use scu_graph::Dataset;
+
+/// The kron benchmark point: 2^14 nodes is big enough that mmap vs.
+/// rebuild separates cleanly, small enough for a criterion loop.
+const SCALE: f64 = 0.0625;
+const SEED: u64 = 42;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scu-bench-graph-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn load(store: &Arc<GraphStore>) -> scu_graph::Csr {
+    store
+        .load_or_build(Dataset::Kron, SCALE, SEED, || {
+            Dataset::Kron.try_build(SCALE, SEED)
+        })
+        .unwrap()
+}
+
+fn bench_cold_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_store");
+    // Every iteration generates and publishes the full graph.
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("cold-build", "kron-2^14"), |b| {
+        let dir = scratch("cold");
+        b.iter(|| {
+            // Wipe the store so load_or_build takes the miss path:
+            // streaming Kronecker build + digest-streamed publish.
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(GraphStore::new(&dir));
+            black_box(load(&store).num_edges())
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    g.finish();
+}
+
+fn bench_warm_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_store");
+    g.sample_size(20);
+
+    // The per-process cost a sweep pays when the artifact exists:
+    // open, digest-verify, mmap, wrap in zero-copy Words.
+    g.bench_function(BenchmarkId::new("warm-load", "kron-2^14"), |b| {
+        let dir = scratch("warm");
+        let store = Arc::new(GraphStore::new(&dir));
+        load(&store); // publish once
+        b.iter(|| black_box(load(&store).num_edges()));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // The same graph rebuilt in memory every time — what every
+    // process paid before the artifact store existed.
+    g.bench_function(BenchmarkId::new("warm-load", "rebuild-in-memory"), |b| {
+        b.iter(|| black_box(Dataset::Kron.build(SCALE, SEED).num_edges()));
+    });
+
+    g.finish();
+}
+
+fn bench_traverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_store");
+    g.sample_size(20);
+
+    // Full neighbor-list sweep over a mapped vs. an owned CSR — the
+    // zero-copy Words indirection must not tax traversal.
+    let dir = scratch("traverse");
+    let store = Arc::new(GraphStore::new(&dir));
+    load(&store); // publish
+    let mapped = load(&store);
+    assert!(mapped.is_mapped(), "second load should mmap the artifact");
+    let owned = Dataset::Kron.build(SCALE, SEED);
+    for (tag, graph) in [("mapped", &mapped), ("owned", &owned)] {
+        g.bench_function(BenchmarkId::new("traverse", tag), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in 0..graph.num_nodes() as u32 {
+                    for &n in graph.neighbors(v) {
+                        acc = acc.wrapping_add(n as u64);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    drop(mapped);
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_build, bench_warm_load, bench_traverse);
+criterion_main!(benches);

@@ -44,6 +44,13 @@ fn main() {
     // clamps jobs x sim-threads to the machine.
     scu_algos::SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    scu_algos::mount_graph_artifacts(
+        (!args.no_graph_artifacts).then(|| scu_harness::session::DEFAULT_GRAPH_DIR.into()),
+    );
     if let Some(f) = args.filter.as_deref() {
         if Matrix::plan(&cfg, &MODES, Some(f)).is_empty() {
             eprintln!(

@@ -22,8 +22,11 @@
 //! nanoseconds and the ten most expensive iterations — the quick
 //! "where does this cell's time go" view without leaving the
 //! terminal. Locally simulated cells also get a functional-trace
-//! cache verdict (semantic key, hit/miss, bytes replayed or stored);
-//! pass `--no-trace-cache` to force cold recording.
+//! cache verdict (semantic key, hit/miss, bytes replayed or stored;
+//! pass `--no-trace-cache` to force cold recording) and the graph
+//! artifact store's verdict (artifact key, hit/built/rebuilt, bytes
+//! mapped, generator wall time; pass `--no-graph-artifacts` to build
+//! in memory).
 //!
 //! With `--remote URL` the cell is obtained from a running `scu_serve`
 //! daemon instead of simulated locally: a cached cell is fetched with
@@ -157,7 +160,8 @@ fn obtain_remote(cell: &Cell, url: &str) -> Result<(CellResult, bool), String> {
 }
 
 const USAGE: &str = "usage: run_one [BFS|SSSP|PR|CC|KCORE] [dataset] [GTX980|TX1] [mode] \
-     [--no-cache] [--no-trace-cache] [--trace PATH] [--profile] [--sim-threads N] [--remote URL]";
+     [--no-cache] [--no-trace-cache] [--no-graph-artifacts] [--trace PATH] [--profile] \
+     [--sim-threads N] [--remote URL]";
 
 fn main() {
     let args = CliArgs::from_env();
@@ -203,6 +207,14 @@ fn main() {
     };
     SimThreads::set(args.sim_threads);
     let cfg = ExperimentConfig::from_env();
+    if let Err(e) = dataset.validate_scale(cfg.scale) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    scu_algos::mount_graph_artifacts(
+        (!args.no_graph_artifacts && remote.is_none())
+            .then(|| scu_harness::session::DEFAULT_GRAPH_DIR.into()),
+    );
     // The same constructor the sweep binaries and the server use, so
     // every entry path shares cache keys and result bytes.
     let cell = cfg.cell(algo, dataset, system, mode);
@@ -319,6 +331,44 @@ fn main() {
         print_engine_profile(cached, args.sim_threads);
         if remote.is_none() {
             print_trace_outcome(cached);
+            print_graph_outcome();
+        }
+    }
+}
+
+/// Renders the graph artifact store's verdict for this process: which
+/// artifact key the graph ran under, whether it was served zero-copy
+/// (hit), built and published (built), or quarantined and rebuilt
+/// (rebuilt), plus bytes mapped and the generator wall time.
+fn print_graph_outcome() {
+    println!("\n--- profile: graph artifact store ---");
+    match scu_algos::graph_artifact::last_outcome() {
+        None => {
+            if scu_algos::graph_artifact::active().is_some() {
+                println!("no artifact activity — graph came from the in-process memo");
+            } else {
+                println!("artifact store disabled — graph built in memory");
+            }
+        }
+        Some(o) => {
+            let verdict = match o.disposition {
+                scu_algos::graph_artifact::ArtifactDisposition::Hit => {
+                    "hit — mmap'd a verified artifact, zero-copy"
+                }
+                scu_algos::graph_artifact::ArtifactDisposition::Built => {
+                    "built — no artifact yet; generated and published"
+                }
+                scu_algos::graph_artifact::ArtifactDisposition::Rebuilt => {
+                    "rebuilt — artifact failed verification; quarantined, regenerated, republished"
+                }
+            };
+            println!("artifact key     {}", o.key);
+            println!("outcome          {verdict}");
+            println!("bytes mapped     {:>12}", o.bytes_mapped);
+            println!(
+                "build wall       {:>12.1} ms",
+                o.build_wall.as_secs_f64() * 1e3
+            );
         }
     }
 }

@@ -1,19 +1,120 @@
 //! Compressed Sparse Row graph storage (paper §2, Figure 2b).
 
 use std::fmt;
+use std::sync::Arc;
+
+use scu_store::mmap::Mapped;
+
+/// One CSR array: owned words on the heap, or a borrowed window of a
+/// memory-mapped artifact file.
+///
+/// The mapped variant is what makes graph artifacts zero-copy: a
+/// [`Csr`] over a mapped file holds three of these, each an
+/// `Arc<Mapped>` plus a byte window, and every read goes straight to
+/// the page cache — no materialisation, and the same physical pages
+/// are shared by every cell, sweep process and daemon mapping the same
+/// artifact. Cloning a mapped array is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub(crate) enum Words {
+    /// Heap-owned words (the in-memory build path).
+    Owned(Vec<u32>),
+    /// `len` little-endian `u32`s starting `offset` bytes into `map`.
+    /// The constructor guarantees the window is in-bounds and 4-byte
+    /// aligned on a little-endian host (anything else is copied into
+    /// `Owned` instead).
+    Mapped {
+        map: Arc<Mapped>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl Words {
+    /// The words as a slice, wherever they live.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        match self {
+            Words::Owned(v) => v,
+            Words::Mapped { map, offset, len } => {
+                let bytes = &map[*offset..*offset + *len * 4];
+                // SAFETY: the constructor (`Words::mapped`) only
+                // produces this variant when the window is 4-aligned
+                // and the host is little-endian; the mapping is
+                // immutable and outlives `self` via the Arc.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), *len) }
+            }
+        }
+    }
+
+    /// Wraps a window of `map` zero-copy when the platform allows it
+    /// (little-endian, 4-byte aligned), else decodes a heap copy —
+    /// identical contents either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of bounds of `map`; callers bound
+    /// it first (the artifact loader validates section offsets before
+    /// constructing).
+    pub(crate) fn mapped(map: &Arc<Mapped>, offset: usize, len: usize) -> Words {
+        let bytes = &map[offset..offset + len * 4];
+        if cfg!(target_endian = "little") && bytes.as_ptr().align_offset(4) == 0 {
+            return Words::Mapped {
+                map: Arc::clone(map),
+                offset,
+                len,
+            };
+        }
+        Words::Owned(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        )
+    }
+
+    /// Whether this array reads from a mapped file (for stats; owned
+    /// fallbacks report `false`).
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, Words::Mapped { .. })
+    }
+}
+
+impl std::ops::Deref for Words {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
 
 /// A directed graph in CSR form: `row_offsets[v] .. row_offsets[v+1]`
 /// indexes the out-edges of node `v` in `edges` (destinations) and
 /// `weights` (edge costs).
 ///
-/// Node IDs and offsets are `u32` — the largest paper dataset
-/// (`human`, 24.6 M edges) fits comfortably.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Node IDs and offsets are `u32` — the largest supported graphs
+/// (Kronecker scale 26, ~1 G edges) still fit.
+///
+/// Storage is borrowed-or-owned ([`Words`]): graphs built in memory
+/// own their arrays; graphs served from the artifact store read them
+/// straight out of a memory-mapped file. The API is identical — every
+/// accessor hands out `&[u32]` — and so is equality: two graphs with
+/// the same arrays compare equal regardless of where the bytes live.
+#[derive(Debug, Clone)]
 pub struct Csr {
-    row_offsets: Vec<u32>,
-    edges: Vec<u32>,
-    weights: Vec<u32>,
+    row_offsets: Words,
+    edges: Words,
+    weights: Words,
 }
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_offsets.as_slice() == other.row_offsets.as_slice()
+            && self.edges.as_slice() == other.edges.as_slice()
+            && self.weights.as_slice() == other.weights.as_slice()
+    }
+}
+
+impl Eq for Csr {}
 
 /// Error returned by [`Csr::new`] / [`Csr::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,12 +143,62 @@ impl Csr {
         weights: Vec<u32>,
     ) -> Result<Self, InvalidCsr> {
         let g = Csr {
-            row_offsets,
-            edges,
-            weights,
+            row_offsets: Words::Owned(row_offsets),
+            edges: Words::Owned(edges),
+            weights: Words::Owned(weights),
         };
         g.validate()?;
         Ok(g)
+    }
+
+    /// Assembles a CSR over already-validated storage without the
+    /// O(nodes + edges) scan — the artifact loader's entry point,
+    /// where a matching content digest already vouches for the deep
+    /// invariants. Only the cheap shape checks run here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCsr`] on the shape violations that are free to
+    /// detect: empty offsets, a nonzero first offset, or length
+    /// mismatches between the arrays.
+    pub(crate) fn from_trusted_words(
+        row_offsets: Words,
+        edges: Words,
+        weights: Words,
+    ) -> Result<Self, InvalidCsr> {
+        if row_offsets.is_empty() {
+            return Err(InvalidCsr(
+                "row_offsets must have at least one entry".into(),
+            ));
+        }
+        if row_offsets[0] != 0 {
+            return Err(InvalidCsr("row_offsets[0] must be 0".into()));
+        }
+        if *row_offsets.last().expect("nonempty") as usize != edges.len() {
+            return Err(InvalidCsr(format!(
+                "last offset {} != edge count {}",
+                row_offsets.last().expect("nonempty"),
+                edges.len()
+            )));
+        }
+        if weights.len() != edges.len() {
+            return Err(InvalidCsr(format!(
+                "weights length {} != edges length {}",
+                weights.len(),
+                edges.len()
+            )));
+        }
+        Ok(Csr {
+            row_offsets,
+            edges,
+            weights,
+        })
+    }
+
+    /// Whether all three arrays read from a memory-mapped artifact
+    /// (zero-copy) rather than the heap.
+    pub fn is_mapped(&self) -> bool {
+        self.row_offsets.is_mapped() && self.edges.is_mapped() && self.weights.is_mapped()
     }
 
     /// Checks the CSR invariants.
@@ -245,5 +396,55 @@ mod tests {
     fn display_of_error() {
         let e = Csr::new(vec![0, 1], vec![5], vec![1]).unwrap_err();
         assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn mapped_words_read_identically_to_owned() {
+        // Little-endian bytes of [0, 3, 7] with a 4-aligned window.
+        let bytes: Vec<u8> = [0u32, 3, 7].iter().flat_map(|w| w.to_le_bytes()).collect();
+        let map = Arc::new(Mapped::from_bytes(bytes));
+        let words = Words::mapped(&map, 0, 3);
+        assert_eq!(&*words, &[0, 3, 7]);
+        // An unaligned window degrades to an owned decode with the
+        // same contents.
+        let mut shifted = vec![0u8];
+        shifted.extend([9u32, 11].iter().flat_map(|w| w.to_le_bytes()));
+        let map = Arc::new(Mapped::from_bytes(shifted));
+        let words = Words::mapped(&map, 1, 2);
+        assert!(!words.is_mapped() || cfg!(not(target_endian = "little")));
+        assert_eq!(&*words, &[9, 11]);
+    }
+
+    #[test]
+    fn owned_and_mapped_graphs_compare_equal() {
+        let g = figure2();
+        let pack = |ws: &[u32]| -> Vec<u8> { ws.iter().flat_map(|w| w.to_le_bytes()).collect() };
+        let mut bytes = pack(g.row_offsets());
+        let edges_off = bytes.len();
+        bytes.extend(pack(g.edges()));
+        let weights_off = bytes.len();
+        bytes.extend(pack(g.weights()));
+        let map = Arc::new(Mapped::from_bytes(bytes));
+        let mapped = Csr::from_trusted_words(
+            Words::mapped(&map, 0, g.row_offsets().len()),
+            Words::mapped(&map, edges_off, g.num_edges()),
+            Words::mapped(&map, weights_off, g.num_edges()),
+        )
+        .unwrap();
+        assert_eq!(mapped, g);
+        assert_eq!(mapped.neighbors(3), g.neighbors(3));
+        assert!(mapped.validate().is_ok());
+        // And a cheap clone still reads the same mapping.
+        let clone = mapped.clone();
+        assert_eq!(clone, g);
+    }
+
+    #[test]
+    fn trusted_constructor_still_rejects_cheap_shape_violations() {
+        let ws = |v: Vec<u32>| Words::Owned(v);
+        assert!(Csr::from_trusted_words(ws(vec![]), ws(vec![]), ws(vec![])).is_err());
+        assert!(Csr::from_trusted_words(ws(vec![1]), ws(vec![]), ws(vec![])).is_err());
+        assert!(Csr::from_trusted_words(ws(vec![0, 2]), ws(vec![0]), ws(vec![0])).is_err());
+        assert!(Csr::from_trusted_words(ws(vec![0, 1]), ws(vec![0]), ws(vec![])).is_err());
     }
 }

@@ -19,6 +19,11 @@ use serde::{Deserialize, Serialize};
 use crate::csr::Csr;
 use crate::generate;
 
+/// Graph500's reference edges-per-node ratio, used for `kron` at
+/// scales past the published size (the paper's own region, scale ≤ 1,
+/// keeps the published ratio unchanged).
+pub const GRAPH500_EDGE_FACTOR: usize = 16;
+
 /// One of the paper's six benchmark graphs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dataset {
@@ -102,33 +107,101 @@ impl Dataset {
         }
     }
 
-    /// Builds the synthetic stand-in at `scale` ∈ (0, 1] of the
-    /// published node count, deterministically from `seed`.
+    /// The Kronecker exponent `scale` maps to: the power of two
+    /// closest to the scaled node count.
+    fn kron_exponent(self, scale: f64) -> u32 {
+        let nodes = ((self.published_nodes() as f64 * scale) as usize).max(64);
+        (nodes as f64).log2().round() as u32
+    }
+
+    /// Checks that `scale` is buildable for this dataset without
+    /// building anything — CLIs call this up front so a bad
+    /// `SCU_SCALE` is a one-line error (exit 2), not a mid-sweep
+    /// panic or (worse) a silently smaller graph.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `scale` is not in `(0, 1]`.
-    pub fn build(self, scale: f64, seed: u64) -> Csr {
-        assert!(
-            scale > 0.0 && scale <= 1.0,
-            "scale {scale} must be in (0, 1]"
-        );
+    /// Returns a one-line description of the violated range.
+    pub fn validate_scale(self, scale: f64) -> Result<(), String> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(format!(
+                "scale {scale} must be a positive, finite multiplier"
+            ));
+        }
+        let nodes = (self.published_nodes() as f64 * scale).max(64.0);
+        if nodes >= u32::MAX as f64 {
+            return Err(format!(
+                "scale {scale} gives {nodes:.0} {self} nodes, past the u32 node-id limit"
+            ));
+        }
+        if self == Dataset::Kron {
+            let sc = self.kron_exponent(scale);
+            let max = generate::kronecker::MAX_SCALE;
+            if sc > max {
+                // The scale that lands exactly on the largest exponent.
+                let cap = (1u64 << max) as f64 / self.published_nodes() as f64;
+                return Err(format!(
+                    "scale {scale} maps kron to Kronecker exponent {sc}, above the supported \
+                     maximum {max} (2^{max} nodes ≈ scale {cap:.0})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the synthetic stand-in at `scale` × the published node
+    /// count, deterministically from `seed`.
+    ///
+    /// `scale` ∈ (0, 1] reproduces the paper's affordable-simulation
+    /// region, byte-for-byte as it always has. `scale` > 1 opens the
+    /// Graph500-class region the paper could not evaluate: `kron`
+    /// switches to the Graph500 reference edge factor
+    /// ([`GRAPH500_EDGE_FACTOR`]) and the streaming generator, so
+    /// Kronecker exponents up to
+    /// [`MAX_SCALE`](generate::kronecker::MAX_SCALE) (scale 22 ≈
+    /// `SCU_SCALE=16`) build with peak RSS bounded by the output CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Dataset::validate_scale`] error for an
+    /// out-of-range `scale`.
+    pub fn try_build(self, scale: f64, seed: u64) -> Result<Csr, String> {
+        self.validate_scale(scale)?;
         let nodes = ((self.published_nodes() as f64 * scale) as usize).max(64);
         let avg_degree =
             (self.published_edges() as f64 / self.published_nodes() as f64).round() as usize;
-        match self {
+        Ok(match self {
             Dataset::Ca => generate::road::generate(nodes, seed),
             Dataset::Cond => generate::power_law::generate(nodes, 4, seed),
             Dataset::Delaunay => generate::delaunay::generate(nodes, seed),
             Dataset::Human => generate::dense::generate(nodes, avg_degree, seed),
             Dataset::Kron => {
-                // Preserve the Graph500 shape: scale the exponent.
-                let sc = (nodes as f64).log2().round() as u32;
-                let edge_factor = avg_degree.max(8);
-                generate::kronecker::generate(sc.clamp(6, 18), edge_factor, seed)
+                // Preserve the Graph500 shape: scale the exponent. At
+                // scale ≤ 1 the exponent lands in 6..=18 and the edge
+                // factor stays the published ratio (byte-compatible
+                // with every artifact and cached result ever built);
+                // past 1.0 — a region that used to be rejected — the
+                // Graph500 reference edge factor applies.
+                let sc = self.kron_exponent(scale);
+                let edge_factor = if scale > 1.0 {
+                    GRAPH500_EDGE_FACTOR
+                } else {
+                    avg_degree.max(8)
+                };
+                generate::kronecker::generate(sc, edge_factor, seed)
             }
             Dataset::Msdoor => generate::mesh3d::generate(nodes, avg_degree, seed),
-        }
+        })
+    }
+
+    /// [`Dataset::try_build`], panicking on an out-of-range scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`Dataset::validate_scale`] message.
+    pub fn build(self, scale: f64, seed: u64) -> Csr {
+        self.try_build(scale, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -179,9 +252,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be in (0, 1]")]
+    #[should_panic(expected = "must be a positive, finite multiplier")]
     fn zero_scale_panics() {
         Dataset::Ca.build(0.0, 1);
+    }
+
+    #[test]
+    fn validate_scale_ranges() {
+        assert!(Dataset::Kron.validate_scale(1.0).is_ok());
+        assert!(Dataset::Kron.validate_scale(1.0 / 4096.0).is_ok());
+        // Scale 16 → Kronecker exponent 22: the graph-dwarfs-L2 region.
+        assert!(Dataset::Kron.validate_scale(16.0).is_ok());
+        // Past exponent 26 the error names the limit and the cap.
+        let err = Dataset::Kron.validate_scale(1000.0).unwrap_err();
+        assert!(err.contains("maximum 26"), "{err}");
+        assert!(Dataset::Ca.validate_scale(f64::NAN).is_err());
+        assert!(Dataset::Ca.validate_scale(-1.0).is_err());
+        assert!(Dataset::Ca.validate_scale(0.0).is_err());
+        // Non-kron datasets hit the u32 node-id ceiling instead.
+        assert!(Dataset::Ca.validate_scale(1.0e7).is_err());
+    }
+
+    #[test]
+    fn try_build_reports_instead_of_panicking() {
+        assert!(Dataset::Kron.try_build(1000.0, 1).is_err());
+        let g = Dataset::Kron.try_build(1.0 / 512.0, 1).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn kron_exponent_tracks_scale() {
+        // The old code clamped the exponent to 6..=18 silently; the
+        // paper region (0, 1] never actually left that range, so the
+        // explicit version must agree with it exactly there.
+        for scale in [1.0 / 4096.0, 1.0 / 128.0, 0.25, 1.0] {
+            let sc = Dataset::Kron.kron_exponent(scale);
+            assert_eq!(sc, sc.clamp(6, 18), "scale {scale} exponent {sc}");
+        }
+        assert_eq!(Dataset::Kron.kron_exponent(16.0), 22);
     }
 
     #[test]

@@ -5,12 +5,26 @@
 //! `[[a, b], [c, d]]` for `scale` levels. The result is scale-free
 //! with massive hubs and essentially no locality — the hardest case
 //! for memory coalescing and the most duplicate-rich for filtering.
+//!
+//! ## Streaming construction
+//!
+//! The generator is two-pass: pass 1 runs the R-MAT recurrence over
+//! every edge and only counts out-degrees; a prefix sum turns the
+//! counts into row offsets; pass 2 re-seeds the identical RNG stream
+//! and scatters each destination/weight straight into its final CSR
+//! slot, then sorts each row in place. Peak memory is therefore the
+//! *output* (row offsets + edges + weights) plus one cursor word per
+//! node — the 12-byte-per-edge intermediate triple list the
+//! [`GraphBuilder`](crate::builder::GraphBuilder) path would
+//! accumulate never exists. That is what makes scale ≥ 22 (millions
+//! of nodes, tens of millions of edges — a graph that dwarfs any L2)
+//! buildable: ~16 bytes per edge of peak RSS, total, and the output
+//! is byte-identical to the builder path (pinned by a test below).
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use super::random_weight;
-use crate::builder::GraphBuilder;
 use crate::csr::Csr;
 
 /// Graph500 reference R-MAT parameters.
@@ -20,46 +34,142 @@ pub const B: f64 = 0.19;
 /// See [`A`].
 pub const C: f64 = 0.19;
 
+/// Smallest supported scale (2 nodes).
+pub const MIN_SCALE: u32 = 1;
+/// Largest supported scale: 2^26 nodes keeps every CSR index inside
+/// `u32` at Graph500's edge factor 16 (~1.07 G edges < `u32::MAX`).
+pub const MAX_SCALE: u32 = 26;
+
+/// One R-MAT endpoint pair, advancing `rng` by exactly `scale`
+/// `f64` draws.
+#[inline]
+fn rmat_endpoints(rng: &mut StdRng, scale: u32) -> (usize, usize) {
+    let (mut u, mut v) = (0usize, 0usize);
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.random();
+        if r < A {
+            // top-left: no bits set
+        } else if r < A + B {
+            v |= 1;
+        } else if r < A + B + C {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
 /// Generates a Kronecker graph with `2^scale` nodes and
 /// `edge_factor * 2^scale` directed edges (multi-edges kept, as in
-/// Graph500's edge lists).
+/// Graph500's edge lists; self-loops skipped).
 pub fn generate(scale: u32, edge_factor: usize, seed: u64) -> Csr {
     assert!(
-        (1..=26).contains(&scale),
+        (MIN_SCALE..=MAX_SCALE).contains(&scale),
         "scale {scale} out of supported range"
     );
     let n = 1usize << scale;
     let m = edge_factor * n;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
 
+    // Pass 1: count out-degrees. The weight draw must happen exactly
+    // when the builder path would draw it (only for non-loops) so the
+    // two RNG streams stay aligned draw for draw.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_offsets = vec![0u32; n + 1];
     for _ in 0..m {
-        let (mut u, mut v) = (0usize, 0usize);
-        for _ in 0..scale {
-            u <<= 1;
-            v <<= 1;
-            let r: f64 = rng.random();
-            if r < A {
-                // top-left: no bits set
-            } else if r < A + B {
-                v |= 1;
-            } else if r < A + B + C {
-                u |= 1;
-            } else {
-                u |= 1;
-                v |= 1;
-            }
-        }
+        let (u, v) = rmat_endpoints(&mut rng, scale);
         if u != v {
-            b.add_edge(u as u32, v as u32, random_weight(&mut rng));
+            let _ = random_weight(&mut rng);
+            row_offsets[u + 1] += 1;
         }
     }
-    b.build()
+    for i in 1..row_offsets.len() {
+        row_offsets[i] += row_offsets[i - 1];
+    }
+    let kept = row_offsets[n] as usize;
+
+    // Pass 2: regenerate the identical edge stream and scatter each
+    // destination/weight into its row's next free slot.
+    let mut edges = vec![0u32; kept];
+    let mut weights = vec![0u32; kept];
+    let mut cursor: Vec<u32> = row_offsets[..n].to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..m {
+        let (u, v) = rmat_endpoints(&mut rng, scale);
+        if u != v {
+            let w = random_weight(&mut rng);
+            let slot = cursor[u] as usize;
+            cursor[u] += 1;
+            edges[slot] = v as u32;
+            weights[slot] = w;
+        }
+    }
+
+    // Rows hold edges in generation order; the builder path sorts the
+    // whole triple list by (src, dst, weight), which within a row is a
+    // (dst, weight) sort. Match it row by row.
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    for win in row_offsets.windows(2) {
+        let (lo, hi) = (win[0] as usize, win[1] as usize);
+        if hi - lo < 2 {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(
+            edges[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied()),
+        );
+        scratch.sort_unstable();
+        for (i, &(d, w)) in scratch.iter().enumerate() {
+            edges[lo + i] = d;
+            weights[lo + i] = w;
+        }
+    }
+
+    Csr::new(row_offsets, edges, weights).expect("streamed CSR is valid by construction")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The pre-streaming implementation: accumulate triples, sort,
+    /// build. Kept as the byte-identity oracle — result bytes across
+    /// the whole repo depend on `generate` never drifting from this.
+    fn reference(scale: u32, edge_factor: usize, seed: u64) -> Csr {
+        let n = 1usize << scale;
+        let m = edge_factor * n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..m {
+            let (u, v) = rmat_endpoints(&mut rng, scale);
+            if u != v {
+                b.add_edge(u as u32, v as u32, random_weight(&mut rng));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn streaming_matches_builder_reference_exactly() {
+        for (scale, ef, seed) in [(6, 8, 1), (8, 16, 42), (10, 16, 3), (11, 4, 7)] {
+            let fast = generate(scale, ef, seed);
+            let slow = reference(scale, ef, seed);
+            assert_eq!(
+                fast.row_offsets(),
+                slow.row_offsets(),
+                "offsets diverge at scale {scale} seed {seed}"
+            );
+            assert_eq!(fast.edges(), slow.edges(), "scale {scale} seed {seed}");
+            assert_eq!(fast.weights(), slow.weights(), "scale {scale} seed {seed}");
+        }
+    }
 
     #[test]
     fn deterministic_given_seed() {

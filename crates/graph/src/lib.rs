@@ -7,6 +7,9 @@
 //!   edge (destination) array, and a parallel weight array.
 //! * [`builder`] — incremental edge-list construction with optional
 //!   deduplication and sorting.
+//! * [`artifact`] — the build-once graph artifact store: checksummed,
+//!   mmap'd CSR files served zero-copy across cells, processes and
+//!   daemon restarts (format `SCUCSR01`; see `DESIGN.md`).
 //! * [`generate`] — synthetic generators for each *class* of graph in
 //!   the paper's Table 5: road networks, collaboration (power-law)
 //!   networks, Delaunay-like planar meshes, dense biological networks,
@@ -31,6 +34,7 @@
 //! g.validate().unwrap();
 //! ```
 
+pub mod artifact;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
@@ -39,6 +43,7 @@ pub mod io;
 pub mod stats;
 pub mod transform;
 
+pub use artifact::GraphStore;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::Dataset;

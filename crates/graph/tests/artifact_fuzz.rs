@@ -1,0 +1,172 @@
+//! Property tests over the graph artifact file format: arbitrary
+//! corruption (truncation, byte flips, garbage) must never panic the
+//! loader, must always quarantine the damaged file, and must always
+//! fall back to a rebuild whose result is byte-identical to the
+//! in-memory build. A published artifact must round-trip exactly,
+//! whether the words come back mmap'd or decode-copied.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use scu_graph::artifact::{artifact_file_name, artifact_key, decode_artifact, GraphStore};
+use scu_graph::Dataset;
+use scu_store::mmap::Mapped;
+
+const SCALE: f64 = 0.0078125; // 2^11 nodes — fast enough for proptest
+const SEED: u64 = 7;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scu-graph-fuzz-{}-{tag}", std::process::id(),));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Publishes one artifact and returns (store, artifact path, bytes).
+fn published(tag: &str) -> (Arc<GraphStore>, std::path::PathBuf, Vec<u8>) {
+    let dir = scratch(tag);
+    let store = Arc::new(GraphStore::new(&dir));
+    store
+        .load_or_build(Dataset::Kron, SCALE, SEED, || {
+            Dataset::Kron.try_build(SCALE, SEED)
+        })
+        .unwrap();
+    let path = store
+        .dir()
+        .join(artifact_file_name(Dataset::Kron, SCALE, SEED));
+    let bytes = std::fs::read(&path).unwrap();
+    (store, path, bytes)
+}
+
+fn reference() -> scu_graph::Csr {
+    Dataset::Kron.build(SCALE, SEED)
+}
+
+fn quarantined_files(store: &GraphStore) -> usize {
+    std::fs::read_dir(store.quarantine_dir())
+        .map(|d| d.filter_map(Result::ok).count())
+        .unwrap_or(0)
+}
+
+/// After the store serves a graph from a corrupted file, the result
+/// must equal the clean build, the bad file must be in quarantine and
+/// a fresh, loadable artifact must have been republished.
+fn assert_recovered(store: &Arc<GraphStore>, path: &Path) {
+    let g = store
+        .load_or_build(Dataset::Kron, SCALE, SEED, || {
+            Dataset::Kron.try_build(SCALE, SEED)
+        })
+        .unwrap();
+    let clean = reference();
+    assert_eq!(g, clean, "rebuild after corruption must be byte-identical");
+    assert!(
+        quarantined_files(store) >= 1,
+        "corrupt artifact must land in quarantine"
+    );
+    // The republished artifact must itself load clean (and mmap'd).
+    let again = store
+        .load_or_build(Dataset::Kron, SCALE, SEED, || {
+            panic!("republished artifact should load without a rebuild")
+        })
+        .unwrap();
+    assert_eq!(again, clean);
+    assert!(again.is_mapped(), "republished artifact should mmap");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating the file anywhere — mid-magic, mid-header,
+    /// mid-section, mid-digest — never panics and always recovers.
+    #[test]
+    fn truncation_recovers(frac in 0usize..1000) {
+        let (store, path, bytes) = published("trunc");
+        // frac < 1000 so at least one byte is always cut.
+        let keep = bytes.len() * frac / 1000;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        assert_recovered(&store, &path);
+    }
+
+    /// Flipping any single byte is caught by the digest (or, for
+    /// flips inside the trailing digest itself, by the digest
+    /// comparison) and recovers.
+    #[test]
+    fn byte_flip_recovers(pos_frac in 0usize..1000, xor in 1u8..=255) {
+        let (store, path, mut bytes) = published("flip");
+        let pos = (bytes.len() - 1) * pos_frac / 999;
+        bytes[pos] ^= xor;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_recovered(&store, &path);
+    }
+
+    /// A burst of damaged bytes (torn write / bad sector) recovers.
+    #[test]
+    fn burst_corruption_recovers(
+        start_frac in 0usize..1000,
+        len in 1usize..512,
+        xor in 1u8..=255,
+    ) {
+        let (store, path, mut bytes) = published("burst");
+        let start = (bytes.len() - 1) * start_frac / 999;
+        let end = (start + len).min(bytes.len());
+        // XOR with a nonzero pattern guarantees the burst changed
+        // at least the first byte of the range.
+        for b in &mut bytes[start..end] {
+            *b ^= xor;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert_recovered(&store, &path);
+    }
+
+    /// decode_artifact on arbitrary garbage bytes errors, never
+    /// panics — the digest gate runs before any layout arithmetic.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..4096)) {
+        let map = Arc::new(Mapped::from_bytes(bytes.clone()));
+        let key = artifact_key(Dataset::Kron, SCALE, SEED);
+        prop_assert!(decode_artifact(&map, &key).is_err());
+    }
+
+    /// Garbage that keeps the magic and a plausible prefix still
+    /// errors cleanly — exercises the header/layout checks behind
+    /// the digest gate.
+    #[test]
+    fn garbage_with_magic_never_panics(tail in prop::collection::vec(0u8..=255, 0..2048)) {
+        let mut bytes = b"SCUCSR01".to_vec();
+        bytes.extend_from_slice(&tail);
+        let map = Arc::new(Mapped::from_bytes(bytes));
+        let key = artifact_key(Dataset::Kron, SCALE, SEED);
+        prop_assert!(decode_artifact(&map, &key).is_err());
+    }
+}
+
+/// Round-trip: the mmap'd artifact equals the in-memory build — same
+/// nodes, edges, weights, word for word — across several (scale, seed)
+/// points. Not a proptest because each case builds a real graph.
+#[test]
+fn round_trip_mmap_equals_in_memory() {
+    for (scale, seed) in [(0.0078125, 1u64), (0.0625, 42), (0.046875, 9)] {
+        let dir = scratch(&format!("rt-{seed}"));
+        let store = Arc::new(GraphStore::new(&dir));
+        let build = || Dataset::Kron.try_build(scale, seed);
+        let first = store
+            .load_or_build(Dataset::Kron, scale, seed, build)
+            .unwrap();
+        let second = store
+            .load_or_build(Dataset::Kron, scale, seed, build)
+            .unwrap();
+        let in_memory = Dataset::Kron.build(scale, seed);
+        assert_eq!(first, in_memory, "built-and-published path (scale {scale})");
+        assert_eq!(second, in_memory, "mmap'd path (scale {scale})");
+        assert!(second.is_mapped());
+        assert_eq!(
+            second.row_offsets(),
+            in_memory.row_offsets(),
+            "row offsets word-for-word"
+        );
+        assert_eq!(second.edges(), in_memory.edges());
+        assert_eq!(second.weights(), in_memory.weights());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared command-line surface for the experiment binaries:
 //! `--jobs N`, `--sim-threads N`, `--no-cache`, `--no-trace-cache`,
-//! `--filter <substr>`, `--timeout-secs N`, `--retries N`,
-//! `--resume`, `--strict-resume`, `--trace <path>`.
+//! `--no-graph-artifacts`, `--filter <substr>`, `--timeout-secs N`,
+//! `--retries N`, `--resume`, `--strict-resume`, `--trace <path>`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -27,6 +27,11 @@ pub struct CliArgs {
     /// result but may still replay recorded traces — pass both flags
     /// for a fully cold simulation.
     pub no_trace_cache: bool,
+    /// Disable the graph artifact store (mmap'd build-once CSR files).
+    /// Graphs are then regenerated in memory per process, exactly as
+    /// before the store existed; results are byte-identical either
+    /// way, only graph build wall-clock changes.
+    pub no_graph_artifacts: bool,
     /// Only run cells whose id contains this substring.
     pub filter: Option<String>,
     /// Per-cell wall-clock budget.
@@ -56,6 +61,7 @@ impl Default for CliArgs {
             sim_threads: default_sim_threads(),
             no_cache: false,
             no_trace_cache: false,
+            no_graph_artifacts: false,
             filter: None,
             timeout: None,
             retries: 2,
@@ -92,6 +98,8 @@ pub const USAGE: &str = "harness options:\n  \
     --no-trace-cache  re-record functional GPU traces instead of replaying cached\n                    \
 ones (results are byte-identical either way; combine with\n                    \
 --no-cache for a fully cold simulation)\n  \
+    --no-graph-artifacts  rebuild graphs in memory instead of serving mmap'd\n                    \
+artifacts (results are byte-identical either way)\n  \
     --filter SUBSTR   only run cells whose id contains SUBSTR\n  \
     --timeout-secs N  mark cells running longer than N seconds as timed out\n  \
     --retries N       retry failed/timed-out cells up to N times (default: 2)\n  \
@@ -138,6 +146,7 @@ impl CliArgs {
                 }
                 "--no-cache" => out.no_cache = true,
                 "--no-trace-cache" => out.no_trace_cache = true,
+                "--no-graph-artifacts" => out.no_graph_artifacts = true,
                 "--filter" => out.filter = Some(value("a substring")?),
                 "--timeout-secs" => {
                     let v = value("a duration in seconds")?;
@@ -211,6 +220,14 @@ mod tests {
         assert!(a.no_trace_cache && !a.no_cache, "independent of --no-cache");
         let b = parse(&["--no-cache", "--no-trace-cache"]);
         assert!(b.no_cache && b.no_trace_cache);
+    }
+
+    #[test]
+    fn no_graph_artifacts_parses_and_defaults_off() {
+        assert!(!parse(&[]).no_graph_artifacts);
+        let a = parse(&["--no-graph-artifacts"]);
+        assert!(a.no_graph_artifacts);
+        assert!(!a.no_cache && !a.no_trace_cache, "independent toggles");
     }
 
     #[test]

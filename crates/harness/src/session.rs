@@ -17,6 +17,13 @@ pub const DEFAULT_CACHE_DIR: &str = "results/cache";
 /// Where sweep binaries journal completions for `--resume`.
 pub const DEFAULT_MANIFEST: &str = "results/manifest.json";
 
+/// Where sweep binaries keep build-once mmap'd graph artifacts.
+/// The harness only names the directory (it cannot mount the store —
+/// the dependency arrow points from `scu-algos` down to here);
+/// binaries pass it to `scu_algos::mount_graph_artifacts` unless
+/// `--no-graph-artifacts` was given.
+pub const DEFAULT_GRAPH_DIR: &str = "results/graphs";
+
 /// Exits with code 2 and a one-line error + usage if `args` carries
 /// positionals or unknown flags — for binaries that take flags only.
 pub fn reject_unparsed_args(args: &CliArgs) {

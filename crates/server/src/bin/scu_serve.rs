@@ -99,6 +99,15 @@ fn main() {
         }
     }
     scu_algos::SimThreads::set(args.sim_threads);
+    if let Err(e) = scu_algos::ExperimentConfig::from_env().validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    // Build-once graphs survive daemon restarts: the artifact store
+    // mmaps the same files every sweep, every restart.
+    scu_algos::mount_graph_artifacts(
+        (!args.no_graph_artifacts).then(|| scu_harness::session::DEFAULT_GRAPH_DIR.into()),
+    );
     let scheduler = Scheduler::new(scheduler_cfg);
     let server = match Server::bind_with(&format!("{addr}:{port}"), scheduler, server_cfg) {
         Ok(s) => s,

@@ -977,6 +977,7 @@ impl Scheduler {
         };
         let cache_stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         let trace_stats = scu_algos::trace_cache::stats();
+        let graph_stats = scu_algos::graph_artifact::stats();
         let store_stats = self
             .cache
             .as_ref()
@@ -1071,6 +1072,26 @@ impl Scheduler {
             (
                 "trace_records_stored".to_string(),
                 Value::U64(store_stats.trace_stores),
+            ),
+            // Graph artifact store: mmap'd build-once CSR files. A
+            // healthy warm daemon shows hits rising and builds flat;
+            // quarantined > 0 means on-disk artifacts failed their
+            // digest and were rebuilt (bytes unaffected, only time).
+            (
+                "graph_artifact_hits".to_string(),
+                Value::U64(graph_stats.hits),
+            ),
+            (
+                "graph_artifact_misses".to_string(),
+                Value::U64(graph_stats.misses),
+            ),
+            (
+                "graph_artifact_builds".to_string(),
+                Value::U64(graph_stats.builds),
+            ),
+            (
+                "graph_artifact_quarantined".to_string(),
+                Value::U64(graph_stats.quarantined),
             ),
             ("worker_utilization".to_string(), Value::F64(utilization)),
             ("load".to_string(), Value::Str(load.to_string())),

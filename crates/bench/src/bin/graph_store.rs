@@ -152,7 +152,10 @@ fn stat(dir: &str) {
 
 /// Verifies an artifact against its own embedded key (the digest and
 /// layout checks are key-independent; the key check then just confirms
-/// the embedded string round-trips).
+/// the embedded string round-trips). An intact artifact whose key was
+/// written by a different `CSR_FORMAT_VERSION` is reported as stale,
+/// not ok — every sweep would treat it as a key-mismatch miss, so a
+/// store full of them yields zero hits despite verifying clean.
 fn verify(path: &std::path::Path) -> String {
     let Ok(mut file) = std::fs::File::open(path) else {
         return "unreadable".to_string();
@@ -170,6 +173,10 @@ fn verify(path: &std::path::Path) -> String {
         return "corrupt (no readable key)".to_string();
     };
     match artifact::decode_artifact(&map, &key) {
+        Ok(_) if !key.starts_with(&format!("{}|", artifact::CSR_FORMAT_VERSION)) => format!(
+            "stale format (intact, but key {key:?} predates {}; sweeps will miss and rebuild)",
+            artifact::CSR_FORMAT_VERSION
+        ),
         Ok(g) => format!("ok ({} nodes, {} edges)", g.num_nodes(), g.num_edges()),
         Err(e) => format!("corrupt ({e})"),
     }

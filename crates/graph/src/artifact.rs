@@ -246,6 +246,11 @@ fn align64(n: usize) -> usize {
     n.div_ceil(64) * 64
 }
 
+/// `align64` without the wrap: `None` when rounding up overflows.
+fn align64_checked(n: usize) -> Option<usize> {
+    n.checked_add(63).map(|v| v / 64 * 64)
+}
+
 enum LoadFailure {
     /// The file does not exist — a plain miss.
     Absent,
@@ -376,7 +381,17 @@ impl GraphStore {
     fn publish(&self, path: &Path, key: &str, g: &Csr) -> io::Result<()> {
         hook_io("graph-artifact-store")?;
         std::fs::create_dir_all(&self.dir)?;
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        // Unique per publish, not just per process: `shared_graph`
+        // deliberately builds outside its memo lock, so two threads
+        // missing on the same key can publish concurrently — each must
+        // stream into its own temp file or the renames race over a
+        // torn interleaving.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let result = (|| -> io::Result<()> {
             let file = File::create(&tmp)?;
             let mut w = DigestWriter {
@@ -480,18 +495,33 @@ struct Layout {
 }
 
 impl Layout {
+    /// Layout for a graph we built ourselves: counts come from real
+    /// in-memory vectors, so the arithmetic cannot overflow.
     fn of(key_len: usize, num_nodes: usize, num_edges: usize) -> Layout {
-        let header = align64(MAGIC.len() + 4 + key_len);
-        let row_offsets = header + HEADER_WORDS * 8;
-        let edges = align64(row_offsets + (num_nodes + 1) * 4);
-        let weights = align64(edges + num_edges * 4);
-        Layout {
+        Layout::checked_of(key_len, num_nodes, num_edges)
+            .expect("layout arithmetic overflows for an in-memory graph")
+    }
+
+    /// Layout from *untrusted* header counts. Every multiply and add
+    /// is checked; `None` means the counts are absurd (the decoder
+    /// maps it to `Corrupt`). This is load-bearing for the "adversarial
+    /// files error instead of panicking" property: the digest is
+    /// unkeyed FNV-1a, so a forged file can carry a valid digest over
+    /// huge counts, and wrapped offsets must not reach `Words::mapped`.
+    fn checked_of(key_len: usize, num_nodes: usize, num_edges: usize) -> Option<Layout> {
+        let node_words = num_nodes.checked_add(1)?;
+        let header = align64_checked(MAGIC.len().checked_add(4)?.checked_add(key_len)?)?;
+        let row_offsets = header.checked_add(HEADER_WORDS * 8)?;
+        let edges = align64_checked(row_offsets.checked_add(node_words.checked_mul(4)?)?)?;
+        let edge_bytes = num_edges.checked_mul(4)?;
+        let weights = align64_checked(edges.checked_add(edge_bytes)?)?;
+        Some(Layout {
             header,
             row_offsets,
             edges,
             weights,
-            total_with_digest: weights + num_edges * 4 + DIGEST_LEN,
-        }
+            total_with_digest: weights.checked_add(edge_bytes)?.checked_add(DIGEST_LEN)?,
+        })
     }
 }
 
@@ -536,9 +566,20 @@ pub fn decode_artifact(map: &Arc<Mapped>, expected_key: &str) -> Result<Csr, Str
         .get(header..header + HEADER_WORDS * 8)
         .ok_or_else(|| "header extends past file".to_string())?;
     let word = |i: usize| u64::from_le_bytes(h[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
-    let num_nodes = word(0) as usize;
-    let num_edges = word(1) as usize;
-    let layout = Layout::of(key_len, num_nodes, num_edges);
+    // The digest is unkeyed FNV-1a, so a forged file can pair valid
+    // checksums with absurd counts: bound them (CSR indices are u32,
+    // so any real graph fits) and do the layout arithmetic checked —
+    // overflow is corruption, not a panic.
+    let num_nodes = word(0);
+    let num_edges = word(1);
+    if num_nodes >= u64::from(u32::MAX) || num_edges >= u64::from(u32::MAX) {
+        return Err(format!(
+            "header counts out of range (nodes {num_nodes}, edges {num_edges})"
+        ));
+    }
+    let (num_nodes, num_edges) = (num_nodes as usize, num_edges as usize);
+    let layout = Layout::checked_of(key_len, num_nodes, num_edges)
+        .ok_or_else(|| "layout arithmetic overflows".to_string())?;
     if layout.total_with_digest != bytes.len() {
         return Err(format!(
             "size mismatch: layout wants {} bytes, file has {}",
@@ -650,6 +691,48 @@ mod tests {
             .load_or_build(Dataset::Kron, 0.5, 3, || panic!("republished, no rebuild"))
             .unwrap();
         assert_eq!(again, sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Rewrites the header's node/edge counts and re-stamps a *valid*
+    /// trailing digest — the forgery the fuzz suite cannot reach,
+    /// because random corruption always breaks the digest first.
+    fn forge_counts(path: &Path, num_nodes: u64, num_edges: u64) -> Vec<u8> {
+        let mut bytes = std::fs::read(path).unwrap();
+        let key_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header = align64(12 + key_len);
+        bytes[header..header + 8].copy_from_slice(&num_nodes.to_le_bytes());
+        bytes[header + 8..header + 16].copy_from_slice(&num_edges.to_le_bytes());
+        let digest_at = bytes.len() - DIGEST_LEN;
+        let digest = scu_store::hash::fnv64(&bytes[..digest_at]);
+        bytes[digest_at..].copy_from_slice(&digest.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn forged_counts_with_valid_digest_error_cleanly() {
+        let dir = scratch("forge");
+        let store = GraphStore::new(&dir);
+        store
+            .load_or_build(Dataset::Kron, 0.5, 8, || Ok(sample()))
+            .unwrap();
+        let path = dir.join(artifact_file_name(Dataset::Kron, 0.5, 8));
+        let key = artifact_key(Dataset::Kron, 0.5, 8);
+        for (nodes, edges) in [
+            (u64::MAX, 4),                // (num_nodes + 1) * 4 would wrap
+            (3, u64::MAX),                // num_edges * 4 would wrap
+            (u64::MAX / 4, u64::MAX / 4), // section sums would wrap
+            (u64::from(u32::MAX), 4),     // just past the u32 index bound
+            (3, u64::from(u32::MAX)),
+        ] {
+            let forged = forge_counts(&path, nodes, edges);
+            let map = Arc::new(Mapped::from_bytes(forged));
+            let err = decode_artifact(&map, &key).unwrap_err();
+            assert!(
+                err.contains("out of range") || err.contains("overflow"),
+                "nodes {nodes} edges {edges}: {err}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -54,9 +54,17 @@ impl Words {
     ///
     /// Panics if the window is out of bounds of `map`; callers bound
     /// it first (the artifact loader validates section offsets before
-    /// constructing).
+    /// constructing). The window end is computed with checked
+    /// arithmetic so an absurd `len` can never wrap to a small
+    /// in-bounds window — it panics here instead of handing
+    /// `as_slice` an unsound length.
     pub(crate) fn mapped(map: &Arc<Mapped>, offset: usize, len: usize) -> Words {
-        let bytes = &map[offset..offset + len * 4];
+        let end = len
+            .checked_mul(4)
+            .and_then(|b| offset.checked_add(b))
+            .filter(|&e| e <= map.len())
+            .expect("Words::mapped window out of bounds");
+        let bytes = &map[offset..end];
         if cfg!(target_endian = "little") && bytes.as_ptr().align_offset(4) == 0 {
             return Words::Mapped {
                 map: Arc::clone(map),

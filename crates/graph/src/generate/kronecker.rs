@@ -72,6 +72,15 @@ pub fn generate(scale: u32, edge_factor: usize, seed: u64) -> Csr {
         "scale {scale} out of supported range"
     );
     let n = 1usize << scale;
+    // Row-offset prefix sums are u32, so the total edge count must
+    // stay below u32::MAX — the same reasoning that caps MAX_SCALE at
+    // Graph500's edge factor 16 applies to any caller-supplied factor.
+    assert!(
+        (edge_factor as u64)
+            .checked_mul(n as u64)
+            .is_some_and(|m| m < u32::MAX as u64),
+        "edge_factor {edge_factor} at scale {scale} overflows u32 edge indices"
+    );
     let m = edge_factor * n;
 
     // Pass 1: count out-degrees. The weight draw must happen exactly
@@ -216,5 +225,12 @@ mod tests {
     #[should_panic(expected = "out of supported range")]
     fn huge_scale_panics() {
         generate(30, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32 edge indices")]
+    fn huge_edge_factor_panics() {
+        // 64 * 2^26 = 2^32 edges would wrap the u32 prefix sums.
+        generate(26, 64, 1);
     }
 }
